@@ -1,0 +1,164 @@
+package parhask
+
+import (
+	"parhask/internal/core"
+	"parhask/internal/cost"
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+	"parhask/internal/graph"
+	"parhask/internal/gum"
+	"parhask/internal/rts"
+	"parhask/internal/skel"
+	"parhask/internal/strategies"
+)
+
+// Core heap-graph types.
+type (
+	// Value is any heap value.
+	Value = graph.Value
+	// Thunk is a shared, lazily evaluated heap node.
+	Thunk = graph.Thunk
+)
+
+// NewThunk suspends fn as a heap thunk; NewValue wraps an evaluated value.
+var (
+	NewValue = graph.NewValue
+)
+
+// Ctx is the execution context of a GpH thread (Burn/Alloc/Force/Par/Fork).
+type Ctx = rts.Ctx
+
+// GpH: the shared-heap runtime.
+type (
+	// GpHConfig selects a GpH runtime variant.
+	GpHConfig = gph.Config
+	// GpHResult is the outcome of a GpH run.
+	GpHResult = gph.Result
+	// GpHStats are the runtime counters of a GpH run.
+	GpHStats = gph.Stats
+)
+
+// GpH runtime constructors and entry point.
+var (
+	// RunGpH executes main under a GpH configuration.
+	RunGpH = gph.Run
+	// NewGpHConfig is the fully-optimised runtime (work stealing, wakeup
+	// barrier, spark threads).
+	NewGpHConfig = gph.NewConfig
+	// The paper's Fig. 1 variants:
+	GpHPlainGHC69   = gph.PlainGHC69
+	GpHBigAllocArea = gph.BigAllocArea
+	GpHImprovedSync = gph.ImprovedSync
+	GpHWorkStealing = gph.WorkStealingConfig
+	// GpHLocalHeaps enables the §VI future-work semi-distributed heap:
+	// per-capability local GC plus a rarely-collected global heap.
+	GpHLocalHeaps = gph.LocalHeapsConfig
+)
+
+// GUM: the distributed-memory implementation of GpH (§III-B) — same
+// programming model as RunGpH, but PEs with private heaps, passive work
+// distribution by fishing, and FETCH/RESUME virtual shared memory.
+type (
+	// GUMConfig selects a GUM runtime setup.
+	GUMConfig = gum.Config
+	// GUMResult is the outcome of a GUM run.
+	GUMResult = gum.Result
+	// GUMStats are the protocol and runtime counters of a GUM run.
+	GUMStats = gum.Stats
+)
+
+// GUM entry points.
+var (
+	// RunGUM executes a GpH main function on the distributed GUM runtime.
+	RunGUM = gum.Run
+	// NewGUMConfig returns a GUM configuration (PEs over cores).
+	NewGUMConfig = gum.NewConfig
+)
+
+// Eden: the distributed-heap runtime.
+type (
+	// EdenConfig selects an Eden runtime setup.
+	EdenConfig = eden.Config
+	// EdenResult is the outcome of an Eden run.
+	EdenResult = eden.Result
+	// EdenStats are the runtime counters of an Eden run.
+	EdenStats = eden.Stats
+	// PCtx is the execution context of an Eden process thread.
+	PCtx = eden.PCtx
+	// Inport/Outport are the ends of a one-value Eden channel.
+	Inport  = eden.Inport
+	Outport = eden.Outport
+	// StreamIn/StreamOut are the ends of an element-by-element stream.
+	StreamIn  = eden.StreamIn
+	StreamOut = eden.StreamOut
+)
+
+// Eden entry points.
+var (
+	// RunEden executes main as the root process on PE 0.
+	RunEden = eden.Run
+	// NewEdenConfig returns an Eden configuration (PEs over cores).
+	NewEdenConfig = eden.NewConfig
+)
+
+// Evaluation strategies (GpH, §II-B).
+type Strategy = strategies.Strategy
+
+var (
+	RWHNF         = strategies.RWHNF
+	RNF           = strategies.RNF
+	ParListWHNF   = strategies.ParListWHNF
+	ParBuffer     = strategies.ParBuffer
+	ParList       = strategies.ParList
+	SeqList       = strategies.SeqList
+	ParMapStrat   = strategies.ParMap
+	NewStratThunk = strategies.Thunk
+)
+
+// Algorithmic skeletons (Eden, §II-A, plus the hierarchical and
+// divide-and-conquer skeletons from the cited Eden literature).
+type (
+	// KV is a key-value pair for ParMapReduce.
+	KV = skel.KV
+	// DC describes a divide-and-conquer algorithm.
+	DC = skel.DC
+	// StageFunc is one pipeline stage; TaskFunc one master-worker task;
+	// WorkerFunc one parMap worker.
+	StageFunc  = skel.StageFunc
+	TaskFunc   = skel.TaskFunc
+	WorkerFunc = skel.WorkerFunc
+)
+
+var (
+	ParMap           = skel.ParMap
+	ParReduce        = skel.ParReduce
+	ParMapReduce     = skel.ParMapReduce
+	MasterWorker     = skel.MasterWorker
+	MasterWorkerAt   = skel.MasterWorkerAt
+	HierMasterWorker = skel.HierMasterWorker
+	Ring             = skel.Ring
+	Torus            = skel.Torus
+	Pipeline         = skel.Pipeline
+	DivideAndConquer = skel.DivideAndConquer
+)
+
+// Runtime comparison (the paper's primary contribution as one call).
+type (
+	// CompareVariant names a runtime organisation for Compare.
+	CompareVariant = core.Variant
+	// CompareOutcome is one organisation's result.
+	CompareOutcome = core.Outcome
+)
+
+var (
+	// Compare runs one GpH program under several runtime organisations.
+	Compare = core.Compare
+	// CompareVariants lists every comparable organisation.
+	CompareVariants = core.AllVariants
+)
+
+// CostModel holds every virtual-time cost constant of the simulation.
+type CostModel = cost.Model
+
+// DefaultCosts returns the calibrated default cost model.
+var DefaultCosts = cost.Default

@@ -1,0 +1,100 @@
+// Command apsp runs the paper's third benchmark — all-pairs shortest
+// paths — on a chosen runtime configuration:
+//
+//	apsp -n 400 -cores 8 -rts eden            # ring of 8 processes
+//	apsp -n 400 -cores 8 -rts steal -eager    # GpH, eager black-holing
+//	apsp -n 400 -cores 8 -rts steal           # lazy BH: watch it crawl
+//
+// Results are always verified against a sequential Floyd–Warshall.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+	"parhask/internal/trace"
+	"parhask/internal/workloads/apsp"
+)
+
+func main() {
+	n := flag.Int("n", 400, "number of graph nodes")
+	cores := flag.Int("cores", 8, "simulated physical cores")
+	ring := flag.Int("ring", 0, "Eden ring size (default: cores)")
+	rts := flag.String("rts", "eden", "runtime: plain | bigalloc | sync | steal | eden")
+	eager := flag.Bool("eager", false, "eager black-holing (GpH)")
+	seed := flag.Uint64("seed", 105, "graph generator seed")
+	showTrace := flag.Bool("trace", false, "print the activity timeline")
+	width := flag.Int("width", 100, "trace width")
+	flag.Parse()
+
+	g := apsp.RandomGraph(*n, *seed, 9, 25)
+	want := apsp.FloydWarshall(g)
+
+	verify := func(v any) {
+		if !apsp.Equal(v.(apsp.Graph), want) {
+			fmt.Fprintln(os.Stderr, "apsp: RESULT MISMATCH vs Floyd–Warshall oracle")
+			os.Exit(1)
+		}
+	}
+
+	if *rts == "eden" {
+		r := *ring
+		if r == 0 {
+			r = *cores
+		}
+		cfg := eden.NewConfig(r+1, *cores)
+		res, err := eden.Run(cfg, apsp.EdenRingProgram(g, r, cfg.Costs.MinPlus))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apsp:", err)
+			os.Exit(1)
+		}
+		verify(res.Value)
+		fmt.Printf("apsp %d nodes on Eden ring of %d, %d cores\n", *n, r, *cores)
+		fmt.Println("result   = verified against Floyd–Warshall")
+		fmt.Printf("runtime  = %s (virtual)\n", trace.FmtDur(res.Elapsed))
+		fmt.Printf("stats    = %+v\n", res.Stats)
+		if *showTrace {
+			fmt.Print(res.Trace.Render(*width))
+			fmt.Print(res.Trace.Summary())
+		}
+		return
+	}
+
+	var cfg gph.Config
+	switch *rts {
+	case "plain":
+		cfg = gph.PlainGHC69(*cores)
+	case "bigalloc":
+		cfg = gph.BigAllocArea(*cores)
+	case "sync":
+		cfg = gph.ImprovedSync(*cores)
+	case "steal":
+		cfg = gph.WorkStealingConfig(*cores)
+	default:
+		fmt.Fprintf(os.Stderr, "apsp: unknown -rts %q\n", *rts)
+		os.Exit(2)
+	}
+	cfg.EagerBlackholing = *eager
+	cfg.ResidentBytes = 2 * apsp.Bytes(*n)
+	res, err := gph.Run(cfg, apsp.GpHProgram(g, cfg.Costs.MinPlus))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apsp:", err)
+		os.Exit(1)
+	}
+	verify(res.Value)
+	bh := "lazy"
+	if *eager {
+		bh = "eager"
+	}
+	fmt.Printf("apsp %d nodes on GpH (%s, %s blackholing), %d cores\n", *n, *rts, bh, *cores)
+	fmt.Println("result   = verified against Floyd–Warshall")
+	fmt.Printf("runtime  = %s (virtual)\n", trace.FmtDur(res.Elapsed))
+	fmt.Printf("stats    = %+v (duplicate thunk entries: %d)\n", res.Stats, res.Stats.DupEntries)
+	if *showTrace {
+		fmt.Print(res.Trace.Render(*width))
+		fmt.Print(res.Trace.Summary())
+	}
+}

@@ -1,0 +1,92 @@
+// Command benchall regenerates every table and figure of the paper's
+// evaluation section (§V):
+//
+//	benchall             # all figures at full paper scale
+//	benchall -fig 1      # just the Fig. 1 runtime table
+//	benchall -quick      # scaled-down parameters (seconds, for smoke tests)
+//	benchall -matmul 1008 -matmulblock 72   # paper-size matrices
+//
+// Output is text: runtime tables, ASCII timeline traces and speedup
+// tables/charts, each followed by a shape check against the paper's
+// qualitative claims.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parhask/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (1-5); 0 = all")
+	quick := flag.Bool("quick", false, "use scaled-down parameters")
+	sumN := flag.Int("sumeuler", 0, "override sumEuler bound (paper: 15000)")
+	chunks := flag.Int("chunks", 0, "override GpH sumEuler chunk count")
+	matN := flag.Int("matmul", 0, "override matrix size (paper: 1000/2000; must be divisible by 12 and by -matmulblock)")
+	matB := flag.Int("matmulblock", 0, "override GpH matmul block size")
+	apspN := flag.Int("apsp", 0, "override APSP node count (paper: 400)")
+	width := flag.Int("width", 0, "trace width in columns")
+	models := flag.Bool("models", false, "also run the beyond-the-paper runtime-organisation comparison")
+	latency := flag.Bool("latency", false, "also run the shared-memory-to-cluster latency study")
+	flag.Parse()
+
+	p := experiments.Defaults()
+	if *quick {
+		p = experiments.Quick()
+	}
+	if *sumN > 0 {
+		p.SumEulerN = *sumN
+	}
+	if *chunks > 0 {
+		p.SumEulerChunks = *chunks
+	}
+	if *matN > 0 {
+		if *matN%12 != 0 {
+			fmt.Fprintln(os.Stderr, "benchall: -matmul must be divisible by 12 (3x3 and 4x4 tori)")
+			os.Exit(2)
+		}
+		p.MatMulN = *matN
+	}
+	if *matB > 0 {
+		if p.MatMulN%*matB != 0 {
+			fmt.Fprintln(os.Stderr, "benchall: -matmulblock must divide the matrix size")
+			os.Exit(2)
+		}
+		p.MatMulBlock = *matB
+	}
+	if *apspN > 0 {
+		p.APSPNodes = *apspN
+	}
+	if *width > 0 {
+		p.TraceWidth = *width
+	}
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+	if want(1) {
+		fmt.Println(experiments.RunFig1(p).String())
+	}
+	if want(2) {
+		fmt.Println(experiments.RunFig2(p).String())
+	}
+	if want(3) {
+		fmt.Println(experiments.RunFig3(p).String())
+	}
+	if want(4) {
+		fmt.Println(experiments.RunFig4(p).String())
+	}
+	if want(5) {
+		fmt.Println(experiments.RunFig5(p).String())
+	}
+	if *models {
+		fmt.Println(experiments.RunModels(p).String())
+	}
+	if *latency {
+		fmt.Println(experiments.RunLatencyStudy(p).String())
+	}
+	if *fig < 0 || *fig > 5 {
+		fmt.Fprintln(os.Stderr, "benchall: -fig must be 0..5")
+		os.Exit(2)
+	}
+}

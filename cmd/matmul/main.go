@@ -1,0 +1,104 @@
+// Command matmul runs the paper's second benchmark — dense matrix
+// multiplication — on a chosen runtime configuration:
+//
+//	matmul -n 396 -cores 8 -rts steal -block 33
+//	matmul -n 396 -cores 8 -rts eden -q 4 -pes 17    # Fig. 4 e)
+//	matmul -n 1008 -block 72 -rts plain -trace       # paper-size
+//
+// The GpH versions spark result blocks; the Eden version runs Cannon's
+// algorithm on a q×q torus. Results are verified against a sequential
+// oracle for n ≤ 512.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+	"parhask/internal/trace"
+	"parhask/internal/workloads/matmul"
+)
+
+func main() {
+	n := flag.Int("n", 396, "matrix dimension")
+	block := flag.Int("block", 33, "GpH block size (spark granularity)")
+	q := flag.Int("q", 3, "Eden torus dimension (q x q processes)")
+	cores := flag.Int("cores", 8, "simulated physical cores")
+	pes := flag.Int("pes", 0, "Eden virtual PEs (default: q*q+1)")
+	rts := flag.String("rts", "steal", "runtime: plain | bigalloc | sync | steal | rows | eden")
+	showTrace := flag.Bool("trace", false, "print the activity timeline")
+	width := flag.Int("width", 100, "trace width")
+	flag.Parse()
+
+	a := matmul.Random(*n, 103)
+	b := matmul.Random(*n, 104)
+	var oracle matmul.Mat
+	if *n <= 512 {
+		oracle = matmul.MulOracle(a, b)
+	}
+
+	report := func(kind string, elapsed int64, value any, tr *trace.Log, stats any) {
+		fmt.Printf("matmul %dx%d on %s, %d cores\n", *n, *n, kind, *cores)
+		got := value.(matmul.Mat)
+		if oracle != nil {
+			if !matmul.Equal(got, oracle, 1e-6) {
+				fmt.Fprintln(os.Stderr, "matmul: RESULT MISMATCH vs sequential oracle")
+				os.Exit(1)
+			}
+			fmt.Println("result   = verified against sequential oracle")
+		} else {
+			fmt.Printf("checksum = %.6g\n", matmul.Checksum(got))
+		}
+		fmt.Printf("runtime  = %s (virtual)\n", trace.FmtDur(elapsed))
+		fmt.Printf("stats    = %+v\n", stats)
+		if *showTrace {
+			fmt.Print(tr.Render(*width))
+			fmt.Print(tr.Summary())
+		}
+	}
+
+	if *rts == "eden" {
+		np := *pes
+		if np == 0 {
+			np = *q**q + 1
+		}
+		cfg := eden.NewConfig(np, *cores)
+		res, err := eden.Run(cfg, matmul.EdenCannonProgram(a, b, *q, cfg.Costs.MulAdd))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matmul:", err)
+			os.Exit(1)
+		}
+		report(fmt.Sprintf("Eden Cannon %dx%d torus, %d PEs", *q, *q, np), res.Elapsed, res.Value, res.Trace, res.Stats)
+		return
+	}
+
+	var cfg gph.Config
+	switch *rts {
+	case "plain":
+		cfg = gph.PlainGHC69(*cores)
+	case "bigalloc":
+		cfg = gph.BigAllocArea(*cores)
+	case "sync":
+		cfg = gph.ImprovedSync(*cores)
+	case "steal", "rows":
+		cfg = gph.WorkStealingConfig(*cores)
+	default:
+		fmt.Fprintf(os.Stderr, "matmul: unknown -rts %q\n", *rts)
+		os.Exit(2)
+	}
+	cfg.ResidentBytes = 3 * matmul.Bytes(*n)
+	prog := matmul.GpHBlockProgram(a, b, *block, cfg.Costs.MulAdd)
+	kind := fmt.Sprintf("GpH (%s), %dx%d blocks", *rts, *block, *block)
+	if *rts == "rows" {
+		prog = matmul.GpHRowProgram(a, b, cfg.Costs.MulAdd)
+		kind = "GpH (steal), row-parallel"
+	}
+	res, err := gph.Run(cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matmul:", err)
+		os.Exit(1)
+	}
+	report(kind, res.Elapsed, res.Value, res.Trace, res.Stats)
+}

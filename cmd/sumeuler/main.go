@@ -1,0 +1,113 @@
+// Command sumeuler runs the paper's first benchmark — the sum of Euler
+// totients φ(k) for k ≤ n — on a chosen runtime configuration:
+//
+//	sumeuler -n 15000 -cores 8 -rts steal
+//	sumeuler -n 15000 -cores 8 -rts eden -pes 8
+//	sumeuler -n 15000 -rts plain -trace
+//
+// It prints the virtual runtime, runtime statistics and (with -trace)
+// an EdenTV-style per-capability timeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+	"parhask/internal/gum"
+	"parhask/internal/trace"
+	"parhask/internal/workloads/euler"
+)
+
+func main() {
+	n := flag.Int("n", 15000, "sum φ(k) for k in [1..n]")
+	cores := flag.Int("cores", 8, "simulated physical cores")
+	rts := flag.String("rts", "steal", "runtime: plain | bigalloc | sync | steal | localheaps | gum | eden")
+	pes := flag.Int("pes", 0, "Eden PEs (default: cores)")
+	chunks := flag.Int("chunks", 300, "GpH chunk count / Eden chunks are 8 per PE")
+	eager := flag.Bool("eager", false, "eager black-holing (GpH)")
+	showTrace := flag.Bool("trace", false, "print the activity timeline")
+	profile := flag.Bool("profile", false, "print the thread-granularity profile (GpH runtimes)")
+	width := flag.Int("width", 100, "trace width")
+	flag.Parse()
+
+	if *rts == "eden" {
+		np := *pes
+		if np == 0 {
+			np = *cores
+		}
+		cfg := eden.NewConfig(np, *cores)
+		res, err := eden.Run(cfg, euler.EdenProgram(*n, 8, cfg.Costs.GCDIter))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sumeuler:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sumEuler [1..%d] on Eden, %d PEs / %d cores\n", *n, np, *cores)
+		fmt.Printf("result   = %v\n", res.Value)
+		fmt.Printf("runtime  = %s (virtual)\n", trace.FmtDur(res.Elapsed))
+		fmt.Printf("stats    = %+v\n", res.Stats)
+		if *showTrace {
+			fmt.Print(res.Trace.Render(*width))
+			fmt.Print(res.Trace.Summary())
+		}
+		return
+	}
+
+	if *rts == "gum" {
+		np := *pes
+		if np == 0 {
+			np = *cores
+		}
+		cfg := gum.NewConfig(np, *cores)
+		res, err := gum.Run(cfg, euler.GpHProgram(*n, *chunks, cfg.Costs.GCDIter))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sumeuler:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("sumEuler [1..%d] on GUM (distributed GpH), %d PEs / %d cores\n", *n, np, *cores)
+		fmt.Printf("result   = %v\n", res.Value)
+		fmt.Printf("runtime  = %s (virtual)\n", trace.FmtDur(res.Elapsed))
+		fmt.Printf("stats    = %+v\n", res.Stats)
+		if *showTrace {
+			fmt.Print(res.Trace.Render(*width))
+			fmt.Print(res.Trace.Summary())
+		}
+		return
+	}
+
+	var cfg gph.Config
+	switch *rts {
+	case "plain":
+		cfg = gph.PlainGHC69(*cores)
+	case "bigalloc":
+		cfg = gph.BigAllocArea(*cores)
+	case "sync":
+		cfg = gph.ImprovedSync(*cores)
+	case "steal":
+		cfg = gph.WorkStealingConfig(*cores)
+	case "localheaps":
+		cfg = gph.LocalHeapsConfig(*cores)
+	default:
+		fmt.Fprintf(os.Stderr, "sumeuler: unknown -rts %q\n", *rts)
+		os.Exit(2)
+	}
+	cfg.EagerBlackholing = *eager
+	res, err := gph.Run(cfg, euler.GpHProgram(*n, *chunks, cfg.Costs.GCDIter))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sumeuler:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("sumEuler [1..%d] on GpH (%s), %d cores, %d chunks\n", *n, *rts, *cores, *chunks)
+	fmt.Printf("result   = %v\n", res.Value)
+	fmt.Printf("runtime  = %s (virtual)\n", trace.FmtDur(res.Elapsed))
+	fmt.Printf("stats    = %+v\n", res.Stats)
+	if *profile {
+		fmt.Print(res.GranularityProfile().String())
+	}
+	if *showTrace {
+		fmt.Print(res.Trace.Render(*width))
+		fmt.Print(res.Trace.Summary())
+	}
+}

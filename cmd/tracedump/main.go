@@ -1,0 +1,76 @@
+// Command tracedump renders the paper's trace figures (Figs. 2 and 4)
+// as ASCII timelines, or exports the raw segments for external plotting:
+//
+//	tracedump -experiment sumeuler          # Fig. 2 (five sumEuler traces)
+//	tracedump -experiment matmul            # Fig. 4 (five matmul traces)
+//	tracedump -experiment sumeuler -quick   # scaled-down parameters
+//	tracedump -experiment matmul -format csv   # segment dump (EdenTV-style)
+//	tracedump -experiment matmul -format json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parhask/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "sumeuler", "sumeuler (Fig. 2) or matmul (Fig. 4)")
+	quick := flag.Bool("quick", false, "use scaled-down parameters")
+	width := flag.Int("width", 100, "trace width in columns")
+	format := flag.String("format", "ascii", "ascii | csv | json | html")
+	flag.Parse()
+
+	p := experiments.Defaults()
+	if *quick {
+		p = experiments.Quick()
+	}
+	p.TraceWidth = *width
+
+	var entries []experiments.TraceEntry
+	var rendered string
+	switch *exp {
+	case "sumeuler":
+		f := experiments.RunFig2(p)
+		entries, rendered = f.Entries, f.String()
+	case "matmul":
+		f := experiments.RunFig4(p)
+		entries, rendered = f.Entries, f.String()
+	default:
+		fmt.Fprintf(os.Stderr, "tracedump: unknown -experiment %q (want sumeuler or matmul)\n", *exp)
+		os.Exit(2)
+	}
+
+	switch *format {
+	case "ascii":
+		fmt.Println(rendered)
+	case "csv":
+		for _, e := range entries {
+			fmt.Printf("# %s\n", e.Name)
+			if err := e.Trace.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "tracedump:", err)
+				os.Exit(1)
+			}
+		}
+	case "json":
+		for _, e := range entries {
+			fmt.Printf("// %s\n", e.Name)
+			if err := e.Trace.WriteJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "tracedump:", err)
+				os.Exit(1)
+			}
+		}
+	case "html":
+		for _, e := range entries {
+			if err := e.Trace.WriteHTML(os.Stdout, e.Name); err != nil {
+				fmt.Fprintln(os.Stderr, "tracedump:", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tracedump: unknown -format %q\n", *format)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,29 @@
+// Package parhask is a Go reproduction of the runtime systems studied in
+// J. Berthold, S. Marlow, K. Hammond and A. D. Al Zain, "Comparing and
+// Optimising Parallel Haskell Implementations for Multicore Machines"
+// (ICPP 2009).
+//
+// It implements, on a deterministic discrete-event simulation of a
+// multicore machine, the two parallel Haskell runtime models the paper
+// compares:
+//
+//   - GpH on a shared heap: capabilities, par-created sparks,
+//     work pushing (GHC 6.8.x) or Chase–Lev work stealing,
+//     stop-the-world GC with polling or wakeup barriers, and lazy or
+//     eager black-holing (RunGpH, GpHConfig);
+//   - Eden on distributed heaps: processing elements with independent
+//     local GC, typed channels with normal-form-before-send semantics,
+//     streams, and algorithmic skeletons — parMap, parMapReduce,
+//     masterWorker, ring, torus (RunEden, EdenConfig).
+//
+// The three benchmark programs of the paper's evaluation (sumEuler,
+// blockwise/Cannon matrix multiplication, ring-pipelined all-pairs
+// shortest paths) live in internal/workloads; the experiment drivers
+// that regenerate every figure and table live in internal/experiments
+// and are runnable via cmd/benchall.
+//
+// This package is the public facade: it re-exports the types and entry
+// points a downstream user needs. See the examples/ directory for
+// runnable programs, DESIGN.md for the system inventory and the
+// paper-to-module map, and EXPERIMENTS.md for measured-vs-paper results.
+package parhask

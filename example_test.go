@@ -1,0 +1,100 @@
+package parhask_test
+
+import (
+	"fmt"
+
+	"parhask"
+)
+
+// Example_gph sparks two computations on a 2-core shared-heap runtime
+// and folds their results — par and seq in four lines. The runtime is a
+// deterministic simulation, so the output (including the virtual
+// runtime) is reproducible.
+func Example_gph() {
+	cfg := parhask.GpHWorkStealing(2)
+	res, err := parhask.RunGpH(cfg, func(ctx *parhask.Ctx) parhask.Value {
+		x := parhask.NewStratThunk(func(c *parhask.Ctx) parhask.Value {
+			c.Burn(1_000_000)
+			return 40
+		})
+		ctx.Par(x) // spark x...
+		y := 2
+		return ctx.Force(x).(int) + y // ...and force it
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Value)
+	// Output: 42
+}
+
+// Example_eden runs a four-process farm with the parMap skeleton on
+// four distributed-heap PEs.
+func Example_eden() {
+	cfg := parhask.NewEdenConfig(4, 4)
+	res, err := parhask.RunEden(cfg, func(p *parhask.PCtx) parhask.Value {
+		squares := parhask.ParMap(p, "sq", func(w *parhask.PCtx, in parhask.Value) parhask.Value {
+			n := in.(int)
+			w.Burn(100_000)
+			return n * n
+		}, []parhask.Value{1, 2, 3, 4})
+		sum := 0
+		for _, v := range squares {
+			sum += v.(int)
+		}
+		return sum
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Value)
+	// Output: 30
+}
+
+// Example_gum runs the same GpH code on the distributed-memory GUM
+// runtime: par works unchanged; distribution happens by fishing.
+func Example_gum() {
+	cfg := parhask.NewGUMConfig(2, 2)
+	res, err := parhask.RunGUM(cfg, func(ctx *parhask.Ctx) parhask.Value {
+		x := parhask.NewStratThunk(func(c *parhask.Ctx) parhask.Value {
+			c.Alloc(32 << 10)
+			c.Burn(2_000_000)
+			return "fished"
+		})
+		ctx.Par(x)
+		ctx.Burn(500_000)
+		return ctx.Force(x)
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Value)
+	// Output: fished
+}
+
+// Example_strategies shows parList over a list of thunks — the
+// evaluation-strategy style of the paper's §II-B.
+func Example_strategies() {
+	cfg := parhask.GpHWorkStealing(4)
+	res, err := parhask.RunGpH(cfg, func(ctx *parhask.Ctx) parhask.Value {
+		ts := make([]*parhask.Thunk, 8)
+		for i := range ts {
+			i := i
+			ts[i] = parhask.NewStratThunk(func(c *parhask.Ctx) parhask.Value {
+				c.Burn(250_000)
+				return i + 1
+			})
+		}
+		parhask.ParListWHNF(ctx, ts) // parList rwhnf
+		sum := 0
+		for _, t := range ts {
+			sum += ctx.Force(t).(int)
+		}
+		return sum
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Value)
+	// Output: 36
+}

@@ -1,0 +1,49 @@
+// Cannon's algorithm example: multiply two matrices on a q×q Eden
+// process torus, showing how a topology skeleton captures the parallel
+// interaction structure, and how virtual PEs (more processes than
+// cores) behave.
+//
+//	go run ./examples/cannon
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parhask/internal/eden"
+	"parhask/internal/trace"
+	"parhask/internal/workloads/matmul"
+)
+
+func main() {
+	const n = 240
+	const cores = 8
+
+	a := matmul.Random(n, 1)
+	b := matmul.Random(n, 2)
+	oracle := matmul.MulOracle(a, b)
+
+	for _, setup := range []struct {
+		q, pes int
+	}{
+		{2, 5},  // 4 workers + master, under-using 8 cores
+		{3, 9},  // 9 virtual PEs on 8 cores (paper Fig. 4 d)
+		{4, 17}, // 17 virtual PEs on 8 cores (paper Fig. 4 e)
+	} {
+		cfg := eden.NewConfig(setup.pes, cores)
+		res, err := eden.Run(cfg, matmul.EdenCannonProgram(a, b, setup.q, cfg.Costs.MulAdd))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !matmul.Equal(res.Value.(matmul.Mat), oracle, 1e-6) {
+			log.Fatalf("q=%d: wrong product", setup.q)
+		}
+		fmt.Printf("%dx%d torus on %2d virtual PEs / %d cores: %8s virtual, %4d messages, %.1f MB sent, %d local GCs\n",
+			setup.q, setup.q, setup.pes, cores, trace.FmtDur(res.Elapsed),
+			res.Stats.Messages, float64(res.Stats.BytesSent)/1e6, res.Stats.LocalGCs)
+	}
+	fmt.Println("\nAll products verified against the sequential oracle.")
+	fmt.Println("Note how 17 virtual PEs on 8 cores holds its own: smaller per-PE")
+	fmt.Println("heaps collect faster and the OS-style fair timeslicing keeps all")
+	fmt.Println("cores busy — the paper's surprising Fig. 4 observation.")
+}

@@ -1,0 +1,59 @@
+// Mandelbrot example: the classic irregular workload rendered three
+// ways — sequentially, with GpH row sparks, and with Eden's
+// masterWorker farm — plus the picture itself, because why not.
+//
+//	go run ./examples/mandelbrot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/trace"
+	"parhask/internal/workloads/mandel"
+)
+
+func main() {
+	const cores = 8
+	p := mandel.DefaultParams(200, 120)
+
+	seq, err := gph.Run(gph.WorkStealingConfig(1), func(ctx *rts.Ctx) graph.Value {
+		return mandel.Render(ctx, p)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gphRes, err := gph.Run(gph.WorkStealingConfig(cores), mandel.GpHProgram(p))
+	if err != nil {
+		log.Fatal(err)
+	}
+	edenRes, err := eden.Run(eden.NewConfig(cores, cores), mandel.EdenProgram(p, cores-1, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	img := seq.Value.([][]int32)
+	if !mandel.Equal(img, gphRes.Value.([][]int32)) || !mandel.Equal(img, edenRes.Value.([][]int32)) {
+		log.Fatal("parallel renders differ from sequential")
+	}
+
+	small := mandel.DefaultParams(78, 24)
+	fmt.Print(mandel.ASCII(mandel.Render(&nop{}, small), small.MaxIter))
+	fmt.Println()
+	fmt.Printf("%dx%d render, %d max iterations, on %d cores:\n", p.Width, p.Height, p.MaxIter, cores)
+	fmt.Printf("  sequential:             %8s\n", trace.FmtDur(seq.Elapsed))
+	fmt.Printf("  GpH row sparks:         %8s  (%.1fx, %d steals)\n",
+		trace.FmtDur(gphRes.Elapsed), float64(seq.Elapsed)/float64(gphRes.Elapsed), gphRes.Stats.Steals)
+	fmt.Printf("  Eden masterWorker farm: %8s  (%.1fx, %d messages)\n",
+		trace.FmtDur(edenRes.Elapsed), float64(seq.Elapsed)/float64(edenRes.Elapsed), edenRes.Stats.Messages)
+}
+
+// nop satisfies mandel.Ctx for the cost-free ASCII render.
+type nop struct{}
+
+func (*nop) Burn(int64)  {}
+func (*nop) Alloc(int64) {}

@@ -1,0 +1,72 @@
+// Map-reduce example: the paper's sumEuler computation written twice —
+// once with GpH evaluation strategies (split the input, parList the
+// chunk sums) and once with Eden's Google-style parMapReduce skeleton —
+// plus a word-count-like multi-key parMapReduce to show real key
+// grouping.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+	"parhask/internal/graph"
+	"parhask/internal/skel"
+	"parhask/internal/trace"
+	"parhask/internal/workloads/euler"
+)
+
+func main() {
+	const n = 5000
+	const cores = 8
+
+	// GpH: sum (map phi [1..n]) with chunked parList strategies.
+	gphCfg := gph.WorkStealingConfig(cores)
+	gphRes, err := gph.Run(gphCfg, euler.GpHProgram(n, 64, gphCfg.Costs.GCDIter))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GpH  sumEuler(%d) = %v   (%s virtual)\n", n, gphRes.Value, trace.FmtDur(gphRes.Elapsed))
+
+	// Eden: the ready-made parMapReduce skeleton.
+	edenCfg := eden.NewConfig(cores, cores)
+	edenRes, err := eden.Run(edenCfg, euler.EdenProgram(n, 8, edenCfg.Costs.GCDIter))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Eden sumEuler(%d) = %v   (%s virtual)\n", n, edenRes.Value, trace.FmtDur(edenRes.Elapsed))
+	fmt.Printf("sieve oracle       = %v\n\n", euler.SumTotientSieve(n))
+
+	// Multi-key map-reduce: classify k by φ(k) mod 4 and count each class.
+	classRes, err := eden.Run(edenCfg, func(p *eden.PCtx) graph.Value {
+		inputs := make([]graph.Value, 2000)
+		for i := range inputs {
+			inputs[i] = i + 1
+		}
+		kvs := skel.ParMapReduce(p, "classify",
+			func(w *eden.PCtx, in graph.Value) []skel.KV {
+				k := in.(int)
+				phi := euler.Phi(w, w.Cap().Costs.GCDIter, k)
+				return []skel.KV{{Key: phi % 4, Val: 1}}
+			},
+			func(w *eden.PCtx, key graph.Value, vals []graph.Value) graph.Value {
+				s := 0
+				for _, v := range vals {
+					s += v.(int)
+				}
+				return s
+			}, inputs)
+		out := map[int]int{}
+		for _, kv := range kvs {
+			out[kv.Key.(int)] = kv.Val.(int)
+		}
+		return fmt.Sprintf("%v", out)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("counts of phi(k) mod 4 for k<=2000: %v\n", classRes.Value)
+}

@@ -1,0 +1,84 @@
+// Quickstart: run the same parallel map on both runtime models — GpH
+// sparks on a shared heap and an Eden process farm on distributed heaps
+// — and compare runtimes and traces.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/skel"
+	"parhask/internal/strategies"
+)
+
+// workItem is a pretend computation: burn some virtual CPU, allocate
+// some heap, return a number.
+func workItem(ctx interface {
+	Burn(int64)
+	Alloc(int64)
+}, i int) int {
+	ctx.Alloc(64 * 1024)
+	ctx.Burn(int64(2_000_000 + 500_000*(i%5))) // 2–4 ms, irregular
+	return i * i
+}
+
+func main() {
+	const items = 32
+	const cores = 8
+
+	// --- GpH: spark one thunk per item with parList, then fold. ---
+	gphCfg := gph.WorkStealingConfig(cores)
+	gphRes, err := gph.Run(gphCfg, func(ctx *rts.Ctx) graph.Value {
+		thunks := make([]*graph.Thunk, items)
+		for i := 0; i < items; i++ {
+			i := i
+			thunks[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				return workItem(c, i)
+			})
+		}
+		strategies.ParListWHNF(ctx, thunks) // par each element
+		sum := 0
+		for _, t := range thunks {
+			sum += ctx.Force(t).(int)
+		}
+		return sum
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Eden: the parMap skeleton spawns one process per item. ---
+	edenCfg := eden.NewConfig(cores, cores)
+	edenRes, err := eden.Run(edenCfg, func(p *eden.PCtx) graph.Value {
+		inputs := make([]graph.Value, items)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		outs := skel.ParMap(p, "sq", func(w *eden.PCtx, in graph.Value) graph.Value {
+			return workItem(w, in.(int))
+		}, inputs)
+		sum := 0
+		for _, v := range outs {
+			sum += v.(int)
+		}
+		return sum
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("GpH  (shared heap, work stealing): sum=%v in %.2f ms virtual; %d sparks, %d steals\n",
+		gphRes.Value, float64(gphRes.Elapsed)/1e6, gphRes.Stats.SparksCreated, gphRes.Stats.Steals)
+	fmt.Printf("Eden (distributed heaps, messages): sum=%v in %.2f ms virtual; %d processes, %d messages\n",
+		edenRes.Value, float64(edenRes.Elapsed)/1e6, edenRes.Stats.Processes, edenRes.Stats.Messages)
+	fmt.Println("\nGpH trace:")
+	fmt.Print(gphRes.Trace.Render(72))
+	fmt.Println("\nEden trace:")
+	fmt.Print(edenRes.Trace.Render(72))
+}

@@ -1,0 +1,3 @@
+module parhask
+
+go 1.22

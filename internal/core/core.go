@@ -1,0 +1,149 @@
+// Package core packages the paper's primary contribution as a library
+// operation: running one and the same GpH program under every runtime
+// organisation — the shared heap in each of the paper's four
+// optimisation stages, the §VI semi-distributed heap, the parallel
+// collector, and the distributed-memory GUM implementation — and
+// reporting the results side by side. This is the comparison the paper
+// performs by hand across Figs. 1–5, offered as a reusable primitive
+// (Eden is compared at the experiments layer, since its programs are
+// written against skeletons rather than par).
+package core
+
+import (
+	"fmt"
+
+	"parhask/internal/gph"
+	"parhask/internal/graph"
+	"parhask/internal/gum"
+	"parhask/internal/rts"
+	"parhask/internal/sim"
+	"parhask/internal/trace"
+)
+
+// Program is a portable GpH computation (par + forcing over thunks).
+type Program = func(*rts.Ctx) graph.Value
+
+// Variant identifies one runtime organisation under comparison.
+type Variant string
+
+// The comparable organisations.
+const (
+	PlainGHC69   Variant = "gph-plain-ghc69"
+	BigAllocArea Variant = "gph-big-alloc-area"
+	ImprovedSync Variant = "gph-improved-sync"
+	WorkStealing Variant = "gph-work-stealing"
+	ParallelGC   Variant = "gph-parallel-gc"
+	LocalHeaps   Variant = "gph-local-heaps"
+	EagerBH      Variant = "gph-eager-blackholing"
+	GUM          Variant = "gum-distributed"
+)
+
+// AllVariants lists every organisation in presentation order.
+func AllVariants() []Variant {
+	return []Variant{
+		PlainGHC69, BigAllocArea, ImprovedSync, WorkStealing,
+		ParallelGC, LocalHeaps, EagerBH, GUM,
+	}
+}
+
+// Outcome is one variant's run result.
+type Outcome struct {
+	Variant Variant
+	Elapsed sim.Time
+	Value   graph.Value
+	Trace   *trace.Log
+	// GpH / GUM statistics; exactly one is meaningful per variant.
+	GpH *gph.Stats
+	GUM *gum.Stats
+}
+
+// Compare runs the program under the requested variants on a machine
+// with the given core count and returns one outcome per variant, in
+// order. It verifies that every variant computed an identical value
+// (referential transparency across runtime organisations — the paper's
+// implicit correctness baseline) and reports an error otherwise.
+func Compare(cores int, program Program, variants ...Variant) ([]Outcome, error) {
+	if len(variants) == 0 {
+		variants = AllVariants()
+	}
+	outs := make([]Outcome, 0, len(variants))
+	for _, v := range variants {
+		o, err := runVariant(cores, program, v)
+		if err != nil {
+			return nil, fmt.Errorf("core: variant %s: %w", v, err)
+		}
+		outs = append(outs, o)
+	}
+	for _, o := range outs[1:] {
+		if fmt.Sprint(o.Value) != fmt.Sprint(outs[0].Value) {
+			return nil, fmt.Errorf("core: variant %s computed %v where %s computed %v",
+				o.Variant, o.Value, outs[0].Variant, outs[0].Value)
+		}
+	}
+	return outs, nil
+}
+
+// runVariant executes the program under one organisation.
+func runVariant(cores int, program Program, v Variant) (Outcome, error) {
+	if v == GUM {
+		res, err := gum.Run(gum.NewConfig(cores, cores), program)
+		if err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Variant: v, Elapsed: res.Elapsed, Value: res.Value,
+			Trace: res.Trace, GUM: &res.Stats}, nil
+	}
+	var cfg gph.Config
+	switch v {
+	case PlainGHC69:
+		cfg = gph.PlainGHC69(cores)
+	case BigAllocArea:
+		cfg = gph.BigAllocArea(cores)
+	case ImprovedSync:
+		cfg = gph.ImprovedSync(cores)
+	case WorkStealing:
+		cfg = gph.WorkStealingConfig(cores)
+	case ParallelGC:
+		cfg = gph.WorkStealingConfig(cores)
+		cfg.ParallelGC = true
+	case LocalHeaps:
+		cfg = gph.LocalHeapsConfig(cores)
+	case EagerBH:
+		cfg = gph.WorkStealingConfig(cores)
+		cfg.EagerBlackholing = true
+	default:
+		return Outcome{}, fmt.Errorf("unknown variant %q", v)
+	}
+	res, err := gph.Run(cfg, program)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Variant: v, Elapsed: res.Elapsed, Value: res.Value,
+		Trace: res.Trace, GpH: &res.Stats}, nil
+}
+
+// Fastest returns the outcome with the smallest elapsed time.
+func Fastest(outs []Outcome) Outcome {
+	best := outs[0]
+	for _, o := range outs[1:] {
+		if o.Elapsed < best.Elapsed {
+			best = o
+		}
+	}
+	return best
+}
+
+// Spread returns the ratio of the slowest to the fastest elapsed time —
+// the quantity behind the paper's "similar performance" verdict.
+func Spread(outs []Outcome) float64 {
+	fastest, slowest := outs[0].Elapsed, outs[0].Elapsed
+	for _, o := range outs[1:] {
+		if o.Elapsed < fastest {
+			fastest = o.Elapsed
+		}
+		if o.Elapsed > slowest {
+			slowest = o.Elapsed
+		}
+	}
+	return float64(slowest) / float64(fastest)
+}

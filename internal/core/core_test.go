@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/strategies"
+)
+
+// program is a small portable GpH computation.
+func program(chunks int, burn, alloc int64) Program {
+	return func(ctx *rts.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, chunks)
+		for i := 0; i < chunks; i++ {
+			i := i
+			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				c.Alloc(alloc)
+				c.Burn(burn + int64(i%5)*burn/4)
+				return i + 1
+			})
+		}
+		strategies.ParListWHNF(ctx, ts)
+		sum := 0
+		for _, t := range ts {
+			sum += ctx.Force(t).(int)
+		}
+		return sum
+	}
+}
+
+func TestCompareAllVariantsAgree(t *testing.T) {
+	outs, err := Compare(4, program(24, 400_000, 128*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(AllVariants()) {
+		t.Fatalf("outcomes = %d, want %d", len(outs), len(AllVariants()))
+	}
+	want := 24 * 25 / 2
+	for _, o := range outs {
+		if o.Value != want {
+			t.Fatalf("%s computed %v, want %d", o.Variant, o.Value, want)
+		}
+		if o.Elapsed <= 0 {
+			t.Fatalf("%s has no elapsed time", o.Variant)
+		}
+		if o.Trace == nil {
+			t.Fatalf("%s has no trace", o.Variant)
+		}
+		if (o.Variant == GUM) != (o.GUM != nil) || (o.Variant != GUM) != (o.GpH != nil) {
+			t.Fatalf("%s has wrong stats kind", o.Variant)
+		}
+	}
+}
+
+func TestCompareSubsetAndOrder(t *testing.T) {
+	outs, err := Compare(2, program(8, 200_000, 32*1024), WorkStealing, PlainGHC69)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Variant != WorkStealing || outs[1].Variant != PlainGHC69 {
+		t.Fatalf("order not preserved: %v %v", outs[0].Variant, outs[1].Variant)
+	}
+}
+
+func TestFastestAndSpread(t *testing.T) {
+	outs, err := Compare(8, program(48, 600_000, 256*1024),
+		PlainGHC69, WorkStealing, GUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := Fastest(outs)
+	if best.Variant == PlainGHC69 {
+		t.Fatal("plain GHC 6.9 should not win this comparison")
+	}
+	sp := Spread(outs)
+	// Plain GHC 6.9's pushing scheduler is dreadful on fine grains, so
+	// the spread can be large; it must still be a sane finite ratio >= 1.
+	if sp < 1.0 || sp > 20.0 {
+		t.Fatalf("spread = %.2f, out of sane range", sp)
+	}
+}
+
+func TestCompareUnknownVariant(t *testing.T) {
+	if _, err := Compare(2, program(4, 100_000, 8*1024), Variant("nonsense")); err == nil {
+		t.Fatal("expected error for unknown variant")
+	}
+}
+
+func TestCompareDeterministic(t *testing.T) {
+	a, err := Compare(4, program(16, 300_000, 64*1024), WorkStealing, GUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compare(4, program(16, 300_000, 64*1024), WorkStealing, GUM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Elapsed != b[i].Elapsed {
+			t.Fatalf("variant %s nondeterministic: %d vs %d", a[i].Variant, a[i].Elapsed, b[i].Elapsed)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package cost centralises the virtual-time cost model of the simulation.
+//
+// Every constant is in virtual nanoseconds (or bytes where noted). The
+// defaults are calibrated so that the sumEuler [1..15000] benchmark lands
+// in the same range the paper reports on its 8-core Intel machine
+// (sequential ≈ 17 s, 8-core parallel ≈ 2.2–2.8 s), and so that the
+// relative magnitudes of scheduling, GC and messaging overheads match the
+// systems the paper describes (GHC 6.8/6.9 runtime, PVM over shared
+// memory). Absolute numbers are a model; the experiments in this repo
+// reproduce the paper's *shapes* (who wins, by what factor, where the
+// crossovers are), which are driven by the ratios between these costs.
+package cost
+
+// Model holds every tunable cost in one place. A Model value is plain
+// data: copy it, tweak fields, and pass it to a runtime configuration.
+type Model struct {
+	// --- Mutator work ---
+
+	// GCDIter is the cost of one iteration of the Euclid gcd loop
+	// (sumEuler's inner kernel).
+	GCDIter int64
+	// MulAdd is the cost of one floating-point multiply-add with array
+	// indexing (matrix multiplication kernel).
+	MulAdd int64
+	// MinPlus is the cost of one min/plus update (APSP kernel).
+	MinPlus int64
+
+	// --- Allocation & storage management ---
+
+	// AllocBlock is the allocation quantum between heap checks: a thread
+	// only looks at the GC flag every AllocBlock allocated bytes (GHC: 4 KB
+	// blocks), which is why slowly-allocating threads delay the GC barrier.
+	AllocBlock int64
+	// HeapCheck is the cost of one heap-check (per allocated block).
+	HeapCheck int64
+	// AllocAreaDefault is the per-capability young-generation allocation
+	// area (GHC -A default: 512 KB).
+	AllocAreaDefault int64
+	// AllocAreaBig is the enlarged allocation area used by the paper's
+	// "big allocation area" configurations.
+	AllocAreaBig int64
+
+	// --- Garbage collection ---
+
+	// GCFixed is the fixed cost of one collection (initiation, root
+	// scanning, bookkeeping).
+	GCFixed int64
+	// GCPerLiveByte is the copying cost per live (surviving + resident)
+	// byte per collection.
+	GCPerLiveByte float64
+	// SurvivalRate is the fraction of freshly allocated bytes assumed to
+	// survive a young-generation collection (workloads may override).
+	SurvivalRate float64
+	// MajorGCEvery makes every k-th collection a major one that also
+	// copies the resident (old-generation) data; young collections only
+	// copy survivors of the allocation areas (GHC's generational
+	// collector).
+	MajorGCEvery int
+	// ParGCBalance is the slowdown factor of the parallel collector
+	// relative to perfect division of the copying work (load imbalance
+	// between GC threads plus their synchronisation).
+	ParGCBalance float64
+	// LocalGCFixed is the fixed cost of one unsynchronised local
+	// collection in the semi-distributed heap design (§VI future work):
+	// no barrier, small root set.
+	LocalGCFixed int64
+	// OldSurvivalRate is the fraction of the promoted global heap that
+	// survives a full collection in the semi-distributed design.
+	OldSurvivalRate float64
+	// BarrierPollInterval is the sleep quantum of the original polling
+	// GC barrier: a capability that decides to block re-checks state only
+	// this often (the OS-scheduling-quantum granularity of the old
+	// yield/sleep loop). BarrierSpin is how long a waiting capability
+	// spins before blocking: pauses shorter than the spin window are
+	// absorbed, which is why the improved barrier gains little with
+	// small allocation areas but a lot with large ones (the paper notes
+	// the converse: "much more effect without the larger allocation
+	// area" applies to the total, driven by GC count × per-GC cost).
+	BarrierPollInterval int64
+	BarrierSpin         int64
+	// BarrierWake is the per-capability cost of the improved wakeup-based
+	// barrier (one signal per capability).
+	BarrierWake int64
+	// GCHandshake is the per-capability fixed overhead paid on every
+	// global stop-the-world synchronisation regardless of barrier kind.
+	GCHandshake int64
+
+	// --- Threads & scheduling ---
+
+	// ThreadCreate is the cost of creating a (lightweight) Haskell thread.
+	ThreadCreate int64
+	// ContextSwitch is the cost of switching between threads on a
+	// capability.
+	ContextSwitch int64
+	// Timeslice is the scheduler's round-robin quantum (GHC -C: 20 ms);
+	// it is also when lazy black-holing marks thunks under evaluation.
+	Timeslice int64
+
+	// --- Sparks ---
+
+	// SparkPush is the cost of par: pushing a spark onto the local pool.
+	SparkPush int64
+	// SparkPop is the cost of taking a spark from the local pool.
+	SparkPop int64
+	// StealAttempt is the cost of one (possibly failing) steal from a
+	// remote spark pool (cross-core cache traffic).
+	StealAttempt int64
+	// PushWork is the per-item cost of the old scheduler-driven work
+	// pushing (hand-shake with the target capability).
+	PushWork int64
+	// IdleBackoff is how long an idle capability sleeps between work-
+	// finding rounds when nothing is available.
+	IdleBackoff int64
+
+	// --- Black-holing ---
+
+	// BlackholeWrite is the cost of eagerly claiming a thunk on entry
+	// (one CAS).
+	BlackholeWrite int64
+	// BlockOnBlackhole is the cost of suspending a thread that hit a
+	// black hole, and WakeThread the cost of waking it when the value
+	// arrives.
+	BlockOnBlackhole int64
+	WakeThread       int64
+
+	// --- Eden / message passing (PVM over shared memory) ---
+
+	// MsgLatency is the end-to-end latency of one message between PEs.
+	MsgLatency int64
+	// MsgJitter is the maximum extra (pseudo-random, seeded) latency
+	// added per message; deliveries to one PE stay FIFO, as PVM/MPI
+	// guarantee per pair. 0 disables jitter.
+	MsgJitter int64
+	// MsgFixed is the per-message CPU cost on each side (packet
+	// assembly/dispatch), and MsgPerByte the per-byte pack/unpack cost
+	// (paid once by the sender and once by the receiver).
+	MsgFixed   int64
+	MsgPerByte float64
+	// ProcessCreate is the cost of instantiating a remote Eden process.
+	ProcessCreate int64
+	// ChanCreate is the cost of setting up one Eden channel.
+	ChanCreate int64
+}
+
+// Default returns the calibrated default cost model.
+func Default() Model {
+	return Model{
+		GCDIter: 18, // calibrated: sumEuler [1..15000] (975M gcd iterations) ≈ 17.5 s sequential
+		MulAdd:  4,
+		MinPlus: 5,
+
+		AllocBlock:       4 * 1024,
+		HeapCheck:        6,
+		AllocAreaDefault: 512 * 1024,
+		AllocAreaBig:     8 * 1024 * 1024,
+
+		GCFixed:             60_000, // 60 µs
+		GCPerLiveByte:       0.8,
+		SurvivalRate:        0.04,
+		MajorGCEvery:        20,
+		ParGCBalance:        1.25,
+		LocalGCFixed:        15_000, // 15 µs
+		OldSurvivalRate:     0.35,
+		BarrierPollInterval: 5_000_000, // 5 ms OS-quantum sleep blocks
+		BarrierSpin:         500_000,   // 500 µs spin before blocking
+		BarrierWake:         2_500,
+		GCHandshake:         4_000,
+
+		ThreadCreate:  1_200,
+		ContextSwitch: 400,
+		Timeslice:     20_000_000, // 20 ms
+
+		SparkPush:    25,
+		SparkPop:     25,
+		StealAttempt: 180,
+		PushWork:     1_500,
+		IdleBackoff:  250_000, // 250 µs (old scheduler's polling cadence)
+
+		BlackholeWrite:   35,
+		BlockOnBlackhole: 900,
+		WakeThread:       900,
+
+		MsgLatency:    45_000, // 45 µs PVM-over-shm end to end
+		MsgFixed:      9_000,
+		MsgPerByte:    0.35,
+		ProcessCreate: 250_000,
+		ChanCreate:    3_000,
+	}
+}

@@ -1,0 +1,66 @@
+package cost
+
+import "testing"
+
+func TestDefaultsAreSane(t *testing.T) {
+	m := Default()
+	positives := map[string]int64{
+		"GCDIter":             m.GCDIter,
+		"MulAdd":              m.MulAdd,
+		"MinPlus":             m.MinPlus,
+		"AllocBlock":          m.AllocBlock,
+		"HeapCheck":           m.HeapCheck,
+		"AllocAreaDefault":    m.AllocAreaDefault,
+		"AllocAreaBig":        m.AllocAreaBig,
+		"GCFixed":             m.GCFixed,
+		"BarrierPollInterval": m.BarrierPollInterval,
+		"BarrierSpin":         m.BarrierSpin,
+		"ThreadCreate":        m.ThreadCreate,
+		"ContextSwitch":       m.ContextSwitch,
+		"Timeslice":           m.Timeslice,
+		"SparkPush":           m.SparkPush,
+		"StealAttempt":        m.StealAttempt,
+		"MsgLatency":          m.MsgLatency,
+		"MsgFixed":            m.MsgFixed,
+		"ProcessCreate":       m.ProcessCreate,
+	}
+	for name, v := range positives {
+		if v <= 0 {
+			t.Errorf("%s = %d, want > 0", name, v)
+		}
+	}
+	if m.GCPerLiveByte <= 0 || m.MsgPerByte <= 0 {
+		t.Error("per-byte costs must be positive")
+	}
+	if m.SurvivalRate <= 0 || m.SurvivalRate >= 1 {
+		t.Errorf("SurvivalRate = %v, want in (0,1)", m.SurvivalRate)
+	}
+}
+
+func TestStructuralRelations(t *testing.T) {
+	m := Default()
+	if m.AllocAreaBig <= m.AllocAreaDefault {
+		t.Error("big allocation area must exceed the default")
+	}
+	if m.AllocBlock >= m.AllocAreaDefault {
+		t.Error("the heap-check block must be smaller than the allocation area")
+	}
+	if m.BarrierSpin >= m.BarrierPollInterval {
+		t.Error("the spin window must be shorter than the sleep quantum")
+	}
+	if m.Timeslice <= m.ContextSwitch {
+		t.Error("timeslice must dwarf the context-switch cost")
+	}
+	if m.MajorGCEvery <= 1 {
+		t.Error("major collections must be rarer than young ones")
+	}
+}
+
+func TestModelIsPlainData(t *testing.T) {
+	a := Default()
+	b := a // copy
+	b.GCDIter = 999
+	if a.GCDIter == 999 {
+		t.Fatal("copying a Model must not alias")
+	}
+}

@@ -1,0 +1,126 @@
+// Package deque implements the Chase–Lev lock-free work-stealing deque
+// (D. Chase and Y. Lev, "Dynamic circular work-stealing deque", SPAA 2005
+// — reference [31] of the paper). It is the data structure behind the
+// paper's "work-stealing for sparks" optimisation: the owning capability
+// pushes and pops sparks at the bottom without synchronisation in the
+// common case, while idle capabilities steal from the top with a single
+// CAS and no hand-shaking with the owner.
+//
+// The implementation uses real atomics and is safe under genuine
+// concurrency (the tests exercise it with parallel stealers), even though
+// the simulator only ever runs one task at a time.
+package deque
+
+import (
+	"sync/atomic"
+)
+
+// Deque is a dynamically-sized lock-free work-stealing deque of *T.
+// PushBottom and PopBottom may be called only by the owner; Steal may be
+// called by any number of concurrent thieves.
+type Deque[T any] struct {
+	top    atomic.Int64
+	bottom atomic.Int64
+	array  atomic.Pointer[circArray[T]]
+}
+
+// circArray is a circular buffer with capacity 2^logSize.
+type circArray[T any] struct {
+	logSize uint
+	buf     []atomic.Pointer[T]
+}
+
+func newCircArray[T any](logSize uint) *circArray[T] {
+	return &circArray[T]{logSize: logSize, buf: make([]atomic.Pointer[T], 1<<logSize)}
+}
+
+func (a *circArray[T]) size() int64       { return int64(1) << a.logSize }
+func (a *circArray[T]) get(i int64) *T    { return a.buf[i&(a.size()-1)].Load() }
+func (a *circArray[T]) put(i int64, v *T) { a.buf[i&(a.size()-1)].Store(v) }
+
+func (a *circArray[T]) grow(bottom, top int64) *circArray[T] {
+	na := newCircArray[T](a.logSize + 1)
+	for i := top; i < bottom; i++ {
+		na.put(i, a.get(i))
+	}
+	return na
+}
+
+// initialLogSize gives a starting capacity of 64 slots.
+const initialLogSize = 6
+
+// New returns an empty deque.
+func New[T any]() *Deque[T] {
+	d := &Deque[T]{}
+	d.array.Store(newCircArray[T](initialLogSize))
+	return d
+}
+
+// PushBottom adds x at the bottom. Owner-only.
+func (d *Deque[T]) PushBottom(x *T) {
+	b := d.bottom.Load()
+	t := d.top.Load()
+	a := d.array.Load()
+	if b-t > a.size()-1 {
+		a = a.grow(b, t)
+		d.array.Store(a)
+	}
+	a.put(b, x)
+	d.bottom.Store(b + 1)
+}
+
+// PopBottom removes and returns the most recently pushed element.
+// Owner-only. ok is false when the deque is empty (or the last element
+// was lost to a concurrent thief).
+func (d *Deque[T]) PopBottom() (x *T, ok bool) {
+	b := d.bottom.Load() - 1
+	a := d.array.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	size := b - t
+	if size < 0 {
+		d.bottom.Store(t)
+		return nil, false
+	}
+	x = a.get(b)
+	if size > 0 {
+		return x, true
+	}
+	// Last element: race with thieves via CAS on top.
+	if !d.top.CompareAndSwap(t, t+1) {
+		x, ok = nil, false
+	} else {
+		ok = true
+	}
+	d.bottom.Store(t + 1)
+	return x, ok
+}
+
+// Steal removes and returns the oldest element. Safe from any goroutine.
+// ok is false when the deque is empty or the steal lost a race (callers
+// treat both as "try elsewhere").
+func (d *Deque[T]) Steal() (x *T, ok bool) {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if b-t <= 0 {
+		return nil, false
+	}
+	a := d.array.Load()
+	x = a.get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil, false
+	}
+	return x, true
+}
+
+// Size returns a point-in-time estimate of the number of elements.
+func (d *Deque[T]) Size() int {
+	n := d.bottom.Load() - d.top.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
+}
+
+// Empty reports whether the deque appears empty.
+func (d *Deque[T]) Empty() bool { return d.Size() == 0 }

@@ -1,0 +1,253 @@
+package deque
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestLIFOPop(t *testing.T) {
+	d := New[int]()
+	vals := []int{1, 2, 3, 4, 5}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	for i := len(vals) - 1; i >= 0; i-- {
+		x, ok := d.PopBottom()
+		if !ok || *x != vals[i] {
+			t.Fatalf("pop %d: got %v ok=%v, want %d", i, x, ok, vals[i])
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+}
+
+func TestFIFOSteal(t *testing.T) {
+	d := New[int]()
+	vals := []int{10, 20, 30}
+	for i := range vals {
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < len(vals); i++ {
+		x, ok := d.Steal()
+		if !ok || *x != vals[i] {
+			t.Fatalf("steal %d: got %v ok=%v, want %d", i, x, ok, vals[i])
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestMixedPopAndSteal(t *testing.T) {
+	d := New[int]()
+	vals := make([]int, 6)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	// Owner takes newest, thief takes oldest.
+	if x, ok := d.PopBottom(); !ok || *x != 5 {
+		t.Fatalf("pop got %v", x)
+	}
+	if x, ok := d.Steal(); !ok || *x != 0 {
+		t.Fatalf("steal got %v", x)
+	}
+	if d.Size() != 4 {
+		t.Fatalf("size = %d, want 4", d.Size())
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	d := New[int]()
+	n := 10_000 // far beyond initial capacity
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	if d.Size() != n {
+		t.Fatalf("size = %d, want %d", d.Size(), n)
+	}
+	for i := n - 1; i >= 0; i-- {
+		x, ok := d.PopBottom()
+		if !ok || *x != i {
+			t.Fatalf("pop: got %v ok=%v, want %d", x, ok, i)
+		}
+	}
+}
+
+func TestInterleavedGrowthKeepsElements(t *testing.T) {
+	// Push/pop around the growth boundary with a nonzero top (steals
+	// happened), to exercise index wrapping in grow.
+	d := New[int]()
+	vals := make([]int, 300)
+	for i := 0; i < 100; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	for i := 0; i < 50; i++ {
+		if _, ok := d.Steal(); !ok {
+			t.Fatal("steal failed")
+		}
+	}
+	for i := 100; i < 300; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+	}
+	seen := map[int]bool{}
+	for {
+		x, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		if seen[*x] {
+			t.Fatalf("duplicate element %d", *x)
+		}
+		seen[*x] = true
+	}
+	if len(seen) != 250 {
+		t.Fatalf("got %d elements, want 250", len(seen))
+	}
+	for i := 50; i < 300; i++ {
+		if !seen[i] {
+			t.Fatalf("missing element %d", i)
+		}
+	}
+}
+
+func TestSequentialSemanticsProperty(t *testing.T) {
+	// Property: a deque driven by an arbitrary sequence of operations
+	// behaves like a reference double-ended queue.
+	type model struct{ items []int }
+	f := func(ops []uint8, seedVals []int16) bool {
+		d := New[int]()
+		m := model{}
+		pool := make([]int, 0, len(ops))
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // push
+				pool = append(pool, next)
+				d.PushBottom(&pool[len(pool)-1])
+				m.items = append(m.items, next)
+				next++
+			case 1: // pop bottom
+				x, ok := d.PopBottom()
+				if len(m.items) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					want := m.items[len(m.items)-1]
+					m.items = m.items[:len(m.items)-1]
+					if !ok || *x != want {
+						return false
+					}
+				}
+			case 2: // steal (top)
+				x, ok := d.Steal()
+				if len(m.items) == 0 {
+					if ok {
+						return false
+					}
+				} else {
+					want := m.items[0]
+					m.items = m.items[1:]
+					if !ok || *x != want {
+						return false
+					}
+				}
+			}
+		}
+		return d.Size() == len(m.items)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStealersNoLossNoDup(t *testing.T) {
+	// Real-concurrency stress: one owner pushes and pops, several
+	// thieves steal. Every element must be consumed exactly once.
+	const n = 50_000
+	const thieves = 4
+	d := New[int]()
+	vals := make([]int, n)
+
+	var mu sync.Mutex
+	consumed := make(map[int]int, n)
+	record := func(x *int) {
+		mu.Lock()
+		consumed[*x]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if x, ok := d.Steal(); ok {
+					record(x)
+					continue
+				}
+				select {
+				case <-stop:
+					// Drain anything left after the owner finished.
+					for {
+						x, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(x)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		if i%3 == 0 {
+			if x, ok := d.PopBottom(); ok {
+				record(x)
+			}
+		}
+	}
+	for {
+		x, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(x)
+	}
+	close(stop)
+	wg.Wait()
+
+	if len(consumed) != n {
+		t.Fatalf("consumed %d distinct elements, want %d", len(consumed), n)
+	}
+	for v, c := range consumed {
+		if c != 1 {
+			t.Fatalf("element %d consumed %d times", v, c)
+		}
+	}
+}
+
+func TestEmptyAndSize(t *testing.T) {
+	d := New[int]()
+	if !d.Empty() || d.Size() != 0 {
+		t.Fatal("new deque not empty")
+	}
+	v := 7
+	d.PushBottom(&v)
+	if d.Empty() || d.Size() != 1 {
+		t.Fatal("deque with one element reports empty")
+	}
+}

@@ -1,0 +1,206 @@
+package eden
+
+import (
+	"fmt"
+
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/trace"
+)
+
+// PCtx is the execution context of an Eden process thread: the generic
+// runtime context plus the Eden coordination operations (channels,
+// streams, process instantiation).
+type PCtx struct {
+	*rts.Ctx
+	rts *RTS
+}
+
+// PE returns the index of the PE this process thread is running on.
+func (p *PCtx) PE() int { return p.Cap().Index }
+
+// PEs returns the total number of processing elements.
+func (p *PCtx) PEs() int { return len(p.rts.pes) }
+
+// AddResident declares long-lived heap data on the current PE (e.g. an
+// input matrix block), included in its local GC live-data estimate.
+func (p *PCtx) AddResident(bytes int64) {
+	p.rts.pe(p.Cap()).resident += bytes
+}
+
+// Spawn instantiates a process on the given PE (modulo the PE count):
+// the remote runtime creates a thread running body. The instantiation
+// cost is charged to the caller and the creation message takes the
+// transport latency to arrive, as in Eden's remote process creation.
+func (p *PCtx) Spawn(pe int, name string, body func(*PCtx)) {
+	r := p.rts
+	pe = ((pe % len(r.pes)) + len(r.pes)) % len(r.pes)
+	p.Burn(p.Cap().Costs.ProcessCreate)
+	r.stats.Processes++
+	target := r.pes[pe]
+	r.sim.After(p.Cap().Costs.MsgLatency, func() {
+		th := target.cap.NewThread(name, func(ctx *rts.Ctx) {
+			body(&PCtx{Ctx: ctx, rts: r})
+		})
+		target.cap.Enqueue(th)
+	})
+}
+
+// Fork starts an additional thread of the current process on the same
+// PE (Eden evaluates tuple components in independent threads; this is
+// the primitive those use).
+func (p *PCtx) ForkLocal(name string, body func(*PCtx)) {
+	r := p.rts
+	p.Fork(name, func(ctx *rts.Ctx) {
+		body(&PCtx{Ctx: ctx, rts: r})
+	})
+}
+
+// --- Single-value channels ---
+
+// Inport is the receiving end of a one-value channel, owned by a PE.
+type Inport struct {
+	pe   int
+	cell *graph.Thunk
+}
+
+// Outport is the sending end of a one-value channel.
+type Outport struct {
+	dest int
+	cell *graph.Thunk
+}
+
+// NewChan creates a one-value channel whose receiving end lives on PE
+// dest. The creator is charged the channel setup cost.
+func (p *PCtx) NewChan(dest int) (*Inport, *Outport) {
+	p.Burn(p.Cap().Costs.ChanCreate)
+	cell := graph.NewPlaceholder()
+	return &Inport{pe: dest, cell: cell}, &Outport{dest: dest, cell: cell}
+}
+
+// Send reduces v to normal form, packs it, and ships it to the channel's
+// destination PE. Each channel carries exactly one value.
+func (p *PCtx) Send(out *Outport, v graph.Value) {
+	nf := p.ForceDeep(v)
+	p.sendPacket(out.dest, out.cell, nf, SizeOf(nf))
+}
+
+// Receive forces the channel's placeholder; it must be called on the
+// channel's owning PE and blocks until the value has arrived.
+func (p *PCtx) Receive(in *Inport) graph.Value {
+	if in.pe != p.PE() {
+		panic(fmt.Sprintf("eden: Receive on PE %d for a channel owned by PE %d (channels are single-reader)", p.PE(), in.pe))
+	}
+	return p.Force(in.cell)
+}
+
+// --- Stream channels (top-level lists, sent element by element) ---
+
+// Cons is one transmitted stream element: the head value plus the
+// placeholder for the rest of the stream.
+type Cons struct {
+	Head graph.Value
+	Tail *graph.Thunk
+}
+
+// Nil terminates a stream.
+type Nil struct{}
+
+// StreamIn is the receiving end of a stream channel.
+type StreamIn struct {
+	pe  int
+	cur *graph.Thunk
+}
+
+// StreamOut is the sending end of a stream channel.
+type StreamOut struct {
+	dest int
+	cur  *graph.Thunk
+}
+
+// NewStream creates a stream channel whose receiving end lives on PE
+// dest.
+func (p *PCtx) NewStream(dest int) (*StreamIn, *StreamOut) {
+	p.Burn(p.Cap().Costs.ChanCreate)
+	cell := graph.NewPlaceholder()
+	return &StreamIn{pe: dest, cur: cell}, &StreamOut{dest: dest, cur: cell}
+}
+
+// StreamSend transmits one element: the head is reduced to normal form
+// and sent as its own message (Eden's element-by-element list
+// communication).
+func (p *PCtx) StreamSend(out *StreamOut, v graph.Value) {
+	nf := p.ForceDeep(v)
+	next := graph.NewPlaceholder()
+	p.sendPacket(out.dest, out.cur, Cons{Head: nf, Tail: next}, SizeOf(nf)+consOverhead)
+	out.cur = next
+}
+
+// StreamClose terminates the stream; the receiver's next StreamRecv
+// reports ok=false.
+func (p *PCtx) StreamClose(out *StreamOut) {
+	p.sendPacket(out.dest, out.cur, Nil{}, consOverhead)
+	out.cur = nil
+}
+
+// StreamRecv receives the next element, blocking until it arrives;
+// ok is false when the stream has been closed.
+func (p *PCtx) StreamRecv(in *StreamIn) (v graph.Value, ok bool) {
+	if in.pe != p.PE() {
+		panic(fmt.Sprintf("eden: StreamRecv on PE %d for a stream owned by PE %d", p.PE(), in.pe))
+	}
+	switch x := p.Force(in.cur).(type) {
+	case Cons:
+		in.cur = x.Tail
+		return x.Head, true
+	case Nil:
+		return nil, false
+	default:
+		panic(fmt.Sprintf("eden: malformed stream cell %T", x))
+	}
+}
+
+// RecvAll drains a stream into a slice.
+func (p *PCtx) RecvAll(in *StreamIn) []graph.Value {
+	var out []graph.Value
+	for {
+		v, ok := p.StreamRecv(in)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// SendAll sends every element of xs and closes the stream.
+func (p *PCtx) SendAll(out *StreamOut, xs []graph.Value) {
+	for _, x := range xs {
+		p.StreamSend(out, x)
+	}
+	p.StreamClose(out)
+}
+
+// sendPacket packs a value (charging the per-message + per-byte cost to
+// the sender) and hands it to the transport.
+func (p *PCtx) sendPacket(dest int, cell *graph.Thunk, val graph.Value, bytes int64) {
+	costs := p.Cap().Costs
+	p.Cap().SetState(trace.Comm)
+	p.Burn(costs.MsgFixed + int64(costs.MsgPerByte*float64(bytes)))
+	p.Cap().SetState(trace.Run)
+	r := p.rts
+	r.stats.Messages++
+	r.stats.BytesSent += bytes
+	r.deliver(dest, message{cell: cell, val: val, bytes: bytes})
+}
+
+// LocalResolve fills a placeholder that lives on the current PE without
+// going through the transport: an intra-process synchronisation variable
+// (MVar-like), used by skeletons to join local collector threads.
+func (p *PCtx) LocalResolve(cell *graph.Thunk, v graph.Value) {
+	ws := cell.Resolve(v)
+	p.Cap().WakeWaiterList(ws)
+}
+
+// Await forces a local placeholder (blocking until LocalResolve or a
+// message fills it).
+func (p *PCtx) Await(cell *graph.Thunk) graph.Value { return p.Force(cell) }

@@ -1,0 +1,313 @@
+// Package eden implements the Eden distributed-heap runtime on the
+// simulated multicore machine (§III-B): a configurable number of
+// processing elements (PEs), each a complete sequential runtime with its
+// own private heap, allocation area and **independent local garbage
+// collection** — no global synchronisation — connected by a
+// message-passing layer modelling PVM/MPI mapped onto shared memory.
+//
+// Eden processes communicate through channels; values are reduced to
+// normal form before sending. Heap placeholders stand for not-yet-
+// arrived data: threads forcing them block and are woken when the
+// message arrives. Top-level lists are transmitted element-by-element as
+// streams. The number of PEs may exceed the number of physical cores
+// ("virtual PEs"); the machine model then timeslices them, as the OS did
+// for the paper's 9- and 17-PE PVM runs on 8 cores.
+package eden
+
+import (
+	"fmt"
+
+	"parhask/internal/cost"
+	"parhask/internal/graph"
+	"parhask/internal/machine"
+	"parhask/internal/rts"
+	"parhask/internal/sim"
+	"parhask/internal/trace"
+)
+
+// Config selects an Eden runtime setup.
+type Config struct {
+	// PEs is the number of processing elements (virtual machines).
+	PEs int
+	// Cores is the number of physical cores of the simulated machine.
+	Cores int
+	// Costs is the virtual cost model.
+	Costs cost.Model
+	// AllocArea is the per-PE allocation area; 0 selects the default.
+	AllocArea int64
+	// ResidentBytesPerPE is baseline long-lived heap per PE (workloads
+	// can add more via PCtx.AddResident).
+	ResidentBytesPerPE int64
+	// EagerBlackholing selects the black-holing policy inside each PE
+	// (Eden inherited GHC's lazy default; it matters much less here
+	// because processes do not share graph across heaps).
+	EagerBlackholing bool
+	// Seed for the deterministic PRNG.
+	Seed uint64
+}
+
+// NewConfig returns an Eden configuration with pes PEs on cores cores.
+func NewConfig(pes, cores int) Config {
+	return Config{PEs: pes, Cores: cores, Costs: cost.Default(), Seed: 1}
+}
+
+func (c *Config) allocArea() int64 {
+	if c.AllocArea > 0 {
+		return c.AllocArea
+	}
+	return c.Costs.AllocAreaDefault
+}
+
+// Stats aggregates counters over one Eden run.
+type Stats struct {
+	Messages       int
+	BytesSent      int64
+	LocalGCs       int
+	MajorGCs       int
+	GCTime         int64 // summed across PEs (pauses are per-PE, unsynchronised)
+	Processes      int
+	ThreadsCreated int
+	BlockedOnThunk int
+	DupEntries     int
+	TotalAlloc     int64
+}
+
+// Result is the outcome of one Eden run.
+type Result struct {
+	Elapsed sim.Time
+	Value   graph.Value
+	Stats   Stats
+	Trace   *trace.Log
+}
+
+// message is a packet in flight to a PE: on arrival it resolves cell to val.
+type message struct {
+	cell  *graph.Thunk
+	val   graph.Value
+	bytes int64
+}
+
+// peState is one processing element.
+type peState struct {
+	cap        *rts.Cap
+	mailbox    []message
+	resident   int64
+	gcCount    int
+	idle       bool
+	lastSwitch sim.Time
+	lastThread *rts.Thread
+	// arrivalFloor is the latest scheduled arrival at this PE, keeping
+	// deliveries FIFO under latency jitter.
+	arrivalFloor sim.Time
+}
+
+// RTS is a running Eden instance; it implements rts.System for all PEs.
+type RTS struct {
+	cfg   Config
+	sim   *sim.Sim
+	cpu   *machine.CPU
+	log   *trace.Log
+	pes   []*peState
+	stats Stats
+
+	liveThreads int
+	shutdown    bool
+	mainDone    sim.Time
+	mainValue   graph.Value
+}
+
+var _ rts.System = (*RTS)(nil)
+
+// Run executes main as the root process on PE 0 and returns the result.
+func Run(cfg Config, main func(*PCtx) graph.Value) (*Result, error) {
+	if cfg.PEs <= 0 || cfg.Cores <= 0 {
+		return nil, fmt.Errorf("eden: invalid configuration PEs=%d cores=%d", cfg.PEs, cfg.Cores)
+	}
+	s := sim.New(cfg.Seed + 0x51ed2705)
+	r := &RTS{
+		cfg: cfg,
+		sim: s,
+		cpu: machine.New(s, cfg.Cores),
+		log: trace.NewLog(),
+	}
+	costs := cfg.Costs
+	for i := 0; i < cfg.PEs; i++ {
+		agent := r.log.NewAgent(fmt.Sprintf("pe%d", i))
+		c := rts.NewCap(i, r, r.cpu, &costs, agent)
+		r.pes = append(r.pes, &peState{cap: c, resident: cfg.ResidentBytesPerPE})
+	}
+	mainThread := r.pes[0].cap.NewThread("main", func(ctx *rts.Ctx) {
+		r.mainValue = main(&PCtx{Ctx: ctx, rts: r})
+		r.mainDone = ctx.Now()
+		r.shutdown = true
+		r.wakeAllPEs()
+	})
+	r.pes[0].cap.Enqueue(mainThread)
+	for _, pe := range r.pes {
+		pe.cap.Start(s)
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("eden: %w", err)
+	}
+	r.log.Close(r.mainDone)
+	for _, pe := range r.pes {
+		r.stats.TotalAlloc += pe.cap.TotalAlloc
+	}
+	return &Result{
+		Elapsed: r.mainDone,
+		Value:   r.mainValue,
+		Stats:   r.stats,
+		Trace:   r.log,
+	}, nil
+}
+
+func (r *RTS) pe(c *rts.Cap) *peState { return r.pes[c.Index] }
+
+func (r *RTS) wakeAllPEs() {
+	for _, pe := range r.pes {
+		pe.cap.Wake()
+	}
+}
+
+// --- rts.System implementation ---
+
+// EagerBlackholing reports the intra-PE black-holing policy.
+func (r *RTS) EagerBlackholing() bool { return r.cfg.EagerBlackholing }
+
+// NoteDuplicate counts duplicate thunk entries inside a PE.
+func (r *RTS) NoteDuplicate(t *graph.Thunk) { r.stats.DupEntries++ }
+
+// Spark is not part of the Eden model.
+func (r *RTS) Spark(c *rts.Cap, th *rts.Thread, t *graph.Thunk) {
+	panic("eden: par/sparks are a GpH construct; use process instantiation")
+}
+
+// ThreadCreated tracks live threads for quiescence detection.
+func (r *RTS) ThreadCreated(c *rts.Cap, th *rts.Thread) {
+	r.liveThreads++
+	r.stats.ThreadsCreated++
+}
+
+// ThreadDone handles thread termination.
+func (r *RTS) ThreadDone(c *rts.Cap, th *rts.Thread) {
+	r.liveThreads--
+	if r.shutdown && r.liveThreads == 0 {
+		r.wakeAllPEs()
+	}
+}
+
+// ThreadBlocked records a thread parking on a placeholder or thunk.
+func (r *RTS) ThreadBlocked(c *rts.Cap, th *rts.Thread, on *graph.Thunk) {
+	r.stats.BlockedOnThunk++
+}
+
+// FindWork is a PE's idle loop: deliver pending messages, run arriving
+// threads, park when there is nothing to do.
+func (r *RTS) FindWork(c *rts.Cap) *rts.Thread {
+	pe := r.pe(c)
+	for {
+		r.processMailbox(c)
+		if th := c.TryDequeue(); th != nil {
+			return th
+		}
+		if r.shutdown && r.liveThreads == 0 {
+			return nil
+		}
+		// processMailbox burned virtual time; wakes that arrived during
+		// those burns were absorbed. Re-check (cheaply) before parking.
+		if len(pe.mailbox) > 0 || c.RunQLen() > 0 {
+			continue
+		}
+		pe.idle = true
+		if c.BlockedCount > 0 {
+			c.SetState(trace.Blocked)
+		} else {
+			c.SetState(trace.Idle)
+		}
+		c.Task.Park()
+		pe.idle = false
+		c.SetState(trace.Runnable)
+	}
+}
+
+// HeapBoundary runs at allocation-block boundaries: deliver messages,
+// collect the local heap when the allocation area fills (no barrier, no
+// other PE involved — the distributed heap's scalability argument), and
+// enforce the timeslice.
+func (r *RTS) HeapBoundary(c *rts.Cap, th *rts.Thread) bool {
+	pe := r.pe(c)
+	if pe.lastThread != th {
+		pe.lastThread = th
+		pe.lastSwitch = c.Now()
+	}
+	r.processMailbox(c)
+	if c.AllocInArea >= r.cfg.allocArea() {
+		r.localGC(c, th)
+		c.SetState(trace.Run)
+	}
+	if c.Now()-pe.lastSwitch >= c.Costs.Timeslice {
+		pe.lastSwitch = c.Now()
+		if c.RunQLen() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// localGC collects one PE's private heap: only this PE pauses.
+func (r *RTS) localGC(c *rts.Cap, th *rts.Thread) {
+	if th != nil {
+		th.MarkEntered()
+	}
+	pe := r.pe(c)
+	c.SetState(trace.GC)
+	costs := c.Costs
+	live := int64(float64(c.AllocSinceGC) * costs.SurvivalRate)
+	r.stats.LocalGCs++
+	pe.gcCount++
+	if costs.MajorGCEvery > 0 && pe.gcCount%costs.MajorGCEvery == 0 {
+		live += pe.resident
+		r.stats.MajorGCs++
+	}
+	gcCost := costs.GCFixed + int64(costs.GCPerLiveByte*float64(live))
+	start := c.Now()
+	c.Burn(gcCost)
+	r.stats.GCTime += c.Now() - start
+	c.AllocInArea = 0
+	c.AllocSinceGC = 0
+}
+
+// processMailbox unpacks any delivered messages: resolve placeholders,
+// wake blocked threads, charge the per-message receive cost.
+func (r *RTS) processMailbox(c *rts.Cap) {
+	pe := r.pe(c)
+	for len(pe.mailbox) > 0 {
+		m := pe.mailbox[0]
+		pe.mailbox = pe.mailbox[1:]
+		c.SetState(trace.Comm)
+		costs := c.Costs
+		c.Burn(costs.MsgFixed + int64(costs.MsgPerByte*float64(m.bytes)))
+		ws := m.cell.Resolve(m.val)
+		c.WakeWaiterList(ws)
+	}
+}
+
+// deliver schedules a message for arrival at PE dest after the transport
+// latency (plus seeded jitter, if configured). Deliveries to one PE are
+// kept FIFO, as the PVM/MPI transports guarantee: a jittered message may
+// not overtake an earlier one.
+func (r *RTS) deliver(dest int, m message) {
+	pe := r.pes[dest]
+	at := r.sim.Now() + r.cfg.Costs.MsgLatency
+	if j := r.cfg.Costs.MsgJitter; j > 0 {
+		at += int64(r.sim.Rand().Uint64() % uint64(j+1))
+	}
+	if at < pe.arrivalFloor {
+		at = pe.arrivalFloor
+	}
+	pe.arrivalFloor = at
+	r.sim.After(at-r.sim.Now(), func() {
+		pe.mailbox = append(pe.mailbox, m)
+		pe.cap.Wake()
+	})
+}

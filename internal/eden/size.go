@@ -1,0 +1,69 @@
+package eden
+
+import (
+	"fmt"
+
+	"parhask/internal/graph"
+)
+
+// consOverhead is the packet overhead of one stream cell beyond its
+// payload (tag + continuation channel id).
+const consOverhead = 24
+
+// wordSize is the packed size of one scalar (value + tag), matching the
+// graph-structure serialisation Eden uses.
+const wordSize = 16
+
+// Sized lets user-defined message types report their packed size so the
+// communication cost model charges them accurately.
+type Sized interface {
+	PackedSize() int64
+}
+
+// SizeOf estimates the packed size in bytes of a normal-form value, used
+// to charge per-byte communication costs. Unknown types count as one
+// word (they are small coordination tokens).
+func SizeOf(v graph.Value) int64 {
+	switch x := v.(type) {
+	case nil:
+		return wordSize
+	case Sized:
+		return x.PackedSize()
+	case bool, int, int32, int64, uint64, float32, float64:
+		return wordSize
+	case string:
+		return int64(len(x)) + wordSize
+	case []int:
+		return int64(8*len(x)) + wordSize
+	case []int64:
+		return int64(8*len(x)) + wordSize
+	case []float64:
+		return int64(8*len(x)) + wordSize
+	case [][]float64:
+		var n int64 = wordSize
+		for _, row := range x {
+			n += int64(8*len(row)) + wordSize
+		}
+		return n
+	case [][]int:
+		var n int64 = wordSize
+		for _, row := range x {
+			n += int64(8*len(row)) + wordSize
+		}
+		return n
+	case []graph.Value:
+		var n int64 = wordSize
+		for _, e := range x {
+			n += SizeOf(e)
+		}
+		return n
+	case Cons:
+		return SizeOf(x.Head) + consOverhead
+	case Nil:
+		return wordSize
+	case *graph.Thunk:
+		panic(fmt.Sprintf("eden: SizeOf on unevaluated graph (%v); values must be in normal form before sending", x.State()))
+	default:
+		return wordSize
+	}
+}

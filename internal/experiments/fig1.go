@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"parhask/internal/stats"
+)
+
+// Fig1Row is one line of the paper's Fig. 1 runtime table.
+type Fig1Row struct {
+	Name         string
+	Elapsed      int64 // virtual ns
+	PaperSeconds float64
+	GCs          int
+	Steals       int
+	SparksPushed int
+}
+
+// Fig1 reproduces the paper's Fig. 1: parallel runtimes of the sumEuler
+// program for [1..n] on the 8-core machine, for the four GpH runtime
+// variants and Eden on 8 PEs.
+type Fig1 struct {
+	Params Params
+	Rows   []Fig1Row
+}
+
+// paperFig1Seconds are the runtimes the paper reports, in order.
+var paperFig1Seconds = []float64{2.75, 2.58, 2.44, 2.30, 2.24}
+
+// RunFig1 executes the five configurations.
+func RunFig1(p Params) *Fig1 {
+	f := &Fig1{Params: p}
+	for i, v := range gphVariants() {
+		res := sumEulerGpH(p, v.Make(p.Cores8))
+		f.Rows = append(f.Rows, Fig1Row{
+			Name:         v.Name,
+			Elapsed:      res.Elapsed,
+			PaperSeconds: paperFig1Seconds[i],
+			GCs:          res.Stats.GCs,
+			Steals:       res.Stats.Steals,
+			SparksPushed: res.Stats.SparksPushed,
+		})
+	}
+	eres := sumEulerEden(p, p.Cores8, p.Cores8)
+	f.Rows = append(f.Rows, Fig1Row{
+		Name:         fmt.Sprintf("Eden, %d PEs (PVM)", p.Cores8),
+		Elapsed:      eres.Elapsed,
+		PaperSeconds: paperFig1Seconds[4],
+		GCs:          eres.Stats.LocalGCs,
+	})
+	return f
+}
+
+// Render prints the table in the paper's layout, with the paper's
+// numbers alongside for comparison.
+func (f *Fig1) Render() string {
+	headers := []string{"Program version and runtime system", "Runtime", "Paper", "GCs", "Steals", "Pushed"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		rows = append(rows, []string{
+			r.Name,
+			stats.Seconds(r.Elapsed),
+			fmt.Sprintf("%.2f s", r.PaperSeconds),
+			fmt.Sprintf("%d", r.GCs),
+			fmt.Sprintf("%d", r.Steals),
+			fmt.Sprintf("%d", r.SparksPushed),
+		})
+	}
+	title := fmt.Sprintf("Fig. 1: Parallel runtimes of the sumEuler program for [1..%d] (%d cores)\n",
+		f.Params.SumEulerN, f.Params.Cores8)
+	return title + stats.Table(headers, rows)
+}
+
+// CheckShape verifies the paper's qualitative claims and returns a list
+// of violations (empty when the shape holds): every optimisation row
+// improves on the previous one, and Eden is on par with (or better
+// than) the best GpH configuration.
+func (f *Fig1) CheckShape() []string {
+	var bad []string
+	for i := 1; i < 4; i++ {
+		// Each added GpH optimisation must not make things slower
+		// (allowing 2% noise).
+		if float64(f.Rows[i].Elapsed) > float64(f.Rows[i-1].Elapsed)*1.02 {
+			bad = append(bad, fmt.Sprintf("row %q (%s) slower than %q (%s)",
+				f.Rows[i].Name, stats.Seconds(f.Rows[i].Elapsed),
+				f.Rows[i-1].Name, stats.Seconds(f.Rows[i-1].Elapsed)))
+		}
+	}
+	plain, steal, eden := f.Rows[0], f.Rows[3], f.Rows[4]
+	if steal.Elapsed >= plain.Elapsed {
+		bad = append(bad, "work stealing no faster than plain GHC")
+	}
+	if float64(eden.Elapsed) > float64(steal.Elapsed)*1.10 {
+		bad = append(bad, fmt.Sprintf("Eden (%s) more than 10%% slower than best GpH (%s)",
+			stats.Seconds(eden.Elapsed), stats.Seconds(steal.Elapsed)))
+	}
+	return bad
+}
+
+// String implements fmt.Stringer.
+func (f *Fig1) String() string {
+	s := f.Render()
+	if bad := f.CheckShape(); len(bad) > 0 {
+		s += "SHAPE VIOLATIONS:\n  " + strings.Join(bad, "\n  ") + "\n"
+	} else {
+		s += "shape: OK (matches the paper's ordering)\n"
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"parhask/internal/trace"
+)
+
+// TraceEntry is one rendered runtime trace.
+type TraceEntry struct {
+	Name     string
+	Elapsed  int64
+	Trace    *trace.Log
+	Rendered string
+	Summary  string
+}
+
+// Fig2 reproduces the paper's Fig. 2: per-capability runtime traces of
+// the five sumEuler configurations on the 8-core machine (the EdenTV
+// diagrams, rendered as ASCII timelines).
+type Fig2 struct {
+	Params  Params
+	Entries []TraceEntry
+}
+
+// RunFig2 executes the five configurations with tracing.
+func RunFig2(p Params) *Fig2 {
+	f := &Fig2{Params: p}
+	for _, v := range gphVariants() {
+		res := sumEulerGpH(p, v.Make(p.Cores8))
+		f.Entries = append(f.Entries, TraceEntry{
+			Name:     v.Name,
+			Elapsed:  res.Elapsed,
+			Trace:    res.Trace,
+			Rendered: res.Trace.Render(p.TraceWidth),
+			Summary:  res.Trace.Summary(),
+		})
+	}
+	eres := sumEulerEden(p, p.Cores8, p.Cores8)
+	f.Entries = append(f.Entries, TraceEntry{
+		Name:     fmt.Sprintf("Eden, %d PEs (PVM)", p.Cores8),
+		Elapsed:  eres.Elapsed,
+		Trace:    eres.Trace,
+		Rendered: eres.Trace.Render(p.TraceWidth),
+		Summary:  eres.Trace.Summary(),
+	})
+	return f
+}
+
+// Render prints all five timelines.
+func (f *Fig2) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 2: Runtime traces of sumEuler [1..%d] (%d cores)\n\n",
+		f.Params.SumEulerN, f.Params.Cores8)
+	for i, e := range f.Entries {
+		fmt.Fprintf(&b, "%c) %s  —  %s\n%s\n%s\n",
+			'a'+i, e.Name, trace.FmtDur(e.Elapsed), e.Rendered, e.Summary)
+	}
+	return b.String()
+}
+
+// CheckShape verifies the qualitative trace claims: the unoptimised
+// runtime loses far more time to synchronisation/idleness than the
+// work-stealing one, and work stealing eliminates (nearly all) idle
+// time.
+func (f *Fig2) CheckShape() []string {
+	var bad []string
+	plain := f.Entries[0].Trace
+	steal := f.Entries[3].Trace
+	if pu, su := plain.Utilisation(), steal.Utilisation(); pu >= su {
+		bad = append(bad, fmt.Sprintf("plain utilisation %.2f >= work-stealing %.2f", pu, su))
+	}
+	if su := steal.Utilisation(); su < 0.85 {
+		bad = append(bad, fmt.Sprintf("work-stealing utilisation %.2f < 0.85 (idle periods not eliminated)", su))
+	}
+	if eu := f.Entries[4].Trace.Utilisation(); eu < 0.75 {
+		bad = append(bad, fmt.Sprintf("Eden utilisation %.2f unexpectedly low", eu))
+	}
+	return bad
+}
+
+// String implements fmt.Stringer.
+func (f *Fig2) String() string {
+	s := f.Render()
+	if bad := f.CheckShape(); len(bad) > 0 {
+		s += "SHAPE VIOLATIONS:\n  " + strings.Join(bad, "\n  ") + "\n"
+	} else {
+		s += "shape: OK (matches the paper's trace claims)\n"
+	}
+	return s
+}

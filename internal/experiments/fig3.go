@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"parhask/internal/stats"
+	"parhask/internal/workloads/matmul"
+)
+
+// Fig3 reproduces the paper's Fig. 3: relative speedup curves on the
+// 16-core machine for the sumEuler and matrix-multiplication programs,
+// for all five runtime versions.
+type Fig3 struct {
+	Params   Params
+	SumEuler []*stats.Series
+	MatMul   []*stats.Series
+}
+
+// RunFig3 executes every version at every core count.
+func RunFig3(p Params) *Fig3 {
+	f := &Fig3{Params: p}
+	a := matmul.Random(p.MatMulN, 101)
+	b := matmul.Random(p.MatMulN, 102)
+
+	for _, v := range gphVariants() {
+		se := &stats.Series{Name: v.Name, Times: map[int]int64{}}
+		mm := &stats.Series{Name: v.Name, Times: map[int]int64{}}
+		for _, c := range p.CoreCounts {
+			se.Times[c] = sumEulerGpH(p, v.Make(c)).Elapsed
+			mm.Times[c] = matmulGpH(p, v.Make(c), a, b).Elapsed
+		}
+		f.SumEuler = append(f.SumEuler, se)
+		f.MatMul = append(f.MatMul, mm)
+	}
+
+	se := &stats.Series{Name: "Eden", Times: map[int]int64{}}
+	mm := &stats.Series{Name: "Eden (Cannon)", Times: map[int]int64{}}
+	for _, c := range p.CoreCounts {
+		se.Times[c] = sumEulerEden(p, c, c).Elapsed
+		q := cannonQ(c)
+		mm.Times[c] = matmulEdenPEs(p, q, q*q+1, c, a, b).Elapsed
+	}
+	f.SumEuler = append(f.SumEuler, se)
+	f.MatMul = append(f.MatMul, mm)
+	return f
+}
+
+// Render prints both speedup tables and charts.
+func (f *Fig3) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 3: Relative speedups (16-core machine)\n\n")
+	fmt.Fprintf(&b, "sumEuler [1..%d]:\n%s\n%s\n", f.Params.SumEulerN,
+		stats.SpeedupTable(f.Params.CoreCounts, f.SumEuler),
+		stats.SpeedupChart(f.Params.CoreCounts, f.SumEuler, 72))
+	fmt.Fprintf(&b, "matrix multiplication (%d x %d):\n%s\n%s\n", f.Params.MatMulN, f.Params.MatMulN,
+		stats.SpeedupTable(f.Params.CoreCounts, f.MatMul),
+		stats.SpeedupChart(f.Params.CoreCounts, f.MatMul, 72))
+	return b.String()
+}
+
+// CheckShape verifies the paper's claims: every version speeds up;
+// work-stealing GpH and Eden end up close to each other ("there is
+// little difference in performance between the two models"); the plain
+// runtime trails the optimised one.
+func (f *Fig3) CheckShape() []string {
+	var bad []string
+	maxC := f.Params.CoreCounts[len(f.Params.CoreCounts)-1]
+	check := func(prog string, series []*stats.Series) {
+		plain, steal, eden := series[0], series[3], series[4]
+		for _, s := range series {
+			if sp := s.Speedup(maxC); sp < 1.3 {
+				bad = append(bad, fmt.Sprintf("%s: %q speedup %.2f at %d cores (no scaling)", prog, s.Name, sp, maxC))
+			}
+		}
+		ss, es := steal.Speedup(maxC), eden.Speedup(maxC)
+		if ss < es*0.7 || es < ss*0.7 {
+			bad = append(bad, fmt.Sprintf("%s: stealing %.2f vs Eden %.2f differ by more than 30%%", prog, ss, es))
+		}
+		if plain.Speedup(maxC) > steal.Speedup(maxC)*1.05 {
+			bad = append(bad, fmt.Sprintf("%s: plain (%.2f) outruns work stealing (%.2f)", prog, plain.Speedup(maxC), steal.Speedup(maxC)))
+		}
+	}
+	check("sumEuler", f.SumEuler)
+	check("matmul", f.MatMul)
+	return bad
+}
+
+// String implements fmt.Stringer.
+func (f *Fig3) String() string {
+	s := f.Render()
+	if bad := f.CheckShape(); len(bad) > 0 {
+		s += "SHAPE VIOLATIONS:\n  " + strings.Join(bad, "\n  ") + "\n"
+	} else {
+		s += "shape: OK (matches the paper's speedup claims)\n"
+	}
+	return s
+}

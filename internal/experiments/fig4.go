@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+	"parhask/internal/trace"
+	"parhask/internal/workloads/matmul"
+)
+
+// matmulEdenPEs runs Cannon's algorithm on a q×q torus over `pes`
+// virtual PEs mapped onto `cores` physical cores. (Fig. 4 uses 9 PEs for
+// the 3×3 torus — master co-located — and 17 for 4×4.)
+func matmulEdenPEs(p Params, q, pes, cores int, a, b matmul.Mat) *eden.Result {
+	cfg := eden.NewConfig(pes, cores)
+	return runEden(cfg, matmul.EdenCannonProgram(a, b, q, cfg.Costs.MulAdd))
+}
+
+// Fig4 reproduces the paper's Fig. 4: traces of the matrix
+// multiplication on the 8-core machine — three GpH variants plus Eden
+// with 9 and 17 virtual PEs (3×3 and 4×4 block tori).
+type Fig4 struct {
+	Params  Params
+	Entries []TraceEntry
+}
+
+// RunFig4 executes the five traced configurations.
+func RunFig4(p Params) *Fig4 {
+	f := &Fig4{Params: p}
+	a := matmul.Random(p.MatMulN, 103)
+	b := matmul.Random(p.MatMulN, 104)
+
+	gphConfigs := []struct {
+		name string
+		mk   func(int) gph.Config
+	}{
+		{"GpH plain GHC-6.9", gph.PlainGHC69},
+		{"GpH big allocation area", gph.BigAllocArea},
+		{"GpH work stealing", gph.WorkStealingConfig},
+	}
+	for _, gc := range gphConfigs {
+		res := matmulGpH(p, gc.mk(p.Cores8), a, b)
+		f.Entries = append(f.Entries, TraceEntry{
+			Name:     gc.name,
+			Elapsed:  res.Elapsed,
+			Trace:    res.Trace,
+			Rendered: res.Trace.Render(p.TraceWidth),
+			Summary:  res.Trace.Summary(),
+		})
+	}
+
+	// The torus dimension must divide the matrix size; Quick() params
+	// are chosen so 3 and 4 both divide MatMulN.
+	for _, e := range []struct {
+		q, pes int
+	}{{3, 9}, {4, 17}} {
+		res := matmulEdenPEs(p, e.q, e.pes, p.Cores8, a, b)
+		f.Entries = append(f.Entries, TraceEntry{
+			Name:     fmt.Sprintf("Eden %dx%d blocks, %d virtual PEs", e.q, e.q, e.pes),
+			Elapsed:  res.Elapsed,
+			Trace:    res.Trace,
+			Rendered: res.Trace.Render(p.TraceWidth),
+			Summary:  res.Trace.Summary(),
+		})
+	}
+	return f
+}
+
+// Render prints the five timelines.
+func (f *Fig4) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 4: Traces of matrix multiplication, %d x %d elements (%d cores)\n\n",
+		f.Params.MatMulN, f.Params.MatMulN, f.Params.Cores8)
+	for i, e := range f.Entries {
+		fmt.Fprintf(&b, "%c) %s  —  %s\n%s\n%s\n",
+			'a'+i, e.Name, trace.FmtDur(e.Elapsed), e.Rendered, e.Summary)
+	}
+	return b.String()
+}
+
+// CheckShape verifies the paper's claims: unmodified GHC cannot use the
+// eight cores equally well (frequent GC synchronisation), work stealing
+// gives the best GpH runtime and good core usage, and Eden profits from
+// using more virtual PEs than physical cores.
+func (f *Fig4) CheckShape() []string {
+	var bad []string
+	plain, big, steal := f.Entries[0], f.Entries[1], f.Entries[2]
+	eden9, eden17 := f.Entries[3], f.Entries[4]
+	if steal.Elapsed >= plain.Elapsed || steal.Elapsed >= big.Elapsed {
+		bad = append(bad, "work stealing is not the fastest GpH variant")
+	}
+	if pu, su := plain.Trace.Utilisation(), steal.Trace.Utilisation(); pu >= su {
+		bad = append(bad, fmt.Sprintf("plain utilisation %.2f >= stealing %.2f", pu, su))
+	}
+	// "the Eden/distributed memory implementation can even profit from
+	// using more virtual machines than we had actual cores": 17 PEs at
+	// least roughly on par with 9 PEs.
+	if float64(eden17.Elapsed) > float64(eden9.Elapsed)*1.10 {
+		bad = append(bad, fmt.Sprintf("Eden 17 PEs (%s) more than 10%% slower than 9 PEs (%s)",
+			trace.FmtDur(eden17.Elapsed), trace.FmtDur(eden9.Elapsed)))
+	}
+	return bad
+}
+
+// String implements fmt.Stringer.
+func (f *Fig4) String() string {
+	s := f.Render()
+	if bad := f.CheckShape(); len(bad) > 0 {
+		s += "SHAPE VIOLATIONS:\n  " + strings.Join(bad, "\n  ") + "\n"
+	} else {
+		s += "shape: OK (matches the paper's trace claims)\n"
+	}
+	return s
+}

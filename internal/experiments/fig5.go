@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"parhask/internal/gph"
+	"parhask/internal/stats"
+	"parhask/internal/workloads/apsp"
+)
+
+// Fig5 reproduces the paper's Fig. 5: relative speedups of the
+// all-pairs shortest-paths program (400 nodes) for GpH under different
+// runtime optimisations — with and without eager black-holing, with
+// pushing and stealing schedulers — and for the Eden ring program.
+type Fig5 struct {
+	Params Params
+	Series []*stats.Series
+}
+
+// fig5Variants are the GpH rows: the black-holing policy is the crucial
+// axis; it is crossed with the two work-distribution schemes.
+func fig5Variants() []struct {
+	Name  string
+	Mk    func(int) gph.Config
+	Eager bool
+} {
+	return []struct {
+		Name  string
+		Mk    func(int) gph.Config
+		Eager bool
+	}{
+		{"GpH lazy blackholing", gph.ImprovedSync, false},
+		{"GpH eager blackholing", gph.ImprovedSync, true},
+		{"GpH worksteal, lazy BH", gph.WorkStealingConfig, false},
+		{"GpH worksteal, eager BH", gph.WorkStealingConfig, true},
+	}
+}
+
+// RunFig5 executes every version at every core count.
+func RunFig5(p Params) *Fig5 {
+	f := &Fig5{Params: p}
+	g := apsp.RandomGraph(p.APSPNodes, 105, 9, 25)
+	want := apsp.FloydWarshall(g)
+
+	for _, v := range fig5Variants() {
+		s := &stats.Series{Name: v.Name, Times: map[int]int64{}}
+		for _, c := range p.CoreCounts {
+			cfg := v.Mk(c)
+			cfg.EagerBlackholing = v.Eager
+			res := apspGpH(p, cfg, g)
+			if !apsp.Equal(res.Value.(apsp.Graph), want) {
+				panic(fmt.Sprintf("fig5: %s at %d cores computed wrong distances", v.Name, c))
+			}
+			s.Times[c] = res.Elapsed
+		}
+		f.Series = append(f.Series, s)
+	}
+
+	s := &stats.Series{Name: "Eden ring", Times: map[int]int64{}}
+	for _, c := range p.CoreCounts {
+		res := apspEden(p, c, c, g)
+		if !apsp.Equal(res.Value.(apsp.Graph), want) {
+			panic(fmt.Sprintf("fig5: Eden ring at %d cores computed wrong distances", c))
+		}
+		s.Times[c] = res.Elapsed
+	}
+	f.Series = append(f.Series, s)
+	return f
+}
+
+// Render prints the speedup table and chart.
+func (f *Fig5) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 5: Relative speedup for shortest-paths program (%d nodes)\n\n%s\n%s\n",
+		f.Params.APSPNodes,
+		stats.SpeedupTable(f.Params.CoreCounts, f.Series),
+		stats.SpeedupChart(f.Params.CoreCounts, f.Series, 72))
+	return b.String()
+}
+
+// CheckShape verifies the paper's claims: eager black-holing is
+// essential for the GpH versions (lazy flattens out — most dramatically
+// in the work-stealing system, which the paper even saw slow down);
+// Eden's ring scales well and beats every GpH version.
+func (f *Fig5) CheckShape() []string {
+	var bad []string
+	maxC := f.Params.CoreCounts[len(f.Params.CoreCounts)-1]
+	lazyPush, eagerPush := f.Series[0], f.Series[1]
+	lazySteal, eagerSteal := f.Series[2], f.Series[3]
+	eden := f.Series[4]
+
+	if l, e := lazyPush.Speedup(maxC), eagerPush.Speedup(maxC); l >= e {
+		bad = append(bad, fmt.Sprintf("pushing: lazy BH (%.2f) not slower than eager (%.2f)", l, e))
+	}
+	if l, e := lazySteal.Speedup(maxC), eagerSteal.Speedup(maxC); l >= e {
+		bad = append(bad, fmt.Sprintf("stealing: lazy BH (%.2f) not slower than eager (%.2f)", l, e))
+	}
+	if l := lazySteal.Speedup(maxC); l > 2.0 {
+		bad = append(bad, fmt.Sprintf("work-stealing lazy BH speedup %.2f at %d cores; paper saw it flatten/slow down", l, maxC))
+	}
+	for _, s := range f.Series[:4] {
+		if es, gs := eden.Speedup(maxC), s.Speedup(maxC); es <= gs {
+			bad = append(bad, fmt.Sprintf("Eden (%.2f) not above %q (%.2f)", es, s.Name, gs))
+		}
+	}
+	if es := eden.Speedup(maxC); es < 3.0 {
+		bad = append(bad, fmt.Sprintf("Eden ring speedup %.2f at %d cores; paper shows good scaling", es, maxC))
+	}
+	return bad
+}
+
+// String implements fmt.Stringer.
+func (f *Fig5) String() string {
+	s := f.Render()
+	if bad := f.CheckShape(); len(bad) > 0 {
+		s += "SHAPE VIOLATIONS:\n  " + strings.Join(bad, "\n  ") + "\n"
+	} else {
+		s += "shape: OK (matches the paper's speedup claims)\n"
+	}
+	return s
+}

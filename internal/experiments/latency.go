@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"parhask/internal/eden"
+	"parhask/internal/stats"
+	"parhask/internal/workloads/apsp"
+	"parhask/internal/workloads/euler"
+)
+
+// LatencyRow is one transport setting's results.
+type LatencyRow struct {
+	Name       string
+	Latency    int64
+	APSPRing   int64 // elapsed, fine-grained pipelined program
+	SumEulerMW int64 // elapsed, coarse-grained farm program
+}
+
+// LatencyStudy quantifies the paper's §I motivation: distributed-memory
+// runtimes historically needed coarse-grained programs because cluster
+// interconnects are slow, and "the recent hardware focus on multicore
+// architectures means that fine-grained communication-intensive
+// parallel computing is becoming increasingly affordable". We run one
+// fine-grained communication-intensive program (the APSP ring) and one
+// coarse-grained program (sumEuler) on the same Eden runtime with
+// transport latencies ranging from shared-memory to cluster scale.
+type LatencyStudy struct {
+	Params Params
+	Rows   []LatencyRow
+}
+
+// latencySettings spans shared-memory middleware to a LAN cluster.
+var latencySettings = []struct {
+	name    string
+	latency int64
+}{
+	{"shared memory (PVM/shm)", 45_000},
+	{"fast interconnect", 200_000},
+	{"gigabit LAN cluster", 1_000_000},
+	{"commodity cluster", 5_000_000},
+}
+
+// RunLatencyStudy executes both programs at every latency.
+func RunLatencyStudy(p Params) *LatencyStudy {
+	ls := &LatencyStudy{Params: p}
+	g := apsp.RandomGraph(p.APSPNodes, 105, 9, 25)
+	for _, set := range latencySettings {
+		ring := eden.NewConfig(p.Cores8+1, p.Cores8)
+		ring.Costs.MsgLatency = set.latency
+		rr := runEden(ring, apsp.EdenRingProgram(g, p.Cores8, ring.Costs.MinPlus))
+
+		se := sumEulerEdenLatency(p, set.latency)
+
+		ls.Rows = append(ls.Rows, LatencyRow{
+			Name: set.name, Latency: set.latency,
+			APSPRing: rr.Elapsed, SumEulerMW: se,
+		})
+	}
+	return ls
+}
+
+// sumEulerEdenLatency runs the coarse-grained farm at a given latency.
+func sumEulerEdenLatency(p Params, latency int64) int64 {
+	cfg := eden.NewConfig(p.Cores8, p.Cores8)
+	cfg.Costs.MsgLatency = latency
+	res := runEden(cfg, euler.EdenProgram(p.SumEulerN, 8, cfg.Costs.GCDIter))
+	return res.Elapsed
+}
+
+// Render prints the study.
+func (ls *LatencyStudy) Render() string {
+	headers := []string{"Transport", "Latency", "APSP ring (fine-grained)", "sumEuler farm (coarse)"}
+	var rows [][]string
+	for _, r := range ls.Rows {
+		rows = append(rows, []string{
+			r.Name, fmt.Sprintf("%d µs", r.Latency/1000),
+			stats.Seconds(r.APSPRing), stats.Seconds(r.SumEulerMW),
+		})
+	}
+	title := fmt.Sprintf("Latency study (§I): the same Eden programs from shared memory to cluster (%d cores)\n", ls.Params.Cores8)
+	return title + stats.Table(headers, rows)
+}
+
+// CheckShape verifies §I's claim: the fine-grained program collapses as
+// latency grows toward cluster scale, while the coarse-grained one
+// barely notices.
+func (ls *LatencyStudy) CheckShape() []string {
+	var bad []string
+	first, last := ls.Rows[0], ls.Rows[len(ls.Rows)-1]
+	ringBlowup := float64(last.APSPRing) / float64(first.APSPRing)
+	farmBlowup := float64(last.SumEulerMW) / float64(first.SumEulerMW)
+	if ringBlowup < 1.5 {
+		bad = append(bad, fmt.Sprintf("fine-grained ring only degraded %.2fx from shm to cluster", ringBlowup))
+	}
+	if farmBlowup > 1.25 {
+		bad = append(bad, fmt.Sprintf("coarse-grained farm degraded %.2fx; should barely notice latency", farmBlowup))
+	}
+	if ringBlowup <= farmBlowup {
+		bad = append(bad, "fine-grained program should be the latency-sensitive one")
+	}
+	return bad
+}
+
+// String implements fmt.Stringer.
+func (ls *LatencyStudy) String() string {
+	s := ls.Render()
+	if bad := ls.CheckShape(); len(bad) > 0 {
+		s += "SHAPE VIOLATIONS:\n  " + strings.Join(bad, "\n  ") + "\n"
+	} else {
+		s += "shape: OK (multicore latencies make fine-grained message passing viable)\n"
+	}
+	return s
+}

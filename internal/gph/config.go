@@ -1,0 +1,135 @@
+package gph
+
+import "parhask/internal/cost"
+
+// Config selects a GpH runtime variant. The zero value is not valid; use
+// NewConfig or one of the paper-variant constructors.
+type Config struct {
+	// Cores is the number of capabilities = simulated physical cores.
+	Cores int
+	// Costs is the virtual cost model.
+	Costs cost.Model
+	// AllocArea is the per-capability allocation area in bytes;
+	// 0 selects Costs.AllocAreaDefault.
+	AllocArea int64
+	// WorkStealing selects the Chase–Lev spark-stealing scheduler
+	// (§IV-A.2); false selects the GHC 6.8.x scheduler-driven work
+	// pushing.
+	WorkStealing bool
+	// WakeupBarrier selects the improved wakeup-based GC synchronisation
+	// (§IV-A.1); false selects the original polling barrier.
+	WakeupBarrier bool
+	// EagerBlackholing marks thunks on entry (§IV-A.3); false is GHC's
+	// lazy black-holing.
+	EagerBlackholing bool
+	// SparkThreads uses one dedicated spark-running thread per capability
+	// (§IV-A.4); false creates a fresh thread per spark.
+	SparkThreads bool
+	// ResidentBytes is the workload's long-lived heap (input data etc.),
+	// included in every GC's live-data estimate.
+	ResidentBytes int64
+	// ParallelGC divides each stop-the-world collection's copying work
+	// across the capabilities (the parallel generational-copying
+	// collector of the paper's reference [29] — still stop-the-world,
+	// as §IV-A.1 notes, but the pause shrinks with the core count).
+	ParallelGC bool
+	// LocalHeaps enables the semi-distributed heap organisation the
+	// paper's §VI proposes as future work (after Doligez–Leroy): each
+	// capability collects its own allocation area independently — no
+	// stop-the-world barrier — promoting survivors into a shared global
+	// heap that is collected (with a full barrier) only when it exceeds
+	// GlobalHeapLimit.
+	LocalHeaps bool
+	// GlobalHeapLimit is the promoted-bytes threshold that triggers a
+	// global collection in LocalHeaps mode; 0 selects 64 MB.
+	GlobalHeapLimit int64
+	// SparkPoolCap bounds each capability's spark pool; overflowing
+	// sparks are dropped. 0 selects 4096 (GHC's default).
+	SparkPoolCap int
+	// Seed for the deterministic PRNG (victim selection).
+	Seed uint64
+}
+
+// NewConfig returns a Config for the given core count with defaults
+// matching the paper's fully-optimised GpH runtime.
+func NewConfig(cores int) Config {
+	return Config{
+		Cores:            cores,
+		Costs:            cost.Default(),
+		WorkStealing:     true,
+		WakeupBarrier:    true,
+		EagerBlackholing: false,
+		SparkThreads:     true,
+		Seed:             1,
+	}
+}
+
+// The five GpH variants measured in the paper (Fig. 1/2 rows a–d; the
+// eager-black-holing variants appear in Fig. 5).
+
+// PlainGHC69 is the unmodified GHC 6.9 baseline: work pushing, polling
+// GC barrier, lazy black-holing, default 512 KB allocation areas, and a
+// fresh thread per spark.
+func PlainGHC69(cores int) Config {
+	c := NewConfig(cores)
+	c.WorkStealing = false
+	c.WakeupBarrier = false
+	c.SparkThreads = false
+	return c
+}
+
+// BigAllocArea is PlainGHC69 with enlarged allocation areas (trace b).
+func BigAllocArea(cores int) Config {
+	c := PlainGHC69(cores)
+	c.AllocArea = c.Costs.AllocAreaBig
+	return c
+}
+
+// ImprovedSync adds the wakeup-based GC barrier (trace c).
+func ImprovedSync(cores int) Config {
+	c := BigAllocArea(cores)
+	c.WakeupBarrier = true
+	return c
+}
+
+// WorkStealingConfig additionally replaces spark pushing by Chase–Lev
+// work stealing with dedicated spark threads (trace d) — the combination
+// that landed together in GHC's work-stealing patch.
+func WorkStealingConfig(cores int) Config {
+	c := ImprovedSync(cores)
+	c.WorkStealing = true
+	c.SparkThreads = true
+	return c
+}
+
+// allocArea resolves the configured allocation area.
+func (c *Config) allocArea() int64 {
+	if c.AllocArea > 0 {
+		return c.AllocArea
+	}
+	return c.Costs.AllocAreaDefault
+}
+
+// sparkPoolCap resolves the configured spark pool bound.
+func (c *Config) sparkPoolCap() int {
+	if c.SparkPoolCap > 0 {
+		return c.SparkPoolCap
+	}
+	return 4096
+}
+
+// globalHeapLimit resolves the configured global-heap threshold.
+func (c *Config) globalHeapLimit() int64 {
+	if c.GlobalHeapLimit > 0 {
+		return c.GlobalHeapLimit
+	}
+	return 64 * 1024 * 1024
+}
+
+// LocalHeapsConfig is the fully-optimised runtime with the §VI
+// semi-distributed heap enabled (local collections without a barrier).
+func LocalHeapsConfig(cores int) Config {
+	c := WorkStealingConfig(cores)
+	c.LocalHeaps = true
+	return c
+}

@@ -1,0 +1,205 @@
+package gph
+
+import (
+	"parhask/internal/rts"
+	"parhask/internal/trace"
+)
+
+// gcState coordinates a stop-the-world collection across capabilities.
+//
+// The collection is initiated by the capability whose allocation area
+// filled up; every other capability must reach a heap check (or be
+// woken from idle) before the barrier completes — GC checks happen only
+// at allocation-block boundaries, which is why slowly-allocating
+// threads delay the barrier (§IV-A.1). Two barrier implementations are
+// modelled: the original polling barrier, in which both the initiator
+// and the waiters re-check state on a sleep cadence, and the improved
+// wakeup-based barrier, in which the last capability to arrive wakes
+// the initiator and the initiator wakes everyone on completion.
+type gcState struct {
+	pending   bool
+	initiator *rts.Cap
+	arrived   int
+	epoch     uint64
+}
+
+// initiateGC starts (or, if one is already pending, joins) a stop-the-
+// world collection. Called at a heap boundary of the running thread th
+// on capability c.
+func (r *RTS) initiateGC(c *rts.Cap, th *rts.Thread) {
+	if r.gc.pending {
+		if r.gc.initiator != c {
+			r.gcArrive(c, th)
+		}
+		return
+	}
+	r.gc.pending = true
+	r.gc.initiator = c
+	r.gc.arrived = 1
+	if th != nil {
+		th.MarkEntered() // suspension point: lazy black-holing catch-up
+	}
+	r.wakeAllCaps()
+	c.SetState(trace.Runnable)
+	costs := c.Costs
+	c.Burn(costs.GCHandshake)
+
+	// Wait for every capability to stop.
+	if r.cfg.WakeupBarrier {
+		for r.gc.arrived < len(r.caps) {
+			c.Task.Park()
+		}
+	} else {
+		// The old initiator actively yield-loops while grabbing the
+		// capabilities (fine granularity), so the arrival wait tracks
+		// the slowest mutator's next heap check closely; the expensive
+		// part of the polling barrier is on the waiters' side.
+		for r.gc.arrived < len(r.caps) {
+			c.Task.SleepInterruptible(25_000)
+		}
+	}
+
+	// Sequential stop-the-world collection on the initiating capability.
+	// Young collections copy only the allocation areas' survivors; every
+	// MajorGCEvery-th collection is a major one that also copies the
+	// resident old generation.
+	c.SetState(trace.GC)
+	var freshly int64
+	for _, e := range r.caps {
+		freshly += e.cap.AllocSinceGC
+	}
+	live := int64(float64(freshly) * costs.SurvivalRate)
+	r.stats.GCs++
+	if r.cfg.LocalHeaps {
+		// Semi-distributed heap: global collections are rare and full —
+		// they trace the promoted global heap plus the resident data.
+		live += r.cfg.ResidentBytes + int64(costs.OldSurvivalRate*float64(r.globalHeapBytes))
+		r.globalHeapBytes = int64(costs.OldSurvivalRate * float64(r.globalHeapBytes))
+		r.stats.MajorGCs++
+	} else if costs.MajorGCEvery > 0 && r.stats.GCs%costs.MajorGCEvery == 0 {
+		live += r.cfg.ResidentBytes
+		r.stats.MajorGCs++
+	}
+	copying := costs.GCPerLiveByte * float64(live)
+	if r.cfg.ParallelGC && len(r.caps) > 1 {
+		// The parallel collector [29]: the copying work is divided over
+		// the (stopped) capabilities, with an imbalance/sync factor.
+		// Still stop-the-world — the barrier above is unchanged.
+		copying = copying / float64(len(r.caps)) * costs.ParGCBalance
+		for _, e := range r.caps {
+			e.cap.Agent.Set(c.Now(), trace.GC)
+		}
+	}
+	gcCost := costs.GCFixed + int64(copying)
+	start := c.Now()
+	c.Burn(gcCost)
+	r.stats.GCTime += c.Now() - start
+	if r.cfg.ParallelGC && len(r.caps) > 1 {
+		for _, e := range r.caps {
+			if e.cap != c {
+				e.cap.Agent.Set(c.Now(), trace.Runnable)
+			}
+		}
+	}
+	for _, e := range r.caps {
+		e.cap.AllocInArea = 0
+		e.cap.AllocSinceGC = 0
+		// GHC prunes the spark pools during GC: sparks whose thunks were
+		// already evaluated (fizzled) are discarded.
+		r.pruneSparkPool(e)
+	}
+
+	// Release the barrier.
+	r.gc.pending = false
+	r.gc.initiator = nil
+	r.gc.epoch++
+	if r.cfg.WakeupBarrier {
+		r.wakeAllCaps()
+	}
+}
+
+// gcArrive stops capability c at the barrier until the collection
+// finishes. th is the thread that was running (nil when arriving from
+// the idle loop).
+func (r *RTS) gcArrive(c *rts.Cap, th *rts.Thread) {
+	if th != nil {
+		th.MarkEntered()
+	}
+	c.SetState(trace.Runnable)
+	c.Burn(c.Costs.GCHandshake)
+	if !r.gc.pending {
+		// The collection completed while we were paying the handshake.
+		return
+	}
+	r.gc.arrived++
+	epoch := r.gc.epoch
+	if r.cfg.WakeupBarrier {
+		if r.gc.arrived == len(r.caps) && r.gc.initiator != nil {
+			r.gc.initiator.Wake()
+		}
+		for r.gc.epoch == epoch {
+			c.Task.Park()
+		}
+	} else {
+		r.pollWait(c, func() bool { return r.gc.epoch != epoch })
+	}
+}
+
+// pollWait is the original (polling) barrier wait: spin briefly —
+// short waits are absorbed at fine granularity — then block in
+// OS-quantum-sized sleeps, overshooting the condition by up to one
+// quantum. This is the cost the improved wakeup barrier removes.
+func (r *RTS) pollWait(c *rts.Cap, done func() bool) {
+	costs := c.Costs
+	const spinStep = 25_000 // 25 µs re-check granularity while spinning
+	spinUntil := c.Now() + costs.BarrierSpin
+	for !done() {
+		if c.Now() < spinUntil {
+			c.Task.SleepInterruptible(spinStep)
+		} else {
+			c.Task.SleepInterruptible(costs.BarrierPollInterval)
+		}
+	}
+}
+
+// localGC collects one capability's own allocation area without any
+// synchronisation with the other capabilities — the semi-distributed
+// heap organisation the paper's §VI proposes (after Doligez–Leroy):
+// survivors are promoted into the shared global heap, whose growth is
+// what eventually forces a full stop-the-world collection.
+func (r *RTS) localGC(c *rts.Cap, th *rts.Thread) {
+	if th != nil {
+		th.MarkEntered()
+	}
+	c.SetState(trace.GC)
+	costs := c.Costs
+	survivors := int64(float64(c.AllocSinceGC) * costs.SurvivalRate)
+	gcCost := costs.LocalGCFixed + int64(costs.GCPerLiveByte*float64(survivors))
+	start := c.Now()
+	c.Burn(gcCost)
+	r.stats.LocalGCs++
+	r.stats.LocalGCTime += c.Now() - start
+	r.globalHeapBytes += survivors
+	c.AllocInArea = 0
+	c.AllocSinceGC = 0
+}
+
+// pruneSparkPool discards fizzled sparks from a pool during GC (GHC's
+// pruneSparkQueue), preserving the order of the survivors.
+func (r *RTS) pruneSparkPool(e *capExt) {
+	n := e.pool.Size()
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		t, ok := e.pool.Steal() // oldest first keeps the order stable
+		if !ok {
+			break
+		}
+		if t.IsEvaluated() {
+			r.stats.SparksGCd++
+			continue
+		}
+		e.pool.PushBottom(t)
+	}
+}

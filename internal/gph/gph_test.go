@@ -1,0 +1,467 @@
+package gph
+
+import (
+	"strings"
+	"testing"
+
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/strategies"
+)
+
+// chunkMain builds a synthetic parallel workload: n independent chunks,
+// each burning burn ns and allocating alloc bytes, sparked with parList
+// and then folded. Returns the sum of chunk results (each chunk yields 1).
+func chunkMain(n int, burn, alloc int64) func(*rts.Ctx) graph.Value {
+	return func(ctx *rts.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, n)
+		for i := 0; i < n; i++ {
+			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				c.Alloc(alloc)
+				c.Burn(burn)
+				return 1
+			})
+		}
+		strategies.ParListWHNF(ctx, ts)
+		sum := 0
+		for _, t := range ts {
+			sum += ctx.Force(t).(int)
+		}
+		return sum
+	}
+}
+
+func run(t *testing.T, cfg Config, main func(*rts.Ctx) graph.Value) *Result {
+	t.Helper()
+	res, err := Run(cfg, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSequentialMainNoSparks(t *testing.T) {
+	cfg := NewConfig(4)
+	res := run(t, cfg, func(ctx *rts.Ctx) graph.Value {
+		ctx.Burn(1_000_000)
+		return "done"
+	})
+	if res.Value != "done" {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Elapsed < 1_000_000 {
+		t.Fatalf("elapsed = %d, want >= 1ms", res.Elapsed)
+	}
+	if res.Stats.SparksCreated != 0 {
+		t.Fatalf("sparks = %d, want 0", res.Stats.SparksCreated)
+	}
+}
+
+func TestParallelCorrectness(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		cfg := NewConfig(cores)
+		res := run(t, cfg, chunkMain(32, 500_000, 64*1024))
+		if res.Value != 32 {
+			t.Fatalf("cores=%d: value = %v, want 32", cores, res.Value)
+		}
+	}
+}
+
+func TestSpeedupWithWorkStealing(t *testing.T) {
+	main := chunkMain(64, 2_000_000, 256*1024)
+	r1 := run(t, WorkStealingConfig(1), main)
+	r8 := run(t, WorkStealingConfig(8), main)
+	speedup := float64(r1.Elapsed) / float64(r8.Elapsed)
+	if speedup < 4.0 {
+		t.Fatalf("8-core speedup = %.2f, want >= 4 (t1=%d t8=%d)", speedup, r1.Elapsed, r8.Elapsed)
+	}
+}
+
+func TestWorkStealingBeatsPushing(t *testing.T) {
+	// Irregular fine-grained work exposes the distribution delay of the
+	// pushing scheduler.
+	main := func(ctx *rts.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, 200)
+		for i := range ts {
+			i := i
+			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				c.Alloc(32 * 1024)
+				c.Burn(int64(100_000 + 37_000*(i%7)))
+				return 1
+			})
+		}
+		strategies.ParListWHNF(ctx, ts)
+		sum := 0
+		for _, t := range ts {
+			sum += ctx.Force(t).(int)
+		}
+		return sum
+	}
+	steal := run(t, WorkStealingConfig(8), main)
+	push := run(t, ImprovedSync(8), main)
+	if steal.Value != 200 || push.Value != 200 {
+		t.Fatalf("bad values %v %v", steal.Value, push.Value)
+	}
+	if steal.Elapsed >= push.Elapsed {
+		t.Fatalf("stealing (%d) not faster than pushing (%d)", steal.Elapsed, push.Elapsed)
+	}
+}
+
+func TestBigAllocAreaReducesGCs(t *testing.T) {
+	main := chunkMain(32, 1_000_000, 2*1024*1024)
+	small := run(t, PlainGHC69(4), main)
+	big := run(t, BigAllocArea(4), main)
+	if small.Stats.GCs <= big.Stats.GCs {
+		t.Fatalf("GCs: small-area=%d big-area=%d, want small > big",
+			small.Stats.GCs, big.Stats.GCs)
+	}
+	if big.Elapsed >= small.Elapsed {
+		t.Fatalf("big area (%d) not faster than small area (%d)", big.Elapsed, small.Elapsed)
+	}
+}
+
+func TestWakeupBarrierBeatsPolling(t *testing.T) {
+	main := chunkMain(64, 400_000, 2*1024*1024)
+	polling := run(t, BigAllocArea(8), main)
+	wakeup := run(t, ImprovedSync(8), main)
+	if wakeup.Elapsed >= polling.Elapsed {
+		t.Fatalf("wakeup barrier (%d) not faster than polling (%d)",
+			wakeup.Elapsed, polling.Elapsed)
+	}
+}
+
+// sharedPivotMain models the APSP sharing pattern: many sparked tasks
+// all force one shared expensive thunk first. The pivot allocates less
+// than one allocation block, so (like the APSP row updates) it never
+// reaches a scheduler return where lazy black-holing would mark it —
+// the duplication window stays open for its whole evaluation.
+func sharedPivotMain(tasks int, pivotBurn, taskBurn int64) func(*rts.Ctx) graph.Value {
+	return func(ctx *rts.Ctx) graph.Value {
+		pivot := strategies.Thunk(func(c *rts.Ctx) graph.Value {
+			c.Burn(pivotBurn)
+			c.Alloc(2 * 1024)
+			return 10
+		})
+		// Half the sparked tasks force the shared pivot; the other half
+		// are independent. Under eager black-holing, capabilities that
+		// would otherwise duplicate the pivot block and run independent
+		// work instead; under lazy black-holing that capacity is wasted
+		// on duplicate evaluation.
+		ts := make([]*graph.Thunk, 2*tasks)
+		for i := 0; i < tasks; i++ {
+			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				p := c.Force(pivot).(int)
+				c.Alloc(16 * 1024)
+				c.Burn(taskBurn)
+				return p + 1
+			})
+		}
+		for i := tasks; i < 2*tasks; i++ {
+			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				c.Alloc(16 * 1024)
+				c.Burn(taskBurn)
+				return 11
+			})
+		}
+		strategies.ParListWHNF(ctx, ts)
+		sum := 0
+		for _, t := range ts {
+			sum += ctx.Force(t).(int)
+		}
+		return sum
+	}
+}
+
+func TestLazyBlackholingDuplicatesSharedWork(t *testing.T) {
+	main := sharedPivotMain(16, 3_000_000, 500_000)
+	cfg := WorkStealingConfig(8)
+	cfg.EagerBlackholing = false
+	lazy := run(t, cfg, main)
+	cfg.EagerBlackholing = true
+	eager := run(t, cfg, main)
+
+	if lazy.Value != 2*16*11 || eager.Value != 2*16*11 {
+		t.Fatalf("values: lazy=%v eager=%v, want %d", lazy.Value, eager.Value, 2*16*11)
+	}
+	if lazy.Stats.DupEntries == 0 {
+		t.Fatal("lazy black-holing produced no duplicate entries on a shared pivot")
+	}
+	if eager.Stats.DupEntries != 0 {
+		t.Fatalf("eager black-holing produced %d duplicate entries, want 0",
+			eager.Stats.DupEntries)
+	}
+	if eager.Elapsed >= lazy.Elapsed {
+		t.Fatalf("eager (%d) not faster than lazy (%d) despite duplicates",
+			eager.Elapsed, lazy.Elapsed)
+	}
+	if eager.Stats.BlockedOnThunk == 0 {
+		t.Fatal("eager run should block threads on the pivot black hole")
+	}
+}
+
+func TestSparkThreadsReduceThreadCount(t *testing.T) {
+	main := chunkMain(100, 200_000, 32*1024)
+	withCfg := WorkStealingConfig(4)
+	withoutCfg := WorkStealingConfig(4)
+	withoutCfg.SparkThreads = false
+	with := run(t, withCfg, main)
+	without := run(t, withoutCfg, main)
+	if with.Stats.ThreadsCreated >= without.Stats.ThreadsCreated {
+		t.Fatalf("spark threads created %d threads, thread-per-spark %d; want fewer",
+			with.Stats.ThreadsCreated, without.Stats.ThreadsCreated)
+	}
+	if with.Value != 100 || without.Value != 100 {
+		t.Fatalf("bad values %v %v", with.Value, without.Value)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, cfg := range []Config{
+		PlainGHC69(4), BigAllocArea(4), ImprovedSync(4), WorkStealingConfig(4),
+	} {
+		a := run(t, cfg, chunkMain(40, 300_000, 128*1024))
+		b := run(t, cfg, chunkMain(40, 300_000, 128*1024))
+		if a.Elapsed != b.Elapsed {
+			t.Fatalf("config %+v: elapsed %d vs %d", cfg, a.Elapsed, b.Elapsed)
+		}
+		if a.Stats != b.Stats {
+			t.Fatalf("config %+v: stats diverge:\n%+v\n%+v", cfg, a.Stats, b.Stats)
+		}
+	}
+}
+
+func TestTraceIsClosedAndPlausible(t *testing.T) {
+	res := run(t, WorkStealingConfig(4), chunkMain(32, 1_000_000, 256*1024))
+	if res.Trace.End() != res.Elapsed {
+		t.Fatalf("trace end %d != elapsed %d", res.Trace.End(), res.Elapsed)
+	}
+	if n := len(res.Trace.Agents()); n != 4 {
+		t.Fatalf("agents = %d, want 4", n)
+	}
+	u := res.Trace.Utilisation()
+	if u < 0.5 || u > 1.0 {
+		t.Fatalf("utilisation = %.2f, want in [0.5, 1.0]", u)
+	}
+}
+
+func TestBlockedThreadIsWokenAcrossCaps(t *testing.T) {
+	cfg := WorkStealingConfig(2)
+	cfg.EagerBlackholing = true
+	res := run(t, cfg, func(ctx *rts.Ctx) graph.Value {
+		shared := strategies.Thunk(func(c *rts.Ctx) graph.Value {
+			c.Alloc(8 * 1024)
+			c.Burn(2_000_000)
+			return 99
+		})
+		ctx.Par(shared)
+		// Let the other capability steal and start evaluating...
+		ctx.Burn(500_000)
+		// ...then force: we must block on the black hole and be woken.
+		return ctx.Force(shared)
+	})
+	if res.Value != 99 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Stats.BlockedOnThunk == 0 {
+		t.Fatal("main never blocked; the spark was not stolen in time")
+	}
+	if res.Stats.Steals == 0 {
+		t.Fatal("no steal recorded")
+	}
+}
+
+func TestFizzledSparks(t *testing.T) {
+	// Main forces everything itself immediately; sparks mostly fizzle.
+	cfg := WorkStealingConfig(1)
+	res := run(t, cfg, chunkMain(20, 50_000, 8*1024))
+	if res.Value != 20 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Stats.SparksFizzled == 0 {
+		t.Fatal("expected fizzled sparks on a single capability")
+	}
+}
+
+func TestSparkPoolOverflowDrops(t *testing.T) {
+	cfg := WorkStealingConfig(1)
+	cfg.SparkPoolCap = 8
+	res := run(t, cfg, chunkMain(50, 10_000, 4*1024))
+	if res.Stats.SparksDropped == 0 {
+		t.Fatal("expected dropped sparks with a tiny pool")
+	}
+	if res.Value != 50 {
+		t.Fatalf("value = %v, want 50 (drops must not lose results)", res.Value)
+	}
+}
+
+func TestParOnEvaluatedThunkIsDud(t *testing.T) {
+	cfg := WorkStealingConfig(2)
+	res := run(t, cfg, func(ctx *rts.Ctx) graph.Value {
+		t1 := graph.NewValue(5)
+		ctx.Par(t1)
+		return ctx.Force(t1)
+	})
+	if res.Value != 5 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Stats.SparksDud != 1 {
+		t.Fatalf("duds = %d, want 1", res.Stats.SparksDud)
+	}
+}
+
+func TestGCHappensAndResetsAreas(t *testing.T) {
+	cfg := PlainGHC69(2)
+	res := run(t, cfg, func(ctx *rts.Ctx) graph.Value {
+		ctx.Alloc(4 * 1024 * 1024) // 8 areas worth on one cap
+		ctx.Burn(100_000)
+		return 1
+	})
+	if res.Stats.GCs < 4 {
+		t.Fatalf("GCs = %d, want >= 4 after allocating 8 areas", res.Stats.GCs)
+	}
+	if res.Stats.GCTime <= 0 {
+		t.Fatal("no GC time recorded")
+	}
+}
+
+func TestMoreCoresNeverWrongResult(t *testing.T) {
+	for cores := 1; cores <= 16; cores *= 2 {
+		for _, eager := range []bool{false, true} {
+			cfg := WorkStealingConfig(cores)
+			cfg.EagerBlackholing = eager
+			res := run(t, cfg, sharedPivotMain(12, 800_000, 200_000))
+			if res.Value != 2*12*11 {
+				t.Fatalf("cores=%d eager=%v: value %v", cores, eager, res.Value)
+			}
+		}
+	}
+}
+
+func TestLocalHeapsAvoidGlobalBarriers(t *testing.T) {
+	// GC-heavy workload on 8 capabilities: the semi-distributed heap
+	// collects locally without a barrier and only rarely stops the world.
+	main := chunkMain(64, 400_000, 4*1024*1024)
+	stw := run(t, WorkStealingConfig(8), main)
+	local := run(t, LocalHeapsConfig(8), main)
+	if local.Value != 64 || stw.Value != 64 {
+		t.Fatalf("bad values %v %v", local.Value, stw.Value)
+	}
+	if local.Stats.LocalGCs == 0 {
+		t.Fatal("no local collections in LocalHeaps mode")
+	}
+	if local.Stats.GCs >= stw.Stats.GCs {
+		t.Fatalf("global GCs: local-heaps=%d stop-the-world=%d, want fewer",
+			local.Stats.GCs, stw.Stats.GCs)
+	}
+	if local.Elapsed >= stw.Elapsed {
+		t.Fatalf("local heaps (%d) not faster than stop-the-world (%d) on a GC-heavy load",
+			local.Elapsed, stw.Elapsed)
+	}
+}
+
+func TestLocalHeapsGlobalLimitTriggersFullGC(t *testing.T) {
+	cfg := LocalHeapsConfig(2)
+	cfg.GlobalHeapLimit = 256 * 1024 // tiny: force full collections
+	res := run(t, cfg, chunkMain(16, 200_000, 8*1024*1024))
+	if res.Value != 16 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Stats.GCs == 0 {
+		t.Fatal("promoted heap never triggered a full collection")
+	}
+	if res.Stats.MajorGCs != res.Stats.GCs {
+		t.Fatalf("in LocalHeaps mode every global GC is major: %d vs %d",
+			res.Stats.MajorGCs, res.Stats.GCs)
+	}
+}
+
+func TestLocalHeapsDeterminism(t *testing.T) {
+	cfg := LocalHeapsConfig(4)
+	a := run(t, cfg, chunkMain(24, 300_000, 2*1024*1024))
+	b := run(t, cfg, chunkMain(24, 300_000, 2*1024*1024))
+	if a.Elapsed != b.Elapsed || a.Stats != b.Stats {
+		t.Fatalf("nondeterministic local-heaps run")
+	}
+}
+
+func TestParallelGCShortensPauses(t *testing.T) {
+	main := chunkMain(64, 300_000, 4*1024*1024)
+	seqCfg := WorkStealingConfig(8)
+	parCfg := WorkStealingConfig(8)
+	parCfg.ParallelGC = true
+	seq := run(t, seqCfg, main)
+	par := run(t, parCfg, main)
+	if seq.Value != 64 || par.Value != 64 {
+		t.Fatalf("bad values %v %v", seq.Value, par.Value)
+	}
+	if par.Stats.GCTime >= seq.Stats.GCTime {
+		t.Fatalf("parallel GC time (%d) not below sequential (%d)",
+			par.Stats.GCTime, seq.Stats.GCTime)
+	}
+	if par.Elapsed >= seq.Elapsed {
+		t.Fatalf("parallel GC (%d) not faster overall than sequential (%d)",
+			par.Elapsed, seq.Elapsed)
+	}
+}
+
+func TestParallelGCSingleCoreNoop(t *testing.T) {
+	cfg := WorkStealingConfig(1)
+	cfg.ParallelGC = true
+	res := run(t, cfg, chunkMain(8, 100_000, 2*1024*1024))
+	if res.Value != 8 {
+		t.Fatalf("value = %v", res.Value)
+	}
+}
+
+func TestSparkPoolPrunedAtGC(t *testing.T) {
+	// Fill the pool with sparks the main thread then evaluates itself
+	// (fizzling them in place), then force a GC: pruning must count them.
+	cfg := PlainGHC69(1)
+	res := run(t, cfg, func(ctx *rts.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, 30)
+		for i := range ts {
+			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value { return 1 })
+		}
+		strategies.ParListWHNF(ctx, ts)
+		sum := 0
+		for _, th := range ts {
+			sum += ctx.Force(th).(int) // fizzle every spark
+		}
+		ctx.Alloc(1024 * 1024) // trigger two GCs on the 512 KB area
+		ctx.Burn(10_000)
+		return sum
+	})
+	if res.Value != 30 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Stats.SparksGCd == 0 {
+		t.Fatal("no fizzled sparks pruned during GC")
+	}
+}
+
+func TestGranularityProfile(t *testing.T) {
+	res := run(t, WorkStealingConfig(4), chunkMain(40, 700_000, 64*1024))
+	g := res.GranularityProfile()
+	if g.Count == 0 {
+		t.Fatal("no threads profiled")
+	}
+	if g.Total <= 0 || g.Max < g.Median || g.Median < g.Min {
+		t.Fatalf("inconsistent profile: %+v", g)
+	}
+	sumBuckets := 0
+	for _, c := range g.Buckets {
+		sumBuckets += c
+	}
+	if sumBuckets != g.Count {
+		t.Fatalf("buckets sum %d != count %d", sumBuckets, g.Count)
+	}
+	out := g.String()
+	if !strings.Contains(out, "thread granularity") || !strings.Contains(out, "median") {
+		t.Fatalf("profile render incomplete:\n%s", out)
+	}
+	// The main thread alone ran the fold; total run time must be at
+	// least the whole elapsed span (4 caps mostly busy: more).
+	if g.Total < res.Elapsed {
+		t.Fatalf("total run time %d below elapsed %d", g.Total, res.Elapsed)
+	}
+}

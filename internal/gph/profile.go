@@ -1,0 +1,84 @@
+package gph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parhask/internal/trace"
+)
+
+// Granularity is a thread-granularity profile: the distribution of
+// per-thread virtual run times over a completed run. The paper leans on
+// custom profiling tooling throughout ("our work underlines the
+// importance of adequate tools for parallel profiling"); this is the
+// GranSim-style granularity histogram that tradition starts from.
+type Granularity struct {
+	// Count is the number of threads profiled.
+	Count int
+	// Total is the summed run time of all threads.
+	Total int64
+	// Min, Median, P90 and Max summarise the distribution.
+	Min, Median, P90, Max int64
+	// Buckets counts threads per decade: <10µs, <100µs, <1ms, <10ms,
+	// <100ms, >=100ms.
+	Buckets [6]int
+}
+
+// bucketEdges are the decade boundaries in virtual ns.
+var bucketEdges = [5]int64{10_000, 100_000, 1_000_000, 10_000_000, 100_000_000}
+
+// bucketLabels name the histogram rows.
+var bucketLabels = [6]string{"<10µs", "<100µs", "<1ms", "<10ms", "<100ms", "≥100ms"}
+
+// GranularityProfile computes the thread-granularity profile of a run.
+func (res *Result) GranularityProfile() Granularity {
+	var g Granularity
+	times := make([]int64, 0, len(res.threads))
+	for _, th := range res.threads {
+		rt := th.RunTime()
+		times = append(times, rt)
+		g.Total += rt
+		placed := false
+		for i, edge := range bucketEdges {
+			if rt < edge {
+				g.Buckets[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			g.Buckets[5]++
+		}
+	}
+	g.Count = len(times)
+	if g.Count == 0 {
+		return g
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	g.Min = times[0]
+	g.Median = times[g.Count/2]
+	g.P90 = times[g.Count*9/10]
+	g.Max = times[g.Count-1]
+	return g
+}
+
+// String renders the profile as a histogram table.
+func (g Granularity) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "thread granularity: %d threads, %s total run time\n",
+		g.Count, trace.FmtDur(g.Total))
+	fmt.Fprintf(&b, "  min %s · median %s · p90 %s · max %s\n",
+		trace.FmtDur(g.Min), trace.FmtDur(g.Median), trace.FmtDur(g.P90), trace.FmtDur(g.Max))
+	maxCount := 1
+	for _, c := range g.Buckets {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	for i, c := range g.Buckets {
+		bar := strings.Repeat("#", c*40/maxCount)
+		fmt.Fprintf(&b, "  %-7s %5d %s\n", bucketLabels[i], c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package gph
+
+import (
+	"fmt"
+
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/trace"
+)
+
+// FindWork is the idle loop of a capability: join pending GCs, run
+// threads that arrived, activate sparks (own pool, then — in stealing
+// mode — other capabilities' pools), or go idle. Returns nil only when
+// the runtime is shutting down and quiescent.
+func (r *RTS) FindWork(c *rts.Cap) *rts.Thread {
+	e := r.ext(c)
+	for {
+		if r.gc.pending && r.gc.initiator != c {
+			r.gcArrive(c, nil)
+			continue
+		}
+		if th := c.TryDequeue(); th != nil {
+			return th
+		}
+		if r.shutdown && r.liveThreads == 0 {
+			return nil
+		}
+		if !r.cfg.WorkStealing {
+			// The scheduler is running: the 6.8.x load balancer pushes
+			// surplus work now (no-op unless we have surplus).
+			r.schedulePushWork(c)
+		}
+		if th := r.activateSpark(c); th != nil {
+			if r.cfg.WorkStealing && r.anySparks() {
+				// Wake chaining: there is more to steal; recruit another
+				// idle capability.
+				r.wakeOneIdleCap()
+			}
+			return th
+		}
+		// The spark hunt above burned virtual time; any Unpark that
+		// arrived during those burns was absorbed by the burn's own
+		// sleep loop. Re-check every park condition (none of these
+		// checks yields) before committing to the park, or an enqueued
+		// wakeup could be lost for good.
+		if c.RunQLen() > 0 || !e.pool.Empty() ||
+			(r.gc.pending && r.gc.initiator != c) ||
+			(r.shutdown && r.liveThreads == 0) {
+			continue
+		}
+		// Nothing to do: go idle. "Blocked" (red) when this capability
+		// still owns threads that are parked on black holes.
+		e.idle = true
+		if c.BlockedCount > 0 {
+			c.SetState(trace.Blocked)
+		} else {
+			c.SetState(trace.Idle)
+		}
+		if r.cfg.WorkStealing {
+			// Event-driven: sparks, wakeups, GC and shutdown all unpark us.
+			c.Task.Park()
+		} else {
+			// The old scheduler polls for pushed work.
+			c.Task.SleepInterruptible(c.Costs.IdleBackoff)
+		}
+		e.idle = false
+		c.SetState(trace.Runnable)
+	}
+}
+
+// HeapBoundary runs at every allocation-block boundary of a running
+// thread: join or initiate GCs and enforce the scheduler timeslice.
+func (r *RTS) HeapBoundary(c *rts.Cap, th *rts.Thread) bool {
+	e := r.ext(c)
+	if e.lastThread != th {
+		e.lastThread = th
+		e.lastSwitch = c.Now()
+	}
+	if r.gc.pending && r.gc.initiator != c {
+		r.gcArrive(c, th)
+		c.SetState(trace.Run)
+	}
+	if c.AllocInArea >= r.cfg.allocArea() {
+		if r.cfg.LocalHeaps {
+			r.localGC(c, th)
+			if r.globalHeapBytes >= r.cfg.globalHeapLimit() {
+				r.initiateGC(c, th)
+			}
+		} else {
+			r.initiateGC(c, th)
+		}
+		c.SetState(trace.Run)
+	}
+	if c.Now()-e.lastSwitch >= c.Costs.Timeslice {
+		e.lastSwitch = c.Now()
+		if !r.cfg.WorkStealing {
+			r.schedulePushWork(c)
+		}
+		if c.RunQLen() > 0 {
+			return true // context switch
+		}
+	}
+	return false
+}
+
+// activateSpark turns a spark into runnable work: either a dedicated
+// spark thread that keeps draining pools (§IV-A.4) or a fresh thread for
+// this one spark.
+func (r *RTS) activateSpark(c *rts.Cap) *rts.Thread {
+	e := r.ext(c)
+	if r.cfg.SparkThreads && e.sparkThreadActive {
+		// An active spark thread is already draining the pools.
+		return nil
+	}
+	t := r.getSpark(c)
+	if t == nil {
+		return nil
+	}
+	c.Burn(c.Costs.ThreadCreate)
+	if r.cfg.SparkThreads {
+		e.sparkThreadActive = true
+		th := c.NewThread(fmt.Sprintf("spkthr-c%d", c.Index), func(ctx *rts.Ctx) {
+			r.sparkLoop(ctx, t)
+		})
+		th.SparkThread = true
+		return th
+	}
+	return c.NewThread(fmt.Sprintf("spark-c%d", c.Index), func(ctx *rts.Ctx) {
+		ctx.Force(t)
+	})
+}
+
+// sparkLoop is the body of a dedicated spark thread: evaluate sparks
+// until none are available anywhere, yielding to higher-priority threads.
+func (r *RTS) sparkLoop(ctx *rts.Ctx, first *graph.Thunk) {
+	t := first
+	for {
+		if t != nil {
+			ctx.Force(t)
+		}
+		c := ctx.Cap()
+		if c.RunQLen() > 0 {
+			// Spark threads give up the CPU for other threads; the
+			// scheduler creates a new spark thread later if needed.
+			return
+		}
+		t = r.getSpark(c)
+		if t == nil {
+			return
+		}
+	}
+}
+
+// getSpark obtains the next useful (non-fizzled) spark: first from the
+// local pool, then — in stealing mode — from other capabilities' pools
+// via the lock-free deque.
+func (r *RTS) getSpark(c *rts.Cap) *graph.Thunk {
+	e := r.ext(c)
+	for {
+		t, ok := e.pool.PopBottom()
+		if !ok {
+			break
+		}
+		c.Burn(c.Costs.SparkPop)
+		if t.IsEvaluated() {
+			r.stats.SparksFizzled++
+			continue
+		}
+		r.stats.SparksConverted++
+		return t
+	}
+	if !r.cfg.WorkStealing {
+		return nil
+	}
+	n := len(r.caps)
+	start := r.sim.Rand().Intn(n)
+	for i := 0; i < n; i++ {
+		v := r.caps[(start+i)%n]
+		if v == e {
+			continue
+		}
+		for !v.pool.Empty() {
+			c.Burn(c.Costs.StealAttempt)
+			r.stats.StealAttempts++
+			t, ok := v.pool.Steal()
+			if !ok {
+				break
+			}
+			r.stats.Steals++
+			if t.IsEvaluated() {
+				r.stats.SparksFizzled++
+				continue
+			}
+			r.stats.SparksConverted++
+			return t
+		}
+	}
+	return nil
+}
+
+// schedulePushWork is the GHC 6.8.x load balancer: when the scheduler
+// runs on a capability with surplus work and other capabilities are
+// idle, push them the surplus. Threads are pushed in both scheduler
+// modes (the paper: "surplus threads are still pushed actively"); sparks
+// only in pushing mode — in stealing mode idle capabilities pull them.
+func (r *RTS) schedulePushWork(c *rts.Cap) {
+	e := r.ext(c)
+	for c.RunQLen() > 1 {
+		target := r.findIdleCap(c)
+		if target == nil {
+			break
+		}
+		th := c.StealRunnable()
+		if th == nil {
+			break
+		}
+		if th.SparkThread {
+			// Spark threads are bound to the capability whose
+			// sparkThreadActive flag tracks them; do not migrate them.
+			c.Enqueue(th)
+			break
+		}
+		c.Burn(c.Costs.PushWork)
+		r.stats.ThreadsPushed++
+		target.cap.Enqueue(th)
+	}
+	if r.cfg.WorkStealing {
+		return
+	}
+	for e.pool.Size() > 1 {
+		target := r.findIdleCap(c)
+		if target == nil || !target.pool.Empty() {
+			break
+		}
+		t, ok := e.pool.PopBottom()
+		if !ok {
+			break
+		}
+		if t.IsEvaluated() {
+			r.stats.SparksFizzled++
+			continue
+		}
+		c.Burn(c.Costs.PushWork)
+		r.stats.SparksPushed++
+		target.pool.PushBottom(t)
+		target.cap.Wake()
+	}
+}
+
+// findIdleCap returns a free capability other than c: one with no
+// running thread, an empty run queue and an empty spark pool — whether
+// it is parked or waiting at the GC barrier (GHC 6.8's load balancer
+// pushed to any free capability when the scheduler ran).
+func (r *RTS) findIdleCap(c *rts.Cap) *capExt {
+	n := len(r.caps)
+	for i := 1; i < n; i++ {
+		e := r.caps[(c.Index+i)%n]
+		if e.cap.Current() == nil && e.cap.RunQLen() == 0 && e.pool.Empty() {
+			return e
+		}
+	}
+	return nil
+}

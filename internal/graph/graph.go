@@ -1,0 +1,237 @@
+// Package graph implements the heap-graph reduction core shared by both
+// runtimes: thunks (suspended computations), sharing, forcing to weak
+// head normal form, deep forcing to normal form, and the black-holing
+// machinery whose lazy/eager variants the paper analyses in §IV-A.3.
+//
+// A Thunk is a heap node that is either unevaluated, under evaluation
+// ("black hole"), or evaluated. Forcing an evaluated thunk returns its
+// cached value; forcing a black hole blocks the forcing thread until the
+// evaluating thread updates the node; forcing an unevaluated thunk runs
+// its computation.
+//
+// The difference between the two black-holing policies is *when* an
+// unevaluated thunk is marked as under-evaluation:
+//
+//   - eager: immediately on entry (one extra write per thunk entry);
+//   - lazy (GHC's default): only when the evaluating thread is context-
+//     switched, leaving a time window during which other threads entering
+//     the same thunk duplicate its evaluation — harmless semantically
+//     (referential transparency) but wasted parallel work, which is
+//     exactly what the paper's shortest-path measurements expose.
+package graph
+
+// Value is any heap value. Workloads use ints, floats, slices and small
+// structs; thunks may appear inside []*Thunk and []Value for lazy
+// structures.
+type Value any
+
+// EvalState is a thunk's lifecycle state.
+type EvalState int8
+
+const (
+	// Unevaluated: never entered, or entered but not yet black-holed
+	// (lazy policy window).
+	Unevaluated EvalState = iota
+	// Blackholed: marked as under evaluation; forcing threads must block.
+	Blackholed
+	// Evaluated: value available.
+	Evaluated
+)
+
+func (s EvalState) String() string {
+	switch s {
+	case Unevaluated:
+		return "unevaluated"
+	case Blackholed:
+		return "blackholed"
+	case Evaluated:
+		return "evaluated"
+	}
+	return "?"
+}
+
+// Context is the view a forcing thread has of its runtime system. Both
+// the GpH capability scheduler and Eden PE threads implement it.
+type Context interface {
+	// Burn consumes virtual mutator time.
+	Burn(ns int64)
+	// Alloc accounts bytes of heap allocation (and performs heap checks,
+	// which may trigger GC or a context switch in virtual time).
+	Alloc(bytes int64)
+	// EagerBlackholing reports the black-holing policy in force.
+	EagerBlackholing() bool
+	// BlackholeWriteCost is the virtual cost of the eager claim write.
+	BlackholeWriteCost() int64
+	// EnteredThunk records that the current thread started evaluating t
+	// without black-holing it (lazy policy); the runtime marks such
+	// thunks at the next context switch.
+	EnteredThunk(t *Thunk)
+	// LeftThunk records that the current thread finished evaluating t.
+	LeftThunk(t *Thunk)
+	// BlockOnThunk suspends the current thread until t is Evaluated.
+	BlockOnThunk(t *Thunk)
+	// WakeThunkWaiters wakes all threads blocked on t (t just became
+	// Evaluated). The waiters list is stored on the thunk; the runtime
+	// interprets the entries it put there.
+	WakeThunkWaiters(t *Thunk)
+	// NoteDuplicateEntry records that the current thread entered a thunk
+	// that another thread is already evaluating (lazy-black-holing
+	// duplication), for statistics.
+	NoteDuplicateEntry(t *Thunk)
+}
+
+// Thunk is a shared heap node holding either a suspended computation or
+// its value.
+type Thunk struct {
+	state   EvalState
+	compute func(Context) Value
+	val     Value
+
+	// evaluators counts threads currently inside compute (can exceed 1
+	// only under lazy black-holing).
+	evaluators int
+	// Waiters holds runtime-owned records of threads blocked on this
+	// thunk while it is black-holed. The runtime appends in BlockOnThunk
+	// and drains in WakeThunkWaiters.
+	Waiters []any
+}
+
+// NewThunk returns an unevaluated thunk for fn.
+func NewThunk(fn func(Context) Value) *Thunk {
+	return &Thunk{state: Unevaluated, compute: fn}
+}
+
+// NewValue returns an already-evaluated thunk holding v.
+func NewValue(v Value) *Thunk {
+	return &Thunk{state: Evaluated, val: v}
+}
+
+// NewPlaceholder returns a black-holed thunk with no computation: a heap
+// placeholder that will be filled in by an arriving message (Eden's
+// channel synchronisation, §III-B). Threads forcing it block until
+// Resolve is called.
+func NewPlaceholder() *Thunk {
+	return &Thunk{state: Blackholed}
+}
+
+// CloneForExport returns a fresh unevaluated thunk sharing this thunk's
+// computation — the packed copy of a spark shipped to another heap
+// (GUM's SCHEDULE). The original is typically turned into a FetchMe by
+// black-holing it, so local touchers block and fetch the remote value.
+// It panics if the thunk is already claimed or evaluated.
+func (t *Thunk) CloneForExport() *Thunk {
+	if t.state != Unevaluated {
+		panic("graph: CloneForExport of " + t.state.String() + " thunk")
+	}
+	return &Thunk{state: Unevaluated, compute: t.compute}
+}
+
+// Resolve fills a placeholder (or any not-yet-evaluated thunk) with v
+// and returns the list of waiter records to be woken by the caller.
+// It panics if the thunk is already evaluated.
+func (t *Thunk) Resolve(v Value) []any {
+	if t.state == Evaluated {
+		panic("graph: Resolve of evaluated thunk")
+	}
+	t.val = v
+	t.state = Evaluated
+	t.compute = nil
+	ws := t.Waiters
+	t.Waiters = nil
+	return ws
+}
+
+// State returns the thunk's current state.
+func (t *Thunk) State() EvalState { return t.state }
+
+// Evaluated reports whether the thunk holds a value.
+func (t *Thunk) IsEvaluated() bool { return t.state == Evaluated }
+
+// Value returns the thunk's value; it panics if the thunk is not
+// evaluated (use Force).
+func (t *Thunk) Value() Value {
+	if t.state != Evaluated {
+		panic("graph: Value of unevaluated thunk")
+	}
+	return t.val
+}
+
+// Evaluators returns the number of threads currently evaluating the
+// thunk (>1 indicates duplicate evaluation in progress).
+func (t *Thunk) Evaluators() int { return t.evaluators }
+
+// MarkBlackhole transitions an unevaluated thunk to Blackholed; the
+// runtime calls this at context-switch time for the lazy policy. It is a
+// no-op for thunks already black-holed or evaluated.
+func (t *Thunk) MarkBlackhole() {
+	if t.state == Unevaluated {
+		t.state = Blackholed
+	}
+}
+
+// Force evaluates t to weak head normal form in the given context and
+// returns its value. It implements the sharing + black-holing semantics
+// described in the package comment.
+func Force(ctx Context, t *Thunk) Value {
+	for {
+		switch t.state {
+		case Evaluated:
+			return t.val
+
+		case Blackholed:
+			ctx.BlockOnThunk(t)
+			// Loop: on wakeup the thunk is normally Evaluated.
+
+		case Unevaluated:
+			if ctx.EagerBlackholing() {
+				t.state = Blackholed
+				ctx.Burn(ctx.BlackholeWriteCost())
+			} else {
+				if t.evaluators > 0 {
+					ctx.NoteDuplicateEntry(t)
+				}
+				ctx.EnteredThunk(t)
+			}
+			t.evaluators++
+			v := t.compute(ctx)
+			t.evaluators--
+			ctx.LeftThunk(t)
+			if t.state != Evaluated {
+				// First evaluator to complete updates the node. (Under
+				// lazy black-holing a duplicate evaluator may arrive here
+				// second and find the value already written.)
+				t.val = v
+				t.state = Evaluated
+				t.compute = nil
+				ctx.WakeThunkWaiters(t)
+			}
+			return t.val
+		}
+	}
+}
+
+// ForceDeep forces v to normal form: thunks are forced and their values
+// recursively deep-forced; []*Thunk and []Value are traversed
+// element-by-element. Flat data (numbers, strings, numeric slices,
+// structs without thunks) is already in normal form. Eden uses this for
+// its reduce-to-normal-form-before-send semantics; GpH strategies use it
+// for rnf.
+func ForceDeep(ctx Context, v Value) Value {
+	switch x := v.(type) {
+	case *Thunk:
+		return ForceDeep(ctx, Force(ctx, x))
+	case []*Thunk:
+		out := make([]Value, len(x))
+		for i, t := range x {
+			out[i] = ForceDeep(ctx, t)
+		}
+		return out
+	case []Value:
+		for i := range x {
+			x[i] = ForceDeep(ctx, x[i])
+		}
+		return x
+	default:
+		return v
+	}
+}

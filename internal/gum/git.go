@@ -1,0 +1,93 @@
+package gum
+
+import "parhask/internal/graph"
+
+// maxWeight is the initial weight of a global address (weighted
+// reference counting: copies of a GA carry parts of the weight; when
+// the full weight has returned to the owning entry it can be reclaimed
+// without any global synchronisation — the "well-understood general
+// concept" the paper cites for GUM's global GC).
+const maxWeight = 1 << 16
+
+// ga is one global-address entry: the home thunk (now a FetchMe), the
+// exported copy being evaluated remotely, and the owning PE.
+type ga struct {
+	home          *graph.Thunk
+	remote        *graph.Thunk
+	owner         int // PE evaluating the exported copy
+	weight        int // outstanding weight (0 => reclaimable)
+	fetchInFlight bool
+	dead          bool
+}
+
+// globalTable is the global indirection table (GIT).
+type globalTable struct {
+	entries map[*graph.Thunk]*ga // keyed by home thunk
+	created int
+	freed   int
+}
+
+func newGlobalTable() *globalTable {
+	return &globalTable{entries: make(map[*graph.Thunk]*ga)}
+}
+
+// export registers a new global address for a spark shipped from its
+// home heap to PE owner.
+func (g *globalTable) export(home, remote *graph.Thunk, owner int) *ga {
+	e := &ga{home: home, remote: remote, owner: owner, weight: maxWeight}
+	g.entries[home] = e
+	g.created++
+	return e
+}
+
+// lookup finds the entry for a home thunk.
+func (g *globalTable) lookup(home *graph.Thunk) (*ga, bool) {
+	e, ok := g.entries[home]
+	if !ok || e.dead {
+		return nil, false
+	}
+	return e, true
+}
+
+// returnWeight hands the full weight back (the remote value arrived and
+// the home thunk was overwritten); the entry becomes reclaimable.
+func (g *globalTable) returnWeight(home *graph.Thunk) {
+	if e, ok := g.entries[home]; ok && !e.dead {
+		e.weight = 0
+		e.dead = true
+		g.freed++
+	}
+}
+
+// countOwnedBy returns how many live entries point at PE owner — the
+// extra roots a local collection must retain.
+func (g *globalTable) countOwnedBy(owner int) int {
+	n := 0
+	for _, e := range g.entries {
+		if !e.dead && e.owner == owner {
+			n++
+		}
+	}
+	return n
+}
+
+// sweep drops reclaimed entries whose remote copy lives on PE owner —
+// done during that PE's local GC, with no global pause.
+func (g *globalTable) sweep(owner int) {
+	for k, e := range g.entries {
+		if e.dead && e.owner == owner {
+			delete(g.entries, k)
+		}
+	}
+}
+
+// live returns the number of live entries (for tests).
+func (g *globalTable) live() int {
+	n := 0
+	for _, e := range g.entries {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,373 @@
+// Package gum implements GUM — the distributed-memory implementation of
+// GpH (Trinder et al., PLDI'96) that the paper describes in §III-B as
+// the historical sibling of Eden's runtime: each PE runs a sequential
+// runtime with a private heap; work is distributed *passively* by
+// "fishing" (an idle PE sends a FISH message hunting for spare sparks,
+// and a loaded PE replies by SCHEDULEing a packed spark to it); a
+// virtual shared memory is maintained through global addresses, with
+// FETCH/RESUME messages pulling remote values on demand; and weighted
+// reference counting supports global garbage collection while local
+// collections stay independent.
+//
+// Because GUM exposes exactly the GpH programming model (par + forcing),
+// the very same programs that run on the shared-heap runtime (package
+// gph) run unmodified here — sumEuler's GpHProgram, the blockwise matrix
+// multiplication, etc. — which is the paper's point about the two
+// implementation families sharing one programming model.
+//
+// Simplification (documented per DESIGN.md): GUM packs a subgraph around
+// an exported spark and lazily fetches what was left behind. Here the
+// exported closure's *pure inputs* are reachable directly (as if packed
+// whole, charged by packet size), while the exported thunk itself gets
+// the full global-address treatment: the home PE keeps a FetchMe, and
+// touching it triggers the FETCH/RESUME protocol.
+package gum
+
+import (
+	"fmt"
+
+	"parhask/internal/cost"
+	"parhask/internal/deque"
+	"parhask/internal/graph"
+	"parhask/internal/machine"
+	"parhask/internal/rts"
+	"parhask/internal/sim"
+	"parhask/internal/trace"
+)
+
+// Config selects a GUM runtime setup.
+type Config struct {
+	// PEs is the number of processing elements.
+	PEs int
+	// Cores is the number of physical cores of the simulated machine.
+	Cores int
+	// Costs is the virtual cost model.
+	Costs cost.Model
+	// AllocArea is the per-PE allocation area; 0 selects the default.
+	AllocArea int64
+	// ResidentBytesPerPE is the baseline long-lived heap per PE.
+	ResidentBytesPerPE int64
+	// EagerBlackholing selects the intra-PE black-holing policy.
+	EagerBlackholing bool
+	// FishDelay is how long an unlucky fisher waits before casting
+	// again (GUM's back-off against fish storms).
+	FishDelay int64
+	// FishTTL is how many times a FISH is forwarded before giving up.
+	FishTTL int
+	// SparkPoolCap bounds each PE's spark pool.
+	SparkPoolCap int
+	// PackedClosureBytes approximates the packet size of one exported
+	// spark's subgraph.
+	PackedClosureBytes int64
+	// Seed for the deterministic PRNG (fishing targets).
+	Seed uint64
+}
+
+// NewConfig returns a GUM configuration with pes PEs on cores cores.
+func NewConfig(pes, cores int) Config {
+	return Config{
+		PEs:                pes,
+		Cores:              cores,
+		Costs:              cost.Default(),
+		FishDelay:          300_000, // 300 µs
+		FishTTL:            2,
+		SparkPoolCap:       4096,
+		PackedClosureBytes: 512,
+		Seed:               1,
+	}
+}
+
+func (c *Config) allocArea() int64 {
+	if c.AllocArea > 0 {
+		return c.AllocArea
+	}
+	return c.Costs.AllocAreaDefault
+}
+
+// Stats aggregates counters over one GUM run.
+type Stats struct {
+	SparksCreated  int
+	SparksExported int // shipped in SCHEDULE messages
+	SparksFizzled  int
+	FishSent       int
+	FishForwarded  int
+	FishFailed     int // returned empty-handed
+	Schedules      int
+	Fetches        int
+	Resumes        int
+	GlobalsCreated int // global addresses issued
+	WeightReturned int // weights fully returned (GIT entries freed)
+	Messages       int
+	BytesSent      int64
+	LocalGCs       int
+	MajorGCs       int
+	GCTime         int64
+	ThreadsCreated int
+	BlockedOnThunk int
+	DupEntries     int
+	TotalAlloc     int64
+}
+
+// Result is the outcome of one GUM run.
+type Result struct {
+	Elapsed sim.Time
+	Value   graph.Value
+	Stats   Stats
+	Trace   *trace.Log
+}
+
+// peState is one GUM processing element.
+type peState struct {
+	cap        *rts.Cap
+	pool       *deque.Deque[graph.Thunk]
+	mailbox    []message
+	fishing    bool // a FISH from this PE is in flight
+	idle       bool
+	resident   int64
+	gcCount    int
+	lastSwitch sim.Time
+	lastThread *rts.Thread
+	// arrivalFloor is the latest scheduled arrival at this PE, keeping
+	// deliveries FIFO under latency jitter.
+	arrivalFloor sim.Time
+}
+
+// RTS is a running GUM instance; it implements rts.System for all PEs.
+type RTS struct {
+	cfg   Config
+	sim   *sim.Sim
+	cpu   *machine.CPU
+	log   *trace.Log
+	pes   []*peState
+	git   *globalTable
+	stats Stats
+
+	liveThreads int
+	shutdown    bool
+	mainDone    sim.Time
+	mainValue   graph.Value
+}
+
+var _ rts.System = (*RTS)(nil)
+
+// Run executes main as the root GpH thread on PE 0. The main function
+// has the exact same type as for the shared-heap runtime (gph.Run), so
+// GpH programs are portable between the two implementations.
+func Run(cfg Config, main func(*rts.Ctx) graph.Value) (*Result, error) {
+	if cfg.PEs <= 0 || cfg.Cores <= 0 {
+		return nil, fmt.Errorf("gum: invalid configuration PEs=%d cores=%d", cfg.PEs, cfg.Cores)
+	}
+	s := sim.New(cfg.Seed + 0x6155_f15b)
+	r := &RTS{
+		cfg: cfg,
+		sim: s,
+		cpu: machine.New(s, cfg.Cores),
+		log: trace.NewLog(),
+		git: newGlobalTable(),
+	}
+	costs := cfg.Costs
+	for i := 0; i < cfg.PEs; i++ {
+		agent := r.log.NewAgent(fmt.Sprintf("pe%d", i))
+		c := rts.NewCap(i, r, r.cpu, &costs, agent)
+		r.pes = append(r.pes, &peState{
+			cap:      c,
+			pool:     deque.New[graph.Thunk](),
+			resident: cfg.ResidentBytesPerPE,
+		})
+	}
+	mainThread := r.pes[0].cap.NewThread("main", func(ctx *rts.Ctx) {
+		r.mainValue = main(ctx)
+		r.mainDone = ctx.Now()
+		r.shutdown = true
+		r.wakeAllPEs()
+	})
+	r.pes[0].cap.Enqueue(mainThread)
+	for _, pe := range r.pes {
+		pe.cap.Start(s)
+	}
+	if err := s.Run(); err != nil {
+		return nil, fmt.Errorf("gum: %w", err)
+	}
+	r.log.Close(r.mainDone)
+	for _, pe := range r.pes {
+		r.stats.TotalAlloc += pe.cap.TotalAlloc
+	}
+	r.stats.WeightReturned = r.git.freed
+	return &Result{
+		Elapsed: r.mainDone,
+		Value:   r.mainValue,
+		Stats:   r.stats,
+		Trace:   r.log,
+	}, nil
+}
+
+func (r *RTS) pe(c *rts.Cap) *peState { return r.pes[c.Index] }
+
+func (r *RTS) wakeAllPEs() {
+	for _, pe := range r.pes {
+		pe.cap.Wake()
+	}
+}
+
+// --- rts.System implementation ---
+
+// EagerBlackholing reports the intra-PE black-holing policy.
+func (r *RTS) EagerBlackholing() bool { return r.cfg.EagerBlackholing }
+
+// NoteDuplicate counts duplicate thunk entries.
+func (r *RTS) NoteDuplicate(t *graph.Thunk) { r.stats.DupEntries++ }
+
+// Spark implements par: push onto the local PE's spark pool. Unlike the
+// shared-heap runtime nothing is signalled — distribution is passive,
+// driven by other PEs' fishing.
+func (r *RTS) Spark(c *rts.Cap, th *rts.Thread, t *graph.Thunk) {
+	pe := r.pe(c)
+	c.Burn(c.Costs.SparkPush)
+	if t.IsEvaluated() {
+		r.stats.SparksFizzled++
+		return
+	}
+	if pe.pool.Size() >= r.cfg.SparkPoolCap {
+		return
+	}
+	pe.pool.PushBottom(t)
+	r.stats.SparksCreated++
+}
+
+// ThreadCreated tracks live threads.
+func (r *RTS) ThreadCreated(c *rts.Cap, th *rts.Thread) {
+	r.liveThreads++
+	r.stats.ThreadsCreated++
+}
+
+// ThreadDone handles thread termination.
+func (r *RTS) ThreadDone(c *rts.Cap, th *rts.Thread) {
+	r.liveThreads--
+	if r.shutdown && r.liveThreads == 0 {
+		r.wakeAllPEs()
+	}
+}
+
+// ThreadBlocked fires the demand-driven FETCH protocol when a thread
+// blocks on a FetchMe (a thunk whose evaluation lives on another PE).
+func (r *RTS) ThreadBlocked(c *rts.Cap, th *rts.Thread, on *graph.Thunk) {
+	r.stats.BlockedOnThunk++
+	if on == nil {
+		return
+	}
+	if ga, ok := r.git.lookup(on); ok && ga.owner != c.Index && !ga.fetchInFlight {
+		ga.fetchInFlight = true
+		r.stats.Fetches++
+		r.send(c, ga.owner, message{
+			kind: msgFetch, thunk: on, remote: ga.remote, from: c.Index, bytes: 48,
+		})
+	}
+}
+
+// FindWork is a GUM PE's idle loop: deliver messages, run threads,
+// activate local sparks, otherwise go fishing.
+func (r *RTS) FindWork(c *rts.Cap) *rts.Thread {
+	pe := r.pe(c)
+	for {
+		r.processMailbox(c)
+		if th := c.TryDequeue(); th != nil {
+			return th
+		}
+		if r.shutdown && r.liveThreads == 0 {
+			return nil
+		}
+		if t := r.getLocalSpark(c); t != nil {
+			c.Burn(c.Costs.ThreadCreate)
+			return c.NewThread(fmt.Sprintf("spark-pe%d", c.Index), func(ctx *rts.Ctx) {
+				ctx.Force(t)
+			})
+		}
+		// Nothing local: fish for work (one FISH in flight at a time).
+		if !pe.fishing && !r.shutdown && len(r.pes) > 1 {
+			r.castFish(c)
+		}
+		// The spark hunt and the FISH send burned virtual time; wakes
+		// that arrived during those burns were absorbed. Re-check every
+		// park condition (no yields below) before committing.
+		if len(pe.mailbox) > 0 || c.RunQLen() > 0 ||
+			(r.shutdown && r.liveThreads == 0) {
+			continue
+		}
+		pe.idle = true
+		if c.BlockedCount > 0 {
+			c.SetState(trace.Blocked)
+		} else {
+			c.SetState(trace.Idle)
+		}
+		c.Task.Park()
+		pe.idle = false
+		c.SetState(trace.Runnable)
+	}
+}
+
+// getLocalSpark pops a useful spark from the local pool.
+func (r *RTS) getLocalSpark(c *rts.Cap) *graph.Thunk {
+	pe := r.pe(c)
+	for {
+		t, ok := pe.pool.PopBottom()
+		if !ok {
+			return nil
+		}
+		c.Burn(c.Costs.SparkPop)
+		if t.IsEvaluated() {
+			r.stats.SparksFizzled++
+			continue
+		}
+		return t
+	}
+}
+
+// HeapBoundary: deliver messages, local GC, timeslice.
+func (r *RTS) HeapBoundary(c *rts.Cap, th *rts.Thread) bool {
+	pe := r.pe(c)
+	if pe.lastThread != th {
+		pe.lastThread = th
+		pe.lastSwitch = c.Now()
+	}
+	r.processMailbox(c)
+	if c.AllocInArea >= r.cfg.allocArea() {
+		r.localGC(c, th)
+		c.SetState(trace.Run)
+	}
+	if c.Now()-pe.lastSwitch >= c.Costs.Timeslice {
+		pe.lastSwitch = c.Now()
+		if c.RunQLen() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// localGC collects one PE's private heap independently. Globally
+// addressed nodes (the GIT) are roots and survive; weighted reference
+// counting reclaims their entries without any global pause.
+func (r *RTS) localGC(c *rts.Cap, th *rts.Thread) {
+	if th != nil {
+		th.MarkEntered()
+	}
+	pe := r.pe(c)
+	c.SetState(trace.GC)
+	costs := c.Costs
+	live := int64(float64(c.AllocSinceGC) * costs.SurvivalRate)
+	live += int64(r.git.countOwnedBy(c.Index)) * r.cfg.PackedClosureBytes
+	r.stats.LocalGCs++
+	pe.gcCount++
+	if costs.MajorGCEvery > 0 && pe.gcCount%costs.MajorGCEvery == 0 {
+		live += pe.resident
+		r.stats.MajorGCs++
+	}
+	gcCost := costs.GCFixed + int64(costs.GCPerLiveByte*float64(live))
+	start := c.Now()
+	c.Burn(gcCost)
+	r.stats.GCTime += c.Now() - start
+	c.AllocInArea = 0
+	c.AllocSinceGC = 0
+	// Weighted-reference-count sweep: entries whose weight fully
+	// returned are freed locally, no synchronisation required.
+	r.git.sweep(c.Index)
+}

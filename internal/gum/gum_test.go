@@ -1,0 +1,232 @@
+package gum
+
+import (
+	"testing"
+
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/strategies"
+	"parhask/internal/workloads/euler"
+	"parhask/internal/workloads/matmul"
+)
+
+func runG(t *testing.T, cfg Config, main func(*rts.Ctx) graph.Value) *Result {
+	t.Helper()
+	res, err := Run(cfg, main)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// chunkMain is the standard synthetic GpH workload (identical to the
+// one the shared-heap tests use — same programming model).
+func chunkMain(n int, burn, alloc int64) func(*rts.Ctx) graph.Value {
+	return func(ctx *rts.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, n)
+		for i := 0; i < n; i++ {
+			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				c.Alloc(alloc)
+				c.Burn(burn)
+				return 1
+			})
+		}
+		strategies.ParListWHNF(ctx, ts)
+		sum := 0
+		for _, t := range ts {
+			sum += ctx.Force(t).(int)
+		}
+		return sum
+	}
+}
+
+func TestMainOnlySequential(t *testing.T) {
+	res := runG(t, NewConfig(4, 4), func(ctx *rts.Ctx) graph.Value {
+		ctx.Burn(2_000_000)
+		return 5
+	})
+	if res.Value != 5 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Stats.Schedules != 0 {
+		t.Fatal("nothing to schedule in a sequential program")
+	}
+}
+
+func TestFishingDistributesSparks(t *testing.T) {
+	res := runG(t, NewConfig(4, 4), chunkMain(32, 2_000_000, 128*1024))
+	if res.Value != 32 {
+		t.Fatalf("value = %v, want 32", res.Value)
+	}
+	if res.Stats.FishSent == 0 {
+		t.Fatal("idle PEs never fished")
+	}
+	if res.Stats.Schedules == 0 {
+		t.Fatal("no sparks were exported despite idle PEs")
+	}
+}
+
+func TestFetchResumeRoundTrip(t *testing.T) {
+	// Main sparks a thunk, waits for it to be fished away, then forces
+	// it: that must block on the FetchMe and pull the value back.
+	res := runG(t, NewConfig(2, 2), func(ctx *rts.Ctx) graph.Value {
+		th := strategies.Thunk(func(c *rts.Ctx) graph.Value {
+			c.Alloc(16 * 1024)
+			c.Burn(4_000_000)
+			return 99
+		})
+		ctx.Par(th)
+		// Keep allocating while we wait so our PE reaches heap checks
+		// and serves PE1's FISH (GUM processes messages at scheduler
+		// return points).
+		for i := 0; i < 8; i++ {
+			ctx.Alloc(16 * 1024)
+			ctx.Burn(250_000)
+		}
+		return ctx.Force(th)
+	})
+	if res.Value != 99 {
+		t.Fatalf("value = %v, want 99", res.Value)
+	}
+	if res.Stats.SparksExported == 0 {
+		t.Fatal("spark was not exported")
+	}
+	if res.Stats.Fetches == 0 || res.Stats.Resumes == 0 {
+		t.Fatalf("fetch/resume protocol not exercised: %+v", res.Stats)
+	}
+}
+
+func TestGpHProgramPortability(t *testing.T) {
+	// The identical sumEuler program source runs on GUM.
+	const n = 800
+	cfg := NewConfig(4, 4)
+	res := runG(t, cfg, euler.GpHProgram(n, 16, cfg.Costs.GCDIter))
+	if res.Value != euler.SumTotientSieve(n) {
+		t.Fatalf("value = %v, want %d", res.Value, euler.SumTotientSieve(n))
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	const n = 2000
+	cfg1 := NewConfig(1, 1)
+	r1 := runG(t, cfg1, euler.GpHProgram(n, 32, cfg1.Costs.GCDIter))
+	cfg8 := NewConfig(8, 8)
+	r8 := runG(t, cfg8, euler.GpHProgram(n, 32, cfg8.Costs.GCDIter))
+	sp := float64(r1.Elapsed) / float64(r8.Elapsed)
+	if sp < 3 {
+		t.Fatalf("speedup = %.2f (t1=%d t8=%d), want >= 3", sp, r1.Elapsed, r8.Elapsed)
+	}
+}
+
+func TestMatMulOnGUM(t *testing.T) {
+	const n, bs = 32, 8
+	a, b := matmul.Random(n, 7), matmul.Random(n, 8)
+	want := matmul.MulOracle(a, b)
+	cfg := NewConfig(4, 4)
+	cfg.ResidentBytesPerPE = matmul.Bytes(n)
+	res := runG(t, cfg, matmul.GpHBlockProgram(a, b, bs, cfg.Costs.MulAdd))
+	if !matmul.Equal(res.Value.(matmul.Mat), want, 1e-9) {
+		t.Fatal("GUM matmul product incorrect")
+	}
+}
+
+func TestWeightedReferenceCounting(t *testing.T) {
+	res := runG(t, NewConfig(4, 4), chunkMain(24, 1_500_000, 64*1024))
+	if res.Value != 24 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Stats.GlobalsCreated == 0 {
+		t.Fatal("no global addresses created")
+	}
+	// Every fetched global must eventually return its weight.
+	if res.Stats.WeightReturned > res.Stats.GlobalsCreated {
+		t.Fatalf("returned %d weights for %d globals", res.Stats.WeightReturned, res.Stats.GlobalsCreated)
+	}
+	if res.Stats.Fetches > 0 && res.Stats.WeightReturned == 0 {
+		t.Fatal("fetched values never returned weight")
+	}
+}
+
+func TestFishTTLForwarding(t *testing.T) {
+	// Many PEs, work only on PE0: fish from far PEs get forwarded.
+	cfg := NewConfig(8, 8)
+	cfg.FishTTL = 3
+	res := runG(t, cfg, chunkMain(48, 1_000_000, 64*1024))
+	if res.Value != 48 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	if res.Stats.FishForwarded == 0 {
+		t.Fatal("no fish was ever forwarded")
+	}
+}
+
+func TestFishFailBackoff(t *testing.T) {
+	// Sequential program: every fish fails; the runtime must neither
+	// deadlock nor storm (fishing is rate-limited by FishDelay).
+	cfg := NewConfig(4, 4)
+	cfg.FishDelay = 500_000
+	res := runG(t, cfg, func(ctx *rts.Ctx) graph.Value {
+		ctx.Burn(10_000_000)
+		return 1
+	})
+	if res.Stats.FishFailed == 0 {
+		t.Fatal("expected failed fishes in a sequential program")
+	}
+	// 10ms runtime, 3 idle PEs, >=0.5ms between casts per PE: bounded.
+	if res.Stats.FishSent > 3*25 {
+		t.Fatalf("fish storm: %d fishes in 10ms", res.Stats.FishSent)
+	}
+}
+
+func TestDeterminismGUM(t *testing.T) {
+	cfg := NewConfig(4, 4)
+	a := runG(t, cfg, chunkMain(20, 800_000, 64*1024))
+	b := runG(t, cfg, chunkMain(20, 800_000, 64*1024))
+	if a.Elapsed != b.Elapsed || a.Stats != b.Stats {
+		t.Fatalf("nondeterministic: %d vs %d\n%+v\n%+v", a.Elapsed, b.Elapsed, a.Stats, b.Stats)
+	}
+}
+
+func TestLocalGCsIndependent(t *testing.T) {
+	res := runG(t, NewConfig(4, 4), chunkMain(16, 500_000, 4*1024*1024))
+	if res.Stats.LocalGCs == 0 {
+		t.Fatal("no local GCs despite heavy allocation")
+	}
+}
+
+func TestSharedLatticeAcrossPEs(t *testing.T) {
+	// A dependency chain whose links get exported: forcing the head
+	// exercises chained fetch-on-block behaviour.
+	res := runG(t, NewConfig(3, 3), func(ctx *rts.Ctx) graph.Value {
+		prev := graph.NewValue(0)
+		for i := 0; i < 12; i++ {
+			p := prev
+			next := strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				v := c.Force(p).(int)
+				c.Alloc(8 * 1024)
+				c.Burn(600_000)
+				return v + 1
+			})
+			ctx.Par(next)
+			prev = next
+		}
+		ctx.Burn(1_000_000)
+		return ctx.Force(prev)
+	})
+	if res.Value != 12 {
+		t.Fatalf("value = %v, want 12", res.Value)
+	}
+}
+
+func TestJitteredTransportStillCorrect(t *testing.T) {
+	cfg := NewConfig(4, 4)
+	cfg.Costs.MsgJitter = 300_000
+	res := runG(t, cfg, chunkMain(24, 900_000, 64*1024))
+	if res.Value != 24 {
+		t.Fatalf("value = %v", res.Value)
+	}
+	a := runG(t, cfg, chunkMain(24, 900_000, 64*1024))
+	if a.Elapsed != res.Elapsed {
+		t.Fatal("jittered GUM runs must stay deterministic")
+	}
+}

@@ -1,0 +1,225 @@
+package gum
+
+import (
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/trace"
+)
+
+// msgKind enumerates GUM's protocol messages.
+type msgKind int8
+
+const (
+	// msgFish hunts for spare sparks (idle PE -> random PE, forwarded
+	// up to TTL times).
+	msgFish msgKind = iota
+	// msgFishFail returns an unsuccessful fish to its origin.
+	msgFishFail
+	// msgSchedule ships a packed spark to the fisher.
+	msgSchedule
+	// msgFetch demands the value of a remote global address.
+	msgFetch
+	// msgResume delivers a fetched value.
+	msgResume
+)
+
+func (k msgKind) String() string {
+	switch k {
+	case msgFish:
+		return "FISH"
+	case msgFishFail:
+		return "FISHFAIL"
+	case msgSchedule:
+		return "SCHEDULE"
+	case msgFetch:
+		return "FETCH"
+	case msgResume:
+		return "RESUME"
+	}
+	return "?"
+}
+
+// message is one GUM packet.
+type message struct {
+	kind   msgKind
+	from   int // originating PE (fish origin / fetch requester)
+	ttl    int
+	thunk  *graph.Thunk // home thunk (FETCH/RESUME) or shipped spark (SCHEDULE)
+	remote *graph.Thunk // exported copy (FETCH)
+	val    graph.Value  // fetched value (RESUME)
+	bytes  int64
+}
+
+// send packs and transmits m to PE dest, charging the sender (the
+// calling capability) and delivering after the transport latency.
+func (r *RTS) send(c *rts.Cap, dest int, m message) {
+	costs := c.Costs
+	c.SetState(trace.Comm)
+	c.Burn(costs.MsgFixed + int64(costs.MsgPerByte*float64(m.bytes)))
+	c.SetState(trace.Runnable)
+	r.stats.Messages++
+	r.stats.BytesSent += m.bytes
+	target := r.pes[dest]
+	at := r.sim.Now() + costs.MsgLatency
+	if j := costs.MsgJitter; j > 0 {
+		at += int64(r.sim.Rand().Uint64() % uint64(j+1))
+	}
+	// Deliveries to one PE stay FIFO (a jittered message cannot overtake
+	// an earlier one), as the middleware guarantees per pair.
+	if at < target.arrivalFloor {
+		at = target.arrivalFloor
+	}
+	target.arrivalFloor = at
+	r.sim.After(at-r.sim.Now(), func() {
+		target.mailbox = append(target.mailbox, m)
+		target.cap.Wake()
+	})
+}
+
+// castFish sends one FISH to a random other PE.
+func (r *RTS) castFish(c *rts.Cap) {
+	pe := r.pe(c)
+	pe.fishing = true
+	r.stats.FishSent++
+	target := r.randomOtherPE(c.Index, -1)
+	r.send(c, target, message{kind: msgFish, from: c.Index, ttl: r.cfg.FishTTL, bytes: 32})
+}
+
+// randomOtherPE picks a deterministic pseudo-random PE different from
+// self (and from avoid, when >= 0 and possible).
+func (r *RTS) randomOtherPE(self, avoid int) int {
+	n := len(r.pes)
+	for tries := 0; ; tries++ {
+		p := r.sim.Rand().Intn(n)
+		if p == self {
+			continue
+		}
+		if p == avoid && n > 2 && tries < 8 {
+			continue
+		}
+		return p
+	}
+}
+
+// processMailbox handles every delivered message on this PE, charging
+// the per-message receive cost.
+func (r *RTS) processMailbox(c *rts.Cap) {
+	pe := r.pe(c)
+	for len(pe.mailbox) > 0 {
+		m := pe.mailbox[0]
+		pe.mailbox = pe.mailbox[1:]
+		c.SetState(trace.Comm)
+		costs := c.Costs
+		c.Burn(costs.MsgFixed + int64(costs.MsgPerByte*float64(m.bytes)))
+		c.SetState(trace.Runnable)
+		switch m.kind {
+		case msgFish:
+			r.handleFish(c, m)
+		case msgFishFail:
+			r.handleFishFail(c)
+		case msgSchedule:
+			r.handleSchedule(c, m)
+		case msgFetch:
+			r.handleFetch(c, m)
+		case msgResume:
+			r.handleResume(c, m)
+		default:
+			panic(fmt.Sprintf("gum: unknown message %v", m.kind))
+		}
+	}
+}
+
+// handleFish answers a work request: export a spare spark, forward the
+// fish, or return it to its origin.
+func (r *RTS) handleFish(c *rts.Cap, m message) {
+	pe := r.pe(c)
+	for {
+		t, ok := pe.pool.Steal() // export the oldest spark, as GUM does
+		if !ok {
+			break
+		}
+		if t.State() != graph.Unevaluated {
+			// Evaluated (fizzled) or already claimed by a local thread:
+			// not exportable.
+			r.stats.SparksFizzled++
+			continue
+		}
+		// Export: ship a packed copy; the home copy becomes a FetchMe
+		// (black-holed so local touchers block and fetch on demand).
+		clone := t.CloneForExport()
+		t.MarkBlackhole()
+		r.git.export(t, clone, m.from)
+		r.stats.GlobalsCreated++
+		r.stats.SparksExported++
+		r.stats.Schedules++
+		r.send(c, m.from, message{
+			kind:  msgSchedule,
+			from:  c.Index,
+			thunk: clone,
+			bytes: r.cfg.PackedClosureBytes,
+		})
+		return
+	}
+	if m.ttl > 0 {
+		r.stats.FishForwarded++
+		target := r.randomOtherPE(c.Index, m.from)
+		r.send(c, target, message{kind: msgFish, from: m.from, ttl: m.ttl - 1, bytes: 32})
+		return
+	}
+	r.stats.FishFailed++
+	r.send(c, m.from, message{kind: msgFishFail, from: c.Index, bytes: 32})
+}
+
+// handleFishFail backs off before fishing again.
+func (r *RTS) handleFishFail(c *rts.Cap) {
+	pe := r.pe(c)
+	r.sim.After(r.cfg.FishDelay, func() {
+		pe.fishing = false
+		pe.cap.Wake()
+	})
+}
+
+// handleSchedule installs a shipped spark into the local pool.
+func (r *RTS) handleSchedule(c *rts.Cap, m message) {
+	pe := r.pe(c)
+	pe.fishing = false
+	pe.pool.PushBottom(m.thunk)
+}
+
+// handleFetch answers a demand for an exported value: reply immediately
+// if it is ready, otherwise force it in a system thread that replies on
+// completion (GUM's demand-driven data pull).
+func (r *RTS) handleFetch(c *rts.Cap, m message) {
+	home, remote, requester := m.thunk, m.remote, m.from
+	if remote.IsEvaluated() {
+		v := remote.Value()
+		r.stats.Resumes++
+		r.send(c, requester, message{
+			kind: msgResume, from: c.Index, thunk: home, val: v,
+			bytes: 48 + eden.SizeOf(v),
+		})
+		return
+	}
+	c.SpawnThread(fmt.Sprintf("fetch-pe%d", c.Index), func(ctx *rts.Ctx) {
+		v := ctx.Force(remote)
+		r.stats.Resumes++
+		r.send(ctx.Cap(), requester, message{
+			kind: msgResume, from: ctx.Cap().Index, thunk: home, val: v,
+			bytes: 48 + eden.SizeOf(v),
+		})
+	})
+}
+
+// handleResume overwrites the local FetchMe with the fetched value,
+// wakes everything blocked on it, and returns the global address's
+// weight.
+func (r *RTS) handleResume(c *rts.Cap, m message) {
+	if !m.thunk.IsEvaluated() {
+		ws := m.thunk.Resolve(m.val)
+		c.WakeWaiterList(ws)
+	}
+	r.git.returnWeight(m.thunk)
+}

@@ -1,0 +1,276 @@
+package rts_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"parhask/internal/cost"
+	"parhask/internal/graph"
+	"parhask/internal/machine"
+	"parhask/internal/rts"
+	"parhask/internal/sim"
+	"parhask/internal/trace"
+)
+
+// fakeSys is a minimal policy: no sparks, no GC, timeslice descheduling
+// only; capabilities park until work arrives and exit at quiescence.
+type fakeSys struct {
+	costs    cost.Model
+	eager    bool
+	live     int
+	mainDone bool
+	caps     []*rts.Cap
+
+	heapBoundaries int
+	dups           int
+}
+
+func (f *fakeSys) FindWork(c *rts.Cap) *rts.Thread {
+	for {
+		if th := c.TryDequeue(); th != nil {
+			return th
+		}
+		if f.mainDone && f.live == 0 {
+			return nil
+		}
+		c.Task.SleepInterruptible(100_000)
+	}
+}
+
+func (f *fakeSys) HeapBoundary(c *rts.Cap, th *rts.Thread) bool {
+	f.heapBoundaries++
+	return c.RunQLen() > 0 // switch whenever others wait
+}
+
+func (f *fakeSys) Spark(c *rts.Cap, th *rts.Thread, t *graph.Thunk) {
+	panic("fakeSys: no sparks")
+}
+
+func (f *fakeSys) EagerBlackholing() bool                   { return f.eager }
+func (f *fakeSys) ThreadCreated(c *rts.Cap, th *rts.Thread) { f.live++ }
+func (f *fakeSys) ThreadDone(c *rts.Cap, th *rts.Thread) {
+	f.live--
+	if f.mainDone && f.live == 0 {
+		for _, cc := range f.caps {
+			cc.Wake()
+		}
+	}
+}
+func (f *fakeSys) ThreadBlocked(c *rts.Cap, th *rts.Thread, on *graph.Thunk) {}
+func (f *fakeSys) NoteDuplicate(t *graph.Thunk)                              { f.dups++ }
+
+// newSystem builds a simulator with n capabilities under fakeSys and
+// returns everything needed to run a main thread.
+func newSystem(n int, eager bool) (*sim.Sim, *fakeSys, []*rts.Cap) {
+	s := sim.New(7)
+	cpu := machine.New(s, n)
+	f := &fakeSys{costs: cost.Default(), eager: eager}
+	log := trace.NewLog()
+	caps := make([]*rts.Cap, n)
+	for i := 0; i < n; i++ {
+		caps[i] = rts.NewCap(i, f, cpu, &f.costs, log.NewAgent("c"))
+	}
+	f.caps = caps
+	return s, f, caps
+}
+
+// runMain executes body as the initial thread on cap 0 and runs the
+// simulation to completion.
+func runMain(t *testing.T, s *sim.Sim, f *fakeSys, caps []*rts.Cap, body func(*rts.Ctx)) {
+	t.Helper()
+	main := caps[0].NewThread("main", func(ctx *rts.Ctx) {
+		body(ctx)
+		f.mainDone = true
+		for _, c := range caps {
+			c.Wake()
+		}
+	})
+	caps[0].Enqueue(main)
+	for _, c := range caps {
+		c.Start(s)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreadBurnAdvancesVirtualTime(t *testing.T) {
+	s, f, caps := newSystem(1, false)
+	var end sim.Time
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Burn(1_000_000)
+		end = ctx.Now()
+	})
+	if end != 1_000_000 {
+		t.Fatalf("end = %d, want 1ms", end)
+	}
+}
+
+func TestAllocTriggersHeapBoundaries(t *testing.T) {
+	s, f, caps := newSystem(1, false)
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Alloc(16 * 4096) // exactly 16 blocks
+	})
+	if f.heapBoundaries != 16 {
+		t.Fatalf("heap boundaries = %d, want 16", f.heapBoundaries)
+	}
+	if caps[0].TotalAlloc != 16*4096 {
+		t.Fatalf("TotalAlloc = %d", caps[0].TotalAlloc)
+	}
+}
+
+func TestSubBlockAllocAccumulates(t *testing.T) {
+	s, f, caps := newSystem(1, false)
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		for i := 0; i < 8; i++ {
+			ctx.Alloc(1024) // 8 KB total = 2 blocks
+		}
+	})
+	if f.heapBoundaries != 2 {
+		t.Fatalf("heap boundaries = %d, want 2", f.heapBoundaries)
+	}
+}
+
+func TestForkRunsOnSameCap(t *testing.T) {
+	s, f, caps := newSystem(1, false)
+	var childRan bool
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Fork("child", func(c *rts.Ctx) {
+			c.Burn(1000)
+			childRan = true
+		})
+		ctx.Burn(5000)
+	})
+	if !childRan {
+		t.Fatal("forked thread never ran")
+	}
+}
+
+func TestBlockOnThunkAcrossCaps(t *testing.T) {
+	s, f, caps := newSystem(2, true) // eager: forcing a blackhole blocks
+	var got graph.Value
+	shared := graph.NewThunk(func(c graph.Context) graph.Value {
+		c.Burn(2_000_000)
+		return 77
+	})
+	// Evaluator on cap 1.
+	ev := caps[1].NewThread("eval", func(ctx *rts.Ctx) {
+		ctx.Force(shared)
+	})
+	caps[1].Enqueue(ev)
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Burn(100_000) // let the evaluator claim the thunk
+		got = ctx.Force(shared)
+	})
+	if got != 77 {
+		t.Fatalf("got %v, want 77", got)
+	}
+}
+
+func TestLazyMarkingAtBlockBoundary(t *testing.T) {
+	s, f, caps := newSystem(1, false)
+	var stateAfterAlloc graph.EvalState
+	var outer *graph.Thunk
+	outer = graph.NewThunk(func(c graph.Context) graph.Value {
+		// Crossing an allocation block must black-hole this thunk (the
+		// threadPaused catch-up) even though we keep running.
+		c.Alloc(8 * 1024)
+		stateAfterAlloc = outer.State()
+		return 1
+	})
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Force(outer)
+	})
+	if stateAfterAlloc != graph.Blackholed {
+		t.Fatalf("state after alloc = %v, want blackholed", stateAfterAlloc)
+	}
+	if outer.State() != graph.Evaluated {
+		t.Fatal("thunk not updated at completion")
+	}
+}
+
+func TestEagerMarkingOnEntry(t *testing.T) {
+	s, f, caps := newSystem(1, true)
+	var stateInside graph.EvalState
+	var th *graph.Thunk
+	th = graph.NewThunk(func(c graph.Context) graph.Value {
+		stateInside = th.State()
+		return 1
+	})
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Force(th)
+	})
+	if stateInside != graph.Blackholed {
+		t.Fatalf("state inside = %v, want blackholed (eager)", stateInside)
+	}
+}
+
+func TestThreadMigrationViaEnqueue(t *testing.T) {
+	s, f, caps := newSystem(2, false)
+	var ranOn []int
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		th := ctx.Cap().NewThread("mig", func(c *rts.Ctx) {
+			ranOn = append(ranOn, c.Cap().Index)
+		})
+		// Enqueue the new thread on the *other* capability.
+		caps[1].Enqueue(th)
+		ctx.Burn(1_000_000)
+	})
+	if len(ranOn) != 1 || ranOn[0] != 1 {
+		t.Fatalf("thread ran on %v, want [1]", ranOn)
+	}
+}
+
+func TestYieldRequeues(t *testing.T) {
+	s, f, caps := newSystem(1, false)
+	var order []string
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Fork("other", func(c *rts.Ctx) {
+			order = append(order, "other")
+		})
+		ctx.Yield() // give the forked thread the capability
+		order = append(order, "main")
+	})
+	if len(order) != 2 || order[0] != "other" || order[1] != "main" {
+		t.Fatalf("order = %v, want [other main]", order)
+	}
+}
+
+func TestWakeWaiterList(t *testing.T) {
+	s, f, caps := newSystem(1, false)
+	ph := graph.NewPlaceholder()
+	var got graph.Value
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Fork("resolver", func(c *rts.Ctx) {
+			c.Burn(500_000)
+			ws := ph.Resolve(123)
+			c.Cap().WakeWaiterList(ws)
+		})
+		got = ctx.Force(ph) // blocks until resolved
+	})
+	if got != 123 {
+		t.Fatalf("got %v, want 123", got)
+	}
+}
+
+func TestThreadPanicPropagatesWithContext(t *testing.T) {
+	s, f, caps := newSystem(1, false)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the thread panic to surface from sim.Run")
+		}
+		msg := fmt.Sprint(r)
+		if !strings.Contains(msg, "boom-thread") || !strings.Contains(msg, "exploded") {
+			t.Fatalf("panic lacks context: %v", msg)
+		}
+	}()
+	runMain(t, s, f, caps, func(ctx *rts.Ctx) {
+		ctx.Fork("boom-thread", func(c *rts.Ctx) {
+			panic("exploded")
+		})
+		ctx.Burn(1_000_000)
+	})
+	t.Fatal("runMain returned without panicking")
+}

@@ -1,0 +1,30 @@
+package sim
+
+// PRNG is a small deterministic pseudo-random number generator
+// (SplitMix64). The simulator carries one so that randomised policies —
+// such as work-stealing victim selection — are reproducible across runs.
+type PRNG struct {
+	state uint64
+}
+
+// NewPRNG returns a PRNG seeded with seed.
+func NewPRNG(seed uint64) PRNG {
+	return PRNG{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (p *PRNG) Uint64() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). It panics if n <= 0.
+func (p *PRNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(p.Uint64() % uint64(n))
+}

@@ -1,0 +1,351 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvanceAccumulatesTime(t *testing.T) {
+	s := New(1)
+	var end Time
+	s.Spawn("a", func(tk *Task) {
+		tk.Advance(100)
+		tk.Advance(250)
+		end = tk.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 350 {
+		t.Fatalf("end = %d, want 350", end)
+	}
+	if s.Now() != 350 {
+		t.Fatalf("sim now = %d, want 350", s.Now())
+	}
+}
+
+func TestTasksOverlapInVirtualTime(t *testing.T) {
+	// Two tasks each advancing 100ns "in parallel" finish at t=100, not 200.
+	s := New(1)
+	var ends []Time
+	for i := 0; i < 2; i++ {
+		s.Spawn(fmt.Sprintf("t%d", i), func(tk *Task) {
+			tk.Advance(100)
+			ends = append(ends, tk.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ends) != 2 || ends[0] != 100 || ends[1] != 100 {
+		t.Fatalf("ends = %v, want [100 100]", ends)
+	}
+}
+
+func TestEventOrderIsFIFOAtSameTime(t *testing.T) {
+	s := New(1)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		s.Spawn(name, func(tk *Task) {
+			order = append(order, name)
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("order = %q, want abc", got)
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	s := New(1)
+	var wakeTime Time
+	waiter := s.Spawn("waiter", func(tk *Task) {
+		tk.Park()
+		wakeTime = tk.Now()
+	})
+	s.Spawn("waker", func(tk *Task) {
+		tk.Advance(500)
+		waiter.Unpark()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakeTime != 500 {
+		t.Fatalf("wakeTime = %d, want 500", wakeTime)
+	}
+}
+
+func TestUnparkBeforeParkBuffersPermit(t *testing.T) {
+	s := New(1)
+	var wakeTime Time
+	var waiter *Task
+	s.Spawn("waker", func(tk *Task) {
+		waiter.Unpark() // waiter hasn't parked yet
+	})
+	waiter = s.Spawn("waiter", func(tk *Task) {
+		tk.Advance(10)
+		tk.Park() // consumes buffered permit, returns immediately
+		wakeTime = tk.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakeTime != 10 {
+		t.Fatalf("wakeTime = %d, want 10 (permit should be consumed without waiting)", wakeTime)
+	}
+}
+
+func TestSleepInterruptibleTimesOut(t *testing.T) {
+	s := New(1)
+	var woken bool
+	var at Time
+	s.Spawn("sleeper", func(tk *Task) {
+		woken = tk.SleepInterruptible(300)
+		at = tk.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken || at != 300 {
+		t.Fatalf("woken=%v at=%d, want false at 300", woken, at)
+	}
+}
+
+func TestSleepInterruptibleWoken(t *testing.T) {
+	s := New(1)
+	var woken bool
+	var at Time
+	sleeper := s.Spawn("sleeper", func(tk *Task) {
+		woken = tk.SleepInterruptible(1000)
+		at = tk.Now()
+	})
+	s.Spawn("waker", func(tk *Task) {
+		tk.Advance(100)
+		sleeper.Unpark()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken || at != 100 {
+		t.Fatalf("woken=%v at=%d, want true at 100", woken, at)
+	}
+}
+
+func TestSleepTimeoutCancelledAfterWake(t *testing.T) {
+	// The stale timeout event must not resume the task a second time.
+	s := New(1)
+	var resumes int
+	sleeper := s.Spawn("sleeper", func(tk *Task) {
+		tk.SleepInterruptible(1000)
+		resumes++
+		tk.Park() // parks again; a stale timeout at t=1000 must not wake it
+		resumes++
+	})
+	s.Spawn("waker", func(tk *Task) {
+		tk.Advance(100)
+		sleeper.Unpark()
+		tk.Advance(2000)
+		sleeper.Unpark()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumes != 2 {
+		t.Fatalf("resumes = %d, want 2", resumes)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	s := New(1)
+	var fired Time = -1
+	s.After(400, func() { fired = s.Now() })
+	s.Spawn("t", func(tk *Task) { tk.Advance(1000) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 400 {
+		t.Fatalf("fired = %d, want 400", fired)
+	}
+}
+
+func TestCallbackCanUnparkTask(t *testing.T) {
+	s := New(1)
+	var at Time
+	waiter := s.Spawn("waiter", func(tk *Task) {
+		tk.Park()
+		at = tk.Now()
+	})
+	s.After(250, func() { waiter.Unpark() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 250 {
+		t.Fatalf("at = %d, want 250", at)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New(1)
+	s.Spawn("stuck", func(tk *Task) { tk.Park() })
+	err := s.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("err = %v, want deadlock error", err)
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	s := New(1)
+	steps := 0
+	s.Spawn("looper", func(tk *Task) {
+		for {
+			tk.Advance(10)
+			steps++
+			if steps == 5 {
+				tk.Sim().Halt()
+				// keep looping; Halt must stop us anyway after we yield
+			}
+			if steps > 5 {
+				t.Error("task ran after Halt")
+				return
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 5 {
+		t.Fatalf("steps = %d, want 5", steps)
+	}
+}
+
+func TestSpawnFromTask(t *testing.T) {
+	s := New(1)
+	var childEnd Time
+	s.Spawn("parent", func(tk *Task) {
+		tk.Advance(50)
+		tk.Sim().Spawn("child", func(c *Task) {
+			c.Advance(25)
+			childEnd = c.Now()
+		})
+		tk.Advance(100)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childEnd != 75 {
+		t.Fatalf("childEnd = %d, want 75", childEnd)
+	}
+}
+
+func TestTaskPanicPropagates(t *testing.T) {
+	s := New(1)
+	s.Spawn("boom", func(tk *Task) { panic("kaboom") })
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "kaboom") {
+			t.Fatalf("recover = %v, want panic containing kaboom", r)
+		}
+	}()
+	_ = s.Run()
+	t.Fatal("Run returned without panicking")
+}
+
+func TestDeterminismManyTasks(t *testing.T) {
+	run := func() []string {
+		s := New(42)
+		var log []string
+		for i := 0; i < 8; i++ {
+			i := i
+			s.Spawn(fmt.Sprintf("t%d", i), func(tk *Task) {
+				for j := 0; j < 20; j++ {
+					d := Time(tk.Sim().Rand().Intn(50) + 1)
+					tk.Advance(d)
+					log = append(log, fmt.Sprintf("%d@%d", i, tk.Now()))
+				}
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAdvanceBuffersUnparkAsPermit(t *testing.T) {
+	s := New(1)
+	var at Time
+	sleeper := s.Spawn("sleeper", func(tk *Task) {
+		tk.Advance(100) // Unpark arrives during this; must be buffered
+		tk.Park()       // must consume the permit instantly
+		at = tk.Now()
+	})
+	s.Spawn("waker", func(tk *Task) {
+		tk.Advance(50)
+		sleeper.Unpark()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 100 {
+		t.Fatalf("at = %d, want 100", at)
+	}
+}
+
+func TestPRNGIntnInRange(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%31) + 1
+		p := NewPRNG(seed)
+		for i := 0; i < 100; i++ {
+			v := p.Intn(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRNGDeterministic(t *testing.T) {
+	a, b := NewPRNG(7), NewPRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("PRNG streams diverge")
+		}
+	}
+}
+
+func TestZeroAdvanceKeepsBall(t *testing.T) {
+	s := New(1)
+	order := []string{}
+	s.Spawn("a", func(tk *Task) {
+		tk.Advance(0)
+		order = append(order, "a")
+	})
+	s.Spawn("b", func(tk *Task) {
+		order = append(order, "b")
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// a spawned first, Advance(0) must not reorder it behind b.
+	if strings.Join(order, "") != "ab" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+}

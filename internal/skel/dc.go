@@ -1,0 +1,63 @@
+package skel
+
+import (
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+)
+
+// DC describes a divide-and-conquer algorithm for the DivideAndConquer
+// skeleton.
+type DC struct {
+	// Trivial reports whether a problem should be solved directly.
+	Trivial func(prob graph.Value) bool
+	// Solve handles a trivial problem.
+	Solve func(w *eden.PCtx, prob graph.Value) graph.Value
+	// Divide splits a problem into subproblems.
+	Divide func(w *eden.PCtx, prob graph.Value) []graph.Value
+	// Combine merges the subresults.
+	Combine func(w *eden.PCtx, prob graph.Value, subs []graph.Value) graph.Value
+}
+
+// DivideAndConquer unfolds a process tree over the PEs: at each level
+// up to depth, all but one subproblem are spawned as child processes
+// (placed round-robin over the machine) while the first is solved
+// locally — Eden's recursively-unfolding dc skeleton. Below the depth
+// limit everything is solved sequentially in-process.
+func DivideAndConquer(p *eden.PCtx, name string, depth int, f DC, prob graph.Value) graph.Value {
+	return dcGo(p, name, depth, 1, f, prob)
+}
+
+// dcGo carries the placement stride: children at level l are offset by
+// stride so subtrees land on disjoint PEs until the machine is covered.
+func dcGo(p *eden.PCtx, name string, depth, stride int, f DC, prob graph.Value) graph.Value {
+	if f.Trivial(prob) {
+		return f.Solve(p, prob)
+	}
+	subs := f.Divide(p, prob)
+	results := make([]graph.Value, len(subs))
+	if depth <= 0 || len(subs) == 1 {
+		for i, s := range subs {
+			results[i] = dcGo(p, name, 0, stride, f, s)
+		}
+		return f.Combine(p, prob, results)
+	}
+	// Spawn all but the first subproblem remotely.
+	ins := make([]*eden.Inport, len(subs))
+	for i := 1; i < len(subs); i++ {
+		i := i
+		pe := (p.PE() + i*stride) % p.PEs()
+		in, out := p.NewChan(p.PE())
+		ins[i] = in
+		sub := subs[i]
+		p.Spawn(pe, fmt.Sprintf("%s-d%d-%d", name, depth, i), func(w *eden.PCtx) {
+			w.Send(out, dcGo(w, name, depth-1, stride*len(subs), f, sub))
+		})
+	}
+	results[0] = dcGo(p, name, depth-1, stride*len(subs), f, subs[0])
+	for i := 1; i < len(subs); i++ {
+		results[i] = p.Receive(ins[i])
+	}
+	return f.Combine(p, prob, results)
+}

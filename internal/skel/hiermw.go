@@ -1,0 +1,62 @@
+package skel
+
+import (
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+)
+
+// HierMasterWorker is the hierarchical master-worker skeleton of the
+// paper's reference [19] (Berthold, Dieterle, Loogen, Priebe, PADL'08):
+// the task pool is partitioned over a layer of submaster processes,
+// each of which runs its own dynamic farm over a disjoint group of
+// worker PEs. The hierarchy removes the single-master bottleneck that
+// flat farms develop at scale — the kind of multi-level coordination
+// the paper's §VI-B anticipates for large machines.
+//
+// This is the static-top variant: the initial tasks are unshuffled over
+// the submasters up front; load balancing is dynamic *within* each
+// group (including tasks created at runtime, which stay in their
+// group's farm). Results are returned in completion order per group,
+// groups concatenated.
+func HierMasterWorker(p *eden.PCtx, name string, submasters, workersPer, prefetch, batch int,
+	work TaskFunc, initial []graph.Value) []graph.Value {
+	if submasters <= 0 || workersPer <= 0 {
+		panic("skel: HierMasterWorker needs positive submaster and worker counts")
+	}
+	_ = batch // the static-top variant has no top-level batching
+
+	// Carve the machine: submaster s heads a contiguous group of
+	// (1 + workersPer) PEs; its workers follow it.
+	groupSize := 1 + workersPer
+	shares := unshuffle(submasters, initial)
+
+	resIns := make([]*eden.StreamIn, 0, submasters)
+	for s := 0; s < submasters && s < len(shares); s++ {
+		s := s
+		base := placement(p, s*groupSize)
+		workerPEs := make([]int, workersPer)
+		for w := 0; w < workersPer; w++ {
+			workerPEs[w] = (base + 1 + w) % p.PEs()
+		}
+		taskIn, taskOut := p.NewStream(base)
+		resIn, resOut := p.NewStream(p.PE())
+		resIns = append(resIns, resIn)
+		p.Spawn(base, fmt.Sprintf("%s-sub%d", name, s), func(sm *eden.PCtx) {
+			tasks := sm.RecvAll(taskIn)
+			rs := MasterWorkerAt(sm, fmt.Sprintf("%s-sub%d", name, s), workerPEs, prefetch, work, tasks)
+			for _, r := range rs {
+				sm.StreamSend(resOut, r)
+			}
+			sm.StreamClose(resOut)
+		})
+		p.SendAll(taskOut, shares[s])
+	}
+
+	var results []graph.Value
+	for _, in := range resIns {
+		results = append(results, p.RecvAll(in)...)
+	}
+	return results
+}

@@ -1,0 +1,57 @@
+package skel
+
+import (
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+)
+
+// StageFunc transforms one stream element inside a pipeline stage.
+type StageFunc func(w *eden.PCtx, in graph.Value) graph.Value
+
+// Pipeline spawns one process per stage, connected by streams: inputs
+// flow master → stage 0 → … → stage n-1 → master. With k inputs and s
+// stages the elements overlap in the classic pipeline fashion, so the
+// makespan approaches k·max-stage-cost rather than k·Σ stage costs.
+func Pipeline(p *eden.PCtx, name string, stages []StageFunc, inputs []graph.Value) []graph.Value {
+	if len(stages) == 0 {
+		return append([]graph.Value(nil), inputs...)
+	}
+	n := len(stages)
+	pes := make([]int, n)
+	for i := range pes {
+		pes[i] = placement(p, i)
+	}
+	// Stream i feeds stage i; the final stream returns to the master.
+	ins := make([]*eden.StreamIn, n+1)
+	outs := make([]*eden.StreamOut, n+1)
+	ins[0], outs[0] = p.NewStream(pes[0])
+	for i := 1; i < n; i++ {
+		ins[i], outs[i] = p.NewStream(pes[i])
+	}
+	ins[n], outs[n] = p.NewStream(p.PE())
+
+	for i := 0; i < n; i++ {
+		i := i
+		p.Spawn(pes[i], fmt.Sprintf("%s-s%d", name, i), func(w *eden.PCtx) {
+			for {
+				v, ok := w.StreamRecv(ins[i])
+				if !ok {
+					break
+				}
+				w.StreamSend(outs[i+1], stages[i](w, v))
+			}
+			w.StreamClose(outs[i+1])
+		})
+	}
+
+	// Feed the pipeline from a separate local thread so the master can
+	// drain results concurrently (otherwise a long input list would
+	// deadlock on the bounded virtual-time interleaving).
+	p.ForkLocal(name+"-feed", func(f *eden.PCtx) {
+		f.SendAll(outs[0], inputs)
+	})
+	out := p.RecvAll(ins[n])
+	return out
+}

@@ -1,0 +1,218 @@
+package skel
+
+import (
+	"sort"
+	"testing"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+)
+
+func TestPipelineTransformsInOrder(t *testing.T) {
+	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+		inputs := make([]graph.Value, 10)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		out := Pipeline(p, "pipe", []StageFunc{
+			func(w *eden.PCtx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) + 1 },
+			func(w *eden.PCtx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) * 2 },
+			func(w *eden.PCtx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) - 3 },
+		}, inputs)
+		return out
+	})
+	out := res.Value.([]graph.Value)
+	if len(out) != 10 {
+		t.Fatalf("got %d outputs", len(out))
+	}
+	for i, v := range out {
+		want := (i+1)*2 - 3
+		if v != want {
+			t.Fatalf("out[%d] = %v, want %d", i, v, want)
+		}
+	}
+}
+
+func TestPipelineOverlapsStages(t *testing.T) {
+	// k items through s equal stages must take ~ (k+s-1) stage-times,
+	// not k·s: check we beat the sequential bound comfortably.
+	const k, stageCost = 16, 2_000_000
+	stage := func(w *eden.PCtx, v graph.Value) graph.Value {
+		w.Alloc(16 * 1024)
+		w.Burn(stageCost)
+		return v
+	}
+	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+		inputs := make([]graph.Value, k)
+		for i := range inputs {
+			inputs[i] = i
+		}
+		Pipeline(p, "pipe", []StageFunc{stage, stage, stage}, inputs)
+		return true
+	})
+	sequential := int64(k * 3 * stageCost)
+	if res.Elapsed >= sequential*2/3 {
+		t.Fatalf("elapsed %d shows no pipelining (sequential bound %d)", res.Elapsed, sequential)
+	}
+}
+
+func TestPipelineEmptyStages(t *testing.T) {
+	res := runE(t, eden.NewConfig(2, 2), func(p *eden.PCtx) graph.Value {
+		out := Pipeline(p, "pipe", nil, []graph.Value{1, 2, 3})
+		return len(out)
+	})
+	if res.Value != 3 {
+		t.Fatalf("got %v", res.Value)
+	}
+}
+
+// mergesortDC builds the divide-and-conquer description of mergesort.
+func mergesortDC() DC {
+	return DC{
+		Trivial: func(prob graph.Value) bool { return len(prob.([]int)) <= 4 },
+		Solve: func(w *eden.PCtx, prob graph.Value) graph.Value {
+			xs := append([]int(nil), prob.([]int)...)
+			sort.Ints(xs)
+			w.Burn(int64(len(xs)) * 2_000)
+			return xs
+		},
+		Divide: func(w *eden.PCtx, prob graph.Value) []graph.Value {
+			xs := prob.([]int)
+			mid := len(xs) / 2
+			return []graph.Value{xs[:mid], xs[mid:]}
+		},
+		Combine: func(w *eden.PCtx, prob graph.Value, subs []graph.Value) graph.Value {
+			a, b := subs[0].([]int), subs[1].([]int)
+			out := make([]int, 0, len(a)+len(b))
+			i, j := 0, 0
+			for i < len(a) && j < len(b) {
+				if a[i] <= b[j] {
+					out = append(out, a[i])
+					i++
+				} else {
+					out = append(out, b[j])
+					j++
+				}
+			}
+			out = append(out, a[i:]...)
+			out = append(out, b[j:]...)
+			w.Burn(int64(len(out)) * 500)
+			return out
+		},
+	}
+}
+
+func TestDivideAndConquerMergesort(t *testing.T) {
+	res := runE(t, eden.NewConfig(8, 8), func(p *eden.PCtx) graph.Value {
+		xs := make([]int, 257)
+		for i := range xs {
+			xs[i] = (i*7919 + 13) % 1000
+		}
+		return DivideAndConquer(p, "msort", 3, mergesortDC(), xs)
+	})
+	out := res.Value.([]int)
+	if len(out) != 257 || !sort.IntsAreSorted(out) {
+		t.Fatalf("not sorted: len=%d", len(out))
+	}
+}
+
+func TestDivideAndConquerDepthZeroIsSequential(t *testing.T) {
+	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+		xs := []int{5, 3, 1, 4, 2, 9, 7, 8, 6, 0}
+		return DivideAndConquer(p, "msort", 0, mergesortDC(), xs)
+	})
+	out := res.Value.([]int)
+	if !sort.IntsAreSorted(out) {
+		t.Fatal("not sorted")
+	}
+	if res.Stats.Processes != 0 {
+		t.Fatalf("depth 0 spawned %d processes", res.Stats.Processes)
+	}
+}
+
+func TestDivideAndConquerSpawnsTree(t *testing.T) {
+	res := runE(t, eden.NewConfig(8, 8), func(p *eden.PCtx) graph.Value {
+		xs := make([]int, 512)
+		for i := range xs {
+			xs[i] = 512 - i
+		}
+		return DivideAndConquer(p, "msort", 2, mergesortDC(), xs)
+	})
+	// Depth 2, binary divide: 1 + 2 remote children = 3 spawned procs.
+	if res.Stats.Processes != 3 {
+		t.Fatalf("processes = %d, want 3", res.Stats.Processes)
+	}
+	if !sort.IntsAreSorted(res.Value.([]int)) {
+		t.Fatal("not sorted")
+	}
+}
+
+func TestHierMasterWorker(t *testing.T) {
+	res := runE(t, eden.NewConfig(9, 8), func(p *eden.PCtx) graph.Value {
+		tasks := make([]graph.Value, 40)
+		for i := range tasks {
+			tasks[i] = i
+		}
+		out := HierMasterWorker(p, "hmw", 2, 3, 2, 10,
+			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+				n := task.(int)
+				w.Burn(int64(40_000 + 15_000*(n%7)))
+				return nil, n * 3
+			}, tasks)
+		got := make([]int, len(out))
+		for i, v := range out {
+			got[i] = v.(int)
+		}
+		sort.Ints(got)
+		return got
+	})
+	got := res.Value.([]int)
+	if len(got) != 40 {
+		t.Fatalf("got %d results, want 40", len(got))
+	}
+	for i, v := range got {
+		if v != 3*i {
+			t.Fatalf("sorted[%d] = %d, want %d", i, v, 3*i)
+		}
+	}
+	// 2 submasters + 2*3 workers = 8 processes.
+	if res.Stats.Processes != 8 {
+		t.Fatalf("processes = %d, want 8", res.Stats.Processes)
+	}
+}
+
+func TestHierMasterWorkerDynamicTasks(t *testing.T) {
+	// Dynamic subtasks must be handled inside the submaster farms.
+	res := runE(t, eden.NewConfig(7, 7), func(p *eden.PCtx) graph.Value {
+		out := HierMasterWorker(p, "hmw", 2, 2, 1, 2,
+			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+				n := task.(int)
+				w.Burn(20_000)
+				if n > 0 {
+					return []graph.Value{n - 1}, 1
+				}
+				return nil, 1
+			}, []graph.Value{3, 2})
+		return len(out)
+	})
+	// Chains 3->2->1->0 and 2->1->0: 4 + 3 = 7 results.
+	if res.Value != 7 {
+		t.Fatalf("results = %v, want 7", res.Value)
+	}
+}
+
+func TestMasterWorkerAtExplicitPlacement(t *testing.T) {
+	res := runE(t, eden.NewConfig(6, 6), func(p *eden.PCtx) graph.Value {
+		pes := []int{2, 4}
+		seen := map[int]bool{}
+		MasterWorkerAt(p, "mwat", pes, 1,
+			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+				seen[w.PE()] = true
+				return nil, task
+			}, []graph.Value{1, 2, 3, 4, 5, 6})
+		return seen[2] && seen[4] && !seen[1] && !seen[3]
+	})
+	if res.Value != true {
+		t.Fatal("workers did not run on the requested PEs")
+	}
+}

@@ -1,0 +1,122 @@
+package skel
+
+import (
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+)
+
+// RingNodeFunc is the behaviour of one ring node: it receives its
+// initial input, a stream from its predecessor and a stream to its
+// successor, and returns its final result. Topology skeletons like this
+// capture the parallel interaction structure rather than the algorithm
+// (§II-A).
+type RingNodeFunc func(w *eden.PCtx, idx int, input graph.Value,
+	fromPred *eden.StreamIn, toSucc *eden.StreamOut) graph.Value
+
+// Ring spawns n processes connected in a unidirectional ring (node i
+// sends to node i+1 mod n) and returns the nodes' results in index
+// order. Used by the paper's all-pairs shortest-paths program.
+func Ring(p *eden.PCtx, name string, n int, node RingNodeFunc, inputs []graph.Value) []graph.Value {
+	if len(inputs) != n {
+		panic(fmt.Sprintf("skel: Ring with %d nodes but %d inputs", n, len(inputs)))
+	}
+	pes := make([]int, n)
+	for i := range pes {
+		pes[i] = placement(p, i)
+	}
+	// ringIn[i] is node i's stream from its predecessor; ringOut[i] is
+	// node i's stream to its successor: the pair (out=i, in=(i+1)%n)
+	// shares one channel owned by node (i+1)%n's PE.
+	ringIn := make([]*eden.StreamIn, n)
+	ringOut := make([]*eden.StreamOut, n)
+	for i := 0; i < n; i++ {
+		succ := (i + 1) % n
+		in, out := p.NewStream(pes[succ])
+		ringIn[succ] = in
+		ringOut[i] = out
+	}
+	resIns := make([]*eden.Inport, n)
+	for i := 0; i < n; i++ {
+		i := i
+		argIn, argOut := p.NewChan(pes[i])
+		resIn, resOut := p.NewChan(p.PE())
+		resIns[i] = resIn
+		p.Spawn(pes[i], fmt.Sprintf("%s-n%d", name, i), func(w *eden.PCtx) {
+			w.Send(resOut, node(w, i, w.Receive(argIn), ringIn[i], ringOut[i]))
+		})
+		p.Send(argOut, inputs[i])
+	}
+	out := make([]graph.Value, n)
+	for i, in := range resIns {
+		out[i] = p.Receive(in)
+	}
+	return out
+}
+
+// TorusNodeFunc is the behaviour of one torus node at position (i, j):
+// streams connect it to its four neighbours with wrap-around. The
+// direction names match Cannon's algorithm: blocks of A shift left
+// (send toLeft, receive fromRight) and blocks of B shift up (send toUp,
+// receive fromBelow).
+type TorusNodeFunc func(w *eden.PCtx, i, j int, input graph.Value,
+	fromRight *eden.StreamIn, toLeft *eden.StreamOut,
+	fromBelow *eden.StreamIn, toUp *eden.StreamOut) graph.Value
+
+// Torus spawns q×q processes in a torus topology and returns their
+// results as a q×q matrix. It is the communication structure of the
+// paper's Cannon matrix-multiplication program.
+func Torus(p *eden.PCtx, name string, q int, node TorusNodeFunc, inputs [][]graph.Value) [][]graph.Value {
+	if len(inputs) != q {
+		panic(fmt.Sprintf("skel: Torus q=%d but %d input rows", q, len(inputs)))
+	}
+	idx := func(i, j int) int { return i*q + j }
+	pes := make([]int, q*q)
+	for k := range pes {
+		pes[k] = placement(p, k)
+	}
+	// Horizontal: node (i,j) sends left to (i, j-1); that channel is
+	// fromRight for the receiver. Vertical: node (i,j) sends up to
+	// (i-1, j); that channel is fromBelow for the receiver.
+	toLeft := make([]*eden.StreamOut, q*q)
+	fromRight := make([]*eden.StreamIn, q*q)
+	toUp := make([]*eden.StreamOut, q*q)
+	fromBelow := make([]*eden.StreamIn, q*q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			lj := (j - 1 + q) % q
+			in, out := p.NewStream(pes[idx(i, lj)])
+			toLeft[idx(i, j)] = out
+			fromRight[idx(i, lj)] = in
+
+			ui := (i - 1 + q) % q
+			vin, vout := p.NewStream(pes[idx(ui, j)])
+			toUp[idx(i, j)] = vout
+			fromBelow[idx(ui, j)] = vin
+		}
+	}
+	resIns := make([]*eden.Inport, q*q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			i, j := i, j
+			k := idx(i, j)
+			argIn, argOut := p.NewChan(pes[k])
+			resIn, resOut := p.NewChan(p.PE())
+			resIns[k] = resIn
+			p.Spawn(pes[k], fmt.Sprintf("%s-n%d_%d", name, i, j), func(w *eden.PCtx) {
+				w.Send(resOut, node(w, i, j, w.Receive(argIn),
+					fromRight[k], toLeft[k], fromBelow[k], toUp[k]))
+			})
+			p.Send(argOut, inputs[i][j])
+		}
+	}
+	out := make([][]graph.Value, q)
+	for i := 0; i < q; i++ {
+		out[i] = make([]graph.Value, q)
+		for j := 0; j < q; j++ {
+			out[i][j] = p.Receive(resIns[idx(i, j)])
+		}
+	}
+	return out
+}

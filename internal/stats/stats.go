@@ -1,0 +1,132 @@
+// Package stats formats experiment results: runtime tables, relative
+// speedup series, and simple ASCII speedup charts for the figures.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Seconds renders virtual nanoseconds as seconds with paper-style
+// precision.
+func Seconds(ns int64) string { return fmt.Sprintf("%.2f s", float64(ns)/1e9) }
+
+// Table renders a simple aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Series is one speedup curve: runtime (virtual ns) per core count.
+type Series struct {
+	Name  string
+	Times map[int]int64 // cores -> elapsed
+}
+
+// Speedup returns the relative speedup at the given core count: the
+// series' own single-core time divided by its time at cores.
+func (s *Series) Speedup(cores int) float64 {
+	t1, ok1 := s.Times[1]
+	tc, okc := s.Times[cores]
+	if !ok1 || !okc || tc == 0 {
+		return 0
+	}
+	return float64(t1) / float64(tc)
+}
+
+// SpeedupTable renders speedup curves for several series as a table
+// with one row per core count.
+func SpeedupTable(cores []int, series []*Series) string {
+	headers := []string{"cores"}
+	for _, s := range series {
+		headers = append(headers, s.Name)
+	}
+	var rows [][]string
+	for _, c := range cores {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, s := range series {
+			row = append(row, fmt.Sprintf("%.2f", s.Speedup(c)))
+		}
+		rows = append(rows, row)
+	}
+	return Table(headers, rows)
+}
+
+// SpeedupChart renders an ASCII chart: one line per core count, one
+// glyph per series placed at its speedup value.
+func SpeedupChart(cores []int, series []*Series, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	maxSp := 1.0
+	for _, s := range series {
+		for _, c := range cores {
+			if sp := s.Speedup(c); sp > maxSp {
+				maxSp = sp
+			}
+		}
+	}
+	glyphs := []byte("abcdexyzw")
+	var b strings.Builder
+	fmt.Fprintf(&b, "speedup 0%sup to %.1f\n", strings.Repeat(" ", width-14), maxSp)
+	for _, c := range cores {
+		lane := make([]byte, width+1)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		for si, s := range series {
+			sp := s.Speedup(c)
+			pos := int(sp / maxSp * float64(width-1))
+			if pos < 0 {
+				pos = 0
+			}
+			if pos >= len(lane) {
+				pos = len(lane) - 1
+			}
+			g := glyphs[si%len(glyphs)]
+			if lane[pos] != ' ' {
+				g = '*' // collision
+			}
+			lane[pos] = g
+		}
+		fmt.Fprintf(&b, "%3d cores |%s|\n", c, strings.TrimRight(string(lane), " "))
+	}
+	b.WriteString("legend: ")
+	for si, s := range series {
+		if si > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%c=%s", glyphs[si%len(glyphs)], s.Name)
+	}
+	b.WriteString(" (*=overlap)\n")
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(2_750_000_000); got != "2.75 s" {
+		t.Fatalf("Seconds = %q", got)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "value"}, [][]string{
+		{"short", "1"},
+		{"a-much-longer-name", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// All rows equal width (trailing spaces trimmed per cell layout).
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("missing separator:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "a-much-longer-name") {
+		t.Fatalf("missing row:\n%s", out)
+	}
+}
+
+func TestSeriesSpeedup(t *testing.T) {
+	s := &Series{Name: "x", Times: map[int]int64{1: 1000, 4: 250}}
+	if sp := s.Speedup(4); sp != 4 {
+		t.Fatalf("speedup = %v, want 4", sp)
+	}
+	if sp := s.Speedup(8); sp != 0 {
+		t.Fatalf("missing point should give 0, got %v", sp)
+	}
+}
+
+func TestSpeedupTableValues(t *testing.T) {
+	s := &Series{Name: "v", Times: map[int]int64{1: 800, 2: 400, 8: 100}}
+	out := SpeedupTable([]int{1, 2, 8}, []*Series{s})
+	if !strings.Contains(out, "8.00") || !strings.Contains(out, "2.00") {
+		t.Fatalf("table missing speedups:\n%s", out)
+	}
+}
+
+func TestSpeedupChartGlyphs(t *testing.T) {
+	a := &Series{Name: "A", Times: map[int]int64{1: 1000, 4: 250}}
+	b := &Series{Name: "B", Times: map[int]int64{1: 1000, 4: 500}}
+	out := SpeedupChart([]int{1, 4}, []*Series{a, b}, 40)
+	if !strings.Contains(out, "a=A") || !strings.Contains(out, "b=B") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "4 cores") {
+		t.Fatalf("lane missing:\n%s", out)
+	}
+}
+
+func TestSpeedupChartCollision(t *testing.T) {
+	a := &Series{Name: "A", Times: map[int]int64{1: 1000, 4: 250}}
+	b := &Series{Name: "B", Times: map[int]int64{1: 1000, 4: 250}}
+	out := SpeedupChart([]int{4}, []*Series{a, b}, 40)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("overlapping series should render *:\n%s", out)
+	}
+}

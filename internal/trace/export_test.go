@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *Log {
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	b := l.NewAgent("cap1")
+	a.Set(0, Run)
+	a.Set(100, GC)
+	a.Set(130, Run)
+	b.Set(50, Run)
+	l.Close(200)
+	return l
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := exportFixture().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "agent,state,from_ns,to_ns" {
+		t.Fatalf("bad header %q", lines[0])
+	}
+	// cap0: run(0-100), gc(100-130), run(130-200); cap1: idle(0-50), run(50-200)
+	if len(lines) != 1+3+2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(out, "cap0,gc,100,130") {
+		t.Fatalf("missing gc segment:\n%s", out)
+	}
+	if !strings.Contains(out, "cap1,idle,0,50") {
+		t.Fatalf("missing idle segment:\n%s", out)
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	var sb strings.Builder
+	if err := exportFixture().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		EndNs  int64 `json:"end_ns"`
+		Agents []struct {
+			Name     string `json:"name"`
+			Segments []struct {
+				State  string `json:"state"`
+				FromNs int64  `json:"from_ns"`
+				ToNs   int64  `json:"to_ns"`
+			} `json:"segments"`
+		} `json:"agents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.EndNs != 200 || len(decoded.Agents) != 2 {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	if decoded.Agents[0].Name != "cap0" || len(decoded.Agents[0].Segments) != 3 {
+		t.Fatalf("cap0 decoded %+v", decoded.Agents[0])
+	}
+	// Segments tile the timeline.
+	var prev int64
+	for _, s := range decoded.Agents[0].Segments {
+		if s.FromNs != prev {
+			t.Fatalf("gap at %d", s.FromNs)
+		}
+		prev = s.ToNs
+	}
+	if prev != 200 {
+		t.Fatalf("segments end at %d, want 200", prev)
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	var sb strings.Builder
+	if err := exportFixture().WriteHTML(&sb, "Fig. 2 a) <plain>"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>", "cap0", "cap1",
+		"Fig. 2 a) &lt;plain&gt;", // title escaped
+		stateColors[Run], stateColors[GC],
+		"class=\"lane\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("html missing %q:\n%s", want, out[:min(400, len(out))])
+		}
+	}
+}
+
+func TestWriteHTMLEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := NewLog().WriteHTML(&sb, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "empty trace") {
+		t.Fatal("empty log should say so")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

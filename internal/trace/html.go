@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"fmt"
+	"html"
+	"io"
+)
+
+// stateColors maps trace states to the paper's EdenTV colour scheme:
+// running green, runnable/sync yellow, blocked red, idle blue(ish),
+// GC orange, message handling purple.
+var stateColors = [...]string{
+	Idle:     "#9db8d2",
+	Run:      "#3fa34d",
+	Runnable: "#e8c547",
+	Blocked:  "#d64545",
+	GC:       "#e07b39",
+	Comm:     "#8e6fc1",
+}
+
+// WriteHTML renders the log as a self-contained HTML timeline — the
+// EdenTV-style diagram the paper's Figs. 2 and 4 show, as horizontal
+// bars per capability/PE with one coloured span per activity segment.
+func (l *Log) WriteHTML(w io.Writer, title string) error {
+	total := l.end
+	if total <= 0 {
+		_, err := fmt.Fprintln(w, "<html><body>(empty trace)</body></html>")
+		return err
+	}
+	var err error
+	p := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>%s</title><style>
+body { font-family: sans-serif; background: #fafafa; margin: 1.5em; }
+.lane { display: flex; height: 22px; margin: 2px 0; border: 1px solid #ccc; }
+.lane span { height: 100%%; display: inline-block; }
+.name { display: inline-block; width: 5em; font-size: 13px; }
+.row { display: flex; align-items: center; }
+.legend span { display: inline-block; padding: 2px 8px; margin-right: 6px;
+  font-size: 12px; color: #fff; border-radius: 3px; }
+.axis { font-size: 12px; color: #555; margin-left: 5em; }
+</style></head><body>
+<h3>%s</h3>
+<div class="legend">`, html.EscapeString(title), html.EscapeString(title))
+	for s := 0; s < NumStates; s++ {
+		p(`<span style="background:%s">%s</span>`, stateColors[s], stateNames[s])
+	}
+	p("</div>\n")
+	p(`<div class="axis">0 &mdash; %s</div>`+"\n", FmtDur(total))
+	for _, a := range l.agents {
+		p(`<div class="row"><span class="name">%s</span><div class="lane" style="flex:1">`,
+			html.EscapeString(a.Name))
+		for _, seg := range a.segs {
+			width := 100 * float64(seg.To-seg.From) / float64(total)
+			if width < 0.01 {
+				continue
+			}
+			p(`<span style="width:%.3f%%;background:%s" title="%s %s&ndash;%s"></span>`,
+				width, stateColors[seg.State], seg.State, FmtDur(seg.From), FmtDur(seg.To))
+		}
+		p("</div></div>\n")
+	}
+	p("</body></html>\n")
+	return err
+}

@@ -1,0 +1,313 @@
+// Package trace records per-agent activity over virtual time and renders
+// EdenTV-style timeline diagrams as text.
+//
+// An agent is a capability (GpH) or a PE (Eden). At any instant an agent
+// is in exactly one State; the paper's colour scheme maps to runes as:
+// running Haskell code (green → '#'), runnable but doing system work or
+// waiting for synchronisation (yellow → '~'), all threads blocked
+// (red → 'x'), idle (blue → '.'), and garbage collecting ('G' — the
+// paper folds GC time into the yellow synchronisation bands; we keep it
+// distinguishable).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is an agent's activity classification at an instant.
+type State uint8
+
+const (
+	// Idle: the agent has no work at all (paper: blue).
+	Idle State = iota
+	// Run: executing mutator (Haskell) code (paper: green).
+	Run
+	// Runnable: doing system work or waiting for synchronisation, e.g.
+	// spinning for sparks or waiting at the GC barrier (paper: yellow).
+	Runnable
+	// Blocked: all of the agent's threads are blocked (paper: red).
+	Blocked
+	// GC: performing garbage collection.
+	GC
+	// Comm: packing/unpacking or otherwise handling messages (Eden).
+	Comm
+)
+
+var stateRunes = [...]rune{Idle: '.', Run: '#', Runnable: '~', Blocked: 'x', GC: 'G', Comm: 'M'}
+
+var stateNames = [...]string{Idle: "idle", Run: "run", Runnable: "runnable", Blocked: "blocked", GC: "gc", Comm: "comm"}
+
+// NumStates is the number of distinct states.
+const NumStates = len(stateRunes)
+
+// Rune returns the timeline rune for s.
+func (s State) Rune() rune { return stateRunes[s] }
+
+// String returns a human-readable name for s.
+func (s State) String() string { return stateNames[s] }
+
+// Segment is a maximal interval during which an agent stayed in one state.
+type Segment struct {
+	State    State
+	From, To int64 // [From, To) in virtual ns
+}
+
+// Agent is one traced entity (capability or PE).
+type Agent struct {
+	Name     string
+	segs     []Segment
+	cur      State
+	curStart int64
+	closed   bool
+}
+
+// Log collects the trace of one run.
+type Log struct {
+	agents []*Agent
+	end    int64
+}
+
+// NewLog returns an empty trace log.
+func NewLog() *Log { return &Log{} }
+
+// NewAgent registers a new agent starting in the Idle state at time 0.
+func (l *Log) NewAgent(name string) *Agent {
+	a := &Agent{Name: name, cur: Idle}
+	l.agents = append(l.agents, a)
+	return a
+}
+
+// Agents returns the registered agents in creation order.
+func (l *Log) Agents() []*Agent { return l.agents }
+
+// End returns the close time of the log.
+func (l *Log) End() int64 { return l.end }
+
+// Set records that the agent entered state s at time now. Setting the
+// current state again is a no-op, so callers can set unconditionally.
+// Calls after the log has been closed are ignored: measurement ends at
+// Close, but the simulated runtime may still drain work after it.
+func (a *Agent) Set(now int64, s State) {
+	if a.closed {
+		return
+	}
+	if s == a.cur {
+		return
+	}
+	if now < a.curStart {
+		panic(fmt.Sprintf("trace: time went backwards on %s: %d < %d", a.Name, now, a.curStart))
+	}
+	if now > a.curStart {
+		a.segs = append(a.segs, Segment{State: a.cur, From: a.curStart, To: now})
+	}
+	a.cur = s
+	a.curStart = now
+}
+
+// State returns the agent's current state.
+func (a *Agent) State() State { return a.cur }
+
+// Segments returns the agent's closed segments. Call after Log.Close.
+func (a *Agent) Segments() []Segment { return a.segs }
+
+// Close finalises the log at time end, terminating every agent's open
+// segment.
+func (l *Log) Close(end int64) {
+	l.end = end
+	for _, a := range l.agents {
+		if a.closed {
+			continue
+		}
+		if end > a.curStart {
+			a.segs = append(a.segs, Segment{State: a.cur, From: a.curStart, To: end})
+		}
+		a.closed = true
+	}
+}
+
+// TimeIn returns the total time agent a spent in state s.
+func (a *Agent) TimeIn(s State) int64 {
+	var total int64
+	for _, seg := range a.segs {
+		if seg.State == s {
+			total += seg.To - seg.From
+		}
+	}
+	return total
+}
+
+// Count returns how many maximal segments of state s the agent recorded.
+func (a *Agent) Count(s State) int {
+	n := 0
+	for _, seg := range a.segs {
+		if seg.State == s {
+			n++
+		}
+	}
+	return n
+}
+
+// dominantState returns the state occupying the most time in [from, to)
+// for agent a. Idle wins ties last (so any activity shows).
+func (a *Agent) dominantState(from, to int64) State {
+	var dur [NumStates]int64
+	for _, seg := range a.segs {
+		lo, hi := seg.From, seg.To
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi > lo {
+			dur[seg.State] += hi - lo
+		}
+	}
+	best := Idle
+	var bestDur int64 = -1
+	// Prefer non-idle states on ties; iterate Idle first so any equal
+	// non-idle state replaces it.
+	for s := 0; s < NumStates; s++ {
+		if dur[s] > bestDur {
+			bestDur = dur[s]
+			best = State(s)
+		}
+	}
+	return best
+}
+
+// Render draws the whole log as an ASCII timeline, one row per agent,
+// sampling `width` buckets across [0, End). Each cell shows the dominant
+// state within its bucket.
+func (l *Log) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	total := l.end
+	if total <= 0 {
+		return "(empty trace)\n"
+	}
+	nameW := 0
+	for _, a := range l.agents {
+		if len(a.Name) > nameW {
+			nameW = len(a.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%*s  0%s%s\n", nameW, "", strings.Repeat(" ", width-len(fmtDur(total))-1), fmtDur(total))
+	for _, a := range l.agents {
+		fmt.Fprintf(&b, "%*s |", nameW, a.Name)
+		for i := 0; i < width; i++ {
+			from := total * int64(i) / int64(width)
+			to := total * int64(i+1) / int64(width)
+			if to == from {
+				to = from + 1
+			}
+			b.WriteRune(a.dominantState(from, to).Rune())
+		}
+		b.WriteString("|\n")
+	}
+	fmt.Fprintf(&b, "%*s  legend: #=running ~=runnable/sync x=blocked .=idle G=gc M=msg\n", nameW, "")
+	return b.String()
+}
+
+// Summary reports per-state utilisation across all agents, plus per-agent
+// GC counts, as a text table.
+func (l *Log) Summary() string {
+	var b strings.Builder
+	total := l.end
+	if total <= 0 {
+		return "(empty trace)\n"
+	}
+	fmt.Fprintf(&b, "%-10s %9s %9s %9s %9s %9s %9s %6s\n",
+		"agent", "run%", "runnable%", "blocked%", "idle%", "gc%", "comm%", "gcs")
+	var sums [NumStates]int64
+	for _, a := range l.agents {
+		var pct [NumStates]float64
+		for s := 0; s < NumStates; s++ {
+			d := a.TimeIn(State(s))
+			sums[s] += d
+			pct[s] = 100 * float64(d) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% %6d\n",
+			a.Name, pct[Run], pct[Runnable], pct[Blocked], pct[Idle], pct[GC], pct[Comm], a.Count(GC))
+	}
+	n := int64(len(l.agents))
+	if n > 0 {
+		fmt.Fprintf(&b, "%-10s %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n",
+			"TOTAL",
+			100*float64(sums[Run])/float64(total*n),
+			100*float64(sums[Runnable])/float64(total*n),
+			100*float64(sums[Blocked])/float64(total*n),
+			100*float64(sums[Idle])/float64(total*n),
+			100*float64(sums[GC])/float64(total*n),
+			100*float64(sums[Comm])/float64(total*n))
+	}
+	return b.String()
+}
+
+// Utilisation returns the fraction of total agent-time spent in Run.
+func (l *Log) Utilisation() float64 {
+	if l.end <= 0 || len(l.agents) == 0 {
+		return 0
+	}
+	var run int64
+	for _, a := range l.agents {
+		run += a.TimeIn(Run)
+	}
+	return float64(run) / float64(l.end*int64(len(l.agents)))
+}
+
+// fmtDur renders a virtual-ns duration human-readably.
+func fmtDur(ns int64) string {
+	switch {
+	case ns >= 1_000_000_000:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1_000_000:
+		return fmt.Sprintf("%.1fms", float64(ns)/1e6)
+	case ns >= 1_000:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// FmtDur formats a virtual duration for reports.
+func FmtDur(ns int64) string { return fmtDur(ns) }
+
+// SortedAgentNames returns agent names sorted alphabetically (helper for
+// deterministic test assertions).
+func (l *Log) SortedAgentNames() []string {
+	names := make([]string, len(l.agents))
+	for i, a := range l.agents {
+		names[i] = a.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LongestIn returns the longest contiguous stretch the agent spent in
+// state s — e.g. the worst idle gap of a capability, the quantity the
+// paper's trace discussion reads off the diagrams.
+func (a *Agent) LongestIn(s State) int64 {
+	var best int64
+	for _, seg := range a.segs {
+		if seg.State == s && seg.To-seg.From > best {
+			best = seg.To - seg.From
+		}
+	}
+	return best
+}
+
+// WorstGap returns the longest single idle stretch across all agents.
+func (l *Log) WorstGap() int64 {
+	var best int64
+	for _, a := range l.agents {
+		if g := a.LongestIn(Idle); g > best {
+			best = g
+		}
+	}
+	return best
+}

@@ -1,0 +1,239 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegmentsRecorded(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	a.Set(0, Run)
+	a.Set(100, GC)
+	a.Set(150, Run)
+	a.Set(300, Idle)
+	l.Close(400)
+	segs := a.Segments()
+	want := []Segment{
+		{Run, 0, 100}, {GC, 100, 150}, {Run, 150, 300}, {Idle, 300, 400},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("got %d segments, want %d: %v", len(segs), len(want), segs)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Fatalf("seg[%d] = %v, want %v", i, segs[i], want[i])
+		}
+	}
+}
+
+func TestSetSameStateIsNoop(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	a.Set(0, Run)
+	a.Set(50, Run)
+	a.Set(60, Run)
+	l.Close(100)
+	if n := len(a.Segments()); n != 1 {
+		t.Fatalf("got %d segments, want 1", n)
+	}
+}
+
+func TestInitialStateIsIdle(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	a.Set(40, Run)
+	l.Close(100)
+	segs := a.Segments()
+	if segs[0].State != Idle || segs[0].From != 0 || segs[0].To != 40 {
+		t.Fatalf("first segment = %v, want idle [0,40)", segs[0])
+	}
+}
+
+func TestTimeIn(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	a.Set(0, Run)
+	a.Set(100, GC)
+	a.Set(130, Run)
+	l.Close(200)
+	if got := a.TimeIn(Run); got != 170 {
+		t.Fatalf("TimeIn(Run) = %d, want 170", got)
+	}
+	if got := a.TimeIn(GC); got != 30 {
+		t.Fatalf("TimeIn(GC) = %d, want 30", got)
+	}
+	if got := a.TimeIn(Blocked); got != 0 {
+		t.Fatalf("TimeIn(Blocked) = %d, want 0", got)
+	}
+}
+
+func TestCount(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	for i := int64(0); i < 5; i++ {
+		a.Set(i*100, Run)
+		a.Set(i*100+50, GC)
+	}
+	l.Close(500)
+	if got := a.Count(GC); got != 5 {
+		t.Fatalf("Count(GC) = %d, want 5", got)
+	}
+}
+
+func TestTimeMonotonicityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on time going backwards")
+		}
+	}()
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	a.Set(100, Run)
+	a.Set(50, GC)
+}
+
+func TestRenderShape(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	b := l.NewAgent("cap1")
+	a.Set(0, Run)
+	b.Set(0, Run)
+	b.Set(500, Idle)
+	l.Close(1000)
+	out := l.Render(40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 2 agents + legend
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 40)) {
+		t.Fatalf("cap0 row should be all running:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "#") || !strings.Contains(lines[2], ".") {
+		t.Fatalf("cap1 row should mix # and .:\n%s", out)
+	}
+}
+
+func TestRenderDominantState(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("c")
+	a.Set(0, Run)
+	// Tiny GC blip: must not dominate a wide bucket.
+	a.Set(500, GC)
+	a.Set(501, Run)
+	l.Close(1000)
+	out := l.Render(10)
+	row := strings.Split(out, "\n")[1] // the agent row
+	if strings.Contains(row, "G") {
+		t.Fatalf("1ns GC should not dominate 100ns buckets:\n%s", out)
+	}
+}
+
+func TestUtilisation(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("c0")
+	b := l.NewAgent("c1")
+	a.Set(0, Run) // runs the whole time
+	_ = b         // idle the whole time
+	l.Close(1000)
+	if u := l.Utilisation(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilisation = %v, want 0.5", u)
+	}
+}
+
+func TestSummaryContainsAgents(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("cap0")
+	a.Set(0, Run)
+	l.Close(100)
+	s := l.Summary()
+	if !strings.Contains(s, "cap0") || !strings.Contains(s, "TOTAL") {
+		t.Fatalf("summary missing pieces:\n%s", s)
+	}
+}
+
+func TestSegmentsCoverTimelineProperty(t *testing.T) {
+	// Property: for any sequence of Set calls with nondecreasing times,
+	// segments tile [0, end) exactly: contiguous, non-overlapping.
+	f := func(raw []uint16) bool {
+		l := NewLog()
+		a := l.NewAgent("x")
+		now := int64(0)
+		for i, r := range raw {
+			now += int64(r % 997)
+			a.Set(now, State(i%NumStates))
+		}
+		end := now + 100
+		l.Close(end)
+		segs := a.Segments()
+		prev := int64(0)
+		for _, s := range segs {
+			if s.From != prev || s.To <= s.From {
+				return false
+			}
+			prev = s.To
+		}
+		return prev == end
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeInSumsToTotalProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		l := NewLog()
+		a := l.NewAgent("x")
+		now := int64(0)
+		for i, r := range raw {
+			now += int64(r%500) + 1
+			a.Set(now, State(i%NumStates))
+		}
+		end := now + 7
+		l.Close(end)
+		var sum int64
+		for s := 0; s < NumStates; s++ {
+			sum += a.TimeIn(State(s))
+		}
+		return sum == end
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFmtDur(t *testing.T) {
+	cases := map[int64]string{
+		5:             "5ns",
+		1_500:         "1.5µs",
+		2_300_000:     "2.3ms",
+		2_750_000_000: "2.75s",
+	}
+	for in, want := range cases {
+		if got := FmtDur(in); got != want {
+			t.Errorf("FmtDur(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLongestInAndWorstGap(t *testing.T) {
+	l := NewLog()
+	a := l.NewAgent("c0")
+	a.Set(0, Run)
+	a.Set(100, Idle)
+	a.Set(150, Run)
+	a.Set(200, Idle) // 300-long gap, the worst
+	a.Set(500, Run)
+	l.Close(600)
+	if got := a.LongestIn(Idle); got != 300 {
+		t.Fatalf("LongestIn(Idle) = %d, want 300", got)
+	}
+	if got := a.LongestIn(Run); got != 100 {
+		t.Fatalf("LongestIn(Run) = %d, want 100", got)
+	}
+	if got := l.WorstGap(); got != 300 {
+		t.Fatalf("WorstGap = %d, want 300", got)
+	}
+}

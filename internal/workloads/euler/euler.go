@@ -1,0 +1,196 @@
+// Package euler implements the paper's first benchmark (§V): sumEuler,
+// the sum of the naïvely-computed Euler totient function φ(k) for all
+// k ≤ n — "a simple map-reduce operation". φ(k) counts the j < k that
+// are relatively prime to k, each test a full Euclid gcd.
+//
+// The computation is performed for real (results are checked against a
+// linear totient sieve) while virtual time is charged per actual gcd
+// iteration, so granularity is faithful to the Haskell program:
+//
+//	sum (map phi [1..n])
+//	  where phi k = length (filter (relprime k) [1..k-1])
+package euler
+
+import (
+	"sync"
+
+	"parhask/internal/graph"
+)
+
+// Ctx is the slice of a runtime context the mutator needs. Both
+// *rts.Ctx and *eden.PCtx satisfy it.
+type Ctx interface {
+	Burn(ns int64)
+	Alloc(bytes int64)
+}
+
+// AllocPerJ is the heap allocated per inner-loop element (list cell +
+// gcd closure in the Haskell program), in bytes.
+const AllocPerJ = 24
+
+// workSlices is how many Burn/Alloc slices each φ(k) is charged in, so
+// heap checks interleave with computation as they would in compiled code.
+const workSlices = 4
+
+// phiEntry memoises one φ computation (host-side only: virtual costs are
+// charged from the recorded iteration count on every simulated run).
+type phiEntry struct {
+	phi   int
+	iters int64
+}
+
+var (
+	phiMu    sync.Mutex
+	phiCache = map[int]phiEntry{}
+)
+
+// phiCounted computes φ(k) by trial gcd, counting loop iterations.
+func phiCounted(k int) phiEntry {
+	phiMu.Lock()
+	e, ok := phiCache[k]
+	phiMu.Unlock()
+	if ok {
+		return e
+	}
+	phi := 0
+	var iters int64
+	for j := 1; j < k; j++ {
+		a, b := j, k
+		for b != 0 {
+			a, b = b, a%b
+			iters++
+		}
+		if a == 1 {
+			phi++
+		}
+	}
+	if k == 1 {
+		phi = 1 // φ(1) = 1 by convention
+	}
+	e = phiEntry{phi: phi, iters: iters}
+	phiMu.Lock()
+	phiCache[k] = e
+	phiMu.Unlock()
+	return e
+}
+
+// Phi computes φ(k) in a runtime context, charging the gcd iterations
+// and the list allocation of the naïve Haskell definition.
+func Phi(ctx Ctx, gcdIterCost int64, k int) int {
+	e := phiCounted(k)
+	burn := e.iters * gcdIterCost
+	alloc := int64(k) * AllocPerJ
+	for s := 0; s < workSlices; s++ {
+		ctx.Alloc(alloc / workSlices)
+		ctx.Burn(burn / workSlices)
+	}
+	return e.phi
+}
+
+// SumRange sums φ(k) for k in [lo, hi] in a runtime context.
+func SumRange(ctx Ctx, gcdIterCost int64, lo, hi int) int64 {
+	var sum int64
+	for k := lo; k <= hi; k++ {
+		sum += int64(Phi(ctx, gcdIterCost, k))
+	}
+	return sum
+}
+
+// SumTotientSieve computes Σ φ(k), k ≤ n, with a linear sieve — the
+// oracle the tests compare against.
+func SumTotientSieve(n int) int64 {
+	if n < 1 {
+		return 0
+	}
+	phi := make([]int32, n+1)
+	for i := range phi {
+		phi[i] = int32(i)
+	}
+	for p := 2; p <= n; p++ {
+		if phi[p] == int32(p) { // p is prime
+			for m := p; m <= n; m += p {
+				phi[m] -= phi[m] / int32(p)
+			}
+		}
+	}
+	var sum int64
+	for k := 1; k <= n; k++ {
+		sum += int64(phi[k])
+	}
+	return sum
+}
+
+// checkOpCost is the virtual cost per trial-division operation of the
+// sequential result check.
+const checkOpCost = 6
+
+// SequentialCheck recomputes Σ φ(k) with the factorisation formula
+// (trial division) — the "second sequential computation that is obvious
+// at the end of each trace" in the paper's Fig. 2. It returns the sum
+// and charges its (much smaller) cost to the calling thread.
+func SequentialCheck(ctx Ctx, n int) int64 {
+	var sum int64
+	var ops int64
+	for k := 1; k <= n; k++ {
+		m := k
+		phi := 1
+		for p := 2; p*p <= m; p++ {
+			ops++
+			if m%p == 0 {
+				pk := 1
+				for m%p == 0 {
+					m /= p
+					pk *= p
+					ops++
+				}
+				phi *= pk - pk/p
+			}
+		}
+		if m > 1 {
+			phi *= m - 1
+		}
+		sum += int64(phi)
+		if ops > 4096 {
+			ctx.Alloc(256)
+			ctx.Burn(ops * checkOpCost)
+			ops = 0
+		}
+	}
+	ctx.Burn(ops * checkOpCost)
+	return sum
+}
+
+// Range is a [Lo, Hi] slice of the input interval — the unit the
+// parallel versions distribute.
+type Range struct {
+	Lo, Hi int
+}
+
+// PackedSize implements the Eden message-size interface.
+func (r Range) PackedSize() int64 { return 32 }
+
+// Ranges splits [1, n] into parts contiguous ranges.
+func Ranges(n, parts int) []Range {
+	if parts <= 0 {
+		parts = 1
+	}
+	out := make([]Range, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := n*i/parts + 1
+		hi := n * (i + 1) / parts
+		if hi >= lo {
+			out = append(out, Range{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// RangesValues is Ranges as []graph.Value for skeleton inputs.
+func RangesValues(n, parts int) []graph.Value {
+	rs := Ranges(n, parts)
+	out := make([]graph.Value, len(rs))
+	for i, r := range rs {
+		out[i] = r
+	}
+	return out
+}

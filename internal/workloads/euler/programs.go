@@ -1,0 +1,78 @@
+package euler
+
+import (
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/skel"
+	"parhask/internal/strategies"
+)
+
+// GpHProgram is the GpH sumEuler program: split [1..n] into chunks,
+// spark the sum of each chunk (parList rnf over sublists), fold the
+// partial sums, then run the sequential result check of Fig. 2.
+func GpHProgram(n, chunks int, gcdIterCost int64) func(*rts.Ctx) graph.Value {
+	return func(ctx *rts.Ctx) graph.Value {
+		rs := Ranges(n, chunks)
+		ts := make([]*graph.Thunk, len(rs))
+		for i, r := range rs {
+			r := r
+			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				return SumRange(c, gcdIterCost, r.Lo, r.Hi)
+			})
+		}
+		strategies.ParListWHNF(ctx, ts)
+		var sum int64
+		for _, t := range ts {
+			sum += ctx.Force(t).(int64)
+		}
+		if check := SequentialCheck(ctx, n); check != sum {
+			panic(fmt.Sprintf("euler: parallel sum %d != check %d", sum, check))
+		}
+		return sum
+	}
+}
+
+// EdenProgram is the Eden sumEuler program: the ready-made parMapReduce
+// skeleton over chunk ranges (chunksPerPE chunks per PE; the paper's
+// static split corresponds to chunksPerPE = 1), followed by the same
+// sequential check.
+func EdenProgram(n, chunksPerPE int, gcdIterCost int64) func(*eden.PCtx) graph.Value {
+	return func(p *eden.PCtx) graph.Value {
+		if chunksPerPE <= 0 {
+			chunksPerPE = 4
+		}
+		inputs := RangesValues(n, p.PEs()*chunksPerPE)
+		kvs := skel.ParMapReduce(p, "sumEuler",
+			func(w *eden.PCtx, in graph.Value) []skel.KV {
+				r := in.(Range)
+				return []skel.KV{{Key: 0, Val: SumRange(w, gcdIterCost, r.Lo, r.Hi)}}
+			},
+			func(w *eden.PCtx, key graph.Value, vals []graph.Value) graph.Value {
+				var s int64
+				for _, v := range vals {
+					s += v.(int64)
+				}
+				return s
+			}, inputs)
+		sum := kvs[0].Val.(int64)
+		if check := SequentialCheck(p, n); check != sum {
+			panic(fmt.Sprintf("euler: parallel sum %d != check %d", sum, check))
+		}
+		return sum
+	}
+}
+
+// SeqProgram is the sequential reference program (for relative-speedup
+// baselines).
+func SeqProgram(n int, gcdIterCost int64) func(*rts.Ctx) graph.Value {
+	return func(ctx *rts.Ctx) graph.Value {
+		sum := SumRange(ctx, gcdIterCost, 1, n)
+		if check := SequentialCheck(ctx, n); check != sum {
+			panic(fmt.Sprintf("euler: sum %d != check %d", sum, check))
+		}
+		return sum
+	}
+}

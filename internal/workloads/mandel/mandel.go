@@ -1,0 +1,178 @@
+// Package mandel implements a Mandelbrot-set renderer — the classic
+// irregular data-parallel workload of the Eden and GpH literature: the
+// per-row cost varies wildly (points inside the set iterate to the
+// limit, points outside escape quickly), making static splits unbalance
+// and dynamic distribution (work stealing, masterWorker) shine.
+//
+// Iterations are computed for real; the virtual cost is charged per
+// actual iteration, so the irregularity is genuine.
+package mandel
+
+import (
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/skel"
+	"parhask/internal/strategies"
+)
+
+// IterCost is the virtual cost of one escape-time iteration.
+const IterCost = 10
+
+// AllocPerPoint is the heap allocated per pixel (list cell + boxed int).
+const AllocPerPoint = 24
+
+// Params frames a rendering.
+type Params struct {
+	Width, Height int
+	CenterX       float64
+	CenterY       float64
+	Scale         float64 // width of the viewport in the complex plane
+	MaxIter       int
+}
+
+// DefaultParams frames the classic seahorse-valley view.
+func DefaultParams(w, h int) Params {
+	return Params{
+		Width: w, Height: h,
+		CenterX: -0.74, CenterY: 0.12,
+		Scale: 0.08, MaxIter: 512,
+	}
+}
+
+// Ctx is the mutator-context slice the kernels need.
+type Ctx interface {
+	Burn(ns int64)
+	Alloc(bytes int64)
+}
+
+// Row computes the escape-time counts of one row, charging per actual
+// iteration.
+func Row(ctx Ctx, p Params, y int) []int32 {
+	out := make([]int32, p.Width)
+	var iters int64
+	ci := p.CenterY + (float64(y)/float64(p.Height)-0.5)*p.Scale*float64(p.Height)/float64(p.Width)
+	for x := 0; x < p.Width; x++ {
+		cr := p.CenterX + (float64(x)/float64(p.Width)-0.5)*p.Scale
+		zr, zi := 0.0, 0.0
+		n := 0
+		for ; n < p.MaxIter; n++ {
+			zr2, zi2 := zr*zr, zi*zi
+			if zr2+zi2 > 4 {
+				break
+			}
+			zr, zi = zr2-zi2+cr, 2*zr*zi+ci
+			iters++
+		}
+		out[x] = int32(n)
+	}
+	ctx.Burn(iters * IterCost)
+	ctx.Alloc(int64(p.Width) * AllocPerPoint)
+	return out
+}
+
+// Checksum folds an image into one comparable number.
+func Checksum(rows [][]int32) int64 {
+	var s int64
+	for y, row := range rows {
+		for x, v := range row {
+			s += int64(v) * int64(x+3*y+1)
+		}
+	}
+	return s
+}
+
+// Render computes the whole image sequentially (the oracle).
+func Render(ctx Ctx, p Params) [][]int32 {
+	rows := make([][]int32, p.Height)
+	for y := range rows {
+		rows[y] = Row(ctx, p, y)
+	}
+	return rows
+}
+
+// GpHProgram renders with one spark per row (parList over rows) — the
+// straightforward GpH parallelisation whose irregular rows exercise the
+// dynamic load balancing.
+func GpHProgram(p Params) func(*rts.Ctx) graph.Value {
+	return func(ctx *rts.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, p.Height)
+		for y := 0; y < p.Height; y++ {
+			y := y
+			ts[y] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				return Row(c, p, y)
+			})
+		}
+		strategies.ParListWHNF(ctx, ts)
+		rows := make([][]int32, p.Height)
+		for y, t := range ts {
+			rows[y] = ctx.Force(t).([]int32)
+		}
+		return rows
+	}
+}
+
+// rowResult pairs a row index with its pixels so completion-order
+// results can be reassembled.
+type rowResult struct {
+	Y   int
+	Pix []int32
+}
+
+// PackedSize implements eden.Sized.
+func (r rowResult) PackedSize() int64 { return int64(4*len(r.Pix)) + 24 }
+
+// EdenProgram renders with the masterWorker skeleton: rows are tasks,
+// irregularly sized, dynamically balanced across worker processes —
+// the textbook Eden use of the skeleton.
+func EdenProgram(p Params, workers, prefetch int) func(*eden.PCtx) graph.Value {
+	return func(px *eden.PCtx) graph.Value {
+		tasks := make([]graph.Value, p.Height)
+		for y := range tasks {
+			tasks[y] = y
+		}
+		outs := skel.MasterWorker(px, "mandel", workers, prefetch,
+			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+				y := task.(int)
+				return nil, rowResult{Y: y, Pix: Row(w, p, y)}
+			}, tasks)
+		rows := make([][]int32, p.Height)
+		for _, o := range outs {
+			r := o.(rowResult)
+			rows[r.Y] = r.Pix
+		}
+		return rows
+	}
+}
+
+// Equal compares two images.
+func Equal(a, b [][]int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for y := range a {
+		if len(a[y]) != len(b[y]) {
+			return false
+		}
+		for x := range a[y] {
+			if a[y][x] != b[y][x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ASCII renders the image as characters for terminal display.
+func ASCII(rows [][]int32, maxIter int) string {
+	shades := []byte(" .:-=+*#%@")
+	var b []byte
+	for _, row := range rows {
+		for _, v := range row {
+			idx := int(v) * (len(shades) - 1) / maxIter
+			b = append(b, shades[idx])
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -1,0 +1,133 @@
+package mandel
+
+import (
+	"strings"
+	"testing"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+)
+
+type nopCtx struct{ burned, alloced int64 }
+
+func (n *nopCtx) Burn(ns int64) { n.burned += ns }
+func (n *nopCtx) Alloc(b int64) { n.alloced += b }
+
+func oracle(p Params) [][]int32 {
+	return Render(&nopCtx{}, p)
+}
+
+func TestRowDeterministic(t *testing.T) {
+	p := DefaultParams(64, 48)
+	a := Row(&nopCtx{}, p, 10)
+	b := Row(&nopCtx{}, p, 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("row not deterministic")
+		}
+	}
+}
+
+func TestIrregularRows(t *testing.T) {
+	// The viewport must contain both fast-escaping and max-iter points,
+	// otherwise the workload is not irregular.
+	p := DefaultParams(96, 64)
+	img := oracle(p)
+	var mn, mx int32 = 1 << 30, 0
+	for _, row := range img {
+		for _, v := range row {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	if mx != int32(p.MaxIter) {
+		t.Fatalf("max iter = %d, want %d (set interior present)", mx, p.MaxIter)
+	}
+	if mn >= int32(p.MaxIter)/4 {
+		t.Fatalf("min iter = %d; no fast-escaping points", mn)
+	}
+}
+
+func TestGpHMatchesOracle(t *testing.T) {
+	p := DefaultParams(64, 48)
+	want := oracle(p)
+	res, err := gph.Run(gph.WorkStealingConfig(4), GpHProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(res.Value.([][]int32), want) {
+		t.Fatal("GpH image differs from oracle")
+	}
+}
+
+func TestEdenMasterWorkerMatchesOracle(t *testing.T) {
+	p := DefaultParams(64, 48)
+	want := oracle(p)
+	cfg := eden.NewConfig(5, 4)
+	res, err := eden.Run(cfg, EdenProgram(p, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(res.Value.([][]int32), want) {
+		t.Fatal("Eden image differs from oracle")
+	}
+}
+
+func TestDynamicBeatsStaticOnIrregularLoad(t *testing.T) {
+	// Compare GpH work stealing (dynamic) against the pushing scheduler
+	// on this highly irregular workload.
+	p := DefaultParams(128, 96)
+	steal, err := gph.Run(gph.WorkStealingConfig(8), GpHProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := gph.Run(gph.ImprovedSync(8), GpHProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steal.Elapsed >= push.Elapsed {
+		t.Fatalf("stealing (%d) not faster than pushing (%d) on irregular rows",
+			steal.Elapsed, push.Elapsed)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	p := DefaultParams(128, 96)
+	r1, err := gph.Run(gph.WorkStealingConfig(1), GpHProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := gph.Run(gph.WorkStealingConfig(8), GpHProgram(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := float64(r1.Elapsed) / float64(r8.Elapsed); sp < 4 {
+		t.Fatalf("speedup = %.2f, want >= 4", sp)
+	}
+}
+
+func TestChecksumSensitive(t *testing.T) {
+	p := DefaultParams(32, 24)
+	img := oracle(p)
+	c1 := Checksum(img)
+	img[5][7]++
+	if Checksum(img) == c1 {
+		t.Fatal("checksum insensitive")
+	}
+}
+
+func TestASCIIShape(t *testing.T) {
+	p := DefaultParams(40, 12)
+	out := ASCII(oracle(p), p.MaxIter)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12 || len(lines[0]) != 40 {
+		t.Fatalf("ascii shape %dx%d", len(lines), len(lines[0]))
+	}
+	if !strings.Contains(out, "@") || !strings.Contains(out, " ") {
+		t.Fatal("ascii lacks contrast")
+	}
+}

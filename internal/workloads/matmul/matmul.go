@@ -1,0 +1,171 @@
+// Package matmul implements the paper's second benchmark (§V): dense
+// matrix multiplication. The GpH version sparks regular blocks of the
+// result matrix (block size — the spark granularity — is tunable, and
+// blocks depend only on a subset of both inputs, unlike rows); the Eden
+// version implements Cannon's algorithm on a torus topology skeleton,
+// exchanging input blocks between neighbours round by round.
+package matmul
+
+import (
+	"fmt"
+
+	"parhask/internal/sim"
+)
+
+// Mat is a dense row-major matrix.
+type Mat [][]float64
+
+// Ctx is the slice of a runtime context the mutator needs.
+type Ctx interface {
+	Burn(ns int64)
+	Alloc(bytes int64)
+}
+
+// AllocPerElem is the heap allocated per produced result element
+// (accumulator boxing and list/index overhead of the Haskell program).
+const AllocPerElem = 24
+
+// AllocPerMulAdd is the per-inner-step allocation (lazy arithmetic
+// thunks); GHC's strictness analysis removes most of it, so it is small.
+const AllocPerMulAdd = 2
+
+// New returns an n×m zero matrix.
+func New(n, m int) Mat {
+	rows := make(Mat, n)
+	backing := make([]float64, n*m)
+	for i := range rows {
+		rows[i], backing = backing[:m:m], backing[m:]
+	}
+	return rows
+}
+
+// Random returns a deterministic pseudo-random n×n matrix with entries
+// in [0, 1).
+func Random(n int, seed uint64) Mat {
+	rng := sim.NewPRNG(seed)
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i][j] = float64(rng.Uint64()%1_000_000) / 1_000_000
+		}
+	}
+	return m
+}
+
+// Bytes returns the resident size of an n×n matrix.
+func Bytes(n int) int64 { return int64(n) * int64(n) * 8 }
+
+// MulOracle is the plain host-side reference product (no cost model).
+func MulOracle(a, b Mat) Mat {
+	n, m, p := len(a), len(b[0]), len(b)
+	c := New(n, m)
+	for i := 0; i < n; i++ {
+		for k := 0; k < p; k++ {
+			aik := a[i][k]
+			if aik == 0 {
+				continue
+			}
+			row := b[k]
+			ci := c[i]
+			for j := 0; j < m; j++ {
+				ci[j] += aik * row[j]
+			}
+		}
+	}
+	return c
+}
+
+// MulAddInto computes dst += a×b for equally-shaped square blocks,
+// charging mulAddCost per multiply-add and the block's allocation. It is
+// the mutator kernel of both parallel versions.
+func MulAddInto(ctx Ctx, mulAddCost int64, dst, a, b Mat) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	m := len(b[0])
+	for i := 0; i < n; i++ {
+		ai := a[i]
+		di := dst[i]
+		for k := 0; k < len(b); k++ {
+			aik := ai[k]
+			row := b[k]
+			for j := 0; j < m; j++ {
+				di[j] += aik * row[j]
+			}
+		}
+		ops := int64(len(b) * m)
+		ctx.Burn(ops * mulAddCost)
+		ctx.Alloc(ops*AllocPerMulAdd + int64(m)*AllocPerElem)
+	}
+}
+
+// MulRange computes rows [r0,r1) × cols [c0,c1) of a×b into a fresh
+// (r1-r0)×(c1-c0) block with cost accounting — the unit of work one GpH
+// block spark performs.
+func MulRange(ctx Ctx, mulAddCost int64, a, b Mat, r0, r1, c0, c1 int) Mat {
+	n := len(b) // inner dimension
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		ai := a[i]
+		oi := out[i-r0]
+		for k := 0; k < n; k++ {
+			aik := ai[k]
+			row := b[k]
+			for j := c0; j < c1; j++ {
+				oi[j-c0] += aik * row[j]
+			}
+		}
+		ops := int64(n * (c1 - c0))
+		ctx.Burn(ops * mulAddCost)
+		ctx.Alloc(ops*AllocPerMulAdd + int64(c1-c0)*AllocPerElem)
+	}
+	return out
+}
+
+// Block extracts the block rows [r0,r1) × cols [c0,c1) as a fresh matrix.
+func Block(m Mat, r0, r1, c0, c1 int) Mat {
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out[i-r0], m[i][c0:c1])
+	}
+	return out
+}
+
+// Equal reports whether two matrices are element-wise equal within eps.
+func Equal(a, b Mat, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			d := a[i][j] - b[i][j]
+			if d < -eps || d > eps {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Checksum folds a matrix to one number for cheap cross-run checks.
+func Checksum(m Mat) float64 {
+	var s float64
+	for i := range m {
+		for j := range m[i] {
+			s += m[i][j] * float64((i+1)+(j+1)*31)
+		}
+	}
+	return s
+}
+
+// blockDim validates that bs divides n and returns n/bs.
+func blockDim(n, bs int) int {
+	if bs <= 0 || n%bs != 0 {
+		panic(fmt.Sprintf("matmul: block size %d must divide matrix size %d", bs, n))
+	}
+	return n / bs
+}

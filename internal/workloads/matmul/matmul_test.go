@@ -1,0 +1,192 @@
+package matmul
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parhask/internal/eden"
+	"parhask/internal/gph"
+)
+
+type nopCtx struct{ burned, alloced int64 }
+
+func (n *nopCtx) Burn(ns int64) { n.burned += ns }
+func (n *nopCtx) Alloc(b int64) { n.alloced += b }
+
+func TestMulRangeMatchesOracle(t *testing.T) {
+	a, b := Random(16, 1), Random(16, 2)
+	want := MulOracle(a, b)
+	ctx := &nopCtx{}
+	got := MulRange(ctx, 1, a, b, 0, 16, 0, 16)
+	if !Equal(got, want, 1e-9) {
+		t.Fatal("MulRange differs from oracle")
+	}
+	if ctx.burned != 16*16*16 {
+		t.Fatalf("burned = %d, want %d", ctx.burned, 16*16*16)
+	}
+}
+
+func TestMulRangeBlockAssembly(t *testing.T) {
+	a, b := Random(12, 3), Random(12, 4)
+	want := MulOracle(a, b)
+	ctx := &nopCtx{}
+	out := New(12, 12)
+	for r0 := 0; r0 < 12; r0 += 4 {
+		for c0 := 0; c0 < 12; c0 += 4 {
+			blk := MulRange(ctx, 1, a, b, r0, r0+4, c0, c0+4)
+			for i := range blk {
+				copy(out[r0+i][c0:c0+4], blk[i])
+			}
+		}
+	}
+	if !Equal(out, want, 1e-9) {
+		t.Fatal("blockwise assembly differs from oracle")
+	}
+}
+
+func TestMulAddIntoAccumulates(t *testing.T) {
+	a, b := Random(8, 5), Random(8, 6)
+	ctx := &nopCtx{}
+	acc := New(8, 8)
+	MulAddInto(ctx, 1, acc, a, b)
+	MulAddInto(ctx, 1, acc, a, b) // acc = 2·a×b
+	want := MulOracle(a, b)
+	for i := range want {
+		for j := range want[i] {
+			want[i][j] *= 2
+		}
+	}
+	if !Equal(acc, want, 1e-9) {
+		t.Fatal("MulAddInto does not accumulate")
+	}
+}
+
+func TestGpHBlockProgramCorrect(t *testing.T) {
+	const n, bs = 32, 8
+	a, b := Random(n, 7), Random(n, 8)
+	want := MulOracle(a, b)
+	cfg := gph.WorkStealingConfig(4)
+	cfg.ResidentBytes = 3 * Bytes(n)
+	res, err := gph.Run(cfg, GpHBlockProgram(a, b, bs, cfg.Costs.MulAdd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(res.Value.(Mat), want, 1e-9) {
+		t.Fatal("GpH block product incorrect")
+	}
+	if res.Stats.SparksCreated != (n/bs)*(n/bs) {
+		t.Fatalf("sparks = %d, want %d", res.Stats.SparksCreated, (n/bs)*(n/bs))
+	}
+}
+
+func TestGpHRowProgramCorrect(t *testing.T) {
+	const n = 24
+	a, b := Random(n, 9), Random(n, 10)
+	want := MulOracle(a, b)
+	cfg := gph.WorkStealingConfig(4)
+	res, err := gph.Run(cfg, GpHRowProgram(a, b, cfg.Costs.MulAdd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(res.Value.(Mat), want, 1e-9) {
+		t.Fatal("GpH row product incorrect")
+	}
+}
+
+func TestEdenCannonCorrect(t *testing.T) {
+	const n, q = 24, 3
+	a, b := Random(n, 11), Random(n, 12)
+	want := MulOracle(a, b)
+	cfg := eden.NewConfig(q*q+1, 8)
+	res, err := eden.Run(cfg, EdenCannonProgram(a, b, q, cfg.Costs.MulAdd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(res.Value.(Mat), want, 1e-9) {
+		t.Fatal("Cannon product incorrect")
+	}
+	if res.Stats.Processes != q*q {
+		t.Fatalf("processes = %d, want %d", res.Stats.Processes, q*q)
+	}
+	// Each node shifts A and B q-1 times: 2·q²·(q-1) block messages, plus
+	// closes, inputs and results.
+	if res.Stats.Messages < 2*q*q*(q-1) {
+		t.Fatalf("messages = %d, want >= %d", res.Stats.Messages, 2*q*q*(q-1))
+	}
+}
+
+func TestCannonVariousQ(t *testing.T) {
+	const n = 24
+	a, b := Random(n, 13), Random(n, 14)
+	want := MulOracle(a, b)
+	for _, q := range []int{1, 2, 4} {
+		cfg := eden.NewConfig(q*q+1, 8)
+		res, err := eden.Run(cfg, EdenCannonProgram(a, b, q, cfg.Costs.MulAdd))
+		if err != nil {
+			t.Fatalf("q=%d: %v", q, err)
+		}
+		if !Equal(res.Value.(Mat), want, 1e-9) {
+			t.Fatalf("q=%d: Cannon product incorrect", q)
+		}
+	}
+}
+
+func TestGpHBlockSpeedup(t *testing.T) {
+	const n, bs = 128, 16
+	a, b := Random(n, 15), Random(n, 16)
+	mk := func(cores int) int64 {
+		cfg := gph.WorkStealingConfig(cores)
+		cfg.ResidentBytes = 3 * Bytes(n)
+		res, err := gph.Run(cfg, GpHBlockProgram(a, b, bs, cfg.Costs.MulAdd))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Elapsed
+	}
+	t1, t4 := mk(1), mk(4)
+	if sp := float64(t1) / float64(t4); sp < 2.5 {
+		t.Fatalf("speedup = %.2f, want >= 2.5", sp)
+	}
+}
+
+func TestChecksumSensitive(t *testing.T) {
+	a := Random(8, 17)
+	c1 := Checksum(a)
+	a[3][4] += 0.5
+	if Checksum(a) == c1 {
+		t.Fatal("checksum insensitive to change")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	if !Equal(Random(10, 42), Random(10, 42), 0) {
+		t.Fatal("Random not deterministic")
+	}
+	if Equal(Random(10, 42), Random(10, 43), 0) {
+		t.Fatal("different seeds gave equal matrices")
+	}
+}
+
+func TestBlockDimValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-dividing block size")
+		}
+	}()
+	blockDim(10, 3)
+}
+
+func TestMulOracleIdentityProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		a := Random(n, seed)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id[i][i] = 1
+		}
+		return Equal(MulOracle(a, id), a, 1e-12) && Equal(MulOracle(id, a), a, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

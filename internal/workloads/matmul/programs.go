@@ -1,0 +1,161 @@
+package matmul
+
+import (
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/skel"
+	"parhask/internal/strategies"
+)
+
+// GpHBlockProgram is the measured GpH parallelisation: regular blocks of
+// the result matrix are turned into sparks; the block size (spark
+// granularity) is tunable. The main thread then forces every block and
+// assembles the result.
+func GpHBlockProgram(a, b Mat, blockSize int, mulAddCost int64) func(*rts.Ctx) graph.Value {
+	n := len(a)
+	q := blockDim(n, blockSize)
+	return func(ctx *rts.Ctx) graph.Value {
+		ctx.Alloc(2 * Bytes(n)) // the input matrices are built on the heap
+		blocks := make([]*graph.Thunk, 0, q*q)
+		for bi := 0; bi < q; bi++ {
+			for bj := 0; bj < q; bj++ {
+				r0, c0 := bi*blockSize, bj*blockSize
+				blocks = append(blocks, strategies.Thunk(func(c *rts.Ctx) graph.Value {
+					return MulRange(c, mulAddCost, a, b, r0, r0+blockSize, c0, c0+blockSize)
+				}))
+			}
+		}
+		strategies.ParListWHNF(ctx, blocks)
+		out := New(n, n)
+		for k, t := range blocks {
+			blk := ctx.Force(t).(Mat)
+			r0, c0 := (k/q)*blockSize, (k%q)*blockSize
+			for i := range blk {
+				copy(out[r0+i][c0:c0+blockSize], blk[i])
+			}
+		}
+		return out
+	}
+}
+
+// GpHRowProgram is the straightforward row-parallel version the paper
+// compares against: one spark per result row; each row depends on the
+// whole second input matrix.
+func GpHRowProgram(a, b Mat, mulAddCost int64) func(*rts.Ctx) graph.Value {
+	n := len(a)
+	return func(ctx *rts.Ctx) graph.Value {
+		ctx.Alloc(2 * Bytes(n))
+		rows := make([]*graph.Thunk, n)
+		for i := 0; i < n; i++ {
+			i := i
+			rows[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				return MulRange(c, mulAddCost, a, b, i, i+1, 0, n)
+			})
+		}
+		strategies.ParListWHNF(ctx, rows)
+		out := make(Mat, n)
+		for i, t := range rows {
+			out[i] = ctx.Force(t).(Mat)[0]
+		}
+		return out
+	}
+}
+
+// cannonInput is the initial payload of one torus node: its (already
+// skew-aligned) blocks of A and B.
+type cannonInput struct {
+	A, B Mat
+}
+
+// PackedSize implements eden.Sized.
+func (ci cannonInput) PackedSize() int64 {
+	return eden.SizeOf([][]float64(ci.A)) + eden.SizeOf([][]float64(ci.B))
+}
+
+// blockMsg is one shifted block in Cannon's round exchange.
+type blockMsg struct{ M Mat }
+
+// PackedSize implements eden.Sized.
+func (bm blockMsg) PackedSize() int64 { return eden.SizeOf([][]float64(bm.M)) }
+
+// EdenCannonProgram multiplies on a q×q process torus with Cannon's
+// algorithm: each node starts with skew-aligned blocks A(i,(j+i) mod q)
+// and B((i+j) mod q, j), and in q rounds multiplies its current blocks
+// into its accumulator, shifting A left and B up between rounds.
+// Communication is thereby reduced to a minimum (§V).
+func EdenCannonProgram(a, b Mat, q int, mulAddCost int64) func(*eden.PCtx) graph.Value {
+	n := len(a)
+	if q <= 0 || n%q != 0 {
+		panic(fmt.Sprintf("matmul: torus dimension %d must divide matrix size %d", q, n))
+	}
+	bs := n / q
+	return func(p *eden.PCtx) graph.Value {
+		inputs := make([][]graph.Value, q)
+		for i := 0; i < q; i++ {
+			inputs[i] = make([]graph.Value, q)
+			for j := 0; j < q; j++ {
+				aj := (j + i) % q // initial skew
+				bi := (i + j) % q
+				inputs[i][j] = cannonInput{
+					A: Block(a, i*bs, (i+1)*bs, aj*bs, (aj+1)*bs),
+					B: Block(b, bi*bs, (bi+1)*bs, j*bs, (j+1)*bs),
+				}
+			}
+		}
+		outs := skel.Torus(p, "cannon", q, func(w *eden.PCtx, i, j int, input graph.Value,
+			fromRight *eden.StreamIn, toLeft *eden.StreamOut,
+			fromBelow *eden.StreamIn, toUp *eden.StreamOut) graph.Value {
+			in := input.(cannonInput)
+			w.AddResident(3 * int64(bs) * int64(bs) * 8)
+			ab, bb := in.A, in.B
+			acc := New(bs, bs)
+			for round := 0; round < q; round++ {
+				if round > 0 {
+					// Shift: send current blocks on, receive the next.
+					w.StreamSend(toLeft, blockMsg{M: ab})
+					w.StreamSend(toUp, blockMsg{M: bb})
+					av, ok1 := w.StreamRecv(fromRight)
+					bv, ok2 := w.StreamRecv(fromBelow)
+					if !ok1 || !ok2 {
+						panic("cannon: neighbour stream closed early")
+					}
+					ab, bb = av.(blockMsg).M, bv.(blockMsg).M
+				}
+				MulAddInto(w, mulAddCost, acc, ab, bb)
+			}
+			w.StreamClose(toLeft)
+			w.StreamClose(toUp)
+			// Drain the neighbours' closes so every message is consumed.
+			if _, ok := w.StreamRecv(fromRight); ok {
+				panic("cannon: unexpected extra block from right")
+			}
+			if _, ok := w.StreamRecv(fromBelow); ok {
+				panic("cannon: unexpected extra block from below")
+			}
+			return acc
+		}, inputs)
+
+		out := New(n, n)
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				blk := outs[i][j].(Mat)
+				for r := range blk {
+					copy(out[i*bs+r][j*bs:(j+1)*bs], blk[r])
+				}
+			}
+		}
+		return out
+	}
+}
+
+// SeqProgram is the sequential reference with cost accounting.
+func SeqProgram(a, b Mat, mulAddCost int64) func(*rts.Ctx) graph.Value {
+	n := len(a)
+	return func(ctx *rts.Ctx) graph.Value {
+		ctx.Alloc(2 * Bytes(n))
+		return MulRange(ctx, mulAddCost, a, b, 0, n, 0, n)
+	}
+}

@@ -1,0 +1,74 @@
+// Package parfib implements parfib, the canonical GpH micro-benchmark
+// for spark granularity: the naïve doubly-recursive Fibonacci with a
+// cutoff threshold below which evaluation is sequential.
+//
+//	parfib n | n <= t    = nfib n
+//	         | otherwise = x `par` (y `seq` x+y)
+//	           where x = parfib (n-1); y = parfib (n-2)
+//
+// Every recursion above the threshold creates one spark, so the
+// threshold directly controls the number and size of sparks — the
+// classic granularity-tuning experiment for the runtimes in this
+// repository.
+package parfib
+
+import (
+	"parhask/internal/graph"
+	"parhask/internal/rts"
+	"parhask/internal/strategies"
+)
+
+// CallCost is the virtual cost of one nfib call (two compares, two
+// calls, one add).
+const CallCost = 12
+
+// AllocPerCall is the heap allocated per nfib call (stack frames are
+// free, but the lazy + boxes are not).
+const AllocPerCall = 16
+
+// Fib returns the Fibonacci number (the nfib value is the call count).
+func Fib(n int) int64 {
+	a, b := int64(0), int64(1)
+	for i := 0; i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// nfibCalls returns the number of calls nfib n makes: nfib(n) =
+// 1 + nfib(n-1) + nfib(n-2), nfib(0)=nfib(1)=1 — i.e. 2·fib(n+1)-1.
+func nfibCalls(n int) int64 {
+	return 2*Fib(n+1) - 1
+}
+
+// seqFib charges the sequential nfib cost and returns fib(n).
+func seqFib(ctx *rts.Ctx, n int) int64 {
+	calls := nfibCalls(n)
+	ctx.Alloc(calls * AllocPerCall)
+	ctx.Burn(calls * CallCost)
+	return Fib(n)
+}
+
+// parFib is the recursive sparked version.
+func parFib(ctx *rts.Ctx, n, threshold int) int64 {
+	if n <= threshold {
+		return seqFib(ctx, n)
+	}
+	x := strategies.Thunk(func(c *rts.Ctx) graph.Value {
+		return parFib(c, n-1, threshold)
+	})
+	ctx.Par(x)
+	// One recursion call's own overhead.
+	ctx.Alloc(AllocPerCall)
+	ctx.Burn(CallCost)
+	y := parFib(ctx, n-2, threshold)
+	return ctx.Force(x).(int64) + y
+}
+
+// Program returns the GpH main function computing parfib n with the
+// given sequential threshold.
+func Program(n, threshold int) func(*rts.Ctx) graph.Value {
+	return func(ctx *rts.Ctx) graph.Value {
+		return parFib(ctx, n, threshold)
+	}
+}
