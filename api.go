@@ -4,9 +4,11 @@ import (
 	"parhask/internal/core"
 	"parhask/internal/cost"
 	"parhask/internal/eden"
+	"parhask/internal/exec"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
 	"parhask/internal/gum"
+	"parhask/internal/native"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
@@ -27,6 +29,37 @@ var (
 
 // Ctx is the execution context of a GpH thread (Burn/Alloc/Force/Par/Fork).
 type Ctx = rts.Ctx
+
+// ExecCtx is the runtime-agnostic execution context: program bodies
+// written against it run unchanged on the virtual-time simulation
+// (*Ctx satisfies it) and on the native work-stealing runtime.
+type ExecCtx = exec.Ctx
+
+// ExecProgram is a runtime-agnostic program body.
+type ExecProgram = exec.Program
+
+// NewExecThunk suspends a runtime-agnostic function as a heap thunk.
+var NewExecThunk = exec.Thunk
+
+// Native: the real-concurrency work-stealing runtime (goroutines,
+// wall-clock time).
+type (
+	// NativeConfig selects a native runtime setup (workers, black-holing).
+	NativeConfig = native.Config
+	// NativeResult is the outcome of a native run (value, wall time, stats).
+	NativeResult = native.Result
+	// NativeStats are the native runtime counters.
+	NativeStats = native.Stats
+)
+
+// Native entry points.
+var (
+	// RunNative executes a runtime-agnostic program on real goroutines.
+	RunNative = native.Run
+	// NewNativeConfig returns the default native configuration
+	// (GOMAXPROCS workers, eager black-holing).
+	NewNativeConfig = native.NewConfig
+)
 
 // GpH: the shared-heap runtime.
 type (

@@ -21,6 +21,7 @@ import (
 	"parhask/internal/graph"
 	"parhask/internal/gum"
 	"parhask/internal/machine"
+	"parhask/internal/native"
 	"parhask/internal/rts"
 	"parhask/internal/sim"
 	"parhask/internal/skel"
@@ -798,6 +799,82 @@ func BenchmarkQueens(b *testing.B) {
 		}
 		reportVirt(b, virt)
 	})
+}
+
+// --- Native backend: real wall-clock on real goroutines ---
+//
+// Unlike every benchmark above, the ns/op of the BenchmarkNative*
+// benchmarks IS the quantity of interest: the same GpH program bodies
+// executed by the native work-stealing runtime on actual cores. The
+// worker-count sub-benchmarks sweep the paper's x-axis in real time.
+
+// BenchmarkNativeSumEuler sweeps worker counts on the uncached sumEuler
+// kernel (the wall-clock analogue of Fig. 3's speedup curve).
+func BenchmarkNativeSumEuler(b *testing.B) {
+	p := benchParams()
+	n, chunks := p.SumEulerN, p.SumEulerChunks
+	want := euler.SumTotientSieve(n)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := native.Run(native.NewConfig(workers), euler.Program(n, chunks, 0, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value.(int64) != want {
+					b.Fatalf("wrong sum: %v", res.Value)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNativeMatMul sweeps worker counts on the blockwise matrix
+// multiplication.
+func BenchmarkNativeMatMul(b *testing.B) {
+	p := benchParams()
+	a := matmul.Random(p.MatMulN, 103)
+	bm := matmul.Random(p.MatMulN, 104)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := native.Run(native.NewConfig(workers), matmul.BlockProgram(a, bm, p.MatMulBlock, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Value.(matmul.Mat)) != p.MatMulN {
+					b.Fatal("wrong result shape")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNativeAPSP compares the black-holing policies on the shared-
+// thunk shortest-paths lattice in real time, reporting the measured
+// duplicate-entry count (the paper's §IV-A.3 effect on actual cores).
+func BenchmarkNativeAPSP(b *testing.B) {
+	p := benchParams()
+	g := apsp.RandomGraph(p.APSPNodes, 105, 9, 25)
+	for _, eager := range []bool{false, true} {
+		name := "lazy_bh"
+		if eager {
+			name = "eager_bh"
+		}
+		b.Run(name, func(b *testing.B) {
+			var dups int64
+			for i := 0; i < b.N; i++ {
+				cfg := native.NewConfig(0)
+				cfg.EagerBlackholing = eager
+				res, err := native.Run(cfg, apsp.Program(g, 0))
+				if err != nil {
+					b.Fatal(err)
+				}
+				dups += res.Stats.DupEntries
+			}
+			b.ReportMetric(float64(dups)/float64(b.N), "dup-entries/op")
+		})
+	}
 }
 
 // BenchmarkHierarchicalMasterWorker compares a flat farm against the

@@ -4,8 +4,13 @@
 //	apsp -n 400 -cores 8 -rts eden            # ring of 8 processes
 //	apsp -n 400 -cores 8 -rts steal -eager    # GpH, eager black-holing
 //	apsp -n 400 -cores 8 -rts steal           # lazy BH: watch it crawl
+//	apsp -n 400 -runtime native -workers 8    # real goroutines
 //
 // Results are always verified against a sequential Floyd–Warshall.
+// With -runtime native the thunk-lattice program runs on the real
+// work-stealing runtime: -eager selects the CAS claim policy, and the
+// duplicate-entry count measures what lazy black-holing costs on real
+// hardware.
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 
 	"parhask/internal/eden"
 	"parhask/internal/gph"
+	"parhask/internal/native"
 	"parhask/internal/trace"
 	"parhask/internal/workloads/apsp"
 )
@@ -28,6 +34,8 @@ func main() {
 	seed := flag.Uint64("seed", 105, "graph generator seed")
 	showTrace := flag.Bool("trace", false, "print the activity timeline")
 	width := flag.Int("width", 100, "trace width")
+	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
+	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	flag.Parse()
 
 	g := apsp.RandomGraph(*n, *seed, 9, 25)
@@ -38,6 +46,40 @@ func main() {
 			fmt.Fprintln(os.Stderr, "apsp: RESULT MISMATCH vs Floyd–Warshall oracle")
 			os.Exit(1)
 		}
+	}
+
+	if *rtKind == "native" {
+		ncfg := native.NewConfig(*workers)
+		ncfg.EagerBlackholing = *eager
+		res, err := native.Run(ncfg, apsp.Program(g, 0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apsp:", err)
+			os.Exit(1)
+		}
+		verify(res.Value)
+		bh := "lazy"
+		if *eager {
+			bh = "eager"
+		}
+		fmt.Printf("apsp %d nodes on native runtime, %d workers (%s blackholing)\n",
+			*n, res.Workers, bh)
+		fmt.Println("result   = verified against Floyd–Warshall")
+		scfg := gph.WorkStealingConfig(*cores)
+		scfg.EagerBlackholing = *eager
+		scfg.ResidentBytes = 2 * apsp.Bytes(*n)
+		sres, serr := gph.Run(scfg, apsp.GpHProgram(g, scfg.Costs.MinPlus))
+		if serr == nil {
+			fmt.Printf("runtime  = %v (wall clock)   vs %s (virtual, steal/%d cores)\n",
+				res.Wall(), trace.FmtDur(sres.Elapsed), *cores)
+		} else {
+			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
+		}
+		fmt.Printf("stats    = %+v (duplicate thunk entries: %d)\n", res.Stats, res.Stats.DupEntries)
+		return
+	}
+	if *rtKind != "sim" {
+		fmt.Fprintf(os.Stderr, "apsp: unknown -runtime %q\n", *rtKind)
+		os.Exit(2)
 	}
 
 	if *rts == "eden" {

@@ -5,10 +5,12 @@
 //	benchall -fig 1      # just the Fig. 1 runtime table
 //	benchall -quick      # scaled-down parameters (seconds, for smoke tests)
 //	benchall -matmul 1008 -matmulblock 72   # paper-size matrices
+//	benchall -native     # wall-clock sweep on the native runtime
 //
 // Output is text: runtime tables, ASCII timeline traces and speedup
 // tables/charts, each followed by a shape check against the paper's
-// qualitative claims.
+// qualitative claims. -native additionally writes the machine-readable
+// sweep to results/BENCH_native.json.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	width := flag.Int("width", 0, "trace width in columns")
 	models := flag.Bool("models", false, "also run the beyond-the-paper runtime-organisation comparison")
 	latency := flag.Bool("latency", false, "also run the shared-memory-to-cluster latency study")
+	nativeSweep := flag.Bool("native", false, "also run the wall-clock native-runtime sweep (writes results/BENCH_native.json)")
 	flag.Parse()
 
 	p := experiments.Defaults()
@@ -84,6 +87,23 @@ func main() {
 	}
 	if *latency {
 		fmt.Println(experiments.RunLatencyStudy(p).String())
+	}
+	if *nativeSweep {
+		s := experiments.RunNativeSweep(p)
+		fmt.Println(s.String())
+		if data, err := s.JSON(); err == nil {
+			if err := os.MkdirAll("results", 0o755); err == nil {
+				if err := os.WriteFile("results/BENCH_native.json", data, 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "benchall: write results/BENCH_native.json:", err)
+				} else {
+					fmt.Println("wrote results/BENCH_native.json")
+				}
+			} else {
+				fmt.Fprintln(os.Stderr, "benchall: mkdir results:", err)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "benchall: marshal native sweep:", err)
+		}
 	}
 	if *fig < 0 || *fig > 5 {
 		fmt.Fprintln(os.Stderr, "benchall: -fig must be 0..5")

@@ -4,10 +4,13 @@
 //	matmul -n 396 -cores 8 -rts steal -block 33
 //	matmul -n 396 -cores 8 -rts eden -q 4 -pes 17    # Fig. 4 e)
 //	matmul -n 1008 -block 72 -rts plain -trace       # paper-size
+//	matmul -n 396 -runtime native -workers 8         # real goroutines
 //
 // The GpH versions spark result blocks; the Eden version runs Cannon's
 // algorithm on a q×q torus. Results are verified against a sequential
-// oracle for n ≤ 512.
+// oracle for n ≤ 512. With -runtime native the block program runs on
+// the real work-stealing runtime and the wall-clock time is printed
+// next to the simulated virtual time.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 
 	"parhask/internal/eden"
 	"parhask/internal/gph"
+	"parhask/internal/native"
 	"parhask/internal/trace"
 	"parhask/internal/workloads/matmul"
 )
@@ -30,6 +34,8 @@ func main() {
 	rts := flag.String("rts", "steal", "runtime: plain | bigalloc | sync | steal | rows | eden")
 	showTrace := flag.Bool("trace", false, "print the activity timeline")
 	width := flag.Int("width", 100, "trace width")
+	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
+	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	flag.Parse()
 
 	a := matmul.Random(*n, 103)
@@ -37,6 +43,42 @@ func main() {
 	var oracle matmul.Mat
 	if *n <= 512 {
 		oracle = matmul.MulOracle(a, b)
+	}
+
+	if *rtKind == "native" {
+		ncfg := native.NewConfig(*workers)
+		res, err := native.Run(ncfg, matmul.BlockProgram(a, b, *block, 0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matmul:", err)
+			os.Exit(1)
+		}
+		got := res.Value.(matmul.Mat)
+		fmt.Printf("matmul %dx%d on native runtime, %d workers, %dx%d blocks\n",
+			*n, *n, res.Workers, *block, *block)
+		if oracle != nil {
+			if !matmul.Equal(got, oracle, 1e-6) {
+				fmt.Fprintln(os.Stderr, "matmul: RESULT MISMATCH vs sequential oracle")
+				os.Exit(1)
+			}
+			fmt.Println("result   = verified against sequential oracle")
+		} else {
+			fmt.Printf("checksum = %.6g\n", matmul.Checksum(got))
+		}
+		scfg := gph.WorkStealingConfig(*cores)
+		scfg.ResidentBytes = 3 * matmul.Bytes(*n)
+		sres, serr := gph.Run(scfg, matmul.GpHBlockProgram(a, b, *block, scfg.Costs.MulAdd))
+		if serr == nil {
+			fmt.Printf("runtime  = %v (wall clock)   vs %s (virtual, steal/%d cores)\n",
+				res.Wall(), trace.FmtDur(sres.Elapsed), *cores)
+		} else {
+			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
+		}
+		fmt.Printf("stats    = %+v\n", res.Stats)
+		return
+	}
+	if *rtKind != "sim" {
+		fmt.Fprintf(os.Stderr, "matmul: unknown -runtime %q\n", *rtKind)
+		os.Exit(2)
 	}
 
 	report := func(kind string, elapsed int64, value any, tr *trace.Log, stats any) {

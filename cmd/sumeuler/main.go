@@ -4,9 +4,12 @@
 //	sumeuler -n 15000 -cores 8 -rts steal
 //	sumeuler -n 15000 -cores 8 -rts eden -pes 8
 //	sumeuler -n 15000 -rts plain -trace
+//	sumeuler -n 15000 -runtime native -workers 8   # real goroutines
 //
 // It prints the virtual runtime, runtime statistics and (with -trace)
-// an EdenTV-style per-capability timeline.
+// an EdenTV-style per-capability timeline. With -runtime native the
+// same program body runs on the real work-stealing runtime and the
+// wall-clock time is printed next to the simulated virtual time.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"parhask/internal/eden"
 	"parhask/internal/gph"
 	"parhask/internal/gum"
+	"parhask/internal/native"
 	"parhask/internal/trace"
 	"parhask/internal/workloads/euler"
 )
@@ -31,7 +35,45 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print the activity timeline")
 	profile := flag.Bool("profile", false, "print the thread-granularity profile (GpH runtimes)")
 	width := flag.Int("width", 100, "trace width")
+	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
+	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	flag.Parse()
+
+	if *rtKind == "native" {
+		ncfg := native.NewConfig(*workers)
+		ncfg.EagerBlackholing = *eager
+		res, err := native.Run(ncfg, euler.Program(*n, *chunks, 0, true))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sumeuler:", err)
+			os.Exit(1)
+		}
+		if want := euler.SumTotientSieve(*n); res.Value.(int64) != want {
+			fmt.Fprintf(os.Stderr, "sumeuler: native result %v != sieve oracle %d\n", res.Value, want)
+			os.Exit(1)
+		}
+		bh := "lazy"
+		if *eager {
+			bh = "eager"
+		}
+		fmt.Printf("sumEuler [1..%d] on native runtime, %d workers, %d chunks (%s blackholing)\n",
+			*n, res.Workers, *chunks, bh)
+		fmt.Printf("result   = %v (verified against sieve oracle)\n", res.Value)
+		scfg := gph.WorkStealingConfig(*cores)
+		scfg.EagerBlackholing = *eager
+		sres, serr := gph.Run(scfg, euler.GpHProgram(*n, *chunks, scfg.Costs.GCDIter))
+		if serr == nil {
+			fmt.Printf("runtime  = %v (wall clock)   vs %s (virtual, steal/%d cores)\n",
+				res.Wall(), trace.FmtDur(sres.Elapsed), *cores)
+		} else {
+			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
+		}
+		fmt.Printf("stats    = %+v\n", res.Stats)
+		return
+	}
+	if *rtKind != "sim" {
+		fmt.Fprintf(os.Stderr, "sumeuler: unknown -runtime %q\n", *rtKind)
+		os.Exit(2)
+	}
 
 	if *rts == "eden" {
 		np := *pes

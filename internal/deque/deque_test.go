@@ -240,6 +240,88 @@ func TestConcurrentStealersNoLossNoDup(t *testing.T) {
 	}
 }
 
+func TestConcurrentStealersAcrossGrowth(t *testing.T) {
+	// Stress the grow path under real contention: the owner pushes
+	// 100_000 elements in bursts large enough to outrun the thieves, so
+	// the circular array is reallocated several times *while* >= 4
+	// thieves are CASing the top. Every element must still be consumed
+	// exactly once, and the array must actually have grown.
+	const n = 100_000
+	const thieves = 4
+	const burst = 1_000
+	d := New[int]()
+	vals := make([]int, n)
+
+	var mu sync.Mutex
+	consumed := make(map[int]int, n)
+	record := func(x *int) {
+		mu.Lock()
+		consumed[*x]++
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if x, ok := d.Steal(); ok {
+					record(x)
+					continue
+				}
+				select {
+				case <-stop:
+					for {
+						x, ok := d.Steal()
+						if !ok {
+							return
+						}
+						record(x)
+					}
+				default:
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < n; i++ {
+		vals[i] = i
+		d.PushBottom(&vals[i])
+		// Between bursts the owner pops a little, exercising the
+		// PopBottom/Steal race at both small and large sizes.
+		if i%burst == burst-1 {
+			for j := 0; j < burst/4; j++ {
+				if x, ok := d.PopBottom(); ok {
+					record(x)
+				}
+			}
+		}
+	}
+	for {
+		x, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		record(x)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := d.array.Load().size(); got <= 1<<initialLogSize {
+		t.Fatalf("array size = %d; the grow path never ran (want > %d)", got, 1<<initialLogSize)
+	}
+	if len(consumed) != n {
+		t.Fatalf("consumed %d distinct elements, want %d", len(consumed), n)
+	}
+	for v, c := range consumed {
+		if c != 1 {
+			t.Fatalf("element %d consumed %d times", v, c)
+		}
+	}
+}
+
 func TestEmptyAndSize(t *testing.T) {
 	d := New[int]()
 	if !d.Empty() || d.Size() != 0 {

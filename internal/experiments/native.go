@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+
+	"parhask/internal/native"
+	"parhask/internal/stats"
+	"parhask/internal/workloads/apsp"
+	"parhask/internal/workloads/euler"
+	"parhask/internal/workloads/matmul"
+)
+
+// NativeRow is one native-runtime measurement: a workload at a worker
+// count, in real wall-clock time.
+type NativeRow struct {
+	Workload         string `json:"workload"`
+	Workers          int    `json:"workers"`
+	EagerBlackholing bool   `json:"eager_blackholing"`
+	WallNS           int64  `json:"wall_ns"`
+	DuplicateEntries int64  `json:"duplicate_entries"`
+	Steals           int64  `json:"steals"`
+	StealAttempts    int64  `json:"steal_attempts"`
+	SparksConverted  int64  `json:"sparks_converted"`
+	ResultOK         bool   `json:"result_ok"`
+}
+
+// NativeSweep is the wall-clock counterpart of the virtual-time
+// figures: the same GpH program bodies on real goroutines, swept over
+// worker counts. Each row's result is verified against the workload's
+// sequential oracle.
+type NativeSweep struct {
+	Params     Params
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	NumCPU     int         `json:"num_cpu"`
+	Rows       []NativeRow `json:"rows"`
+}
+
+// nativeWorkerCounts is the sweep's x-axis.
+var nativeWorkerCounts = []int{1, 2, 4, 8}
+
+// RunNativeSweep measures sumEuler (uncached kernel), blockwise matmul
+// and shortest paths (eager and lazy black-holing) on the native
+// runtime at 1, 2, 4 and 8 workers.
+func RunNativeSweep(p Params) *NativeSweep {
+	s := &NativeSweep{Params: p, GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+
+	runOne := func(name string, workers int, eager bool,
+		main func() (*native.Result, error), check func(v any) bool) {
+		res, err := main()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: native %s failed: %v", name, err))
+		}
+		s.Rows = append(s.Rows, NativeRow{
+			Workload:         name,
+			Workers:          workers,
+			EagerBlackholing: eager,
+			WallNS:           res.WallNS,
+			DuplicateEntries: res.Stats.DupEntries,
+			Steals:           res.Stats.Steals,
+			StealAttempts:    res.Stats.StealAttempts,
+			SparksConverted:  res.Stats.SparksConverted,
+			ResultOK:         check(res.Value),
+		})
+	}
+
+	eulerWant := euler.SumTotientSieve(p.SumEulerN)
+	a, b := matmul.Random(p.MatMulN, 1), matmul.Random(p.MatMulN, 2)
+	matWant := matmul.MulOracle(a, b)
+	g := apsp.RandomGraph(p.APSPNodes, 42, 100, 60)
+	apspWant := apsp.FloydWarshall(g)
+
+	for _, w := range nativeWorkerCounts {
+		w := w
+		cfg := native.Config{Workers: w, EagerBlackholing: true}
+		runOne("sumEuler", w, true, func() (*native.Result, error) {
+			return native.Run(cfg, euler.Program(p.SumEulerN, p.SumEulerChunks, 0, true))
+		}, func(v any) bool { return v.(int64) == eulerWant })
+
+		runOne("matMul-block", w, true, func() (*native.Result, error) {
+			return native.Run(cfg, matmul.BlockProgram(a, b, p.MatMulBlock, 0))
+		}, func(v any) bool { return matmul.Equal(v.(matmul.Mat), matWant, 1e-9) })
+
+		for _, eager := range []bool{true, false} {
+			eager := eager
+			runOne("apsp", w, eager, func() (*native.Result, error) {
+				return native.Run(native.Config{Workers: w, EagerBlackholing: eager},
+					apsp.Program(g, 0))
+			}, func(v any) bool { return apsp.Equal(v.(apsp.Graph), apspWant) })
+		}
+	}
+	return s
+}
+
+// Render prints the sweep as a table.
+func (s *NativeSweep) Render() string {
+	headers := []string{"Workload", "Workers", "Blackholing", "Wall clock", "Speedup", "Dup entries", "Steals", "Result"}
+	base := map[string]int64{}
+	for _, r := range s.Rows {
+		if r.Workers == 1 {
+			base[r.Workload+fmt.Sprint(r.EagerBlackholing)] = r.WallNS
+		}
+	}
+	var rows [][]string
+	for _, r := range s.Rows {
+		bh := "lazy"
+		if r.EagerBlackholing {
+			bh = "eager"
+		}
+		speedup := "-"
+		if b := base[r.Workload+fmt.Sprint(r.EagerBlackholing)]; b > 0 && r.WallNS > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(b)/float64(r.WallNS))
+		}
+		ok := "ok"
+		if !r.ResultOK {
+			ok = "WRONG"
+		}
+		rows = append(rows, []string{
+			r.Workload, fmt.Sprintf("%d", r.Workers), bh,
+			stats.Seconds(r.WallNS), speedup,
+			fmt.Sprintf("%d", r.DuplicateEntries), fmt.Sprintf("%d", r.Steals), ok,
+		})
+	}
+	title := fmt.Sprintf("Native runtime sweep (wall clock; GOMAXPROCS=%d, NumCPU=%d)\n",
+		s.GOMAXPROCS, s.NumCPU)
+	return title + stats.Table(headers, rows)
+}
+
+// CheckShape verifies the invariants the native backend must uphold on
+// any machine: every result exact, and zero duplicate entries under
+// eager black-holing. (Speedups and lazy duplicates depend on the core
+// count, so they are reported, not asserted.)
+func (s *NativeSweep) CheckShape() []string {
+	var bad []string
+	for _, r := range s.Rows {
+		if !r.ResultOK {
+			bad = append(bad, fmt.Sprintf("%s at %d workers: result differs from the sequential oracle",
+				r.Workload, r.Workers))
+		}
+		if r.EagerBlackholing && r.DuplicateEntries != 0 {
+			bad = append(bad, fmt.Sprintf("%s at %d workers: %d duplicate entries under eager black-holing",
+				r.Workload, r.Workers, r.DuplicateEntries))
+		}
+	}
+	return bad
+}
+
+// JSON renders the sweep for results/BENCH_native.json.
+func (s *NativeSweep) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// String implements fmt.Stringer.
+func (s *NativeSweep) String() string {
+	out := s.Render()
+	if bad := s.CheckShape(); len(bad) > 0 {
+		out += "SHAPE VIOLATIONS:\n"
+		for _, b := range bad {
+			out += "  " + b + "\n"
+		}
+	} else {
+		out += "shape: OK (all results exact; eager black-holing duplicate-free)\n"
+	}
+	return out
+}

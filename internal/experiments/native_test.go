@@ -1,0 +1,11 @@
+package experiments
+
+import "testing"
+
+func TestNativeSweepSmoke(t *testing.T) {
+	s := RunNativeSweep(Quick())
+	if bad := s.CheckShape(); len(bad) > 0 {
+		t.Fatalf("shape violations: %v", bad)
+	}
+	t.Log("\n" + s.String())
+}

@@ -18,7 +18,17 @@
 //     the same thunk duplicate its evaluation — harmless semantically
 //     (referential transparency) but wasted parallel work, which is
 //     exactly what the paper's shortest-path measurements expose.
+//
+// Thunk state transitions use real atomics: the eager claim is a CAS and
+// the update is published behind an atomic state store. Under the
+// deterministic simulation only one task runs at a time, so the atomics
+// change nothing; under the native work-stealing runtime
+// (internal/native) the same Force is executed by truly concurrent
+// goroutines, and the atomics are what make duplicate-entry counts
+// measurable on real hardware without ever duplicating a *result*.
 package graph
+
+import "sync/atomic"
 
 // Value is any heap value. Workloads use ints, floats, slices and small
 // structs; thunks may appear inside []*Thunk and []Value for lazy
@@ -36,6 +46,10 @@ const (
 	Blackholed
 	// Evaluated: value available.
 	Evaluated
+	// updatingState is a transient internal state: an evaluator won the
+	// update race and is writing the value. Externally reported as
+	// Blackholed; the window is two plain stores wide.
+	updatingState
 )
 
 func (s EvalState) String() string {
@@ -50,8 +64,9 @@ func (s EvalState) String() string {
 	return "?"
 }
 
-// Context is the view a forcing thread has of its runtime system. Both
-// the GpH capability scheduler and Eden PE threads implement it.
+// Context is the view a forcing thread has of its runtime system. The
+// GpH capability scheduler, Eden PE threads and the native work-stealing
+// workers all implement it.
 type Context interface {
 	// Burn consumes virtual mutator time.
 	Burn(ns int64)
@@ -80,30 +95,53 @@ type Context interface {
 	NoteDuplicateEntry(t *Thunk)
 }
 
+// duplicateResultNoter is an optional Context extension: runtimes that
+// implement it are told when an evaluator computed a value but lost the
+// update race (lazy black-holing duplicated the work and the duplicate
+// result is discarded).
+type duplicateResultNoter interface {
+	NoteDuplicateResult(t *Thunk)
+}
+
+// claimNoter is an optional Context extension: runtimes that implement
+// it are told when the current thread eagerly claims a thunk and when
+// that claim is released by the update. The native runtime uses the
+// open-claim count to decide whether a blocked worker may safely run
+// other sparks while waiting (leapfrogging): with an incomplete claim
+// paused on the stack, a helped spark could depend on it and deadlock.
+type claimNoter interface {
+	NoteClaimed(t *Thunk)
+	NoteReleased(t *Thunk)
+}
+
 // Thunk is a shared heap node holding either a suspended computation or
 // its value.
 type Thunk struct {
-	state   EvalState
+	state   atomic.Int32 // an EvalState
 	compute func(Context) Value
 	val     Value
 
 	// evaluators counts threads currently inside compute (can exceed 1
 	// only under lazy black-holing).
-	evaluators int
+	evaluators atomic.Int32
 	// Waiters holds runtime-owned records of threads blocked on this
 	// thunk while it is black-holed. The runtime appends in BlockOnThunk
-	// and drains in WakeThunkWaiters.
+	// and drains in WakeThunkWaiters. (Simulation-only: the native
+	// runtime polls the atomic state instead, so a lost wakeup is
+	// impossible by construction.)
 	Waiters []any
 }
 
 // NewThunk returns an unevaluated thunk for fn.
 func NewThunk(fn func(Context) Value) *Thunk {
-	return &Thunk{state: Unevaluated, compute: fn}
+	return &Thunk{compute: fn} // zero state == Unevaluated
 }
 
 // NewValue returns an already-evaluated thunk holding v.
 func NewValue(v Value) *Thunk {
-	return &Thunk{state: Evaluated, val: v}
+	t := &Thunk{val: v}
+	t.state.Store(int32(Evaluated))
+	return t
 }
 
 // NewPlaceholder returns a black-holed thunk with no computation: a heap
@@ -111,7 +149,9 @@ func NewValue(v Value) *Thunk {
 // channel synchronisation, §III-B). Threads forcing it block until
 // Resolve is called.
 func NewPlaceholder() *Thunk {
-	return &Thunk{state: Blackholed}
+	t := &Thunk{}
+	t.state.Store(int32(Blackholed))
+	return t
 }
 
 // CloneForExport returns a fresh unevaluated thunk sharing this thunk's
@@ -120,37 +160,47 @@ func NewPlaceholder() *Thunk {
 // black-holing it, so local touchers block and fetch the remote value.
 // It panics if the thunk is already claimed or evaluated.
 func (t *Thunk) CloneForExport() *Thunk {
-	if t.state != Unevaluated {
-		panic("graph: CloneForExport of " + t.state.String() + " thunk")
+	if t.State() != Unevaluated {
+		panic("graph: CloneForExport of " + t.State().String() + " thunk")
 	}
-	return &Thunk{state: Unevaluated, compute: t.compute}
+	return &Thunk{compute: t.compute}
 }
 
 // Resolve fills a placeholder (or any not-yet-evaluated thunk) with v
 // and returns the list of waiter records to be woken by the caller.
-// It panics if the thunk is already evaluated.
+// It panics if the thunk is already evaluated. Simulation-only (message
+// handlers resolving channel placeholders); native evaluators publish
+// through Force.
 func (t *Thunk) Resolve(v Value) []any {
-	if t.state == Evaluated {
+	if t.State() == Evaluated {
 		panic("graph: Resolve of evaluated thunk")
 	}
 	t.val = v
-	t.state = Evaluated
 	t.compute = nil
+	t.state.Store(int32(Evaluated))
 	ws := t.Waiters
 	t.Waiters = nil
 	return ws
 }
 
 // State returns the thunk's current state.
-func (t *Thunk) State() EvalState { return t.state }
+func (t *Thunk) State() EvalState {
+	s := EvalState(t.state.Load())
+	if s == updatingState {
+		// An evaluator is mid-update; externally that is still "under
+		// evaluation".
+		return Blackholed
+	}
+	return s
+}
 
-// Evaluated reports whether the thunk holds a value.
-func (t *Thunk) IsEvaluated() bool { return t.state == Evaluated }
+// IsEvaluated reports whether the thunk holds a value.
+func (t *Thunk) IsEvaluated() bool { return t.State() == Evaluated }
 
 // Value returns the thunk's value; it panics if the thunk is not
 // evaluated (use Force).
 func (t *Thunk) Value() Value {
-	if t.state != Evaluated {
+	if t.State() != Evaluated {
 		panic("graph: Value of unevaluated thunk")
 	}
 	return t.val
@@ -158,23 +208,55 @@ func (t *Thunk) Value() Value {
 
 // Evaluators returns the number of threads currently evaluating the
 // thunk (>1 indicates duplicate evaluation in progress).
-func (t *Thunk) Evaluators() int { return t.evaluators }
+func (t *Thunk) Evaluators() int { return int(t.evaluators.Load()) }
 
 // MarkBlackhole transitions an unevaluated thunk to Blackholed; the
 // runtime calls this at context-switch time for the lazy policy. It is a
 // no-op for thunks already black-holed or evaluated.
 func (t *Thunk) MarkBlackhole() {
-	if t.state == Unevaluated {
-		t.state = Blackholed
+	t.state.CompareAndSwap(int32(Unevaluated), int32(Blackholed))
+}
+
+// TryClaim atomically claims an unevaluated thunk for evaluation — the
+// eager black-holing write. Exactly one concurrent caller wins; the
+// losers observe Blackholed (or Evaluated) and must block or retry.
+func (t *Thunk) TryClaim() bool {
+	return t.state.CompareAndSwap(int32(Unevaluated), int32(Blackholed))
+}
+
+// publish installs v as the thunk's value unless another evaluator
+// already updated it (possible only under lazy black-holing, where
+// evaluation can be duplicated). It returns once the thunk is
+// Evaluated, reporting whether this caller's value won.
+func (t *Thunk) publish(v Value) bool {
+	for {
+		s := t.state.Load()
+		switch EvalState(s) {
+		case Evaluated:
+			return false
+		case updatingState:
+			// Another evaluator is writing its value; the window is two
+			// stores wide, so spin.
+			continue
+		default: // Unevaluated or Blackholed
+			if t.state.CompareAndSwap(s, int32(updatingState)) {
+				t.val = v
+				t.state.Store(int32(Evaluated))
+				return true
+			}
+		}
 	}
 }
 
 // Force evaluates t to weak head normal form in the given context and
 // returns its value. It implements the sharing + black-holing semantics
-// described in the package comment.
+// described in the package comment, for both the simulated and the
+// native runtime: claims and updates go through atomic state
+// transitions, and the context supplies the policy (eager vs. lazy) and
+// the blocking behaviour (virtual-time suspension vs. spin-and-steal).
 func Force(ctx Context, t *Thunk) Value {
 	for {
-		switch t.state {
+		switch t.State() {
 		case Evaluated:
 			return t.val
 
@@ -183,27 +265,38 @@ func Force(ctx Context, t *Thunk) Value {
 			// Loop: on wakeup the thunk is normally Evaluated.
 
 		case Unevaluated:
-			if ctx.EagerBlackholing() {
-				t.state = Blackholed
-				ctx.Burn(ctx.BlackholeWriteCost())
-			} else {
-				if t.evaluators > 0 {
-					ctx.NoteDuplicateEntry(t)
+			eager := ctx.EagerBlackholing()
+			cn, hasCN := ctx.(claimNoter)
+			if eager {
+				if !t.TryClaim() {
+					// Lost the claim race to a concurrent evaluator
+					// (native runtime only); re-dispatch on the new state.
+					continue
 				}
+				ctx.Burn(ctx.BlackholeWriteCost())
+				if hasCN {
+					cn.NoteClaimed(t)
+				}
+			} else {
 				ctx.EnteredThunk(t)
 			}
-			t.evaluators++
+			if t.evaluators.Add(1) > 1 && !eager {
+				ctx.NoteDuplicateEntry(t)
+			}
 			v := t.compute(ctx)
-			t.evaluators--
+			t.evaluators.Add(-1)
 			ctx.LeftThunk(t)
-			if t.state != Evaluated {
+			if eager && hasCN {
+				cn.NoteReleased(t)
+			}
+			if t.publish(v) {
 				// First evaluator to complete updates the node. (Under
 				// lazy black-holing a duplicate evaluator may arrive here
-				// second and find the value already written.)
-				t.val = v
-				t.state = Evaluated
-				t.compute = nil
+				// second; its value is discarded — referential
+				// transparency guarantees it was equal anyway.)
 				ctx.WakeThunkWaiters(t)
+			} else if d, ok := ctx.(duplicateResultNoter); ok {
+				d.NoteDuplicateResult(t)
 			}
 			return t.val
 		}

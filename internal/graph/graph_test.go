@@ -167,9 +167,7 @@ type blockingCtx struct {
 
 func (b *blockingCtx) BlockOnThunk(t *Thunk) {
 	b.blocks++
-	t.val = 9
-	t.state = Evaluated
-	t.compute = nil
+	t.Resolve(9)
 }
 
 func TestForceOnBlackholeBlocksThenReturnsValue(t *testing.T) {

@@ -1,0 +1,243 @@
+// Package native is the real-concurrency counterpart of the simulated
+// GpH runtime: it executes the same runtime-agnostic GpH program bodies
+// (exec.Program — sumEuler, matmul, APSP, the strategies combinators) on
+// actual goroutines, so the paper's headline optimisations become
+// measurable in wall-clock time on real hardware instead of only in
+// virtual time.
+//
+// Architecture (one-to-one with the simulated work-stealing runtime):
+//
+//   - N workers, one per requested core. Worker 0 is the caller's
+//     goroutine running the program's main function (the GpH main
+//     thread); workers 1..N-1 are stealing loops on fresh goroutines.
+//   - Each worker owns a lock-free Chase–Lev deque (internal/deque, the
+//     same type the simulation uses) as its spark pool: Par pushes at
+//     the bottom, idle workers steal from the top with a single CAS.
+//   - Eager black-holing is an atomic CAS claim on the thunk
+//     (graph.Thunk.TryClaim); lazy black-holing is the unsynchronised
+//     baseline — entries are never marked, so concurrent forcers
+//     duplicate evaluation exactly as in the paper's §IV-A.3 window,
+//     and the duplicate-entry count is measured on real hardware.
+//   - A worker that forces a black-holed thunk does not park on a
+//     waiter list: it polls the atomic state, stealing and running
+//     other sparks while it waits (leapfrogging). A lost wakeup is
+//     therefore impossible by construction.
+//
+// Burn and Alloc are no-ops: real time is consumed by actually
+// computing, and Go's allocator is real. The virtual-time simulation
+// remains the instrument for controlled interleaving studies; this
+// backend complements it with wall-clock ground truth (see DESIGN.md).
+package native
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parhask/internal/exec"
+	"parhask/internal/graph"
+)
+
+// Config selects a native runtime setup.
+type Config struct {
+	// Workers is the number of OS-thread-backed workers (including the
+	// main thread). Defaults to GOMAXPROCS.
+	Workers int
+	// EagerBlackholing selects the atomic-claim policy; false is the
+	// unsynchronised lazy baseline that permits duplicate evaluation.
+	EagerBlackholing bool
+}
+
+// NewConfig returns the default native configuration: one worker per
+// available core, eager black-holing.
+func NewConfig(workers int) Config {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return Config{Workers: workers, EagerBlackholing: true}
+}
+
+// Stats aggregates runtime counters over one native run. All counters
+// are exact (maintained with atomics by the workers).
+type Stats struct {
+	SparksCreated   int64 // par calls that entered a pool
+	SparksDud       int64 // par on an already-evaluated closure
+	SparksConverted int64 // sparks a worker picked up and forced
+	SparksFizzled   int64 // picked up but already evaluated
+	SparksLeftover  int64 // still in a pool when main returned
+	Steals          int64 // successful remote pool steals
+	StealAttempts   int64 // steals tried against a non-empty pool
+	DupEntries      int64 // duplicate thunk entries (lazy black-holing)
+	DupResults      int64 // duplicate values computed and discarded
+	BlockedForces   int64 // forces that found a black hole and waited
+	Forks           int64 // threads created with Fork
+}
+
+// Result is the outcome of one native run.
+type Result struct {
+	// Value is what the main function returned.
+	Value graph.Value
+	// WallNS is the real elapsed time, in nanoseconds — the native
+	// analogue of the simulation's virtual Elapsed.
+	WallNS int64
+	// Workers is the worker count the run used.
+	Workers int
+	Stats   Stats
+}
+
+// Wall returns the elapsed wall-clock time as a duration.
+func (r *Result) Wall() time.Duration { return time.Duration(r.WallNS) }
+
+// errAborted unwinds a worker or the main thread after another worker
+// already recorded the run's failure.
+var errAborted = errors.New("native: run aborted")
+
+// rt is one native runtime instance.
+type rt struct {
+	cfg     Config
+	workers []*worker
+
+	stats struct {
+		sparksCreated   atomic.Int64
+		sparksDud       atomic.Int64
+		sparksConverted atomic.Int64
+		sparksFizzled   atomic.Int64
+		steals          atomic.Int64
+		stealAttempts   atomic.Int64
+		dupEntries      atomic.Int64
+		dupResults      atomic.Int64
+		blockedForces   atomic.Int64
+		forks           atomic.Int64
+	}
+
+	// done tells the stealing loops the main function returned; failed
+	// tells every spinning force to unwind because a spark panicked.
+	done   atomic.Bool
+	failed atomic.Bool
+
+	errOnce sync.Once
+	err     error
+
+	// inject holds sparks created by forked threads, which own no deque
+	// (PushBottom is owner-only); workers drain it when their steals
+	// come up empty.
+	injectMu sync.Mutex
+	inject   []*graph.Thunk
+
+	stealers sync.WaitGroup
+	forks    sync.WaitGroup
+}
+
+// Run executes main on a native work-stealing runtime and returns its
+// value, the wall-clock time, and the runtime counters. The result is
+// identical to the same program's simulated and sequential runs
+// (referential transparency); only the time is real.
+func Run(cfg Config, main exec.Program) (*Result, error) {
+	if main == nil {
+		return nil, errors.New("native: nil main")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	r := &rt{cfg: cfg}
+	r.workers = make([]*worker, cfg.Workers)
+	for i := range r.workers {
+		r.workers[i] = newWorker(r, i)
+	}
+
+	start := time.Now()
+	for _, w := range r.workers[1:] {
+		r.stealers.Add(1)
+		go w.stealLoop()
+	}
+
+	var value graph.Value
+	runErr := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == errAborted {
+					return // r.err carries the original failure
+				}
+				err = fmt.Errorf("native: main panicked: %v", p)
+			}
+		}()
+		value = main(&r.workers[0].ctx)
+		return nil
+	}()
+
+	r.done.Store(true)
+	r.stealers.Wait()
+	r.forks.Wait()
+	wall := time.Since(start)
+
+	if runErr == nil {
+		runErr = r.err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &Result{Value: value, WallNS: wall.Nanoseconds(), Workers: cfg.Workers}
+	s := &res.Stats
+	s.SparksCreated = r.stats.sparksCreated.Load()
+	s.SparksDud = r.stats.sparksDud.Load()
+	s.SparksConverted = r.stats.sparksConverted.Load()
+	s.SparksFizzled = r.stats.sparksFizzled.Load()
+	s.Steals = r.stats.steals.Load()
+	s.StealAttempts = r.stats.stealAttempts.Load()
+	s.DupEntries = r.stats.dupEntries.Load()
+	s.DupResults = r.stats.dupResults.Load()
+	s.BlockedForces = r.stats.blockedForces.Load()
+	s.Forks = r.stats.forks.Load()
+	for _, w := range r.workers {
+		s.SparksLeftover += int64(w.pool.Size())
+	}
+	s.SparksLeftover += int64(len(r.inject))
+	return res, nil
+}
+
+// fail records the first worker failure and aborts the run.
+func (r *rt) fail(err error) {
+	r.errOnce.Do(func() { r.err = err })
+	r.failed.Store(true)
+	r.done.Store(true)
+}
+
+// fork starts body as a real goroutine. Its sparks go to the shared
+// injection queue; Run waits for all forks before returning.
+func (r *rt) fork(name string, body func(exec.Ctx)) {
+	r.stats.forks.Add(1)
+	r.forks.Add(1)
+	go func() {
+		defer r.forks.Done()
+		defer func() {
+			if p := recover(); p != nil && p != errAborted {
+				r.fail(fmt.Errorf("native: forked thread %q panicked: %v", name, p))
+			}
+		}()
+		c := Ctx{rt: r}
+		body(&c)
+	}()
+}
+
+// pushInject queues a spark from a thread that owns no deque.
+func (r *rt) pushInject(t *graph.Thunk) {
+	r.injectMu.Lock()
+	r.inject = append(r.inject, t)
+	r.injectMu.Unlock()
+}
+
+// popInject removes one injected spark, if any.
+func (r *rt) popInject() *graph.Thunk {
+	r.injectMu.Lock()
+	defer r.injectMu.Unlock()
+	if len(r.inject) == 0 {
+		return nil
+	}
+	t := r.inject[len(r.inject)-1]
+	r.inject = r.inject[:len(r.inject)-1]
+	return t
+}

@@ -1,0 +1,223 @@
+package native
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"parhask/internal/deque"
+	"parhask/internal/exec"
+	"parhask/internal/graph"
+)
+
+// worker is one native capability: a goroutine with its own Chase–Lev
+// spark pool. Worker 0 is the caller's goroutine running main; the rest
+// run stealLoop.
+type worker struct {
+	rt   *rt
+	id   int
+	pool *deque.Deque[graph.Thunk]
+	ctx  Ctx
+
+	// helpDepth bounds recursive spark-running from inside a blocked
+	// force, so a pathological spark chain cannot overflow the stack.
+	helpDepth int
+	// claims counts thunks this worker's stack has eagerly claimed but
+	// not yet updated. Helping while blocked is safe only at zero: an
+	// incomplete claim paused beneath the current frame is a thunk whose
+	// completion does not data-depend on our wait target, and a helped
+	// spark could (transitively) force it — a cycle through the stack
+	// that no amount of waiting resolves. At zero claims, everything
+	// this stack owns is a data-ancestor of the wait target, so the
+	// thunk DAG's acyclicity rules a deadlock out.
+	claims int
+}
+
+// maxHelpDepth caps how many sparks a blocked force may run nested
+// inside one another before falling back to plain spinning.
+const maxHelpDepth = 64
+
+func newWorker(r *rt, id int) *worker {
+	w := &worker{rt: r, id: id, pool: deque.New[graph.Thunk]()}
+	w.ctx = Ctx{rt: r, w: w}
+	return w
+}
+
+// Ctx is the execution context the native runtime hands to program
+// bodies and thunk computations. It implements both graph.Context (the
+// forcing protocol) and exec.Forker (the runtime-agnostic program
+// interface). A Ctx with a nil worker belongs to a forked goroutine,
+// which owns no deque: its sparks go to the shared injection queue and
+// its blocked forces spin without helping.
+type Ctx struct {
+	rt *rt
+	w  *worker
+}
+
+var (
+	_ graph.Context = (*Ctx)(nil)
+	_ exec.Forker   = (*Ctx)(nil)
+)
+
+// Burn is a no-op: under the native runtime, time is consumed by
+// actually computing.
+func (c *Ctx) Burn(ns int64) {}
+
+// Alloc is a no-op: Go's allocator and GC are real.
+func (c *Ctx) Alloc(bytes int64) {}
+
+// Par sparks t: the thunk becomes available for any worker to evaluate.
+// Already-evaluated (or nil) closures are discarded as duds, as in GHC.
+func (c *Ctx) Par(t *graph.Thunk) {
+	if t == nil || t.IsEvaluated() {
+		c.rt.stats.sparksDud.Add(1)
+		return
+	}
+	c.rt.stats.sparksCreated.Add(1)
+	if c.w != nil {
+		c.w.pool.PushBottom(t)
+	} else {
+		c.rt.pushInject(t)
+	}
+}
+
+// Force evaluates t to weak head normal form on this worker.
+func (c *Ctx) Force(t *graph.Thunk) graph.Value { return graph.Force(c, t) }
+
+// ForceDeep evaluates v to normal form on this worker.
+func (c *Ctx) ForceDeep(v graph.Value) graph.Value { return graph.ForceDeep(c, v) }
+
+// Fork starts body on a fresh goroutine (a real GpH thread).
+func (c *Ctx) Fork(name string, body func(exec.Ctx)) { c.rt.fork(name, body) }
+
+// EagerBlackholing reports the configured claim policy.
+func (c *Ctx) EagerBlackholing() bool { return c.rt.cfg.EagerBlackholing }
+
+// BlackholeWriteCost is zero: the native claim's cost is the real CAS.
+func (c *Ctx) BlackholeWriteCost() int64 { return 0 }
+
+// EnteredThunk is a no-op: the native lazy policy never marks on entry
+// at all — that is precisely the unsynchronised baseline whose
+// duplicate evaluation the eager CAS removes.
+func (c *Ctx) EnteredThunk(t *graph.Thunk) {}
+
+// LeftThunk is a no-op (no entry table to clean up).
+func (c *Ctx) LeftThunk(t *graph.Thunk) {}
+
+// WakeThunkWaiters is a no-op: blocked native forces poll the thunk's
+// atomic state, so there is no waiter list to drain.
+func (c *Ctx) WakeThunkWaiters(t *graph.Thunk) {}
+
+// NoteDuplicateEntry counts a lazy-black-holing duplicate entry.
+func (c *Ctx) NoteDuplicateEntry(t *graph.Thunk) { c.rt.stats.dupEntries.Add(1) }
+
+// NoteClaimed records an eager claim opened on this worker's stack.
+func (c *Ctx) NoteClaimed(t *graph.Thunk) {
+	if c.w != nil {
+		c.w.claims++
+	}
+}
+
+// NoteReleased records that the claim's evaluation completed.
+func (c *Ctx) NoteReleased(t *graph.Thunk) {
+	if c.w != nil {
+		c.w.claims--
+	}
+}
+
+// NoteDuplicateResult counts a computed-then-discarded duplicate value.
+func (c *Ctx) NoteDuplicateResult(t *graph.Thunk) { c.rt.stats.dupResults.Add(1) }
+
+// BlockOnThunk waits for t to become Evaluated. Instead of parking, the
+// worker leapfrogs: it keeps taking and running other sparks, which is
+// both deadlock-free (the DAG is acyclic and the evaluator of t runs
+// preemptively on another goroutine) and productive.
+func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
+	c.rt.stats.blockedForces.Add(1)
+	spins := 0
+	for t.State() != graph.Evaluated {
+		if c.rt.failed.Load() {
+			panic(errAborted)
+		}
+		if c.w != nil && c.w.claims == 0 && c.w.helpDepth < maxHelpDepth {
+			if s := c.w.takeWork(); s != nil {
+				c.w.helpDepth++
+				c.w.runSpark(s)
+				c.w.helpDepth--
+				spins = 0
+				continue
+			}
+		}
+		spins++
+		idleWait(spins)
+	}
+}
+
+// idleWait backs off an idle loop: yield for the first rounds, then
+// sleep, doubling up to a 1ms cap. Oversubscribed machines (more
+// workers than cores, or a race-detector build) would otherwise burn
+// the cores the productive workers need.
+func idleWait(spins int) {
+	if spins < 64 {
+		runtime.Gosched()
+		return
+	}
+	d := time.Duration(10<<uint(min(spins-64, 7))) * time.Microsecond
+	time.Sleep(d)
+}
+
+// takeWork returns the next spark to run: own pool first (LIFO, cache
+// warm), then a steal sweep over the other workers, then the injection
+// queue fed by forked threads.
+func (w *worker) takeWork() *graph.Thunk {
+	if t, ok := w.pool.PopBottom(); ok {
+		return t
+	}
+	ws := w.rt.workers
+	n := len(ws)
+	for off := 1; off < n; off++ {
+		v := ws[(w.id+off)%n]
+		if v.pool.Empty() {
+			continue
+		}
+		w.rt.stats.stealAttempts.Add(1)
+		if t, ok := v.pool.Steal(); ok {
+			w.rt.stats.steals.Add(1)
+			return t
+		}
+	}
+	return w.rt.popInject()
+}
+
+// runSpark converts a spark: forces it unless it is already evaluated
+// (fizzled).
+func (w *worker) runSpark(t *graph.Thunk) {
+	if t.IsEvaluated() {
+		w.rt.stats.sparksFizzled.Add(1)
+		return
+	}
+	w.rt.stats.sparksConverted.Add(1)
+	graph.Force(&w.ctx, t)
+}
+
+// stealLoop is the body of workers 1..N-1: take work until the main
+// thread finishes. A panic inside a spark aborts the whole run with an
+// error rather than crashing the process.
+func (w *worker) stealLoop() {
+	defer w.rt.stealers.Done()
+	defer func() {
+		if p := recover(); p != nil && p != errAborted {
+			w.rt.fail(fmt.Errorf("native: worker %d: spark panicked: %v", w.id, p))
+		}
+	}()
+	spins := 0
+	for !w.rt.done.Load() {
+		if t := w.takeWork(); t != nil {
+			w.runSpark(t)
+			spins = 0
+			continue
+		}
+		spins++
+		idleWait(spins)
+	}
+}

@@ -9,25 +9,30 @@
 package strategies
 
 import (
+	"parhask/internal/exec"
 	"parhask/internal/graph"
 	"parhask/internal/rts"
 )
 
-// Strategy evaluates (part of) a thunk's value in a context.
-type Strategy func(ctx *rts.Ctx, t *graph.Thunk)
+// Strategy evaluates (part of) a thunk's value in a context. Strategies
+// take the runtime-agnostic exec.Ctx, so the same combinators drive the
+// virtual-time simulation (*rts.Ctx satisfies exec.Ctx) and the native
+// work-stealing runtime.
+type Strategy func(ctx exec.Ctx, t *graph.Thunk)
 
 // R0 is the trivial strategy: no evaluation.
-func R0(ctx *rts.Ctx, t *graph.Thunk) {}
+func R0(ctx exec.Ctx, t *graph.Thunk) {}
 
 // RWHNF evaluates to weak head normal form (rwhnf).
-func RWHNF(ctx *rts.Ctx, t *graph.Thunk) { ctx.Force(t) }
+func RWHNF(ctx exec.Ctx, t *graph.Thunk) { ctx.Force(t) }
 
 // RNF evaluates to normal form (rnf): the thunk and everything reachable
 // from its value.
-func RNF(ctx *rts.Ctx, t *graph.Thunk) { ctx.ForceDeep(t) }
+func RNF(ctx exec.Ctx, t *graph.Thunk) { ctx.ForceDeep(t) }
 
-// Thunk wraps a function over the runtime context as a heap thunk; the
-// graph.Context a forcing thread passes in is always an *rts.Ctx.
+// Thunk wraps a function over the simulated runtime context as a heap
+// thunk. Simulation-only: the forcing thread's graph.Context must be an
+// *rts.Ctx. Runtime-agnostic bodies use exec.Thunk instead.
 func Thunk(f func(*rts.Ctx) graph.Value) *graph.Thunk {
 	return graph.NewThunk(func(c graph.Context) graph.Value {
 		return f(c.(*rts.Ctx))
@@ -35,7 +40,7 @@ func Thunk(f func(*rts.Ctx) graph.Value) *graph.Thunk {
 }
 
 // Using applies a strategy to a thunk and returns the thunk (x `using` s).
-func Using(ctx *rts.Ctx, t *graph.Thunk, s Strategy) *graph.Thunk {
+func Using(ctx exec.Ctx, t *graph.Thunk, s Strategy) *graph.Thunk {
 	s(ctx, t)
 	return t
 }
@@ -47,8 +52,8 @@ func Using(ctx *rts.Ctx, t *graph.Thunk, s Strategy) *graph.Thunk {
 // As in GpH, the sparked work is speculative: an idle capability may
 // pick it up, or the consumer may end up evaluating the element itself
 // (the spark then fizzles).
-func ParList(s Strategy) func(ctx *rts.Ctx, ts []*graph.Thunk) {
-	return func(ctx *rts.Ctx, ts []*graph.Thunk) {
+func ParList(s Strategy) func(ctx exec.Ctx, ts []*graph.Thunk) {
+	return func(ctx exec.Ctx, ts []*graph.Thunk) {
 		for _, t := range ts {
 			// Sparking defers the element strategy: for rwhnf sparking
 			// the thunk itself is exactly right; for deeper strategies a
@@ -62,13 +67,13 @@ func ParList(s Strategy) func(ctx *rts.Ctx, ts []*graph.Thunk) {
 }
 
 // ParListWHNF sparks WHNF evaluation of every element (parList rwhnf).
-func ParListWHNF(ctx *rts.Ctx, ts []*graph.Thunk) {
+func ParListWHNF(ctx exec.Ctx, ts []*graph.Thunk) {
 	ParList(RWHNF)(ctx, ts)
 }
 
 // SeqList applies a strategy to every element in order (seqList).
-func SeqList(s Strategy) func(ctx *rts.Ctx, ts []*graph.Thunk) {
-	return func(ctx *rts.Ctx, ts []*graph.Thunk) {
+func SeqList(s Strategy) func(ctx exec.Ctx, ts []*graph.Thunk) {
+	return func(ctx exec.Ctx, ts []*graph.Thunk) {
 		for _, t := range ts {
 			s(ctx, t)
 		}
@@ -81,11 +86,11 @@ func SeqList(s Strategy) func(ctx *rts.Ctx, ts []*graph.Thunk) {
 //
 // It builds one thunk per element, sparks them all, then forces and
 // collects the results.
-func ParMap(ctx *rts.Ctx, f func(*rts.Ctx, graph.Value) graph.Value, xs []graph.Value) []graph.Value {
+func ParMap(ctx exec.Ctx, f func(exec.Ctx, graph.Value) graph.Value, xs []graph.Value) []graph.Value {
 	ts := make([]*graph.Thunk, len(xs))
 	for i, x := range xs {
 		x := x
-		ts[i] = Thunk(func(c *rts.Ctx) graph.Value { return f(c, x) })
+		ts[i] = exec.Thunk(func(c exec.Ctx) graph.Value { return f(c, x) })
 	}
 	ParListWHNF(ctx, ts)
 	out := make([]graph.Value, len(ts))
@@ -135,7 +140,7 @@ func Chunk[T any](size int, xs []T) [][]T {
 // forced. Unlike ParList it bounds the speculative work in flight —
 // right for long (or conceptually infinite) streams of work. It forces
 // and returns every element's value.
-func ParBuffer(ctx *rts.Ctx, n int, ts []*graph.Thunk) []graph.Value {
+func ParBuffer(ctx exec.Ctx, n int, ts []*graph.Thunk) []graph.Value {
 	if n < 1 {
 		n = 1
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"parhask/internal/exec"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
 	"parhask/internal/rts"
@@ -13,7 +14,7 @@ func TestParMapComputesInOrder(t *testing.T) {
 	cfg := gph.WorkStealingConfig(4)
 	res, err := gph.Run(cfg, func(ctx *rts.Ctx) graph.Value {
 		xs := []graph.Value{1, 2, 3, 4, 5, 6, 7, 8}
-		out := ParMap(ctx, func(c *rts.Ctx, v graph.Value) graph.Value {
+		out := ParMap(ctx, func(c exec.Ctx, v graph.Value) graph.Value {
 			c.Burn(200_000)
 			return v.(int) * 10
 		}, xs)
@@ -39,7 +40,7 @@ func TestParMapEqualsSequentialMap(t *testing.T) {
 		for i := range xs {
 			xs[i] = i
 		}
-		par := ParMap(ctx, func(c *rts.Ctx, v graph.Value) graph.Value {
+		par := ParMap(ctx, func(c exec.Ctx, v graph.Value) graph.Value {
 			c.Burn(50_000)
 			return f(v)
 		}, xs)

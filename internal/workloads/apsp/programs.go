@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"parhask/internal/eden"
+	"parhask/internal/exec"
 	"parhask/internal/graph"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
@@ -14,17 +15,19 @@ import (
 // GpH program's main thread.
 const thunkBuildAlloc = 40
 
-// GpHProgram builds the Floyd–Warshall thunk lattice — row i after
-// stage k is a thunk depending on row i and the pivot row k after stage
-// k-1 — and sparks an evaluation for each (final) row in advance,
-// relying on the runtime system to synchronise the concurrent
-// evaluations of the shared pivot thunks (§V). Under lazy black-holing
-// those shared pivot chains are evaluated repeatedly by every thread
-// that reaches them inside the marking window; under eager black-holing
-// threads block on them instead and a pipeline forms.
-func GpHProgram(g Graph, minPlusCost int64) func(*rts.Ctx) graph.Value {
+// Program is the runtime-agnostic GpH APSP program. It builds the
+// Floyd–Warshall thunk lattice — row i after stage k is a thunk
+// depending on row i and the pivot row k after stage k-1 — and sparks an
+// evaluation for each (final) row in advance, relying on the runtime
+// system to synchronise the concurrent evaluations of the shared pivot
+// thunks (§V). Under lazy black-holing those shared pivot chains are
+// evaluated repeatedly by every thread that reaches them inside the
+// marking window; under eager black-holing threads block on them instead
+// and a pipeline forms. The shared pivots make this the showcase for the
+// two policies, in virtual time and on real cores alike.
+func Program(g Graph, minPlusCost int64) exec.Program {
 	n := len(g)
-	return func(ctx *rts.Ctx) graph.Value {
+	return func(ctx exec.Ctx) graph.Value {
 		ctx.Alloc(Bytes(n)) // the input adjacency matrix
 		rows := make([]*graph.Thunk, n)
 		for i := range rows {
@@ -37,7 +40,7 @@ func GpHProgram(g Graph, minPlusCost int64) func(*rts.Ctx) graph.Value {
 			next := make([]*graph.Thunk, n)
 			for i := 0; i < n; i++ {
 				ri := rows[i]
-				next[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				next[i] = exec.Thunk(func(c exec.Ctx) graph.Value {
 					pk := c.Force(pivot).([]int32)
 					r := c.Force(ri).([]int32)
 					return UpdateRow(c, minPlusCost, r, pk, k)
@@ -53,6 +56,13 @@ func GpHProgram(g Graph, minPlusCost int64) func(*rts.Ctx) graph.Value {
 		}
 		return out
 	}
+}
+
+// GpHProgram is Program specialised to the simulated runtime, kept for
+// the simulation call sites.
+func GpHProgram(g Graph, minPlusCost int64) func(*rts.Ctx) graph.Value {
+	p := Program(g, minPlusCost)
+	return func(ctx *rts.Ctx) graph.Value { return p(ctx) }
 }
 
 // SeqProgram runs Floyd–Warshall sequentially with cost accounting.

@@ -96,6 +96,36 @@ func SumRange(ctx Ctx, gcdIterCost int64, lo, hi int) int64 {
 	return sum
 }
 
+// PhiDirect computes φ(k) by trial gcd with no memoisation and no
+// virtual-cost accounting: the kernel the native runtime times for real.
+// (The memo cache in Phi would turn repeated wall-clock runs into map
+// lookups and destroy the measurement.)
+func PhiDirect(k int) int {
+	if k == 1 {
+		return 1 // φ(1) = 1 by convention
+	}
+	phi := 0
+	for j := 1; j < k; j++ {
+		a, b := j, k
+		for b != 0 {
+			a, b = b, a%b
+		}
+		if a == 1 {
+			phi++
+		}
+	}
+	return phi
+}
+
+// SumRangeDirect sums φ(k) for k in [lo, hi] with the uncached kernel.
+func SumRangeDirect(lo, hi int) int64 {
+	var sum int64
+	for k := lo; k <= hi; k++ {
+		sum += int64(PhiDirect(k))
+	}
+	return sum
+}
+
 // SumTotientSieve computes Σ φ(k), k ≤ n, with a linear sieve — the
 // oracle the tests compare against.
 func SumTotientSieve(n int) int64 {

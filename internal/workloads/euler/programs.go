@@ -4,22 +4,33 @@ import (
 	"fmt"
 
 	"parhask/internal/eden"
+	"parhask/internal/exec"
 	"parhask/internal/graph"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
 )
 
-// GpHProgram is the GpH sumEuler program: split [1..n] into chunks,
-// spark the sum of each chunk (parList rnf over sublists), fold the
-// partial sums, then run the sequential result check of Fig. 2.
-func GpHProgram(n, chunks int, gcdIterCost int64) func(*rts.Ctx) graph.Value {
-	return func(ctx *rts.Ctx) graph.Value {
+// Program is the runtime-agnostic GpH sumEuler program: split [1..n]
+// into chunks, spark the sum of each chunk (parList rwhnf over
+// sublists), fold the partial sums, then run the sequential result
+// check of Fig. 2. It runs unchanged on the virtual-time simulation and
+// on the native runtime.
+//
+// With direct=true the chunks use the uncached φ kernel and charge no
+// virtual costs — the mode the native runtime times for real wall-clock
+// speedups. With direct=false they use the memoised, cost-charged
+// kernel the simulation needs.
+func Program(n, chunks int, gcdIterCost int64, direct bool) exec.Program {
+	return func(ctx exec.Ctx) graph.Value {
 		rs := Ranges(n, chunks)
 		ts := make([]*graph.Thunk, len(rs))
 		for i, r := range rs {
 			r := r
-			ts[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+			ts[i] = exec.Thunk(func(c exec.Ctx) graph.Value {
+				if direct {
+					return SumRangeDirect(r.Lo, r.Hi)
+				}
 				return SumRange(c, gcdIterCost, r.Lo, r.Hi)
 			})
 		}
@@ -33,6 +44,13 @@ func GpHProgram(n, chunks int, gcdIterCost int64) func(*rts.Ctx) graph.Value {
 		}
 		return sum
 	}
+}
+
+// GpHProgram is Program specialised to the simulated runtime (memoised,
+// cost-charged kernel), kept for the simulation call sites.
+func GpHProgram(n, chunks int, gcdIterCost int64) func(*rts.Ctx) graph.Value {
+	p := Program(n, chunks, gcdIterCost, false)
+	return func(ctx *rts.Ctx) graph.Value { return p(ctx) }
 }
 
 // EdenProgram is the Eden sumEuler program: the ready-made parMapReduce

@@ -8,10 +8,10 @@
 package fuzz
 
 import (
+	"parhask/internal/exec"
 	"parhask/internal/graph"
 	"parhask/internal/rts"
 	"parhask/internal/sim"
-	"parhask/internal/strategies"
 )
 
 // Node is one vertex of a generated program DAG.
@@ -78,16 +78,17 @@ func (p *Program) Expected() int64 {
 	return total
 }
 
-// Main returns the program as a runnable GpH main function: it builds
-// the thunk DAG, sparks the annotated nodes, forces everything and
-// returns the sum of all node values.
-func (p *Program) Main() func(*rts.Ctx) graph.Value {
-	return func(ctx *rts.Ctx) graph.Value {
+// Body returns the program as a runtime-agnostic main function: it
+// builds the thunk DAG, sparks the annotated nodes, forces everything
+// and returns the sum of all node values. The same body runs on the
+// virtual-time simulation and on the native runtime.
+func (p *Program) Body() exec.Program {
+	return func(ctx exec.Ctx) graph.Value {
 		thunks := make([]*graph.Thunk, len(p.Nodes))
 		for i := range p.Nodes {
 			i := i
 			nd := &p.Nodes[i]
-			thunks[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+			thunks[i] = exec.Thunk(func(c exec.Ctx) graph.Value {
 				v := int64(i)
 				for _, d := range nd.Deps {
 					v += c.Force(thunks[d]).(int64)
@@ -112,4 +113,11 @@ func (p *Program) Main() func(*rts.Ctx) graph.Value {
 		}
 		return total
 	}
+}
+
+// Main is Body specialised to the simulated runtime, kept for the
+// simulation call sites.
+func (p *Program) Main() func(*rts.Ctx) graph.Value {
+	body := p.Body()
+	return func(ctx *rts.Ctx) graph.Value { return body(ctx) }
 }

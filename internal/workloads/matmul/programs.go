@@ -4,26 +4,28 @@ import (
 	"fmt"
 
 	"parhask/internal/eden"
+	"parhask/internal/exec"
 	"parhask/internal/graph"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
 )
 
-// GpHBlockProgram is the measured GpH parallelisation: regular blocks of
-// the result matrix are turned into sparks; the block size (spark
-// granularity) is tunable. The main thread then forces every block and
-// assembles the result.
-func GpHBlockProgram(a, b Mat, blockSize int, mulAddCost int64) func(*rts.Ctx) graph.Value {
+// BlockProgram is the runtime-agnostic GpH block parallelisation:
+// regular blocks of the result matrix are turned into sparks; the block
+// size (spark granularity) is tunable. The main thread then forces every
+// block and assembles the result. It runs unchanged on the virtual-time
+// simulation and on the native runtime.
+func BlockProgram(a, b Mat, blockSize int, mulAddCost int64) exec.Program {
 	n := len(a)
 	q := blockDim(n, blockSize)
-	return func(ctx *rts.Ctx) graph.Value {
+	return func(ctx exec.Ctx) graph.Value {
 		ctx.Alloc(2 * Bytes(n)) // the input matrices are built on the heap
 		blocks := make([]*graph.Thunk, 0, q*q)
 		for bi := 0; bi < q; bi++ {
 			for bj := 0; bj < q; bj++ {
 				r0, c0 := bi*blockSize, bj*blockSize
-				blocks = append(blocks, strategies.Thunk(func(c *rts.Ctx) graph.Value {
+				blocks = append(blocks, exec.Thunk(func(c exec.Ctx) graph.Value {
 					return MulRange(c, mulAddCost, a, b, r0, r0+blockSize, c0, c0+blockSize)
 				}))
 			}
@@ -41,17 +43,24 @@ func GpHBlockProgram(a, b Mat, blockSize int, mulAddCost int64) func(*rts.Ctx) g
 	}
 }
 
-// GpHRowProgram is the straightforward row-parallel version the paper
+// GpHBlockProgram is BlockProgram specialised to the simulated runtime,
+// kept for the simulation call sites.
+func GpHBlockProgram(a, b Mat, blockSize int, mulAddCost int64) func(*rts.Ctx) graph.Value {
+	p := BlockProgram(a, b, blockSize, mulAddCost)
+	return func(ctx *rts.Ctx) graph.Value { return p(ctx) }
+}
+
+// RowProgram is the runtime-agnostic row-parallel version the paper
 // compares against: one spark per result row; each row depends on the
 // whole second input matrix.
-func GpHRowProgram(a, b Mat, mulAddCost int64) func(*rts.Ctx) graph.Value {
+func RowProgram(a, b Mat, mulAddCost int64) exec.Program {
 	n := len(a)
-	return func(ctx *rts.Ctx) graph.Value {
+	return func(ctx exec.Ctx) graph.Value {
 		ctx.Alloc(2 * Bytes(n))
 		rows := make([]*graph.Thunk, n)
 		for i := 0; i < n; i++ {
 			i := i
-			rows[i] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+			rows[i] = exec.Thunk(func(c exec.Ctx) graph.Value {
 				return MulRange(c, mulAddCost, a, b, i, i+1, 0, n)
 			})
 		}
@@ -62,6 +71,12 @@ func GpHRowProgram(a, b Mat, mulAddCost int64) func(*rts.Ctx) graph.Value {
 		}
 		return out
 	}
+}
+
+// GpHRowProgram is RowProgram specialised to the simulated runtime.
+func GpHRowProgram(a, b Mat, mulAddCost int64) func(*rts.Ctx) graph.Value {
+	p := RowProgram(a, b, mulAddCost)
+	return func(ctx *rts.Ctx) graph.Value { return p(ctx) }
 }
 
 // cannonInput is the initial payload of one torus node: its (already
