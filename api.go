@@ -50,6 +50,9 @@ type (
 	NativeResult = native.Result
 	// NativeStats are the native runtime counters.
 	NativeStats = native.Stats
+	// NativeReport is the machine-readable run summary (wall time,
+	// aggregate and per-worker counters, eventlog volume).
+	NativeReport = native.Report
 )
 
 // Native entry points.

@@ -877,6 +877,46 @@ func BenchmarkNativeAPSP(b *testing.B) {
 	}
 }
 
+// BenchmarkNativeEventlogOverhead measures what the wall-clock eventlog
+// costs on the native runtime's hot paths. "disabled" is the baseline
+// every production run pays: nil-checked hooks and per-worker counter
+// bumps only, no event allocation. "enabled" additionally timestamps
+// and records every spark/steal/thunk/block event into the per-worker
+// rings. Acceptance bound: disabled must stay within 5% of the
+// pre-eventlog runtime (compare against a checkout before this change);
+// enabled is expected to cost a few percent more.
+func BenchmarkNativeEventlogOverhead(b *testing.B) {
+	p := benchParams()
+	n, chunks := p.SumEulerN, p.SumEulerChunks
+	want := euler.SumTotientSieve(n)
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			var logged int64
+			for i := 0; i < b.N; i++ {
+				cfg := native.NewConfig(4)
+				cfg.EventLog = enabled
+				res, err := native.Run(cfg, euler.Program(n, chunks, 0, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value.(int64) != want {
+					b.Fatalf("wrong sum: %v", res.Value)
+				}
+				if enabled {
+					logged += int64(res.Report().EventsLogged)
+				}
+			}
+			if enabled {
+				b.ReportMetric(float64(logged)/float64(b.N), "events/op")
+			}
+		})
+	}
+}
+
 // BenchmarkHierarchicalMasterWorker compares a flat farm against the
 // two-level hierarchy on many tiny tasks (where the single master is
 // the bottleneck the hierarchy exists to remove).

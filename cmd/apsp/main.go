@@ -10,10 +10,14 @@
 // With -runtime native the thunk-lattice program runs on the real
 // work-stealing runtime: -eager selects the CAS claim policy, and the
 // duplicate-entry count measures what lazy black-holing costs on real
-// hardware.
+// hardware. -trace then enables the eventlog and renders a per-worker
+// wall-clock timeline (watch the red blocked bands grow under lazy
+// black-holing), and -stats json emits only the machine-readable
+// per-worker counter report on stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +40,7 @@ func main() {
 	width := flag.Int("width", 100, "trace width")
 	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
+	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
 	flag.Parse()
 
 	g := apsp.RandomGraph(*n, *seed, 9, 25)
@@ -51,12 +56,22 @@ func main() {
 	if *rtKind == "native" {
 		ncfg := native.NewConfig(*workers)
 		ncfg.EagerBlackholing = *eager
+		ncfg.EventLog = *showTrace
 		res, err := native.Run(ncfg, apsp.Program(g, 0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "apsp:", err)
 			os.Exit(1)
 		}
 		verify(res.Value)
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res.Report(), "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "apsp:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
 		bh := "lazy"
 		if *eager {
 			bh = "eager"
@@ -75,6 +90,11 @@ func main() {
 			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		}
 		fmt.Printf("stats    = %+v (duplicate thunk entries: %d)\n", res.Stats, res.Stats.DupEntries)
+		if *showTrace {
+			tl := res.Trace()
+			fmt.Print(tl.Render(*width))
+			fmt.Print(tl.Summary())
+		}
 		return
 	}
 	if *rtKind != "sim" {

@@ -10,7 +10,10 @@
 // Output is text: runtime tables, ASCII timeline traces and speedup
 // tables/charts, each followed by a shape check against the paper's
 // qualitative claims. -native additionally writes the machine-readable
-// sweep to results/BENCH_native.json.
+// sweep to results/BENCH_native.json — per row the aggregate wall time
+// plus the per-worker counter breakdown (steals, converted sparks,
+// duplicate entries, leftover pool sizes), so steal balance and the
+// lazy-black-holing cost are inspectable per worker, not just in total.
 package main
 
 import (

@@ -10,10 +10,13 @@
 // algorithm on a q×q torus. Results are verified against a sequential
 // oracle for n ≤ 512. With -runtime native the block program runs on
 // the real work-stealing runtime and the wall-clock time is printed
-// next to the simulated virtual time.
+// next to the simulated virtual time; -trace then enables the eventlog
+// and renders a per-worker wall-clock timeline, and -stats json emits
+// only the machine-readable per-worker counter report on stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -36,6 +39,7 @@ func main() {
 	width := flag.Int("width", 100, "trace width")
 	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
+	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
 	flag.Parse()
 
 	a := matmul.Random(*n, 103)
@@ -47,19 +51,29 @@ func main() {
 
 	if *rtKind == "native" {
 		ncfg := native.NewConfig(*workers)
+		ncfg.EventLog = *showTrace
 		res, err := native.Run(ncfg, matmul.BlockProgram(a, b, *block, 0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "matmul:", err)
 			os.Exit(1)
 		}
 		got := res.Value.(matmul.Mat)
+		if oracle != nil && !matmul.Equal(got, oracle, 1e-6) {
+			fmt.Fprintln(os.Stderr, "matmul: RESULT MISMATCH vs sequential oracle")
+			os.Exit(1)
+		}
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res.Report(), "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "matmul:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
 		fmt.Printf("matmul %dx%d on native runtime, %d workers, %dx%d blocks\n",
 			*n, *n, res.Workers, *block, *block)
 		if oracle != nil {
-			if !matmul.Equal(got, oracle, 1e-6) {
-				fmt.Fprintln(os.Stderr, "matmul: RESULT MISMATCH vs sequential oracle")
-				os.Exit(1)
-			}
 			fmt.Println("result   = verified against sequential oracle")
 		} else {
 			fmt.Printf("checksum = %.6g\n", matmul.Checksum(got))
@@ -74,6 +88,11 @@ func main() {
 			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		}
 		fmt.Printf("stats    = %+v\n", res.Stats)
+		if *showTrace {
+			tl := res.Trace()
+			fmt.Print(tl.Render(*width))
+			fmt.Print(tl.Summary())
+		}
 		return
 	}
 	if *rtKind != "sim" {

@@ -5,14 +5,20 @@
 //	sumeuler -n 15000 -cores 8 -rts eden -pes 8
 //	sumeuler -n 15000 -rts plain -trace
 //	sumeuler -n 15000 -runtime native -workers 8   # real goroutines
+//	sumeuler -n 15000 -runtime native -workers 8 -trace       # wall-clock timeline
+//	sumeuler -n 15000 -runtime native -workers 8 -stats json  # machine-readable
 //
 // It prints the virtual runtime, runtime statistics and (with -trace)
 // an EdenTV-style per-capability timeline. With -runtime native the
 // same program body runs on the real work-stealing runtime and the
-// wall-clock time is printed next to the simulated virtual time.
+// wall-clock time is printed next to the simulated virtual time;
+// -trace then enables the eventlog and renders a per-worker wall-clock
+// timeline, and -stats json emits only the machine-readable per-worker
+// counter report on stdout.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,11 +43,13 @@ func main() {
 	width := flag.Int("width", 100, "trace width")
 	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
+	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
 	flag.Parse()
 
 	if *rtKind == "native" {
 		ncfg := native.NewConfig(*workers)
 		ncfg.EagerBlackholing = *eager
+		ncfg.EventLog = *showTrace
 		res, err := native.Run(ncfg, euler.Program(*n, *chunks, 0, true))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sumeuler:", err)
@@ -50,6 +58,15 @@ func main() {
 		if want := euler.SumTotientSieve(*n); res.Value.(int64) != want {
 			fmt.Fprintf(os.Stderr, "sumeuler: native result %v != sieve oracle %d\n", res.Value, want)
 			os.Exit(1)
+		}
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res.Report(), "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "sumeuler:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
 		}
 		bh := "lazy"
 		if *eager {
@@ -68,6 +85,11 @@ func main() {
 			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		}
 		fmt.Printf("stats    = %+v\n", res.Stats)
+		if *showTrace {
+			tl := res.Trace()
+			fmt.Print(tl.Render(*width))
+			fmt.Print(tl.Summary())
+		}
 		return
 	}
 	if *rtKind != "sim" {

@@ -6,6 +6,15 @@
 //	tracedump -experiment sumeuler -quick   # scaled-down parameters
 //	tracedump -experiment matmul -format csv   # segment dump (EdenTV-style)
 //	tracedump -experiment matmul -format json
+//
+// With -native it renders a *wall-clock* timeline instead: the workload
+// runs on the real-goroutine work-stealing runtime with the eventlog
+// enabled, and the reduced per-worker trace goes through the same
+// exporters (so the native run draws exactly like the simulated
+// figures, except that its shape is machine-dependent):
+//
+//	tracedump -native sumeuler -workers 4
+//	tracedump -native apsp -workers 8 -format html > apsp.html
 package main
 
 import (
@@ -18,6 +27,9 @@ import (
 
 func main() {
 	exp := flag.String("experiment", "sumeuler", "sumeuler (Fig. 2) or matmul (Fig. 4)")
+	nativeWl := flag.String("native", "", "render a wall-clock native-runtime timeline instead: sumeuler | matmul | apsp")
+	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
+	eager := flag.Bool("eager", true, "native black-holing policy (eager claim vs lazy baseline)")
 	quick := flag.Bool("quick", false, "use scaled-down parameters")
 	width := flag.Int("width", 100, "trace width in columns")
 	format := flag.String("format", "ascii", "ascii | csv | json | html")
@@ -31,16 +43,26 @@ func main() {
 
 	var entries []experiments.TraceEntry
 	var rendered string
-	switch *exp {
-	case "sumeuler":
-		f := experiments.RunFig2(p)
-		entries, rendered = f.Entries, f.String()
-	case "matmul":
-		f := experiments.RunFig4(p)
-		entries, rendered = f.Entries, f.String()
-	default:
-		fmt.Fprintf(os.Stderr, "tracedump: unknown -experiment %q (want sumeuler or matmul)\n", *exp)
-		os.Exit(2)
+	if *nativeWl != "" {
+		e, _, err := experiments.NativeTimeline(p, *nativeWl, *workers, *eager)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(2)
+		}
+		entries = []experiments.TraceEntry{e}
+		rendered = fmt.Sprintf("%s\n%s\n%s", e.Name, e.Rendered, e.Summary)
+	} else {
+		switch *exp {
+		case "sumeuler":
+			f := experiments.RunFig2(p)
+			entries, rendered = f.Entries, f.String()
+		case "matmul":
+			f := experiments.RunFig4(p)
+			entries, rendered = f.Entries, f.String()
+		default:
+			fmt.Fprintf(os.Stderr, "tracedump: unknown -experiment %q (want sumeuler or matmul)\n", *exp)
+			os.Exit(2)
+		}
 	}
 
 	switch *format {

@@ -1,0 +1,229 @@
+package eventlog
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"parhask/internal/trace"
+)
+
+// at builds an event with a fixed timestamp, bypassing the clock so
+// reduction tests are deterministic.
+func at(t Type, ns int64) Event { return Event{T: ns, Type: t} }
+
+func newTestLog(workers, chunkEvents, maxChunks int) *Log {
+	return New(time.Now(), workers, Config{ChunkEvents: chunkEvents, MaxChunks: maxChunks})
+}
+
+func TestBufChunkGrowth(t *testing.T) {
+	// A buffer fills chunk after chunk without dropping anything while
+	// under the chunk cap, and Events returns everything in emit order.
+	l := newTestLog(1, 4, 8) // capacity 32 events
+	b := l.Buf(0)
+	const n = 30
+	for i := 0; i < n; i++ {
+		b.append(at(SparkPush, int64(i)))
+	}
+	if b.Dropped() != 0 {
+		t.Fatalf("dropped = %d, want 0", b.Dropped())
+	}
+	evs := b.Events()
+	if len(evs) != n {
+		t.Fatalf("len(events) = %d, want %d", len(evs), n)
+	}
+	for i, e := range evs {
+		if e.T != int64(i) {
+			t.Fatalf("event %d has T=%d, want %d (order not preserved)", i, e.T, i)
+		}
+	}
+	if b.Len() != n {
+		t.Fatalf("Len = %d, want %d", b.Len(), n)
+	}
+}
+
+func TestBufWraparound(t *testing.T) {
+	// Past the chunk cap the ring recycles its oldest chunk: the buffer
+	// keeps the most recent window, counts the discarded events, and
+	// preserves order within the kept window.
+	const chunkEvents, maxChunks = 4, 3 // capacity 12
+	l := newTestLog(1, chunkEvents, maxChunks)
+	b := l.Buf(0)
+	const n = 31
+	for i := 0; i < n; i++ {
+		b.append(at(StealAttempt, int64(i)))
+	}
+	evs := b.Events()
+	if len(evs)+int(b.Dropped()) != n {
+		t.Fatalf("kept %d + dropped %d != emitted %d", len(evs), b.Dropped(), n)
+	}
+	if b.Dropped() == 0 {
+		t.Fatal("expected wraparound to drop events")
+	}
+	// Kept events are the newest, contiguous, in order.
+	first := evs[0].T
+	for i, e := range evs {
+		if e.T != first+int64(i) {
+			t.Fatalf("kept window not contiguous at %d: T=%d, want %d", i, e.T, first+int64(i))
+		}
+	}
+	if last := evs[len(evs)-1].T; last != n-1 {
+		t.Fatalf("newest kept event T=%d, want %d", last, n-1)
+	}
+	// The ring never holds more than maxChunks*chunkEvents events.
+	if len(evs) > chunkEvents*maxChunks {
+		t.Fatalf("kept %d events, ring capacity is %d", len(evs), chunkEvents*maxChunks)
+	}
+	if l.Dropped() != b.Dropped() {
+		t.Fatalf("log dropped %d != buf dropped %d", l.Dropped(), b.Dropped())
+	}
+}
+
+func TestBufWraparoundRecyclesAllocation(t *testing.T) {
+	// After the ring is full, emitting steadily must not allocate new
+	// chunks (the oldest is recycled in place).
+	l := newTestLog(1, 4, 2)
+	b := l.Buf(0)
+	for i := 0; i < 100; i++ {
+		b.append(at(SparkPush, int64(i)))
+	}
+	if got := len(b.chunks); got != 2 {
+		t.Fatalf("chunks = %d, want 2 (ring must not grow past the cap)", got)
+	}
+}
+
+func TestTraceReduction(t *testing.T) {
+	// A hand-built event stream must reduce to the exact segment
+	// timeline: worker 0 runs main, blocks on a thunk, helps by running
+	// a spark while blocked, unblocks, finishes. Worker 1 idles, then
+	// converts a spark.
+	l := newTestLog(2, DefaultChunkEvents, DefaultMaxChunks)
+	w0, w1 := l.Buf(0), l.Buf(1)
+	for _, e := range []Event{
+		at(RunBegin, 10), // main starts
+		at(BlockBegin, 30),
+		at(RunBegin, 40), // helping under the blocked force
+		at(RunEnd, 60),
+		at(BlockEnd, 70),
+		at(RunEnd, 100), // main returns
+	} {
+		w0.append(e)
+	}
+	for _, e := range []Event{
+		at(IdleBegin, 5),
+		at(IdleEnd, 40),
+		at(SparkConvert, 40),
+		at(RunBegin, 40),
+		at(RunEnd, 90),
+	} {
+		w1.append(e)
+	}
+	l.Close(100)
+
+	tl := l.Trace()
+	if tl.End() != 100 {
+		t.Fatalf("trace end = %d, want 100", tl.End())
+	}
+	agents := tl.Agents()
+	if len(agents) != 2 {
+		t.Fatalf("agents = %d, want 2", len(agents))
+	}
+	wantW0 := []trace.Segment{
+		{State: trace.Idle, From: 0, To: 10},
+		{State: trace.Run, From: 10, To: 30},
+		{State: trace.Blocked, From: 30, To: 40},
+		{State: trace.Run, From: 40, To: 60},
+		{State: trace.Blocked, From: 60, To: 70},
+		{State: trace.Run, From: 70, To: 100},
+	}
+	wantW1 := []trace.Segment{
+		{State: trace.Runnable, From: 0, To: 5},
+		{State: trace.Idle, From: 5, To: 40},
+		{State: trace.Run, From: 40, To: 90},
+		{State: trace.Runnable, From: 90, To: 100},
+	}
+	for i, want := range [][]trace.Segment{wantW0, wantW1} {
+		got := agents[i].Segments()
+		if len(got) != len(want) {
+			t.Fatalf("w%d: %d segments, want %d: %+v", i, len(got), len(want), got)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("w%d segment %d = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestTraceReductionSurvivesTruncatedStream(t *testing.T) {
+	// Wraparound can drop a bracket's Begin while keeping its End; the
+	// reducer must degrade to the base state, not panic.
+	l := newTestLog(1, DefaultChunkEvents, DefaultMaxChunks)
+	b := l.Buf(0)
+	b.append(at(RunEnd, 10))   // orphan End (Begin dropped)
+	b.append(at(BlockEnd, 20)) // another orphan
+	b.append(at(RunBegin, 30))
+	b.append(at(RunEnd, 40))
+	l.Close(50)
+	tl := l.Trace()
+	a := tl.Agents()[0]
+	if got := a.TimeIn(trace.Run); got != 10 {
+		t.Fatalf("run time = %d, want 10", got)
+	}
+	if got := a.TimeIn(trace.Idle); got != 40 {
+		t.Fatalf("idle time = %d, want 40 (orphan Ends must land on the base state)", got)
+	}
+}
+
+func TestEmitTimestampsMonotonic(t *testing.T) {
+	l := New(time.Now(), 1, Config{})
+	b := l.Buf(0)
+	for i := 0; i < 1000; i++ {
+		b.Emit(SparkPush)
+	}
+	evs := b.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatalf("timestamps went backwards at %d: %d < %d", i, evs[i].T, evs[i-1].T)
+		}
+	}
+}
+
+func TestConcurrentOwnersRace(t *testing.T) {
+	// Each buffer has exactly one owner, but all owners emit at the same
+	// time — the -race guarantee the hot path depends on (no sharing
+	// between per-worker rings). Run under `go test -race`.
+	const workers, events = 8, 5000
+	l := New(time.Now(), workers, Config{ChunkEvents: 64, MaxChunks: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(b *Buf) {
+			defer wg.Done()
+			for j := 0; j < events; j++ {
+				b.EmitArg(StealAttempt, int32(j))
+			}
+		}(l.Buf(i))
+	}
+	wg.Wait()
+	l.Close(int64(time.Millisecond))
+	for i := 0; i < workers; i++ {
+		if got := l.Buf(i).Len() + int(l.Buf(i).Dropped()); got != events {
+			t.Fatalf("worker %d: kept+dropped = %d, want %d", i, got, events)
+		}
+	}
+	if l.Trace() == nil {
+		t.Fatal("trace reduction failed")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty := Type(0); ty < numTypes; ty++ {
+		if ty.String() == "" {
+			t.Fatalf("type %d has no name", ty)
+		}
+	}
+	if got := Type(200).String(); got != "eventlog.Type(200)" {
+		t.Fatalf("unknown type renders as %q", got)
+	}
+}

@@ -13,17 +13,30 @@ import (
 )
 
 // NativeRow is one native-runtime measurement: a workload at a worker
-// count, in real wall-clock time.
+// count, in real wall-clock time, with the per-worker counter breakdown
+// (how evenly the stealing spread the sparks, who absorbed the
+// duplicate entries, what each pool still held at the end).
 type NativeRow struct {
-	Workload         string `json:"workload"`
-	Workers          int    `json:"workers"`
-	EagerBlackholing bool   `json:"eager_blackholing"`
-	WallNS           int64  `json:"wall_ns"`
-	DuplicateEntries int64  `json:"duplicate_entries"`
-	Steals           int64  `json:"steals"`
-	StealAttempts    int64  `json:"steal_attempts"`
-	SparksConverted  int64  `json:"sparks_converted"`
-	ResultOK         bool   `json:"result_ok"`
+	Workload         string            `json:"workload"`
+	Workers          int               `json:"workers"`
+	EagerBlackholing bool              `json:"eager_blackholing"`
+	WallNS           int64             `json:"wall_ns"`
+	DuplicateEntries int64             `json:"duplicate_entries"`
+	Steals           int64             `json:"steals"`
+	StealAttempts    int64             `json:"steal_attempts"`
+	SparksConverted  int64             `json:"sparks_converted"`
+	ResultOK         bool              `json:"result_ok"`
+	PerWorker        []NativeWorkerRow `json:"per_worker"`
+}
+
+// NativeWorkerRow is one worker's share of a NativeRow's counters.
+type NativeWorkerRow struct {
+	Worker           int   `json:"worker"`
+	Steals           int64 `json:"steals"`
+	StealAttempts    int64 `json:"steal_attempts"`
+	SparksConverted  int64 `json:"sparks_converted"`
+	DuplicateEntries int64 `json:"duplicate_entries"`
+	SparksLeftover   int64 `json:"sparks_leftover"`
 }
 
 // NativeSweep is the wall-clock counterpart of the virtual-time
@@ -52,7 +65,7 @@ func RunNativeSweep(p Params) *NativeSweep {
 		if err != nil {
 			panic(fmt.Sprintf("experiments: native %s failed: %v", name, err))
 		}
-		s.Rows = append(s.Rows, NativeRow{
+		row := NativeRow{
 			Workload:         name,
 			Workers:          workers,
 			EagerBlackholing: eager,
@@ -62,7 +75,18 @@ func RunNativeSweep(p Params) *NativeSweep {
 			StealAttempts:    res.Stats.StealAttempts,
 			SparksConverted:  res.Stats.SparksConverted,
 			ResultOK:         check(res.Value),
-		})
+		}
+		for i, ws := range res.PerWorker {
+			row.PerWorker = append(row.PerWorker, NativeWorkerRow{
+				Worker:           i,
+				Steals:           ws.Steals,
+				StealAttempts:    ws.StealAttempts,
+				SparksConverted:  ws.SparksConverted,
+				DuplicateEntries: ws.DupEntries,
+				SparksLeftover:   ws.SparksLeftover,
+			})
+		}
+		s.Rows = append(s.Rows, row)
 	}
 
 	eulerWant := euler.SumTotientSieve(p.SumEulerN)

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+
+	"parhask/internal/native"
+	"parhask/internal/workloads/apsp"
+	"parhask/internal/workloads/euler"
+	"parhask/internal/workloads/matmul"
+)
+
+// NativeTimeline runs one workload on the native runtime with the
+// wall-clock eventlog enabled and reduces it to a trace — the real-
+// hardware counterpart of the Fig. 2 / Fig. 4 EdenTV diagrams. The
+// result is verified against the workload's sequential oracle before
+// the trace is returned; unlike the simulated figures the timeline's
+// shape is machine-dependent (see results/README.md).
+func NativeTimeline(p Params, workload string, workers int, eager bool) (TraceEntry, *native.Result, error) {
+	cfg := native.NewConfig(workers)
+	cfg.EagerBlackholing = eager
+	cfg.EventLog = true
+
+	var (
+		res *native.Result
+		err error
+		ok  bool
+	)
+	switch workload {
+	case "sumeuler":
+		res, err = native.Run(cfg, euler.Program(p.SumEulerN, p.SumEulerChunks, 0, true))
+		if err == nil {
+			ok = res.Value.(int64) == euler.SumTotientSieve(p.SumEulerN)
+		}
+	case "matmul":
+		a, b := matmul.Random(p.MatMulN, 1), matmul.Random(p.MatMulN, 2)
+		res, err = native.Run(cfg, matmul.BlockProgram(a, b, p.MatMulBlock, 0))
+		if err == nil {
+			ok = matmul.Equal(res.Value.(matmul.Mat), matmul.MulOracle(a, b), 1e-9)
+		}
+	case "apsp":
+		g := apsp.RandomGraph(p.APSPNodes, 42, 100, 60)
+		res, err = native.Run(cfg, apsp.Program(g, 0))
+		if err == nil {
+			ok = apsp.Equal(res.Value.(apsp.Graph), apsp.FloydWarshall(g))
+		}
+	default:
+		return TraceEntry{}, nil, fmt.Errorf("experiments: unknown native workload %q (want sumeuler, matmul or apsp)", workload)
+	}
+	if err != nil {
+		return TraceEntry{}, nil, err
+	}
+	if !ok {
+		return TraceEntry{}, nil, fmt.Errorf("experiments: native %s result differs from the sequential oracle", workload)
+	}
+
+	bh := "lazy"
+	if eager {
+		bh = "eager"
+	}
+	tl := res.Trace()
+	return TraceEntry{
+		Name:     fmt.Sprintf("native %s, %d workers, %s blackholing (wall clock)", workload, res.Workers, bh),
+		Elapsed:  res.WallNS,
+		Trace:    tl,
+		Rendered: tl.Render(p.TraceWidth),
+		Summary:  tl.Summary(),
+	}, res, nil
+}

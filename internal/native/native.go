@@ -27,6 +27,15 @@
 // computing, and Go's allocator is real. The virtual-time simulation
 // remains the instrument for controlled interleaving studies; this
 // backend complements it with wall-clock ground truth (see DESIGN.md).
+//
+// Observability: every counter is maintained per worker (summed into
+// the aggregate Stats at the end, and samplable mid-run via
+// Config.Sampler), and Config.EventLog turns on the wall-clock eventlog
+// (internal/eventlog) — per-worker, owner-written event rings recording
+// spark, steal, thunk-claim, block, idle and run events, reduced after
+// the run into the same trace.Log timelines the simulation draws. When
+// the eventlog is disabled the instrumentation is a nil check per hook:
+// no allocation, no clock read.
 package native
 
 import (
@@ -37,8 +46,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parhask/internal/eventlog"
 	"parhask/internal/exec"
 	"parhask/internal/graph"
+	"parhask/internal/trace"
 )
 
 // Config selects a native runtime setup.
@@ -49,6 +60,21 @@ type Config struct {
 	// EagerBlackholing selects the atomic-claim policy; false is the
 	// unsynchronised lazy baseline that permits duplicate evaluation.
 	EagerBlackholing bool
+	// EventLog enables the per-worker wall-clock event rings. The run's
+	// Result then carries the drained eventlog.Log, and Result.Trace
+	// reduces it to an EdenTV-style timeline. Costs one monotonic clock
+	// read plus one owner-local append per event on the hot path;
+	// disabled, the hooks are nil checks only.
+	EventLog bool
+	// EventLogConfig tunes the event rings (zero value = defaults).
+	EventLogConfig eventlog.Config
+	// Sampler, if non-nil, is called once just before the run starts
+	// with a snapshot function that may be invoked from any goroutine
+	// while the run is in flight; each call returns the counters
+	// accumulated so far (SparksLeftover = sparks currently pooled).
+	// This is the mid-run observability hook: monitoring loops sample
+	// it without perturbing the workers, which never take a lock for it.
+	Sampler func(snapshot func() Stats)
 }
 
 // NewConfig returns the default native configuration: one worker per
@@ -60,20 +86,70 @@ func NewConfig(workers int) Config {
 	return Config{Workers: workers, EagerBlackholing: true}
 }
 
-// Stats aggregates runtime counters over one native run. All counters
-// are exact (maintained with atomics by the workers).
+// Stats aggregates runtime counters — over a whole run (Result.Stats),
+// per worker (Result.PerWorker), or mid-run (Config.Sampler). All
+// counters are exact (maintained with per-worker atomics).
 type Stats struct {
-	SparksCreated   int64 // par calls that entered a pool
-	SparksDud       int64 // par on an already-evaluated closure
-	SparksConverted int64 // sparks a worker picked up and forced
-	SparksFizzled   int64 // picked up but already evaluated
-	SparksLeftover  int64 // still in a pool when main returned
-	Steals          int64 // successful remote pool steals
-	StealAttempts   int64 // steals tried against a non-empty pool
-	DupEntries      int64 // duplicate thunk entries (lazy black-holing)
-	DupResults      int64 // duplicate values computed and discarded
-	BlockedForces   int64 // forces that found a black hole and waited
-	Forks           int64 // threads created with Fork
+	SparksCreated   int64 `json:"sparks_created"`   // par calls that entered a pool
+	SparksDud       int64 `json:"sparks_dud"`       // par on an already-evaluated closure
+	SparksConverted int64 `json:"sparks_converted"` // sparks a worker picked up and forced
+	SparksFizzled   int64 `json:"sparks_fizzled"`   // picked up but already evaluated
+	SparksLeftover  int64 `json:"sparks_leftover"`  // still in a pool (at end: when main returned)
+	Steals          int64 `json:"steals"`           // successful remote pool steals
+	StealAttempts   int64 `json:"steal_attempts"`   // steals tried against a non-empty pool
+	DupEntries      int64 `json:"dup_entries"`      // duplicate thunk entries (lazy black-holing)
+	DupResults      int64 `json:"dup_results"`      // duplicate values computed and discarded
+	BlockedForces   int64 `json:"blocked_forces"`   // forces that found a black hole and waited
+	Forks           int64 `json:"forks"`            // threads created with Fork
+}
+
+// Add accumulates o into s field-wise.
+func (s *Stats) Add(o Stats) {
+	s.SparksCreated += o.SparksCreated
+	s.SparksDud += o.SparksDud
+	s.SparksConverted += o.SparksConverted
+	s.SparksFizzled += o.SparksFizzled
+	s.SparksLeftover += o.SparksLeftover
+	s.Steals += o.Steals
+	s.StealAttempts += o.StealAttempts
+	s.DupEntries += o.DupEntries
+	s.DupResults += o.DupResults
+	s.BlockedForces += o.BlockedForces
+	s.Forks += o.Forks
+}
+
+// counters is the atomic backing of one Stats contributor. Each worker
+// owns one (so the hot path never contends on a shared cacheline, the
+// way the old global counters did); forked threads, which have no
+// worker identity, share the runtime's extern set.
+type counters struct {
+	sparksCreated   atomic.Int64
+	sparksDud       atomic.Int64
+	sparksConverted atomic.Int64
+	sparksFizzled   atomic.Int64
+	steals          atomic.Int64
+	stealAttempts   atomic.Int64
+	dupEntries      atomic.Int64
+	dupResults      atomic.Int64
+	blockedForces   atomic.Int64
+	forks           atomic.Int64
+}
+
+// load reads a consistent-enough snapshot of the counters (each field
+// atomically; cross-field skew is inherent to sampling a live run).
+func (c *counters) load() Stats {
+	return Stats{
+		SparksCreated:   c.sparksCreated.Load(),
+		SparksDud:       c.sparksDud.Load(),
+		SparksConverted: c.sparksConverted.Load(),
+		SparksFizzled:   c.sparksFizzled.Load(),
+		Steals:          c.steals.Load(),
+		StealAttempts:   c.stealAttempts.Load(),
+		DupEntries:      c.dupEntries.Load(),
+		DupResults:      c.dupResults.Load(),
+		BlockedForces:   c.blockedForces.Load(),
+		Forks:           c.forks.Load(),
+	}
 }
 
 // Result is the outcome of one native run.
@@ -85,11 +161,53 @@ type Result struct {
 	WallNS int64
 	// Workers is the worker count the run used.
 	Workers int
-	Stats   Stats
+	// Stats is the whole-run aggregate (every worker plus forked
+	// threads).
+	Stats Stats
+	// PerWorker breaks the counters down by worker id. Forked threads'
+	// contributions appear only in the aggregate (they have no worker).
+	PerWorker []Stats
+	// Events is the drained wall-clock eventlog (nil unless
+	// Config.EventLog was set).
+	Events *eventlog.Log
 }
 
 // Wall returns the elapsed wall-clock time as a duration.
 func (r *Result) Wall() time.Duration { return time.Duration(r.WallNS) }
+
+// Trace reduces the run's eventlog into a wall-clock trace.Log — the
+// native analogue of the simulation's Result.Trace, rendered by the
+// same exporters. Returns nil when the run was not event-logged.
+func (r *Result) Trace() *trace.Log {
+	if r.Events == nil {
+		return nil
+	}
+	return r.Events.Trace()
+}
+
+// Report is the machine-readable summary of a native run (the cmds'
+// `-stats json` output): wall time, aggregate counters and the
+// per-worker breakdown.
+type Report struct {
+	Workers       int     `json:"workers"`
+	WallNS        int64   `json:"wall_ns"`
+	Total         Stats   `json:"total"`
+	PerWorker     []Stats `json:"per_worker"`
+	EventsLogged  int     `json:"events_logged,omitempty"`
+	EventsDropped int64   `json:"events_dropped,omitempty"`
+}
+
+// Report builds the machine-readable summary of the run.
+func (r *Result) Report() Report {
+	rep := Report{Workers: r.Workers, WallNS: r.WallNS, Total: r.Stats, PerWorker: r.PerWorker}
+	if r.Events != nil {
+		for i := 0; i < r.Events.Workers(); i++ {
+			rep.EventsLogged += r.Events.Buf(i).Len()
+		}
+		rep.EventsDropped = r.Events.Dropped()
+	}
+	return rep
+}
 
 // errAborted unwinds a worker or the main thread after another worker
 // already recorded the run's failure.
@@ -100,18 +218,12 @@ type rt struct {
 	cfg     Config
 	workers []*worker
 
-	stats struct {
-		sparksCreated   atomic.Int64
-		sparksDud       atomic.Int64
-		sparksConverted atomic.Int64
-		sparksFizzled   atomic.Int64
-		steals          atomic.Int64
-		stealAttempts   atomic.Int64
-		dupEntries      atomic.Int64
-		dupResults      atomic.Int64
-		blockedForces   atomic.Int64
-		forks           atomic.Int64
-	}
+	// extern counts contributions from forked threads (no worker
+	// identity); every worker's own counters live on the worker.
+	extern counters
+
+	// events is the wall-clock eventlog (nil when disabled).
+	events *eventlog.Log
 
 	// done tells the stealing loops the main function returned; failed
 	// tells every spinning force to unwind because a spark panicked.
@@ -149,11 +261,21 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	}
 
 	start := time.Now()
+	if cfg.EventLog {
+		r.events = eventlog.New(start, cfg.Workers, cfg.EventLogConfig)
+		for i, w := range r.workers {
+			w.ev = r.events.Buf(i)
+		}
+	}
+	if cfg.Sampler != nil {
+		cfg.Sampler(r.snapshot)
+	}
 	for _, w := range r.workers[1:] {
 		r.stealers.Add(1)
 		go w.stealLoop()
 	}
 
+	w0 := r.workers[0]
 	var value graph.Value
 	runErr := func() (err error) {
 		defer func() {
@@ -164,7 +286,13 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 				err = fmt.Errorf("native: main panicked: %v", p)
 			}
 		}()
-		value = main(&r.workers[0].ctx)
+		if w0.ev != nil {
+			w0.ev.Emit(eventlog.RunBegin)
+		}
+		value = main(&w0.ctx)
+		if w0.ev != nil {
+			w0.ev.Emit(eventlog.RunEnd)
+		}
 		return nil
 	}()
 
@@ -181,22 +309,36 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	}
 
 	res := &Result{Value: value, WallNS: wall.Nanoseconds(), Workers: cfg.Workers}
-	s := &res.Stats
-	s.SparksCreated = r.stats.sparksCreated.Load()
-	s.SparksDud = r.stats.sparksDud.Load()
-	s.SparksConverted = r.stats.sparksConverted.Load()
-	s.SparksFizzled = r.stats.sparksFizzled.Load()
-	s.Steals = r.stats.steals.Load()
-	s.StealAttempts = r.stats.stealAttempts.Load()
-	s.DupEntries = r.stats.dupEntries.Load()
-	s.DupResults = r.stats.dupResults.Load()
-	s.BlockedForces = r.stats.blockedForces.Load()
-	s.Forks = r.stats.forks.Load()
+	res.PerWorker = make([]Stats, cfg.Workers)
+	res.Stats = r.extern.load()
+	res.Stats.SparksLeftover = int64(len(r.inject))
+	for i, w := range r.workers {
+		ws := w.ctr.load()
+		ws.SparksLeftover = int64(w.pool.Size())
+		res.PerWorker[i] = ws
+		res.Stats.Add(ws)
+	}
+	if r.events != nil {
+		r.events.Close(res.WallNS)
+		res.Events = r.events
+	}
+	return res, nil
+}
+
+// snapshot sums the per-worker and forked-thread counters into one
+// Stats. It is safe to call from any goroutine while the run is in
+// flight: every field is an atomic load and the pool sizes are the
+// deque's lock-free point-in-time estimates.
+func (r *rt) snapshot() Stats {
+	s := r.extern.load()
 	for _, w := range r.workers {
+		s.Add(w.ctr.load())
 		s.SparksLeftover += int64(w.pool.Size())
 	}
+	r.injectMu.Lock()
 	s.SparksLeftover += int64(len(r.inject))
-	return res, nil
+	r.injectMu.Unlock()
+	return s
 }
 
 // fail records the first worker failure and aborts the run.
@@ -209,7 +351,6 @@ func (r *rt) fail(err error) {
 // fork starts body as a real goroutine. Its sparks go to the shared
 // injection queue; Run waits for all forks before returning.
 func (r *rt) fork(name string, body func(exec.Ctx)) {
-	r.stats.forks.Add(1)
 	r.forks.Add(1)
 	go func() {
 		defer r.forks.Done()
@@ -230,14 +371,19 @@ func (r *rt) pushInject(t *graph.Thunk) {
 	r.injectMu.Unlock()
 }
 
-// popInject removes one injected spark, if any.
+// popInject removes the oldest injected spark, if any. The queue is
+// FIFO so forked threads' sparks start in creation order — under the
+// previous LIFO pop, a fork's newest spark always ran first and its
+// earliest could starve behind a growing backlog. (The per-worker
+// deques stay LIFO at the owner end on purpose: the newest own spark is
+// the cache-warm one, as in GHC.)
 func (r *rt) popInject() *graph.Thunk {
 	r.injectMu.Lock()
 	defer r.injectMu.Unlock()
 	if len(r.inject) == 0 {
 		return nil
 	}
-	t := r.inject[len(r.inject)-1]
-	r.inject = r.inject[:len(r.inject)-1]
+	t := r.inject[0]
+	r.inject = r.inject[1:]
 	return t
 }

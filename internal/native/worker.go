@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"parhask/internal/deque"
+	"parhask/internal/eventlog"
 	"parhask/internal/exec"
 	"parhask/internal/graph"
 )
@@ -18,6 +19,14 @@ type worker struct {
 	id   int
 	pool *deque.Deque[graph.Thunk]
 	ctx  Ctx
+
+	// ctr is this worker's share of the run counters (owner-updated,
+	// snapshot-read).
+	ctr counters
+
+	// ev is this worker's wall-clock event ring; nil when the eventlog
+	// is disabled, which keeps every hook a plain nil check.
+	ev *eventlog.Buf
 
 	// helpDepth bounds recursive spark-running from inside a blocked
 	// force, so a pathological spark chain cannot overflow the stack.
@@ -47,8 +56,9 @@ func newWorker(r *rt, id int) *worker {
 // bodies and thunk computations. It implements both graph.Context (the
 // forcing protocol) and exec.Forker (the runtime-agnostic program
 // interface). A Ctx with a nil worker belongs to a forked goroutine,
-// which owns no deque: its sparks go to the shared injection queue and
-// its blocked forces spin without helping.
+// which owns no deque: its sparks go to the shared injection queue, its
+// blocked forces spin without helping, and its counters accumulate in
+// the runtime's extern set.
 type Ctx struct {
 	rt *rt
 	w  *worker
@@ -58,6 +68,24 @@ var (
 	_ graph.Context = (*Ctx)(nil)
 	_ exec.Forker   = (*Ctx)(nil)
 )
+
+// counters returns where this context's events are counted: the owning
+// worker's set, or the runtime's extern set for forked threads.
+func (c *Ctx) counters() *counters {
+	if c.w != nil {
+		return &c.w.ctr
+	}
+	return &c.rt.extern
+}
+
+// events returns this context's event ring, or nil if the context
+// belongs to a forked thread or the eventlog is disabled.
+func (c *Ctx) events() *eventlog.Buf {
+	if c.w != nil {
+		return c.w.ev
+	}
+	return nil
+}
 
 // Burn is a no-op: under the native runtime, time is consumed by
 // actually computing.
@@ -70,12 +98,15 @@ func (c *Ctx) Alloc(bytes int64) {}
 // Already-evaluated (or nil) closures are discarded as duds, as in GHC.
 func (c *Ctx) Par(t *graph.Thunk) {
 	if t == nil || t.IsEvaluated() {
-		c.rt.stats.sparksDud.Add(1)
+		c.counters().sparksDud.Add(1)
 		return
 	}
-	c.rt.stats.sparksCreated.Add(1)
+	c.counters().sparksCreated.Add(1)
 	if c.w != nil {
 		c.w.pool.PushBottom(t)
+		if c.w.ev != nil {
+			c.w.ev.Emit(eventlog.SparkPush)
+		}
 	} else {
 		c.rt.pushInject(t)
 	}
@@ -88,7 +119,13 @@ func (c *Ctx) Force(t *graph.Thunk) graph.Value { return graph.Force(c, t) }
 func (c *Ctx) ForceDeep(v graph.Value) graph.Value { return graph.ForceDeep(c, v) }
 
 // Fork starts body on a fresh goroutine (a real GpH thread).
-func (c *Ctx) Fork(name string, body func(exec.Ctx)) { c.rt.fork(name, body) }
+func (c *Ctx) Fork(name string, body func(exec.Ctx)) {
+	c.counters().forks.Add(1)
+	if ev := c.events(); ev != nil {
+		ev.Emit(eventlog.Fork)
+	}
+	c.rt.fork(name, body)
+}
 
 // EagerBlackholing reports the configured claim policy.
 func (c *Ctx) EagerBlackholing() bool { return c.rt.cfg.EagerBlackholing }
@@ -109,12 +146,20 @@ func (c *Ctx) LeftThunk(t *graph.Thunk) {}
 func (c *Ctx) WakeThunkWaiters(t *graph.Thunk) {}
 
 // NoteDuplicateEntry counts a lazy-black-holing duplicate entry.
-func (c *Ctx) NoteDuplicateEntry(t *graph.Thunk) { c.rt.stats.dupEntries.Add(1) }
+func (c *Ctx) NoteDuplicateEntry(t *graph.Thunk) {
+	c.counters().dupEntries.Add(1)
+	if ev := c.events(); ev != nil {
+		ev.Emit(eventlog.ThunkDupEntry)
+	}
+}
 
 // NoteClaimed records an eager claim opened on this worker's stack.
 func (c *Ctx) NoteClaimed(t *graph.Thunk) {
 	if c.w != nil {
 		c.w.claims++
+		if c.w.ev != nil {
+			c.w.ev.Emit(eventlog.ThunkClaim)
+		}
 	}
 }
 
@@ -122,18 +167,25 @@ func (c *Ctx) NoteClaimed(t *graph.Thunk) {
 func (c *Ctx) NoteReleased(t *graph.Thunk) {
 	if c.w != nil {
 		c.w.claims--
+		if c.w.ev != nil {
+			c.w.ev.Emit(eventlog.ThunkRelease)
+		}
 	}
 }
 
 // NoteDuplicateResult counts a computed-then-discarded duplicate value.
-func (c *Ctx) NoteDuplicateResult(t *graph.Thunk) { c.rt.stats.dupResults.Add(1) }
+func (c *Ctx) NoteDuplicateResult(t *graph.Thunk) { c.counters().dupResults.Add(1) }
 
 // BlockOnThunk waits for t to become Evaluated. Instead of parking, the
 // worker leapfrogs: it keeps taking and running other sparks, which is
 // both deadlock-free (the DAG is acyclic and the evaluator of t runs
 // preemptively on another goroutine) and productive.
 func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
-	c.rt.stats.blockedForces.Add(1)
+	c.counters().blockedForces.Add(1)
+	ev := c.events()
+	if ev != nil {
+		ev.Emit(eventlog.BlockBegin)
+	}
 	spins := 0
 	for t.State() != graph.Evaluated {
 		if c.rt.failed.Load() {
@@ -150,6 +202,9 @@ func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
 		}
 		spins++
 		idleWait(spins)
+	}
+	if ev != nil {
+		ev.Emit(eventlog.BlockEnd)
 	}
 }
 
@@ -180,9 +235,15 @@ func (w *worker) takeWork() *graph.Thunk {
 		if v.pool.Empty() {
 			continue
 		}
-		w.rt.stats.stealAttempts.Add(1)
+		w.ctr.stealAttempts.Add(1)
+		if w.ev != nil {
+			w.ev.EmitArg(eventlog.StealAttempt, int32(v.id))
+		}
 		if t, ok := v.pool.Steal(); ok {
-			w.rt.stats.steals.Add(1)
+			w.ctr.steals.Add(1)
+			if w.ev != nil {
+				w.ev.EmitArg(eventlog.StealSuccess, int32(v.id))
+			}
 			return t
 		}
 	}
@@ -190,19 +251,32 @@ func (w *worker) takeWork() *graph.Thunk {
 }
 
 // runSpark converts a spark: forces it unless it is already evaluated
-// (fizzled).
+// (fizzled). The Run bracket around the force is what the timeline
+// reducer turns into the paper's green band.
 func (w *worker) runSpark(t *graph.Thunk) {
 	if t.IsEvaluated() {
-		w.rt.stats.sparksFizzled.Add(1)
+		w.ctr.sparksFizzled.Add(1)
+		if w.ev != nil {
+			w.ev.Emit(eventlog.SparkFizzle)
+		}
 		return
 	}
-	w.rt.stats.sparksConverted.Add(1)
+	w.ctr.sparksConverted.Add(1)
+	if w.ev != nil {
+		w.ev.Emit(eventlog.SparkConvert)
+		w.ev.Emit(eventlog.RunBegin)
+	}
 	graph.Force(&w.ctx, t)
+	if w.ev != nil {
+		w.ev.Emit(eventlog.RunEnd)
+	}
 }
 
 // stealLoop is the body of workers 1..N-1: take work until the main
 // thread finishes. A panic inside a spark aborts the whole run with an
-// error rather than crashing the process.
+// error rather than crashing the process. Idle brackets wrap maximal
+// found-nothing stretches (not individual back-off sleeps), so the
+// eventlog stays proportional to state changes, not to spin iterations.
 func (w *worker) stealLoop() {
 	defer w.rt.stealers.Done()
 	defer func() {
@@ -211,13 +285,29 @@ func (w *worker) stealLoop() {
 		}
 	}()
 	spins := 0
+	idle := false
 	for !w.rt.done.Load() {
 		if t := w.takeWork(); t != nil {
+			if idle {
+				idle = false
+				if w.ev != nil {
+					w.ev.Emit(eventlog.IdleEnd)
+				}
+			}
 			w.runSpark(t)
 			spins = 0
 			continue
 		}
+		if !idle {
+			idle = true
+			if w.ev != nil {
+				w.ev.Emit(eventlog.IdleBegin)
+			}
+		}
 		spins++
 		idleWait(spins)
+	}
+	if idle && w.ev != nil {
+		w.ev.Emit(eventlog.IdleEnd)
 	}
 }

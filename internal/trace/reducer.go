@@ -1,0 +1,58 @@
+package trace
+
+// StackReducer folds nested begin/end activity brackets into an agent's
+// segment timeline. It is the shared reduction step between an event
+// stream and the Log/Segment model: Push(now, s) records that the agent
+// entered state s, Pop(now) that it returned to the enclosing state.
+// Brackets nest — a worker running a spark (Run) may block on a thunk
+// (Blocked) and, while blocked, help by running another spark (Run
+// again); each Pop restores exactly the state the matching Push
+// interrupted.
+//
+// The wall-clock eventlog reduction (internal/eventlog) is the primary
+// client: native workers emit begin/end events on the hot path and the
+// reducer rebuilds the same per-agent state timeline the simulated
+// runtimes set directly. An event stream truncated by ring wraparound
+// may carry unmatched Ends (their Begins were dropped); Pop on an empty
+// stack therefore degrades gracefully to the base state instead of
+// panicking.
+type StackReducer struct {
+	a     *Agent
+	base  State
+	stack []State
+}
+
+// NewStackReducer starts agent a in the base state at time 0. The base
+// is what the agent does between brackets — Runnable for a work-seeking
+// native stealer, Idle for a main-thread worker before its program
+// begins.
+func NewStackReducer(a *Agent, base State) *StackReducer {
+	a.Set(0, base)
+	return &StackReducer{a: a, base: base}
+}
+
+// Push records that the agent entered state s at time now.
+func (r *StackReducer) Push(now int64, s State) {
+	r.stack = append(r.stack, s)
+	r.a.Set(now, s)
+}
+
+// Pop records that the agent left its innermost bracket at time now,
+// restoring the enclosing state (or the base state if nothing encloses).
+func (r *StackReducer) Pop(now int64) {
+	if n := len(r.stack); n > 0 {
+		r.stack = r.stack[:n-1]
+	}
+	r.a.Set(now, r.top())
+}
+
+// top returns the state the agent is currently in.
+func (r *StackReducer) top() State {
+	if n := len(r.stack); n > 0 {
+		return r.stack[n-1]
+	}
+	return r.base
+}
+
+// Depth returns the current bracket nesting depth.
+func (r *StackReducer) Depth() int { return len(r.stack) }

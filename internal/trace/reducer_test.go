@@ -1,0 +1,78 @@
+package trace
+
+import "testing"
+
+func TestStackReducerNesting(t *testing.T) {
+	l := NewLog()
+	r := NewStackReducer(l.NewAgent("w"), Runnable)
+	r.Push(10, Run)
+	r.Push(20, Blocked)
+	r.Push(30, Run) // helping inside a blocked force
+	if r.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", r.Depth())
+	}
+	r.Pop(40) // back to Blocked
+	r.Pop(50) // back to Run
+	r.Pop(60) // back to base
+	l.Close(80)
+
+	want := []Segment{
+		{State: Runnable, From: 0, To: 10},
+		{State: Run, From: 10, To: 20},
+		{State: Blocked, From: 20, To: 30},
+		{State: Run, From: 30, To: 40},
+		{State: Blocked, From: 40, To: 50},
+		{State: Run, From: 50, To: 60},
+		{State: Runnable, From: 60, To: 80},
+	}
+	got := l.Agents()[0].Segments()
+	if len(got) != len(want) {
+		t.Fatalf("%d segments, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStackReducerPopOnEmptyStack(t *testing.T) {
+	l := NewLog()
+	r := NewStackReducer(l.NewAgent("w"), Idle)
+	r.Pop(5) // unmatched End (its Begin was dropped): stays at base
+	if r.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0", r.Depth())
+	}
+	r.Push(10, Run)
+	r.Pop(20)
+	r.Pop(30) // unmatched again
+	l.Close(40)
+	a := l.Agents()[0]
+	if got := a.TimeIn(Run); got != 10 {
+		t.Fatalf("run time = %d, want 10", got)
+	}
+	if got := a.TimeIn(Idle); got != 30 {
+		t.Fatalf("idle time = %d, want 30", got)
+	}
+}
+
+func TestStackReducerZeroWidthBrackets(t *testing.T) {
+	// Brackets opened and closed at the same instant must not produce
+	// zero-width segments or disturb the surrounding state.
+	l := NewLog()
+	r := NewStackReducer(l.NewAgent("w"), Runnable)
+	r.Push(10, Run)
+	r.Pop(10)
+	r.Push(10, Blocked)
+	r.Pop(10)
+	l.Close(20)
+	a := l.Agents()[0]
+	for _, s := range a.Segments() {
+		if s.State != Runnable {
+			t.Fatalf("zero-width bracket leaked a %v segment: %+v", s.State, a.Segments())
+		}
+	}
+	if got := a.TimeIn(Runnable); got != 20 {
+		t.Fatalf("runnable time = %d, want 20 (full width)", got)
+	}
+}
