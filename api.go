@@ -41,6 +41,12 @@ type ExecProgram = exec.Program
 // NewExecThunk suspends a runtime-agnostic function as a heap thunk.
 var NewExecThunk = exec.Thunk
 
+// NewThunkIn suspends a runtime-agnostic function as a thunk allocated
+// through ctx's allocator: on the native runtime the owning worker's
+// arena (batched allocation, see internal/graph.Arena), elsewhere the
+// plain heap. Prefer it over NewExecThunk inside program bodies.
+var NewThunkIn = exec.NewThunk
+
 // Native: the real-concurrency work-stealing runtime (goroutines,
 // wall-clock time).
 type (

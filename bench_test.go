@@ -917,6 +917,59 @@ func BenchmarkNativeEventlogOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkNativeSparkHotPath measures the allocation cost of the
+// spark hot path: 512 thunks built through the per-worker arenas,
+// sparked and forced. The allocs/op this reports is the PR's headline
+// number — the pre-arena runtime paid 1989 allocs/op at 4 workers on
+// this exact shape (one wrapper closure + one heap Thunk per spark);
+// arenas and the closure-free representation cut it to ~half. The
+// measured figure is recorded in results/BENCH_native.json (hot_path).
+func BenchmarkNativeSparkHotPath(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := native.Run(native.NewConfig(workers),
+					experiments.HotPathProgram(512)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNativeGOGC sweeps the GC target on the allocation-heavy
+// sumEuler body — the wall-clock analogue of BenchmarkAblationAllocArea
+// (§IV-A.1): a larger target is a larger allocation area, hence fewer
+// collections per run.
+func BenchmarkNativeGOGC(b *testing.B) {
+	p := benchParams()
+	n, chunks := p.SumEulerN, p.SumEulerChunks
+	want := euler.SumTotientSieve(n)
+	for _, gogc := range []int{50, 100, 400, native.GCOff} {
+		name := fmt.Sprintf("gogc_%d", gogc)
+		if gogc == native.GCOff {
+			name = "gogc_off"
+		}
+		b.Run(name, func(b *testing.B) {
+			var gcs int64
+			for i := 0; i < b.N; i++ {
+				cfg := native.NewConfig(4)
+				cfg.GCPercent = gogc
+				res, err := native.Run(cfg, euler.Program(n, chunks, 0, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value.(int64) != want {
+					b.Fatalf("wrong sum: %v", res.Value)
+				}
+				gcs += res.GC.Cycles
+			}
+			b.ReportMetric(float64(gcs)/float64(b.N), "gcs/op")
+		})
+	}
+}
+
 // BenchmarkHierarchicalMasterWorker compares a flat farm against the
 // two-level hierarchy on many tiny tasks (where the single master is
 // the bottleneck the hierarchy exists to remove).

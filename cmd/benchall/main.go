@@ -6,6 +6,7 @@
 //	benchall -quick      # scaled-down parameters (seconds, for smoke tests)
 //	benchall -matmul 1008 -matmulblock 72   # paper-size matrices
 //	benchall -native     # wall-clock sweep on the native runtime
+//	benchall -native -gogc 50,100,200,400,off   # + the §IV-A.1 allocation-area sweep
 //
 // Output is text: runtime tables, ASCII timeline traces and speedup
 // tables/charts, each followed by a shape check against the paper's
@@ -36,6 +37,7 @@ func main() {
 	models := flag.Bool("models", false, "also run the beyond-the-paper runtime-organisation comparison")
 	latency := flag.Bool("latency", false, "also run the shared-memory-to-cluster latency study")
 	nativeSweep := flag.Bool("native", false, "also run the wall-clock native-runtime sweep (writes results/BENCH_native.json)")
+	gogc := flag.String("gogc", "", "comma-separated GOGC settings for the allocation-area sweep, e.g. 50,100,200,400,off (implies -native)")
 	flag.Parse()
 
 	p := experiments.Defaults()
@@ -69,6 +71,16 @@ func main() {
 		p.TraceWidth = *width
 	}
 
+	// Validate the GOGC list before any long-running figure.
+	var gogcSettings []int
+	if *gogc != "" {
+		var err error
+		if gogcSettings, err = experiments.ParseGOGCList(*gogc); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(2)
+		}
+	}
+
 	want := func(n int) bool { return *fig == 0 || *fig == n }
 	if want(1) {
 		fmt.Println(experiments.RunFig1(p).String())
@@ -91,8 +103,12 @@ func main() {
 	if *latency {
 		fmt.Println(experiments.RunLatencyStudy(p).String())
 	}
-	if *nativeSweep {
+	if *nativeSweep || len(gogcSettings) > 0 {
 		s := experiments.RunNativeSweep(p)
+		s.HotPath = experiments.MeasureSparkHotPath()
+		if len(gogcSettings) > 0 {
+			s.GOGC = experiments.RunGOGCSweep(p, gogcSettings)
+		}
 		fmt.Println(s.String())
 		if data, err := s.JSON(); err == nil {
 			if err := os.MkdirAll("results", 0o755); err == nil {

@@ -55,16 +55,54 @@ func Fork(ctx Ctx, name string, body func(Ctx)) {
 	f.Fork(name, body)
 }
 
+// ThunkAllocator is the optional allocator extension of Ctx: runtimes
+// that implement it place new thunks in a context-owned allocation
+// region (the native runtime's per-worker arenas) instead of the global
+// heap. Program bodies never call it directly — they call the
+// package-level NewThunk, which falls back to heap allocation on
+// runtimes (and forked threads) without an allocator.
+type ThunkAllocator interface {
+	Ctx
+	// NewThunk allocates an unevaluated thunk for f from the context's
+	// allocation region.
+	NewThunk(f func(Ctx) graph.Value) *graph.Thunk
+}
+
+// Adapt is the shared graph.AdaptFn trampoline for exec-level thunk
+// bodies: the payload is the body (a func(Ctx) graph.Value) and the
+// forcing graph.Context must also implement exec.Ctx — both *rts.Ctx
+// and the native worker context do. Building thunks through a shared
+// trampoline instead of a per-thunk wrapper closure removes one heap
+// allocation per thunk (func values are pointer-shaped, so the payload
+// boxes into the `any` allocation-free). Runtime allocators
+// (ThunkAllocator implementations) use it to build arena thunks.
+func Adapt(c graph.Context, payload any) graph.Value {
+	x, ok := c.(Ctx)
+	if !ok {
+		panic("exec: forcing context does not implement exec.Ctx")
+	}
+	return payload.(func(Ctx) graph.Value)(x)
+}
+
+// NewThunk builds a heap thunk for f, allocating through ctx when the
+// runtime offers an allocation region (ThunkAllocator) and from the
+// global heap otherwise. This is the allocator hook program bodies and
+// strategies create their sparks through: under the native runtime the
+// thunk comes from the running worker's arena; under the simulation
+// (and on forked native threads, which own no arena) it is a plain
+// heap thunk, exactly as before.
+func NewThunk(ctx Ctx, f func(Ctx) graph.Value) *graph.Thunk {
+	if a, ok := ctx.(ThunkAllocator); ok {
+		return a.NewThunk(f)
+	}
+	return Thunk(f)
+}
+
 // Thunk wraps f as a heap thunk whose computation runs under whichever
 // runtime forces it: the graph.Context a forcing thread passes in must
 // also implement exec.Ctx (both *rts.Ctx and the native worker context
-// do).
+// do). Context-free call sites (thunks built before a runtime exists)
+// use this; bodies with a ctx in hand should prefer NewThunk.
 func Thunk(f func(Ctx) graph.Value) *graph.Thunk {
-	return graph.NewThunk(func(c graph.Context) graph.Value {
-		x, ok := c.(Ctx)
-		if !ok {
-			panic("exec: forcing context does not implement exec.Ctx")
-		}
-		return f(x)
-	})
+	return graph.NewThunkAdapted(Adapt, f)
 }

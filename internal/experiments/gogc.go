@@ -1,0 +1,289 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parhask/internal/exec"
+	"parhask/internal/graph"
+	"parhask/internal/native"
+	"parhask/internal/stats"
+	"parhask/internal/workloads/euler"
+	"parhask/internal/workloads/matmul"
+)
+
+// GOGCRow is one measurement of the allocation-area experiment: a
+// workload, a GOGC setting (the Go analogue of GHC's nursery size), a
+// worker count, and what the GC did while the run executed.
+type GOGCRow struct {
+	Workload   string  `json:"workload"`
+	GOGC       string  `json:"gogc"` // "50".."400", or "off"
+	Workers    int     `json:"workers"`
+	WallNS     int64   `json:"wall_ns"`
+	GCCycles   int64   `json:"gc_cycles"`
+	GCPauseNS  int64   `json:"gc_pause_ns"`
+	BytesAlloc int64   `json:"bytes_alloc"`
+	Speedup    float64 `json:"speedup"` // vs 1 worker at the same GOGC
+	ResultOK   bool    `json:"result_ok"`
+}
+
+// GOGCSweep reproduces the paper's §IV-A.1 allocation-area-size
+// experiment on real hardware: GHC 6.10's fix was bigger per-capability
+// allocation areas, which bought parallel speedup by collecting less
+// often; here GOGC scales how much the heap may grow between
+// collections, so sweeping it turns GC frequency into the independent
+// variable and wall-clock speedup into the measured one.
+type GOGCSweep struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Settings   []string `json:"settings"`
+	Rows       []GOGCRow `json:"rows"`
+}
+
+// ParseGOGCList parses a benchall-style -gogc list such as
+// "50,100,200,400,off" into SetGCPercent values (off = native.GCOff).
+func ParseGOGCList(list string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(list, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if strings.EqualFold(f, "off") {
+			out = append(out, native.GCOff)
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("gogc: bad setting %q (want a positive percent or \"off\")", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("gogc: empty setting list")
+	}
+	return out, nil
+}
+
+// gogcName renders a SetGCPercent value for tables and JSON.
+func gogcName(v int) string {
+	if v == native.GCOff {
+		return "off"
+	}
+	return strconv.Itoa(v)
+}
+
+// gogcWorkerCounts is the speedup pair measured per setting.
+var gogcWorkerCounts = []int{1, 8}
+
+// RunGOGCSweep measures the list-allocating sumEuler and blockwise
+// matmul at each GOGC setting, at 1 worker and at 8, recording GC
+// cycles, pause time and the wall-clock speedup per setting.
+func RunGOGCSweep(p Params, settings []int) *GOGCSweep {
+	s := &GOGCSweep{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	for _, v := range settings {
+		s.Settings = append(s.Settings, gogcName(v))
+	}
+
+	eulerWant := euler.SumTotientSieve(p.SumEulerN)
+	a, b := matmul.Random(p.MatMulN, 1), matmul.Random(p.MatMulN, 2)
+	matWant := matmul.MulOracle(a, b)
+
+	workloads := []struct {
+		name  string
+		prog  func() exec.Program
+		check func(v graph.Value) bool
+	}{
+		// sumEuler with the list-allocating φ kernel: the Go
+		// transcription of the Haskell program's per-φ garbage, so the
+		// GC target actually has allocation to govern (the scheduler
+		// benchmarks use the allocation-free kernel, which no GOGC
+		// setting can affect).
+		{"sumEuler-list",
+			func() exec.Program { return euler.AllocProgram(p.SumEulerN, p.SumEulerChunks) },
+			func(v graph.Value) bool { return v.(int64) == eulerWant }},
+		{"matMul-block",
+			func() exec.Program { return matmul.BlockProgram(a, b, p.MatMulBlock, 0) },
+			func(v graph.Value) bool { return matmul.Equal(v.(matmul.Mat), matWant, 1e-9) }},
+	}
+
+	for _, wl := range workloads {
+		for _, gogc := range settings {
+			var base int64
+			for _, workers := range gogcWorkerCounts {
+				cfg := native.Config{Workers: workers, EagerBlackholing: true, GCPercent: gogc}
+				// Settle the heap so each row charges only its own
+				// garbage to the configured target, not the previous
+				// row's leftovers.
+				runtime.GC()
+				res, err := native.Run(cfg, wl.prog())
+				if err != nil {
+					panic(fmt.Sprintf("experiments: gogc %s %s failed: %v", wl.name, gogcName(gogc), err))
+				}
+				if workers == gogcWorkerCounts[0] {
+					base = res.WallNS
+				}
+				speedup := 0.0
+				if base > 0 && res.WallNS > 0 {
+					speedup = float64(base) / float64(res.WallNS)
+				}
+				s.Rows = append(s.Rows, GOGCRow{
+					Workload:   wl.name,
+					GOGC:       gogcName(gogc),
+					Workers:    workers,
+					WallNS:     res.WallNS,
+					GCCycles:   res.GC.Cycles,
+					GCPauseNS:  res.GC.PauseNS,
+					BytesAlloc: res.GC.BytesAlloc,
+					Speedup:    speedup,
+					ResultOK:   wl.check(res.Value),
+				})
+			}
+		}
+	}
+	return s
+}
+
+// Render prints the sweep as a table.
+func (s *GOGCSweep) Render() string {
+	headers := []string{"Workload", "GOGC", "Workers", "Wall clock", "Speedup", "GCs", "GC pause", "Alloc MB", "Result"}
+	var rows [][]string
+	for _, r := range s.Rows {
+		ok := "ok"
+		if !r.ResultOK {
+			ok = "WRONG"
+		}
+		rows = append(rows, []string{
+			r.Workload, r.GOGC, fmt.Sprintf("%d", r.Workers),
+			stats.Seconds(r.WallNS), fmt.Sprintf("%.2fx", r.Speedup),
+			fmt.Sprintf("%d", r.GCCycles), stats.Seconds(r.GCPauseNS),
+			fmt.Sprintf("%.1f", float64(r.BytesAlloc)/(1<<20)), ok,
+		})
+	}
+	title := fmt.Sprintf("GOGC sweep — allocation-area experiment (§IV-A.1; GOMAXPROCS=%d, NumCPU=%d)\n",
+		s.GOMAXPROCS, s.NumCPU)
+	return title + stats.Table(headers, rows)
+}
+
+// CheckShape verifies the machine-independent invariants: every result
+// exact, and no setting collects more often than a smaller one by more
+// than noise — concretely, GC off must not run more cycles than the
+// smallest GOGC setting of the same workload/worker pair.
+func (s *GOGCSweep) CheckShape() []string {
+	var bad []string
+	minCycles := map[string]int64{}
+	offCycles := map[string]int64{}
+	for _, r := range s.Rows {
+		if !r.ResultOK {
+			bad = append(bad, fmt.Sprintf("%s at GOGC=%s, %d workers: result differs from the oracle",
+				r.Workload, r.GOGC, r.Workers))
+		}
+		key := fmt.Sprintf("%s/%d", r.Workload, r.Workers)
+		if r.GOGC == "off" {
+			offCycles[key] = r.GCCycles
+		} else if c, ok := minCycles[key]; !ok || r.GCCycles < c {
+			minCycles[key] = r.GCCycles
+		}
+	}
+	for key, off := range offCycles {
+		if m, ok := minCycles[key]; ok && off > m {
+			bad = append(bad, fmt.Sprintf("%s: GC off ran %d cycles, more than the best finite setting's %d",
+				key, off, m))
+		}
+	}
+	return bad
+}
+
+// String implements fmt.Stringer.
+func (s *GOGCSweep) String() string {
+	out := s.Render()
+	if bad := s.CheckShape(); len(bad) > 0 {
+		out += "SHAPE VIOLATIONS:\n"
+		for _, b := range bad {
+			out += "  " + b + "\n"
+		}
+	} else {
+		out += "shape: OK (all results exact; GC off collects least)\n"
+	}
+	return out
+}
+
+// HotPathBench is the measured allocation cost of the native Par+Force
+// spark hot path: a program that builds, sparks and forces
+// hotPathSparks thunks through the context allocator. AllocsPerOp
+// counts every heap allocation of one whole run (workers, deques,
+// arenas, result assembly included); AllocsPerSpark divides by the
+// spark count. The PR 2 baseline (one wrapper closure + one heap Thunk
+// per spark, atomic counters) measured 1989 allocs/op on this
+// benchmark shape; per-worker arenas and the closure-free thunk
+// representation cut it roughly in half.
+type HotPathBench struct {
+	Sparks              int     `json:"sparks"`
+	Workers             int     `json:"workers"`
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	AllocsPerSpark      float64 `json:"allocs_per_spark"`
+	BaselineAllocsPerOp float64 `json:"pr2_baseline_allocs_per_op"`
+}
+
+// hotPathSparks is the spark count of the hot-path measurement (and of
+// BenchmarkNativeSparkHotPath, which must match for the recorded
+// baseline to be comparable).
+const hotPathSparks = 512
+
+// hotPathBaselineAllocs is the PR 2 measurement of hotPathProgram's
+// allocs/op (recorded before arenas landed, workers=4).
+const hotPathBaselineAllocs = 1989
+
+// HotPathProgram returns the standard hot-path measurement body:
+// sparks thunks, each with a small captured loop, and forces them all.
+func HotPathProgram(sparks int) exec.Program {
+	return func(ctx exec.Ctx) graph.Value {
+		ts := make([]*graph.Thunk, sparks)
+		for j := range ts {
+			j := j
+			ts[j] = exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
+				s := 0
+				for k := 0; k < 2000; k++ {
+					s += (j * k) % 7
+				}
+				return int64(s)
+			})
+		}
+		for _, t := range ts {
+			ctx.Par(t)
+		}
+		var sum int64
+		for _, t := range ts {
+			sum += ctx.Force(t).(int64)
+		}
+		return sum
+	}
+}
+
+// MeasureSparkHotPath measures the hot path's allocs/op with
+// testing.AllocsPerRun and packages it for results/BENCH_native.json.
+func MeasureSparkHotPath() *HotPathBench {
+	const workers = 4
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := native.Run(native.NewConfig(workers), HotPathProgram(hotPathSparks)); err != nil {
+			panic(err)
+		}
+	})
+	return &HotPathBench{
+		Sparks:              hotPathSparks,
+		Workers:             workers,
+		AllocsPerOp:         allocs,
+		AllocsPerSpark:      allocs / hotPathSparks,
+		BaselineAllocsPerOp: hotPathBaselineAllocs,
+	}
+}
+
+// String renders the hot-path measurement.
+func (h *HotPathBench) String() string {
+	return fmt.Sprintf(
+		"Native spark hot path: %.0f allocs/op (%.2f per spark, %d sparks, %d workers; PR 2 baseline %.0f allocs/op)\n",
+		h.AllocsPerOp, h.AllocsPerSpark, h.Sparks, h.Workers, h.BaselineAllocsPerOp)
+}

@@ -25,6 +25,7 @@ type NativeRow struct {
 	Steals           int64             `json:"steals"`
 	StealAttempts    int64             `json:"steal_attempts"`
 	SparksConverted  int64             `json:"sparks_converted"`
+	GC               native.GCStats    `json:"gc"`
 	ResultOK         bool              `json:"result_ok"`
 	PerWorker        []NativeWorkerRow `json:"per_worker"`
 }
@@ -48,6 +49,13 @@ type NativeSweep struct {
 	GOMAXPROCS int         `json:"gomaxprocs"`
 	NumCPU     int         `json:"num_cpu"`
 	Rows       []NativeRow `json:"rows"`
+	// GOGC is the allocation-area experiment (benchall -gogc): the
+	// same workloads swept over GC target sizes. Optional.
+	GOGC *GOGCSweep `json:"gogc_sweep,omitempty"`
+	// HotPath is the measured allocation cost of the Par+Force spark
+	// hot path (the arena win, recorded against the pre-arena
+	// baseline). Optional.
+	HotPath *HotPathBench `json:"hot_path,omitempty"`
 }
 
 // nativeWorkerCounts is the sweep's x-axis.
@@ -74,6 +82,7 @@ func RunNativeSweep(p Params) *NativeSweep {
 			Steals:           res.Stats.Steals,
 			StealAttempts:    res.Stats.StealAttempts,
 			SparksConverted:  res.Stats.SparksConverted,
+			GC:               res.GC,
 			ResultOK:         check(res.Value),
 		}
 		for i, ws := range res.PerWorker {
@@ -119,7 +128,7 @@ func RunNativeSweep(p Params) *NativeSweep {
 
 // Render prints the sweep as a table.
 func (s *NativeSweep) Render() string {
-	headers := []string{"Workload", "Workers", "Blackholing", "Wall clock", "Speedup", "Dup entries", "Steals", "Result"}
+	headers := []string{"Workload", "Workers", "Blackholing", "Wall clock", "Speedup", "Dup entries", "Steals", "GCs", "GC pause", "Result"}
 	base := map[string]int64{}
 	for _, r := range s.Rows {
 		if r.Workers == 1 {
@@ -143,7 +152,8 @@ func (s *NativeSweep) Render() string {
 		rows = append(rows, []string{
 			r.Workload, fmt.Sprintf("%d", r.Workers), bh,
 			stats.Seconds(r.WallNS), speedup,
-			fmt.Sprintf("%d", r.DuplicateEntries), fmt.Sprintf("%d", r.Steals), ok,
+			fmt.Sprintf("%d", r.DuplicateEntries), fmt.Sprintf("%d", r.Steals),
+			fmt.Sprintf("%d", r.GC.Cycles), stats.Seconds(r.GC.PauseNS), ok,
 		})
 	}
 	title := fmt.Sprintf("Native runtime sweep (wall clock; GOMAXPROCS=%d, NumCPU=%d)\n",
@@ -185,6 +195,12 @@ func (s *NativeSweep) String() string {
 		}
 	} else {
 		out += "shape: OK (all results exact; eager black-holing duplicate-free)\n"
+	}
+	if s.HotPath != nil {
+		out += "\n" + s.HotPath.String()
+	}
+	if s.GOGC != nil {
+		out += "\n" + s.GOGC.String()
 	}
 	return out
 }

@@ -1,0 +1,98 @@
+package graph
+
+import "testing"
+
+func TestArenaThunksBehaveLikeHeapThunks(t *testing.T) {
+	// An arena-allocated thunk must be indistinguishable from a heap
+	// NewThunk: computed once, value cached, state machine identical.
+	a := NewArena(4)
+	ctx := &mockCtx{}
+	calls := 0
+	th := a.NewThunk(func(c Context) Value {
+		calls++
+		return 42
+	})
+	if th.State() != Unevaluated {
+		t.Fatalf("state = %v, want unevaluated", th.State())
+	}
+	if v := Force(ctx, th); v != 42 {
+		t.Fatalf("Force = %v, want 42", v)
+	}
+	if v := Force(ctx, th); v != 42 || calls != 1 {
+		t.Fatalf("second Force = %v (calls=%d), want 42 computed once", v, calls)
+	}
+}
+
+func TestArenaAdaptedThunk(t *testing.T) {
+	// The closure-free representation: a shared trampoline plus a
+	// per-thunk payload.
+	a := NewArena(4)
+	ctx := &mockCtx{}
+	adapt := func(c Context, payload any) Value { return payload.(int) * 2 }
+	th := a.NewThunkAdapted(adapt, 21)
+	if v := Force(ctx, th); v != 42 {
+		t.Fatalf("Force = %v, want 42", v)
+	}
+}
+
+func TestArenaChunkGrowthAndStats(t *testing.T) {
+	a := NewArena(4)
+	ctx := &mockCtx{}
+	const n = 11
+	thunks := make([]*Thunk, n)
+	for i := 0; i < n; i++ {
+		i := i
+		thunks[i] = a.NewThunk(func(c Context) Value { return i })
+	}
+	// Thunks from earlier chunks must stay valid after growth.
+	for i, th := range thunks {
+		if v := Force(ctx, th); v != i {
+			t.Fatalf("thunk %d = %v after growth", i, v)
+		}
+	}
+	chunks, total := a.Stats()
+	if total != n {
+		t.Fatalf("Stats thunks = %d, want %d", total, n)
+	}
+	if want := int64((n + 3) / 4); chunks != want {
+		t.Fatalf("Stats chunks = %d, want %d (chunk size 4)", chunks, want)
+	}
+}
+
+func TestArenaDistinctSlots(t *testing.T) {
+	// Every alloc must hand out a distinct slot — a bump-pointer bug that
+	// reused a slot would alias two computations.
+	a := NewArena(8)
+	seen := map[*Thunk]bool{}
+	for i := 0; i < 100; i++ {
+		th := a.NewThunk(func(c Context) Value { return nil })
+		if seen[th] {
+			t.Fatalf("alloc %d returned an already-issued slot", i)
+		}
+		seen[th] = true
+	}
+}
+
+func TestArenaReset(t *testing.T) {
+	a := NewArena(4)
+	for i := 0; i < 10; i++ {
+		a.NewThunk(func(c Context) Value { return nil })
+	}
+	a.Reset()
+	if chunks, thunks := a.Stats(); thunks != 0 || chunks > 1 {
+		t.Fatalf("after Reset: chunks=%d thunks=%d, want a single rewound chunk", chunks, thunks)
+	}
+	// The rewound chunk's slots must come back zeroed.
+	ctx := &mockCtx{}
+	th := a.NewThunk(func(c Context) Value { return "fresh" })
+	if v := Force(ctx, th); v != "fresh" {
+		t.Fatalf("post-Reset thunk = %v", v)
+	}
+}
+
+func TestArenaDefaultChunk(t *testing.T) {
+	a := NewArena(0)
+	if a.chunkThunks != DefaultArenaChunk {
+		t.Fatalf("chunkThunks = %d, want default %d", a.chunkThunks, DefaultArenaChunk)
+	}
+}

@@ -114,11 +114,25 @@ type claimNoter interface {
 	NoteReleased(t *Thunk)
 }
 
+// AdaptFn is the shared half of a thunk's closure-free computation
+// representation: a package-level trampoline that interprets the
+// thunk's payload. Building a thunk from (adapt, payload) instead of a
+// `func(Context) Value` closure avoids allocating a wrapper closure per
+// thunk — the trampoline is shared by every thunk of its call site, and
+// payloads that are themselves pointer-shaped (func values, pointers)
+// box into the `any` without allocating.
+type AdaptFn func(Context, any) Value
+
 // Thunk is a shared heap node holding either a suspended computation or
 // its value.
 type Thunk struct {
 	state   atomic.Int32 // an EvalState
 	compute func(Context) Value
+	// adapt+payload is the alternative, closure-free computation
+	// representation (see AdaptFn); compute and adapt are mutually
+	// exclusive.
+	adapt   AdaptFn
+	payload any
 	val     Value
 
 	// evaluators counts threads currently inside compute (can exceed 1
@@ -135,6 +149,12 @@ type Thunk struct {
 // NewThunk returns an unevaluated thunk for fn.
 func NewThunk(fn func(Context) Value) *Thunk {
 	return &Thunk{compute: fn} // zero state == Unevaluated
+}
+
+// NewThunkAdapted returns an unevaluated thunk in the closure-free
+// (adapt, payload) representation — see AdaptFn.
+func NewThunkAdapted(adapt AdaptFn, payload any) *Thunk {
+	return &Thunk{adapt: adapt, payload: payload}
 }
 
 // NewValue returns an already-evaluated thunk holding v.
@@ -163,7 +183,7 @@ func (t *Thunk) CloneForExport() *Thunk {
 	if t.State() != Unevaluated {
 		panic("graph: CloneForExport of " + t.State().String() + " thunk")
 	}
-	return &Thunk{compute: t.compute}
+	return &Thunk{compute: t.compute, adapt: t.adapt, payload: t.payload}
 }
 
 // Resolve fills a placeholder (or any not-yet-evaluated thunk) with v
@@ -177,6 +197,7 @@ func (t *Thunk) Resolve(v Value) []any {
 	}
 	t.val = v
 	t.compute = nil
+	t.adapt, t.payload = nil, nil
 	t.state.Store(int32(Evaluated))
 	ws := t.Waiters
 	t.Waiters = nil
@@ -222,6 +243,18 @@ func (t *Thunk) MarkBlackhole() {
 // losers observe Blackholed (or Evaluated) and must block or retry.
 func (t *Thunk) TryClaim() bool {
 	return t.state.CompareAndSwap(int32(Unevaluated), int32(Blackholed))
+}
+
+// enter runs the thunk's computation, whichever representation it was
+// built in. It deliberately does not clear the computation fields on
+// completion: under lazy black-holing a duplicate evaluator may still
+// be reading them, and clearing would race with it (publish clears
+// nothing for the same reason).
+func (t *Thunk) enter(ctx Context) Value {
+	if t.adapt != nil {
+		return t.adapt(ctx, t.payload)
+	}
+	return t.compute(ctx)
 }
 
 // publish installs v as the thunk's value unless another evaluator
@@ -283,7 +316,7 @@ func Force(ctx Context, t *Thunk) Value {
 			if t.evaluators.Add(1) > 1 && !eager {
 				ctx.NoteDuplicateEntry(t)
 			}
-			v := t.compute(ctx)
+			v := t.enter(ctx)
 			t.evaluators.Add(-1)
 			ctx.LeftThunk(t)
 			if eager && hasCN {

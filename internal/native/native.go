@@ -13,6 +13,10 @@
 //   - Each worker owns a lock-free Chase–Lev deque (internal/deque, the
 //     same type the simulation uses) as its spark pool: Par pushes at
 //     the bottom, idle workers steal from the top with a single CAS.
+//   - Each worker owns a thunk arena (graph.Arena): NewThunk on a
+//     worker context hands out Thunk nodes from owner-local chunks —
+//     the per-capability allocation-area analogue of the paper's
+//     §IV-A.1 bigger-nurseries optimisation, applied to Go's GC.
 //   - Eager black-holing is an atomic CAS claim on the thunk
 //     (graph.Thunk.TryClaim); lazy black-holing is the unsynchronised
 //     baseline — entries are never marked, so concurrent forcers
@@ -28,20 +32,23 @@
 // remains the instrument for controlled interleaving studies; this
 // backend complements it with wall-clock ground truth (see DESIGN.md).
 //
-// Observability: every counter is maintained per worker (summed into
-// the aggregate Stats at the end, and samplable mid-run via
-// Config.Sampler), and Config.EventLog turns on the wall-clock eventlog
-// (internal/eventlog) — per-worker, owner-written event rings recording
-// spark, steal, thunk-claim, block, idle and run events, reduced after
-// the run into the same trace.Log timelines the simulation draws. When
-// the eventlog is disabled the instrumentation is a nil check per hook:
-// no allocation, no clock read.
+// Observability: every counter is maintained per worker as plain
+// owner-written fields (published to mid-run samplers as immutable
+// snapshots, summed into the aggregate Stats after the run's WaitGroup
+// barrier), and Config.EventLog turns on the wall-clock eventlog
+// (internal/eventlog). Each run additionally records what Go's GC did
+// while it ran — cycles, total pause, bytes allocated (Result.GC) —
+// and Config.GCPercent pins GOGC for the run, which is how the GOGC
+// sweep reproduces the paper's allocation-area-size experiment.
 package native
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"runtime/debug"
+	"runtime/metrics"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +59,11 @@ import (
 	"parhask/internal/trace"
 )
 
+// GCOff is the Config.GCPercent value that disables Go's GC for the
+// run (debug.SetGCPercent(-1)) — the "infinite allocation area" end of
+// the GOGC sweep.
+const GCOff = -1
+
 // Config selects a native runtime setup.
 type Config struct {
 	// Workers is the number of OS-thread-backed workers (including the
@@ -60,6 +72,17 @@ type Config struct {
 	// EagerBlackholing selects the atomic-claim policy; false is the
 	// unsynchronised lazy baseline that permits duplicate evaluation.
 	EagerBlackholing bool
+	// ArenaChunk is the per-worker thunk-arena chunk capacity, in
+	// thunks (0 selects graph.DefaultArenaChunk). Larger chunks mean
+	// fewer allocator calls and GC objects; smaller chunks waste less
+	// on runs with few sparks.
+	ArenaChunk int
+	// GCPercent, if non-zero, sets Go's GC target (GOGC, via
+	// debug.SetGCPercent) for the duration of the run and restores the
+	// previous value afterwards. GCOff disables collection entirely.
+	// This is the nursery-size knob of the §IV-A.1 experiment: a higher
+	// GOGC is a bigger allocation area between collections.
+	GCPercent int
 	// EventLog enables the per-worker wall-clock event rings. The run's
 	// Result then carries the drained eventlog.Log, and Result.Trace
 	// reduces it to an EdenTV-style timeline. Costs one monotonic clock
@@ -73,7 +96,11 @@ type Config struct {
 	// while the run is in flight; each call returns the counters
 	// accumulated so far (SparksLeftover = sparks currently pooled).
 	// This is the mid-run observability hook: monitoring loops sample
-	// it without perturbing the workers, which never take a lock for it.
+	// it without perturbing the workers — each worker publishes an
+	// immutable counter snapshot at coarse points (spark boundaries,
+	// idle transitions), so a sample lags a busy worker by at most one
+	// spark execution and costs the workers nothing when no Sampler is
+	// configured.
 	Sampler func(snapshot func() Stats)
 }
 
@@ -87,8 +114,10 @@ func NewConfig(workers int) Config {
 }
 
 // Stats aggregates runtime counters — over a whole run (Result.Stats),
-// per worker (Result.PerWorker), or mid-run (Config.Sampler). All
-// counters are exact (maintained with per-worker atomics).
+// per worker (Result.PerWorker), or mid-run (Config.Sampler).
+// Whole-run and per-worker counts are exact; mid-run samples are
+// consistent snapshots per worker that may lag each worker by one
+// spark execution.
 type Stats struct {
 	SparksCreated   int64 `json:"sparks_created"`   // par calls that entered a pool
 	SparksDud       int64 `json:"sparks_dud"`       // par on an already-evaluated closure
@@ -118,10 +147,9 @@ func (s *Stats) Add(o Stats) {
 	s.Forks += o.Forks
 }
 
-// counters is the atomic backing of one Stats contributor. Each worker
-// owns one (so the hot path never contends on a shared cacheline, the
-// way the old global counters did); forked threads, which have no
-// worker identity, share the runtime's extern set.
+// counters is the atomic counter set for contributors without a worker
+// identity: forked threads, which may bump it from many goroutines at
+// once. Workers use the plain owner-written wcounters instead.
 type counters struct {
 	sparksCreated   atomic.Int64
 	sparksDud       atomic.Int64
@@ -152,6 +180,40 @@ func (c *counters) load() Stats {
 	}
 }
 
+// GCStats is what Go's collector did while one native run executed —
+// the real-hardware counterpart of the simulation's virtual GC counts,
+// and the y-axis of the GOGC sweep (§IV-A.1: GC frequency vs parallel
+// speedup).
+type GCStats struct {
+	// GOGC is the GC target percent in force during the run (-1 = GC
+	// disabled). A higher value is a proportionally bigger allocation
+	// area between collections.
+	GOGC int `json:"gogc"`
+	// Cycles is the number of GC cycles completed during the run.
+	Cycles int64 `json:"cycles"`
+	// PauseNS is the total stop-the-world pause time during the run.
+	PauseNS int64 `json:"pause_ns"`
+	// BytesAlloc is the cumulative heap allocation of the run.
+	BytesAlloc int64 `json:"bytes_alloc"`
+	// ArenaChunks / ArenaThunks describe the per-worker thunk arenas:
+	// chunks allocated and thunks handed out of them. ArenaThunks
+	// thunks cost ArenaChunks allocator calls instead of ArenaThunks.
+	ArenaChunks int64 `json:"arena_chunks"`
+	ArenaThunks int64 `json:"arena_thunks"`
+}
+
+// readGOGC reports the GOGC percent currently in force (-1 = off)
+// without disturbing it.
+func readGOGC() int {
+	s := []metrics.Sample{{Name: "/gc/gogc:percent"}}
+	metrics.Read(s)
+	v := s[0].Value.Uint64()
+	if v == math.MaxUint64 { // SetGCPercent(-1)
+		return -1
+	}
+	return int(v)
+}
+
 // Result is the outcome of one native run.
 type Result struct {
 	// Value is what the main function returned.
@@ -167,6 +229,9 @@ type Result struct {
 	// PerWorker breaks the counters down by worker id. Forked threads'
 	// contributions appear only in the aggregate (they have no worker).
 	PerWorker []Stats
+	// GC is the run's real-GC telemetry (cycles, pause, allocation,
+	// arena footprint).
+	GC GCStats
 	// Events is the drained wall-clock eventlog (nil unless
 	// Config.EventLog was set).
 	Events *eventlog.Log
@@ -186,12 +251,13 @@ func (r *Result) Trace() *trace.Log {
 }
 
 // Report is the machine-readable summary of a native run (the cmds'
-// `-stats json` output): wall time, aggregate counters and the
-// per-worker breakdown.
+// `-stats json` output): wall time, aggregate counters, GC telemetry
+// and the per-worker breakdown.
 type Report struct {
 	Workers       int     `json:"workers"`
 	WallNS        int64   `json:"wall_ns"`
 	Total         Stats   `json:"total"`
+	GC            GCStats `json:"gc"`
 	PerWorker     []Stats `json:"per_worker"`
 	EventsLogged  int     `json:"events_logged,omitempty"`
 	EventsDropped int64   `json:"events_dropped,omitempty"`
@@ -199,7 +265,7 @@ type Report struct {
 
 // Report builds the machine-readable summary of the run.
 func (r *Result) Report() Report {
-	rep := Report{Workers: r.Workers, WallNS: r.WallNS, Total: r.Stats, PerWorker: r.PerWorker}
+	rep := Report{Workers: r.Workers, WallNS: r.WallNS, Total: r.Stats, GC: r.GC, PerWorker: r.PerWorker}
 	if r.Events != nil {
 		for i := 0; i < r.Events.Workers(); i++ {
 			rep.EventsLogged += r.Events.Buf(i).Len()
@@ -218,6 +284,11 @@ type rt struct {
 	cfg     Config
 	workers []*worker
 
+	// sampled gates counter publication: workers snapshot their plain
+	// counters for samplers only when a Sampler is configured, so
+	// unsampled runs pay nothing.
+	sampled bool
+
 	// extern counts contributions from forked threads (no worker
 	// identity); every worker's own counters live on the worker.
 	extern counters
@@ -235,9 +306,13 @@ type rt struct {
 
 	// inject holds sparks created by forked threads, which own no deque
 	// (PushBottom is owner-only); workers drain it when their steals
-	// come up empty.
-	injectMu sync.Mutex
-	inject   []*graph.Thunk
+	// come up empty. injectHead indexes the next unconsumed spark —
+	// consumed slots are nilled immediately and the prefix is compacted
+	// away periodically, so the backing array never retains thunks the
+	// runtime already ran (see popInject).
+	injectMu   sync.Mutex
+	inject     []*graph.Thunk
+	injectHead int
 
 	stealers sync.WaitGroup
 	forks    sync.WaitGroup
@@ -254,11 +329,19 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	r := &rt{cfg: cfg}
+	if cfg.GCPercent != 0 {
+		prev := debug.SetGCPercent(cfg.GCPercent)
+		defer debug.SetGCPercent(prev)
+	}
+	r := &rt{cfg: cfg, sampled: cfg.Sampler != nil}
 	r.workers = make([]*worker, cfg.Workers)
 	for i := range r.workers {
 		r.workers[i] = newWorker(r, i)
 	}
+
+	gogc := readGOGC()
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 
 	start := time.Now()
 	if cfg.EventLog {
@@ -301,6 +384,9 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	r.forks.Wait()
 	wall := time.Since(start)
 
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
 	if runErr == nil {
 		runErr = r.err
 	}
@@ -309,14 +395,25 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	}
 
 	res := &Result{Value: value, WallNS: wall.Nanoseconds(), Workers: cfg.Workers}
+	res.GC = GCStats{
+		GOGC:       gogc,
+		Cycles:     int64(memAfter.NumGC) - int64(memBefore.NumGC),
+		PauseNS:    int64(memAfter.PauseTotalNs) - int64(memBefore.PauseTotalNs),
+		BytesAlloc: int64(memAfter.TotalAlloc) - int64(memBefore.TotalAlloc),
+	}
 	res.PerWorker = make([]Stats, cfg.Workers)
 	res.Stats = r.extern.load()
-	res.Stats.SparksLeftover = int64(len(r.inject))
+	res.Stats.SparksLeftover = int64(len(r.inject) - r.injectHead)
 	for i, w := range r.workers {
-		ws := w.ctr.load()
+		// Safe plain reads: the WaitGroup barrier (and, for worker 0,
+		// goroutine identity) orders every owner write before these.
+		ws := w.ctr.stats()
 		ws.SparksLeftover = int64(w.pool.Size())
 		res.PerWorker[i] = ws
 		res.Stats.Add(ws)
+		chunks, thunks := w.arena.Stats()
+		res.GC.ArenaChunks += chunks
+		res.GC.ArenaThunks += thunks
 	}
 	if r.events != nil {
 		r.events.Close(res.WallNS)
@@ -325,18 +422,22 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	return res, nil
 }
 
-// snapshot sums the per-worker and forked-thread counters into one
-// Stats. It is safe to call from any goroutine while the run is in
-// flight: every field is an atomic load and the pool sizes are the
-// deque's lock-free point-in-time estimates.
+// snapshot sums the workers' published counter snapshots and the
+// forked-thread counters into one Stats. It is safe to call from any
+// goroutine while the run is in flight: workers publish immutable
+// snapshots at coarse points (so a busy worker's contribution lags by
+// at most one spark execution), and the pool sizes are the deque's
+// lock-free point-in-time estimates.
 func (r *rt) snapshot() Stats {
 	s := r.extern.load()
 	for _, w := range r.workers {
-		s.Add(w.ctr.load())
+		if p := w.pub.Load(); p != nil {
+			s.Add(*p)
+		}
 		s.SparksLeftover += int64(w.pool.Size())
 	}
 	r.injectMu.Lock()
-	s.SparksLeftover += int64(len(r.inject))
+	s.SparksLeftover += int64(len(r.inject) - r.injectHead)
 	r.injectMu.Unlock()
 	return s
 }
@@ -371,19 +472,37 @@ func (r *rt) pushInject(t *graph.Thunk) {
 	r.injectMu.Unlock()
 }
 
+// injectCompactAt bounds how long a consumed prefix may grow before
+// popInject slides the live suffix down.
+const injectCompactAt = 32
+
 // popInject removes the oldest injected spark, if any. The queue is
 // FIFO so forked threads' sparks start in creation order — under the
 // previous LIFO pop, a fork's newest spark always ran first and its
 // earliest could starve behind a growing backlog. (The per-worker
 // deques stay LIFO at the owner end on purpose: the newest own spark is
 // the cache-warm one, as in GHC.)
+//
+// Consumed slots are nilled at once — re-slicing the head away
+// (inject = inject[1:]) would keep every run thunk reachable through
+// the backing array for the rest of the run — and once the dead prefix
+// passes injectCompactAt and outweighs the live tail, the tail is
+// copied down so the array itself shrinks back.
 func (r *rt) popInject() *graph.Thunk {
 	r.injectMu.Lock()
 	defer r.injectMu.Unlock()
-	if len(r.inject) == 0 {
+	if r.injectHead == len(r.inject) {
+		r.inject = r.inject[:0]
+		r.injectHead = 0
 		return nil
 	}
-	t := r.inject[0]
-	r.inject = r.inject[1:]
+	t := r.inject[r.injectHead]
+	r.inject[r.injectHead] = nil
+	r.injectHead++
+	if r.injectHead >= injectCompactAt && r.injectHead*2 >= len(r.inject) {
+		n := copy(r.inject, r.inject[r.injectHead:])
+		r.inject = r.inject[:n]
+		r.injectHead = 0
+	}
 	return t
 }

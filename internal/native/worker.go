@@ -3,6 +3,7 @@ package native
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"parhask/internal/deque"
@@ -11,18 +12,73 @@ import (
 	"parhask/internal/graph"
 )
 
+// wcounters is one worker's share of the run counters: plain int64
+// fields written only by the owning goroutine, never atomically. The
+// hot path (Par, steal, convert) therefore pays a plain register add
+// instead of a LOCK-prefixed RMW per event. Mid-run observers never
+// read these fields — the owner publishes immutable snapshots through
+// worker.pub when sampling is on (see maybePublish) — and Run reads
+// them directly only after the WaitGroup barrier, which orders the
+// owner's writes before the reader's loads.
+//
+// The pads keep the counter block on its own cache lines so a worker's
+// increments never false-share with a neighbouring worker's fields or
+// with the deque pointers thieves traverse.
+type wcounters struct {
+	_               [64]byte
+	sparksCreated   int64
+	sparksDud       int64
+	sparksConverted int64
+	sparksFizzled   int64
+	steals          int64
+	stealAttempts   int64
+	dupEntries      int64
+	dupResults      int64
+	blockedForces   int64
+	forks           int64
+	_               [64]byte
+}
+
+// stats copies the counters into the exported form. Owner-only (or
+// post-barrier) — see the type comment.
+func (c *wcounters) stats() Stats {
+	return Stats{
+		SparksCreated:   c.sparksCreated,
+		SparksDud:       c.sparksDud,
+		SparksConverted: c.sparksConverted,
+		SparksFizzled:   c.sparksFizzled,
+		Steals:          c.steals,
+		StealAttempts:   c.stealAttempts,
+		DupEntries:      c.dupEntries,
+		DupResults:      c.dupResults,
+		BlockedForces:   c.blockedForces,
+		Forks:           c.forks,
+	}
+}
+
 // worker is one native capability: a goroutine with its own Chase–Lev
-// spark pool. Worker 0 is the caller's goroutine running main; the rest
-// run stealLoop.
+// spark pool and its own thunk arena. Worker 0 is the caller's
+// goroutine running main; the rest run stealLoop.
 type worker struct {
 	rt   *rt
 	id   int
 	pool *deque.Deque[graph.Thunk]
 	ctx  Ctx
 
-	// ctr is this worker's share of the run counters (owner-updated,
-	// snapshot-read).
-	ctr counters
+	// arena is this worker's thunk allocation region (§IV-A.1 analogue):
+	// NewThunk on this worker's context hands out Thunk slots from
+	// owner-local chunks instead of the global heap. Owner-only.
+	arena *graph.Arena
+
+	// ctr is this worker's share of the run counters (owner-written
+	// plain adds; see wcounters for the publication discipline).
+	ctr wcounters
+
+	// pub carries the owner's latest counter snapshot for mid-run
+	// samplers; nil until the owner first publishes. Written only via
+	// maybePublish, which is gated on rt.sampled so unsampled runs never
+	// pay for it.
+	pub atomic.Pointer[Stats]
 
 	// ev is this worker's wall-clock event ring; nil when the eventlog
 	// is disabled, which keeps every hook a plain nil check.
@@ -47,36 +103,43 @@ type worker struct {
 const maxHelpDepth = 64
 
 func newWorker(r *rt, id int) *worker {
-	w := &worker{rt: r, id: id, pool: deque.New[graph.Thunk]()}
+	w := &worker{rt: r, id: id, pool: deque.New[graph.Thunk](),
+		arena: graph.NewArena(r.cfg.ArenaChunk)}
 	w.ctx = Ctx{rt: r, w: w}
 	return w
 }
 
+// maybePublish snapshots the owner's counters for mid-run samplers. A
+// no-op (one predictable branch) unless the run was configured with a
+// Sampler; called at coarse points — after each converted spark, at
+// idle transitions, while blocked — so a sampler's view lags the owner
+// by at most one spark execution.
+func (w *worker) maybePublish() {
+	if !w.rt.sampled {
+		return
+	}
+	s := w.ctr.stats()
+	w.pub.Store(&s)
+}
+
 // Ctx is the execution context the native runtime hands to program
-// bodies and thunk computations. It implements both graph.Context (the
-// forcing protocol) and exec.Forker (the runtime-agnostic program
-// interface). A Ctx with a nil worker belongs to a forked goroutine,
-// which owns no deque: its sparks go to the shared injection queue, its
-// blocked forces spin without helping, and its counters accumulate in
-// the runtime's extern set.
+// bodies and thunk computations. It implements graph.Context (the
+// forcing protocol), exec.Forker (the runtime-agnostic program
+// interface) and exec.ThunkAllocator (arena-backed thunk allocation).
+// A Ctx with a nil worker belongs to a forked goroutine, which owns no
+// deque and no arena: its sparks go to the shared injection queue, its
+// thunks to the global heap, its blocked forces spin without helping,
+// and its counters accumulate atomically in the runtime's extern set.
 type Ctx struct {
 	rt *rt
 	w  *worker
 }
 
 var (
-	_ graph.Context = (*Ctx)(nil)
-	_ exec.Forker   = (*Ctx)(nil)
+	_ graph.Context       = (*Ctx)(nil)
+	_ exec.Forker         = (*Ctx)(nil)
+	_ exec.ThunkAllocator = (*Ctx)(nil)
 )
-
-// counters returns where this context's events are counted: the owning
-// worker's set, or the runtime's extern set for forked threads.
-func (c *Ctx) counters() *counters {
-	if c.w != nil {
-		return &c.w.ctr
-	}
-	return &c.rt.extern
-}
 
 // events returns this context's event ring, or nil if the context
 // belongs to a forked thread or the eventlog is disabled.
@@ -94,22 +157,42 @@ func (c *Ctx) Burn(ns int64) {}
 // Alloc is a no-op: Go's allocator and GC are real.
 func (c *Ctx) Alloc(bytes int64) {}
 
+// NewThunk allocates a thunk for f from the running worker's arena —
+// the exec.ThunkAllocator hook strategies and workloads create their
+// sparks through. Forked threads own no arena and fall back to a plain
+// heap thunk. Either way the thunk is built in the closure-free
+// (adapt, payload) representation, so the only per-thunk heap object
+// on the worker path is the caller's own body closure.
+func (c *Ctx) NewThunk(f func(exec.Ctx) graph.Value) *graph.Thunk {
+	if c.w != nil {
+		return c.w.arena.NewThunkAdapted(exec.Adapt, f)
+	}
+	return exec.Thunk(f)
+}
+
 // Par sparks t: the thunk becomes available for any worker to evaluate.
 // Already-evaluated (or nil) closures are discarded as duds, as in GHC.
+// On the worker path this is the allocation-free hot path: a plain
+// counter add and an owner-side deque push.
 func (c *Ctx) Par(t *graph.Thunk) {
-	if t == nil || t.IsEvaluated() {
-		c.counters().sparksDud.Add(1)
+	if w := c.w; w != nil {
+		if t == nil || t.IsEvaluated() {
+			w.ctr.sparksDud++
+			return
+		}
+		w.ctr.sparksCreated++
+		w.pool.PushBottom(t)
+		if w.ev != nil {
+			w.ev.Emit(eventlog.SparkPush)
+		}
 		return
 	}
-	c.counters().sparksCreated.Add(1)
-	if c.w != nil {
-		c.w.pool.PushBottom(t)
-		if c.w.ev != nil {
-			c.w.ev.Emit(eventlog.SparkPush)
-		}
-	} else {
-		c.rt.pushInject(t)
+	if t == nil || t.IsEvaluated() {
+		c.rt.extern.sparksDud.Add(1)
+		return
 	}
+	c.rt.extern.sparksCreated.Add(1)
+	c.rt.pushInject(t)
 }
 
 // Force evaluates t to weak head normal form on this worker.
@@ -120,7 +203,11 @@ func (c *Ctx) ForceDeep(v graph.Value) graph.Value { return graph.ForceDeep(c, v
 
 // Fork starts body on a fresh goroutine (a real GpH thread).
 func (c *Ctx) Fork(name string, body func(exec.Ctx)) {
-	c.counters().forks.Add(1)
+	if c.w != nil {
+		c.w.ctr.forks++
+	} else {
+		c.rt.extern.forks.Add(1)
+	}
 	if ev := c.events(); ev != nil {
 		ev.Emit(eventlog.Fork)
 	}
@@ -147,7 +234,11 @@ func (c *Ctx) WakeThunkWaiters(t *graph.Thunk) {}
 
 // NoteDuplicateEntry counts a lazy-black-holing duplicate entry.
 func (c *Ctx) NoteDuplicateEntry(t *graph.Thunk) {
-	c.counters().dupEntries.Add(1)
+	if c.w != nil {
+		c.w.ctr.dupEntries++
+	} else {
+		c.rt.extern.dupEntries.Add(1)
+	}
 	if ev := c.events(); ev != nil {
 		ev.Emit(eventlog.ThunkDupEntry)
 	}
@@ -174,14 +265,25 @@ func (c *Ctx) NoteReleased(t *graph.Thunk) {
 }
 
 // NoteDuplicateResult counts a computed-then-discarded duplicate value.
-func (c *Ctx) NoteDuplicateResult(t *graph.Thunk) { c.counters().dupResults.Add(1) }
+func (c *Ctx) NoteDuplicateResult(t *graph.Thunk) {
+	if c.w != nil {
+		c.w.ctr.dupResults++
+	} else {
+		c.rt.extern.dupResults.Add(1)
+	}
+}
 
 // BlockOnThunk waits for t to become Evaluated. Instead of parking, the
 // worker leapfrogs: it keeps taking and running other sparks, which is
 // both deadlock-free (the DAG is acyclic and the evaluator of t runs
 // preemptively on another goroutine) and productive.
 func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
-	c.counters().blockedForces.Add(1)
+	if c.w != nil {
+		c.w.ctr.blockedForces++
+		c.w.maybePublish()
+	} else {
+		c.rt.extern.blockedForces.Add(1)
+	}
 	ev := c.events()
 	if ev != nil {
 		ev.Emit(eventlog.BlockBegin)
@@ -235,12 +337,12 @@ func (w *worker) takeWork() *graph.Thunk {
 		if v.pool.Empty() {
 			continue
 		}
-		w.ctr.stealAttempts.Add(1)
+		w.ctr.stealAttempts++
 		if w.ev != nil {
 			w.ev.EmitArg(eventlog.StealAttempt, int32(v.id))
 		}
 		if t, ok := v.pool.Steal(); ok {
-			w.ctr.steals.Add(1)
+			w.ctr.steals++
 			if w.ev != nil {
 				w.ev.EmitArg(eventlog.StealSuccess, int32(v.id))
 			}
@@ -255,13 +357,13 @@ func (w *worker) takeWork() *graph.Thunk {
 // reducer turns into the paper's green band.
 func (w *worker) runSpark(t *graph.Thunk) {
 	if t.IsEvaluated() {
-		w.ctr.sparksFizzled.Add(1)
+		w.ctr.sparksFizzled++
 		if w.ev != nil {
 			w.ev.Emit(eventlog.SparkFizzle)
 		}
 		return
 	}
-	w.ctr.sparksConverted.Add(1)
+	w.ctr.sparksConverted++
 	if w.ev != nil {
 		w.ev.Emit(eventlog.SparkConvert)
 		w.ev.Emit(eventlog.RunBegin)
@@ -270,6 +372,7 @@ func (w *worker) runSpark(t *graph.Thunk) {
 	if w.ev != nil {
 		w.ev.Emit(eventlog.RunEnd)
 	}
+	w.maybePublish()
 }
 
 // stealLoop is the body of workers 1..N-1: take work until the main
@@ -303,6 +406,7 @@ func (w *worker) stealLoop() {
 			if w.ev != nil {
 				w.ev.Emit(eventlog.IdleBegin)
 			}
+			w.maybePublish()
 		}
 		spins++
 		idleWait(spins)

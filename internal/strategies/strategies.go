@@ -85,12 +85,14 @@ func SeqList(s Strategy) func(ctx exec.Ctx, ts []*graph.Thunk) {
 //	parMap strat f xs = map f xs `using` parList strat
 //
 // It builds one thunk per element, sparks them all, then forces and
-// collects the results.
+// collects the results. Thunks are allocated through ctx
+// (exec.NewThunk), so under the native runtime they come from the
+// running worker's arena.
 func ParMap(ctx exec.Ctx, f func(exec.Ctx, graph.Value) graph.Value, xs []graph.Value) []graph.Value {
 	ts := make([]*graph.Thunk, len(xs))
 	for i, x := range xs {
 		x := x
-		ts[i] = exec.Thunk(func(c exec.Ctx) graph.Value { return f(c, x) })
+		ts[i] = exec.NewThunk(ctx, func(c exec.Ctx) graph.Value { return f(c, x) })
 	}
 	ParListWHNF(ctx, ts)
 	out := make([]graph.Value, len(ts))

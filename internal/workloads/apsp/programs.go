@@ -40,7 +40,7 @@ func Program(g Graph, minPlusCost int64) exec.Program {
 			next := make([]*graph.Thunk, n)
 			for i := 0; i < n; i++ {
 				ri := rows[i]
-				next[i] = exec.Thunk(func(c exec.Ctx) graph.Value {
+				next[i] = exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
 					pk := c.Force(pivot).([]int32)
 					r := c.Force(ri).([]int32)
 					return UpdateRow(c, minPlusCost, r, pk, k)

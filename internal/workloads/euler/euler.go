@@ -39,16 +39,31 @@ type phiEntry struct {
 	iters int64
 }
 
-var (
-	phiMu    sync.Mutex
-	phiCache = map[int]phiEntry{}
-)
+// phiShardCount shards the memo cache so concurrent native workers
+// (and parallel tests) don't serialise through one lock on the hottest
+// path — with a single global mutex, every Phi call of every worker
+// queued on the same cacheline. Power of two so the shard pick is a
+// mask. A per-run dense sieve was the alternative, but the iteration
+// counts the simulation charges can't be sieved, and the cache is
+// deliberately cross-run (host-side memoisation), so sharding fits.
+const phiShardCount = 64
+
+// phiShard pads each lock+map pair to its own cache line so shard
+// locks don't false-share.
+type phiShard struct {
+	mu sync.Mutex
+	m  map[int]phiEntry
+	_  [40]byte
+}
+
+var phiShards [phiShardCount]phiShard
 
 // phiCounted computes φ(k) by trial gcd, counting loop iterations.
 func phiCounted(k int) phiEntry {
-	phiMu.Lock()
-	e, ok := phiCache[k]
-	phiMu.Unlock()
+	sh := &phiShards[k&(phiShardCount-1)]
+	sh.mu.Lock()
+	e, ok := sh.m[k]
+	sh.mu.Unlock()
 	if ok {
 		return e
 	}
@@ -68,9 +83,12 @@ func phiCounted(k int) phiEntry {
 		phi = 1 // φ(1) = 1 by convention
 	}
 	e = phiEntry{phi: phi, iters: iters}
-	phiMu.Lock()
-	phiCache[k] = e
-	phiMu.Unlock()
+	sh.mu.Lock()
+	if sh.m == nil {
+		sh.m = make(map[int]phiEntry)
+	}
+	sh.m[k] = e
+	sh.mu.Unlock()
 	return e
 }
 
@@ -122,6 +140,44 @@ func SumRangeDirect(lo, hi int) int64 {
 	var sum int64
 	for k := lo; k <= hi; k++ {
 		sum += int64(PhiDirect(k))
+	}
+	return sum
+}
+
+// PhiList computes φ(k) the way the paper's Haskell program does —
+// length (filter (relprime k) [1..k-1]) — materialising the
+// intermediate lists on the real heap. PhiDirect is the kernel for
+// timing the scheduler (it allocates nothing); PhiList is the kernel
+// for the §IV-A.1 allocation-area experiment, where the garbage the
+// Haskell program produces per φ is the entire point: its collection
+// frequency is what the allocation-area (GOGC) setting controls.
+func PhiList(k int) int {
+	if k == 1 {
+		return 1 // φ(1) = 1 by convention
+	}
+	js := make([]int, 0, k-1) // [1..k-1]
+	for j := 1; j < k; j++ {
+		js = append(js, j)
+	}
+	rel := js[:0:0] // filter (relprime k)
+	for _, j := range js {
+		a, b := j, k
+		for b != 0 {
+			a, b = b, a%b
+		}
+		if a == 1 {
+			rel = append(rel, j)
+		}
+	}
+	return len(rel)
+}
+
+// SumRangeList sums φ(k) for k in [lo, hi] with the list-allocating
+// kernel.
+func SumRangeList(lo, hi int) int64 {
+	var sum int64
+	for k := lo; k <= hi; k++ {
+		sum += int64(PhiList(k))
 	}
 	return sum
 }

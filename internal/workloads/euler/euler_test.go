@@ -27,6 +27,22 @@ func TestPhiSmallValues(t *testing.T) {
 	}
 }
 
+func TestPhiKernelsAgree(t *testing.T) {
+	// The three φ kernels — memoised (Phi), allocation-free (PhiDirect)
+	// and list-allocating (PhiList, the GOGC-experiment kernel) — must
+	// compute the same function.
+	ctx := &nopCtx{}
+	for k := 1; k <= 400; k++ {
+		d, l, m := PhiDirect(k), PhiList(k), Phi(ctx, 1, k)
+		if d != l || d != m {
+			t.Fatalf("phi(%d): direct %d, list %d, memo %d", k, d, l, m)
+		}
+	}
+	if got, want := SumRangeList(1, 600), SumTotientSieve(600); got != want {
+		t.Fatalf("SumRangeList(1,600) = %d, want %d", got, want)
+	}
+}
+
 func TestSieveMatchesNaive(t *testing.T) {
 	ctx := &nopCtx{}
 	for _, n := range []int{1, 2, 10, 100, 500} {

@@ -27,7 +27,7 @@ func Program(n, chunks int, gcdIterCost int64, direct bool) exec.Program {
 		ts := make([]*graph.Thunk, len(rs))
 		for i, r := range rs {
 			r := r
-			ts[i] = exec.Thunk(func(c exec.Ctx) graph.Value {
+			ts[i] = exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
 				if direct {
 					return SumRangeDirect(r.Lo, r.Hi)
 				}
@@ -41,6 +41,32 @@ func Program(n, chunks int, gcdIterCost int64, direct bool) exec.Program {
 		}
 		if check := SequentialCheck(ctx, n); check != sum {
 			panic(fmt.Sprintf("euler: parallel sum %d != check %d", sum, check))
+		}
+		return sum
+	}
+}
+
+// AllocProgram is Program with the list-allocating φ kernel (PhiList):
+// the same chunked map-reduce, but each φ(k) materialises its
+// intermediate lists on the real heap as the Haskell source does. This
+// is the body for the native allocation-area (GOGC) experiment — for
+// n=15000 it allocates ~900 MB of immediately-dead slices per run, so
+// how often the collector runs is set by the GC target, not by the
+// mutator.
+func AllocProgram(n, chunks int) exec.Program {
+	return func(ctx exec.Ctx) graph.Value {
+		rs := Ranges(n, chunks)
+		ts := make([]*graph.Thunk, len(rs))
+		for i, r := range rs {
+			r := r
+			ts[i] = exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
+				return SumRangeList(r.Lo, r.Hi)
+			})
+		}
+		strategies.ParListWHNF(ctx, ts)
+		var sum int64
+		for _, t := range ts {
+			sum += ctx.Force(t).(int64)
 		}
 		return sum
 	}

@@ -88,7 +88,7 @@ func (p *Program) Body() exec.Program {
 		for i := range p.Nodes {
 			i := i
 			nd := &p.Nodes[i]
-			thunks[i] = exec.Thunk(func(c exec.Ctx) graph.Value {
+			thunks[i] = exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
 				v := int64(i)
 				for _, d := range nd.Deps {
 					v += c.Force(thunks[d]).(int64)

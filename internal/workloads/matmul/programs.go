@@ -25,7 +25,7 @@ func BlockProgram(a, b Mat, blockSize int, mulAddCost int64) exec.Program {
 		for bi := 0; bi < q; bi++ {
 			for bj := 0; bj < q; bj++ {
 				r0, c0 := bi*blockSize, bj*blockSize
-				blocks = append(blocks, exec.Thunk(func(c exec.Ctx) graph.Value {
+				blocks = append(blocks, exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
 					return MulRange(c, mulAddCost, a, b, r0, r0+blockSize, c0, c0+blockSize)
 				}))
 			}
@@ -60,7 +60,7 @@ func RowProgram(a, b Mat, mulAddCost int64) exec.Program {
 		rows := make([]*graph.Thunk, n)
 		for i := 0; i < n; i++ {
 			i := i
-			rows[i] = exec.Thunk(func(c exec.Ctx) graph.Value {
+			rows[i] = exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
 				return MulRange(c, mulAddCost, a, b, i, i+1, 0, n)
 			})
 		}
