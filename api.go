@@ -9,6 +9,8 @@ import (
 	"parhask/internal/graph"
 	"parhask/internal/gum"
 	"parhask/internal/native"
+	"parhask/internal/nativeeden"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
@@ -125,14 +127,19 @@ type (
 	EdenResult = eden.Result
 	// EdenStats are the runtime counters of an Eden run.
 	EdenStats = eden.Stats
-	// PCtx is the execution context of an Eden process thread.
-	PCtx = eden.PCtx
+	// PCtx is the backend-neutral execution context of an Eden process
+	// thread: programs written against it run on the simulated Eden
+	// runtime (RunEden) and on the native distributed-heap backend
+	// (RunEdenNative) unchanged.
+	PCtx = pe.Ctx
+	// PEProgram is a backend-neutral Eden program body.
+	PEProgram = pe.Program
 	// Inport/Outport are the ends of a one-value Eden channel.
-	Inport  = eden.Inport
-	Outport = eden.Outport
+	Inport  = pe.Inport
+	Outport = pe.Outport
 	// StreamIn/StreamOut are the ends of an element-by-element stream.
-	StreamIn  = eden.StreamIn
-	StreamOut = eden.StreamOut
+	StreamIn  = pe.StreamIn
+	StreamOut = pe.StreamOut
 )
 
 // Eden entry points.
@@ -141,6 +148,34 @@ var (
 	RunEden = eden.Run
 	// NewEdenConfig returns an Eden configuration (PEs over cores).
 	NewEdenConfig = eden.NewConfig
+)
+
+// Native Eden: the same distributed-heap programming model on real
+// goroutines — one isolated heap per PE, copy-on-send channels,
+// wall-clock time. Any PEProgram runs on both backends.
+type (
+	// EdenNativeConfig selects a native Eden setup (PEs, arena chunk,
+	// eventlog).
+	EdenNativeConfig = nativeeden.Config
+	// EdenNativeResult is the outcome of a native Eden run (value, wall
+	// time, per-PE and GC telemetry).
+	EdenNativeResult = nativeeden.Result
+	// EdenNativeStats are the aggregate counters of a native Eden run.
+	EdenNativeStats = nativeeden.Stats
+	// EdenNativePEStats is one PE's share of the counters.
+	EdenNativePEStats = nativeeden.PEStats
+	// EdenNativeReport is the machine-readable run summary.
+	EdenNativeReport = nativeeden.Report
+)
+
+// Native Eden entry points.
+var (
+	// RunEdenNative executes a backend-neutral Eden program on the
+	// native distributed-heap backend.
+	RunEdenNative = nativeeden.Run
+	// NewEdenNativeConfig returns the default native Eden configuration
+	// (GOMAXPROCS PEs).
+	NewEdenNativeConfig = nativeeden.NewConfig
 )
 
 // Evaluation strategies (GpH, §II-B).

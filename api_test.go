@@ -41,8 +41,8 @@ func TestFacadeGpHRoundTrip(t *testing.T) {
 
 func TestFacadeEdenRoundTrip(t *testing.T) {
 	cfg := parhask.NewEdenConfig(4, 4)
-	res, err := parhask.RunEden(cfg, func(p *parhask.PCtx) parhask.Value {
-		outs := parhask.ParMap(p, "sq", func(w *parhask.PCtx, in parhask.Value) parhask.Value {
+	res, err := parhask.RunEden(cfg, func(p parhask.PCtx) parhask.Value {
+		outs := parhask.ParMap(p, "sq", func(w parhask.PCtx, in parhask.Value) parhask.Value {
 			w.Burn(100_000)
 			n := in.(int)
 			return n * n
@@ -101,9 +101,9 @@ func TestFacadeCostModel(t *testing.T) {
 
 func TestFacadeChannelsAndStreams(t *testing.T) {
 	cfg := parhask.NewEdenConfig(2, 2)
-	res, err := parhask.RunEden(cfg, func(p *parhask.PCtx) parhask.Value {
+	res, err := parhask.RunEden(cfg, func(p parhask.PCtx) parhask.Value {
 		sin, sout := p.NewStream(0)
-		p.Spawn(1, "gen", func(w *parhask.PCtx) {
+		p.Spawn(1, "gen", func(w parhask.PCtx) {
 			for i := 0; i < 5; i++ {
 				w.StreamSend(sout, i)
 			}
@@ -129,10 +129,10 @@ func TestFacadeChannelsAndStreams(t *testing.T) {
 
 func TestFacadeMasterWorker(t *testing.T) {
 	cfg := parhask.NewEdenConfig(4, 4)
-	res, err := parhask.RunEden(cfg, func(p *parhask.PCtx) parhask.Value {
+	res, err := parhask.RunEden(cfg, func(p parhask.PCtx) parhask.Value {
 		tasks := []parhask.Value{1, 2, 3, 4, 5}
 		out := parhask.MasterWorker(p, "mw", 2, 1,
-			func(w *parhask.PCtx, task parhask.Value) ([]parhask.Value, parhask.Value) {
+			func(w parhask.PCtx, task parhask.Value) ([]parhask.Value, parhask.Value) {
 				w.Burn(50_000)
 				return nil, task.(int) * 2
 			}, tasks)

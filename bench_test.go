@@ -19,6 +19,7 @@ import (
 	"parhask/internal/experiments"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/gum"
 	"parhask/internal/machine"
 	"parhask/internal/native"
@@ -578,9 +579,9 @@ func BenchmarkEdenMessageRoundTrip(b *testing.B) {
 	var virt int64
 	for i := 0; i < b.N; i++ {
 		cfg := eden.NewConfig(2, 2)
-		res, err := eden.Run(cfg, func(p *eden.PCtx) graph.Value {
+		res, err := eden.Run(cfg, func(p pe.Ctx) graph.Value {
 			in, out := p.NewChan(0)
-			p.Spawn(1, "echo", func(w *eden.PCtx) {
+			p.Spawn(1, "echo", func(w pe.Ctx) {
 				w.Send(out, 1)
 			})
 			return p.Receive(in)
@@ -981,7 +982,7 @@ func BenchmarkHierarchicalMasterWorker(b *testing.B) {
 		}
 		return tasks
 	}
-	work := func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+	work := func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 		w.Burn(60_000)
 		return nil, task
 	}
@@ -989,7 +990,7 @@ func BenchmarkHierarchicalMasterWorker(b *testing.B) {
 		var virt int64
 		for i := 0; i < b.N; i++ {
 			cfg := eden.NewConfig(13, 13)
-			res, err := eden.Run(cfg, func(p *eden.PCtx) graph.Value {
+			res, err := eden.Run(cfg, func(p pe.Ctx) graph.Value {
 				return len(skel.MasterWorker(p, "flat", 12, 2, work, mkTasks()))
 			})
 			if err != nil {
@@ -1003,7 +1004,7 @@ func BenchmarkHierarchicalMasterWorker(b *testing.B) {
 		var virt int64
 		for i := 0; i < b.N; i++ {
 			cfg := eden.NewConfig(16, 16)
-			res, err := eden.Run(cfg, func(p *eden.PCtx) graph.Value {
+			res, err := eden.Run(cfg, func(p pe.Ctx) graph.Value {
 				return len(skel.HierMasterWorker(p, "hier", 3, 4, 2, 0, work, mkTasks()))
 			})
 			if err != nil {

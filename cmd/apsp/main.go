@@ -25,6 +25,7 @@ import (
 	"parhask/internal/eden"
 	"parhask/internal/gph"
 	"parhask/internal/native"
+	"parhask/internal/nativeeden"
 	"parhask/internal/trace"
 	"parhask/internal/workloads/apsp"
 )
@@ -32,13 +33,14 @@ import (
 func main() {
 	n := flag.Int("n", 400, "number of graph nodes")
 	cores := flag.Int("cores", 8, "simulated physical cores")
-	ring := flag.Int("ring", 0, "Eden ring size (default: cores)")
+	ring := flag.Int("ring", 0, "Eden ring size (default: cores / PEs)")
+	pes := flag.Int("pes", 0, "native Eden processing elements (default: GOMAXPROCS)")
 	rts := flag.String("rts", "eden", "runtime: plain | bigalloc | sync | steal | eden")
 	eager := flag.Bool("eager", false, "eager black-holing (GpH)")
 	seed := flag.Uint64("seed", 105, "graph generator seed")
 	showTrace := flag.Bool("trace", false, "print the activity timeline")
 	width := flag.Int("width", 100, "trace width")
-	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
+	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines) | eden (distributed-heap PEs on real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
 	flag.Parse()
@@ -90,6 +92,40 @@ func main() {
 			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		}
 		fmt.Printf("stats    = %+v (duplicate thunk entries: %d)\n", res.Stats, res.Stats.DupEntries)
+		if *showTrace {
+			tl := res.Trace()
+			fmt.Print(tl.Render(*width))
+			fmt.Print(tl.Summary())
+		}
+		return
+	}
+	if *rtKind == "eden" {
+		ecfg := nativeeden.NewConfig(*pes)
+		ecfg.EventLog = *showTrace
+		r := *ring
+		if r == 0 {
+			r = ecfg.PEs
+		}
+		res, err := nativeeden.Run(ecfg, apsp.EdenRingProgram(g, r, 0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apsp:", err)
+			os.Exit(1)
+		}
+		verify(res.Value)
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res.Report(), "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "apsp:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Printf("apsp %d nodes on native Eden ring of %d, %d PEs (distributed heaps)\n",
+			*n, r, res.PEs)
+		fmt.Println("result   = verified against Floyd–Warshall")
+		fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
+		fmt.Printf("stats    = %+v\n", res.Stats)
 		if *showTrace {
 			tl := res.Trace()
 			fmt.Print(tl.Render(*width))

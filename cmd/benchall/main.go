@@ -7,6 +7,7 @@
 //	benchall -matmul 1008 -matmulblock 72   # paper-size matrices
 //	benchall -native     # wall-clock sweep on the native runtime
 //	benchall -native -gogc 50,100,200,400,off   # + the §IV-A.1 allocation-area sweep
+//	benchall -edennative # + GpH-native vs Eden-native head-to-head
 //
 // Output is text: runtime tables, ASCII timeline traces and speedup
 // tables/charts, each followed by a shape check against the paper's
@@ -37,6 +38,7 @@ func main() {
 	models := flag.Bool("models", false, "also run the beyond-the-paper runtime-organisation comparison")
 	latency := flag.Bool("latency", false, "also run the shared-memory-to-cluster latency study")
 	nativeSweep := flag.Bool("native", false, "also run the wall-clock native-runtime sweep (writes results/BENCH_native.json)")
+	edenNative := flag.Bool("edennative", false, "also run the GpH-native vs Eden-native head-to-head (implies -native)")
 	gogc := flag.String("gogc", "", "comma-separated GOGC settings for the allocation-area sweep, e.g. 50,100,200,400,off (implies -native)")
 	flag.Parse()
 
@@ -103,11 +105,14 @@ func main() {
 	if *latency {
 		fmt.Println(experiments.RunLatencyStudy(p).String())
 	}
-	if *nativeSweep || len(gogcSettings) > 0 {
+	if *nativeSweep || *edenNative || len(gogcSettings) > 0 {
 		s := experiments.RunNativeSweep(p)
 		s.HotPath = experiments.MeasureSparkHotPath()
 		if len(gogcSettings) > 0 {
 			s.GOGC = experiments.RunGOGCSweep(p, gogcSettings)
+		}
+		if *edenNative {
+			s.EdenNative = experiments.RunEdenNativeSweep(p)
 		}
 		fmt.Println(s.String())
 		if data, err := s.JSON(); err == nil {

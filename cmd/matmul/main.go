@@ -24,6 +24,7 @@ import (
 	"parhask/internal/eden"
 	"parhask/internal/gph"
 	"parhask/internal/native"
+	"parhask/internal/nativeeden"
 	"parhask/internal/trace"
 	"parhask/internal/workloads/matmul"
 )
@@ -37,7 +38,7 @@ func main() {
 	rts := flag.String("rts", "steal", "runtime: plain | bigalloc | sync | steal | rows | eden")
 	showTrace := flag.Bool("trace", false, "print the activity timeline")
 	width := flag.Int("width", 100, "trace width")
-	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
+	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines) | eden (distributed-heap PEs on real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
 	flag.Parse()
@@ -87,6 +88,44 @@ func main() {
 		} else {
 			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		}
+		fmt.Printf("stats    = %+v\n", res.Stats)
+		if *showTrace {
+			tl := res.Trace()
+			fmt.Print(tl.Render(*width))
+			fmt.Print(tl.Summary())
+		}
+		return
+	}
+	if *rtKind == "eden" {
+		ecfg := nativeeden.NewConfig(*pes)
+		ecfg.EventLog = *showTrace
+		res, err := nativeeden.Run(ecfg, matmul.EdenCannonProgram(a, b, *q, 0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matmul:", err)
+			os.Exit(1)
+		}
+		got := res.Value.(matmul.Mat)
+		if oracle != nil && !matmul.Equal(got, oracle, 1e-6) {
+			fmt.Fprintln(os.Stderr, "matmul: RESULT MISMATCH vs sequential oracle")
+			os.Exit(1)
+		}
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res.Report(), "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "matmul:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Printf("matmul %dx%d on native Eden Cannon %dx%d torus, %d PEs (distributed heaps)\n",
+			*n, *n, *q, *q, res.PEs)
+		if oracle != nil {
+			fmt.Println("result   = verified against sequential oracle")
+		} else {
+			fmt.Printf("checksum = %.6g\n", matmul.Checksum(got))
+		}
+		fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		fmt.Printf("stats    = %+v\n", res.Stats)
 		if *showTrace {
 			tl := res.Trace()

@@ -7,6 +7,8 @@
 //	sumeuler -n 15000 -runtime native -workers 8   # real goroutines
 //	sumeuler -n 15000 -runtime native -workers 8 -trace       # wall-clock timeline
 //	sumeuler -n 15000 -runtime native -workers 8 -stats json  # machine-readable
+//	sumeuler -n 15000 -runtime eden -pes 8         # distributed-heap PEs
+//	sumeuler -n 15000 -runtime eden -pes 17 -trace # virtual PEs, per-PE timeline
 //
 // It prints the virtual runtime, runtime statistics and (with -trace)
 // an EdenTV-style per-capability timeline. With -runtime native the
@@ -14,7 +16,10 @@
 // wall-clock time is printed next to the simulated virtual time;
 // -trace then enables the eventlog and renders a per-worker wall-clock
 // timeline, and -stats json emits only the machine-readable per-worker
-// counter report on stdout.
+// counter report on stdout. With -runtime eden the Eden program runs on
+// the native distributed-heap backend (one isolated heap per PE, real
+// goroutines, copy-on-send channels); -pes may exceed GOMAXPROCS, and
+// the same -trace/-stats flags apply.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"parhask/internal/gph"
 	"parhask/internal/gum"
 	"parhask/internal/native"
+	"parhask/internal/nativeeden"
 	"parhask/internal/trace"
 	"parhask/internal/workloads/euler"
 )
@@ -41,7 +47,7 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print the activity timeline")
 	profile := flag.Bool("profile", false, "print the thread-granularity profile (GpH runtimes)")
 	width := flag.Int("width", 100, "trace width")
-	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines)")
+	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines) | eden (distributed-heap PEs on real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
 	flag.Parse()
@@ -84,6 +90,39 @@ func main() {
 		} else {
 			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		}
+		fmt.Printf("stats    = %+v\n", res.Stats)
+		if *showTrace {
+			tl := res.Trace()
+			fmt.Print(tl.Render(*width))
+			fmt.Print(tl.Summary())
+		}
+		return
+	}
+	if *rtKind == "eden" {
+		ecfg := nativeeden.NewConfig(*pes)
+		ecfg.EventLog = *showTrace
+		res, err := nativeeden.Run(ecfg, euler.EdenProgram(*n, 8, 0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sumeuler:", err)
+			os.Exit(1)
+		}
+		if want := euler.SumTotientSieve(*n); res.Value.(int64) != want {
+			fmt.Fprintf(os.Stderr, "sumeuler: eden-native result %v != sieve oracle %d\n", res.Value, want)
+			os.Exit(1)
+		}
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res.Report(), "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "sumeuler:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Printf("sumEuler [1..%d] on native Eden, %d PEs (distributed heaps, real goroutines)\n",
+			*n, res.PEs)
+		fmt.Printf("result   = %v (verified against sieve oracle)\n", res.Value)
+		fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		fmt.Printf("stats    = %+v\n", res.Stats)
 		if *showTrace {
 			tl := res.Trace()

@@ -15,6 +15,13 @@
 //
 //	tracedump -native sumeuler -workers 4
 //	tracedump -native apsp -workers 8 -format html > apsp.html
+//
+// With -edennative it renders the GpH-native and Eden-native wall-clock
+// timelines of one workload back to back — the real-hardware version of
+// the paper's GpH-vs-Eden trace comparison (message traffic shows up as
+// the Eden timeline's comm bands):
+//
+//	tracedump -edennative sumeuler -pes 4 -format html > headtohead.html
 package main
 
 import (
@@ -28,7 +35,9 @@ import (
 func main() {
 	exp := flag.String("experiment", "sumeuler", "sumeuler (Fig. 2) or matmul (Fig. 4)")
 	nativeWl := flag.String("native", "", "render a wall-clock native-runtime timeline instead: sumeuler | matmul | apsp")
+	edenWl := flag.String("edennative", "", "render the GpH-native vs Eden-native timelines of a workload: sumeuler | matmul | apsp")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
+	pes := flag.Int("pes", 0, "Eden-native processing elements (default: GOMAXPROCS)")
 	eager := flag.Bool("eager", true, "native black-holing policy (eager claim vs lazy baseline)")
 	quick := flag.Bool("quick", false, "use scaled-down parameters")
 	width := flag.Int("width", 100, "trace width in columns")
@@ -43,7 +52,21 @@ func main() {
 
 	var entries []experiments.TraceEntry
 	var rendered string
-	if *nativeWl != "" {
+	if *edenWl != "" {
+		ge, _, err := experiments.NativeTimeline(p, *edenWl, *workers, *eager)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(2)
+		}
+		ee, _, err := experiments.EdenNativeTimeline(p, *edenWl, *pes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(2)
+		}
+		entries = []experiments.TraceEntry{ge, ee}
+		rendered = fmt.Sprintf("%s\n%s\n%s\n\n%s\n%s\n%s",
+			ge.Name, ge.Rendered, ge.Summary, ee.Name, ee.Rendered, ee.Summary)
+	} else if *nativeWl != "" {
 		e, _, err := experiments.NativeTimeline(p, *nativeWl, *workers, *eager)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tracedump:", err)

@@ -17,6 +17,7 @@ import (
 	"parhask/internal/eden"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/gum"
 	"parhask/internal/rts"
 	"parhask/internal/trace"
@@ -36,7 +37,7 @@ func main() {
 	flag.Parse()
 
 	var gphMain func(*rts.Ctx) graph.Value
-	var edenMain func(*eden.PCtx) graph.Value
+	var edenMain pe.Program
 	var verify func(v graph.Value) error
 
 	switch *which {

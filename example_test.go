@@ -32,8 +32,8 @@ func Example_gph() {
 // four distributed-heap PEs.
 func Example_eden() {
 	cfg := parhask.NewEdenConfig(4, 4)
-	res, err := parhask.RunEden(cfg, func(p *parhask.PCtx) parhask.Value {
-		squares := parhask.ParMap(p, "sq", func(w *parhask.PCtx, in parhask.Value) parhask.Value {
+	res, err := parhask.RunEden(cfg, func(p parhask.PCtx) parhask.Value {
+		squares := parhask.ParMap(p, "sq", func(w parhask.PCtx, in parhask.Value) parhask.Value {
 			n := in.(int)
 			w.Burn(100_000)
 			return n * n

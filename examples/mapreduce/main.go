@@ -14,6 +14,7 @@ import (
 	"parhask/internal/eden"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/skel"
 	"parhask/internal/trace"
 	"parhask/internal/workloads/euler"
@@ -41,18 +42,18 @@ func main() {
 	fmt.Printf("sieve oracle       = %v\n\n", euler.SumTotientSieve(n))
 
 	// Multi-key map-reduce: classify k by φ(k) mod 4 and count each class.
-	classRes, err := eden.Run(edenCfg, func(p *eden.PCtx) graph.Value {
+	classRes, err := eden.Run(edenCfg, func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, 2000)
 		for i := range inputs {
 			inputs[i] = i + 1
 		}
 		kvs := skel.ParMapReduce(p, "classify",
-			func(w *eden.PCtx, in graph.Value) []skel.KV {
+			func(w pe.Ctx, in graph.Value) []skel.KV {
 				k := in.(int)
-				phi := euler.Phi(w, w.Cap().Costs.GCDIter, k)
+				phi := euler.Phi(w, edenCfg.Costs.GCDIter, k)
 				return []skel.KV{{Key: phi % 4, Val: 1}}
 			},
-			func(w *eden.PCtx, key graph.Value, vals []graph.Value) graph.Value {
+			func(w pe.Ctx, key graph.Value, vals []graph.Value) graph.Value {
 				s := 0
 				for _, v := range vals {
 					s += v.(int)

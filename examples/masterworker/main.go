@@ -14,6 +14,7 @@ import (
 
 	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/skel"
 	"parhask/internal/trace"
 )
@@ -38,13 +39,13 @@ func simpson(lo, hi float64) float64 {
 func main() {
 	const cores = 8
 	cfg := eden.NewConfig(cores, cores)
-	res, err := eden.Run(cfg, func(p *eden.PCtx) graph.Value {
+	res, err := eden.Run(cfg, func(p pe.Ctx) graph.Value {
 		initial := make([]graph.Value, 16)
 		for i := range initial {
 			initial[i] = interval{Lo: float64(i) / 16, Hi: float64(i+1) / 16}
 		}
 		parts := skel.MasterWorker(p, "quad", cores-1, 2,
-			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+			func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 				iv := task.(interval)
 				w.Alloc(4 * 1024)
 				w.Burn(150_000) // per-estimate cost

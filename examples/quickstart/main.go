@@ -12,6 +12,7 @@ import (
 	"parhask/internal/eden"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
@@ -55,12 +56,12 @@ func main() {
 
 	// --- Eden: the parMap skeleton spawns one process per item. ---
 	edenCfg := eden.NewConfig(cores, cores)
-	edenRes, err := eden.Run(edenCfg, func(p *eden.PCtx) graph.Value {
+	edenRes, err := eden.Run(edenCfg, func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, items)
 		for i := range inputs {
 			inputs[i] = i
 		}
-		outs := skel.ParMap(p, "sq", func(w *eden.PCtx, in graph.Value) graph.Value {
+		outs := skel.ParMap(p, "sq", func(w pe.Ctx, in graph.Value) graph.Value {
 			return workItem(w, in.(int))
 		}, inputs)
 		sum := 0

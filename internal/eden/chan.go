@@ -4,17 +4,22 @@ import (
 	"fmt"
 
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/trace"
 )
 
 // PCtx is the execution context of an Eden process thread: the generic
 // runtime context plus the Eden coordination operations (channels,
-// streams, process instantiation).
+// streams, process instantiation). It implements pe.Ctx, so skeletons
+// and workload programs written against the backend-neutral interface
+// run on the simulator unchanged.
 type PCtx struct {
 	*rts.Ctx
 	rts *RTS
 }
+
+var _ pe.Ctx = (*PCtx)(nil)
 
 // PE returns the index of the PE this process thread is running on.
 func (p *PCtx) PE() int { return p.Cap().Index }
@@ -32,12 +37,12 @@ func (p *PCtx) AddResident(bytes int64) {
 // the remote runtime creates a thread running body. The instantiation
 // cost is charged to the caller and the creation message takes the
 // transport latency to arrive, as in Eden's remote process creation.
-func (p *PCtx) Spawn(pe int, name string, body func(*PCtx)) {
+func (p *PCtx) Spawn(dest int, name string, body func(pe.Ctx)) {
 	r := p.rts
-	pe = ((pe % len(r.pes)) + len(r.pes)) % len(r.pes)
+	dest = ((dest % len(r.pes)) + len(r.pes)) % len(r.pes)
 	p.Burn(p.Cap().Costs.ProcessCreate)
 	r.stats.Processes++
-	target := r.pes[pe]
+	target := r.pes[dest]
 	r.sim.After(p.Cap().Costs.MsgLatency, func() {
 		th := target.cap.NewThread(name, func(ctx *rts.Ctx) {
 			body(&PCtx{Ctx: ctx, rts: r})
@@ -46,10 +51,10 @@ func (p *PCtx) Spawn(pe int, name string, body func(*PCtx)) {
 	})
 }
 
-// Fork starts an additional thread of the current process on the same
-// PE (Eden evaluates tuple components in independent threads; this is
-// the primitive those use).
-func (p *PCtx) ForkLocal(name string, body func(*PCtx)) {
+// ForkLocal starts an additional thread of the current process on the
+// same PE (Eden evaluates tuple components in independent threads; this
+// is the primitive those use).
+func (p *PCtx) ForkLocal(name string, body func(pe.Ctx)) {
 	r := p.rts
 	p.Fork(name, func(ctx *rts.Ctx) {
 		body(&PCtx{Ctx: ctx, rts: r})
@@ -60,38 +65,56 @@ func (p *PCtx) ForkLocal(name string, body func(*PCtx)) {
 
 // Inport is the receiving end of a one-value channel, owned by a PE.
 type Inport struct {
+	id   int64
 	pe   int
 	cell *graph.Thunk
 }
 
+// InPE implements pe.Inport.
+func (in *Inport) InPE() int { return in.pe }
+
 // Outport is the sending end of a one-value channel.
 type Outport struct {
+	id   int64
 	dest int
 	cell *graph.Thunk
 }
 
+// OutPE implements pe.Outport.
+func (out *Outport) OutPE() int { return out.dest }
+
 // NewChan creates a one-value channel whose receiving end lives on PE
 // dest. The creator is charged the channel setup cost.
-func (p *PCtx) NewChan(dest int) (*Inport, *Outport) {
+func (p *PCtx) NewChan(dest int) (pe.Inport, pe.Outport) {
 	p.Burn(p.Cap().Costs.ChanCreate)
+	id := p.rts.nextChan()
 	cell := graph.NewPlaceholder()
-	return &Inport{pe: dest, cell: cell}, &Outport{dest: dest, cell: cell}
+	return &Inport{id: id, pe: dest, cell: cell}, &Outport{id: id, dest: dest, cell: cell}
 }
 
 // Send reduces v to normal form, packs it, and ships it to the channel's
-// destination PE. Each channel carries exactly one value.
-func (p *PCtx) Send(out *Outport, v graph.Value) {
+// destination PE. Each channel carries exactly one value. A value that
+// still contains unevaluated graph is a normal-form violation: Send
+// panics with a *SendError naming the channel, the sending PE and the
+// thunk state.
+func (p *PCtx) Send(out pe.Outport, v graph.Value) {
+	o := out.(*Outport)
 	nf := p.ForceDeep(v)
-	p.sendPacket(out.dest, out.cell, nf, SizeOf(nf))
+	bytes, err := SizeOfChecked(nf)
+	if err != nil {
+		panic(&SendError{Op: "Send", Chan: o.id, PE: p.PE(), Dest: o.dest, Err: err})
+	}
+	p.sendPacket(o.dest, o.cell, nf, bytes)
 }
 
 // Receive forces the channel's placeholder; it must be called on the
 // channel's owning PE and blocks until the value has arrived.
-func (p *PCtx) Receive(in *Inport) graph.Value {
-	if in.pe != p.PE() {
-		panic(fmt.Sprintf("eden: Receive on PE %d for a channel owned by PE %d (channels are single-reader)", p.PE(), in.pe))
+func (p *PCtx) Receive(in pe.Inport) graph.Value {
+	i := in.(*Inport)
+	if i.pe != p.PE() {
+		panic(fmt.Sprintf("eden: Receive on PE %d for a channel owned by PE %d (channels are single-reader)", p.PE(), i.pe))
 	}
-	return p.Force(in.cell)
+	return p.Force(i.cell)
 }
 
 // --- Stream channels (top-level lists, sent element by element) ---
@@ -108,50 +131,67 @@ type Nil struct{}
 
 // StreamIn is the receiving end of a stream channel.
 type StreamIn struct {
+	id  int64
 	pe  int
 	cur *graph.Thunk
 }
 
+// StreamInPE implements pe.StreamIn.
+func (in *StreamIn) StreamInPE() int { return in.pe }
+
 // StreamOut is the sending end of a stream channel.
 type StreamOut struct {
+	id   int64
 	dest int
 	cur  *graph.Thunk
 }
 
+// StreamOutPE implements pe.StreamOut.
+func (out *StreamOut) StreamOutPE() int { return out.dest }
+
 // NewStream creates a stream channel whose receiving end lives on PE
 // dest.
-func (p *PCtx) NewStream(dest int) (*StreamIn, *StreamOut) {
+func (p *PCtx) NewStream(dest int) (pe.StreamIn, pe.StreamOut) {
 	p.Burn(p.Cap().Costs.ChanCreate)
+	id := p.rts.nextChan()
 	cell := graph.NewPlaceholder()
-	return &StreamIn{pe: dest, cur: cell}, &StreamOut{dest: dest, cur: cell}
+	return &StreamIn{id: id, pe: dest, cur: cell}, &StreamOut{id: id, dest: dest, cur: cell}
 }
 
 // StreamSend transmits one element: the head is reduced to normal form
 // and sent as its own message (Eden's element-by-element list
-// communication).
-func (p *PCtx) StreamSend(out *StreamOut, v graph.Value) {
+// communication). Like Send, it panics with a *SendError when the
+// element is not in normal form.
+func (p *PCtx) StreamSend(out pe.StreamOut, v graph.Value) {
+	o := out.(*StreamOut)
 	nf := p.ForceDeep(v)
+	bytes, err := SizeOfChecked(nf)
+	if err != nil {
+		panic(&SendError{Op: "StreamSend", Chan: o.id, PE: p.PE(), Dest: o.dest, Err: err})
+	}
 	next := graph.NewPlaceholder()
-	p.sendPacket(out.dest, out.cur, Cons{Head: nf, Tail: next}, SizeOf(nf)+consOverhead)
-	out.cur = next
+	p.sendPacket(o.dest, o.cur, Cons{Head: nf, Tail: next}, bytes+consOverhead)
+	o.cur = next
 }
 
 // StreamClose terminates the stream; the receiver's next StreamRecv
 // reports ok=false.
-func (p *PCtx) StreamClose(out *StreamOut) {
-	p.sendPacket(out.dest, out.cur, Nil{}, consOverhead)
-	out.cur = nil
+func (p *PCtx) StreamClose(out pe.StreamOut) {
+	o := out.(*StreamOut)
+	p.sendPacket(o.dest, o.cur, Nil{}, consOverhead)
+	o.cur = nil
 }
 
 // StreamRecv receives the next element, blocking until it arrives;
 // ok is false when the stream has been closed.
-func (p *PCtx) StreamRecv(in *StreamIn) (v graph.Value, ok bool) {
-	if in.pe != p.PE() {
-		panic(fmt.Sprintf("eden: StreamRecv on PE %d for a stream owned by PE %d", p.PE(), in.pe))
+func (p *PCtx) StreamRecv(in pe.StreamIn) (v graph.Value, ok bool) {
+	i := in.(*StreamIn)
+	if i.pe != p.PE() {
+		panic(fmt.Sprintf("eden: StreamRecv on PE %d for a stream owned by PE %d", p.PE(), i.pe))
 	}
-	switch x := p.Force(in.cur).(type) {
+	switch x := p.Force(i.cur).(type) {
 	case Cons:
-		in.cur = x.Tail
+		i.cur = x.Tail
 		return x.Head, true
 	case Nil:
 		return nil, false
@@ -161,7 +201,7 @@ func (p *PCtx) StreamRecv(in *StreamIn) (v graph.Value, ok bool) {
 }
 
 // RecvAll drains a stream into a slice.
-func (p *PCtx) RecvAll(in *StreamIn) []graph.Value {
+func (p *PCtx) RecvAll(in pe.StreamIn) []graph.Value {
 	var out []graph.Value
 	for {
 		v, ok := p.StreamRecv(in)
@@ -173,7 +213,7 @@ func (p *PCtx) RecvAll(in *StreamIn) []graph.Value {
 }
 
 // SendAll sends every element of xs and closes the stream.
-func (p *PCtx) SendAll(out *StreamOut, xs []graph.Value) {
+func (p *PCtx) SendAll(out pe.StreamOut, xs []graph.Value) {
 	for _, x := range xs {
 		p.StreamSend(out, x)
 	}

@@ -20,6 +20,7 @@ import (
 	"parhask/internal/cost"
 	"parhask/internal/graph"
 	"parhask/internal/machine"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/sim"
 	"parhask/internal/trace"
@@ -114,12 +115,22 @@ type RTS struct {
 	shutdown    bool
 	mainDone    sim.Time
 	mainValue   graph.Value
+
+	// chanIDs hands out channel ids (for diagnostics: SendError names
+	// the failing channel).
+	chanIDs int64
+}
+
+// nextChan allocates the next channel id.
+func (r *RTS) nextChan() int64 {
+	r.chanIDs++
+	return r.chanIDs
 }
 
 var _ rts.System = (*RTS)(nil)
 
 // Run executes main as the root process on PE 0 and returns the result.
-func Run(cfg Config, main func(*PCtx) graph.Value) (*Result, error) {
+func Run(cfg Config, main pe.Program) (*Result, error) {
 	if cfg.PEs <= 0 || cfg.Cores <= 0 {
 		return nil, fmt.Errorf("eden: invalid configuration PEs=%d cores=%d", cfg.PEs, cfg.Cores)
 	}

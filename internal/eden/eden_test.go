@@ -4,9 +4,10 @@ import (
 	"testing"
 
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
-func runE(t *testing.T, cfg Config, main func(*PCtx) graph.Value) *Result {
+func runE(t *testing.T, cfg Config, main pe.Program) *Result {
 	t.Helper()
 	res, err := Run(cfg, main)
 	if err != nil {
@@ -16,7 +17,7 @@ func runE(t *testing.T, cfg Config, main func(*PCtx) graph.Value) *Result {
 }
 
 func TestMainOnly(t *testing.T) {
-	res := runE(t, NewConfig(4, 4), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(4, 4), func(p pe.Ctx) graph.Value {
 		p.Burn(1_000_000)
 		return 7
 	})
@@ -29,9 +30,9 @@ func TestMainOnly(t *testing.T) {
 }
 
 func TestProcessRoundTrip(t *testing.T) {
-	res := runE(t, NewConfig(2, 2), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		in, out := p.NewChan(0)
-		p.Spawn(1, "worker", func(w *PCtx) {
+		p.Spawn(1, "worker", func(w pe.Ctx) {
 			if w.PE() != 1 {
 				t.Errorf("worker on PE %d, want 1", w.PE())
 			}
@@ -58,9 +59,9 @@ func TestProcessRoundTrip(t *testing.T) {
 }
 
 func TestReceiveBlocksUntilArrival(t *testing.T) {
-	res := runE(t, NewConfig(2, 2), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		in, out := p.NewChan(0)
-		p.Spawn(1, "slow", func(w *PCtx) {
+		p.Spawn(1, "slow", func(w pe.Ctx) {
 			w.Burn(3_000_000)
 			w.Send(out, "late")
 		})
@@ -79,9 +80,9 @@ func TestReceiveBlocksUntilArrival(t *testing.T) {
 }
 
 func TestStreamOrderAndTermination(t *testing.T) {
-	res := runE(t, NewConfig(2, 2), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		sin, sout := p.NewStream(0)
-		p.Spawn(1, "streamer", func(w *PCtx) {
+		p.Spawn(1, "streamer", func(w pe.Ctx) {
 			for i := 0; i < 10; i++ {
 				w.StreamSend(sout, i)
 			}
@@ -108,13 +109,13 @@ func TestStreamOrderAndTermination(t *testing.T) {
 
 // farm spawns one worker per PE, each burning burn and allocating alloc,
 // and sums their replies.
-func farm(workers int, burn, alloc int64) func(*PCtx) graph.Value {
-	return func(p *PCtx) graph.Value {
-		ins := make([]*Inport, workers)
+func farm(workers int, burn, alloc int64) pe.Program {
+	return func(p pe.Ctx) graph.Value {
+		ins := make([]pe.Inport, workers)
 		for i := 0; i < workers; i++ {
 			in, out := p.NewChan(0)
 			ins[i] = in
-			p.Spawn(i, "w", func(w *PCtx) {
+			p.Spawn(i, "w", func(w pe.Ctx) {
 				w.Alloc(alloc)
 				w.Burn(burn)
 				w.Send(out, 1)
@@ -173,7 +174,7 @@ func TestDeterminismEden(t *testing.T) {
 }
 
 func TestReceiveOnWrongPEPanics(t *testing.T) {
-	_, err := Run(NewConfig(2, 2), func(p *PCtx) graph.Value {
+	_, err := Run(NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		in, _ := p.NewChan(1) // owned by PE 1
 		defer func() {
 			if recover() == nil {
@@ -191,11 +192,11 @@ func TestReceiveOnWrongPEPanics(t *testing.T) {
 func TestForkLocalTupleThreads(t *testing.T) {
 	// Eden evaluates tuple components in independent threads: two local
 	// threads each send one component.
-	res := runE(t, NewConfig(2, 2), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		inA, outA := p.NewChan(0)
 		inB, outB := p.NewChan(0)
-		p.Spawn(1, "pair", func(w *PCtx) {
-			w.ForkLocal("snd", func(w2 *PCtx) {
+		p.Spawn(1, "pair", func(w pe.Ctx) {
+			w.ForkLocal("snd", func(w2 pe.Ctx) {
 				w2.Burn(200_000)
 				w2.Send(outB, "B")
 			})
@@ -251,9 +252,9 @@ func TestSizeOfPanicsOnThunk(t *testing.T) {
 }
 
 func TestBytesAccounted(t *testing.T) {
-	res := runE(t, NewConfig(2, 2), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		in, out := p.NewChan(0)
-		p.Spawn(1, "w", func(w *PCtx) {
+		p.Spawn(1, "w", func(w pe.Ctx) {
 			w.Send(out, make([]float64, 1000))
 		})
 		v := p.Receive(in).([]float64)
@@ -270,9 +271,9 @@ func TestBytesAccounted(t *testing.T) {
 func TestLatencyJitterKeepsStreamsOrdered(t *testing.T) {
 	cfg := NewConfig(2, 2)
 	cfg.Costs.MsgJitter = 200_000 // up to 200 µs extra per message
-	res := runE(t, cfg, func(p *PCtx) graph.Value {
+	res := runE(t, cfg, func(p pe.Ctx) graph.Value {
 		sin, sout := p.NewStream(0)
-		p.Spawn(1, "streamer", func(w *PCtx) {
+		p.Spawn(1, "streamer", func(w pe.Ctx) {
 			for i := 0; i < 50; i++ {
 				w.StreamSend(sout, i)
 			}
@@ -317,10 +318,10 @@ func TestDynamicReplyChannel(t *testing.T) {
 	// literature): the worker creates its own reply channel and ships
 	// the *outport* back through a bootstrap channel; the master then
 	// sends directly to the worker over it.
-	res := runE(t, NewConfig(2, 2), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		bootIn, bootOut := p.NewChan(0)
 		ackIn, ackOut := p.NewChan(0)
-		p.Spawn(1, "server", func(w *PCtx) {
+		p.Spawn(1, "server", func(w pe.Ctx) {
 			reqIn, reqOut := w.NewChan(1) // channel owned by the worker
 			w.Send(bootOut, reqOut)       // ship the outport to the master
 			req := w.Receive(reqIn)       // wait for a request on it
@@ -336,7 +337,7 @@ func TestDynamicReplyChannel(t *testing.T) {
 }
 
 func TestPCtxAccessors(t *testing.T) {
-	runE(t, NewConfig(3, 2), func(p *PCtx) graph.Value {
+	runE(t, NewConfig(3, 2), func(p pe.Ctx) graph.Value {
 		if p.PEs() != 3 {
 			t.Errorf("PEs = %d", p.PEs())
 		}
@@ -349,9 +350,9 @@ func TestPCtxAccessors(t *testing.T) {
 }
 
 func TestSendAllRecvAll(t *testing.T) {
-	res := runE(t, NewConfig(2, 2), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		sin, sout := p.NewStream(0)
-		p.Spawn(1, "w", func(w *PCtx) {
+		p.Spawn(1, "w", func(w pe.Ctx) {
 			w.SendAll(sout, []graph.Value{1, 2, 3})
 		})
 		return len(p.RecvAll(sin))
@@ -362,9 +363,9 @@ func TestSendAllRecvAll(t *testing.T) {
 }
 
 func TestLocalResolveAwait(t *testing.T) {
-	res := runE(t, NewConfig(1, 1), func(p *PCtx) graph.Value {
+	res := runE(t, NewConfig(1, 1), func(p pe.Ctx) graph.Value {
 		cell := graph.NewPlaceholder()
-		p.ForkLocal("resolver", func(f *PCtx) {
+		p.ForkLocal("resolver", func(f pe.Ctx) {
 			f.Burn(300_000)
 			f.LocalResolve(cell, 77)
 		})
@@ -381,8 +382,8 @@ func TestSparkPanicsOnEden(t *testing.T) {
 			t.Fatal("expected panic: par is not an Eden construct")
 		}
 	}()
-	_, _ = Run(NewConfig(1, 1), func(p *PCtx) graph.Value {
-		p.Par(graph.NewThunk(func(c graph.Context) graph.Value { return 1 }))
+	_, _ = Run(NewConfig(1, 1), func(p pe.Ctx) graph.Value {
+		p.(*PCtx).Par(graph.NewThunk(func(c graph.Context) graph.Value { return 1 }))
 		return nil
 	})
 }

@@ -10,6 +10,10 @@ import (
 // payload (tag + continuation channel id).
 const consOverhead = 24
 
+// ConsOverhead exports the stream-cell overhead for the native backend,
+// which charges the same packing model to its bytes-shipped telemetry.
+const ConsOverhead = consOverhead
+
 // wordSize is the packed size of one scalar (value + tag), matching the
 // graph-structure serialisation Eden uses.
 const wordSize = 16
@@ -20,50 +24,113 @@ type Sized interface {
 	PackedSize() int64
 }
 
-// SizeOf estimates the packed size in bytes of a normal-form value, used
-// to charge per-byte communication costs. Unknown types count as one
-// word (they are small coordination tokens).
-func SizeOf(v graph.Value) int64 {
+// UnevaluatedError reports that a value reached the packing layer while
+// still containing unevaluated graph — a violation of Eden's
+// normal-form-before-send rule. Send/StreamSend wrap it in a SendError
+// that names the channel and PE.
+type UnevaluatedError struct {
+	// State is the offending thunk's evaluation state at packing time.
+	State graph.EvalState
+}
+
+func (e *UnevaluatedError) Error() string {
+	return fmt.Sprintf("unevaluated graph in message (thunk state %s); values must be in normal form before sending", e.State)
+}
+
+// SendError is the structured error for a failed channel send: which
+// operation, on which channel, from which PE, and why. It is the
+// diagnosable form of the bare panic SizeOf used to raise, so misuse of
+// the native Eden backend names the exact port instead of only the
+// thunk state.
+type SendError struct {
+	// Op is the failing operation ("Send" or "StreamSend").
+	Op string
+	// Chan is the channel id the failing port belongs to.
+	Chan int64
+	// PE is the sending PE.
+	PE int
+	// Dest is the channel's destination PE.
+	Dest int
+	// Err is the underlying packing error (an *UnevaluatedError).
+	Err error
+}
+
+func (e *SendError) Error() string {
+	return fmt.Sprintf("eden: %s on channel #%d (PE %d -> PE %d): %v", e.Op, e.Chan, e.PE, e.Dest, e.Err)
+}
+
+// Unwrap exposes the underlying packing error to errors.Is/As.
+func (e *SendError) Unwrap() error { return e.Err }
+
+// SizeOfChecked estimates the packed size in bytes of a normal-form
+// value, used to charge per-byte communication costs. Unknown types
+// count as one word (they are small coordination tokens). A value still
+// containing unevaluated graph returns an *UnevaluatedError instead of
+// a size.
+func SizeOfChecked(v graph.Value) (int64, error) {
 	switch x := v.(type) {
 	case nil:
-		return wordSize
+		return wordSize, nil
 	case Sized:
-		return x.PackedSize()
+		return x.PackedSize(), nil
 	case bool, int, int32, int64, uint64, float32, float64:
-		return wordSize
+		return wordSize, nil
 	case string:
-		return int64(len(x)) + wordSize
+		return int64(len(x)) + wordSize, nil
 	case []int:
-		return int64(8*len(x)) + wordSize
+		return int64(8*len(x)) + wordSize, nil
 	case []int64:
-		return int64(8*len(x)) + wordSize
+		return int64(8*len(x)) + wordSize, nil
 	case []float64:
-		return int64(8*len(x)) + wordSize
+		return int64(8*len(x)) + wordSize, nil
 	case [][]float64:
 		var n int64 = wordSize
 		for _, row := range x {
 			n += int64(8*len(row)) + wordSize
 		}
-		return n
+		return n, nil
 	case [][]int:
 		var n int64 = wordSize
 		for _, row := range x {
 			n += int64(8*len(row)) + wordSize
 		}
-		return n
+		return n, nil
 	case []graph.Value:
 		var n int64 = wordSize
 		for _, e := range x {
-			n += SizeOf(e)
+			s, err := SizeOfChecked(e)
+			if err != nil {
+				return 0, err
+			}
+			n += s
 		}
-		return n
+		return n, nil
 	case Cons:
-		return SizeOf(x.Head) + consOverhead
+		s, err := SizeOfChecked(x.Head)
+		if err != nil {
+			return 0, err
+		}
+		return s + consOverhead, nil
 	case Nil:
-		return wordSize
+		return wordSize, nil
 	case *graph.Thunk:
-		panic(fmt.Sprintf("eden: SizeOf on unevaluated graph (%v); values must be in normal form before sending", x.State()))
+		if x.IsEvaluated() {
+			// An evaluated thunk's payload is in normal form; size its
+			// value (the graph serialisation ships the value node).
+			return SizeOfChecked(x.Value())
+		}
+		return 0, &UnevaluatedError{State: x.State()}
 	default:
-		return wordSize
+		return wordSize, nil
 	}
+}
+
+// SizeOf is SizeOfChecked for call sites that guarantee normal form; it
+// panics with the structured *UnevaluatedError on unevaluated graph.
+func SizeOf(v graph.Value) int64 {
+	n, err := SizeOfChecked(v)
+	if err != nil {
+		panic(err)
+	}
+	return n
 }

@@ -1,0 +1,98 @@
+package eden
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"parhask/internal/graph"
+	"parhask/internal/pe"
+)
+
+// TestUnevaluatedErrorFromSizeOfChecked checks the structured error the
+// packing layer returns on a normal-form violation.
+func TestUnevaluatedErrorFromSizeOfChecked(t *testing.T) {
+	_, err := SizeOfChecked(graph.NewPlaceholder())
+	if err == nil {
+		t.Fatal("SizeOfChecked(placeholder) returned no error")
+	}
+	var ue *UnevaluatedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error is %T, want *UnevaluatedError", err)
+	}
+	msg := err.Error()
+	for _, want := range []string{"unevaluated graph", "normal form", ue.State.String()} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestSendErrorMessage checks that SendError names the operation, the
+// channel, both PEs and the underlying cause, and unwraps to it.
+func TestSendErrorMessage(t *testing.T) {
+	cause := &UnevaluatedError{State: graph.Unevaluated}
+	se := &SendError{Op: "StreamSend", Chan: 42, PE: 3, Dest: 7, Err: cause}
+	msg := se.Error()
+	for _, want := range []string{"StreamSend", "channel #42", "PE 3", "PE 7", "unevaluated graph"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("SendError %q does not mention %q", msg, want)
+		}
+	}
+	var ue *UnevaluatedError
+	if !errors.As(se, &ue) || ue != cause {
+		t.Error("SendError does not unwrap to its UnevaluatedError cause")
+	}
+}
+
+// TestSendPanicsWithSendError drives the real Send path: a value that
+// ForceDeep cannot normalise (a Cons whose head is a placeholder, hidden
+// inside a []Value that ForceDeep does traverse) must raise a *SendError
+// naming the channel and the sending PE.
+func TestSendPanicsWithSendError(t *testing.T) {
+	res := runE(t, NewConfig(2, 2), func(p pe.Ctx) graph.Value {
+		in, out := p.NewChan(0)
+		p.Spawn(1, "bad-sender", func(w pe.Ctx) {
+			var report string
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						report = "no panic"
+						return
+					}
+					err, ok := r.(error)
+					if !ok {
+						report = "panic value is not an error"
+						return
+					}
+					var se *SendError
+					if !errors.As(err, &se) {
+						report = "panic is not a *SendError: " + err.Error()
+						return
+					}
+					if se.Op != "Send" || se.PE != 1 || se.Dest != 0 {
+						report = "wrong SendError fields: " + err.Error()
+						return
+					}
+					var ue *UnevaluatedError
+					if !errors.As(err, &ue) {
+						report = "SendError does not wrap an UnevaluatedError"
+						return
+					}
+					report = "ok: " + err.Error()
+				}()
+				w.Send(out, []graph.Value{Cons{Head: graph.NewPlaceholder()}})
+			}()
+			w.Send(out, report)
+		})
+		return p.Receive(in)
+	})
+	got := res.Value.(string)
+	if !strings.HasPrefix(got, "ok: ") {
+		t.Fatalf("Send misuse not diagnosed: %s", got)
+	}
+	if !strings.Contains(got, "channel #") || !strings.Contains(got, "PE 1 -> PE 0") {
+		t.Errorf("SendError message %q does not name the channel and PEs", got)
+	}
+}

@@ -25,6 +25,7 @@ package eventlog
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"parhask/internal/trace"
@@ -66,6 +67,17 @@ const (
 	RunBegin
 	// RunEnd: the mutator stretch opened by the matching RunBegin ended.
 	RunEnd
+	// MsgSend: a message left this PE (Arg = destination PE). Native-Eden
+	// backend only; GpH workers never emit it.
+	MsgSend
+	// MsgRecv: a message was delivered into this PE's heap (Arg = source
+	// PE).
+	MsgRecv
+	// CommBegin: the PE started packing/shipping or unpacking a message;
+	// the bracket renders as the Comm band in the EdenTV-style timeline.
+	CommBegin
+	// CommEnd: the communication stretch opened by CommBegin ended.
+	CommEnd
 
 	numTypes
 )
@@ -86,6 +98,10 @@ var typeNames = [numTypes]string{
 	Fork:          "fork",
 	RunBegin:      "run-begin",
 	RunEnd:        "run-end",
+	MsgSend:       "msg-send",
+	MsgRecv:       "msg-recv",
+	CommBegin:     "comm-begin",
+	CommEnd:       "comm-end",
 }
 
 // String returns the event type's name.
@@ -149,7 +165,12 @@ type Buf struct {
 	cfg    Config
 	cur    *chunk
 	chunks []*chunk // oldest to newest; cur == chunks[len-1]
-	drops  int64
+	// drops counts events lost to ring wraparound. The owner is the only
+	// writer (on wrap, a rare event), but observers may read it live via
+	// Dropped while the worker is still emitting — a plain int64 there is
+	// a data race — so the counter is atomic. The hot path (append with
+	// no wrap) still performs no atomic operations.
+	drops atomic.Int64
 }
 
 // Emit records an event of type t, stamped now.
@@ -180,7 +201,7 @@ func (b *Buf) grow() *chunk {
 		return c
 	}
 	oldest := b.chunks[0]
-	b.drops += int64(len(oldest.ev))
+	b.drops.Add(int64(len(oldest.ev)))
 	copy(b.chunks, b.chunks[1:])
 	oldest.ev = oldest.ev[:0]
 	b.chunks[len(b.chunks)-1] = oldest
@@ -211,8 +232,9 @@ func (b *Buf) Len() int {
 	return n
 }
 
-// Dropped returns how many events ring wraparound discarded.
-func (b *Buf) Dropped() int64 { return b.drops }
+// Dropped returns how many events ring wraparound discarded. Unlike
+// Events and Len it is safe to call while the owner is still emitting.
+func (b *Buf) Dropped() int64 { return b.drops.Load() }
 
 // Log owns the per-worker buffers of one native run.
 type Log struct {
@@ -249,11 +271,12 @@ func (l *Log) WallNS() int64 { return l.wallNS }
 // Events returns worker i's events oldest-first (post-run only).
 func (l *Log) Events(i int) []Event { return l.bufs[i].Events() }
 
-// Dropped returns the total events lost to ring wraparound.
+// Dropped returns the total events lost to ring wraparound. Safe to
+// call while workers are still emitting.
 func (l *Log) Dropped() int64 {
 	var n int64
 	for _, b := range l.bufs {
-		n += b.drops
+		n += b.drops.Load()
 	}
 	return n
 }
@@ -269,14 +292,19 @@ func (l *Log) Dropped() int64 {
 // main function is bracketed by explicit Run events); stealing workers'
 // base is Runnable — between brackets they are scanning pools for work,
 // the paper's yellow "system work" band.
-func (l *Log) Trace() *trace.Log {
+func (l *Log) Trace() *trace.Log { return l.TraceNamed("w") }
+
+// TraceNamed is Trace with a caller-chosen agent-name prefix: "w" gives
+// the GpH worker timelines ("w0", "w1", …), "pe" the native-Eden PE
+// timelines ("pe0", "pe1", …).
+func (l *Log) TraceNamed(prefix string) *trace.Log {
 	tl := trace.NewLog()
 	for i, b := range l.bufs {
 		base := trace.Runnable
 		if i == 0 {
 			base = trace.Idle
 		}
-		r := trace.NewStackReducer(tl.NewAgent(fmt.Sprintf("w%d", i)), base)
+		r := trace.NewStackReducer(tl.NewAgent(fmt.Sprintf("%s%d", prefix, i)), base)
 		for _, e := range b.Events() {
 			switch e.Type {
 			case RunBegin:
@@ -285,7 +313,9 @@ func (l *Log) Trace() *trace.Log {
 				r.Push(e.T, trace.Blocked)
 			case IdleBegin:
 				r.Push(e.T, trace.Idle)
-			case RunEnd, BlockEnd, IdleEnd:
+			case CommBegin:
+				r.Push(e.T, trace.Comm)
+			case RunEnd, BlockEnd, IdleEnd, CommEnd:
 				r.Pop(e.T)
 			}
 		}

@@ -227,3 +227,66 @@ func TestTypeString(t *testing.T) {
 		t.Fatalf("unknown type renders as %q", got)
 	}
 }
+
+func TestDroppedReadableWhileEmitting(t *testing.T) {
+	// The drop counter may be observed live (e.g. by a sampler) while the
+	// owner is still wrapping the ring. Run under `go test -race`: with a
+	// plain int64 counter this is a write/read race.
+	l := New(time.Now(), 1, Config{ChunkEvents: 8, MaxChunks: 2})
+	b := l.Buf(0)
+	done := make(chan struct{})
+	var observed int64
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if d := l.Dropped(); d > observed {
+				observed = d
+			}
+		}
+	}()
+	for i := 0; i < 20000; i++ {
+		b.Emit(SparkPush)
+	}
+	<-done
+	if b.Dropped() == 0 {
+		t.Fatal("expected wraparound drops")
+	}
+	if observed < 0 || observed > b.Dropped() {
+		t.Fatalf("live observation %d out of range [0, %d]", observed, b.Dropped())
+	}
+}
+
+func TestTraceReductionCommBrackets(t *testing.T) {
+	// CommBegin/CommEnd brackets render as the Comm band, nesting over
+	// the running state like the other brackets.
+	l := newTestLog(1, DefaultChunkEvents, DefaultMaxChunks)
+	b := l.Buf(0)
+	for _, e := range []Event{
+		at(RunBegin, 0),
+		at(CommBegin, 20),
+		at(CommEnd, 30),
+		at(RunEnd, 50),
+	} {
+		b.append(e)
+	}
+	l.Close(50)
+	tl := l.TraceNamed("pe")
+	a := tl.Agents()[0]
+	if name := a.Name; name != "pe0" {
+		t.Fatalf("agent name = %q, want pe0", name)
+	}
+	want := []trace.Segment{
+		{State: trace.Run, From: 0, To: 20},
+		{State: trace.Comm, From: 20, To: 30},
+		{State: trace.Run, From: 30, To: 50},
+	}
+	got := a.Segments()
+	if len(got) != len(want) {
+		t.Fatalf("%d segments, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("segment %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"parhask/internal/eden"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/workloads/apsp"
 	"parhask/internal/workloads/euler"
@@ -99,7 +100,7 @@ func runGpH(cfg gph.Config, main func(*rts.Ctx) graph.Value) *gph.Result {
 }
 
 // runEden executes an Eden program, failing loudly on simulation errors.
-func runEden(cfg eden.Config, main func(*eden.PCtx) graph.Value) *eden.Result {
+func runEden(cfg eden.Config, main pe.Program) *eden.Result {
 	res, err := eden.Run(cfg, main)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: eden run failed: %v", err))

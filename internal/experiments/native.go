@@ -56,6 +56,9 @@ type NativeSweep struct {
 	// hot path (the arena win, recorded against the pre-arena
 	// baseline). Optional.
 	HotPath *HotPathBench `json:"hot_path,omitempty"`
+	// EdenNative is the GpH-vs-Eden head-to-head on real goroutines
+	// (benchall -edennative). Optional.
+	EdenNative *EdenNativeSweep `json:"eden_native,omitempty"`
 }
 
 // nativeWorkerCounts is the sweep's x-axis.
@@ -201,6 +204,9 @@ func (s *NativeSweep) String() string {
 	}
 	if s.GOGC != nil {
 		out += "\n" + s.GOGC.String()
+	}
+	if s.EdenNative != nil {
+		out += "\n" + s.EdenNative.String()
 	}
 	return out
 }

@@ -67,6 +67,16 @@ func (a *Arena) NewThunk(fn func(Context) Value) *Thunk {
 	return t
 }
 
+// NewPlaceholder arena-allocates a black-holed placeholder thunk — the
+// message-cell counterpart of the package-level NewPlaceholder, used by
+// the native Eden backend so a PE's channel cells come out of that PE's
+// own allocation region.
+func (a *Arena) NewPlaceholder() *Thunk {
+	t := a.alloc()
+	t.state.Store(int32(Blackholed))
+	return t
+}
+
 // NewThunkAdapted arena-allocates a thunk in the closure-free
 // representation: adapt is a shared (package-level) trampoline and
 // payload its per-thunk data. See NewThunkAdapted.

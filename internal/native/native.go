@@ -379,7 +379,15 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 		return nil
 	}()
 
+	if runErr != nil {
+		// A main-thread panic must abort the run the way a spark panic
+		// does: fail() trips rt.failed, so a stealer blocked inside a
+		// force on a thunk main will now never update unwinds instead of
+		// spinning on it forever (done alone does not reach BlockOnThunk).
+		r.fail(runErr)
+	}
 	r.done.Store(true)
+	w0.maybePublish()
 	r.stealers.Wait()
 	r.forks.Wait()
 	wall := time.Since(start)

@@ -1,0 +1,91 @@
+package native
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"parhask/internal/exec"
+	"parhask/internal/graph"
+	"parhask/internal/workloads/euler"
+)
+
+// awaitRun waits for a Run started in a goroutine, failing the test if
+// it does not return — the regression mode of the panic-containment
+// bugs is a hang (a blocked worker spinning on a thunk that will never
+// be updated), so every test here runs under a watchdog.
+func awaitRun(t *testing.T, done <-chan error) error {
+	t.Helper()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(30 * time.Second):
+		t.Fatal("run hung: a blocked worker never unwound after the panic")
+		return nil
+	}
+}
+
+func TestNativeMainPanicAbortsBlockedStealer(t *testing.T) {
+	// Main claims thunk a (eager black-holing), sparks b — which forces
+	// a — and panics once a stealer is provably blocked on a. Without
+	// rt.fail on the main-panic path the stealer spins on the black hole
+	// forever and Run never returns.
+	var snap func() Stats
+	cfg := Config{Workers: 2, EagerBlackholing: true,
+		Sampler: func(s func() Stats) { snap = s }}
+	var a *graph.Thunk
+	a = exec.Thunk(func(c exec.Ctx) graph.Value {
+		b := exec.NewThunk(c, func(c2 exec.Ctx) graph.Value { return c2.Force(a) })
+		c.Par(b)
+		deadline := time.Now().Add(10 * time.Second)
+		for snap().BlockedForces == 0 && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		panic("main boom")
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(cfg, func(c exec.Ctx) graph.Value { return c.Force(a) })
+		done <- err
+	}()
+	err := awaitRun(t, done)
+	if err == nil || !strings.Contains(err.Error(), "main panicked: main boom") {
+		t.Fatalf("err = %v, want the main panic", err)
+	}
+}
+
+func TestNativeForkedThreadPanicUnblocksMain(t *testing.T) {
+	// Main blocks on a placeholder nothing will resolve; a forked thread
+	// panics. The failure must reach main's blocked force and abort the
+	// run with the fork's error.
+	ph := graph.NewPlaceholder()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(NewConfig(2), func(c exec.Ctx) graph.Value {
+			exec.Fork(c, "bomber", func(exec.Ctx) {
+				time.Sleep(10 * time.Millisecond)
+				panic("fork boom")
+			})
+			return c.Force(ph)
+		})
+		done <- err
+	}()
+	err := awaitRun(t, done)
+	if err == nil || !strings.Contains(err.Error(), `forked thread "bomber" panicked: fork boom`) {
+		t.Fatalf("err = %v, want the forked thread's panic", err)
+	}
+}
+
+func TestNativeSamplerSeesFinalCounters(t *testing.T) {
+	// After Run returns, a sampler snapshot must equal the run's exact
+	// aggregate: every worker (the stealers on loop exit, worker 0 after
+	// main returns) publishes a final snapshot covering counter changes
+	// since its last coarse publish point.
+	var snap func() Stats
+	cfg := Config{Workers: 4, EagerBlackholing: true,
+		Sampler: func(s func() Stats) { snap = s }}
+	res := run(t, cfg, euler.Program(2000, 40, 0, true))
+	if got := snap(); got != res.Stats {
+		t.Fatalf("post-run sampler snapshot %+v != aggregate %+v", got, res.Stats)
+	}
+}

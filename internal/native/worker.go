@@ -387,6 +387,11 @@ func (w *worker) stealLoop() {
 			w.rt.fail(fmt.Errorf("native: worker %d: spark panicked: %v", w.id, p))
 		}
 	}()
+	// Final publication (runs on every exit path, including a spark
+	// panic): without it, counter changes since the last coarse publish
+	// point — e.g. steal attempts from the closing sweep — would never
+	// reach a sampler that reads after the run.
+	defer w.maybePublish()
 	spins := 0
 	idle := false
 	for !w.rt.done.Load() {

@@ -1,0 +1,205 @@
+package nativeeden
+
+import (
+	"fmt"
+	"reflect"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+)
+
+// copyForSend deep-copies a normal-form message value so the receiver
+// gets a structure sharing no mutable heap with the sender — the
+// in-process stand-in for Eden's pack/unpack across address spaces.
+// Evaluated thunks become fresh evaluated thunks around a copy of their
+// value; an unevaluated thunk is a normal-form violation and returns
+// the same *eden.UnevaluatedError the packing layer raises. Pure value
+// types (no pointers, slices or maps anywhere in the type) are shared
+// as-is: a value boxed in an interface cannot be mutated, so sharing it
+// is already a copy.
+func copyForSend(v graph.Value) (graph.Value, error) {
+	switch x := v.(type) {
+	case nil, bool, int, int8, int16, int32, int64,
+		uint, uint8, uint16, uint32, uint64, uintptr,
+		float32, float64, complex64, complex128, string:
+		return v, nil
+	case *graph.Thunk:
+		return copyThunk(x)
+	case []graph.Value:
+		out := make([]graph.Value, len(x))
+		for i, e := range x {
+			c, err := copyForSend(e)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = c
+		}
+		return out, nil
+	case []int:
+		return append([]int(nil), x...), nil
+	case []int64:
+		return append([]int64(nil), x...), nil
+	case []float64:
+		return append([]float64(nil), x...), nil
+	case [][]float64:
+		out := make([][]float64, len(x))
+		for i, row := range x {
+			out[i] = append([]float64(nil), row...)
+		}
+		return out, nil
+	case [][]int:
+		out := make([][]int, len(x))
+		for i, row := range x {
+			out[i] = append([]int(nil), row...)
+		}
+		return out, nil
+	default:
+		rv, err := reflectCopy(reflect.ValueOf(v))
+		if err != nil {
+			return nil, err
+		}
+		return rv.Interface(), nil
+	}
+}
+
+// copyThunk copies an evaluated thunk into a fresh node; unevaluated
+// graph in a message is the normal-form violation SizeOfChecked also
+// rejects.
+func copyThunk(t *graph.Thunk) (graph.Value, error) {
+	if !t.IsEvaluated() {
+		return nil, &eden.UnevaluatedError{State: t.State()}
+	}
+	c, err := copyForSend(t.Value())
+	if err != nil {
+		return nil, err
+	}
+	return graph.NewValue(c), nil
+}
+
+var thunkType = reflect.TypeOf((*graph.Thunk)(nil))
+
+// reflectCopy clones arbitrary message types (workload structs like the
+// master-worker result packet) field by field. It refuses — with a
+// diagnosable error, not silent sharing — anything it cannot prove
+// copied: unexported fields in indirect types, channels, funcs.
+func reflectCopy(rv reflect.Value) (reflect.Value, error) {
+	t := rv.Type()
+	if pureValue(t) {
+		return rv, nil
+	}
+	switch t.Kind() {
+	case reflect.Slice:
+		if rv.IsNil() {
+			return rv, nil
+		}
+		out := reflect.MakeSlice(t, rv.Len(), rv.Len())
+		for i := 0; i < rv.Len(); i++ {
+			c, err := reflectCopy(rv.Index(i))
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.Index(i).Set(c)
+		}
+		return out, nil
+	case reflect.Array:
+		out := reflect.New(t).Elem()
+		for i := 0; i < rv.Len(); i++ {
+			c, err := reflectCopy(rv.Index(i))
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.Index(i).Set(c)
+		}
+		return out, nil
+	case reflect.Map:
+		if rv.IsNil() {
+			return rv, nil
+		}
+		out := reflect.MakeMapWithSize(t, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			k, err := reflectCopy(iter.Key())
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			v, err := reflectCopy(iter.Value())
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.SetMapIndex(k, v)
+		}
+		return out, nil
+	case reflect.Interface:
+		if rv.IsNil() {
+			return rv, nil
+		}
+		c, err := copyForSend(rv.Interface())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		out := reflect.New(t).Elem()
+		if c != nil {
+			out.Set(reflect.ValueOf(c))
+		}
+		return out, nil
+	case reflect.Pointer:
+		if rv.IsNil() {
+			return rv, nil
+		}
+		if t == thunkType {
+			c, err := copyThunk(rv.Interface().(*graph.Thunk))
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			return reflect.ValueOf(c), nil
+		}
+		out := reflect.New(t.Elem())
+		c, err := reflectCopy(rv.Elem())
+		if err != nil {
+			return reflect.Value{}, err
+		}
+		out.Elem().Set(c)
+		return out, nil
+	case reflect.Struct:
+		out := reflect.New(t).Elem()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				return reflect.Value{}, fmt.Errorf("cannot copy %s across heaps: unexported field %s", t, t.Field(i).Name)
+			}
+			c, err := reflectCopy(rv.Field(i))
+			if err != nil {
+				return reflect.Value{}, err
+			}
+			out.Field(i).Set(c)
+		}
+		return out, nil
+	default:
+		return reflect.Value{}, fmt.Errorf("cannot copy %s across heaps", t)
+	}
+}
+
+// pureValue reports whether t contains no indirection at any depth —
+// such a value, once boxed in an interface, is immutable, so it may be
+// shared across PEs without breaking heap isolation. Notably this
+// covers the port types (structs of ints) and strings.
+func pureValue(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128,
+		reflect.String:
+		return true
+	case reflect.Array:
+		return pureValue(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !pureValue(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

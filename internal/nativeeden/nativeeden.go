@@ -1,0 +1,381 @@
+// Package nativeeden is the real-concurrency counterpart of the
+// simulated Eden runtime (internal/eden): N processing elements on real
+// goroutines, each a self-contained sequential runtime with its own
+// thunk arena and owner-written counters, connected by typed channels
+// with Eden's normal-form-before-send semantics. It executes the same
+// backend-neutral programs (pe.Program — the skeletons and the
+// workloads' Eden programs) and measures wall-clock time, completing
+// the paper's GpH-vs-Eden head-to-head on real hardware.
+//
+// Architecture:
+//
+//   - One goroutine per Eden thread; each thread belongs to exactly one
+//     PE. A PE is a big lock (mutex + condvar): a thread holds its PE's
+//     mutex for its entire execution and releases it only while blocked
+//     on a placeholder (cond.Wait) or during message transport. Threads
+//     of one PE therefore interleave only at communication and blocking
+//     points — the same granularity as the simulator, which is what
+//     makes the skeletons' plain shared-state mutations (e.g. the
+//     master-worker coordination state) safe unchanged. Virtual PEs
+//     beyond GOMAXPROCS are just goroutines; the Go scheduler
+//     timeslices them the way the OS timesliced the paper's 9- and
+//     17-PE PVM runs on 8 cores.
+//   - No shared graph between PEs. Every value sent over a channel is
+//     reduced to normal form, measured with the simulator's packing
+//     model (eden.SizeOfChecked), and deep-copied before it is resolved
+//     into the receiving PE's heap — a *graph.Thunk is never reachable
+//     from two PEs. Channel cells live in a per-PE registry keyed by
+//     channel id; ports are plain {id, pe} value structs, so shipping a
+//     port ships no heap.
+//   - Inports are heap placeholders (graph.NewPlaceholder): a thread
+//     forcing one blocks on its PE's condvar until the message lands
+//     and the deliverer broadcasts.
+//   - Each PE owns a graph.Arena for its thunk allocation and a
+//     wall-clock eventlog buffer; sends and receives emit
+//     MsgSend/MsgRecv under CommBegin/CommEnd brackets, so the drained
+//     log renders EdenTV-style per-PE timelines with message overlays
+//     through the same exporters as the GpH runtimes.
+//
+// Go's garbage collector remains global — per-PE *independent* GC is a
+// property this backend cannot reproduce honestly, so the telemetry
+// reports what is real: run-level GC cycles/pauses plus per-PE
+// allocation, arena footprint and message volume (see DESIGN.md §8).
+package nativeeden
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parhask/internal/eventlog"
+	"parhask/internal/graph"
+	"parhask/internal/pe"
+	"parhask/internal/trace"
+)
+
+// Config selects a native Eden runtime setup.
+type Config struct {
+	// PEs is the number of processing elements. It may exceed
+	// GOMAXPROCS (virtual PEs); defaults to GOMAXPROCS.
+	PEs int
+	// ArenaChunk is the per-PE thunk-arena chunk capacity, in thunks
+	// (0 selects graph.DefaultArenaChunk).
+	ArenaChunk int
+	// EventLog enables the per-PE wall-clock event rings; Result.Trace
+	// then renders the EdenTV-style per-PE timeline.
+	EventLog bool
+	// EventLogConfig tunes the event rings (zero value = defaults).
+	EventLogConfig eventlog.Config
+}
+
+// NewConfig returns a native Eden configuration with pes PEs.
+func NewConfig(pes int) Config {
+	if pes <= 0 {
+		pes = runtime.GOMAXPROCS(0)
+	}
+	return Config{PEs: pes}
+}
+
+// Stats aggregates counters over one native Eden run.
+type Stats struct {
+	// Messages / BytesSent count every channel and stream packet
+	// (stream elements are one message each, as in Eden).
+	Messages  int64 `json:"messages"`
+	BytesSent int64 `json:"bytes_sent"`
+	// Processes counts Spawn instantiations; ThreadsCreated counts every
+	// thread (processes, local forks, and the root).
+	Processes      int64 `json:"processes"`
+	ThreadsCreated int64 `json:"threads_created"`
+}
+
+// PEStats is one PE's share of the run counters — owner-written under
+// the PE's lock, read after the run's join barrier.
+type PEStats struct {
+	// MsgsSent/MsgsRecv and BytesSent/BytesRecv count this PE's side of
+	// every packet.
+	MsgsSent  int64 `json:"msgs_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesSent int64 `json:"bytes_sent"`
+	BytesRecv int64 `json:"bytes_recv"`
+	// Threads counts threads that ran on this PE.
+	Threads int64 `json:"threads"`
+	// AllocBytes is the heap allocation the workload declared via Alloc
+	// (the virtual-cost hook doubles as telemetry here); Resident is
+	// long-lived data declared via AddResident.
+	AllocBytes int64 `json:"alloc_bytes"`
+	Resident   int64 `json:"resident_bytes"`
+	// ArenaChunks/ArenaThunks describe the PE's thunk arena footprint.
+	ArenaChunks int64 `json:"arena_chunks"`
+	ArenaThunks int64 `json:"arena_thunks"`
+}
+
+// GCStats is what Go's (global) collector did while the run executed.
+// There is no per-PE GC to report — Go's heap is shared — so this is
+// run-level, with the per-PE allocation story carried by PEStats.
+type GCStats struct {
+	Cycles     int64 `json:"cycles"`
+	PauseNS    int64 `json:"pause_ns"`
+	BytesAlloc int64 `json:"bytes_alloc"`
+}
+
+// Result is the outcome of one native Eden run.
+type Result struct {
+	// Value is what the root process returned.
+	Value graph.Value
+	// WallNS is the real elapsed time in nanoseconds.
+	WallNS int64
+	// PEs is the processing-element count the run used.
+	PEs int
+	// Stats is the whole-run aggregate.
+	Stats Stats
+	// PerPE breaks the counters down by PE.
+	PerPE []PEStats
+	// GC is the run-level Go GC telemetry.
+	GC GCStats
+	// Events is the drained per-PE eventlog (nil unless Config.EventLog).
+	Events *eventlog.Log
+}
+
+// Wall returns the elapsed wall-clock time as a duration.
+func (r *Result) Wall() time.Duration { return time.Duration(r.WallNS) }
+
+// Trace reduces the run's eventlog into a wall-clock per-PE trace.Log
+// ("pe0", "pe1", …), rendered by the same exporters as the simulated
+// EdenTV figures. Returns nil when the run was not event-logged.
+func (r *Result) Trace() *trace.Log {
+	if r.Events == nil {
+		return nil
+	}
+	return r.Events.TraceNamed("pe")
+}
+
+// Report is the machine-readable summary of a native Eden run.
+type Report struct {
+	PEs    int       `json:"pes"`
+	WallNS int64     `json:"wall_ns"`
+	Total  Stats     `json:"total"`
+	GC     GCStats   `json:"gc"`
+	PerPE  []PEStats `json:"per_pe"`
+}
+
+// Report builds the machine-readable summary of the run.
+func (r *Result) Report() Report {
+	return Report{PEs: r.PEs, WallNS: r.WallNS, Total: r.Stats, GC: r.GC, PerPE: r.PerPE}
+}
+
+// errAborted unwinds a blocked thread after another thread already
+// recorded the run's failure.
+var errAborted = errors.New("nativeeden: run aborted")
+
+// peRT is one processing element: the big lock its threads serialise
+// on, its private heap machinery, and its owner-written counters
+// (owner = whichever thread currently holds mu).
+type peRT struct {
+	id   int
+	rts  *RTS
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// arena is this PE's thunk allocation region. Guarded by mu.
+	arena *graph.Arena
+
+	// cells maps channel id -> the inport placeholder living in this
+	// PE's heap; streams maps stream id -> its cursor pair. Guarded by
+	// mu.
+	cells   map[int64]*graph.Thunk
+	streams map[int64]*streamState
+
+	// ctr is this PE's counter block. Guarded by mu.
+	ctr PEStats
+
+	// ev is this PE's wall-clock event ring (nil when disabled). All
+	// emissions happen under mu, which serialises the PE's threads, so
+	// the buffer's single-writer discipline holds.
+	ev *eventlog.Buf
+}
+
+// streamState is one stream channel's heap anchor on its owning PE:
+// tail is where the next arriving element lands (advanced by senders),
+// cursor is the next cell the receiver will read.
+type streamState struct {
+	tail   *graph.Thunk
+	cursor *graph.Thunk
+}
+
+// RTS is a running native Eden instance.
+type RTS struct {
+	cfg Config
+	pes []*peRT
+
+	// chanIDs hands out channel and stream ids.
+	chanIDs atomic.Int64
+
+	// stats fields updated from any thread.
+	processes atomic.Int64
+	threads   atomic.Int64
+
+	failed  atomic.Bool
+	errOnce sync.Once
+	err     error
+
+	wg sync.WaitGroup
+
+	events *eventlog.Log
+}
+
+// Run executes main as the root process on PE 0 and returns the
+// result. The value is identical to the same program's simulated-Eden
+// and sequential runs (referential transparency); only the time is
+// real.
+func Run(cfg Config, main pe.Program) (*Result, error) {
+	if main == nil {
+		return nil, errors.New("nativeeden: nil main")
+	}
+	if cfg.PEs <= 0 {
+		cfg.PEs = runtime.GOMAXPROCS(0)
+	}
+	r := &RTS{cfg: cfg}
+	r.pes = make([]*peRT, cfg.PEs)
+	for i := range r.pes {
+		p := &peRT{id: i, rts: r,
+			arena:   graph.NewArena(cfg.ArenaChunk),
+			cells:   map[int64]*graph.Thunk{},
+			streams: map[int64]*streamState{},
+		}
+		p.cond = sync.NewCond(&p.mu)
+		r.pes[i] = p
+	}
+
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
+	start := time.Now()
+	if cfg.EventLog {
+		r.events = eventlog.New(start, cfg.PEs, cfg.EventLogConfig)
+		for i, p := range r.pes {
+			p.ev = r.events.Buf(i)
+			// A PE with no thread is idle, not runnable: open an Idle
+			// bracket each thread's Run brackets nest inside. Emitted here,
+			// before any thread exists, so the single-writer rule holds.
+			p.ev.Emit(eventlog.IdleBegin)
+		}
+	}
+
+	// The caller's goroutine is the root process's thread on PE 0.
+	var value graph.Value
+	runErr := func() (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				if v == errAborted {
+					return // r.err carries the original failure
+				}
+				err = fmt.Errorf("nativeeden: root process panicked: %v", v)
+			}
+		}()
+		p0 := r.pes[0]
+		r.threads.Add(1)
+		p0.mu.Lock()
+		defer p0.mu.Unlock()
+		p0.ctr.Threads++
+		if p0.ev != nil {
+			p0.ev.Emit(eventlog.RunBegin)
+		}
+		value = main(&PCtx{rts: r, pe: p0})
+		if p0.ev != nil {
+			p0.ev.Emit(eventlog.RunEnd)
+		}
+		return nil
+	}()
+	if runErr != nil {
+		// The root's failure must unwind every blocked thread, exactly as
+		// a thread panic aborts the root (see the native GpH runtime's
+		// main-panic path for the hang this prevents).
+		r.fail(runErr)
+	}
+	r.wg.Wait()
+	wall := time.Since(start)
+
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+
+	if runErr == nil {
+		runErr = r.err
+	}
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := &Result{Value: value, WallNS: wall.Nanoseconds(), PEs: cfg.PEs}
+	res.GC = GCStats{
+		Cycles:     int64(memAfter.NumGC) - int64(memBefore.NumGC),
+		PauseNS:    int64(memAfter.PauseTotalNs) - int64(memBefore.PauseTotalNs),
+		BytesAlloc: int64(memAfter.TotalAlloc) - int64(memBefore.TotalAlloc),
+	}
+	res.Stats = Stats{Processes: r.processes.Load(), ThreadsCreated: r.threads.Load()}
+	res.PerPE = make([]PEStats, cfg.PEs)
+	for i, p := range r.pes {
+		// Safe plain reads: the WaitGroup barrier (and, for PE 0's root
+		// thread, goroutine identity) orders every owner write before
+		// these.
+		ps := p.ctr
+		ps.ArenaChunks, ps.ArenaThunks = p.arena.Stats()
+		res.PerPE[i] = ps
+		res.Stats.Messages += ps.MsgsSent
+		res.Stats.BytesSent += ps.BytesSent
+	}
+	if r.events != nil {
+		r.events.Close(res.WallNS)
+		res.Events = r.events
+	}
+	return res, nil
+}
+
+// fail records the first thread failure and wakes every blocked thread
+// so the run unwinds instead of hanging.
+func (r *RTS) fail(err error) {
+	r.errOnce.Do(func() { r.err = err })
+	r.failed.Store(true)
+	for _, p := range r.pes {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// checkFailed panics with errAborted if the run has failed; called at
+// every blocking-loop iteration so no thread waits on a value that
+// will never arrive.
+func (p *peRT) checkFailed() {
+	if p.rts.failed.Load() {
+		panic(errAborted)
+	}
+}
+
+// startThread runs body as a new Eden thread on this PE. The recover
+// handler is registered before the lock is taken so that, on panic,
+// the unlock (deferred later, hence run earlier) has already released
+// the PE before fail() tries to lock every PE.
+func (r *RTS) startThread(p *peRT, name string, body func(*PCtx)) {
+	r.wg.Add(1)
+	r.threads.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer func() {
+			if v := recover(); v != nil && v != errAborted {
+				r.fail(fmt.Errorf("nativeeden: PE %d thread %q panicked: %v", p.id, name, v))
+			}
+		}()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.ctr.Threads++
+		if p.ev != nil {
+			p.ev.Emit(eventlog.RunBegin)
+		}
+		body(&PCtx{rts: r, pe: p})
+		if p.ev != nil {
+			p.ev.Emit(eventlog.RunEnd)
+		}
+	}()
+}

@@ -1,0 +1,376 @@
+package nativeeden
+
+import (
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/eventlog"
+	"parhask/internal/graph"
+	"parhask/internal/pe"
+)
+
+// PCtx is the native backend's pe.Ctx: the context an Eden thread runs
+// against. The thread holds its PE's mutex for its entire execution —
+// every method below may assume the lock is held, and the blocking and
+// transport operations are the only places it is released.
+type PCtx struct {
+	rts *RTS
+	pe  *peRT
+}
+
+var (
+	_ pe.Ctx        = (*PCtx)(nil)
+	_ graph.Context = (*PCtx)(nil)
+)
+
+// Ports are plain {channel id, PE} value structs: shipping or capturing
+// one moves no heap, so a port crossing PEs (in a message or a spawned
+// closure) can never leak a thunk between heaps. The cells they name
+// live in the owning PE's registry.
+
+// Inport is the receiving end of a one-value channel.
+type Inport struct {
+	id int64
+	pe int
+}
+
+// InPE returns the PE that owns the receiving end.
+func (i Inport) InPE() int { return i.pe }
+
+// Outport is the sending end of a one-value channel.
+type Outport struct {
+	id   int64
+	dest int
+}
+
+// OutPE returns the destination PE.
+func (o Outport) OutPE() int { return o.dest }
+
+// StreamIn is the receiving end of an element-by-element stream.
+type StreamIn struct {
+	id int64
+	pe int
+}
+
+// StreamInPE returns the PE that owns the receiving end.
+func (s StreamIn) StreamInPE() int { return s.pe }
+
+// StreamOut is the sending end of an element-by-element stream.
+type StreamOut struct {
+	id   int64
+	dest int
+}
+
+// StreamOutPE returns the destination PE.
+func (s StreamOut) StreamOutPE() int { return s.dest }
+
+// --- generic mutator operations (graph.Context + pe.Ctx) ---
+
+// Burn is a no-op: real time is consumed by actually computing.
+func (p *PCtx) Burn(ns int64) {}
+
+// Alloc records the workload's declared allocation as per-PE telemetry
+// (the virtual-cost hook has no cost here, but the byte count is the
+// per-PE allocation story the head-to-head reports).
+func (p *PCtx) Alloc(bytes int64) { p.pe.ctr.AllocBytes += bytes }
+
+// Force evaluates a thunk to weak head normal form on this PE.
+func (p *PCtx) Force(t *graph.Thunk) graph.Value { return graph.Force(p, t) }
+
+// ForceDeep evaluates a value to normal form on this PE.
+func (p *PCtx) ForceDeep(v graph.Value) graph.Value { return graph.ForceDeep(p, v) }
+
+// EagerBlackholing is true: threads of one PE interleave at blocking
+// points, so without the claim a thread blocking mid-thunk would let a
+// sibling duplicate the evaluation.
+func (p *PCtx) EagerBlackholing() bool { return true }
+
+// BlackholeWriteCost is zero: the claim's cost is the real CAS.
+func (p *PCtx) BlackholeWriteCost() int64 { return 0 }
+
+// EnteredThunk / LeftThunk are no-ops (no lazy entry table).
+func (p *PCtx) EnteredThunk(t *graph.Thunk) {}
+func (p *PCtx) LeftThunk(t *graph.Thunk)    {}
+
+// NoteDuplicateEntry cannot fire under the eager policy; nothing to do.
+func (p *PCtx) NoteDuplicateEntry(t *graph.Thunk) {}
+
+// WakeThunkWaiters wakes the PE's blocked threads after an update.
+func (p *PCtx) WakeThunkWaiters(t *graph.Thunk) { p.pe.cond.Broadcast() }
+
+// BlockOnThunk suspends the thread on its PE's condvar until t is
+// Evaluated: the wait releases the PE lock, so sibling threads run —
+// the big-lock analogue of the simulator's thread descheduling.
+func (p *PCtx) BlockOnThunk(t *graph.Thunk) {
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.BlockBegin)
+	}
+	for t.State() != graph.Evaluated {
+		p.pe.checkFailed()
+		p.pe.cond.Wait()
+	}
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.BlockEnd)
+	}
+}
+
+// --- PE identity and placement ---
+
+// PE returns the index of the PE this thread runs on.
+func (p *PCtx) PE() int { return p.pe.id }
+
+// PEs returns the number of processing elements.
+func (p *PCtx) PEs() int { return len(p.rts.pes) }
+
+// AddResident declares long-lived heap data on the current PE.
+func (p *PCtx) AddResident(bytes int64) { p.pe.ctr.Resident += bytes }
+
+func (p *PCtx) norm(dest int) int {
+	n := len(p.rts.pes)
+	return ((dest % n) + n) % n
+}
+
+// Spawn instantiates a process on PE dest: a new thread (goroutine)
+// whose execution serialises on the destination PE's lock.
+func (p *PCtx) Spawn(dest int, name string, body func(pe.Ctx)) {
+	p.rts.processes.Add(1)
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.Fork)
+	}
+	p.rts.startThread(p.rts.pes[p.norm(dest)], name, func(c *PCtx) { body(c) })
+}
+
+// ForkLocal starts an additional thread of the current process on the
+// same PE.
+func (p *PCtx) ForkLocal(name string, body func(pe.Ctx)) {
+	p.rts.startThread(p.pe, name, func(c *PCtx) { body(c) })
+}
+
+// withPE runs f with dest's lock held (and, if dest is remote, this
+// thread's own PE lock released — at most one PE lock is ever held, so
+// transport cannot deadlock on lock order). Remote transport is thus a
+// yield point for the sibling threads of this PE, matching the
+// simulator's context-switch-at-communication granularity.
+func (p *PCtx) withPE(dest int, f func(d *peRT)) {
+	d := p.rts.pes[dest]
+	if d == p.pe {
+		f(d)
+		return
+	}
+	p.pe.mu.Unlock()
+	d.mu.Lock()
+	defer func() {
+		d.mu.Unlock()
+		p.pe.mu.Lock()
+	}()
+	f(d)
+}
+
+// --- one-value channels ---
+
+// NewChan creates a one-value channel whose receiving end (a heap
+// placeholder) lives on PE dest.
+func (p *PCtx) NewChan(dest int) (pe.Inport, pe.Outport) {
+	dest = p.norm(dest)
+	id := p.rts.chanIDs.Add(1)
+	p.withPE(dest, func(d *peRT) { d.cells[id] = d.arena.NewPlaceholder() })
+	return Inport{id: id, pe: dest}, Outport{id: id, dest: dest}
+}
+
+// Send reduces v to normal form, packs it (charging the same size model
+// as the simulator), deep-copies it, and resolves the destination PE's
+// placeholder with the copy. A normal-form violation panics with the
+// same structured *eden.SendError the simulator raises.
+func (p *PCtx) Send(out pe.Outport, v graph.Value) {
+	o := out.(Outport)
+	nf := p.ForceDeep(v)
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.CommBegin)
+	}
+	bytes, err := eden.SizeOfChecked(nf)
+	var msg graph.Value
+	if err == nil {
+		msg, err = copyForSend(nf)
+	}
+	if err != nil {
+		panic(&eden.SendError{Op: "Send", Chan: o.id, PE: p.pe.id, Dest: o.dest, Err: err})
+	}
+	p.pe.ctr.MsgsSent++
+	p.pe.ctr.BytesSent += bytes
+	if p.pe.ev != nil {
+		p.pe.ev.EmitArg(eventlog.MsgSend, int32(o.dest))
+	}
+	src := p.pe.id
+	p.withPE(o.dest, func(d *peRT) {
+		cell, ok := d.cells[o.id]
+		if !ok {
+			panic(fmt.Errorf("nativeeden: Send on unknown channel #%d (PE %d -> PE %d)", o.id, src, o.dest))
+		}
+		d.ctr.MsgsRecv++
+		d.ctr.BytesRecv += bytes
+		if d.ev != nil {
+			d.ev.EmitArg(eventlog.MsgRecv, int32(src))
+		}
+		cell.Resolve(msg)
+		d.cond.Broadcast()
+	})
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.CommEnd)
+	}
+}
+
+// Receive blocks until the channel's value has arrived; it must be
+// called on the channel's owning PE (channels are single-reader).
+func (p *PCtx) Receive(in pe.Inport) graph.Value {
+	i := in.(Inport)
+	if i.pe != p.pe.id {
+		panic(fmt.Sprintf("nativeeden: Receive on PE %d for a channel owned by PE %d (channels are single-reader)", p.pe.id, i.pe))
+	}
+	cell, ok := p.pe.cells[i.id]
+	if !ok {
+		panic(fmt.Sprintf("nativeeden: Receive twice on one-value channel #%d", i.id))
+	}
+	v := p.Force(cell)
+	delete(p.pe.cells, i.id)
+	return v
+}
+
+// --- stream channels (top-level lists, sent element by element) ---
+
+// NewStream creates a stream channel whose receiving end lives on PE
+// dest: a placeholder chain anchored in the destination's registry.
+func (p *PCtx) NewStream(dest int) (pe.StreamIn, pe.StreamOut) {
+	dest = p.norm(dest)
+	id := p.rts.chanIDs.Add(1)
+	p.withPE(dest, func(d *peRT) {
+		head := d.arena.NewPlaceholder()
+		d.streams[id] = &streamState{tail: head, cursor: head}
+	})
+	return StreamIn{id: id, pe: dest}, StreamOut{id: id, dest: dest}
+}
+
+// StreamSend transmits one element as its own message: the current
+// tail placeholder resolves to a Cons of the copied element and a
+// fresh placeholder for the rest of the stream.
+func (p *PCtx) StreamSend(out pe.StreamOut, v graph.Value) {
+	o := out.(StreamOut)
+	nf := p.ForceDeep(v)
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.CommBegin)
+	}
+	bytes, err := eden.SizeOfChecked(nf)
+	var msg graph.Value
+	if err == nil {
+		msg, err = copyForSend(nf)
+	}
+	if err != nil {
+		panic(&eden.SendError{Op: "StreamSend", Chan: o.id, PE: p.pe.id, Dest: o.dest, Err: err})
+	}
+	bytes += eden.ConsOverhead
+	p.pe.ctr.MsgsSent++
+	p.pe.ctr.BytesSent += bytes
+	if p.pe.ev != nil {
+		p.pe.ev.EmitArg(eventlog.MsgSend, int32(o.dest))
+	}
+	src := p.pe.id
+	p.withPE(o.dest, func(d *peRT) {
+		st := d.streams[o.id]
+		if st == nil || st.tail == nil {
+			panic(fmt.Errorf("nativeeden: StreamSend on closed or unknown stream #%d (PE %d -> PE %d)", o.id, src, o.dest))
+		}
+		next := d.arena.NewPlaceholder()
+		cur := st.tail
+		st.tail = next
+		d.ctr.MsgsRecv++
+		d.ctr.BytesRecv += bytes
+		if d.ev != nil {
+			d.ev.EmitArg(eventlog.MsgRecv, int32(src))
+		}
+		cur.Resolve(eden.Cons{Head: msg, Tail: next})
+		d.cond.Broadcast()
+	})
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.CommEnd)
+	}
+}
+
+// StreamClose terminates the stream (one Nil message).
+func (p *PCtx) StreamClose(out pe.StreamOut) {
+	o := out.(StreamOut)
+	const bytes = 16 // a Nil packs as one word, like the simulator's
+	p.pe.ctr.MsgsSent++
+	p.pe.ctr.BytesSent += bytes
+	if p.pe.ev != nil {
+		p.pe.ev.EmitArg(eventlog.MsgSend, int32(o.dest))
+	}
+	src := p.pe.id
+	p.withPE(o.dest, func(d *peRT) {
+		st := d.streams[o.id]
+		if st == nil || st.tail == nil {
+			panic(fmt.Errorf("nativeeden: StreamClose on closed or unknown stream #%d (PE %d -> PE %d)", o.id, src, o.dest))
+		}
+		cur := st.tail
+		st.tail = nil
+		d.ctr.MsgsRecv++
+		d.ctr.BytesRecv += bytes
+		if d.ev != nil {
+			d.ev.EmitArg(eventlog.MsgRecv, int32(src))
+		}
+		cur.Resolve(eden.Nil{})
+		d.cond.Broadcast()
+	})
+}
+
+// StreamRecv receives the next element, blocking until it arrives; ok
+// is false once the stream has been closed.
+func (p *PCtx) StreamRecv(in pe.StreamIn) (graph.Value, bool) {
+	i := in.(StreamIn)
+	if i.pe != p.pe.id {
+		panic(fmt.Sprintf("nativeeden: StreamRecv on PE %d for a stream owned by PE %d (streams are single-reader)", p.pe.id, i.pe))
+	}
+	st := p.pe.streams[i.id]
+	if st == nil {
+		panic(fmt.Sprintf("nativeeden: StreamRecv on unknown stream #%d", i.id))
+	}
+	switch c := p.Force(st.cursor).(type) {
+	case eden.Cons:
+		st.cursor = c.Tail
+		return c.Head, true
+	case eden.Nil:
+		return nil, false
+	default:
+		panic(fmt.Sprintf("nativeeden: stream #%d cell resolved to %T, want Cons or Nil", i.id, c))
+	}
+}
+
+// RecvAll drains a stream into a slice.
+func (p *PCtx) RecvAll(in pe.StreamIn) []graph.Value {
+	var out []graph.Value
+	for {
+		v, ok := p.StreamRecv(in)
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}
+
+// SendAll sends every element of xs and closes the stream.
+func (p *PCtx) SendAll(out pe.StreamOut, xs []graph.Value) {
+	for _, x := range xs {
+		p.StreamSend(out, x)
+	}
+	p.StreamClose(out)
+}
+
+// --- local synchronisation ---
+
+// LocalResolve fills a placeholder on the current PE without the
+// transport (an MVar-like intra-process synchronisation variable).
+func (p *PCtx) LocalResolve(cell *graph.Thunk, v graph.Value) {
+	cell.Resolve(v)
+	p.pe.cond.Broadcast()
+}
+
+// Await forces a local placeholder, blocking until it is filled.
+func (p *PCtx) Await(cell *graph.Thunk) graph.Value { return p.Force(cell) }

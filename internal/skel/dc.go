@@ -3,8 +3,8 @@ package skel
 import (
 	"fmt"
 
-	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
 // DC describes a divide-and-conquer algorithm for the DivideAndConquer
@@ -13,11 +13,11 @@ type DC struct {
 	// Trivial reports whether a problem should be solved directly.
 	Trivial func(prob graph.Value) bool
 	// Solve handles a trivial problem.
-	Solve func(w *eden.PCtx, prob graph.Value) graph.Value
+	Solve func(w pe.Ctx, prob graph.Value) graph.Value
 	// Divide splits a problem into subproblems.
-	Divide func(w *eden.PCtx, prob graph.Value) []graph.Value
+	Divide func(w pe.Ctx, prob graph.Value) []graph.Value
 	// Combine merges the subresults.
-	Combine func(w *eden.PCtx, prob graph.Value, subs []graph.Value) graph.Value
+	Combine func(w pe.Ctx, prob graph.Value, subs []graph.Value) graph.Value
 }
 
 // DivideAndConquer unfolds a process tree over the PEs: at each level
@@ -25,13 +25,13 @@ type DC struct {
 // (placed round-robin over the machine) while the first is solved
 // locally — Eden's recursively-unfolding dc skeleton. Below the depth
 // limit everything is solved sequentially in-process.
-func DivideAndConquer(p *eden.PCtx, name string, depth int, f DC, prob graph.Value) graph.Value {
+func DivideAndConquer(p pe.Ctx, name string, depth int, f DC, prob graph.Value) graph.Value {
 	return dcGo(p, name, depth, 1, f, prob)
 }
 
 // dcGo carries the placement stride: children at level l are offset by
 // stride so subtrees land on disjoint PEs until the machine is covered.
-func dcGo(p *eden.PCtx, name string, depth, stride int, f DC, prob graph.Value) graph.Value {
+func dcGo(p pe.Ctx, name string, depth, stride int, f DC, prob graph.Value) graph.Value {
 	if f.Trivial(prob) {
 		return f.Solve(p, prob)
 	}
@@ -44,14 +44,14 @@ func dcGo(p *eden.PCtx, name string, depth, stride int, f DC, prob graph.Value) 
 		return f.Combine(p, prob, results)
 	}
 	// Spawn all but the first subproblem remotely.
-	ins := make([]*eden.Inport, len(subs))
+	ins := make([]pe.Inport, len(subs))
 	for i := 1; i < len(subs); i++ {
 		i := i
-		pe := (p.PE() + i*stride) % p.PEs()
+		dest := (p.PE() + i*stride) % p.PEs()
 		in, out := p.NewChan(p.PE())
 		ins[i] = in
 		sub := subs[i]
-		p.Spawn(pe, fmt.Sprintf("%s-d%d-%d", name, depth, i), func(w *eden.PCtx) {
+		p.Spawn(dest, fmt.Sprintf("%s-d%d-%d", name, depth, i), func(w pe.Ctx) {
 			w.Send(out, dcGo(w, name, depth-1, stride*len(subs), f, sub))
 		})
 	}

@@ -3,8 +3,8 @@ package skel
 import (
 	"fmt"
 
-	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
 // HierMasterWorker is the hierarchical master-worker skeleton of the
@@ -20,7 +20,7 @@ import (
 // group (including tasks created at runtime, which stay in their
 // group's farm). Results are returned in completion order per group,
 // groups concatenated.
-func HierMasterWorker(p *eden.PCtx, name string, submasters, workersPer, prefetch, batch int,
+func HierMasterWorker(p pe.Ctx, name string, submasters, workersPer, prefetch, batch int,
 	work TaskFunc, initial []graph.Value) []graph.Value {
 	if submasters <= 0 || workersPer <= 0 {
 		panic("skel: HierMasterWorker needs positive submaster and worker counts")
@@ -32,7 +32,7 @@ func HierMasterWorker(p *eden.PCtx, name string, submasters, workersPer, prefetc
 	groupSize := 1 + workersPer
 	shares := unshuffle(submasters, initial)
 
-	resIns := make([]*eden.StreamIn, 0, submasters)
+	resIns := make([]pe.StreamIn, 0, submasters)
 	for s := 0; s < submasters && s < len(shares); s++ {
 		s := s
 		base := placement(p, s*groupSize)
@@ -43,7 +43,7 @@ func HierMasterWorker(p *eden.PCtx, name string, submasters, workersPer, prefetc
 		taskIn, taskOut := p.NewStream(base)
 		resIn, resOut := p.NewStream(p.PE())
 		resIns = append(resIns, resIn)
-		p.Spawn(base, fmt.Sprintf("%s-sub%d", name, s), func(sm *eden.PCtx) {
+		p.Spawn(base, fmt.Sprintf("%s-sub%d", name, s), func(sm pe.Ctx) {
 			tasks := sm.RecvAll(taskIn)
 			rs := MasterWorkerAt(sm, fmt.Sprintf("%s-sub%d", name, s), workerPEs, prefetch, work, tasks)
 			for _, r := range rs {

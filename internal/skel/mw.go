@@ -5,12 +5,13 @@ import (
 
 	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
 // TaskFunc processes one task in a worker, optionally producing new
 // tasks (enabling backtracking and branch-and-bound search trees, as the
 // paper notes) along with the task's result.
-type TaskFunc func(w *eden.PCtx, task graph.Value) (newTasks []graph.Value, result graph.Value)
+type TaskFunc func(w pe.Ctx, task graph.Value) (newTasks []graph.Value, result graph.Value)
 
 // mwResult is the packet a worker returns per task.
 type mwResult struct {
@@ -35,14 +36,14 @@ type mwState struct {
 	queue       []graph.Value
 	outstanding int
 	results     []graph.Value
-	pending     []*eden.StreamOut // workers waiting for a task (one entry per free slot)
-	handles     []*eden.StreamOut
+	pending     []pe.StreamOut // workers waiting for a task (one entry per free slot)
+	handles     []pe.StreamOut
 	closed      bool
 	collectors  int
 	done        *graph.Thunk
 }
 
-func (st *mwState) dispatch(p *eden.PCtx, wh *eden.StreamOut) {
+func (st *mwState) dispatch(p pe.Ctx, wh pe.StreamOut) {
 	if st.closed {
 		return
 	}
@@ -56,7 +57,7 @@ func (st *mwState) dispatch(p *eden.PCtx, wh *eden.StreamOut) {
 	p.StreamSend(wh, t)
 }
 
-func (st *mwState) drainPending(p *eden.PCtx) {
+func (st *mwState) drainPending(p pe.Ctx) {
 	for len(st.pending) > 0 && len(st.queue) > 0 && !st.closed {
 		wh := st.pending[0]
 		st.pending = st.pending[1:]
@@ -64,7 +65,7 @@ func (st *mwState) drainPending(p *eden.PCtx) {
 	}
 }
 
-func (st *mwState) checkDone(p *eden.PCtx) {
+func (st *mwState) checkDone(p pe.Ctx) {
 	if st.closed || st.outstanding > 0 || len(st.queue) > 0 {
 		return
 	}
@@ -79,7 +80,7 @@ func (st *mwState) checkDone(p *eden.PCtx) {
 // irregularly-sized tasks under the control of the calling (master)
 // process. Each worker keeps up to prefetch tasks in flight to hide the
 // master round-trip. Results are returned in completion order.
-func MasterWorker(p *eden.PCtx, name string, nWorkers, prefetch int, work TaskFunc, initial []graph.Value) []graph.Value {
+func MasterWorker(p pe.Ctx, name string, nWorkers, prefetch int, work TaskFunc, initial []graph.Value) []graph.Value {
 	if nWorkers <= 0 {
 		panic("skel: MasterWorker needs at least one worker")
 	}
@@ -93,7 +94,7 @@ func MasterWorker(p *eden.PCtx, name string, nWorkers, prefetch int, work TaskFu
 // MasterWorkerAt is MasterWorker with explicit worker placement: worker
 // i runs on workerPEs[i]. Hierarchical compositions use it to keep
 // sub-farms on disjoint PE groups.
-func MasterWorkerAt(p *eden.PCtx, name string, workerPEs []int, prefetch int, work TaskFunc, initial []graph.Value) []graph.Value {
+func MasterWorkerAt(p pe.Ctx, name string, workerPEs []int, prefetch int, work TaskFunc, initial []graph.Value) []graph.Value {
 	nWorkers := len(workerPEs)
 	if nWorkers <= 0 {
 		panic("skel: MasterWorkerAt needs at least one worker PE")
@@ -107,14 +108,14 @@ func MasterWorkerAt(p *eden.PCtx, name string, workerPEs []int, prefetch int, wo
 		done:       graph.NewPlaceholder(),
 	}
 
-	resIns := make([]*eden.StreamIn, nWorkers)
+	resIns := make([]pe.StreamIn, nWorkers)
 	for i := 0; i < nWorkers; i++ {
-		pe := workerPEs[i]
-		taskIn, taskOut := p.NewStream(pe)
+		dest := workerPEs[i]
+		taskIn, taskOut := p.NewStream(dest)
 		resIn, resOut := p.NewStream(p.PE())
 		st.handles = append(st.handles, taskOut)
 		resIns[i] = resIn
-		p.Spawn(pe, fmt.Sprintf("%s-w%d", name, i), func(w *eden.PCtx) {
+		p.Spawn(dest, fmt.Sprintf("%s-w%d", name, i), func(w pe.Ctx) {
 			for {
 				t, ok := w.StreamRecv(taskIn)
 				if !ok {
@@ -139,7 +140,7 @@ func MasterWorkerAt(p *eden.PCtx, name string, workerPEs []int, prefetch int, wo
 	// nondeterministic merge; deterministic here by simulation order).
 	for i := 0; i < nWorkers; i++ {
 		i := i
-		p.ForkLocal(fmt.Sprintf("%s-col%d", name, i), func(c *eden.PCtx) {
+		p.ForkLocal(fmt.Sprintf("%s-col%d", name, i), func(c pe.Ctx) {
 			for {
 				v, ok := c.StreamRecv(resIns[i])
 				if !ok {

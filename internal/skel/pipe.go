@@ -3,18 +3,18 @@ package skel
 import (
 	"fmt"
 
-	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
 // StageFunc transforms one stream element inside a pipeline stage.
-type StageFunc func(w *eden.PCtx, in graph.Value) graph.Value
+type StageFunc func(w pe.Ctx, in graph.Value) graph.Value
 
 // Pipeline spawns one process per stage, connected by streams: inputs
 // flow master → stage 0 → … → stage n-1 → master. With k inputs and s
 // stages the elements overlap in the classic pipeline fashion, so the
 // makespan approaches k·max-stage-cost rather than k·Σ stage costs.
-func Pipeline(p *eden.PCtx, name string, stages []StageFunc, inputs []graph.Value) []graph.Value {
+func Pipeline(p pe.Ctx, name string, stages []StageFunc, inputs []graph.Value) []graph.Value {
 	if len(stages) == 0 {
 		return append([]graph.Value(nil), inputs...)
 	}
@@ -24,8 +24,8 @@ func Pipeline(p *eden.PCtx, name string, stages []StageFunc, inputs []graph.Valu
 		pes[i] = placement(p, i)
 	}
 	// Stream i feeds stage i; the final stream returns to the master.
-	ins := make([]*eden.StreamIn, n+1)
-	outs := make([]*eden.StreamOut, n+1)
+	ins := make([]pe.StreamIn, n+1)
+	outs := make([]pe.StreamOut, n+1)
 	ins[0], outs[0] = p.NewStream(pes[0])
 	for i := 1; i < n; i++ {
 		ins[i], outs[i] = p.NewStream(pes[i])
@@ -34,7 +34,7 @@ func Pipeline(p *eden.PCtx, name string, stages []StageFunc, inputs []graph.Valu
 
 	for i := 0; i < n; i++ {
 		i := i
-		p.Spawn(pes[i], fmt.Sprintf("%s-s%d", name, i), func(w *eden.PCtx) {
+		p.Spawn(pes[i], fmt.Sprintf("%s-s%d", name, i), func(w pe.Ctx) {
 			for {
 				v, ok := w.StreamRecv(ins[i])
 				if !ok {
@@ -49,7 +49,7 @@ func Pipeline(p *eden.PCtx, name string, stages []StageFunc, inputs []graph.Valu
 	// Feed the pipeline from a separate local thread so the master can
 	// drain results concurrently (otherwise a long input list would
 	// deadlock on the bounded virtual-time interleaving).
-	p.ForkLocal(name+"-feed", func(f *eden.PCtx) {
+	p.ForkLocal(name+"-feed", func(f pe.Ctx) {
 		f.SendAll(outs[0], inputs)
 	})
 	out := p.RecvAll(ins[n])

@@ -12,17 +12,17 @@ package skel
 import (
 	"fmt"
 
-	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
 // WorkerFunc maps one input value to one output value inside a worker
 // process.
-type WorkerFunc func(w *eden.PCtx, in graph.Value) graph.Value
+type WorkerFunc func(w pe.Ctx, in graph.Value) graph.Value
 
 // placement returns the PE for the i-th worker: round-robin starting
 // after the caller's PE, as Eden's instantiation does by default.
-func placement(p *eden.PCtx, i int) int {
+func placement(p pe.Ctx, i int) int {
 	return (p.PE() + 1 + i) % p.PEs()
 }
 
@@ -30,15 +30,15 @@ func placement(p *eden.PCtx, i int) int {
 // per input, placed round-robin over the PEs) and returns the results in
 // input order. Inputs are shipped to the workers over one-value
 // channels; results come back the same way.
-func ParMap(p *eden.PCtx, name string, f WorkerFunc, inputs []graph.Value) []graph.Value {
+func ParMap(p pe.Ctx, name string, f WorkerFunc, inputs []graph.Value) []graph.Value {
 	n := len(inputs)
-	resIns := make([]*eden.Inport, n)
+	resIns := make([]pe.Inport, n)
 	for i := 0; i < n; i++ {
-		pe := placement(p, i)
-		argIn, argOut := p.NewChan(pe)
+		dest := placement(p, i)
+		argIn, argOut := p.NewChan(dest)
 		resIn, resOut := p.NewChan(p.PE())
 		resIns[i] = resIn
-		p.Spawn(pe, fmt.Sprintf("%s-%d", name, i), func(w *eden.PCtx) {
+		p.Spawn(dest, fmt.Sprintf("%s-%d", name, i), func(w pe.Ctx) {
 			w.Send(resOut, f(w, w.Receive(argIn)))
 		})
 		p.Send(argOut, inputs[i])
@@ -51,22 +51,22 @@ func ParMap(p *eden.PCtx, name string, f WorkerFunc, inputs []graph.Value) []gra
 }
 
 // FoldFunc combines an accumulator with one value.
-type FoldFunc func(w *eden.PCtx, acc, x graph.Value) graph.Value
+type FoldFunc func(w pe.Ctx, acc, x graph.Value) graph.Value
 
 // ParReduce folds a list in parallel: the list is split into one chunk
 // per PE, each chunk is folded in its own process (foldl' f ntr), and
 // the partial results are folded again by the caller — the Eden
 // parReduce of §II-A. Requires f to be associative-compatible with this
 // regrouping, as in the paper.
-func ParReduce(p *eden.PCtx, name string, f FoldFunc, ntr graph.Value, xs []graph.Value) graph.Value {
+func ParReduce(p pe.Ctx, name string, f FoldFunc, ntr graph.Value, xs []graph.Value) graph.Value {
 	chunks := splitIntoN(p.PEs(), xs)
-	partIns := make([]*eden.Inport, 0, len(chunks))
+	partIns := make([]pe.Inport, 0, len(chunks))
 	for i, chunk := range chunks {
-		pe := placement(p, i)
-		argIn, argOut := p.NewStream(pe)
+		dest := placement(p, i)
+		argIn, argOut := p.NewStream(dest)
 		resIn, resOut := p.NewChan(p.PE())
 		partIns = append(partIns, resIn)
-		p.Spawn(pe, fmt.Sprintf("%s-%d", name, i), func(w *eden.PCtx) {
+		p.Spawn(dest, fmt.Sprintf("%s-%d", name, i), func(w pe.Ctx) {
 			acc := ntr
 			for {
 				x, ok := w.StreamRecv(argIn)
@@ -93,10 +93,10 @@ type KV struct {
 }
 
 // MapFunc expands one input into key-value pairs.
-type MapFunc func(w *eden.PCtx, in graph.Value) []KV
+type MapFunc func(w pe.Ctx, in graph.Value) []KV
 
 // ReduceFunc combines all values collected for one key.
-type ReduceFunc func(w *eden.PCtx, key graph.Value, vals []graph.Value) graph.Value
+type ReduceFunc func(w pe.Ctx, key graph.Value, vals []graph.Value) graph.Value
 
 // ParMapReduce is the Google-style map-reduce skeleton of §II-A: a
 // parallel map producing key-value pairs from every input, followed by a
@@ -104,15 +104,15 @@ type ReduceFunc func(w *eden.PCtx, key graph.Value, vals []graph.Value) graph.Va
 // pair per key per worker crosses the network; the caller performs the
 // final reduction. Results are returned in first-appearance key order
 // (deterministically).
-func ParMapReduce(p *eden.PCtx, name string, mapf MapFunc, reducef ReduceFunc, inputs []graph.Value) []KV {
+func ParMapReduce(p pe.Ctx, name string, mapf MapFunc, reducef ReduceFunc, inputs []graph.Value) []KV {
 	shares := unshuffle(p.PEs(), inputs)
-	resIns := make([]*eden.StreamIn, 0, len(shares))
+	resIns := make([]pe.StreamIn, 0, len(shares))
 	for i, share := range shares {
-		pe := placement(p, i)
-		argIn, argOut := p.NewStream(pe)
+		dest := placement(p, i)
+		argIn, argOut := p.NewStream(dest)
 		resIn, resOut := p.NewStream(p.PE())
 		resIns = append(resIns, resIn)
-		p.Spawn(pe, fmt.Sprintf("%s-%d", name, i), func(w *eden.PCtx) {
+		p.Spawn(dest, fmt.Sprintf("%s-%d", name, i), func(w pe.Ctx) {
 			g := newGrouper()
 			for {
 				x, ok := w.StreamRecv(argIn)

@@ -6,18 +6,19 @@ import (
 
 	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
 func TestPipelineTransformsInOrder(t *testing.T) {
-	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, 10)
 		for i := range inputs {
 			inputs[i] = i
 		}
 		out := Pipeline(p, "pipe", []StageFunc{
-			func(w *eden.PCtx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) + 1 },
-			func(w *eden.PCtx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) * 2 },
-			func(w *eden.PCtx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) - 3 },
+			func(w pe.Ctx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) + 1 },
+			func(w pe.Ctx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) * 2 },
+			func(w pe.Ctx, v graph.Value) graph.Value { w.Burn(50_000); return v.(int) - 3 },
 		}, inputs)
 		return out
 	})
@@ -37,12 +38,12 @@ func TestPipelineOverlapsStages(t *testing.T) {
 	// k items through s equal stages must take ~ (k+s-1) stage-times,
 	// not k·s: check we beat the sequential bound comfortably.
 	const k, stageCost = 16, 2_000_000
-	stage := func(w *eden.PCtx, v graph.Value) graph.Value {
+	stage := func(w pe.Ctx, v graph.Value) graph.Value {
 		w.Alloc(16 * 1024)
 		w.Burn(stageCost)
 		return v
 	}
-	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, k)
 		for i := range inputs {
 			inputs[i] = i
@@ -57,7 +58,7 @@ func TestPipelineOverlapsStages(t *testing.T) {
 }
 
 func TestPipelineEmptyStages(t *testing.T) {
-	res := runE(t, eden.NewConfig(2, 2), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(2, 2), func(p pe.Ctx) graph.Value {
 		out := Pipeline(p, "pipe", nil, []graph.Value{1, 2, 3})
 		return len(out)
 	})
@@ -70,18 +71,18 @@ func TestPipelineEmptyStages(t *testing.T) {
 func mergesortDC() DC {
 	return DC{
 		Trivial: func(prob graph.Value) bool { return len(prob.([]int)) <= 4 },
-		Solve: func(w *eden.PCtx, prob graph.Value) graph.Value {
+		Solve: func(w pe.Ctx, prob graph.Value) graph.Value {
 			xs := append([]int(nil), prob.([]int)...)
 			sort.Ints(xs)
 			w.Burn(int64(len(xs)) * 2_000)
 			return xs
 		},
-		Divide: func(w *eden.PCtx, prob graph.Value) []graph.Value {
+		Divide: func(w pe.Ctx, prob graph.Value) []graph.Value {
 			xs := prob.([]int)
 			mid := len(xs) / 2
 			return []graph.Value{xs[:mid], xs[mid:]}
 		},
-		Combine: func(w *eden.PCtx, prob graph.Value, subs []graph.Value) graph.Value {
+		Combine: func(w pe.Ctx, prob graph.Value, subs []graph.Value) graph.Value {
 			a, b := subs[0].([]int), subs[1].([]int)
 			out := make([]int, 0, len(a)+len(b))
 			i, j := 0, 0
@@ -103,7 +104,7 @@ func mergesortDC() DC {
 }
 
 func TestDivideAndConquerMergesort(t *testing.T) {
-	res := runE(t, eden.NewConfig(8, 8), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(8, 8), func(p pe.Ctx) graph.Value {
 		xs := make([]int, 257)
 		for i := range xs {
 			xs[i] = (i*7919 + 13) % 1000
@@ -117,7 +118,7 @@ func TestDivideAndConquerMergesort(t *testing.T) {
 }
 
 func TestDivideAndConquerDepthZeroIsSequential(t *testing.T) {
-	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
 		xs := []int{5, 3, 1, 4, 2, 9, 7, 8, 6, 0}
 		return DivideAndConquer(p, "msort", 0, mergesortDC(), xs)
 	})
@@ -131,7 +132,7 @@ func TestDivideAndConquerDepthZeroIsSequential(t *testing.T) {
 }
 
 func TestDivideAndConquerSpawnsTree(t *testing.T) {
-	res := runE(t, eden.NewConfig(8, 8), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(8, 8), func(p pe.Ctx) graph.Value {
 		xs := make([]int, 512)
 		for i := range xs {
 			xs[i] = 512 - i
@@ -148,13 +149,13 @@ func TestDivideAndConquerSpawnsTree(t *testing.T) {
 }
 
 func TestHierMasterWorker(t *testing.T) {
-	res := runE(t, eden.NewConfig(9, 8), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(9, 8), func(p pe.Ctx) graph.Value {
 		tasks := make([]graph.Value, 40)
 		for i := range tasks {
 			tasks[i] = i
 		}
 		out := HierMasterWorker(p, "hmw", 2, 3, 2, 10,
-			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+			func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 				n := task.(int)
 				w.Burn(int64(40_000 + 15_000*(n%7)))
 				return nil, n * 3
@@ -183,9 +184,9 @@ func TestHierMasterWorker(t *testing.T) {
 
 func TestHierMasterWorkerDynamicTasks(t *testing.T) {
 	// Dynamic subtasks must be handled inside the submaster farms.
-	res := runE(t, eden.NewConfig(7, 7), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(7, 7), func(p pe.Ctx) graph.Value {
 		out := HierMasterWorker(p, "hmw", 2, 2, 1, 2,
-			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+			func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 				n := task.(int)
 				w.Burn(20_000)
 				if n > 0 {
@@ -202,11 +203,11 @@ func TestHierMasterWorkerDynamicTasks(t *testing.T) {
 }
 
 func TestMasterWorkerAtExplicitPlacement(t *testing.T) {
-	res := runE(t, eden.NewConfig(6, 6), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(6, 6), func(p pe.Ctx) graph.Value {
 		pes := []int{2, 4}
 		seen := map[int]bool{}
 		MasterWorkerAt(p, "mwat", pes, 1,
-			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+			func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 				seen[w.PE()] = true
 				return nil, task
 			}, []graph.Value{1, 2, 3, 4, 5, 6})

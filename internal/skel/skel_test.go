@@ -6,9 +6,10 @@ import (
 
 	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
-func runE(t *testing.T, cfg eden.Config, main func(*eden.PCtx) graph.Value) *eden.Result {
+func runE(t *testing.T, cfg eden.Config, main func(pe.Ctx) graph.Value) *eden.Result {
 	t.Helper()
 	res, err := eden.Run(cfg, main)
 	if err != nil {
@@ -18,12 +19,12 @@ func runE(t *testing.T, cfg eden.Config, main func(*eden.PCtx) graph.Value) *ede
 }
 
 func TestParMapSquares(t *testing.T) {
-	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, 10)
 		for i := range inputs {
 			inputs[i] = i
 		}
-		out := ParMap(p, "sq", func(w *eden.PCtx, in graph.Value) graph.Value {
+		out := ParMap(p, "sq", func(w pe.Ctx, in graph.Value) graph.Value {
 			w.Burn(100_000)
 			n := in.(int)
 			return n * n
@@ -50,12 +51,12 @@ func TestParMapSquares(t *testing.T) {
 }
 
 func TestParMapParallelSpeedup(t *testing.T) {
-	main := func(p *eden.PCtx) graph.Value {
+	main := func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, 8)
 		for i := range inputs {
 			inputs[i] = i
 		}
-		ParMap(p, "w", func(w *eden.PCtx, in graph.Value) graph.Value {
+		ParMap(p, "w", func(w pe.Ctx, in graph.Value) graph.Value {
 			w.Alloc(128 * 1024)
 			w.Burn(10_000_000)
 			return in
@@ -70,12 +71,12 @@ func TestParMapParallelSpeedup(t *testing.T) {
 }
 
 func TestParReduceSum(t *testing.T) {
-	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
 		xs := make([]graph.Value, 100)
 		for i := range xs {
 			xs[i] = i + 1
 		}
-		return ParReduce(p, "sum", func(w *eden.PCtx, acc, x graph.Value) graph.Value {
+		return ParReduce(p, "sum", func(w pe.Ctx, acc, x graph.Value) graph.Value {
 			w.Burn(10_000)
 			return acc.(int) + x.(int)
 		}, 0, xs)
@@ -86,8 +87,8 @@ func TestParReduceSum(t *testing.T) {
 }
 
 func TestParReduceFewerElementsThanPEs(t *testing.T) {
-	res := runE(t, eden.NewConfig(8, 8), func(p *eden.PCtx) graph.Value {
-		return ParReduce(p, "sum", func(w *eden.PCtx, acc, x graph.Value) graph.Value {
+	res := runE(t, eden.NewConfig(8, 8), func(p pe.Ctx) graph.Value {
+		return ParReduce(p, "sum", func(w pe.Ctx, acc, x graph.Value) graph.Value {
 			return acc.(int) + x.(int)
 		}, 0, []graph.Value{1, 2, 3})
 	})
@@ -97,17 +98,17 @@ func TestParReduceFewerElementsThanPEs(t *testing.T) {
 }
 
 func TestParMapReduceGroupsByKey(t *testing.T) {
-	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, 30)
 		for i := range inputs {
 			inputs[i] = i
 		}
 		kvs := ParMapReduce(p, "mr",
-			func(w *eden.PCtx, in graph.Value) []KV {
+			func(w pe.Ctx, in graph.Value) []KV {
 				w.Burn(20_000)
 				return []KV{{Key: in.(int) % 3, Val: 1}}
 			},
-			func(w *eden.PCtx, key graph.Value, vals []graph.Value) graph.Value {
+			func(w pe.Ctx, key graph.Value, vals []graph.Value) graph.Value {
 				s := 0
 				for _, v := range vals {
 					s += v.(int)
@@ -127,13 +128,13 @@ func TestParMapReduceGroupsByKey(t *testing.T) {
 }
 
 func TestParMapReduceDeterministicKeyOrder(t *testing.T) {
-	main := func(p *eden.PCtx) graph.Value {
+	main := func(p pe.Ctx) graph.Value {
 		inputs := []graph.Value{5, 3, 5, 1, 3}
 		kvs := ParMapReduce(p, "mr",
-			func(w *eden.PCtx, in graph.Value) []KV {
+			func(w pe.Ctx, in graph.Value) []KV {
 				return []KV{{Key: in, Val: 1}}
 			},
-			func(w *eden.PCtx, key graph.Value, vals []graph.Value) graph.Value {
+			func(w pe.Ctx, key graph.Value, vals []graph.Value) graph.Value {
 				return len(vals)
 			}, inputs)
 		keys := make([]int, len(kvs))
@@ -156,12 +157,12 @@ func TestParMapReduceDeterministicKeyOrder(t *testing.T) {
 }
 
 func TestMasterWorkerStaticTasks(t *testing.T) {
-	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
 		tasks := make([]graph.Value, 20)
 		for i := range tasks {
 			tasks[i] = i
 		}
-		out := MasterWorker(p, "mw", 3, 2, func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+		out := MasterWorker(p, "mw", 3, 2, func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 			n := task.(int)
 			w.Burn(int64(50_000 + 20_000*(n%5))) // irregular sizes
 			return nil, n * 2
@@ -187,8 +188,8 @@ func TestMasterWorkerStaticTasks(t *testing.T) {
 func TestMasterWorkerDynamicTaskTree(t *testing.T) {
 	// Each task n > 0 spawns two subtasks n-1; counting all results
 	// verifies dynamic task creation and clean termination.
-	res := runE(t, eden.NewConfig(4, 4), func(p *eden.PCtx) graph.Value {
-		out := MasterWorker(p, "tree", 4, 2, func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
+		out := MasterWorker(p, "tree", 4, 2, func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 			n := task.(int)
 			w.Burn(30_000)
 			if n == 0 {
@@ -211,8 +212,8 @@ func TestMasterWorkerDynamicTaskTree(t *testing.T) {
 }
 
 func TestMasterWorkerEmptyInitial(t *testing.T) {
-	res := runE(t, eden.NewConfig(2, 2), func(p *eden.PCtx) graph.Value {
-		out := MasterWorker(p, "mt", 2, 1, func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+	res := runE(t, eden.NewConfig(2, 2), func(p pe.Ctx) graph.Value {
+		out := MasterWorker(p, "mt", 2, 1, func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 			return nil, task
 		}, nil)
 		return len(out)
@@ -226,13 +227,13 @@ func TestRingAllToAll(t *testing.T) {
 	// Each node injects its input and forwards everything it receives
 	// n-1 hops; every node must see every input exactly once.
 	const n = 5
-	res := runE(t, eden.NewConfig(n+1, n+1), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(n+1, n+1), func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, n)
 		for i := range inputs {
 			inputs[i] = 10 + i
 		}
-		outs := Ring(p, "ring", n, func(w *eden.PCtx, idx int, input graph.Value,
-			fromPred *eden.StreamIn, toSucc *eden.StreamOut) graph.Value {
+		outs := Ring(p, "ring", n, func(w pe.Ctx, idx int, input graph.Value,
+			fromPred pe.StreamIn, toSucc pe.StreamOut) graph.Value {
 			sum := input.(int)
 			w.StreamSend(toSucc, input)
 			for k := 0; k < n-1; k++ {
@@ -270,7 +271,7 @@ func TestTorusNeighbourWiring(t *testing.T) {
 	// its right neighbour's coordinates on fromRight and its below
 	// neighbour's on fromBelow.
 	const q = 3
-	res := runE(t, eden.NewConfig(q*q+1, 8), func(p *eden.PCtx) graph.Value {
+	res := runE(t, eden.NewConfig(q*q+1, 8), func(p pe.Ctx) graph.Value {
 		inputs := make([][]graph.Value, q)
 		for i := range inputs {
 			inputs[i] = make([]graph.Value, q)
@@ -278,9 +279,9 @@ func TestTorusNeighbourWiring(t *testing.T) {
 				inputs[i][j] = []int{i, j}
 			}
 		}
-		outs := Torus(p, "torus", q, func(w *eden.PCtx, i, j int, input graph.Value,
-			fromRight *eden.StreamIn, toLeft *eden.StreamOut,
-			fromBelow *eden.StreamIn, toUp *eden.StreamOut) graph.Value {
+		outs := Torus(p, "torus", q, func(w pe.Ctx, i, j int, input graph.Value,
+			fromRight pe.StreamIn, toLeft pe.StreamOut,
+			fromBelow pe.StreamIn, toUp pe.StreamOut) graph.Value {
 			w.StreamSend(toLeft, input)
 			w.StreamSend(toUp, input)
 			w.StreamClose(toLeft)
@@ -311,13 +312,13 @@ func TestTorusNeighbourWiring(t *testing.T) {
 }
 
 func TestRingDeterminism(t *testing.T) {
-	main := func(p *eden.PCtx) graph.Value {
+	main := func(p pe.Ctx) graph.Value {
 		inputs := make([]graph.Value, 4)
 		for i := range inputs {
 			inputs[i] = i
 		}
-		Ring(p, "r", 4, func(w *eden.PCtx, idx int, input graph.Value,
-			in *eden.StreamIn, out *eden.StreamOut) graph.Value {
+		Ring(p, "r", 4, func(w pe.Ctx, idx int, input graph.Value,
+			in pe.StreamIn, out pe.StreamOut) graph.Value {
 			w.StreamSend(out, input)
 			w.StreamClose(out)
 			v, _ := w.StreamRecv(in)

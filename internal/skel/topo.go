@@ -3,8 +3,8 @@ package skel
 import (
 	"fmt"
 
-	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 )
 
 // RingNodeFunc is the behaviour of one ring node: it receives its
@@ -12,13 +12,13 @@ import (
 // successor, and returns its final result. Topology skeletons like this
 // capture the parallel interaction structure rather than the algorithm
 // (§II-A).
-type RingNodeFunc func(w *eden.PCtx, idx int, input graph.Value,
-	fromPred *eden.StreamIn, toSucc *eden.StreamOut) graph.Value
+type RingNodeFunc func(w pe.Ctx, idx int, input graph.Value,
+	fromPred pe.StreamIn, toSucc pe.StreamOut) graph.Value
 
 // Ring spawns n processes connected in a unidirectional ring (node i
 // sends to node i+1 mod n) and returns the nodes' results in index
 // order. Used by the paper's all-pairs shortest-paths program.
-func Ring(p *eden.PCtx, name string, n int, node RingNodeFunc, inputs []graph.Value) []graph.Value {
+func Ring(p pe.Ctx, name string, n int, node RingNodeFunc, inputs []graph.Value) []graph.Value {
 	if len(inputs) != n {
 		panic(fmt.Sprintf("skel: Ring with %d nodes but %d inputs", n, len(inputs)))
 	}
@@ -29,21 +29,21 @@ func Ring(p *eden.PCtx, name string, n int, node RingNodeFunc, inputs []graph.Va
 	// ringIn[i] is node i's stream from its predecessor; ringOut[i] is
 	// node i's stream to its successor: the pair (out=i, in=(i+1)%n)
 	// shares one channel owned by node (i+1)%n's PE.
-	ringIn := make([]*eden.StreamIn, n)
-	ringOut := make([]*eden.StreamOut, n)
+	ringIn := make([]pe.StreamIn, n)
+	ringOut := make([]pe.StreamOut, n)
 	for i := 0; i < n; i++ {
 		succ := (i + 1) % n
 		in, out := p.NewStream(pes[succ])
 		ringIn[succ] = in
 		ringOut[i] = out
 	}
-	resIns := make([]*eden.Inport, n)
+	resIns := make([]pe.Inport, n)
 	for i := 0; i < n; i++ {
 		i := i
 		argIn, argOut := p.NewChan(pes[i])
 		resIn, resOut := p.NewChan(p.PE())
 		resIns[i] = resIn
-		p.Spawn(pes[i], fmt.Sprintf("%s-n%d", name, i), func(w *eden.PCtx) {
+		p.Spawn(pes[i], fmt.Sprintf("%s-n%d", name, i), func(w pe.Ctx) {
 			w.Send(resOut, node(w, i, w.Receive(argIn), ringIn[i], ringOut[i]))
 		})
 		p.Send(argOut, inputs[i])
@@ -60,14 +60,14 @@ func Ring(p *eden.PCtx, name string, n int, node RingNodeFunc, inputs []graph.Va
 // direction names match Cannon's algorithm: blocks of A shift left
 // (send toLeft, receive fromRight) and blocks of B shift up (send toUp,
 // receive fromBelow).
-type TorusNodeFunc func(w *eden.PCtx, i, j int, input graph.Value,
-	fromRight *eden.StreamIn, toLeft *eden.StreamOut,
-	fromBelow *eden.StreamIn, toUp *eden.StreamOut) graph.Value
+type TorusNodeFunc func(w pe.Ctx, i, j int, input graph.Value,
+	fromRight pe.StreamIn, toLeft pe.StreamOut,
+	fromBelow pe.StreamIn, toUp pe.StreamOut) graph.Value
 
 // Torus spawns q×q processes in a torus topology and returns their
 // results as a q×q matrix. It is the communication structure of the
 // paper's Cannon matrix-multiplication program.
-func Torus(p *eden.PCtx, name string, q int, node TorusNodeFunc, inputs [][]graph.Value) [][]graph.Value {
+func Torus(p pe.Ctx, name string, q int, node TorusNodeFunc, inputs [][]graph.Value) [][]graph.Value {
 	if len(inputs) != q {
 		panic(fmt.Sprintf("skel: Torus q=%d but %d input rows", q, len(inputs)))
 	}
@@ -79,10 +79,10 @@ func Torus(p *eden.PCtx, name string, q int, node TorusNodeFunc, inputs [][]grap
 	// Horizontal: node (i,j) sends left to (i, j-1); that channel is
 	// fromRight for the receiver. Vertical: node (i,j) sends up to
 	// (i-1, j); that channel is fromBelow for the receiver.
-	toLeft := make([]*eden.StreamOut, q*q)
-	fromRight := make([]*eden.StreamIn, q*q)
-	toUp := make([]*eden.StreamOut, q*q)
-	fromBelow := make([]*eden.StreamIn, q*q)
+	toLeft := make([]pe.StreamOut, q*q)
+	fromRight := make([]pe.StreamIn, q*q)
+	toUp := make([]pe.StreamOut, q*q)
+	fromBelow := make([]pe.StreamIn, q*q)
 	for i := 0; i < q; i++ {
 		for j := 0; j < q; j++ {
 			lj := (j - 1 + q) % q
@@ -96,7 +96,7 @@ func Torus(p *eden.PCtx, name string, q int, node TorusNodeFunc, inputs [][]grap
 			fromBelow[idx(ui, j)] = vin
 		}
 	}
-	resIns := make([]*eden.Inport, q*q)
+	resIns := make([]pe.Inport, q*q)
 	for i := 0; i < q; i++ {
 		for j := 0; j < q; j++ {
 			i, j := i, j
@@ -104,7 +104,7 @@ func Torus(p *eden.PCtx, name string, q int, node TorusNodeFunc, inputs [][]grap
 			argIn, argOut := p.NewChan(pes[k])
 			resIn, resOut := p.NewChan(p.PE())
 			resIns[k] = resIn
-			p.Spawn(pes[k], fmt.Sprintf("%s-n%d_%d", name, i, j), func(w *eden.PCtx) {
+			p.Spawn(pes[k], fmt.Sprintf("%s-n%d_%d", name, i, j), func(w pe.Ctx) {
 				w.Send(resOut, node(w, i, j, w.Receive(argIn),
 					fromRight[k], toLeft[k], fromBelow[k], toUp[k]))
 			})

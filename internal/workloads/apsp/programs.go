@@ -3,9 +3,9 @@ package apsp
 import (
 	"fmt"
 
-	"parhask/internal/eden"
 	"parhask/internal/exec"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
@@ -112,7 +112,7 @@ func (pm pivotMsg) PackedSize() int64 { return int64(4*len(pm.Row)) + 32 }
 // the minimum distances by updating its rows continuously with the pivot
 // rows received from (and forwarded to) the ring; the row updates depend
 // on each previous stage but are pipelined around the ring (§V).
-func EdenRingProgram(g Graph, ringSize int, minPlusCost int64) func(*eden.PCtx) graph.Value {
+func EdenRingProgram(g Graph, ringSize int, minPlusCost int64) pe.Program {
 	n := len(g)
 	if ringSize <= 0 {
 		panic("apsp: ring size must be positive")
@@ -121,7 +121,7 @@ func EdenRingProgram(g Graph, ringSize int, minPlusCost int64) func(*eden.PCtx) 
 		ringSize = n
 	}
 	p := ringSize
-	return func(px *eden.PCtx) graph.Value {
+	return func(px pe.Ctx) graph.Value {
 		bounds := make([][2]int, p)
 		inputs := make([]graph.Value, p)
 		for i := 0; i < p; i++ {
@@ -133,8 +133,8 @@ func EdenRingProgram(g Graph, ringSize int, minPlusCost int64) func(*eden.PCtx) 
 			}
 			inputs[i] = ringInput{Lo: lo, Rows: rows}
 		}
-		outs := skel.Ring(px, "apsp", p, func(w *eden.PCtx, idx int, input graph.Value,
-			fromPred *eden.StreamIn, toSucc *eden.StreamOut) graph.Value {
+		outs := skel.Ring(px, "apsp", p, func(w pe.Ctx, idx int, input graph.Value,
+			fromPred pe.StreamIn, toSucc pe.StreamOut) graph.Value {
 			in := input.(ringInput)
 			rows := in.Rows
 			lo, hi := bounds[idx][0], bounds[idx][1]

@@ -18,7 +18,7 @@ import (
 )
 
 // Ctx is the slice of a runtime context the mutator needs. Both
-// *rts.Ctx and *eden.PCtx satisfy it.
+// *rts.Ctx and pe.Ctx satisfy it.
 type Ctx interface {
 	Burn(ns int64)
 	Alloc(bytes int64)

@@ -3,9 +3,9 @@ package euler
 import (
 	"fmt"
 
-	"parhask/internal/eden"
 	"parhask/internal/exec"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
@@ -83,18 +83,18 @@ func GpHProgram(n, chunks int, gcdIterCost int64) func(*rts.Ctx) graph.Value {
 // skeleton over chunk ranges (chunksPerPE chunks per PE; the paper's
 // static split corresponds to chunksPerPE = 1), followed by the same
 // sequential check.
-func EdenProgram(n, chunksPerPE int, gcdIterCost int64) func(*eden.PCtx) graph.Value {
-	return func(p *eden.PCtx) graph.Value {
+func EdenProgram(n, chunksPerPE int, gcdIterCost int64) pe.Program {
+	return func(p pe.Ctx) graph.Value {
 		if chunksPerPE <= 0 {
 			chunksPerPE = 4
 		}
 		inputs := RangesValues(n, p.PEs()*chunksPerPE)
 		kvs := skel.ParMapReduce(p, "sumEuler",
-			func(w *eden.PCtx, in graph.Value) []skel.KV {
+			func(w pe.Ctx, in graph.Value) []skel.KV {
 				r := in.(Range)
 				return []skel.KV{{Key: 0, Val: SumRange(w, gcdIterCost, r.Lo, r.Hi)}}
 			},
-			func(w *eden.PCtx, key graph.Value, vals []graph.Value) graph.Value {
+			func(w pe.Ctx, key graph.Value, vals []graph.Value) graph.Value {
 				var s int64
 				for _, v := range vals {
 					s += v.(int64)

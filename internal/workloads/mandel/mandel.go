@@ -9,8 +9,8 @@
 package mandel
 
 import (
-	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
@@ -125,14 +125,14 @@ func (r rowResult) PackedSize() int64 { return int64(4*len(r.Pix)) + 24 }
 // EdenProgram renders with the masterWorker skeleton: rows are tasks,
 // irregularly sized, dynamically balanced across worker processes —
 // the textbook Eden use of the skeleton.
-func EdenProgram(p Params, workers, prefetch int) func(*eden.PCtx) graph.Value {
-	return func(px *eden.PCtx) graph.Value {
+func EdenProgram(p Params, workers, prefetch int) pe.Program {
+	return func(px pe.Ctx) graph.Value {
 		tasks := make([]graph.Value, p.Height)
 		for y := range tasks {
 			tasks[y] = y
 		}
 		outs := skel.MasterWorker(px, "mandel", workers, prefetch,
-			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+			func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 				y := task.(int)
 				return nil, rowResult{Y: y, Pix: Row(w, p, y)}
 			}, tasks)

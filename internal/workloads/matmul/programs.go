@@ -6,6 +6,7 @@ import (
 	"parhask/internal/eden"
 	"parhask/internal/exec"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
@@ -101,13 +102,13 @@ func (bm blockMsg) PackedSize() int64 { return eden.SizeOf([][]float64(bm.M)) }
 // and B((i+j) mod q, j), and in q rounds multiplies its current blocks
 // into its accumulator, shifting A left and B up between rounds.
 // Communication is thereby reduced to a minimum (§V).
-func EdenCannonProgram(a, b Mat, q int, mulAddCost int64) func(*eden.PCtx) graph.Value {
+func EdenCannonProgram(a, b Mat, q int, mulAddCost int64) pe.Program {
 	n := len(a)
 	if q <= 0 || n%q != 0 {
 		panic(fmt.Sprintf("matmul: torus dimension %d must divide matrix size %d", q, n))
 	}
 	bs := n / q
-	return func(p *eden.PCtx) graph.Value {
+	return func(p pe.Ctx) graph.Value {
 		inputs := make([][]graph.Value, q)
 		for i := 0; i < q; i++ {
 			inputs[i] = make([]graph.Value, q)
@@ -120,9 +121,9 @@ func EdenCannonProgram(a, b Mat, q int, mulAddCost int64) func(*eden.PCtx) graph
 				}
 			}
 		}
-		outs := skel.Torus(p, "cannon", q, func(w *eden.PCtx, i, j int, input graph.Value,
-			fromRight *eden.StreamIn, toLeft *eden.StreamOut,
-			fromBelow *eden.StreamIn, toUp *eden.StreamOut) graph.Value {
+		outs := skel.Torus(p, "cannon", q, func(w pe.Ctx, i, j int, input graph.Value,
+			fromRight pe.StreamIn, toLeft pe.StreamOut,
+			fromBelow pe.StreamIn, toUp pe.StreamOut) graph.Value {
 			in := input.(cannonInput)
 			w.AddResident(3 * int64(bs) * int64(bs) * 8)
 			ab, bb := in.A, in.B

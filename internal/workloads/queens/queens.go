@@ -10,8 +10,8 @@
 package queens
 
 import (
-	"parhask/internal/eden"
 	"parhask/internal/graph"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
@@ -80,10 +80,10 @@ var Known = map[int]int64{4: 2, 5: 10, 6: 4, 7: 40, 8: 92, 9: 352, 10: 724, 11: 
 // EdenProgram counts n-queens solutions with a masterWorker farm:
 // prefixes shorter than splitDepth expand into new tasks; deeper
 // prefixes are solved sequentially by the worker.
-func EdenProgram(n, workers, prefetch, splitDepth int) func(*eden.PCtx) graph.Value {
-	return func(p *eden.PCtx) graph.Value {
+func EdenProgram(n, workers, prefetch, splitDepth int) pe.Program {
+	return func(p pe.Ctx) graph.Value {
 		outs := skel.MasterWorker(p, "queens", workers, prefetch,
-			func(w *eden.PCtx, task graph.Value) ([]graph.Value, graph.Value) {
+			func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
 				pf := task.(prefix)
 				if len(pf.Cols) >= splitDepth {
 					return nil, Count(w, n, pf.Cols)
