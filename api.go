@@ -5,6 +5,7 @@ import (
 	"parhask/internal/cost"
 	"parhask/internal/eden"
 	"parhask/internal/exec"
+	"parhask/internal/faults"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
 	"parhask/internal/gum"
@@ -232,6 +233,52 @@ var (
 	Compare = core.Compare
 	// CompareVariants lists every comparable organisation.
 	CompareVariants = core.AllVariants
+)
+
+// Fault injection and supervision: the deterministic seeded fault
+// plane shared by both native backends, the structured failures it
+// produces, and the supervised master-worker skeleton that survives
+// worker death.
+type (
+	// FaultPlan is a complete seed-driven fault schedule (panics at
+	// spark/process indices, per-edge message drop/delay, stalled PEs).
+	FaultPlan = faults.Plan
+	// FaultInjector applies a FaultPlan to a run via Config.Faults.
+	FaultInjector = faults.Injector
+	// InjectedPanic is the structured failure of a plan-requested panic.
+	InjectedPanic = faults.InjectedPanic
+	// DeadlockError is what the Config.Deadline watchdog returns instead
+	// of hanging: per-PE blocked-on diagnostics (channel, peer, thread).
+	DeadlockError = faults.DeadlockError
+	// BlockedThread is one DeadlockError diagnostic line.
+	BlockedThread = faults.BlockedThread
+	// PoisonError marks a thunk poisoned by a dying thread — the
+	// structured failure blocked helpers unblock into.
+	PoisonError = graph.PoisonError
+	// EdenChanMisuseError is the structured channel-misuse failure of
+	// the native Eden backend (cross-PE Receive, double Receive,
+	// unknown channel or stream).
+	EdenChanMisuseError = eden.ChanMisuseError
+	// WorkerFailuresError is SupervisedMW's structured give-up: the
+	// retry budget or worker pool is exhausted with tasks still lost.
+	WorkerFailuresError = skel.WorkerFailuresError
+	// ThreadFailure describes one dead supervised thread (PE, name,
+	// rendered error) as delivered on its verdict channel.
+	ThreadFailure = pe.ThreadFailure
+)
+
+var (
+	// ParseFaults reads a fault spec in the -faults flag grammar
+	// (seed=N,panic-spark=K,drop=P@S-D,delay=DUR:P,stall=PE:DUR).
+	ParseFaults = faults.Parse
+	// NewFaultInjector arms a parsed plan for Config.Faults; a nil plan
+	// yields an armed-but-empty injector (for overhead measurement).
+	NewFaultInjector = faults.NewInjector
+	// SupervisedMW is MasterWorker with monitored workers: a dead
+	// worker's outstanding tasks are re-dispatched to survivors under a
+	// capped retry budget. On backends without supervision primitives
+	// it degrades to plain MasterWorker.
+	SupervisedMW = skel.SupervisedMW
 )
 
 // CostModel holds every virtual-time cost constant of the simulation.

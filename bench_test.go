@@ -17,12 +17,13 @@ import (
 	"parhask/internal/deque"
 	"parhask/internal/eden"
 	"parhask/internal/experiments"
+	"parhask/internal/faults"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
-	"parhask/internal/pe"
 	"parhask/internal/gum"
 	"parhask/internal/machine"
 	"parhask/internal/native"
+	"parhask/internal/pe"
 	"parhask/internal/rts"
 	"parhask/internal/sim"
 	"parhask/internal/skel"
@@ -913,6 +914,39 @@ func BenchmarkNativeEventlogOverhead(b *testing.B) {
 			}
 			if enabled {
 				b.ReportMetric(float64(logged)/float64(b.N), "events/op")
+			}
+		})
+	}
+}
+
+// BenchmarkNativeFaultOverhead proves the fault-injection hooks are
+// nil-check-only when no injector is configured: "disabled" (nil
+// Config.Faults) is the baseline every production run pays; "armed"
+// carries an injector with an empty plan, so every hook runs its cold
+// path without ever firing. Acceptance bound: disabled must stay
+// within 2% of the pre-faults runtime — the same bar as the eventlog.
+func BenchmarkNativeFaultOverhead(b *testing.B) {
+	p := benchParams()
+	n, chunks := p.SumEulerN, p.SumEulerChunks
+	want := euler.SumTotientSieve(n)
+	for _, armed := range []bool{false, true} {
+		name := "disabled"
+		if armed {
+			name = "armed_empty"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := native.NewConfig(4)
+				if armed {
+					cfg.Faults = faults.NewInjector(nil)
+				}
+				res, err := native.Run(cfg, euler.Program(n, chunks, 0, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value.(int64) != want {
+					b.Fatalf("wrong sum: %v", res.Value)
+				}
 			}
 		})
 	}

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"parhask/internal/eden"
+	"parhask/internal/faults"
 	"parhask/internal/gph"
 	"parhask/internal/native"
 	"parhask/internal/nativeeden"
@@ -43,7 +44,15 @@ func main() {
 	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines) | eden (distributed-heap PEs on real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
+	faultSpec := flag.String("faults", "", "fault-injection spec for the native runtimes (internal/faults grammar)")
+	deadline := flag.Duration("deadline", 0, "native deadlock-watchdog deadline, e.g. 10s (0 = disabled)")
 	flag.Parse()
+
+	inj, ferr := faults.CLIInjector(*faultSpec, *deadline, *rtKind)
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "apsp:", ferr)
+		os.Exit(2)
+	}
 
 	g := apsp.RandomGraph(*n, *seed, 9, 25)
 	want := apsp.FloydWarshall(g)
@@ -59,9 +68,18 @@ func main() {
 		ncfg := native.NewConfig(*workers)
 		ncfg.EagerBlackholing = *eager
 		ncfg.EventLog = *showTrace
+		ncfg.Faults = inj
+		ncfg.Deadline = *deadline
 		res, err := native.Run(ncfg, apsp.Program(g, 0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "apsp:", err)
+			if res != nil && *showTrace {
+				if tl := res.Trace(); tl != nil {
+					fmt.Printf("partial timeline of the failed run:\n")
+					fmt.Print(tl.Render(*width))
+					fmt.Print(tl.Summary())
+				}
+			}
 			os.Exit(1)
 		}
 		verify(res.Value)
@@ -106,9 +124,18 @@ func main() {
 		if r == 0 {
 			r = ecfg.PEs
 		}
+		ecfg.Faults = inj
+		ecfg.Deadline = *deadline
 		res, err := nativeeden.Run(ecfg, apsp.EdenRingProgram(g, r, 0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "apsp:", err)
+			if res != nil && *showTrace {
+				if tl := res.Trace(); tl != nil {
+					fmt.Printf("partial timeline of the failed run:\n")
+					fmt.Print(tl.Render(*width))
+					fmt.Print(tl.Summary())
+				}
+			}
 			os.Exit(1)
 		}
 		verify(res.Value)

@@ -8,6 +8,9 @@
 //	benchall -native     # wall-clock sweep on the native runtime
 //	benchall -native -gogc 50,100,200,400,off   # + the §IV-A.1 allocation-area sweep
 //	benchall -edennative # + GpH-native vs Eden-native head-to-head
+//	benchall -faultoverhead                     # + disabled-vs-armed fault-plane cost
+//	benchall -quick -chaos 500                  # seeded chaos soak (exit 1 on violations)
+//	benchall -quick -faults "seed=7,drop=0.4" -faultbackend nativeeden   # replay one seed
 //
 // Output is text: runtime tables, ASCII timeline traces and speedup
 // tables/charts, each followed by a shape check against the paper's
@@ -24,6 +27,7 @@ import (
 	"os"
 
 	"parhask/internal/experiments"
+	"parhask/internal/faults"
 )
 
 func main() {
@@ -40,6 +44,12 @@ func main() {
 	nativeSweep := flag.Bool("native", false, "also run the wall-clock native-runtime sweep (writes results/BENCH_native.json)")
 	edenNative := flag.Bool("edennative", false, "also run the GpH-native vs Eden-native head-to-head (implies -native)")
 	gogc := flag.String("gogc", "", "comma-separated GOGC settings for the allocation-area sweep, e.g. 50,100,200,400,off (implies -native)")
+	faultOverhead := flag.Bool("faultoverhead", false, "also measure the disabled-vs-armed fault-plane overhead (implies -native)")
+	chaosIters := flag.Int("chaos", 0, "run an N-iteration seeded chaos soak over both native backends instead of the figures (writes results/CHAOS.html + .json; exits non-zero on violations)")
+	chaosSeed := flag.Uint64("chaosseed", 42, "chaos soak master seed")
+	faultSpec := flag.String("faults", "", "replay one fault-injected run from a spec (internal/faults grammar) instead of the figures")
+	faultBackend := flag.String("faultbackend", "native", "backend for the -faults replay: native | nativeeden")
+	deadline := flag.Duration("deadline", 0, "deadlock-watchdog deadline for -faults replays (0 = the soak's 10s default)")
 	flag.Parse()
 
 	p := experiments.Defaults()
@@ -83,6 +93,65 @@ func main() {
 		}
 	}
 
+	// Fail fast on the fault flags too.
+	if *faultSpec != "" || *deadline != 0 {
+		if _, err := faults.CLIInjector(*faultSpec, *deadline, "native"); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(2)
+		}
+		p.FaultSpec = *faultSpec
+		p.Deadline = *deadline
+	}
+	if *faultBackend != "native" && *faultBackend != "nativeeden" {
+		fmt.Fprintf(os.Stderr, "benchall: unknown -faultbackend %q (want native or nativeeden)\n", *faultBackend)
+		os.Exit(2)
+	}
+	if *chaosIters < 0 {
+		fmt.Fprintln(os.Stderr, "benchall: -chaos must be non-negative")
+		os.Exit(2)
+	}
+
+	// Chaos modes run standalone (no figures): a single replay, a full
+	// soak, or both. The soak's exit code is its verdict, so CI can use
+	// it as a hard gate.
+	if *faultSpec != "" || *chaosIters > 0 {
+		exit := 0
+		if *faultSpec != "" {
+			row := experiments.ReplayFault(p, *faultBackend)
+			fmt.Printf("fault replay on %s: %s\n  spec   %s\n", row.Backend, row.Outcome, row.Spec)
+			if row.Detail != "" {
+				fmt.Printf("  detail %s\n", row.Detail)
+			}
+			if row.Outcome == experiments.ChaosViolation {
+				exit = 1
+			}
+		}
+		if *chaosIters > 0 {
+			s := experiments.RunChaosSoak(p, *chaosIters, *chaosSeed)
+			fmt.Println(s.String())
+			if err := os.MkdirAll("results", 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "benchall: mkdir results:", err)
+			} else {
+				if err := os.WriteFile("results/CHAOS.html", s.HTML(), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, "benchall: write results/CHAOS.html:", err)
+				} else {
+					fmt.Println("wrote results/CHAOS.html")
+				}
+				if data, err := s.JSON(); err == nil {
+					if err := os.WriteFile("results/CHAOS.json", data, 0o644); err != nil {
+						fmt.Fprintln(os.Stderr, "benchall: write results/CHAOS.json:", err)
+					} else {
+						fmt.Println("wrote results/CHAOS.json")
+					}
+				}
+			}
+			if s.Violations > 0 {
+				exit = 1
+			}
+		}
+		os.Exit(exit)
+	}
+
 	want := func(n int) bool { return *fig == 0 || *fig == n }
 	if want(1) {
 		fmt.Println(experiments.RunFig1(p).String())
@@ -105,7 +174,7 @@ func main() {
 	if *latency {
 		fmt.Println(experiments.RunLatencyStudy(p).String())
 	}
-	if *nativeSweep || *edenNative || len(gogcSettings) > 0 {
+	if *nativeSweep || *edenNative || *faultOverhead || len(gogcSettings) > 0 {
 		s := experiments.RunNativeSweep(p)
 		s.HotPath = experiments.MeasureSparkHotPath()
 		if len(gogcSettings) > 0 {
@@ -113,6 +182,9 @@ func main() {
 		}
 		if *edenNative {
 			s.EdenNative = experiments.RunEdenNativeSweep(p)
+		}
+		if *faultOverhead {
+			s.FaultOverhead = experiments.MeasureFaultOverhead()
 		}
 		fmt.Println(s.String())
 		if data, err := s.JSON(); err == nil {

@@ -22,6 +22,7 @@ import (
 	"os"
 
 	"parhask/internal/eden"
+	"parhask/internal/faults"
 	"parhask/internal/gph"
 	"parhask/internal/native"
 	"parhask/internal/nativeeden"
@@ -41,7 +42,15 @@ func main() {
 	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines) | eden (distributed-heap PEs on real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
+	faultSpec := flag.String("faults", "", "fault-injection spec for the native runtimes (internal/faults grammar)")
+	deadline := flag.Duration("deadline", 0, "native deadlock-watchdog deadline, e.g. 10s (0 = disabled)")
 	flag.Parse()
+
+	inj, ferr := faults.CLIInjector(*faultSpec, *deadline, *rtKind)
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "matmul:", ferr)
+		os.Exit(2)
+	}
 
 	a := matmul.Random(*n, 103)
 	b := matmul.Random(*n, 104)
@@ -53,9 +62,18 @@ func main() {
 	if *rtKind == "native" {
 		ncfg := native.NewConfig(*workers)
 		ncfg.EventLog = *showTrace
+		ncfg.Faults = inj
+		ncfg.Deadline = *deadline
 		res, err := native.Run(ncfg, matmul.BlockProgram(a, b, *block, 0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "matmul:", err)
+			if res != nil && *showTrace {
+				if tl := res.Trace(); tl != nil {
+					fmt.Printf("partial timeline of the failed run:\n")
+					fmt.Print(tl.Render(*width))
+					fmt.Print(tl.Summary())
+				}
+			}
 			os.Exit(1)
 		}
 		got := res.Value.(matmul.Mat)
@@ -99,9 +117,18 @@ func main() {
 	if *rtKind == "eden" {
 		ecfg := nativeeden.NewConfig(*pes)
 		ecfg.EventLog = *showTrace
+		ecfg.Faults = inj
+		ecfg.Deadline = *deadline
 		res, err := nativeeden.Run(ecfg, matmul.EdenCannonProgram(a, b, *q, 0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "matmul:", err)
+			if res != nil && *showTrace {
+				if tl := res.Trace(); tl != nil {
+					fmt.Printf("partial timeline of the failed run:\n")
+					fmt.Print(tl.Render(*width))
+					fmt.Print(tl.Summary())
+				}
+			}
 			os.Exit(1)
 		}
 		got := res.Value.(matmul.Mat)

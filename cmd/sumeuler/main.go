@@ -9,6 +9,12 @@
 //	sumeuler -n 15000 -runtime native -workers 8 -stats json  # machine-readable
 //	sumeuler -n 15000 -runtime eden -pes 8         # distributed-heap PEs
 //	sumeuler -n 15000 -runtime eden -pes 17 -trace # virtual PEs, per-PE timeline
+//	sumeuler -runtime eden -faults "seed=7,drop=0.4" -deadline 10s  # chaos replay
+//
+// -faults injects a deterministic seeded fault plan (internal/faults
+// grammar) into the native runtimes, and -deadline arms their deadlock
+// watchdog; a failed run prints the structured error and, with -trace,
+// the partial timeline up to the failure.
 //
 // It prints the virtual runtime, runtime statistics and (with -trace)
 // an EdenTV-style per-capability timeline. With -runtime native the
@@ -29,6 +35,7 @@ import (
 	"os"
 
 	"parhask/internal/eden"
+	"parhask/internal/faults"
 	"parhask/internal/gph"
 	"parhask/internal/gum"
 	"parhask/internal/native"
@@ -50,15 +57,32 @@ func main() {
 	rtKind := flag.String("runtime", "sim", "execution runtime: sim (virtual time) | native (real goroutines) | eden (distributed-heap PEs on real goroutines)")
 	workers := flag.Int("workers", 0, "native worker goroutines (default: GOMAXPROCS)")
 	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
+	faultSpec := flag.String("faults", "", "fault-injection spec for the native runtimes (internal/faults grammar), e.g. \"seed=7,panic-spark=3\"")
+	deadline := flag.Duration("deadline", 0, "native deadlock-watchdog deadline, e.g. 10s (0 = disabled)")
 	flag.Parse()
+
+	inj, ferr := faults.CLIInjector(*faultSpec, *deadline, *rtKind)
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, "sumeuler:", ferr)
+		os.Exit(2)
+	}
 
 	if *rtKind == "native" {
 		ncfg := native.NewConfig(*workers)
 		ncfg.EagerBlackholing = *eager
 		ncfg.EventLog = *showTrace
+		ncfg.Faults = inj
+		ncfg.Deadline = *deadline
 		res, err := native.Run(ncfg, euler.Program(*n, *chunks, 0, true))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sumeuler:", err)
+			if res != nil && *showTrace {
+				if tl := res.Trace(); tl != nil {
+					fmt.Printf("partial timeline of the failed run:\n")
+					fmt.Print(tl.Render(*width))
+					fmt.Print(tl.Summary())
+				}
+			}
 			os.Exit(1)
 		}
 		if want := euler.SumTotientSieve(*n); res.Value.(int64) != want {
@@ -101,9 +125,18 @@ func main() {
 	if *rtKind == "eden" {
 		ecfg := nativeeden.NewConfig(*pes)
 		ecfg.EventLog = *showTrace
+		ecfg.Faults = inj
+		ecfg.Deadline = *deadline
 		res, err := nativeeden.Run(ecfg, euler.EdenProgram(*n, 8, 0))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sumeuler:", err)
+			if res != nil && *showTrace {
+				if tl := res.Trace(); tl != nil {
+					fmt.Printf("partial timeline of the failed run:\n")
+					fmt.Print(tl.Render(*width))
+					fmt.Print(tl.Summary())
+				}
+			}
 			os.Exit(1)
 		}
 		if want := euler.SumTotientSieve(*n); res.Value.(int64) != want {

@@ -22,6 +22,14 @@
 // the Eden timeline's comm bands):
 //
 //	tracedump -edennative sumeuler -pes 4 -format html > headtohead.html
+//
+// With -faults (internal/faults spec grammar) and -deadline the native
+// runs execute under deterministic fault injection with the deadlock
+// watchdog armed; a failed run still renders — the partial timeline up
+// to the crash or diagnosed deadlock is emitted (the post-mortem view)
+// and tracedump exits non-zero:
+//
+//	tracedump -native sumeuler -faults "seed=7,panic-spark=3" -deadline 10s
 package main
 
 import (
@@ -30,6 +38,7 @@ import (
 	"os"
 
 	"parhask/internal/experiments"
+	"parhask/internal/faults"
 )
 
 func main() {
@@ -42,6 +51,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use scaled-down parameters")
 	width := flag.Int("width", 100, "trace width in columns")
 	format := flag.String("format", "ascii", "ascii | csv | json | html")
+	faultSpec := flag.String("faults", "", "fault-injection spec for -native/-edennative runs (internal/faults grammar)")
+	deadline := flag.Duration("deadline", 0, "deadlock-watchdog deadline for -native/-edennative runs (0 = disabled)")
 	flag.Parse()
 
 	p := experiments.Defaults()
@@ -50,28 +61,49 @@ func main() {
 	}
 	p.TraceWidth = *width
 
+	// Fail fast on the fault flags, before any run starts.
+	if *faultSpec != "" || *deadline != 0 {
+		if *nativeWl == "" && *edenWl == "" {
+			fmt.Fprintln(os.Stderr, "tracedump: -faults/-deadline apply only to -native or -edennative timelines")
+			os.Exit(2)
+		}
+		if _, err := faults.CLIInjector(*faultSpec, *deadline, "native"); err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(2)
+		}
+		p.FaultSpec = *faultSpec
+		p.Deadline = *deadline
+	}
+
+	// keepPartial decides what to do with a failed timeline run: a
+	// failure that still produced a trace (fault injection, deadlock)
+	// is rendered as a partial timeline; one without a trace is fatal.
+	runFailed := false
+	keepPartial := func(e experiments.TraceEntry, err error) experiments.TraceEntry {
+		if err == nil {
+			return e
+		}
+		fmt.Fprintln(os.Stderr, "tracedump:", err)
+		if e.Trace == nil {
+			os.Exit(2)
+		}
+		runFailed = true
+		return e
+	}
+
 	var entries []experiments.TraceEntry
 	var rendered string
 	if *edenWl != "" {
 		ge, _, err := experiments.NativeTimeline(p, *edenWl, *workers, *eager)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracedump:", err)
-			os.Exit(2)
-		}
+		ge = keepPartial(ge, err)
 		ee, _, err := experiments.EdenNativeTimeline(p, *edenWl, *pes)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracedump:", err)
-			os.Exit(2)
-		}
+		ee = keepPartial(ee, err)
 		entries = []experiments.TraceEntry{ge, ee}
 		rendered = fmt.Sprintf("%s\n%s\n%s\n\n%s\n%s\n%s",
 			ge.Name, ge.Rendered, ge.Summary, ee.Name, ee.Rendered, ee.Summary)
 	} else if *nativeWl != "" {
 		e, _, err := experiments.NativeTimeline(p, *nativeWl, *workers, *eager)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tracedump:", err)
-			os.Exit(2)
-		}
+		e = keepPartial(e, err)
 		entries = []experiments.TraceEntry{e}
 		rendered = fmt.Sprintf("%s\n%s\n%s", e.Name, e.Rendered, e.Summary)
 	} else {
@@ -117,5 +149,9 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "tracedump: unknown -format %q\n", *format)
 		os.Exit(2)
+	}
+	if runFailed {
+		// The partial timeline was rendered; still signal the failure.
+		os.Exit(1)
 	}
 }

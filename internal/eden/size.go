@@ -62,6 +62,35 @@ func (e *SendError) Error() string {
 // Unwrap exposes the underlying packing error to errors.Is/As.
 func (e *SendError) Unwrap() error { return e.Err }
 
+// ChanMisuseError is the structured error for a channel-protocol
+// violation: receiving on the wrong PE, consuming a one-value channel
+// twice, or operating on an unknown or already-closed port. It replaces
+// the bare string panics these misuses used to raise, so supervised
+// runs and the chaos soak can classify them with errors.As alongside
+// SendError.
+type ChanMisuseError struct {
+	// Op is the violating operation ("Receive", "Send", "StreamSend",
+	// "StreamClose", "StreamRecv", "CancelStream").
+	Op string
+	// Chan is the channel or stream id.
+	Chan int64
+	// PE is the PE the violating thread ran on.
+	PE int
+	// Owner is the PE that owns the port's receiving end, or -1 when the
+	// port is unknown to the runtime.
+	Owner int
+	// Reason classifies the violation: "cross-pe", "already-received",
+	// "unknown-channel", "closed-or-unknown-stream", "unknown-stream".
+	Reason string
+}
+
+func (e *ChanMisuseError) Error() string {
+	if e.Owner >= 0 {
+		return fmt.Sprintf("eden: %s on channel #%d from PE %d (owner PE %d): %s", e.Op, e.Chan, e.PE, e.Owner, e.Reason)
+	}
+	return fmt.Sprintf("eden: %s on channel #%d from PE %d: %s", e.Op, e.Chan, e.PE, e.Reason)
+}
+
 // SizeOfChecked estimates the packed size in bytes of a normal-form
 // value, used to charge per-byte communication costs. Unknown types
 // count as one word (they are small coordination tokens). A value still

@@ -78,6 +78,29 @@ const (
 	CommBegin
 	// CommEnd: the communication stretch opened by CommBegin ended.
 	CommEnd
+	// MsgDrop: the fault injector discarded an outgoing message after
+	// packing (Arg = destination PE).
+	MsgDrop
+	// FaultPanic: the fault injector panicked this worker/thread (Arg =
+	// the injected spark/process index, truncated to 32 bits).
+	FaultPanic
+	// ThunkPoison: a dying thread poisoned a claimed thunk so blocked
+	// peers fail over instead of waiting forever.
+	ThunkPoison
+	// WorkerDead: a supervisor observed a worker/process death (Arg =
+	// the dead worker's index); recovery (re-dispatch) follows.
+	WorkerDead
+	// DelayBegin: the fault injector started delaying an outgoing
+	// message (sender-side sleep; Arg = destination PE). Renders as a
+	// Blocked band.
+	DelayBegin
+	// DelayEnd: the injected delay ended and the send proceeds.
+	DelayEnd
+	// StallBegin: the fault injector started a stall sleep on this
+	// PE/worker (a "slow PE"). Renders as a Blocked band.
+	StallBegin
+	// StallEnd: the injected stall ended.
+	StallEnd
 
 	numTypes
 )
@@ -102,6 +125,14 @@ var typeNames = [numTypes]string{
 	MsgRecv:       "msg-recv",
 	CommBegin:     "comm-begin",
 	CommEnd:       "comm-end",
+	MsgDrop:       "msg-drop",
+	FaultPanic:    "fault-panic",
+	ThunkPoison:   "thunk-poison",
+	WorkerDead:    "worker-dead",
+	DelayBegin:    "delay-begin",
+	DelayEnd:      "delay-end",
+	StallBegin:    "stall-begin",
+	StallEnd:      "stall-end",
 }
 
 // String returns the event type's name.
@@ -315,7 +346,12 @@ func (l *Log) TraceNamed(prefix string) *trace.Log {
 				r.Push(e.T, trace.Idle)
 			case CommBegin:
 				r.Push(e.T, trace.Comm)
-			case RunEnd, BlockEnd, IdleEnd, CommEnd:
+			case DelayBegin, StallBegin:
+				// Injected waits render as Blocked bands: the thread is
+				// losing wall time it did not ask to lose. The point
+				// events (MsgDrop, FaultPanic, …) stay in the raw log.
+				r.Push(e.T, trace.Blocked)
+			case RunEnd, BlockEnd, IdleEnd, CommEnd, DelayEnd, StallEnd:
 				r.Pop(e.T)
 			}
 		}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func chaosParams() Params {
+	p := Quick()
+	p.SumEulerN = 300
+	p.SumEulerChunks = 12
+	return p
+}
+
+func TestChaosSoakInvariant(t *testing.T) {
+	// A miniature of the acceptance soak: every iteration must end in a
+	// correct result, a structured failure, or a diagnosed deadlock.
+	// (The full 500-iteration soak runs via benchall -chaos / CI.)
+	s := RunChaosSoak(chaosParams(), 30, 42)
+	if len(s.Rows) != 30 {
+		t.Fatalf("rows = %d, want 30", len(s.Rows))
+	}
+	if v := s.Violating(); len(v) > 0 {
+		t.Fatalf("chaos violations:\n%s", s.String())
+	}
+	if s.OK == 0 {
+		t.Fatal("the spec mix should let some runs succeed")
+	}
+	if s.Structured+s.Deadlocks == 0 {
+		t.Fatal("the spec mix should inject some failures")
+	}
+	if s.OK+s.Structured+s.Deadlocks != 30 {
+		t.Fatalf("classes don't sum: %+v", s)
+	}
+}
+
+func TestChaosSoakDeterministic(t *testing.T) {
+	// Same seed → same specs and same outcomes, the replay property the
+	// repro commands rely on.
+	a := RunChaosSoak(chaosParams(), 10, 7)
+	b := RunChaosSoak(chaosParams(), 10, 7)
+	for i := range a.Rows {
+		if a.Rows[i].Spec != b.Rows[i].Spec || a.Rows[i].Outcome != b.Rows[i].Outcome {
+			t.Fatalf("iter %d diverged: %+v vs %+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+}
+
+func TestChaosSoakHTML(t *testing.T) {
+	s := RunChaosSoak(chaosParams(), 6, 3)
+	h := string(s.HTML())
+	if !strings.Contains(h, "<table>") || !strings.Contains(h, "Chaos soak") {
+		t.Fatalf("HTML report malformed:\n%s", h)
+	}
+	for _, r := range s.Rows {
+		if r.Outcome != ChaosOK && !strings.Contains(h, "-faults") {
+			t.Fatal("non-ok rows must carry a repro command")
+		}
+	}
+	if _, err := s.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasureFaultOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock benchmark")
+	}
+	b := MeasureFaultOverhead()
+	if b.DisabledNS <= 0 || b.ArmedNS <= 0 {
+		t.Fatalf("bench fields: %+v", b)
+	}
+	// The bound is deliberately loose (CI machines are noisy); the
+	// tight ≤2% claim is checked by BenchmarkNativeFaultOverhead.
+	if b.OverheadPct > 25 {
+		t.Fatalf("armed-empty fault plane cost %+.2f%%, expected noise-level", b.OverheadPct)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"parhask/internal/faults"
 	"parhask/internal/native"
 	"parhask/internal/nativeeden"
 	"parhask/internal/stats"
@@ -208,6 +209,14 @@ func (s *EdenNativeSweep) String() string {
 func EdenNativeTimeline(p Params, workload string, pes int) (TraceEntry, *nativeeden.Result, error) {
 	cfg := nativeeden.NewConfig(pes)
 	cfg.EventLog = true
+	if p.FaultSpec != "" {
+		plan, perr := faults.Parse(p.FaultSpec)
+		if perr != nil {
+			return TraceEntry{}, nil, perr
+		}
+		cfg.Faults = faults.NewInjector(plan)
+	}
+	cfg.Deadline = p.Deadline
 
 	var (
 		res *nativeeden.Result
@@ -236,6 +245,19 @@ func EdenNativeTimeline(p Params, workload string, pes int) (TraceEntry, *native
 		return TraceEntry{}, nil, fmt.Errorf("experiments: unknown eden-native workload %q (want sumeuler, matmul or apsp)", workload)
 	}
 	if err != nil {
+		// Failed runs keep their flushed event rings: return the partial
+		// per-PE timeline with the error so tracedump can render what
+		// each PE was doing up to the failure.
+		if res != nil && res.Events != nil {
+			tl := res.Trace()
+			return TraceEntry{
+				Name:     fmt.Sprintf("eden-native %s (FAILED, partial timeline): %v", workload, err),
+				Elapsed:  res.WallNS,
+				Trace:    tl,
+				Rendered: tl.Render(p.TraceWidth),
+				Summary:  tl.Summary(),
+			}, res, err
+		}
 		return TraceEntry{}, nil, err
 	}
 	if !ok {

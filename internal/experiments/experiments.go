@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"parhask/internal/eden"
 	"parhask/internal/gph"
@@ -43,6 +44,14 @@ type Params struct {
 	CoreCounts []int
 	// TraceWidth is the column width of rendered timelines.
 	TraceWidth int
+
+	// FaultSpec is an optional fault-injection plan (faults.Parse
+	// grammar) the native-backend timeline helpers and CLI drivers
+	// apply to their runs; empty means none.
+	FaultSpec string
+	// Deadline arms the native backends' deadlock watchdog on those
+	// runs (0 = disabled).
+	Deadline time.Duration
 }
 
 // Defaults returns full paper-scale parameters (with the documented

@@ -59,6 +59,9 @@ type NativeSweep struct {
 	// EdenNative is the GpH-vs-Eden head-to-head on real goroutines
 	// (benchall -edennative). Optional.
 	EdenNative *EdenNativeSweep `json:"eden_native,omitempty"`
+	// FaultOverhead is the disabled-vs-armed-empty fault-plane cost
+	// comparison (benchall -faultoverhead). Optional.
+	FaultOverhead *FaultOverheadBench `json:"fault_overhead,omitempty"`
 }
 
 // nativeWorkerCounts is the sweep's x-axis.
@@ -207,6 +210,9 @@ func (s *NativeSweep) String() string {
 	}
 	if s.EdenNative != nil {
 		out += "\n" + s.EdenNative.String()
+	}
+	if s.FaultOverhead != nil {
+		out += "\n" + s.FaultOverhead.String()
 	}
 	return out
 }

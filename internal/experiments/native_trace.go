@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"parhask/internal/faults"
 	"parhask/internal/native"
 	"parhask/internal/workloads/apsp"
 	"parhask/internal/workloads/euler"
@@ -19,6 +20,14 @@ func NativeTimeline(p Params, workload string, workers int, eager bool) (TraceEn
 	cfg := native.NewConfig(workers)
 	cfg.EagerBlackholing = eager
 	cfg.EventLog = true
+	if p.FaultSpec != "" {
+		plan, perr := faults.Parse(p.FaultSpec)
+		if perr != nil {
+			return TraceEntry{}, nil, perr
+		}
+		cfg.Faults = faults.NewInjector(plan)
+	}
+	cfg.Deadline = p.Deadline
 
 	var (
 		res *native.Result
@@ -47,6 +56,19 @@ func NativeTimeline(p Params, workload string, workers int, eager bool) (TraceEn
 		return TraceEntry{}, nil, fmt.Errorf("experiments: unknown native workload %q (want sumeuler, matmul or apsp)", workload)
 	}
 	if err != nil {
+		// A failed run still carries its flushed event rings: render the
+		// partial timeline alongside the error so post-mortems (tracedump
+		// under fault injection) can see what happened up to the failure.
+		if res != nil && res.Events != nil {
+			tl := res.Trace()
+			return TraceEntry{
+				Name:     fmt.Sprintf("native %s (FAILED, partial timeline): %v", workload, err),
+				Elapsed:  res.WallNS,
+				Trace:    tl,
+				Rendered: tl.Render(p.TraceWidth),
+				Summary:  tl.Summary(),
+			}, res, err
+		}
 		return TraceEntry{}, nil, err
 	}
 	if !ok {

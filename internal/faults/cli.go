@@ -1,0 +1,32 @@
+package faults
+
+import (
+	"fmt"
+	"time"
+)
+
+// CLIInjector builds an injector from a command's -faults/-deadline
+// flag pair, validating fail-fast before any run starts: a non-empty
+// spec must parse, the deadline must not be negative, and both flags
+// apply only to the native runtimes (the -runtime values "native" and
+// "eden"). Commands without a -runtime distinction pass "native".
+// Both flags at their defaults yield a nil injector (faults disabled).
+func CLIInjector(spec string, deadline time.Duration, rtKind string) (*Injector, error) {
+	if spec == "" && deadline == 0 {
+		return nil, nil
+	}
+	if rtKind != "native" && rtKind != "eden" {
+		return nil, fmt.Errorf("faults: -faults/-deadline apply only to -runtime native or eden (got %q)", rtKind)
+	}
+	if deadline < 0 {
+		return nil, fmt.Errorf("faults: -deadline must not be negative (got %v)", deadline)
+	}
+	if spec == "" {
+		return nil, nil
+	}
+	plan, err := Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return NewInjector(plan), nil
+}

@@ -50,6 +50,12 @@ const (
 	// update race and is writing the value. Externally reported as
 	// Blackholed; the window is two plain stores wide.
 	updatingState
+	// Poisoned: the thread that claimed this thunk died before updating
+	// it. The state is terminal — forcing a poisoned thunk panics with a
+	// *PoisonError instead of blocking forever on a black hole that will
+	// never be filled (the recovery half of the §IV-A black-holing
+	// hazard under real faults).
+	Poisoned
 )
 
 func (s EvalState) String() string {
@@ -60,9 +66,24 @@ func (s EvalState) String() string {
 		return "blackholed"
 	case Evaluated:
 		return "evaluated"
+	case Poisoned:
+		return "poisoned"
 	}
 	return "?"
 }
+
+// PoisonError is panicked by Force when it reaches a poisoned thunk:
+// the thread that had claimed the thunk died, so the value will never
+// exist. Err is the failure that killed the claimant.
+type PoisonError struct {
+	Err error
+}
+
+func (e *PoisonError) Error() string {
+	return "graph: forced a poisoned thunk (claimant died: " + e.Err.Error() + ")"
+}
+
+func (e *PoisonError) Unwrap() error { return e.Err }
 
 // Context is the view a forcing thread has of its runtime system. The
 // GpH capability scheduler, Eden PE threads and the native work-stealing
@@ -188,12 +209,12 @@ func (t *Thunk) CloneForExport() *Thunk {
 
 // Resolve fills a placeholder (or any not-yet-evaluated thunk) with v
 // and returns the list of waiter records to be woken by the caller.
-// It panics if the thunk is already evaluated. Simulation-only (message
-// handlers resolving channel placeholders); native evaluators publish
-// through Force.
+// It panics if the thunk is already evaluated or poisoned.
+// Simulation-only (message handlers resolving channel placeholders);
+// native evaluators publish through Force.
 func (t *Thunk) Resolve(v Value) []any {
-	if t.State() == Evaluated {
-		panic("graph: Resolve of evaluated thunk")
+	if s := t.State(); s == Evaluated || s == Poisoned {
+		panic("graph: Resolve of " + s.String() + " thunk")
 	}
 	t.val = v
 	t.compute = nil
@@ -245,6 +266,41 @@ func (t *Thunk) TryClaim() bool {
 	return t.state.CompareAndSwap(int32(Unevaluated), int32(Blackholed))
 }
 
+// Poison marks a thunk whose claimant died: the value will never
+// arrive, so any thread forcing (or blocked on) the thunk must fail
+// instead of waiting. err is recorded and carried by the *PoisonError
+// that Force panics with. Poisoning is terminal and loses to a
+// completed update: an already-Evaluated thunk is never poisoned
+// (its value is valid — the claimant died after publishing). Returns
+// whether this call transitioned the thunk to Poisoned.
+func (t *Thunk) Poison(err error) bool {
+	for {
+		s := t.state.Load()
+		switch EvalState(s) {
+		case Evaluated, Poisoned:
+			return false
+		case updatingState:
+			// An update is mid-flight; it wins (value is real).
+			continue
+		default: // Unevaluated or Blackholed
+			if t.state.CompareAndSwap(s, int32(updatingState)) {
+				t.val = &PoisonError{Err: err}
+				t.state.Store(int32(Poisoned))
+				return true
+			}
+		}
+	}
+}
+
+// PoisonedErr returns the *PoisonError of a poisoned thunk, or nil.
+func (t *Thunk) PoisonedErr() *PoisonError {
+	if t.State() != Poisoned {
+		return nil
+	}
+	pe, _ := t.val.(*PoisonError)
+	return pe
+}
+
 // enter runs the thunk's computation, whichever representation it was
 // built in. It deliberately does not clear the computation fields on
 // completion: under lazy black-holing a duplicate evaluator may still
@@ -266,6 +322,11 @@ func (t *Thunk) publish(v Value) bool {
 		s := t.state.Load()
 		switch EvalState(s) {
 		case Evaluated:
+			return false
+		case Poisoned:
+			// Never resurrect a poisoned thunk: its waiters have already
+			// been routed to the failure path, and a late value appearing
+			// after them would split the sharing guarantee.
 			return false
 		case updatingState:
 			// Another evaluator is writing its value; the window is two
@@ -292,6 +353,11 @@ func Force(ctx Context, t *Thunk) Value {
 		switch t.State() {
 		case Evaluated:
 			return t.val
+
+		case Poisoned:
+			// The claimant died before updating; blocking would hang
+			// forever, so propagate its failure instead.
+			panic(t.val.(*PoisonError))
 
 		case Blackholed:
 			ctx.BlockOnThunk(t)
@@ -328,6 +394,11 @@ func Force(ctx Context, t *Thunk) Value {
 				// second; its value is discarded — referential
 				// transparency guarantees it was equal anyway.)
 				ctx.WakeThunkWaiters(t)
+			} else if t.State() == Poisoned {
+				// The thunk was poisoned while we were computing (a
+				// supervisor declared our claim orphaned); the computed
+				// value must not escape as if the claim were healthy.
+				panic(t.val.(*PoisonError))
 			} else if d, ok := ctx.(duplicateResultNoter); ok {
 				d.NoteDuplicateResult(t)
 			}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPoisonTransitions(t *testing.T) {
+	boom := errors.New("claimant died")
+
+	th := NewThunk(func(Context) Value { return 1 })
+	if !th.TryClaim() {
+		t.Fatal("claim")
+	}
+	if !th.Poison(boom) {
+		t.Fatal("Poison of a black-holed thunk should succeed")
+	}
+	if th.State() != Poisoned {
+		t.Fatalf("state = %v, want poisoned", th.State())
+	}
+	if th.Poison(boom) {
+		t.Error("second Poison should be a no-op")
+	}
+	pe := th.PoisonedErr()
+	if pe == nil || !errors.Is(pe, boom) {
+		t.Fatalf("PoisonedErr = %v, want wrapping %v", pe, boom)
+	}
+
+	// Poison loses to a completed value.
+	done := NewValue(7)
+	if done.Poison(boom) {
+		t.Error("Poison of an evaluated thunk should fail")
+	}
+	if done.Value() != 7 {
+		t.Error("evaluated value must survive a Poison attempt")
+	}
+	if done.PoisonedErr() != nil {
+		t.Error("PoisonedErr of evaluated thunk should be nil")
+	}
+}
+
+func TestPublishNeverResurrectsPoison(t *testing.T) {
+	boom := errors.New("x")
+	th := NewThunk(func(Context) Value { return 1 })
+	th.TryClaim()
+	th.Poison(boom)
+	if th.publish(99) {
+		t.Fatal("publish after Poison must fail")
+	}
+	if th.State() != Poisoned {
+		t.Fatalf("state = %v after publish attempt, want poisoned", th.State())
+	}
+}
+
+func TestForcePanicsOnPoisonedThunk(t *testing.T) {
+	boom := errors.New("worker 3 panicked")
+	th := NewThunk(func(Context) Value { return 1 })
+	th.TryClaim()
+	th.Poison(boom)
+
+	ctx := &mockCtx{}
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PoisonError)
+		if !ok {
+			t.Fatalf("Force of poisoned thunk panicked with %v, want *PoisonError", r)
+		}
+		if !errors.Is(pe, boom) {
+			t.Fatalf("PoisonError should wrap the claimant's failure, got %v", pe)
+		}
+	}()
+	Force(ctx, th)
+	t.Fatal("Force of poisoned thunk should panic")
+}
+
+func TestResolveOfPoisonedPanics(t *testing.T) {
+	th := NewPlaceholder()
+	th.Poison(errors.New("sender died"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Resolve of poisoned thunk should panic")
+		}
+	}()
+	th.Resolve(1)
+}

@@ -55,6 +55,7 @@ import (
 
 	"parhask/internal/eventlog"
 	"parhask/internal/exec"
+	"parhask/internal/faults"
 	"parhask/internal/graph"
 	"parhask/internal/trace"
 )
@@ -102,6 +103,19 @@ type Config struct {
 	// spark execution and costs the workers nothing when no Sampler is
 	// configured.
 	Sampler func(snapshot func() Stats)
+	// Faults, if non-nil, arms the deterministic fault-injection plane
+	// (internal/faults): spark-indexed panics, process-indexed fork
+	// panics, and per-worker stalls. When nil every injection hook is a
+	// single predictable nil check (see BenchmarkNativeFaultOverhead).
+	Faults *faults.Injector
+	// Deadline, if non-zero, bounds the run's wall-clock time: a run
+	// still in flight when it elapses is aborted with a structured
+	// *faults.DeadlockError carrying each blocked worker's diagnostics,
+	// instead of hanging. (A spark stuck in a non-cooperative infinite
+	// computation cannot be preempted — the deadline unblocks every
+	// *waiting* thread; a busy-looping mutator keeps its goroutine, as
+	// in GHC.)
+	Deadline time.Duration
 }
 
 // NewConfig returns the default native configuration: one worker per
@@ -279,6 +293,17 @@ func (r *Result) Report() Report {
 // already recorded the run's failure.
 var errAborted = errors.New("native: run aborted")
 
+// panicErr turns a recovered panic value into an error. Error panic
+// values are wrapped with %w so structured failures (an injected
+// *faults.InjectedPanic, a *graph.PoisonError) stay matchable with
+// errors.As through the run's top-level error.
+func panicErr(prefix string, p any) error {
+	if err, ok := p.(error); ok {
+		return fmt.Errorf("%s: %w", prefix, err)
+	}
+	return fmt.Errorf("%s: %v", prefix, p)
+}
+
 // rt is one native runtime instance.
 type rt struct {
 	cfg     Config
@@ -303,6 +328,11 @@ type rt struct {
 
 	errOnce sync.Once
 	err     error
+
+	// externBlocked counts forked threads currently inside a blocked
+	// force, for the deadline watchdog's diagnostics (forked threads
+	// have no worker whose blocked gauge could be read).
+	externBlocked atomic.Int64
 
 	// inject holds sparks created by forked threads, which own no deque
 	// (PushBottom is owner-only); workers drain it when their steals
@@ -353,6 +383,23 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	if cfg.Sampler != nil {
 		cfg.Sampler(r.snapshot)
 	}
+	// The deadline watchdog converts a hung run into a structured
+	// *faults.DeadlockError: fail() trips rt.failed, which every blocked
+	// force polls, so the whole runtime unwinds through the existing
+	// failure protocol. Per-worker blocked gauges supply the
+	// diagnostics. Timer-vs-finish races are benign: the watchdog
+	// checks done first, and a run that loses the race was at the
+	// deadline anyway.
+	var watchdog *time.Timer
+	if cfg.Deadline > 0 {
+		watchdog = time.AfterFunc(cfg.Deadline, func() {
+			if r.done.Load() {
+				return
+			}
+			r.fail(r.deadlockError(time.Since(start)))
+		})
+		defer watchdog.Stop()
+	}
 	for _, w := range r.workers[1:] {
 		r.stealers.Add(1)
 		go w.stealLoop()
@@ -364,9 +411,15 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 		defer func() {
 			if p := recover(); p != nil {
 				if p == errAborted {
-					return // r.err carries the original failure
+					err = r.err // carries the original failure
+				} else {
+					err = panicErr("native: main panicked", p)
 				}
-				err = fmt.Errorf("native: main panicked: %v", p)
+				// Claims the dying main stack still holds will never be
+				// updated; poison them so nothing ever blocks on them
+				// again (matters when a supervisor retries on the same
+				// heap graph).
+				w0.poisonClaims(err)
 			}
 		}()
 		if w0.ev != nil {
@@ -398,9 +451,6 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	if runErr == nil {
 		runErr = r.err
 	}
-	if runErr != nil {
-		return nil, runErr
-	}
 
 	res := &Result{Value: value, WallNS: wall.Nanoseconds(), Workers: cfg.Workers}
 	res.GC = GCStats{
@@ -427,7 +477,41 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 		r.events.Close(res.WallNS)
 		res.Events = r.events
 	}
+	if runErr != nil {
+		// Failed runs still return the partial Result: the event rings
+		// are drained and closed above (the stealers/forks barrier has
+		// already been crossed), so tracedump can render the timeline of
+		// a crashed or deadlocked run for post-mortems. Only the value
+		// is withheld.
+		res.Value = nil
+		return res, runErr
+	}
 	return res, nil
+}
+
+// deadlockError builds the watchdog's structured report from the
+// per-worker blocked gauges. Reads are racy by nature (the run is live)
+// but the gauges are atomic, so the report is a consistent-enough
+// point-in-time sample.
+func (r *rt) deadlockError(elapsed time.Duration) *faults.DeadlockError {
+	de := &faults.DeadlockError{Backend: "native", Reason: "deadline", Elapsed: elapsed}
+	for _, w := range r.workers {
+		if w.blocked.Load() > 0 {
+			name := fmt.Sprintf("stealer-%d", w.id)
+			if w.id == 0 {
+				name = "main"
+			}
+			de.Blocked = append(de.Blocked, faults.BlockedThread{
+				PE: w.id, Thread: name, Reason: "thunk", Chan: -1, Peer: -1,
+			})
+		}
+	}
+	if n := r.externBlocked.Load(); n > 0 {
+		de.Blocked = append(de.Blocked, faults.BlockedThread{
+			PE: -1, Thread: fmt.Sprintf("%d forked", n), Reason: "thunk", Chan: -1, Peer: -1,
+		})
+	}
+	return de
 }
 
 // snapshot sums the workers' published counter snapshots and the
@@ -463,12 +547,29 @@ func (r *rt) fork(name string, body func(exec.Ctx)) {
 	r.forks.Add(1)
 	go func() {
 		defer r.forks.Done()
+		c := Ctx{rt: r}
 		defer func() {
-			if p := recover(); p != nil && p != errAborted {
-				r.fail(fmt.Errorf("native: forked thread %q panicked: %v", name, p))
+			if p := recover(); p != nil {
+				var err error
+				if p == errAborted {
+					err = r.err // set before rt.failed, so visible here
+				} else {
+					err = panicErr(fmt.Sprintf("native: forked thread %q panicked", name), p)
+				}
+				// Orphaned-claim recovery: thunks this dead thread still
+				// holds eager claims on would block their forcers forever;
+				// poisoning routes those forcers to the failure path.
+				poisonClaims(c.claims, err, nil)
+				if p != errAborted {
+					r.fail(err)
+				}
 			}
 		}()
-		c := Ctx{rt: r}
+		if inj := r.cfg.Faults; inj != nil {
+			if f := inj.ProcFault(); f != nil {
+				panic(f)
+			}
+		}
 		body(&c)
 	}()
 }

@@ -87,15 +87,45 @@ type worker struct {
 	// helpDepth bounds recursive spark-running from inside a blocked
 	// force, so a pathological spark chain cannot overflow the stack.
 	helpDepth int
-	// claims counts thunks this worker's stack has eagerly claimed but
-	// not yet updated. Helping while blocked is safe only at zero: an
-	// incomplete claim paused beneath the current frame is a thunk whose
-	// completion does not data-depend on our wait target, and a helped
-	// spark could (transitively) force it — a cycle through the stack
-	// that no amount of waiting resolves. At zero claims, everything
-	// this stack owns is a data-ancestor of the wait target, so the
-	// thunk DAG's acyclicity rules a deadlock out.
-	claims int
+	// claims is the stack of thunks this worker's goroutine has eagerly
+	// claimed but not yet updated (LIFO: Force nests). Helping while
+	// blocked is safe only when it is empty: an incomplete claim paused
+	// beneath the current frame is a thunk whose completion does not
+	// data-depend on our wait target, and a helped spark could
+	// (transitively) force it — a cycle through the stack that no
+	// amount of waiting resolves. With no open claims, everything this
+	// stack owns is a data-ancestor of the wait target, so the thunk
+	// DAG's acyclicity rules a deadlock out.
+	//
+	// Keeping the claimed thunks themselves (not just a count) is what
+	// makes orphaned-claim recovery possible: if this goroutine dies,
+	// its recovery handler poisons every still-open claim so blocked
+	// peers unblock into the failure path instead of waiting forever on
+	// a black hole nobody will ever update.
+	claims []*graph.Thunk
+
+	// blocked gauges how many of this worker's stack frames are inside
+	// a blocked force right now; the deadline watchdog reads it (from
+	// another goroutine, hence atomic) to report who was stuck where.
+	blocked atomic.Int32
+}
+
+// poisonClaims marks every thunk in claims as dead (claimant died with
+// err), newest first, emitting ThunkPoison per transition. Shared by
+// the worker and forked-thread recovery paths.
+func poisonClaims(claims []*graph.Thunk, err error, ev *eventlog.Buf) {
+	for i := len(claims) - 1; i >= 0; i-- {
+		if claims[i].Poison(err) && ev != nil {
+			ev.Emit(eventlog.ThunkPoison)
+		}
+	}
+}
+
+// poisonClaims poisons this worker's open claim stack — called only
+// from the worker goroutine's own recovery handlers.
+func (w *worker) poisonClaims(err error) {
+	poisonClaims(w.claims, err, w.ev)
+	w.claims = w.claims[:0]
 }
 
 // maxHelpDepth caps how many sparks a blocked force may run nested
@@ -133,6 +163,10 @@ func (w *worker) maybePublish() {
 type Ctx struct {
 	rt *rt
 	w  *worker
+	// claims is the forked-thread claim stack (nil-worker contexts
+	// only; worker contexts keep theirs on the worker). It exists for
+	// the same orphaned-claim recovery as worker.claims.
+	claims []*graph.Thunk
 }
 
 var (
@@ -244,23 +278,34 @@ func (c *Ctx) NoteDuplicateEntry(t *graph.Thunk) {
 	}
 }
 
-// NoteClaimed records an eager claim opened on this worker's stack.
+// NoteClaimed records an eager claim opened on this goroutine's stack.
 func (c *Ctx) NoteClaimed(t *graph.Thunk) {
 	if c.w != nil {
-		c.w.claims++
+		c.w.claims = append(c.w.claims, t)
 		if c.w.ev != nil {
 			c.w.ev.Emit(eventlog.ThunkClaim)
 		}
+		return
 	}
+	c.claims = append(c.claims, t)
 }
 
-// NoteReleased records that the claim's evaluation completed.
+// NoteReleased records that the claim's evaluation completed. Claims
+// release in LIFO order (Force nests), so this pops the stack top.
 func (c *Ctx) NoteReleased(t *graph.Thunk) {
 	if c.w != nil {
-		c.w.claims--
+		if n := len(c.w.claims); n > 0 {
+			c.w.claims[n-1] = nil
+			c.w.claims = c.w.claims[:n-1]
+		}
 		if c.w.ev != nil {
 			c.w.ev.Emit(eventlog.ThunkRelease)
 		}
+		return
+	}
+	if n := len(c.claims); n > 0 {
+		c.claims[n-1] = nil
+		c.claims = c.claims[:n-1]
 	}
 }
 
@@ -280,20 +325,29 @@ func (c *Ctx) NoteDuplicateResult(t *graph.Thunk) {
 func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
 	if c.w != nil {
 		c.w.ctr.blockedForces++
+		c.w.blocked.Add(1)
+		defer c.w.blocked.Add(-1)
 		c.w.maybePublish()
 	} else {
 		c.rt.extern.blockedForces.Add(1)
+		c.rt.externBlocked.Add(1)
+		defer c.rt.externBlocked.Add(-1)
 	}
 	ev := c.events()
 	if ev != nil {
 		ev.Emit(eventlog.BlockBegin)
 	}
 	spins := 0
-	for t.State() != graph.Evaluated {
+	for {
+		if s := t.State(); s == graph.Evaluated || s == graph.Poisoned {
+			// Poisoned: the claimant died. Return and let Force's
+			// dispatch loop raise the *graph.PoisonError.
+			break
+		}
 		if c.rt.failed.Load() {
 			panic(errAborted)
 		}
-		if c.w != nil && c.w.claims == 0 && c.w.helpDepth < maxHelpDepth {
+		if c.w != nil && len(c.w.claims) == 0 && c.w.helpDepth < maxHelpDepth {
 			if s := c.w.takeWork(); s != nil {
 				c.w.helpDepth++
 				c.w.runSpark(s)
@@ -364,6 +418,12 @@ func (w *worker) runSpark(t *graph.Thunk) {
 		return
 	}
 	w.ctr.sparksConverted++
+	if w.rt.cfg.Faults != nil {
+		// The whole fault plane costs exactly this one nil check when
+		// disabled (BenchmarkNativeFaultOverhead holds it to the same
+		// ≤2% bar as the eventlog hooks).
+		w.injectSparkFaults()
+	}
 	if w.ev != nil {
 		w.ev.Emit(eventlog.SparkConvert)
 		w.ev.Emit(eventlog.RunBegin)
@@ -375,6 +435,30 @@ func (w *worker) runSpark(t *graph.Thunk) {
 	w.maybePublish()
 }
 
+// injectSparkFaults is the cold half of the spark injection hook: a
+// stall sleep if the plan marks this worker slow, then an injected
+// panic if the plan names this spark index. Only converted sparks
+// advance the index (fizzles don't execute anything worth killing).
+func (w *worker) injectSparkFaults() {
+	inj := w.rt.cfg.Faults
+	if d := inj.StallDur(w.id); d > 0 {
+		inj.NoteStall()
+		if w.ev != nil {
+			w.ev.Emit(eventlog.StallBegin)
+		}
+		time.Sleep(d)
+		if w.ev != nil {
+			w.ev.Emit(eventlog.StallEnd)
+		}
+	}
+	if f := inj.SparkFault(); f != nil {
+		if w.ev != nil {
+			w.ev.EmitArg(eventlog.FaultPanic, int32(f.Index))
+		}
+		panic(f)
+	}
+}
+
 // stealLoop is the body of workers 1..N-1: take work until the main
 // thread finishes. A panic inside a spark aborts the whole run with an
 // error rather than crashing the process. Idle brackets wrap maximal
@@ -383,8 +467,21 @@ func (w *worker) runSpark(t *graph.Thunk) {
 func (w *worker) stealLoop() {
 	defer w.rt.stealers.Done()
 	defer func() {
-		if p := recover(); p != nil && p != errAborted {
-			w.rt.fail(fmt.Errorf("native: worker %d: spark panicked: %v", w.id, p))
+		if p := recover(); p != nil {
+			var err error
+			if p == errAborted {
+				err = w.rt.err // set before rt.failed, so visible here
+			} else {
+				err = panicErr(fmt.Sprintf("native: worker %d: spark panicked", w.id), p)
+			}
+			// Orphaned-claim recovery: poison every thunk this dead
+			// worker still holds a claim on, so a peer blocked on one of
+			// them unblocks into the failure path (Force raises
+			// *graph.PoisonError) instead of waiting forever.
+			w.poisonClaims(err)
+			if p != errAborted {
+				w.rt.fail(err)
+			}
 		}
 	}()
 	// Final publication (runs on every exit path, including a spark

@@ -46,11 +46,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"parhask/internal/eventlog"
+	"parhask/internal/faults"
 	"parhask/internal/graph"
 	"parhask/internal/pe"
 	"parhask/internal/trace"
@@ -69,6 +71,16 @@ type Config struct {
 	EventLog bool
 	// EventLogConfig tunes the event rings (zero value = defaults).
 	EventLogConfig eventlog.Config
+	// Faults is an optional fault-injection plan (nil = none): injected
+	// process panics, per-edge message drop/delay, and stalled PEs, all
+	// seed-deterministic for exact replay.
+	Faults *faults.Injector
+	// Deadline arms the watchdog: the run fails with a structured
+	// *faults.DeadlockError either when global quiescence is detected
+	// (every live thread blocked on a placeholder, no progress) or when
+	// the hard deadline expires, whichever comes first. Zero disables
+	// the watchdog (and quiescence detection with it).
+	Deadline time.Duration
 }
 
 // NewConfig returns a native Eden configuration with pes PEs.
@@ -185,8 +197,14 @@ type peRT struct {
 	// cells maps channel id -> the inport placeholder living in this
 	// PE's heap; streams maps stream id -> its cursor pair. Guarded by
 	// mu.
-	cells   map[int64]*graph.Thunk
+	cells   map[int64]*cellState
 	streams map[int64]*streamState
+
+	// blockedOn records, per blocked thread, what it is waiting for —
+	// the diagnostics a *faults.DeadlockError reports. Guarded by mu
+	// (written by the blocking thread at block entry, read by the
+	// watchdog under TryLock).
+	blockedOn map[*PCtx]faults.BlockedThread
 
 	// ctr is this PE's counter block. Guarded by mu.
 	ctr PEStats
@@ -197,12 +215,26 @@ type peRT struct {
 	ev *eventlog.Buf
 }
 
+// cellState is one one-value channel's heap anchor on its owning PE:
+// the inport placeholder plus the PE that created the channel (the
+// best available guess at the peer expected to fill it, used by the
+// deadlock watchdog's diagnostics).
+type cellState struct {
+	t      *graph.Thunk
+	origin int
+}
+
 // streamState is one stream channel's heap anchor on its owning PE:
 // tail is where the next arriving element lands (advanced by senders),
-// cursor is the next cell the receiver will read.
+// cursor is the next cell the receiver will read. origin is the
+// creating PE (watchdog diagnostics); cancelled marks a stream
+// terminated from the receiving side by CancelStream, whose late
+// sends are dropped silently instead of panicking.
 type streamState struct {
-	tail   *graph.Thunk
-	cursor *graph.Thunk
+	tail      *graph.Thunk
+	cursor    *graph.Thunk
+	origin    int
+	cancelled bool
 }
 
 // RTS is a running native Eden instance.
@@ -216,6 +248,16 @@ type RTS struct {
 	// stats fields updated from any thread.
 	processes atomic.Int64
 	threads   atomic.Int64
+
+	// Watchdog bookkeeping. alive counts threads that have been spawned
+	// and not yet exited; blocked counts threads currently inside
+	// cond.Wait; progress increments on every wait return. Global
+	// quiescence — alive > 0, blocked == alive, and all three stable
+	// across watchdog ticks — is a deadlock: every live thread waits on
+	// a placeholder no runnable thread can fill.
+	alive    atomic.Int64
+	blocked  atomic.Int64
+	progress atomic.Uint64
 
 	failed  atomic.Bool
 	errOnce sync.Once
@@ -241,9 +283,10 @@ func Run(cfg Config, main pe.Program) (*Result, error) {
 	r.pes = make([]*peRT, cfg.PEs)
 	for i := range r.pes {
 		p := &peRT{id: i, rts: r,
-			arena:   graph.NewArena(cfg.ArenaChunk),
-			cells:   map[int64]*graph.Thunk{},
-			streams: map[int64]*streamState{},
+			arena:     graph.NewArena(cfg.ArenaChunk),
+			cells:     map[int64]*cellState{},
+			streams:   map[int64]*streamState{},
+			blockedOn: map[*PCtx]faults.BlockedThread{},
 		}
 		p.cond = sync.NewCond(&p.mu)
 		r.pes[i] = p
@@ -263,26 +306,41 @@ func Run(cfg Config, main pe.Program) (*Result, error) {
 		}
 	}
 
+	// The watchdog is its own goroutine: it fires while the root thread
+	// itself may be among the deadlocked.
+	var watchdogStop chan struct{}
+	if cfg.Deadline > 0 {
+		watchdogStop = make(chan struct{})
+		go r.watchdog(start, watchdogStop)
+	}
+
 	// The caller's goroutine is the root process's thread on PE 0.
 	var value graph.Value
+	c0 := &PCtx{rts: r, pe: r.pes[0], name: "root"}
 	runErr := func() (err error) {
 		defer func() {
 			if v := recover(); v != nil {
 				if v == errAborted {
-					return // r.err carries the original failure
+					err = r.err // visible: errOnce.Do precedes failed.Store
+					return
 				}
-				err = fmt.Errorf("nativeeden: root process panicked: %v", v)
+				err = panicErr("nativeeden: root process panicked", v)
+				// Orphaned-claim recovery: poison whatever the root had
+				// black-holed so blocked peers unblock into the failure.
+				poisonThunks(c0.claims, err)
 			}
 		}()
-		p0 := r.pes[0]
+		p0 := c0.pe
 		r.threads.Add(1)
+		r.alive.Add(1)
+		defer r.alive.Add(-1)
 		p0.mu.Lock()
 		defer p0.mu.Unlock()
 		p0.ctr.Threads++
 		if p0.ev != nil {
 			p0.ev.Emit(eventlog.RunBegin)
 		}
-		value = main(&PCtx{rts: r, pe: p0})
+		value = main(c0)
 		if p0.ev != nil {
 			p0.ev.Emit(eventlog.RunEnd)
 		}
@@ -291,10 +349,14 @@ func Run(cfg Config, main pe.Program) (*Result, error) {
 	if runErr != nil {
 		// The root's failure must unwind every blocked thread, exactly as
 		// a thread panic aborts the root (see the native GpH runtime's
-		// main-panic path for the hang this prevents).
+		// main-panic path for the hang this prevents). errOnce keeps the
+		// first failure when the root merely unwound via errAborted.
 		r.fail(runErr)
 	}
 	r.wg.Wait()
+	if watchdogStop != nil {
+		close(watchdogStop)
+	}
 	wall := time.Since(start)
 
 	var memAfter runtime.MemStats
@@ -302,9 +364,6 @@ func Run(cfg Config, main pe.Program) (*Result, error) {
 
 	if runErr == nil {
 		runErr = r.err
-	}
-	if runErr != nil {
-		return nil, runErr
 	}
 
 	res := &Result{Value: value, WallNS: wall.Nanoseconds(), PEs: cfg.PEs}
@@ -329,7 +388,107 @@ func Run(cfg Config, main pe.Program) (*Result, error) {
 		r.events.Close(res.WallNS)
 		res.Events = r.events
 	}
+	if runErr != nil {
+		// Failed runs still return the partial Result — flushed event
+		// rings and counters — so tracedump and the chaos soak can render
+		// what happened up to the failure. Only the value is withheld.
+		res.Value = nil
+		return res, runErr
+	}
 	return res, nil
+}
+
+// panicErr turns a recovered panic value into an error, preserving
+// error values (typed injected faults, misuse errors, poison) through
+// %w so errors.As sees them from the run error.
+func panicErr(prefix string, p any) error {
+	if err, ok := p.(error); ok {
+		return fmt.Errorf("%s: %w", prefix, err)
+	}
+	return fmt.Errorf("%s: %v", prefix, p)
+}
+
+// poisonThunks marks every claimed thunk of a dead thread as Poisoned,
+// newest-first, so peers blocked on them unblock into the failure path
+// instead of waiting forever on a black hole.
+func poisonThunks(claims []*graph.Thunk, err error) {
+	for i := len(claims) - 1; i >= 0; i-- {
+		if t := claims[i]; t != nil {
+			t.Poison(err)
+		}
+	}
+}
+
+// watchdog polls the run's liveness counters. It fails the run with a
+// structured *faults.DeadlockError on global quiescence (every live
+// thread blocked, nothing progressing, stable across ticks) or when
+// the hard deadline expires. Stopped by closing stop after the join
+// barrier.
+func (r *RTS) watchdog(start time.Time, stop chan struct{}) {
+	const tick = 2 * time.Millisecond
+	// ~40ms of perfect stillness before declaring quiescence: long
+	// enough that a delay-injected sender (alive, not blocked) can't be
+	// mistaken for deadlock, short enough that hung tests fail fast.
+	const stableTicks = 20
+	var lastAlive, lastBlocked int64
+	var lastProgress uint64
+	stable := 0
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if r.failed.Load() {
+			return
+		}
+		elapsed := time.Since(start)
+		if elapsed >= r.cfg.Deadline {
+			r.fail(r.deadlockError("deadline", elapsed))
+			return
+		}
+		a, b, pr := r.alive.Load(), r.blocked.Load(), r.progress.Load()
+		if a > 0 && b == a && a == lastAlive && b == lastBlocked && pr == lastProgress {
+			stable++
+			if stable >= stableTicks {
+				r.fail(r.deadlockError("quiescence", elapsed))
+				return
+			}
+		} else {
+			stable = 0
+		}
+		lastAlive, lastBlocked, lastProgress = a, b, pr
+	}
+}
+
+// deadlockError collects per-PE blocked-on diagnostics. TryLock, not
+// Lock: on the quiescence path every PE lock is free (all threads are
+// in cond.Wait), but on the deadline path a long-running mutator may
+// hold its PE for its whole execution — report that PE as busy rather
+// than hang the watchdog behind it.
+func (r *RTS) deadlockError(reason string, elapsed time.Duration) *faults.DeadlockError {
+	de := &faults.DeadlockError{Backend: "nativeeden", Reason: reason, Elapsed: elapsed}
+	for _, p := range r.pes {
+		if !p.mu.TryLock() {
+			de.Blocked = append(de.Blocked, faults.BlockedThread{
+				PE: p.id, Thread: "(busy)", Reason: "running", Chan: -1, Peer: -1,
+			})
+			continue
+		}
+		for _, b := range p.blockedOn {
+			de.Blocked = append(de.Blocked, b)
+		}
+		p.mu.Unlock()
+	}
+	sort.Slice(de.Blocked, func(i, j int) bool {
+		if de.Blocked[i].PE != de.Blocked[j].PE {
+			return de.Blocked[i].PE < de.Blocked[j].PE
+		}
+		return de.Blocked[i].Thread < de.Blocked[j].Thread
+	})
+	return de
 }
 
 // fail records the first thread failure and wakes every blocked thread
@@ -356,26 +515,97 @@ func (p *peRT) checkFailed() {
 // startThread runs body as a new Eden thread on this PE. The recover
 // handler is registered before the lock is taken so that, on panic,
 // the unlock (deferred later, hence run earlier) has already released
-// the PE before fail() tries to lock every PE.
+// the PE before fail() tries to lock every PE. alive is incremented
+// here, synchronously, so the watchdog counts a spawned-but-not-yet-
+// scheduled thread as live-and-runnable rather than seeing a
+// transiently quiescent system.
 func (r *RTS) startThread(p *peRT, name string, body func(*PCtx)) {
 	r.wg.Add(1)
 	r.threads.Add(1)
+	r.alive.Add(1)
 	go func() {
 		defer r.wg.Done()
+		defer r.alive.Add(-1)
+		c := &PCtx{rts: r, pe: p, name: name}
 		defer func() {
 			if v := recover(); v != nil && v != errAborted {
-				r.fail(fmt.Errorf("nativeeden: PE %d thread %q panicked: %v", p.id, name, v))
+				err := panicErr(fmt.Sprintf("nativeeden: PE %d thread %q panicked", p.id, name), v)
+				// Orphaned-claim recovery before fail(): peers blocked on
+				// this thread's black holes see poison, not a permanent
+				// hole, even if they race past the abort flag.
+				poisonThunks(c.claims, err)
+				r.fail(err)
 			}
 		}()
 		p.mu.Lock()
 		defer p.mu.Unlock()
-		p.ctr.Threads++
-		if p.ev != nil {
-			p.ev.Emit(eventlog.RunBegin)
+		c.begin()
+		body(c)
+		c.end()
+	}()
+}
+
+// startSupervised runs body as a supervised Eden thread: a panic is
+// contained — claims poisoned, PE woken, a pe.ThreadFailure death
+// notice sent on the verdict channel — instead of aborting the run.
+// Success sends true. Verdict delivery goes through the ordinary
+// transport, so it is itself subject to message-fault injection (a
+// dropped death notice becomes a watchdog-detected deadlock, which is
+// the honest outcome).
+func (r *RTS) startSupervised(p *peRT, name string, done Outport, body func(*PCtx)) {
+	r.wg.Add(1)
+	r.threads.Add(1)
+	r.alive.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer r.alive.Add(-1)
+		c := &PCtx{rts: r, pe: p, name: name}
+		aborted := false
+		var failure *pe.ThreadFailure
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					if v == errAborted {
+						aborted = true
+						return
+					}
+					err := panicErr(fmt.Sprintf("nativeeden: PE %d supervised thread %q panicked", p.id, name), v)
+					poisonThunks(c.claims, err)
+					// The deferred unlock already ran; wake siblings that
+					// may be blocked on the freshly poisoned thunks.
+					p.mu.Lock()
+					p.cond.Broadcast()
+					p.mu.Unlock()
+					failure = &pe.ThreadFailure{PE: p.id, Name: name, Err: err.Error()}
+				}
+			}()
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			c.begin()
+			body(c)
+			c.end()
+		}()
+		if aborted {
+			return
 		}
-		body(&PCtx{rts: r, pe: p})
-		if p.ev != nil {
-			p.ev.Emit(eventlog.RunEnd)
-		}
+		// Deliver the verdict. The send can fail too (injected faults,
+		// closed run); that falls back to the ordinary abort path.
+		func() {
+			defer func() {
+				if v := recover(); v != nil && v != errAborted {
+					r.fail(panicErr(fmt.Sprintf("nativeeden: supervised thread %q verdict send failed", name), v))
+				}
+			}()
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			if failure != nil {
+				if p.ev != nil {
+					p.ev.EmitArg(eventlog.WorkerDead, int32(p.id))
+				}
+				c.Send(done, *failure)
+			} else {
+				c.Send(done, true)
+			}
+		}()
 	}()
 }

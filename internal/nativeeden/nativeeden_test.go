@@ -399,8 +399,9 @@ func TestReceiveTwicePanics(t *testing.T) {
 		done <- err
 	}()
 	err := awaitRun(t, done)
-	if err == nil || !strings.Contains(err.Error(), "Receive twice") {
-		t.Fatalf("err = %v, want the double-receive diagnosis", err)
+	var me *eden.ChanMisuseError
+	if !errors.As(err, &me) || me.Op != "Receive" || me.Reason != "already-received" {
+		t.Fatalf("err = %v, want a *ChanMisuseError with the double-receive diagnosis", err)
 	}
 }
 

@@ -2,9 +2,11 @@ package nativeeden
 
 import (
 	"fmt"
+	"time"
 
 	"parhask/internal/eden"
 	"parhask/internal/eventlog"
+	"parhask/internal/faults"
 	"parhask/internal/graph"
 	"parhask/internal/pe"
 )
@@ -14,14 +16,65 @@ import (
 // every method below may assume the lock is held, and the blocking and
 // transport operations are the only places it is released.
 type PCtx struct {
-	rts *RTS
-	pe  *peRT
+	rts  *RTS
+	pe   *peRT
+	name string
+
+	// claims is the stack of thunks this thread has eagerly black-holed
+	// and not yet updated. On panic they are poisoned (newest-first) so
+	// peers blocked on them unblock into the failure path.
+	claims []*graph.Thunk
 }
 
 var (
-	_ pe.Ctx        = (*PCtx)(nil)
-	_ graph.Context = (*PCtx)(nil)
+	_ pe.Ctx               = (*PCtx)(nil)
+	_ graph.Context        = (*PCtx)(nil)
+	_ pe.SupervisedSpawner = (*PCtx)(nil)
+	_ pe.StreamCanceller   = (*PCtx)(nil)
 )
+
+// begin is the thread prologue, run under the PE lock: counters, the
+// Run bracket, and thread-start fault injection (stalled PE, injected
+// process panic).
+func (p *PCtx) begin() {
+	p.pe.ctr.Threads++
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.RunBegin)
+	}
+	if inj := p.rts.cfg.Faults; inj != nil {
+		p.injectThreadStart(inj)
+	}
+}
+
+// end is the thread epilogue (still under the PE lock).
+func (p *PCtx) end() {
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.RunEnd)
+	}
+}
+
+// injectThreadStart applies thread-start faults: a stalled PE sleeps
+// holding its lock (a genuinely slow PE — its sibling threads stall
+// with it), then an injected process panic fires if this thread's
+// index is in the plan.
+func (p *PCtx) injectThreadStart(inj *faults.Injector) {
+	if d := inj.StallDur(p.pe.id); d > 0 {
+		inj.NoteStall()
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.StallBegin)
+		}
+		time.Sleep(d)
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.StallEnd)
+		}
+	}
+	if f := inj.ProcFault(); f != nil {
+		if p.pe.ev != nil {
+			p.pe.ev.EmitArg(eventlog.FaultPanic, int32(f.Index))
+		}
+		panic(f)
+	}
+}
 
 // Ports are plain {channel id, PE} value structs: shipping or capturing
 // one moves no heap, so a port crossing PEs (in a message or a spawned
@@ -95,23 +148,79 @@ func (p *PCtx) LeftThunk(t *graph.Thunk)    {}
 // NoteDuplicateEntry cannot fire under the eager policy; nothing to do.
 func (p *PCtx) NoteDuplicateEntry(t *graph.Thunk) {}
 
+// NoteClaimed / NoteReleased track this thread's open eager claims —
+// the thunks that must be poisoned if the thread dies mid-update.
+func (p *PCtx) NoteClaimed(t *graph.Thunk) { p.claims = append(p.claims, t) }
+
+func (p *PCtx) NoteReleased(t *graph.Thunk) {
+	if n := len(p.claims); n > 0 {
+		p.claims[n-1] = nil
+		p.claims = p.claims[:n-1]
+	}
+}
+
 // WakeThunkWaiters wakes the PE's blocked threads after an update.
 func (p *PCtx) WakeThunkWaiters(t *graph.Thunk) { p.pe.cond.Broadcast() }
 
 // BlockOnThunk suspends the thread on its PE's condvar until t is
-// Evaluated: the wait releases the PE lock, so sibling threads run —
-// the big-lock analogue of the simulator's thread descheduling.
+// Evaluated (or Poisoned — graph.Force then raises the poison): the
+// wait releases the PE lock, so sibling threads run — the big-lock
+// analogue of the simulator's thread descheduling. The watchdog's
+// blocked/progress counters bracket each wait, and the blocked-on
+// record (what channel or stream this placeholder anchors, and which
+// peer was expected to fill it) is published for deadlock diagnostics.
 func (p *PCtx) BlockOnThunk(t *graph.Thunk) {
 	if p.pe.ev != nil {
 		p.pe.ev.Emit(eventlog.BlockBegin)
 	}
-	for t.State() != graph.Evaluated {
+	noted := false
+	for {
+		if s := t.State(); s == graph.Evaluated || s == graph.Poisoned {
+			break
+		}
 		p.pe.checkFailed()
+		if !noted {
+			noted = true
+			p.pe.blockedOn[p] = p.blockedRecord(t)
+		}
+		p.rts.blocked.Add(1)
 		p.pe.cond.Wait()
+		p.rts.blocked.Add(-1)
+		p.rts.progress.Add(1)
+	}
+	if noted {
+		delete(p.pe.blockedOn, p)
 	}
 	if p.pe.ev != nil {
 		p.pe.ev.Emit(eventlog.BlockEnd)
 	}
+}
+
+// blockedRecord classifies what placeholder t anchors on this PE — a
+// one-value channel cell, a stream cell, or a plain local placeholder
+// — for the deadlock watchdog's diagnostics. Linear scans are fine:
+// this runs once per block, on the slow path.
+func (p *PCtx) blockedRecord(t *graph.Thunk) faults.BlockedThread {
+	b := faults.BlockedThread{PE: p.pe.id, Thread: p.name, Reason: "local", Chan: -1, Peer: -1}
+	for id, c := range p.pe.cells {
+		if c.t == t {
+			b.Reason, b.Chan = "channel", id
+			if c.origin != p.pe.id {
+				b.Peer = c.origin
+			}
+			return b
+		}
+	}
+	for id, st := range p.pe.streams {
+		if st.cursor == t || st.tail == t {
+			b.Reason, b.Chan = "stream", id
+			if st.origin != p.pe.id {
+				b.Peer = st.origin
+			}
+			return b
+		}
+	}
+	return b
 }
 
 // --- PE identity and placement ---
@@ -146,6 +255,44 @@ func (p *PCtx) ForkLocal(name string, body func(pe.Ctx)) {
 	p.rts.startThread(p.pe, name, func(c *PCtx) { body(c) })
 }
 
+// SpawnSupervised instantiates a process on PE dest whose panic is
+// contained rather than fatal: the returned one-value channel (on the
+// caller's PE) receives true on success or a pe.ThreadFailure death
+// notice after the thread's claims were poisoned. Fault-tolerant
+// skeletons (skel.SupervisedMW) monitor these channels to re-dispatch
+// a dead worker's outstanding tasks.
+func (p *PCtx) SpawnSupervised(dest int, name string, body func(pe.Ctx)) pe.Inport {
+	in, out := p.NewChan(p.pe.id)
+	p.rts.processes.Add(1)
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.Fork)
+	}
+	p.rts.startSupervised(p.rts.pes[p.norm(dest)], name, out.(Outport), func(c *PCtx) { body(c) })
+	return in
+}
+
+// CancelStream terminates a stream from the receiving side: the
+// current tail resolves to end-of-stream, so a reader draining the
+// stream finishes after the elements already delivered, and late
+// sends from the (presumed dead) producer are dropped silently. Must
+// be called on the stream's owning PE.
+func (p *PCtx) CancelStream(in pe.StreamIn) {
+	i := in.(StreamIn)
+	if i.pe != p.pe.id {
+		panic(&eden.ChanMisuseError{Op: "CancelStream", Chan: i.id, PE: p.pe.id, Owner: i.pe, Reason: "cross-pe"})
+	}
+	st := p.pe.streams[i.id]
+	if st == nil {
+		return // never existed or already torn down: cancel is idempotent
+	}
+	st.cancelled = true
+	if st.tail != nil {
+		st.tail.Resolve(eden.Nil{})
+		st.tail = nil
+		p.pe.cond.Broadcast()
+	}
+}
+
 // withPE runs f with dest's lock held (and, if dest is remote, this
 // thread's own PE lock released — at most one PE lock is ever held, so
 // transport cannot deadlock on lock order). Remote transport is thus a
@@ -173,8 +320,50 @@ func (p *PCtx) withPE(dest int, f func(d *peRT)) {
 func (p *PCtx) NewChan(dest int) (pe.Inport, pe.Outport) {
 	dest = p.norm(dest)
 	id := p.rts.chanIDs.Add(1)
-	p.withPE(dest, func(d *peRT) { d.cells[id] = d.arena.NewPlaceholder() })
+	origin := p.pe.id
+	p.withPE(dest, func(d *peRT) {
+		d.cells[id] = &cellState{t: d.arena.NewPlaceholder(), origin: origin}
+	})
 	return Inport{id: id, pe: dest}, Outport{id: id, dest: dest}
+}
+
+// injectSendFaults applies per-edge message faults at a comm point,
+// called with this thread's own PE lock held after the message was
+// packed and counted. A stalled PE sleeps holding its lock; a delayed
+// message sleeps with the lock *released* (the PE stays responsive and
+// per-edge FIFO order is preserved — the sender re-acquires before
+// transport); a dropped message returns Drop and the caller skips
+// delivery.
+func (p *PCtx) injectSendFaults(dst int) faults.Fate {
+	inj := p.rts.cfg.Faults
+	if d := inj.StallDur(p.pe.id); d > 0 {
+		inj.NoteStall()
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.StallBegin)
+		}
+		time.Sleep(d)
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.StallEnd)
+		}
+	}
+	fate, delay := inj.MessageFate(p.pe.id, dst)
+	switch fate {
+	case faults.Delay:
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.DelayBegin)
+		}
+		p.pe.mu.Unlock()
+		time.Sleep(delay)
+		p.pe.mu.Lock()
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.DelayEnd)
+		}
+	case faults.Drop:
+		if p.pe.ev != nil {
+			p.pe.ev.EmitArg(eventlog.MsgDrop, int32(dst))
+		}
+	}
+	return fate
 }
 
 // Send reduces v to normal form, packs it (charging the same size model
@@ -200,18 +389,24 @@ func (p *PCtx) Send(out pe.Outport, v graph.Value) {
 	if p.pe.ev != nil {
 		p.pe.ev.EmitArg(eventlog.MsgSend, int32(o.dest))
 	}
+	if p.rts.cfg.Faults != nil && p.injectSendFaults(o.dest) == faults.Drop {
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.CommEnd)
+		}
+		return
+	}
 	src := p.pe.id
 	p.withPE(o.dest, func(d *peRT) {
 		cell, ok := d.cells[o.id]
 		if !ok {
-			panic(fmt.Errorf("nativeeden: Send on unknown channel #%d (PE %d -> PE %d)", o.id, src, o.dest))
+			panic(&eden.ChanMisuseError{Op: "Send", Chan: o.id, PE: src, Owner: o.dest, Reason: "unknown-channel"})
 		}
 		d.ctr.MsgsRecv++
 		d.ctr.BytesRecv += bytes
 		if d.ev != nil {
 			d.ev.EmitArg(eventlog.MsgRecv, int32(src))
 		}
-		cell.Resolve(msg)
+		cell.t.Resolve(msg)
 		d.cond.Broadcast()
 	})
 	if p.pe.ev != nil {
@@ -224,13 +419,15 @@ func (p *PCtx) Send(out pe.Outport, v graph.Value) {
 func (p *PCtx) Receive(in pe.Inport) graph.Value {
 	i := in.(Inport)
 	if i.pe != p.pe.id {
-		panic(fmt.Sprintf("nativeeden: Receive on PE %d for a channel owned by PE %d (channels are single-reader)", p.pe.id, i.pe))
+		panic(&eden.ChanMisuseError{Op: "Receive", Chan: i.id, PE: p.pe.id, Owner: i.pe, Reason: "cross-pe"})
 	}
 	cell, ok := p.pe.cells[i.id]
 	if !ok {
-		panic(fmt.Sprintf("nativeeden: Receive twice on one-value channel #%d", i.id))
+		// One-value channels are consumed on receive, so a second
+		// Receive and a receive on a never-created channel look the same.
+		panic(&eden.ChanMisuseError{Op: "Receive", Chan: i.id, PE: p.pe.id, Owner: -1, Reason: "already-received"})
 	}
-	v := p.Force(cell)
+	v := p.Force(cell.t)
 	delete(p.pe.cells, i.id)
 	return v
 }
@@ -242,9 +439,10 @@ func (p *PCtx) Receive(in pe.Inport) graph.Value {
 func (p *PCtx) NewStream(dest int) (pe.StreamIn, pe.StreamOut) {
 	dest = p.norm(dest)
 	id := p.rts.chanIDs.Add(1)
+	origin := p.pe.id
 	p.withPE(dest, func(d *peRT) {
 		head := d.arena.NewPlaceholder()
-		d.streams[id] = &streamState{tail: head, cursor: head}
+		d.streams[id] = &streamState{tail: head, cursor: head, origin: origin}
 	})
 	return StreamIn{id: id, pe: dest}, StreamOut{id: id, dest: dest}
 }
@@ -272,11 +470,20 @@ func (p *PCtx) StreamSend(out pe.StreamOut, v graph.Value) {
 	if p.pe.ev != nil {
 		p.pe.ev.EmitArg(eventlog.MsgSend, int32(o.dest))
 	}
+	if p.rts.cfg.Faults != nil && p.injectSendFaults(o.dest) == faults.Drop {
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.CommEnd)
+		}
+		return
+	}
 	src := p.pe.id
 	p.withPE(o.dest, func(d *peRT) {
 		st := d.streams[o.id]
+		if st != nil && st.cancelled {
+			return // supervisor cancelled the stream; late sends vanish
+		}
 		if st == nil || st.tail == nil {
-			panic(fmt.Errorf("nativeeden: StreamSend on closed or unknown stream #%d (PE %d -> PE %d)", o.id, src, o.dest))
+			panic(&eden.ChanMisuseError{Op: "StreamSend", Chan: o.id, PE: src, Owner: o.dest, Reason: "closed-or-unknown-stream"})
 		}
 		next := d.arena.NewPlaceholder()
 		cur := st.tail
@@ -303,11 +510,17 @@ func (p *PCtx) StreamClose(out pe.StreamOut) {
 	if p.pe.ev != nil {
 		p.pe.ev.EmitArg(eventlog.MsgSend, int32(o.dest))
 	}
+	if p.rts.cfg.Faults != nil && p.injectSendFaults(o.dest) == faults.Drop {
+		return
+	}
 	src := p.pe.id
 	p.withPE(o.dest, func(d *peRT) {
 		st := d.streams[o.id]
+		if st != nil && st.cancelled {
+			return // already terminated by the supervisor
+		}
 		if st == nil || st.tail == nil {
-			panic(fmt.Errorf("nativeeden: StreamClose on closed or unknown stream #%d (PE %d -> PE %d)", o.id, src, o.dest))
+			panic(&eden.ChanMisuseError{Op: "StreamClose", Chan: o.id, PE: src, Owner: o.dest, Reason: "closed-or-unknown-stream"})
 		}
 		cur := st.tail
 		st.tail = nil
@@ -326,11 +539,11 @@ func (p *PCtx) StreamClose(out pe.StreamOut) {
 func (p *PCtx) StreamRecv(in pe.StreamIn) (graph.Value, bool) {
 	i := in.(StreamIn)
 	if i.pe != p.pe.id {
-		panic(fmt.Sprintf("nativeeden: StreamRecv on PE %d for a stream owned by PE %d (streams are single-reader)", p.pe.id, i.pe))
+		panic(&eden.ChanMisuseError{Op: "StreamRecv", Chan: i.id, PE: p.pe.id, Owner: i.pe, Reason: "cross-pe"})
 	}
 	st := p.pe.streams[i.id]
 	if st == nil {
-		panic(fmt.Sprintf("nativeeden: StreamRecv on unknown stream #%d", i.id))
+		panic(&eden.ChanMisuseError{Op: "StreamRecv", Chan: i.id, PE: p.pe.id, Owner: -1, Reason: "unknown-stream"})
 	}
 	switch c := p.Force(st.cursor).(type) {
 	case eden.Cons:

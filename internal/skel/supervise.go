@@ -1,0 +1,249 @@
+package skel
+
+import (
+	"fmt"
+
+	"parhask/internal/graph"
+	"parhask/internal/pe"
+)
+
+// WorkerFailuresError reports that SupervisedMW could not finish the
+// task bag: worker deaths exceeded the retry budget, or every worker
+// died with work left. It carries each death notice so chaos harnesses
+// can classify the failure without string matching.
+type WorkerFailuresError struct {
+	// Skeleton is the farm's name.
+	Skeleton string
+	// Budget is the number of worker deaths the call tolerated.
+	Budget int
+	// Failures are the death notices, in the order they were handled.
+	Failures []pe.ThreadFailure
+	// TasksLost is how many tasks were still unfinished when the farm
+	// gave up.
+	TasksLost int
+}
+
+func (e *WorkerFailuresError) Error() string {
+	return fmt.Sprintf("skel: %s: %d worker failure(s) exceeded retry budget %d (%d tasks unfinished); first: PE %d %q: %s",
+		e.Skeleton, len(e.Failures), e.Budget, e.TasksLost, e.Failures[0].PE, e.Failures[0].Name, e.Failures[0].Err)
+}
+
+// smwState is the supervised farm's master-side coordination state. It
+// lives on the master PE and is mutated by the collector and monitor
+// threads; threads of one PE interleave only at explicit yield points,
+// so the plain mutations between communications are atomic (the same
+// discipline as mwState).
+type smwState struct {
+	queue       []graph.Value
+	outstanding int
+	results     []graph.Value
+	pending     []int // worker indices waiting for a task
+	handles     []pe.StreamOut
+	inflight    [][]graph.Value // per worker: dispatched, not yet completed (FIFO)
+	dead        []bool
+	live        int
+	deaths      int
+	budget      int
+	failures    []pe.ThreadFailure
+	err         error
+	closed      bool
+	collectors  int
+	done        *graph.Thunk
+}
+
+func (st *smwState) dispatch(p pe.Ctx, i int) {
+	if st.closed || st.dead[i] {
+		return
+	}
+	if len(st.queue) == 0 {
+		st.pending = append(st.pending, i)
+		return
+	}
+	t := st.queue[0]
+	st.queue = st.queue[1:]
+	st.outstanding++
+	// Recorded before the send: if the worker dies, everything still in
+	// inflight[i] — including tasks racing into its stream after the
+	// death — is requeued by its collector.
+	st.inflight[i] = append(st.inflight[i], t)
+	p.StreamSend(st.handles[i], t)
+}
+
+func (st *smwState) drainPending(p pe.Ctx) {
+	for len(st.pending) > 0 && len(st.queue) > 0 && !st.closed {
+		i := st.pending[0]
+		st.pending = st.pending[1:]
+		st.dispatch(p, i)
+	}
+}
+
+// purgePending removes worker i from the free-slot list (it died).
+func (st *smwState) purgePending(i int) {
+	keep := st.pending[:0]
+	for _, j := range st.pending {
+		if j != i {
+			keep = append(keep, j)
+		}
+	}
+	st.pending = keep
+}
+
+func (st *smwState) checkDone(p pe.Ctx) {
+	if st.closed || st.outstanding > 0 || len(st.queue) > 0 {
+		return
+	}
+	st.close(p)
+}
+
+// close shuts the farm down: surviving workers see their task streams
+// end and exit cleanly.
+func (st *smwState) close(p pe.Ctx) {
+	if st.closed {
+		return
+	}
+	st.closed = true
+	for i, wh := range st.handles {
+		if !st.dead[i] {
+			p.StreamClose(wh)
+		}
+	}
+}
+
+// giveUp records the structured exhaustion error and shuts down.
+func (st *smwState) giveUp(p pe.Ctx, name string) {
+	if st.err == nil {
+		st.err = &WorkerFailuresError{
+			Skeleton:  name,
+			Budget:    st.budget,
+			Failures:  append([]pe.ThreadFailure(nil), st.failures...),
+			TasksLost: len(st.queue) + st.outstanding,
+		}
+	}
+	st.close(p)
+}
+
+// SupervisedMW is MasterWorker with worker supervision: workers are
+// spawned supervised, a per-worker monitor watches for death notices,
+// and a dead worker's outstanding tasks are re-dispatched to the
+// survivors. budget caps how many worker deaths the farm tolerates;
+// exceeding it (or losing every worker with work left) returns the
+// partial results plus a structured *WorkerFailuresError. On backends
+// without supervision support (the virtual-time simulator), it
+// degrades to the fail-fast MasterWorker.
+//
+// The no-duplicate guarantee rides on stream ordering: a worker's
+// results arrive in dispatch order, and its death notice is sent after
+// its last result, so when the monitor cancels the result stream the
+// collector has drained exactly the completed prefix — what remains in
+// the inflight list is lost work, nothing else.
+func SupervisedMW(p pe.Ctx, name string, nWorkers, prefetch, budget int, work TaskFunc, initial []graph.Value) ([]graph.Value, error) {
+	if nWorkers <= 0 {
+		panic("skel: SupervisedMW needs at least one worker")
+	}
+	sup, okS := p.(pe.SupervisedSpawner)
+	_, okC := p.(pe.StreamCanceller)
+	if !okS || !okC {
+		return MasterWorker(p, name, nWorkers, prefetch, work, initial), nil
+	}
+	if prefetch <= 0 {
+		prefetch = 1
+	}
+	st := &smwState{
+		queue:      append([]graph.Value(nil), initial...),
+		inflight:   make([][]graph.Value, nWorkers),
+		dead:       make([]bool, nWorkers),
+		live:       nWorkers,
+		budget:     budget,
+		collectors: nWorkers,
+		done:       graph.NewPlaceholder(),
+	}
+
+	resIns := make([]pe.StreamIn, nWorkers)
+	verdicts := make([]pe.Inport, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		dest := placement(p, i)
+		taskIn, taskOut := p.NewStream(dest)
+		resIn, resOut := p.NewStream(p.PE())
+		st.handles = append(st.handles, taskOut)
+		resIns[i] = resIn
+		verdicts[i] = sup.SpawnSupervised(dest, fmt.Sprintf("%s-w%d", name, i), func(w pe.Ctx) {
+			for {
+				t, ok := w.StreamRecv(taskIn)
+				if !ok {
+					break
+				}
+				nt, res := work(w, t)
+				w.StreamSend(resOut, mwResult{NewTasks: nt, Result: res})
+			}
+			w.StreamClose(resOut)
+		})
+	}
+
+	for i := range st.handles {
+		for k := 0; k < prefetch; k++ {
+			st.dispatch(p, i)
+		}
+	}
+	st.checkDone(p)
+
+	// Per-worker monitor: receives the verdict and, on death, marks the
+	// worker dead and cancels its result stream so the collector's drain
+	// terminates at the completed prefix. The requeue itself happens in
+	// the collector, after the drain, when inflight[i] is final.
+	for i := 0; i < nWorkers; i++ {
+		i := i
+		p.ForkLocal(fmt.Sprintf("%s-mon%d", name, i), func(c pe.Ctx) {
+			v := c.Receive(verdicts[i])
+			if tf, died := v.(pe.ThreadFailure); died {
+				st.dead[i] = true
+				st.failures = append(st.failures, tf)
+				st.purgePending(i)
+				c.(pe.StreamCanceller).CancelStream(resIns[i])
+			}
+		})
+	}
+
+	for i := 0; i < nWorkers; i++ {
+		i := i
+		p.ForkLocal(fmt.Sprintf("%s-col%d", name, i), func(c pe.Ctx) {
+			for {
+				v, ok := c.StreamRecv(resIns[i])
+				if !ok {
+					break
+				}
+				r := v.(mwResult)
+				st.outstanding--
+				if len(st.inflight[i]) > 0 {
+					st.inflight[i] = st.inflight[i][1:]
+				}
+				st.results = append(st.results, r.Result)
+				st.queue = append(st.queue, r.NewTasks...)
+				st.drainPending(c)
+				st.dispatch(c, i)
+				st.checkDone(c)
+			}
+			if st.dead[i] {
+				// Requeue the lost work and decide whether the farm can
+				// still finish.
+				lost := st.inflight[i]
+				st.inflight[i] = nil
+				st.outstanding -= len(lost)
+				st.queue = append(st.queue, lost...)
+				st.live--
+				st.deaths++
+				if st.deaths > st.budget || (st.live == 0 && (len(st.queue) > 0 || st.outstanding > 0)) {
+					st.giveUp(c, name)
+				} else {
+					st.drainPending(c)
+					st.checkDone(c)
+				}
+			}
+			st.collectors--
+			if st.collectors == 0 {
+				c.LocalResolve(st.done, true)
+			}
+		})
+	}
+	p.Await(st.done)
+	return st.results, st.err
+}

@@ -1,0 +1,171 @@
+package skel
+
+import (
+	"errors"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parhask/internal/eden"
+	"parhask/internal/graph"
+	"parhask/internal/nativeeden"
+	"parhask/internal/pe"
+)
+
+// runSupervised drives SupervisedMW on the native Eden backend under a
+// watchdog deadline: the regression mode of every supervision bug is a
+// hang, so no test is allowed to wait on a placeholder unguarded.
+func runSupervised(t *testing.T, pes, nWorkers, prefetch, budget int, work TaskFunc, tasks []graph.Value) ([]graph.Value, error, error) {
+	t.Helper()
+	cfg := nativeeden.NewConfig(pes)
+	cfg.Deadline = 20 * time.Second
+	var farmRes []graph.Value
+	var farmErr error
+	_, runErr := nativeeden.Run(cfg, func(p pe.Ctx) graph.Value {
+		farmRes, farmErr = SupervisedMW(p, "farm", nWorkers, prefetch, budget, work, tasks)
+		return true
+	})
+	return farmRes, farmErr, runErr
+}
+
+func intTasks(n int) []graph.Value {
+	xs := make([]graph.Value, n)
+	for i := range xs {
+		xs[i] = i + 1
+	}
+	return xs
+}
+
+func sortedInts(t *testing.T, vs []graph.Value) []int {
+	t.Helper()
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = v.(int)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func TestSupervisedMWNoFaultsMatchesMasterWorker(t *testing.T) {
+	res, ferr, rerr := runSupervised(t, 4, 3, 2, 1,
+		func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
+			return nil, task.(int) * 2
+		}, intTasks(12))
+	if rerr != nil || ferr != nil {
+		t.Fatalf("run err = %v, farm err = %v", rerr, ferr)
+	}
+	got := sortedInts(t, res)
+	for i, v := range got {
+		if v != 2*(i+1) {
+			t.Fatalf("results = %v", got)
+		}
+	}
+}
+
+func TestSupervisedMWRecoversFromWorkerDeath(t *testing.T) {
+	// Task 7 kills the first worker that touches it; the retry budget
+	// covers one death, so the re-dispatched task must complete on a
+	// survivor and the result set must be whole — no task lost, none
+	// duplicated.
+	var tripped atomic.Bool
+	res, ferr, rerr := runSupervised(t, 4, 3, 2, 1,
+		func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
+			if task.(int) == 7 && tripped.CompareAndSwap(false, true) {
+				panic("chaos: task 7")
+			}
+			return nil, task.(int) * 2
+		}, intTasks(20))
+	if rerr != nil {
+		t.Fatalf("the worker death must stay contained, run err = %v", rerr)
+	}
+	if ferr != nil {
+		t.Fatalf("one death is within budget, farm err = %v", ferr)
+	}
+	got := sortedInts(t, res)
+	if len(got) != 20 {
+		t.Fatalf("got %d results, want 20: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != 2*(i+1) {
+			t.Fatalf("results = %v", got)
+		}
+	}
+	if !tripped.Load() {
+		t.Fatal("the fault never fired")
+	}
+}
+
+func TestSupervisedMWExhaustsBudget(t *testing.T) {
+	// A task that always panics kills every worker it is re-dispatched
+	// to; the farm must give up with a structured *WorkerFailuresError
+	// instead of hanging or aborting the whole run.
+	_, ferr, rerr := runSupervised(t, 4, 3, 1, 1,
+		func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
+			if task.(int) == 3 {
+				panic("chaos: poison task")
+			}
+			return nil, task.(int)
+		}, intTasks(8))
+	if rerr != nil {
+		t.Fatalf("worker deaths must stay contained, run err = %v", rerr)
+	}
+	var wf *WorkerFailuresError
+	if !errors.As(ferr, &wf) {
+		t.Fatalf("farm err = %v, want *WorkerFailuresError", ferr)
+	}
+	if len(wf.Failures) == 0 || wf.Budget != 1 || wf.TasksLost == 0 {
+		t.Fatalf("exhaustion fields: %+v", wf)
+	}
+	for _, f := range wf.Failures {
+		if f.Err == "" || f.Name == "" {
+			t.Fatalf("death notice incomplete: %+v", f)
+		}
+	}
+}
+
+func TestSupervisedMWAllWorkersDead(t *testing.T) {
+	// One worker, generous budget: its death still leaves no one to run
+	// the remaining tasks, which must be reported, not spun on.
+	_, ferr, rerr := runSupervised(t, 2, 1, 1, 5,
+		func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
+			panic("chaos: every task")
+		}, intTasks(4))
+	if rerr != nil {
+		t.Fatalf("run err = %v", rerr)
+	}
+	var wf *WorkerFailuresError
+	if !errors.As(ferr, &wf) {
+		t.Fatalf("farm err = %v, want *WorkerFailuresError", ferr)
+	}
+	if wf.TasksLost == 0 {
+		t.Fatalf("lost tasks must be counted: %+v", wf)
+	}
+}
+
+func TestSupervisedMWFallbackOnSimulator(t *testing.T) {
+	// The virtual-time simulator has no supervision interfaces:
+	// SupervisedMW must degrade to the fail-fast MasterWorker and still
+	// compute the right answer.
+	res := runE(t, eden.NewConfig(4, 4), func(p pe.Ctx) graph.Value {
+		vs, err := SupervisedMW(p, "farm", 3, 2, 1,
+			func(w pe.Ctx, task graph.Value) ([]graph.Value, graph.Value) {
+				return nil, task.(int) * 3
+			}, intTasks(9))
+		if err != nil {
+			panic(err)
+		}
+		total := 0
+		for _, v := range vs {
+			total += v.(int)
+		}
+		return total
+	})
+	want := 0
+	for i := 1; i <= 9; i++ {
+		want += 3 * i
+	}
+	if res.Value != want {
+		t.Fatalf("value = %v, want %d", res.Value, want)
+	}
+}

@@ -11,6 +11,22 @@ import (
 	"parhask/internal/strategies"
 )
 
+// CheckError is the typed failure of the programs' built-in sequential
+// self-check. Under message-fault injection a dropped stream element
+// silently shortens the reduce input, so the parallel sum can lose
+// chunks; panicking with a typed error lets the native runtimes'
+// recover paths surface detected corruption as a structured failure
+// (matchable with errors.As) rather than an anonymous panic.
+type CheckError struct {
+	Sum  int64
+	Want int64
+}
+
+// Error implements error.
+func (e *CheckError) Error() string {
+	return fmt.Sprintf("euler: parallel sum %d != check %d", e.Sum, e.Want)
+}
+
 // Program is the runtime-agnostic GpH sumEuler program: split [1..n]
 // into chunks, spark the sum of each chunk (parList rwhnf over
 // sublists), fold the partial sums, then run the sequential result
@@ -40,7 +56,7 @@ func Program(n, chunks int, gcdIterCost int64, direct bool) exec.Program {
 			sum += ctx.Force(t).(int64)
 		}
 		if check := SequentialCheck(ctx, n); check != sum {
-			panic(fmt.Sprintf("euler: parallel sum %d != check %d", sum, check))
+			panic(&CheckError{Sum: sum, Want: check})
 		}
 		return sum
 	}
@@ -103,7 +119,7 @@ func EdenProgram(n, chunksPerPE int, gcdIterCost int64) pe.Program {
 			}, inputs)
 		sum := kvs[0].Val.(int64)
 		if check := SequentialCheck(p, n); check != sum {
-			panic(fmt.Sprintf("euler: parallel sum %d != check %d", sum, check))
+			panic(&CheckError{Sum: sum, Want: check})
 		}
 		return sum
 	}
