@@ -13,6 +13,7 @@ import (
 	"parhask/internal/nativeeden"
 	"parhask/internal/pe"
 	"parhask/internal/rts"
+	"parhask/internal/serve"
 	"parhask/internal/skel"
 	"parhask/internal/strategies"
 )
@@ -279,6 +280,69 @@ var (
 	// capped retry budget. On backends without supervision primitives
 	// it degrades to plain MasterWorker.
 	SupervisedMW = skel.SupervisedMW
+)
+
+// Resident runtimes: the native backends as long-lived services —
+// workers, deques and arenas built once, programs submitted as
+// isolated jobs (own result cell, deadline, fault budget, counters).
+type (
+	// NativePool is the resident form of the native work-stealing
+	// runtime; Submit starts jobs, Snapshot reads monotone counters.
+	NativePool = native.Pool
+	// NativeJobConfig scopes one pool job (deadline, fault budget,
+	// private eventlog).
+	NativeJobConfig = native.JobConfig
+	// NativeJobResult is one pool job's outcome.
+	NativeJobResult = native.JobResult
+	// NativeJobHandle waits on a submitted pool job.
+	NativeJobHandle = native.JobHandle
+	// EdenNativeResident is a resident Eden lane: persistent PEs,
+	// per-job RTS (failure latch, watchdog, channel-id space).
+	EdenNativeResident = nativeeden.Resident
+	// EdenNativeJobConfig scopes one lane job.
+	EdenNativeJobConfig = nativeeden.JobConfig
+)
+
+// Resident entry points.
+var (
+	// NewNativePool starts a resident work-stealing pool.
+	NewNativePool = native.NewPool
+	// NewEdenNativeResident builds a resident Eden lane.
+	NewEdenNativeResident = nativeeden.NewResident
+)
+
+// Serve: the resident compute service over both native backends —
+// admission control, bounded per-tenant queues, round-robin dispatch,
+// a structured error taxonomy and an HTTP/JSON gateway (cmd/serve).
+type (
+	// ServeConfig sizes the service (workers, lanes, queue bounds).
+	ServeConfig = serve.Config
+	// ServeServer is the service; Do submits synchronously, Handler
+	// wraps it in the HTTP gateway, Close drains gracefully.
+	ServeServer = serve.Server
+	// ServeJobRequest / ServeJobResponse are the wire job forms.
+	ServeJobRequest  = serve.JobRequest
+	ServeJobResponse = serve.JobResponse
+	// ServeErrorCode is the service's stable failure vocabulary.
+	ServeErrorCode = serve.ErrorCode
+	// ServeStatus is one /statusz snapshot.
+	ServeStatus = serve.Status
+)
+
+// Serve entry points.
+var (
+	// NewServeServer starts the resident service.
+	NewServeServer = serve.New
+	// ClassifyServeError maps any job error to its taxonomy code and
+	// HTTP status.
+	ClassifyServeError = serve.Classify
+
+	// The admission sentinels, so callers can errors.Is against
+	// responses from Do (Classify understands wrapped forms too).
+	ServeErrQueueFull       = serve.ErrQueueFull
+	ServeErrDraining        = serve.ErrDraining
+	ServeErrUnknownWorkload = serve.ErrUnknownWorkload
+	ServeErrBadRequest      = serve.ErrBadRequest
 )
 
 // CostModel holds every virtual-time cost constant of the simulation.

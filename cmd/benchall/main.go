@@ -9,6 +9,7 @@
 //	benchall -native -gogc 50,100,200,400,off   # + the §IV-A.1 allocation-area sweep
 //	benchall -edennative # + GpH-native vs Eden-native head-to-head
 //	benchall -faultoverhead                     # + disabled-vs-armed fault-plane cost
+//	benchall -serve      # + resident-service bench: sustained load + chaos under traffic
 //	benchall -quick -chaos 500                  # seeded chaos soak (exit 1 on violations)
 //	benchall -quick -faults "seed=7,drop=0.4" -faultbackend nativeeden   # replay one seed
 //
@@ -45,6 +46,7 @@ func main() {
 	edenNative := flag.Bool("edennative", false, "also run the GpH-native vs Eden-native head-to-head (implies -native)")
 	gogc := flag.String("gogc", "", "comma-separated GOGC settings for the allocation-area sweep, e.g. 50,100,200,400,off (implies -native)")
 	faultOverhead := flag.Bool("faultoverhead", false, "also measure the disabled-vs-armed fault-plane overhead (implies -native)")
+	serveBench := flag.Bool("serve", false, "also run the resident-service benchmark: sustained concurrent load + chaos under traffic (implies -native)")
 	chaosIters := flag.Int("chaos", 0, "run an N-iteration seeded chaos soak over both native backends instead of the figures (writes results/CHAOS.html + .json; exits non-zero on violations)")
 	chaosSeed := flag.Uint64("chaosseed", 42, "chaos soak master seed")
 	faultSpec := flag.String("faults", "", "replay one fault-injected run from a spec (internal/faults grammar) instead of the figures")
@@ -174,7 +176,7 @@ func main() {
 	if *latency {
 		fmt.Println(experiments.RunLatencyStudy(p).String())
 	}
-	if *nativeSweep || *edenNative || *faultOverhead || len(gogcSettings) > 0 {
+	if *nativeSweep || *edenNative || *faultOverhead || *serveBench || len(gogcSettings) > 0 {
 		s := experiments.RunNativeSweep(p)
 		s.HotPath = experiments.MeasureSparkHotPath()
 		if len(gogcSettings) > 0 {
@@ -185,6 +187,9 @@ func main() {
 		}
 		if *faultOverhead {
 			s.FaultOverhead = experiments.MeasureFaultOverhead()
+		}
+		if *serveBench {
+			s.Service = experiments.RunServiceBench(p)
 		}
 		fmt.Println(s.String())
 		if data, err := s.JSON(); err == nil {

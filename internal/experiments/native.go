@@ -62,6 +62,10 @@ type NativeSweep struct {
 	// FaultOverhead is the disabled-vs-armed-empty fault-plane cost
 	// comparison (benchall -faultoverhead). Optional.
 	FaultOverhead *FaultOverheadBench `json:"fault_overhead,omitempty"`
+	// Service is the benchmark-as-a-service run: the resident server
+	// under sustained concurrent load plus the chaos-under-traffic
+	// phase (benchall -serve). Optional.
+	Service *ServiceBench `json:"service,omitempty"`
 }
 
 // nativeWorkerCounts is the sweep's x-axis.
@@ -213,6 +217,9 @@ func (s *NativeSweep) String() string {
 	}
 	if s.FaultOverhead != nil {
 		out += "\n" + s.FaultOverhead.String()
+	}
+	if s.Service != nil {
+		out += "\n" + s.Service.String()
 	}
 	return out
 }

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"parhask/internal/serve"
+	"parhask/internal/stats"
+)
+
+// ServiceBench is the benchmark-as-a-service result: the resident
+// server under sustained concurrent mixed-workload load (throughput
+// and latency percentiles), followed by a chaos phase that injects
+// faults into a slice of the traffic and asserts every request still
+// completes or fails with a structured, classified error.
+type ServiceBench struct {
+	Workers     int `json:"workers"`
+	Lanes       int `json:"lanes"`
+	PEs         int `json:"pes"`
+	Concurrency int `json:"concurrency"`
+	// Jobs counts completed submissions of the sustained phase;
+	// Rejected counts queue-full backpressure rejections (not errors —
+	// the admission contract working).
+	Jobs       int64 `json:"jobs"`
+	Failed     int64 `json:"failed"`
+	Rejected   int64 `json:"rejected"`
+	DurationNS int64 `json:"duration_ns"`
+	// ThroughputPerSec is completed jobs per wall-clock second.
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+	// Latency percentiles over completed jobs (admission to response).
+	P50NS int64 `json:"p50_ns"`
+	P90NS int64 `json:"p90_ns"`
+	P99NS int64 `json:"p99_ns"`
+	MaxNS int64 `json:"max_ns"`
+	// Chaos is the faults-under-traffic phase.
+	Chaos *ServiceChaos `json:"chaos,omitempty"`
+}
+
+// ServiceChaos summarises the chaos-under-traffic phase: every request
+// must either complete OK or fail with a structured taxonomy code;
+// anything else (an internal-coded failure, a lost response) is an
+// invariant violation.
+type ServiceChaos struct {
+	Requests   int64            `json:"requests"`
+	OK         int64            `json:"ok"`
+	ByCode     map[string]int64 `json:"by_code,omitempty"`
+	Violations []string         `json:"violations,omitempty"`
+}
+
+// serviceMix is the sustained-phase request mix: every registered
+// workload, both backends where both exist.
+func serviceMix() []serve.JobRequest {
+	return []serve.JobRequest{
+		{Workload: "sumeuler", N: 800, Chunks: 8},
+		{Workload: "sumeuler", N: 400, Backend: "eden"},
+		{Workload: "matmul", N: 24},
+		{Workload: "matmul", N: 16, Backend: "eden"},
+		{Workload: "apsp", N: 24},
+		{Workload: "apsp", N: 16, Backend: "eden"},
+		{Workload: "fuzz", N: 200, Seed: 11},
+		{Workload: "mandel", Width: 48, Height: 32},
+		{Workload: "mandel", Width: 32, Height: 24, Backend: "eden"},
+	}
+}
+
+// RunServiceBench drives the resident service the way cmd/serve's
+// clients would: the sustained phase keeps `concurrency` clients (at
+// least 100 — the acceptance bar for the resident pool) submitting the
+// mixed-workload set without restart; the chaos phase lets a third of
+// the traffic carry private fault plans and tiny deadlines while clean
+// traffic continues, asserting structured-failure-only semantics.
+func RunServiceBench(p Params) *ServiceBench {
+	cfg := serve.Config{
+		Workers:     runtime.GOMAXPROCS(0),
+		PEs:         2,
+		Lanes:       2,
+		QueueCap:    256,
+		MaxInflight: 2 * runtime.GOMAXPROCS(0),
+	}
+	s := serve.New(cfg)
+	defer s.Close()
+
+	const concurrency = 100
+	const jobsPerClient = 4
+	mix := serviceMix()
+
+	b := &ServiceBench{
+		Workers: cfg.Workers, Lanes: cfg.Lanes, PEs: cfg.PEs,
+		Concurrency: concurrency,
+	}
+
+	// --- sustained phase ---
+	var mu sync.Mutex
+	var latencies []int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < jobsPerClient; k++ {
+				req := mix[(c+k)%len(mix)]
+				req.Tenant = fmt.Sprintf("tenant-%d", c%8)
+				resp := s.Do(req)
+				mu.Lock()
+				switch {
+				case resp.OK:
+					b.Jobs++
+					latencies = append(latencies, resp.TotalNS)
+				case resp.Error != nil && resp.Error.Code == serve.CodeQueueFull:
+					b.Rejected++
+				default:
+					b.Failed++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	b.DurationNS = time.Since(start).Nanoseconds()
+	if b.DurationNS > 0 {
+		b.ThroughputPerSec = float64(b.Jobs) / (float64(b.DurationNS) / 1e9)
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		pct := func(q float64) int64 {
+			i := int(q * float64(len(latencies)-1))
+			return latencies[i]
+		}
+		b.P50NS, b.P90NS, b.P99NS = pct(0.50), pct(0.90), pct(0.99)
+		b.MaxNS = latencies[len(latencies)-1]
+	}
+
+	// --- chaos phase: faults under traffic ---
+	b.Chaos = runServiceChaos(s, mix)
+	return b
+}
+
+// chaosPlans are the fault shapes the chaos phase injects, cycled
+// across the faulted third of the traffic. Stalls stay short: a
+// stalled PE sleeps uninterruptibly, so its duration bounds how long
+// the lane is held, not the deadline.
+var chaosPlans = []string{
+	"seed=3,panic-spark=0",
+	"seed=5,panic-proc=0",
+	"seed=9,panic-proc=1",
+	"seed=11,delay=5ms:0.5",
+}
+
+// runServiceChaos keeps clean and faulted traffic flowing together and
+// classifies every outcome. Violations: a response whose code is
+// "internal" (unstructured failure leaked through), a clean request
+// that failed with an injected-fault code (blast radius escaped its
+// job), or a missing response.
+func runServiceChaos(s *serve.Server, mix []serve.JobRequest) *ServiceChaos {
+	const clients = 30
+	const jobsPerClient = 3
+	c := &ServiceChaos{ByCode: map[string]int64{}}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < jobsPerClient; k++ {
+				n := i*jobsPerClient + k
+				req := mix[n%len(mix)]
+				req.Tenant = fmt.Sprintf("chaos-%d", i%4)
+				faulted := n%3 == 0
+				if faulted {
+					req.Faults = chaosPlans[n%len(chaosPlans)]
+					req.DeadlineMS = 10_000
+				}
+				resp := s.Do(req)
+				mu.Lock()
+				c.Requests++
+				if resp == nil {
+					c.Violations = append(c.Violations, "nil response")
+					mu.Unlock()
+					continue
+				}
+				if resp.OK {
+					c.OK++
+					mu.Unlock()
+					continue
+				}
+				code := string(resp.Error.Code)
+				c.ByCode[code]++
+				switch resp.Error.Code {
+				case serve.CodeInternal:
+					c.Violations = append(c.Violations,
+						fmt.Sprintf("unstructured failure for %s/%s: %s", req.Workload, req.Backend, resp.Error.Message))
+				case serve.CodeInjectedPanic, serve.CodePoisoned, serve.CodeDeadlock:
+					if !faulted {
+						c.Violations = append(c.Violations,
+							fmt.Sprintf("clean %s/%s request failed with %s: %s", req.Workload, req.Backend, code, resp.Error.Message))
+					}
+				case serve.CodeQueueFull:
+					// backpressure, not a failure
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return c
+}
+
+// CheckShape verifies the service invariants on any machine: sustained
+// load completed without unstructured failures, the pool stayed up for
+// all of it, and chaos never leaked an unclassified error or crossed a
+// job boundary.
+func (b *ServiceBench) CheckShape() []string {
+	var bad []string
+	if b.Jobs < int64(b.Concurrency) {
+		bad = append(bad, fmt.Sprintf("only %d jobs completed under %d concurrent clients", b.Jobs, b.Concurrency))
+	}
+	if b.Failed > 0 {
+		bad = append(bad, fmt.Sprintf("%d clean sustained-phase jobs failed", b.Failed))
+	}
+	if b.Jobs > 0 && (b.P50NS <= 0 || b.P99NS < b.P50NS) {
+		bad = append(bad, fmt.Sprintf("implausible latency percentiles: p50=%d p99=%d", b.P50NS, b.P99NS))
+	}
+	if b.Chaos != nil {
+		for _, v := range b.Chaos.Violations {
+			bad = append(bad, "chaos: "+v)
+		}
+		if b.Chaos.OK == 0 {
+			bad = append(bad, "chaos: no request completed while faults were injected")
+		}
+	}
+	return bad
+}
+
+// String renders the benchmark as a table plus the shape verdict.
+func (b *ServiceBench) String() string {
+	out := fmt.Sprintf("Benchmark as a service (resident server: %d workers, %d eden lanes x %d PEs)\n",
+		b.Workers, b.Lanes, b.PEs)
+	headers := []string{"Phase", "Clients", "Jobs", "Failed", "Rejected", "Throughput", "p50", "p90", "p99", "max"}
+	rows := [][]string{{
+		"sustained", fmt.Sprintf("%d", b.Concurrency),
+		fmt.Sprintf("%d", b.Jobs), fmt.Sprintf("%d", b.Failed), fmt.Sprintf("%d", b.Rejected),
+		fmt.Sprintf("%.1f/s", b.ThroughputPerSec),
+		stats.Seconds(b.P50NS), stats.Seconds(b.P90NS), stats.Seconds(b.P99NS), stats.Seconds(b.MaxNS),
+	}}
+	if b.Chaos != nil {
+		rows = append(rows, []string{
+			"chaos", "30", fmt.Sprintf("%d", b.Chaos.OK), "-", "-",
+			fmt.Sprintf("%d structured", b.Chaos.Requests-b.Chaos.OK), "-", "-", "-", "-",
+		})
+	}
+	out += stats.Table(headers, rows)
+	if b.Chaos != nil && len(b.Chaos.ByCode) > 0 {
+		out += "chaos error codes:"
+		codes := make([]string, 0, len(b.Chaos.ByCode))
+		for code := range b.Chaos.ByCode {
+			codes = append(codes, code)
+		}
+		sort.Strings(codes)
+		for _, code := range codes {
+			out += fmt.Sprintf(" %s=%d", code, b.Chaos.ByCode[code])
+		}
+		out += "\n"
+	}
+	if bad := b.CheckShape(); len(bad) > 0 {
+		out += "SHAPE VIOLATIONS:\n"
+		for _, v := range bad {
+			out += "  " + v + "\n"
+		}
+	} else {
+		out += "shape: OK (sustained load clean; chaos structured-failure-only)\n"
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestServiceBenchShape runs the full benchmark-as-a-service harness —
+// 100 concurrent clients sustained over the mixed workload set on the
+// resident server, then chaos under traffic — and holds it to its own
+// shape check: no unstructured failure, no cross-job blast radius, and
+// sane latency percentiles. This is the acceptance gate for the
+// resident service in CI.
+func TestServiceBenchShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("service bench is the long acceptance run")
+	}
+	b := RunServiceBench(Quick())
+	if bad := b.CheckShape(); len(bad) > 0 {
+		t.Fatalf("service bench shape violations:\n%s", b.String())
+	}
+	if b.ThroughputPerSec <= 0 {
+		t.Fatalf("no throughput recorded: %+v", b)
+	}
+	if b.Chaos == nil || b.Chaos.Requests == 0 {
+		t.Fatal("chaos phase did not run")
+	}
+	// The JSON form must round-trip (it lands in BENCH_native.json).
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back ServiceBench
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Jobs != b.Jobs || back.Chaos.Requests != b.Chaos.Requests {
+		t.Fatalf("JSON round-trip lost fields: %+v vs %+v", back, b)
+	}
+}

@@ -152,16 +152,16 @@ func TestPopInjectReleasesPrefix(t *testing.T) {
 	}
 	const n = 100
 	for i := 0; i < n; i++ {
-		r.pushInject(mk(i))
+		r.pushInject(mk(i), nil)
 	}
 	// Drain just past the compaction threshold; every consumed slot
 	// behind injectHead must already be nil.
 	for i := 0; i < injectCompactAt-1; i++ {
-		if got := r.popInject(); got == nil {
+		if got, _ := r.popInject(); got == nil {
 			t.Fatalf("pop %d: unexpected empty queue", i)
 		}
 		for j := 0; j < r.injectHead; j++ {
-			if r.inject[j] != nil {
+			if r.inject[j].t != nil {
 				t.Fatalf("pop %d: consumed slot %d still holds a thunk", i, j)
 			}
 		}
@@ -174,7 +174,7 @@ func TestPopInjectReleasesPrefix(t *testing.T) {
 	// compaction fires and check it slid the live tail down.
 	compacted := false
 	for i := injectCompactAt - 1; i < n; i++ {
-		if got := r.popInject(); got == nil {
+		if got, _ := r.popInject(); got == nil {
 			t.Fatalf("pop %d: unexpected empty queue", i)
 		}
 		if r.injectHead == 0 && len(r.inject) > 0 && i < n-1 {
@@ -186,15 +186,18 @@ func TestPopInjectReleasesPrefix(t *testing.T) {
 		t.Fatalf("injectHead = %d after full drain without compaction", r.injectHead)
 	}
 	// Drain whatever remains so the FIFO check starts from empty.
-	for r.popInject() != nil {
+	for {
+		if th, _ := r.popInject(); th == nil {
+			break
+		}
 	}
 	// FIFO order sanity on a fresh queue after the churn.
 	for i := 0; i < 3; i++ {
-		r.pushInject(mk(1000 + i))
+		r.pushInject(mk(1000+i), nil)
 	}
 	ctx := &countingCtx{}
 	for i := 0; i < 3; i++ {
-		th := r.popInject()
+		th, _ := r.popInject()
 		if th == nil {
 			t.Fatalf("refilled pop %d: empty", i)
 		}

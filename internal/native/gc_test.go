@@ -1,0 +1,100 @@
+package native
+
+import (
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"parhask/internal/graph"
+
+	"parhask/internal/exec"
+	"parhask/internal/workloads/euler"
+)
+
+// readGOGC4Test reads the current GOGC by set-and-set-back.
+func readGOGC4Test() int {
+	v := debug.SetGCPercent(100)
+	debug.SetGCPercent(v)
+	return v
+}
+
+// TestConcurrentRunsRestoreGOGC is the regression test for the GC
+// telemetry race: before the gcscope lease, two overlapping Runs with
+// different GCPercent values interleaved their raw SetGCPercent
+// set/restore pairs and could leave the process on an arbitrary
+// intermediate target. With the lease, conflicting runs serialise and
+// the process must end exactly where it started.
+func TestConcurrentRunsRestoreGOGC(t *testing.T) {
+	before := readGOGC4Test()
+	percents := []int{before + 100, before + 200, before + 300, GCOff}
+	var wg sync.WaitGroup
+	for _, pct := range percents {
+		for rep := 0; rep < 3; rep++ {
+			wg.Add(1)
+			go func(pct int) {
+				defer wg.Done()
+				cfg := NewConfig(2)
+				cfg.GCPercent = pct
+				res, err := Run(cfg, euler.Program(300, 8, 0, true))
+				if err != nil {
+					t.Errorf("Run(GCPercent=%d): %v", pct, err)
+					return
+				}
+				if res.GC.GOGC != pct {
+					t.Errorf("Run(GCPercent=%d) measured under GOGC=%d", pct, res.GC.GOGC)
+				}
+			}(pct)
+		}
+	}
+	wg.Wait()
+	if got := readGOGC4Test(); got != before {
+		t.Fatalf("GOGC after concurrent runs = %d, want %d", got, before)
+	}
+}
+
+// TestConcurrentRunsGCShared asserts that deliberately overlapped runs
+// flag their GC deltas as Shared — the honest-attribution half of the
+// fix: a delta taken while another run was in flight describes the
+// process, not the run.
+func TestConcurrentRunsGCShared(t *testing.T) {
+	// Rendezvous inside the program bodies guarantees the two runs'
+	// measurement windows genuinely overlap.
+	var gate sync.WaitGroup
+	gate.Add(2)
+	prog := func(ctx exec.Ctx) graph.Value {
+		gate.Done()
+		gate.Wait()
+		return euler.Program(100, 4, 0, true)(ctx)
+	}
+	results := make([]*Result, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := Run(NewConfig(2), prog)
+			if err != nil {
+				t.Errorf("run %d: %v", i, err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("run %d missing", i)
+		}
+		if !res.GC.Shared {
+			t.Errorf("run %d overlapped another run but GC.Shared is false", i)
+		}
+	}
+	// A solo run afterwards must not inherit the flag.
+	res, err := Run(NewConfig(2), euler.Program(100, 4, 0, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GC.Shared {
+		t.Errorf("solo run flagged Shared")
+	}
+}

@@ -1,0 +1,61 @@
+package native
+
+import (
+	"testing"
+	"time"
+
+	"parhask/internal/workloads/mandel"
+)
+
+// nopCtx satisfies mandel.Ctx for the sequential oracle render (no
+// virtual costs to charge outside a runtime).
+type nopCtx struct{}
+
+func (nopCtx) Burn(int64)  {}
+func (nopCtx) Alloc(int64) {}
+
+// TestNativeMandelMatchesOracle renders the irregular row-parallel
+// mandel program on the native work-stealing runtime and compares the
+// full image (and its checksum) against the sequential oracle, across
+// worker counts and both black-holing policies.
+func TestNativeMandelMatchesOracle(t *testing.T) {
+	p := mandel.DefaultParams(96, 64)
+	want := mandel.Render(nopCtx{}, p)
+	wantSum := mandel.Checksum(want)
+	for _, workers := range []int{1, 2, 4} {
+		for _, eager := range []bool{true, false} {
+			res := run(t, Config{Workers: workers, EagerBlackholing: eager}, mandel.Program(p))
+			got := res.Value.([][]int32)
+			if !mandel.Equal(got, want) {
+				t.Fatalf("workers=%d eager=%v: image disagrees with oracle", workers, eager)
+			}
+			if mandel.Checksum(got) != wantSum {
+				t.Fatalf("workers=%d eager=%v: checksum mismatch", workers, eager)
+			}
+			if workers > 1 && res.Stats.SparksCreated != int64(p.Height) {
+				t.Fatalf("workers=%d: sparks = %d, want one per row (%d)",
+					workers, res.Stats.SparksCreated, p.Height)
+			}
+		}
+	}
+}
+
+// TestPoolMandelJob renders mandel as a resident-pool job — the shape
+// the serve layer submits — and oracle-checks the result.
+func TestPoolMandelJob(t *testing.T) {
+	p := mandel.DefaultParams(96, 64)
+	want := mandel.Render(nopCtx{}, p)
+	pool := NewPool(NewConfig(4))
+	defer pool.Close()
+	h, err := pool.Submit(JobConfig{Deadline: 30 * time.Second}, mandel.Program(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mandel.Equal(res.Value.([][]int32), want) {
+		t.Fatal("pool-run mandel disagrees with oracle")
+	}
+}

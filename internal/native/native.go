@@ -47,7 +47,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"runtime/debug"
 	"runtime/metrics"
 	"sync"
 	"sync/atomic"
@@ -56,6 +55,7 @@ import (
 	"parhask/internal/eventlog"
 	"parhask/internal/exec"
 	"parhask/internal/faults"
+	"parhask/internal/gcscope"
 	"parhask/internal/graph"
 	"parhask/internal/trace"
 )
@@ -214,6 +214,12 @@ type GCStats struct {
 	// thunks cost ArenaChunks allocator calls instead of ArenaThunks.
 	ArenaChunks int64 `json:"arena_chunks"`
 	ArenaThunks int64 `json:"arena_thunks"`
+	// Shared reports that another run's (or resident job's) measurement
+	// window overlapped this one: Cycles/PauseNS/BytesAlloc then
+	// describe the whole process over the interval, not this run
+	// exclusively, because Go's collector is process-global (see
+	// internal/gcscope).
+	Shared bool `json:"shared,omitempty"`
 }
 
 // readGOGC reports the GOGC percent currently in force (-1 = off)
@@ -293,6 +299,10 @@ func (r *Result) Report() Report {
 // already recorded the run's failure.
 var errAborted = errors.New("native: run aborted")
 
+// errJobAborted unwinds a resident job's threads (and workers blocked
+// on its thunks) after the job — not the pool — recorded a failure.
+var errJobAborted = errors.New("native: job aborted")
+
 // panicErr turns a recovered panic value into an error. Error panic
 // values are wrapped with %w so structured failures (an injected
 // *faults.InjectedPanic, a *graph.PoisonError) stay matchable with
@@ -334,18 +344,33 @@ type rt struct {
 	// have no worker whose blocked gauge could be read).
 	externBlocked atomic.Int64
 
-	// inject holds sparks created by forked threads, which own no deque
-	// (PushBottom is owner-only); workers drain it when their steals
-	// come up empty. injectHead indexes the next unconsumed spark —
-	// consumed slots are nilled immediately and the prefix is compacted
-	// away periodically, so the backing array never retains thunks the
+	// resident marks an rt owned by a Pool rather than a one-shot Run:
+	// workers run residentLoop (spark panics fail the tagged job and the
+	// loop restarts) instead of stealLoop (any panic fails the run).
+	resident bool
+
+	// inject holds sparks created by threads that own no deque
+	// (PushBottom is owner-only): forked threads, and in resident mode
+	// every job's main thread. Workers drain it when their steals come
+	// up empty. Each entry carries the job it belongs to (nil in batch
+	// runs), so resident workers can attribute fault injection and
+	// failures. injectHead indexes the next unconsumed spark — consumed
+	// slots are zeroed immediately and the prefix is compacted away
+	// periodically, so the backing array never retains thunks the
 	// runtime already ran (see popInject).
 	injectMu   sync.Mutex
-	inject     []*graph.Thunk
+	inject     []injEntry
 	injectHead int
 
 	stealers sync.WaitGroup
 	forks    sync.WaitGroup
+}
+
+// injEntry is one injection-queue slot: a spark and the job it belongs
+// to (nil for batch runs and job-less forks).
+type injEntry struct {
+	t   *graph.Thunk
+	job *Job
 }
 
 // Run executes main on a native work-stealing runtime and returns its
@@ -360,8 +385,11 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.GCPercent != 0 {
-		prev := debug.SetGCPercent(cfg.GCPercent)
-		defer debug.SetGCPercent(prev)
+		// The GOGC knob is process-global; the lease serialises
+		// conflicting set/restore pairs so concurrent runs cannot corrupt
+		// each other's targets (internal/gcscope).
+		release := gcscope.Lease(cfg.GCPercent)
+		defer release()
 	}
 	r := &rt{cfg: cfg, sampled: cfg.Sampler != nil}
 	r.workers = make([]*worker, cfg.Workers)
@@ -370,8 +398,7 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	}
 
 	gogc := readGOGC()
-	var memBefore runtime.MemStats
-	runtime.ReadMemStats(&memBefore)
+	gcWin := gcscope.Begin()
 
 	start := time.Now()
 	if cfg.EventLog {
@@ -445,8 +472,7 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	r.forks.Wait()
 	wall := time.Since(start)
 
-	var memAfter runtime.MemStats
-	runtime.ReadMemStats(&memAfter)
+	gcDelta := gcWin.End()
 
 	if runErr == nil {
 		runErr = r.err
@@ -455,9 +481,10 @@ func Run(cfg Config, main exec.Program) (*Result, error) {
 	res := &Result{Value: value, WallNS: wall.Nanoseconds(), Workers: cfg.Workers}
 	res.GC = GCStats{
 		GOGC:       gogc,
-		Cycles:     int64(memAfter.NumGC) - int64(memBefore.NumGC),
-		PauseNS:    int64(memAfter.PauseTotalNs) - int64(memBefore.PauseTotalNs),
-		BytesAlloc: int64(memAfter.TotalAlloc) - int64(memBefore.TotalAlloc),
+		Cycles:     gcDelta.Cycles,
+		PauseNS:    gcDelta.PauseNS,
+		BytesAlloc: gcDelta.BytesAlloc,
+		Shared:     gcDelta.Shared,
 	}
 	res.PerWorker = make([]Stats, cfg.Workers)
 	res.Stats = r.extern.load()
@@ -542,30 +569,45 @@ func (r *rt) fail(err error) {
 }
 
 // fork starts body as a real goroutine. Its sparks go to the shared
-// injection queue; Run waits for all forks before returning.
-func (r *rt) fork(name string, body func(exec.Ctx)) {
+// injection queue; Run waits for all forks before returning. In
+// resident mode the fork belongs to a job: its counters route to the
+// job, its failure fails only that job, and the job's Wait covers it.
+func (r *rt) fork(name string, body func(exec.Ctx), j *Job) {
 	r.forks.Add(1)
+	if j != nil {
+		j.forks.Add(1)
+	}
 	go func() {
 		defer r.forks.Done()
-		c := Ctx{rt: r}
+		if j != nil {
+			defer j.forks.Done()
+		}
+		c := Ctx{rt: r, job: j}
 		defer func() {
 			if p := recover(); p != nil {
 				var err error
-				if p == errAborted {
+				switch p {
+				case errAborted:
 					err = r.err // set before rt.failed, so visible here
-				} else {
+				case errJobAborted:
+					err = j.takeErr()
+				default:
 					err = panicErr(fmt.Sprintf("native: forked thread %q panicked", name), p)
 				}
 				// Orphaned-claim recovery: thunks this dead thread still
 				// holds eager claims on would block their forcers forever;
 				// poisoning routes those forcers to the failure path.
 				poisonClaims(c.claims, err, nil)
-				if p != errAborted {
-					r.fail(err)
+				if p != errAborted && p != errJobAborted {
+					if j != nil {
+						j.fail(err)
+					} else {
+						r.fail(err)
+					}
 				}
 			}
 		}()
-		if inj := r.cfg.Faults; inj != nil {
+		if inj := c.faults(); inj != nil {
 			if f := inj.ProcFault(); f != nil {
 				panic(f)
 			}
@@ -575,9 +617,9 @@ func (r *rt) fork(name string, body func(exec.Ctx)) {
 }
 
 // pushInject queues a spark from a thread that owns no deque.
-func (r *rt) pushInject(t *graph.Thunk) {
+func (r *rt) pushInject(t *graph.Thunk, j *Job) {
 	r.injectMu.Lock()
-	r.inject = append(r.inject, t)
+	r.inject = append(r.inject, injEntry{t: t, job: j})
 	r.injectMu.Unlock()
 }
 
@@ -597,21 +639,50 @@ const injectCompactAt = 32
 // the backing array for the rest of the run — and once the dead prefix
 // passes injectCompactAt and outweighs the live tail, the tail is
 // copied down so the array itself shrinks back.
-func (r *rt) popInject() *graph.Thunk {
+func (r *rt) popInject() (*graph.Thunk, *Job) {
 	r.injectMu.Lock()
 	defer r.injectMu.Unlock()
 	if r.injectHead == len(r.inject) {
 		r.inject = r.inject[:0]
 		r.injectHead = 0
-		return nil
+		return nil, nil
 	}
-	t := r.inject[r.injectHead]
-	r.inject[r.injectHead] = nil
+	e := r.inject[r.injectHead]
+	r.inject[r.injectHead] = injEntry{}
 	r.injectHead++
+	if e.job != nil {
+		// Under injectMu, so a retiring job's purge (same lock) either
+		// removed this entry or sees its conversion in flight: after
+		// purge + active==0 no worker touches the job again.
+		e.job.active.Add(1)
+	}
 	if r.injectHead >= injectCompactAt && r.injectHead*2 >= len(r.inject) {
 		n := copy(r.inject, r.inject[r.injectHead:])
 		r.inject = r.inject[:n]
 		r.injectHead = 0
 	}
-	return t
+	return e.t, e.job
+}
+
+// purgeInject drops every queued spark belonging to j — called when a
+// job retires, so a completed job's speculative leftovers neither
+// retain its thunks for the pool's lifetime nor waste worker time.
+// Returns how many sparks were dropped.
+func (r *rt) purgeInject(j *Job) int64 {
+	r.injectMu.Lock()
+	defer r.injectMu.Unlock()
+	live := r.inject[r.injectHead:]
+	n := 0
+	for _, e := range live {
+		if e.job != j {
+			live[n] = e
+			n++
+		}
+	}
+	for i := n; i < len(live); i++ {
+		live[i] = injEntry{}
+	}
+	r.inject = live[:n]
+	r.injectHead = 0
+	return int64(len(live) - n)
 }

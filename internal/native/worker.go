@@ -9,6 +9,7 @@ import (
 	"parhask/internal/deque"
 	"parhask/internal/eventlog"
 	"parhask/internal/exec"
+	"parhask/internal/faults"
 	"parhask/internal/graph"
 )
 
@@ -108,6 +109,13 @@ type worker struct {
 	// a blocked force right now; the deadline watchdog reads it (from
 	// another goroutine, hence atomic) to report who was stuck where.
 	blocked atomic.Int32
+
+	// curJob is the resident job whose spark this worker is currently
+	// converting (nil between sparks, in batch runs, and for untagged
+	// deque sparks). Owner-only plain field: runSpark saves/restores it
+	// around each conversion, so nested helping attributes correctly,
+	// and the residentLoop recovery reads it to fail the right job.
+	curJob *Job
 }
 
 // poisonClaims marks every thunk in claims as dead (claimant died with
@@ -167,6 +175,16 @@ type Ctx struct {
 	// only; worker contexts keep theirs on the worker). It exists for
 	// the same orphaned-claim recovery as worker.claims.
 	claims []*graph.Thunk
+	// job is the resident job this context belongs to (nil in batch
+	// runs). Job contexts route their counters to the job's exclusive
+	// set, tag their sparks in the injection queue, and poll the job's
+	// failure latch — so one job's deadline or fault cannot unwind its
+	// pool neighbours.
+	job *Job
+	// ev is the job main thread's private event ring (nil elsewhere;
+	// workers carry theirs on the worker). Single-writer: only the one
+	// goroutine running the job's main function holds a Ctx with ev set.
+	ev *eventlog.Buf
 }
 
 var (
@@ -180,6 +198,35 @@ var (
 func (c *Ctx) events() *eventlog.Buf {
 	if c.w != nil {
 		return c.w.ev
+	}
+	return c.ev
+}
+
+// faults returns the injector governing this context: the job's own
+// budget when the context belongs to a resident job, else the
+// runtime-wide plan.
+func (c *Ctx) faults() *faults.Injector {
+	if c.job != nil && c.job.faults != nil {
+		return c.job.faults
+	}
+	return c.rt.cfg.Faults
+}
+
+// jobOf returns the resident job the calling goroutine is currently
+// working for: the converting worker's current job, or the context's
+// own (job main threads and their forks). Nil in batch runs.
+func (c *Ctx) jobOf() *Job {
+	if c.w != nil {
+		return c.w.curJob
+	}
+	return c.job
+}
+
+// jctr returns the job counter set a nil-worker context should route
+// to, or nil when the context belongs to a batch run's forked thread.
+func (c *Ctx) jctr() *counters {
+	if c.job != nil {
+		return &c.job.ctr
 	}
 	return nil
 }
@@ -221,12 +268,19 @@ func (c *Ctx) Par(t *graph.Thunk) {
 		}
 		return
 	}
+	ctr := c.jctr()
+	if ctr == nil {
+		ctr = &c.rt.extern
+	}
 	if t == nil || t.IsEvaluated() {
-		c.rt.extern.sparksDud.Add(1)
+		ctr.sparksDud.Add(1)
 		return
 	}
-	c.rt.extern.sparksCreated.Add(1)
-	c.rt.pushInject(t)
+	ctr.sparksCreated.Add(1)
+	if ev := c.ev; ev != nil {
+		ev.Emit(eventlog.SparkPush)
+	}
+	c.rt.pushInject(t, c.job)
 }
 
 // Force evaluates t to weak head normal form on this worker.
@@ -235,17 +289,21 @@ func (c *Ctx) Force(t *graph.Thunk) graph.Value { return graph.Force(c, t) }
 // ForceDeep evaluates v to normal form on this worker.
 func (c *Ctx) ForceDeep(v graph.Value) graph.Value { return graph.ForceDeep(c, v) }
 
-// Fork starts body on a fresh goroutine (a real GpH thread).
+// Fork starts body on a fresh goroutine (a real GpH thread). Under a
+// resident job the new thread inherits the job: its counters, faults
+// and failure latch stay the job's.
 func (c *Ctx) Fork(name string, body func(exec.Ctx)) {
 	if c.w != nil {
 		c.w.ctr.forks++
+	} else if ctr := c.jctr(); ctr != nil {
+		ctr.forks.Add(1)
 	} else {
 		c.rt.extern.forks.Add(1)
 	}
 	if ev := c.events(); ev != nil {
 		ev.Emit(eventlog.Fork)
 	}
-	c.rt.fork(name, body)
+	c.rt.fork(name, body, c.jobOf())
 }
 
 // EagerBlackholing reports the configured claim policy.
@@ -270,6 +328,8 @@ func (c *Ctx) WakeThunkWaiters(t *graph.Thunk) {}
 func (c *Ctx) NoteDuplicateEntry(t *graph.Thunk) {
 	if c.w != nil {
 		c.w.ctr.dupEntries++
+	} else if ctr := c.jctr(); ctr != nil {
+		ctr.dupEntries.Add(1)
 	} else {
 		c.rt.extern.dupEntries.Add(1)
 	}
@@ -313,6 +373,8 @@ func (c *Ctx) NoteReleased(t *graph.Thunk) {
 func (c *Ctx) NoteDuplicateResult(t *graph.Thunk) {
 	if c.w != nil {
 		c.w.ctr.dupResults++
+	} else if ctr := c.jctr(); ctr != nil {
+		ctr.dupResults.Add(1)
 	} else {
 		c.rt.extern.dupResults.Add(1)
 	}
@@ -329,9 +391,17 @@ func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
 		defer c.w.blocked.Add(-1)
 		c.w.maybePublish()
 	} else {
-		c.rt.extern.blockedForces.Add(1)
+		if ctr := c.jctr(); ctr != nil {
+			ctr.blockedForces.Add(1)
+		} else {
+			c.rt.extern.blockedForces.Add(1)
+		}
 		c.rt.externBlocked.Add(1)
 		defer c.rt.externBlocked.Add(-1)
+		if j := c.job; j != nil {
+			j.blocked.Add(1)
+			defer j.blocked.Add(-1)
+		}
 	}
 	ev := c.events()
 	if ev != nil {
@@ -347,10 +417,16 @@ func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
 		if c.rt.failed.Load() {
 			panic(errAborted)
 		}
+		// A failed resident job must unwind its own waiters (its main
+		// thread, its forks, and workers converting its sparks) without
+		// touching the rest of the pool.
+		if j := c.jobOf(); j != nil && j.failed.Load() {
+			panic(errJobAborted)
+		}
 		if c.w != nil && len(c.w.claims) == 0 && c.w.helpDepth < maxHelpDepth {
-			if s := c.w.takeWork(); s != nil {
+			if s, sj := c.w.takeWork(); s != nil {
 				c.w.helpDepth++
-				c.w.runSpark(s)
+				c.w.helpSpark(s, sj)
 				c.w.helpDepth--
 				spins = 0
 				continue
@@ -377,12 +453,13 @@ func idleWait(spins int) {
 	time.Sleep(d)
 }
 
-// takeWork returns the next spark to run: own pool first (LIFO, cache
+// takeWork returns the next spark to run — own pool first (LIFO, cache
 // warm), then a steal sweep over the other workers, then the injection
-// queue fed by forked threads.
-func (w *worker) takeWork() *graph.Thunk {
+// queue fed by forked threads and resident jobs — along with the job it
+// belongs to (nil for deque sparks and batch runs).
+func (w *worker) takeWork() (*graph.Thunk, *Job) {
 	if t, ok := w.pool.PopBottom(); ok {
-		return t
+		return t, nil
 	}
 	ws := w.rt.workers
 	n := len(ws)
@@ -400,7 +477,7 @@ func (w *worker) takeWork() *graph.Thunk {
 			if w.ev != nil {
 				w.ev.EmitArg(eventlog.StealSuccess, int32(v.id))
 			}
-			return t
+			return t, nil
 		}
 	}
 	return w.rt.popInject()
@@ -408,21 +485,40 @@ func (w *worker) takeWork() *graph.Thunk {
 
 // runSpark converts a spark: forces it unless it is already evaluated
 // (fizzled). The Run bracket around the force is what the timeline
-// reducer turns into the paper's green band.
-func (w *worker) runSpark(t *graph.Thunk) {
+// reducer turns into the paper's green band. j is the resident job the
+// spark was injected by (nil for deque sparks and batch runs); it is
+// held in w.curJob across the force — restored on the normal path,
+// deliberately left in place on panic so the recovery handler knows
+// which job to fail.
+func (w *worker) runSpark(t *graph.Thunk, j *Job) {
+	if j != nil && j.failed.Load() {
+		// The job already failed (deadline, fault): drop its
+		// speculative leftovers instead of burning pool time on them.
+		j.active.Add(-1)
+		return
+	}
 	if t.IsEvaluated() {
 		w.ctr.sparksFizzled++
 		if w.ev != nil {
 			w.ev.Emit(eventlog.SparkFizzle)
 		}
+		if j != nil {
+			j.active.Add(-1)
+		}
 		return
 	}
 	w.ctr.sparksConverted++
-	if w.rt.cfg.Faults != nil {
+	prev := w.curJob
+	w.curJob = j
+	inj := w.rt.cfg.Faults
+	if j != nil && j.faults != nil {
+		inj = j.faults
+	}
+	if inj != nil {
 		// The whole fault plane costs exactly this one nil check when
 		// disabled (BenchmarkNativeFaultOverhead holds it to the same
 		// ≤2% bar as the eventlog hooks).
-		w.injectSparkFaults()
+		w.injectSparkFaults(inj)
 	}
 	if w.ev != nil {
 		w.ev.Emit(eventlog.SparkConvert)
@@ -432,15 +528,69 @@ func (w *worker) runSpark(t *graph.Thunk) {
 	if w.ev != nil {
 		w.ev.Emit(eventlog.RunEnd)
 	}
+	w.curJob = prev
+	if j != nil {
+		// Normal completion; the panic path's decrement lives at the
+		// containing recovery (stealPass/helpSpark), after the failure
+		// has been attributed, so a job can't report success while a
+		// worker-side failure is still in flight.
+		j.active.Add(-1)
+	}
 	w.maybePublish()
+}
+
+// helpSpark runs a spark taken while blocked inside a force. In batch
+// mode it is runSpark verbatim (a panic propagates and fails the run,
+// as before). In resident mode the helped spark may belong to a
+// different job than the one we are blocked for, so its panic must not
+// unwind our force: it is contained here — claims opened by the helped
+// spark poisoned (the help precondition is an empty claim stack, so
+// everything open belongs to it), its job failed — and the blocked
+// force resumes waiting.
+func (w *worker) helpSpark(t *graph.Thunk, j *Job) {
+	if !w.rt.resident {
+		w.runSpark(t, j)
+		return
+	}
+	entry := w.curJob
+	defer func() {
+		if p := recover(); p != nil {
+			err := w.sparkPanicErr(p)
+			w.poisonClaims(err)
+			if failed := w.curJob; failed != nil {
+				if p != errAborted {
+					failed.fail(err)
+				}
+				failed.active.Add(-1)
+			}
+			w.curJob = entry
+		}
+	}()
+	w.runSpark(t, j)
+}
+
+// sparkPanicErr maps a spark panic value to the error that should
+// poison the dead spark's claims: the pool/job failure for the abort
+// sentinels, a wrapped panic error otherwise.
+func (w *worker) sparkPanicErr(p any) error {
+	switch p {
+	case errAborted:
+		return w.rt.err // set before rt.failed, so visible here
+	case errJobAborted:
+		if j := w.curJob; j != nil {
+			return j.takeErr()
+		}
+		return errJobAborted
+	default:
+		return panicErr(fmt.Sprintf("native: worker %d: spark panicked", w.id), p)
+	}
 }
 
 // injectSparkFaults is the cold half of the spark injection hook: a
 // stall sleep if the plan marks this worker slow, then an injected
 // panic if the plan names this spark index. Only converted sparks
 // advance the index (fizzles don't execute anything worth killing).
-func (w *worker) injectSparkFaults() {
-	inj := w.rt.cfg.Faults
+func (w *worker) injectSparkFaults(inj *faults.Injector) {
 	if d := inj.StallDur(w.id); d > 0 {
 		inj.NoteStall()
 		if w.ev != nil {
@@ -492,14 +642,14 @@ func (w *worker) stealLoop() {
 	spins := 0
 	idle := false
 	for !w.rt.done.Load() {
-		if t := w.takeWork(); t != nil {
+		if t, j := w.takeWork(); t != nil {
 			if idle {
 				idle = false
 				if w.ev != nil {
 					w.ev.Emit(eventlog.IdleEnd)
 				}
 			}
-			w.runSpark(t)
+			w.runSpark(t, j)
 			spins = 0
 			continue
 		}

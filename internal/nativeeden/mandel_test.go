@@ -1,0 +1,54 @@
+package nativeeden
+
+import (
+	"testing"
+	"time"
+
+	"parhask/internal/workloads/mandel"
+)
+
+// nopCtx satisfies mandel.Ctx for the sequential oracle render.
+type nopCtx struct{}
+
+func (nopCtx) Burn(int64)  {}
+func (nopCtx) Alloc(int64) {}
+
+// TestMandelOracleNative renders mandel through the masterWorker
+// skeleton on the native Eden backend and compares the image against
+// the sequential oracle across PE counts (including more worker
+// processes than PEs).
+func TestMandelOracleNative(t *testing.T) {
+	p := mandel.DefaultParams(96, 64)
+	want := mandel.Render(nopCtx{}, p)
+	wantSum := mandel.Checksum(want)
+	for _, tc := range []struct{ pes, workers int }{{1, 1}, {2, 3}, {4, 3}} {
+		res := runN(t, NewConfig(tc.pes), mandel.EdenProgram(p, tc.workers, 2))
+		got := res.Value.([][]int32)
+		if !mandel.Equal(got, want) {
+			t.Fatalf("pes=%d workers=%d: image disagrees with oracle", tc.pes, tc.workers)
+		}
+		if mandel.Checksum(got) != wantSum {
+			t.Fatalf("pes=%d workers=%d: checksum mismatch", tc.pes, tc.workers)
+		}
+		if res.Stats.Processes != int64(tc.workers) {
+			t.Fatalf("pes=%d: processes = %d, want %d", tc.pes, res.Stats.Processes, tc.workers)
+		}
+	}
+}
+
+// TestResidentLaneMandel renders mandel as a resident-lane job — the
+// shape the serve layer submits — and oracle-checks the result.
+func TestResidentLaneMandel(t *testing.T) {
+	p := mandel.DefaultParams(96, 64)
+	want := mandel.Render(nopCtx{}, p)
+	l := NewResident(NewConfig(3))
+	defer l.Close()
+	res, err := l.RunJob(JobConfig{Deadline: 30 * time.Second},
+		mandel.EdenProgram(p, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mandel.Equal(res.Value.([][]int32), want) {
+		t.Fatal("lane-run mandel disagrees with oracle")
+	}
+}

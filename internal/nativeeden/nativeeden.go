@@ -53,6 +53,7 @@ import (
 
 	"parhask/internal/eventlog"
 	"parhask/internal/faults"
+	"parhask/internal/gcscope"
 	"parhask/internal/graph"
 	"parhask/internal/pe"
 	"parhask/internal/trace"
@@ -131,6 +132,10 @@ type GCStats struct {
 	Cycles     int64 `json:"cycles"`
 	PauseNS    int64 `json:"pause_ns"`
 	BytesAlloc int64 `json:"bytes_alloc"`
+	// Shared reports that another run's measurement window overlapped
+	// this one, so the deltas describe the whole process over the
+	// interval rather than this run alone (see internal/gcscope).
+	Shared bool `json:"shared,omitempty"`
 }
 
 // Result is the outcome of one native Eden run.
@@ -282,18 +287,33 @@ func Run(cfg Config, main pe.Program) (*Result, error) {
 	r := &RTS{cfg: cfg}
 	r.pes = make([]*peRT, cfg.PEs)
 	for i := range r.pes {
-		p := &peRT{id: i, rts: r,
-			arena:     graph.NewArena(cfg.ArenaChunk),
-			cells:     map[int64]*cellState{},
-			streams:   map[int64]*streamState{},
-			blockedOn: map[*PCtx]faults.BlockedThread{},
-		}
-		p.cond = sync.NewCond(&p.mu)
+		p := newPE(i, cfg.ArenaChunk)
+		p.rts = r
 		r.pes[i] = p
 	}
+	return r.run(main)
+}
 
-	var memBefore runtime.MemStats
-	runtime.ReadMemStats(&memBefore)
+// newPE builds one processing element with empty registries and a
+// fresh arena. The rts pointer is attached by the caller: a batch Run
+// wires it once, a Resident lane re-points the same PEs at a fresh
+// per-job RTS.
+func newPE(id, arenaChunk int) *peRT {
+	p := &peRT{id: id,
+		arena:     graph.NewArena(arenaChunk),
+		cells:     map[int64]*cellState{},
+		streams:   map[int64]*streamState{},
+		blockedOn: map[*PCtx]faults.BlockedThread{},
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// run executes main as the root process on PE 0 of an assembled RTS —
+// the shared execution core of the batch Run and the Resident lane.
+func (r *RTS) run(main pe.Program) (*Result, error) {
+	cfg := r.cfg
+	gcWin := gcscope.Begin()
 	start := time.Now()
 	if cfg.EventLog {
 		r.events = eventlog.New(start, cfg.PEs, cfg.EventLogConfig)
@@ -359,8 +379,7 @@ func Run(cfg Config, main pe.Program) (*Result, error) {
 	}
 	wall := time.Since(start)
 
-	var memAfter runtime.MemStats
-	runtime.ReadMemStats(&memAfter)
+	gcDelta := gcWin.End()
 
 	if runErr == nil {
 		runErr = r.err
@@ -368,9 +387,10 @@ func Run(cfg Config, main pe.Program) (*Result, error) {
 
 	res := &Result{Value: value, WallNS: wall.Nanoseconds(), PEs: cfg.PEs}
 	res.GC = GCStats{
-		Cycles:     int64(memAfter.NumGC) - int64(memBefore.NumGC),
-		PauseNS:    int64(memAfter.PauseTotalNs) - int64(memBefore.PauseTotalNs),
-		BytesAlloc: int64(memAfter.TotalAlloc) - int64(memBefore.TotalAlloc),
+		Cycles:     gcDelta.Cycles,
+		PauseNS:    gcDelta.PauseNS,
+		BytesAlloc: gcDelta.BytesAlloc,
+		Shared:     gcDelta.Shared,
 	}
 	res.Stats = Stats{Processes: r.processes.Load(), ThreadsCreated: r.threads.Load()}
 	res.PerPE = make([]PEStats, cfg.PEs)

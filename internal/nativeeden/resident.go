@@ -1,0 +1,133 @@
+package nativeeden
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"parhask/internal/eventlog"
+	"parhask/internal/faults"
+	"parhask/internal/pe"
+)
+
+// ErrResidentClosed rejects RunJob after Close.
+var ErrResidentClosed = errors.New("nativeeden: resident lane closed")
+
+// JobConfig scopes one job on a resident lane.
+type JobConfig struct {
+	// Deadline arms the per-job watchdog (see Config.Deadline).
+	Deadline time.Duration
+	// Faults is this job's private fault budget (nil = none).
+	Faults *faults.Injector
+	// EventLog gives the job a per-PE event ring set of its own.
+	EventLog bool
+	// EventLogConfig tunes the rings (zero value = defaults).
+	EventLogConfig eventlog.Config
+}
+
+// Resident is a resident Eden lane: the PEs — their big locks, their
+// thunk arenas, their channel registries — are created once and reused
+// across jobs, so a job pays no PE construction and starts on warm
+// arenas. One lane runs one job at a time: Eden's failure protocol
+// (the run-global abort latch, the quiescence watchdog) is per-run
+// state, so intra-lane concurrency would re-introduce exactly the
+// cross-job blast radius the resident service exists to remove. For
+// concurrent Eden traffic, run several lanes side by side (the serve
+// layer keeps a small pool of lanes); jobs within a lane queue on its
+// mutex.
+//
+// Between jobs the lane rewinds each PE's arena and clears its channel
+// registries. The previous job's threads have all exited by then (the
+// run joins them), and its Result carries only deep-copied plain
+// values, so no pre-reset thunk is reachable — the Arena.Reset
+// contract. A Result's Value must be consumed (or copied) before the
+// next RunJob on the same lane.
+type Resident struct {
+	cfg Config
+
+	mu     sync.Mutex
+	pes    []*peRT
+	closed bool
+
+	jobsDone   int64
+	jobsFailed int64
+}
+
+// NewResident builds a lane with cfg.PEs warm processing elements.
+// Config.Deadline/Faults/EventLog become per-job knobs (JobConfig);
+// their Config values are ignored here.
+func NewResident(cfg Config) *Resident {
+	if cfg.PEs <= 0 {
+		cfg.PEs = runtime.GOMAXPROCS(0)
+	}
+	l := &Resident{cfg: cfg}
+	l.pes = make([]*peRT, cfg.PEs)
+	for i := range l.pes {
+		l.pes[i] = newPE(i, cfg.ArenaChunk)
+	}
+	return l
+}
+
+// PEs reports the lane's processing-element count.
+func (l *Resident) PEs() int { return l.cfg.PEs }
+
+// RunJob executes main as one job on the lane, blocking until it
+// completes (queueing behind any job already running). Each job gets a
+// fresh RTS — failure latch, watchdog, channel-id space — over the
+// lane's persistent PEs.
+func (l *Resident) RunJob(jc JobConfig, main pe.Program) (*Result, error) {
+	if main == nil {
+		return nil, errors.New("nativeeden: nil job main")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrResidentClosed
+	}
+	cfg := l.cfg
+	cfg.Deadline = jc.Deadline
+	cfg.Faults = jc.Faults
+	cfg.EventLog = jc.EventLog
+	cfg.EventLogConfig = jc.EventLogConfig
+	r := &RTS{cfg: cfg, pes: l.pes}
+	for _, p := range l.pes {
+		p.rts = r
+		// The previous job's threads joined before its run returned, so
+		// nothing reaches the old arena slots or registry entries.
+		p.arena.Reset()
+		clear(p.cells)
+		clear(p.streams)
+		clear(p.blockedOn)
+		p.ctr = PEStats{} // stats are job-scoped; the arena stays warm
+		p.ev = nil        // run re-wires rings if the job asked for them
+	}
+	res, err := r.run(main)
+	if err != nil {
+		l.jobsFailed++
+	} else {
+		l.jobsDone++
+	}
+	return res, err
+}
+
+// JobsDone and JobsFailed report completed-job counts.
+func (l *Resident) JobsDone() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.jobsDone
+}
+
+func (l *Resident) JobsFailed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.jobsFailed
+}
+
+// Close marks the lane unusable; a job in flight finishes first
+// (RunJob holds the lane mutex for the job's duration). Idempotent.
+func (l *Resident) Close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+}

@@ -1,0 +1,128 @@
+package nativeeden
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"parhask/internal/faults"
+	"parhask/internal/graph"
+	"parhask/internal/pe"
+	"parhask/internal/workloads/euler"
+)
+
+// TestResidentLaneReusesPEs runs a sequence of jobs on one lane and
+// checks every value against the oracle: the PEs, arenas and channel
+// registries must come out of each job reusable.
+func TestResidentLaneReusesPEs(t *testing.T) {
+	l := NewResident(NewConfig(3))
+	defer l.Close()
+	for i, n := range []int{100, 300, 500, 300, 100} {
+		res, err := l.RunJob(JobConfig{Deadline: 30 * time.Second},
+			euler.EdenProgram(n, 2, 0))
+		if err != nil {
+			t.Fatalf("job %d (n=%d): %v", i, n, err)
+		}
+		if want := euler.SumTotientSieve(n); res.Value.(int64) != want {
+			t.Fatalf("job %d (n=%d) = %v, want %d", i, n, res.Value, want)
+		}
+		if res.PEs != 3 {
+			t.Fatalf("job %d ran on %d PEs", i, res.PEs)
+		}
+		if res.Stats.Messages == 0 {
+			t.Fatalf("job %d recorded no messages: per-job stats not scoped", i)
+		}
+	}
+	if l.JobsDone() != 5 || l.JobsFailed() != 0 {
+		t.Fatalf("done=%d failed=%d", l.JobsDone(), l.JobsFailed())
+	}
+}
+
+// TestResidentLaneRecoversFromFailure injects a process panic into one
+// job and asserts the next job on the same lane runs clean — the
+// per-job RTS (failure latch, watchdog) must not leak across jobs.
+func TestResidentLaneRecoversFromFailure(t *testing.T) {
+	l := NewResident(NewConfig(3))
+	defer l.Close()
+
+	plan, err := faults.Parse("seed=7,panic-proc=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, jerr := l.RunJob(JobConfig{Deadline: 5 * time.Second, Faults: faults.NewInjector(plan)},
+		euler.EdenProgram(300, 2, 0))
+	if jerr == nil {
+		t.Fatal("faulted job completed without error")
+	}
+	var ip *faults.InjectedPanic
+	var de *faults.DeadlockError
+	if !errors.As(jerr, &ip) && !errors.As(jerr, &de) {
+		t.Fatalf("faulted job error is not structured: %v", jerr)
+	}
+
+	res, err := l.RunJob(JobConfig{Deadline: 30 * time.Second},
+		euler.EdenProgram(200, 2, 0))
+	if err != nil {
+		t.Fatalf("clean job after fault: %v", err)
+	}
+	if want := euler.SumTotientSieve(200); res.Value.(int64) != want {
+		t.Fatalf("post-fault job = %v, want %d", res.Value, want)
+	}
+}
+
+// TestResidentLaneDeadlineScoped: a hung job fails with a structured
+// DeadlockError, and the lane is reusable afterwards.
+func TestResidentLaneDeadlineScoped(t *testing.T) {
+	l := NewResident(NewConfig(2))
+	defer l.Close()
+	_, jerr := l.RunJob(JobConfig{Deadline: 200 * time.Millisecond},
+		func(p pe.Ctx) graph.Value {
+			in, _ := p.NewChan(0)
+			return p.Receive(in) // nobody ever sends
+		})
+	var de *faults.DeadlockError
+	if !errors.As(jerr, &de) {
+		t.Fatalf("hung job error = %v, want *faults.DeadlockError", jerr)
+	}
+	res, err := l.RunJob(JobConfig{Deadline: 30 * time.Second},
+		euler.EdenProgram(100, 1, 0))
+	if err != nil {
+		t.Fatalf("job after deadlock: %v", err)
+	}
+	if want := euler.SumTotientSieve(100); res.Value.(int64) != want {
+		t.Fatalf("post-deadlock job = %v, want %d", res.Value, want)
+	}
+}
+
+// TestResidentLaneClosedRejects: RunJob after Close returns the
+// sentinel.
+func TestResidentLaneClosedRejects(t *testing.T) {
+	l := NewResident(NewConfig(2))
+	l.Close()
+	_, err := l.RunJob(JobConfig{}, euler.EdenProgram(50, 1, 0))
+	if !errors.Is(err, ErrResidentClosed) {
+		t.Fatalf("RunJob after Close = %v, want ErrResidentClosed", err)
+	}
+}
+
+// TestResidentLaneEventlogPerJob: each job's eventlog is its own.
+func TestResidentLaneEventlogPerJob(t *testing.T) {
+	l := NewResident(NewConfig(2))
+	defer l.Close()
+	r1, err := l.RunJob(JobConfig{Deadline: 30 * time.Second, EventLog: true},
+		euler.EdenProgram(100, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.RunJob(JobConfig{Deadline: 30 * time.Second, EventLog: true},
+		euler.EdenProgram(100, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Events == nil || r2.Events == nil {
+		t.Fatal("missing per-job eventlog")
+	}
+	if r1.Events == r2.Events {
+		t.Fatal("jobs shared an eventlog")
+	}
+}

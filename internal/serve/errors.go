@@ -1,0 +1,154 @@
+// Package serve turns the native backends into a resident compute
+// service: one long-lived worker pool (GpH work stealing) and a small
+// set of resident Eden lanes accept jobs through admission control,
+// bounded per-tenant queues and a round-robin dispatcher, so many
+// clients share the warm runtimes instead of each request paying
+// worker and arena construction.
+//
+// The package is transport-agnostic at its core (Server.Do takes and
+// returns plain structs); http.go wraps it in the JSON gateway that
+// cmd/serve listens on.
+package serve
+
+import (
+	"errors"
+	"net/http"
+
+	"parhask/internal/eden"
+	"parhask/internal/faults"
+	"parhask/internal/graph"
+	"parhask/internal/native"
+	"parhask/internal/nativeeden"
+	"parhask/internal/workloads/euler"
+)
+
+// Admission sentinels. Classify maps them to HTTP backpressure codes.
+var (
+	// ErrQueueFull rejects a submission whose tenant queue is at its
+	// bound — the client should back off and retry.
+	ErrQueueFull = errors.New("serve: tenant queue full")
+	// ErrDraining rejects submissions made after drain began.
+	ErrDraining = errors.New("serve: server draining")
+	// ErrUnknownWorkload rejects a request naming no registered workload.
+	ErrUnknownWorkload = errors.New("serve: unknown workload")
+	// ErrBadRequest wraps parameter-validation failures.
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// ErrorCode is the service's stable failure vocabulary: every error a
+// job can produce — admission rejections, runtime failures surfaced by
+// the backends, injected chaos — maps to exactly one code, so clients
+// and the chaos soak can assert on structure instead of matching
+// message strings.
+type ErrorCode string
+
+const (
+	// CodeQueueFull: the tenant's queue was at its bound (HTTP 429).
+	CodeQueueFull ErrorCode = "queue_full"
+	// CodeDraining: the server or a backend pool is shutting down (503).
+	CodeDraining ErrorCode = "draining"
+	// CodeUnknownWorkload: no such workload is registered (404).
+	CodeUnknownWorkload ErrorCode = "unknown_workload"
+	// CodeBadRequest: the request's parameters failed validation (400).
+	CodeBadRequest ErrorCode = "bad_request"
+	// CodeDeadlock: the job's watchdog fired — deadline or quiescence
+	// (*faults.DeadlockError, HTTP 504).
+	CodeDeadlock ErrorCode = "deadlock"
+	// CodeInjectedPanic: a fault the request's own plan asked for fired
+	// (*faults.InjectedPanic) — the expected chaos-soak failure.
+	CodeInjectedPanic ErrorCode = "injected_panic"
+	// CodePoisoned: the job forced a thunk whose claimant died of a
+	// cause the taxonomy cannot name more precisely
+	// (*graph.PoisonError with an unclassified cause).
+	CodePoisoned ErrorCode = "poisoned"
+	// CodeSendError: an Eden channel send failed packing
+	// (*eden.SendError).
+	CodeSendError ErrorCode = "send_error"
+	// CodeChanMisuse: an Eden channel-protocol violation
+	// (*eden.ChanMisuseError).
+	CodeChanMisuse ErrorCode = "chan_misuse"
+	// CodeIntegrityCheck: the workload's built-in self-check caught a
+	// wrong parallel result (*euler.CheckError or the service-side
+	// oracle check).
+	CodeIntegrityCheck ErrorCode = "integrity_check"
+	// CodeInternal: anything the taxonomy cannot classify (500).
+	CodeInternal ErrorCode = "internal"
+)
+
+// integrityError is the service-side oracle failure: the job completed
+// but its value disagrees with the workload's sequential oracle.
+type integrityError struct{ workload string }
+
+func (e *integrityError) Error() string {
+	return "serve: " + e.workload + " result disagrees with the sequential oracle"
+}
+
+// Classify maps any job error to its taxonomy code and HTTP status.
+// nil maps to ("", 200). Specific runtime types are matched before
+// PoisonError: a poisoned thunk carries its claimant's death as the
+// cause (Unwrap), so a job killed by an injected panic reports
+// injected_panic whether the panic hit its own stack or reached it
+// through a poisoned claim.
+func Classify(err error) (ErrorCode, int) {
+	if err == nil {
+		return "", http.StatusOK
+	}
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return CodeQueueFull, http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining),
+		errors.Is(err, native.ErrPoolDraining),
+		errors.Is(err, native.ErrPoolClosed),
+		errors.Is(err, nativeeden.ErrResidentClosed):
+		return CodeDraining, http.StatusServiceUnavailable
+	case errors.Is(err, ErrUnknownWorkload):
+		return CodeUnknownWorkload, http.StatusNotFound
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest, http.StatusBadRequest
+	}
+	var de *faults.DeadlockError
+	if errors.As(err, &de) {
+		return CodeDeadlock, http.StatusGatewayTimeout
+	}
+	var ip *faults.InjectedPanic
+	if errors.As(err, &ip) {
+		return CodeInjectedPanic, http.StatusInternalServerError
+	}
+	var se *eden.SendError
+	if errors.As(err, &se) {
+		return CodeSendError, http.StatusInternalServerError
+	}
+	var cm *eden.ChanMisuseError
+	if errors.As(err, &cm) {
+		return CodeChanMisuse, http.StatusInternalServerError
+	}
+	var ce *euler.CheckError
+	if errors.As(err, &ce) {
+		return CodeIntegrityCheck, http.StatusInternalServerError
+	}
+	var ie *integrityError
+	if errors.As(err, &ie) {
+		return CodeIntegrityCheck, http.StatusInternalServerError
+	}
+	var pe *graph.PoisonError
+	if errors.As(err, &pe) {
+		return CodePoisoned, http.StatusInternalServerError
+	}
+	return CodeInternal, http.StatusInternalServerError
+}
+
+// ErrorInfo is the wire form of a classified failure.
+type ErrorInfo struct {
+	Code       ErrorCode `json:"code"`
+	HTTPStatus int       `json:"http_status"`
+	Message    string    `json:"message"`
+}
+
+// classifyInfo builds the wire form, or nil for a nil error.
+func classifyInfo(err error) *ErrorInfo {
+	if err == nil {
+		return nil
+	}
+	code, status := Classify(err)
+	return &ErrorInfo{Code: code, HTTPStatus: status, Message: err.Error()}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"parhask/internal/eden"
+	"parhask/internal/faults"
+	"parhask/internal/graph"
+	"parhask/internal/native"
+	"parhask/internal/nativeeden"
+	"parhask/internal/workloads/euler"
+)
+
+// TestClassifyTaxonomy is the table-driven taxonomy test: every error
+// family a job can produce maps to exactly one stable code and HTTP
+// status, including runtime errors that arrive wrapped (a poisoned
+// thunk carrying its claimant's death, fmt.Errorf %w chains).
+func TestClassifyTaxonomy(t *testing.T) {
+	cases := []struct {
+		name   string
+		err    error
+		code   ErrorCode
+		status int
+	}{
+		{"nil", nil, "", http.StatusOK},
+		{"queue full", ErrQueueFull, CodeQueueFull, http.StatusTooManyRequests},
+		{"wrapped queue full", fmt.Errorf("tenant a: %w", ErrQueueFull), CodeQueueFull, http.StatusTooManyRequests},
+		{"draining", ErrDraining, CodeDraining, http.StatusServiceUnavailable},
+		{"pool draining", native.ErrPoolDraining, CodeDraining, http.StatusServiceUnavailable},
+		{"pool closed", native.ErrPoolClosed, CodeDraining, http.StatusServiceUnavailable},
+		{"lane closed", nativeeden.ErrResidentClosed, CodeDraining, http.StatusServiceUnavailable},
+		{"unknown workload", ErrUnknownWorkload, CodeUnknownWorkload, http.StatusNotFound},
+		{"bad request", badReq("n too big"), CodeBadRequest, http.StatusBadRequest},
+		{"deadlock deadline",
+			&faults.DeadlockError{Backend: "native", Reason: "deadline", Elapsed: time.Second},
+			CodeDeadlock, http.StatusGatewayTimeout},
+		{"deadlock quiescence",
+			&faults.DeadlockError{Backend: "nativeeden", Reason: "quiescence"},
+			CodeDeadlock, http.StatusGatewayTimeout},
+		{"injected panic",
+			&faults.InjectedPanic{Kind: "spark", Index: 3, Seed: 42},
+			CodeInjectedPanic, http.StatusInternalServerError},
+		{"poison wrapping injected panic",
+			&graph.PoisonError{Err: &faults.InjectedPanic{Kind: "spark"}},
+			CodeInjectedPanic, http.StatusInternalServerError},
+		{"poison wrapping anonymous cause",
+			&graph.PoisonError{Err: errors.New("claimant died")},
+			CodePoisoned, http.StatusInternalServerError},
+		{"send error",
+			&eden.SendError{Op: "Send", Chan: 1, PE: 0, Dest: 1, Err: errors.New("unevaluated")},
+			CodeSendError, http.StatusInternalServerError},
+		{"chan misuse",
+			&eden.ChanMisuseError{Op: "Receive", Chan: 2, PE: 1, Owner: 0, Reason: "cross-pe"},
+			CodeChanMisuse, http.StatusInternalServerError},
+		{"integrity self-check",
+			&euler.CheckError{Sum: 1, Want: 2},
+			CodeIntegrityCheck, http.StatusInternalServerError},
+		{"integrity oracle",
+			&integrityError{workload: "matmul"},
+			CodeIntegrityCheck, http.StatusInternalServerError},
+		{"unclassified", errors.New("mystery"), CodeInternal, http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, status := Classify(tc.err)
+			if code != tc.code || status != tc.status {
+				t.Fatalf("Classify(%v) = (%q, %d), want (%q, %d)",
+					tc.err, code, status, tc.code, tc.status)
+			}
+		})
+	}
+}
+
+// TestClassifyInfoCarriesMessage: the wire form keeps the error text.
+func TestClassifyInfoCarriesMessage(t *testing.T) {
+	if classifyInfo(nil) != nil {
+		t.Fatal("classifyInfo(nil) != nil")
+	}
+	info := classifyInfo(ErrQueueFull)
+	if info.Code != CodeQueueFull || info.HTTPStatus != http.StatusTooManyRequests ||
+		info.Message == "" {
+		t.Fatalf("classifyInfo(ErrQueueFull) = %+v", info)
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxRequestBody bounds a job request's JSON body.
+const maxRequestBody = 1 << 20
+
+// Handler wraps the server in its HTTP/JSON gateway:
+//
+//	POST /api/v1/jobs   submit a JobRequest, respond with its JobResponse
+//	GET  /statusz       one Status snapshot (?stream=N: N NDJSON
+//	                    snapshots at ?interval_ms, default 200)
+//	GET  /healthz       200 while accepting, 503 once draining
+//
+// Job responses use the taxonomy's HTTP status (a queue-full rejection
+// is 429 with Retry-After, a drain rejection 503, a deadline 504), so
+// plain HTTP clients get correct backpressure semantics without
+// parsing the body.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/statusz", s.handleStatusz)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, &JobResponse{
+			Error: &ErrorInfo{Code: CodeBadRequest,
+				HTTPStatus: http.StatusBadRequest, Message: "malformed request: " + err.Error()},
+		})
+		return
+	}
+	resp := s.Do(req)
+	status := http.StatusOK
+	if resp.Error != nil {
+		status = resp.Error.HTTPStatus
+		if resp.Error.Code == CodeQueueFull {
+			// Backpressure contract: tell the client when to come back.
+			w.Header().Set("Retry-After", "1")
+		}
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	n, _ := strconv.Atoi(r.URL.Query().Get("stream"))
+	if n <= 0 {
+		writeJSON(w, http.StatusOK, s.Statusz())
+		return
+	}
+	if n > 10000 {
+		n = 10000
+	}
+	intervalMS, _ := strconv.Atoi(r.URL.Query().Get("interval_ms"))
+	if intervalMS <= 0 {
+		intervalMS = 200
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			select {
+			case <-r.Context().Done():
+				return
+			case <-time.After(time.Duration(intervalMS) * time.Millisecond):
+			}
+		}
+		if err := enc.Encode(s.Statusz()); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, req JobRequest) (*http.Response, *JobResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode job response: %v", err)
+	}
+	return resp, &jr
+}
+
+// TestHTTPJobRoundTrip: a job over the wire returns 200 with the
+// oracle-checked summary value.
+func TestHTTPJobRoundTrip(t *testing.T) {
+	s := New(smallConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, jr := postJob(t, ts, JobRequest{Workload: "sumeuler", N: 500, Chunks: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if !jr.OK || jr.Value == nil || jr.Backend != "gph" {
+		t.Fatalf("response = %+v", jr)
+	}
+	// 30394 = sumTotient 500; JSON numbers decode as float64.
+	if v, ok := jr.Value.(float64); !ok || v <= 0 {
+		t.Fatalf("value = %v (%T)", jr.Value, jr.Value)
+	}
+}
+
+// TestHTTPStatusCodes: the taxonomy's HTTP mapping reaches the wire.
+func TestHTTPStatusCodes(t *testing.T) {
+	s := New(smallConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		req    JobRequest
+		status int
+		code   ErrorCode
+	}{
+		{JobRequest{Workload: "nope"}, http.StatusNotFound, CodeUnknownWorkload},
+		{JobRequest{Workload: "sumeuler", N: -1}, http.StatusBadRequest, CodeBadRequest},
+		{JobRequest{Workload: "sumeuler", N: 200, DeadlineMS: -5}, http.StatusBadRequest, CodeBadRequest},
+	}
+	for _, tc := range cases {
+		resp, jr := postJob(t, ts, tc.req)
+		if resp.StatusCode != tc.status || jr.Error == nil || jr.Error.Code != tc.code {
+			t.Errorf("POST %+v = %d/%+v, want %d/%q", tc.req, resp.StatusCode, jr.Error, tc.status, tc.code)
+		}
+	}
+
+	// Malformed JSON and wrong method are gateway-level 400/405.
+	r, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status = %d", r.StatusCode)
+	}
+	g, err := http.Get(ts.URL + "/api/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET jobs: status = %d", g.StatusCode)
+	}
+}
+
+// TestHTTPBackpressure429: queue-full rejections surface as 429 with a
+// Retry-After header — the wire contract clients back off on.
+func TestHTTPBackpressure429(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxInflight = 1
+	cfg.QueueCap = 1
+	s := New(cfg)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 10
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	got429, gotRetryAfter, gotOK := 0, 0, 0
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, jr := postJob(t, ts, JobRequest{Workload: "sumeuler", N: 4000, Chunks: 8})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case resp.StatusCode == http.StatusTooManyRequests:
+				got429++
+				if resp.Header.Get("Retry-After") != "" {
+					gotRetryAfter++
+				}
+				if jr.Error.Code != CodeQueueFull {
+					t.Errorf("429 body code = %q", jr.Error.Code)
+				}
+			case jr.OK:
+				gotOK++
+			default:
+				t.Errorf("unexpected outcome: %d %+v", resp.StatusCode, jr.Error)
+			}
+		}()
+	}
+	wg.Wait()
+	if gotOK == 0 || got429 == 0 {
+		t.Fatalf("ok=%d rejected=%d, want both non-zero", gotOK, got429)
+	}
+	if gotRetryAfter != got429 {
+		t.Fatalf("%d of %d rejections carried Retry-After", gotRetryAfter, got429)
+	}
+}
+
+// TestHTTPStatuszAndHealthz: snapshots decode, the stream form yields
+// the asked-for number of NDJSON lines, and healthz flips on drain.
+func TestHTTPStatuszAndHealthz(t *testing.T) {
+	s := New(smallConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp := s.Do(JobRequest{Workload: "sumeuler", N: 300, Chunks: 4}); !resp.OK {
+		t.Fatalf("warmup job: %+v", resp.Error)
+	}
+
+	r, err := http.Get(ts.URL + "/statusz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if st.JobsDone != 1 || st.Workers != 4 || st.Pool.SparksCreated == 0 {
+		t.Fatalf("statusz = %+v", st)
+	}
+
+	r, err = http.Get(ts.URL + "/statusz?stream=3&interval_ms=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(r.Body)
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var snap Status
+		if err := json.Unmarshal(sc.Bytes(), &snap); err != nil {
+			t.Fatalf("stream line %d: %v", lines, err)
+		}
+		lines++
+	}
+	r.Body.Close()
+	if lines != 3 {
+		t.Fatalf("stream returned %d snapshots, want 3", lines)
+	}
+
+	h, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", h.StatusCode)
+	}
+	s.Close()
+	h, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Body.Close()
+	if h.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain = %d", h.StatusCode)
+	}
+}
+
+// TestHTTPDeadlineMapsTo504: a job that cannot finish inside its
+// deadline surfaces as 504/deadlock on the wire. The overrun is real
+// compute: the largest admissible sumEuler under a 100ms deadline.
+func TestHTTPDeadlineMapsTo504(t *testing.T) {
+	s := New(smallConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, jr := postJob(t, ts, JobRequest{Workload: "sumeuler", N: maxSumEulerN,
+		Chunks: 64, DeadlineMS: 100})
+	if resp.StatusCode != http.StatusGatewayTimeout || jr.Error == nil || jr.Error.Code != CodeDeadlock {
+		t.Fatalf("overrunning job = %d/%+v, want 504/deadlock", resp.StatusCode, jr.Error)
+	}
+	elapsed := time.Duration(jr.TotalNS)
+	if elapsed > 60*time.Second {
+		t.Fatalf("deadline did not bound the job: %v", elapsed)
+	}
+	// The pool recovered: the next job on the server completes.
+	if resp := s.Do(JobRequest{Workload: "sumeuler", N: 200, Chunks: 4}); !resp.OK {
+		t.Fatalf("job after deadline overrun: %+v", resp.Error)
+	}
+}

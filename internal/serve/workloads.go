@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"parhask/internal/exec"
+	"parhask/internal/faults"
+	"parhask/internal/graph"
+	"parhask/internal/pe"
+	"parhask/internal/workloads/apsp"
+	"parhask/internal/workloads/euler"
+	"parhask/internal/workloads/fuzz"
+	"parhask/internal/workloads/mandel"
+	"parhask/internal/workloads/matmul"
+)
+
+// JobRequest is one job submission: which workload, on which backend,
+// at what size, under whose tenancy. Zero-valued knobs take the
+// workload's defaults; every knob is capped so a single request cannot
+// monopolise the resident runtimes.
+type JobRequest struct {
+	// Workload names a registry entry: sumeuler | matmul | apsp | fuzz
+	// | mandel.
+	Workload string `json:"workload"`
+	// Backend picks the runtime: "gph" (default; the work-stealing
+	// pool) or "eden" (a resident Eden lane).
+	Backend string `json:"backend,omitempty"`
+	// Tenant scopes admission: each tenant has its own bounded FIFO
+	// queue and an equal share of the dispatcher's round-robin. Empty
+	// means the shared "anon" tenant.
+	Tenant string `json:"tenant,omitempty"`
+	// N is the size knob (sumEuler bound, matrix dimension, APSP nodes,
+	// fuzz DAG nodes).
+	N int `json:"n,omitempty"`
+	// Chunks is the GpH decomposition knob where one applies.
+	Chunks int `json:"chunks,omitempty"`
+	// Seed varies the randomised workloads (matmul, apsp, fuzz).
+	Seed uint64 `json:"seed,omitempty"`
+	// Width and Height frame a mandel rendering.
+	Width  int `json:"width,omitempty"`
+	Height int `json:"height,omitempty"`
+	// DeadlineMS bounds the job's wall-clock time in milliseconds
+	// (0 = the server default, capped at the server maximum).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Faults is this job's private fault plan (internal/faults
+	// grammar); injected failures are scoped to the job.
+	Faults string `json:"faults,omitempty"`
+}
+
+// builtJob is a validated, runnable form of one request: the program
+// for the chosen backend plus the oracle check that turns the raw
+// result value into a small JSON-able summary.
+type builtJob struct {
+	backend  string // "gph" | "eden"
+	gph      exec.Program
+	eden     pe.Program
+	check    func(graph.Value) (any, error)
+	injector *faults.Injector
+	deadline time.Duration
+}
+
+// Parameter caps: a resident service must bound what one request can
+// cost. The caps are generous for tests and benchmarks, tight enough
+// that no single job can hold a backend for minutes.
+const (
+	maxSumEulerN  = 20000
+	maxMatMulN    = 256
+	maxAPSPNodes  = 128
+	maxFuzzNodes  = 2000
+	maxMandelArea = 256 * 256
+)
+
+// oracleCache memoises sequential-oracle results by workload/params
+// key, so sustained load pays each oracle once instead of per request.
+var oracleCache = struct {
+	sync.Mutex
+	m map[string]any
+}{m: map[string]any{}}
+
+func cachedOracle(key string, compute func() any) any {
+	oracleCache.Lock()
+	defer oracleCache.Unlock()
+	if v, ok := oracleCache.m[key]; ok {
+		return v
+	}
+	v := compute()
+	oracleCache.m[key] = v
+	return v
+}
+
+func badReq(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+}
+
+// Workloads lists the registered workload names (for diagnostics).
+func Workloads() []string {
+	return []string{"sumeuler", "matmul", "apsp", "fuzz", "mandel"}
+}
+
+// buildJob validates a request against the registry and assembles its
+// programs. pes is the Eden lanes' PE count (the eden-side programs
+// size their process topology from it). All validation failures wrap
+// ErrBadRequest or ErrUnknownWorkload, so they classify before any
+// queueing happens.
+func buildJob(req JobRequest, pes int) (*builtJob, error) {
+	b := &builtJob{backend: req.Backend}
+	switch b.backend {
+	case "":
+		b.backend = "gph"
+	case "gph", "eden":
+	default:
+		return nil, badReq("unknown backend %q (want gph or eden)", req.Backend)
+	}
+	if req.Faults != "" {
+		plan, err := faults.Parse(req.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("%w: faults: %v", ErrBadRequest, err)
+		}
+		b.injector = faults.NewInjector(plan)
+	}
+	if req.DeadlineMS < 0 {
+		return nil, badReq("negative deadline")
+	}
+	b.deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+
+	switch req.Workload {
+	case "sumeuler":
+		n, chunks := req.N, req.Chunks
+		if n == 0 {
+			n = 1000
+		}
+		if n < 1 || n > maxSumEulerN {
+			return nil, badReq("sumeuler n=%d out of range [1,%d]", n, maxSumEulerN)
+		}
+		if chunks == 0 {
+			chunks = 16
+		}
+		if chunks < 1 || chunks > 512 {
+			return nil, badReq("sumeuler chunks=%d out of range [1,512]", chunks)
+		}
+		b.gph = euler.Program(n, chunks, 0, true)
+		b.eden = euler.EdenProgram(n, 2, 0)
+		key := fmt.Sprintf("sumeuler/%d", n)
+		b.check = func(v graph.Value) (any, error) {
+			want := cachedOracle(key, func() any { return euler.SumTotientSieve(n) }).(int64)
+			got, ok := v.(int64)
+			if !ok || got != want {
+				return nil, &integrityError{workload: "sumeuler"}
+			}
+			return got, nil
+		}
+
+	case "matmul":
+		n := req.N
+		if n == 0 {
+			n = 48
+		}
+		if n < 4 || n > maxMatMulN || n%4 != 0 {
+			return nil, badReq("matmul n=%d out of range (want multiple of 4 in [4,%d])", n, maxMatMulN)
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		a, bm := matmul.Random(n, seed), matmul.Random(n, seed+1)
+		b.gph = matmul.BlockProgram(a, bm, n/4, 0)
+		b.eden = matmul.EdenCannonProgram(a, bm, 2, 0)
+		key := fmt.Sprintf("matmul/%d/%d", n, seed)
+		b.check = func(v graph.Value) (any, error) {
+			want := cachedOracle(key, func() any { return matmul.MulOracle(a, bm) }).(matmul.Mat)
+			got, ok := v.(matmul.Mat)
+			if !ok || !matmul.Equal(got, want, 1e-9) {
+				return nil, &integrityError{workload: "matmul"}
+			}
+			return matmul.Checksum(got), nil
+		}
+
+	case "apsp":
+		n := req.N
+		if n == 0 {
+			n = 32
+		}
+		if n < 2 || n > maxAPSPNodes {
+			return nil, badReq("apsp n=%d out of range [2,%d]", n, maxAPSPNodes)
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 7
+		}
+		g := apsp.RandomGraph(n, seed, 100, 50)
+		ring := pes - 1
+		if ring < 1 {
+			ring = 1
+		}
+		b.gph = apsp.Program(g, 0)
+		b.eden = apsp.EdenRingProgram(g, ring, 0)
+		key := fmt.Sprintf("apsp/%d/%d", n, seed)
+		b.check = func(v graph.Value) (any, error) {
+			want := cachedOracle(key, func() any { return apsp.FloydWarshall(g) }).(apsp.Graph)
+			got, ok := v.(apsp.Graph)
+			if !ok || !apsp.Equal(got, want) {
+				return nil, &integrityError{workload: "apsp"}
+			}
+			return apsp.Checksum(got), nil
+		}
+
+	case "fuzz":
+		n := req.N
+		if n == 0 {
+			n = 200
+		}
+		if n < 1 || n > maxFuzzNodes {
+			return nil, badReq("fuzz n=%d out of range [1,%d]", n, maxFuzzNodes)
+		}
+		seed := req.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		if b.backend == "eden" {
+			return nil, badReq("fuzz has no eden form (thunk DAGs are shared-heap)")
+		}
+		prog := fuzz.Generate(seed, n)
+		b.gph = prog.Body()
+		key := fmt.Sprintf("fuzz/%d/%d", n, seed)
+		b.check = func(v graph.Value) (any, error) {
+			want := cachedOracle(key, func() any { return prog.Expected() }).(int64)
+			got, ok := v.(int64)
+			if !ok || got != want {
+				return nil, &integrityError{workload: "fuzz"}
+			}
+			return got, nil
+		}
+
+	case "mandel":
+		w, h := req.Width, req.Height
+		if w == 0 && h == 0 {
+			w, h = 64, 48
+		}
+		if w < 1 || h < 1 || w*h > maxMandelArea {
+			return nil, badReq("mandel %dx%d out of range (area cap %d)", w, h, maxMandelArea)
+		}
+		p := mandel.DefaultParams(w, h)
+		workers := pes - 1
+		if workers < 1 {
+			workers = 1
+		}
+		b.gph = mandel.Program(p)
+		b.eden = mandel.EdenProgram(p, workers, 2)
+		key := fmt.Sprintf("mandel/%d/%d", w, h)
+		b.check = func(v graph.Value) (any, error) {
+			want := cachedOracle(key, func() any {
+				return mandel.Render(nopMandelCtx{}, p)
+			}).([][]int32)
+			got, ok := v.([][]int32)
+			if !ok || !mandel.Equal(got, want) {
+				return nil, &integrityError{workload: "mandel"}
+			}
+			return mandel.Checksum(got), nil
+		}
+
+	default:
+		return nil, fmt.Errorf("%w: %q (have %v)", ErrUnknownWorkload, req.Workload, Workloads())
+	}
+	return b, nil
+}
+
+// nopMandelCtx satisfies mandel.Ctx for the oracle render.
+type nopMandelCtx struct{}
+
+func (nopMandelCtx) Burn(int64)  {}
+func (nopMandelCtx) Alloc(int64) {}

@@ -9,6 +9,7 @@
 package mandel
 
 import (
+	"parhask/internal/exec"
 	"parhask/internal/graph"
 	"parhask/internal/pe"
 	"parhask/internal/rts"
@@ -91,15 +92,17 @@ func Render(ctx Ctx, p Params) [][]int32 {
 	return rows
 }
 
-// GpHProgram renders with one spark per row (parList over rows) — the
-// straightforward GpH parallelisation whose irregular rows exercise the
-// dynamic load balancing.
-func GpHProgram(p Params) func(*rts.Ctx) graph.Value {
-	return func(ctx *rts.Ctx) graph.Value {
+// Program is the runtime-agnostic GpH rendering: one spark per row
+// (parList over rows), forced and reassembled in index order. The same
+// body runs on the virtual-time simulation and on the native
+// work-stealing runtime — the irregular per-row cost is exactly what
+// the dynamic load balancing is there to absorb.
+func Program(p Params) exec.Program {
+	return func(ctx exec.Ctx) graph.Value {
 		ts := make([]*graph.Thunk, p.Height)
 		for y := 0; y < p.Height; y++ {
 			y := y
-			ts[y] = strategies.Thunk(func(c *rts.Ctx) graph.Value {
+			ts[y] = exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
 				return Row(c, p, y)
 			})
 		}
@@ -110,6 +113,13 @@ func GpHProgram(p Params) func(*rts.Ctx) graph.Value {
 		}
 		return rows
 	}
+}
+
+// GpHProgram is Program specialised to the simulated runtime, kept for
+// the simulation call sites.
+func GpHProgram(p Params) func(*rts.Ctx) graph.Value {
+	prog := Program(p)
+	return func(ctx *rts.Ctx) graph.Value { return prog(ctx) }
 }
 
 // rowResult pairs a row index with its pixels so completion-order
