@@ -4,11 +4,13 @@ import (
 	"parhask/internal/core"
 	"parhask/internal/cost"
 	"parhask/internal/eden"
+	"parhask/internal/eventlog"
 	"parhask/internal/exec"
 	"parhask/internal/faults"
 	"parhask/internal/gph"
 	"parhask/internal/graph"
 	"parhask/internal/gum"
+	"parhask/internal/metrics"
 	"parhask/internal/native"
 	"parhask/internal/nativeeden"
 	"parhask/internal/pe"
@@ -343,6 +345,37 @@ var (
 	ServeErrDraining        = serve.ErrDraining
 	ServeErrUnknownWorkload = serve.ErrUnknownWorkload
 	ServeErrBadRequest      = serve.ErrBadRequest
+)
+
+// Telemetry: the lock-free metrics plane the resident runtimes and the
+// service record into (per-worker sharded counters, log-bucketed
+// latency histograms, Prometheus text exposition) and the per-job trace
+// dump the service stores for timeline rendering.
+type (
+	// MetricsRegistry holds named series; pass one via NativeConfig,
+	// EdenNativeConfig or get the service's with ServeServer.Metrics.
+	MetricsRegistry = metrics.Registry
+	// MetricsCounter is a monotone sharded counter.
+	MetricsCounter = metrics.Counter
+	// MetricsGauge is a last-value-wins gauge.
+	MetricsGauge = metrics.Gauge
+	// MetricsHistogram is a log-bucketed latency histogram whose
+	// snapshots merge and answer quantiles within 1/16 relative error.
+	MetricsHistogram = metrics.Histogram
+	// MetricsHistSnapshot is one histogram's mergeable snapshot.
+	MetricsHistSnapshot = metrics.HistSnapshot
+	// EventlogDump is the wire form of one job's drained event rings
+	// (GET /api/v1/trace; tracedump -job renders it).
+	EventlogDump = eventlog.Dump
+)
+
+// Telemetry entry points.
+var (
+	// NewMetricsRegistry creates an empty registry.
+	NewMetricsRegistry = metrics.New
+	// ParseProm parses a Prometheus text exposition back into a flat
+	// series map (the scrape-side inverse of the registry's writer).
+	ParseProm = metrics.ParseProm
 )
 
 // CostModel holds every virtual-time cost constant of the simulation.

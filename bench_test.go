@@ -22,6 +22,7 @@ import (
 	"parhask/internal/graph"
 	"parhask/internal/gum"
 	"parhask/internal/machine"
+	"parhask/internal/metrics"
 	"parhask/internal/native"
 	"parhask/internal/pe"
 	"parhask/internal/rts"
@@ -941,6 +942,47 @@ func BenchmarkNativeFaultOverhead(b *testing.B) {
 					cfg.Faults = faults.NewInjector(nil)
 				}
 				res, err := native.Run(cfg, euler.Program(n, chunks, 0, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Value.(int64) != want {
+					b.Fatalf("wrong sum: %v", res.Value)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMetricsOverhead proves the metrics plane follows the same
+// contract as the eventlog and fault hooks: "disabled" (nil
+// Config.Metrics) is a nil check on the resident pool's hot paths and
+// must stay within noise of the pre-metrics runtime; "enabled" records
+// per-job latency histograms and sharded counters and is expected to
+// cost low single digits. The measured figures land in
+// results/BENCH_native.json (metrics_overhead, via benchall -serve).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	p := benchParams()
+	n, chunks := p.SumEulerN, p.SumEulerChunks
+	want := euler.SumTotientSieve(n)
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := native.NewConfig(4)
+			if enabled {
+				cfg.Metrics = metrics.New()
+			}
+			pool := native.NewPool(cfg)
+			defer pool.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h, err := pool.Submit(native.JobConfig{}, euler.Program(n, chunks, 0, true))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := h.Wait()
 				if err != nil {
 					b.Fatal(err)
 				}

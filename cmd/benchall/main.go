@@ -190,6 +190,7 @@ func main() {
 		}
 		if *serveBench {
 			s.Service = experiments.RunServiceBench(p)
+			s.MetricsOverhead = experiments.MeasureMetricsOverhead()
 		}
 		fmt.Println(s.String())
 		if data, err := s.JSON(); err == nil {

@@ -7,8 +7,13 @@
 // Endpoints:
 //
 //	POST /api/v1/jobs   {"workload":"sumeuler","n":2000,"chunks":16}
+//	GET  /api/v1/trace  a traced job's per-worker event dump (?id=t-N)
+//	GET  /metrics       Prometheus text exposition
 //	GET  /statusz       service + pool counter snapshot (?stream=N for NDJSON)
 //	GET  /healthz       200 while accepting, 503 once draining
+//
+// With -pprof the live profiler mounts at /debug/pprof/ (CPU and heap
+// profiles, goroutine dumps, execution traces of the running service).
 //
 // SIGTERM/SIGINT drains gracefully: new submissions are rejected with
 // 503, every admitted job runs to completion (bounded by its own
@@ -22,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +45,7 @@ func main() {
 	inflight := flag.Int("inflight", 0, "max concurrently executing jobs (0 = 2x workers)")
 	deadline := flag.Duration("deadline", 0, "default per-job deadline (0 = 30s)")
 	maxDeadline := flag.Duration("maxdeadline", 0, "per-job deadline cap (0 = 2m)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof at /debug/pprof/")
 	flag.Parse()
 
 	s := serve.New(serve.Config{
@@ -46,7 +53,18 @@ func main() {
 		QueueCap: *queue, MaxInflight: *inflight,
 		DefaultDeadline: *deadline, MaxDeadline: *maxDeadline,
 	})
-	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", s.Handler())
+	if *pprofOn {
+		// Explicit registrations on our own mux: the service never
+		// touches http.DefaultServeMux, and the profiler stays opt-in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	hs := &http.Server{Addr: *addr, Handler: mux}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)

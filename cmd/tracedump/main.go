@@ -30,16 +30,62 @@
 // and tracedump exits non-zero:
 //
 //	tracedump -native sumeuler -faults "seed=7,panic-spark=3" -deadline 10s
+//
+// With -job it renders one request's cross-worker timeline fetched from
+// a *live* server (the job must have been submitted with "trace":true;
+// its response carries the trace id):
+//
+//	tracedump -job t-17 -server http://localhost:8080
+//	tracedump -job t-17 -server http://localhost:8080 -format html > job.html
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
+	"time"
 
+	"parhask/internal/eventlog"
 	"parhask/internal/experiments"
 	"parhask/internal/faults"
 )
+
+// fetchJobTrace pulls a stored per-job dump from a running server and
+// reconstructs its timeline, exactly as the serve tests do in-process.
+func fetchJobTrace(server, id string, width int) (experiments.TraceEntry, error) {
+	var e experiments.TraceEntry
+	url := strings.TrimRight(server, "/") + "/api/v1/trace?id=" + id
+	c := &http.Client{Timeout: 30 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		return e, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return e, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var d eventlog.Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		return e, fmt.Errorf("decode trace dump: %v", err)
+	}
+	rl, err := d.Log()
+	if err != nil {
+		return e, err
+	}
+	tl := rl.TraceAgents(d.Agents)
+	name := fmt.Sprintf("job %s: %s on %s (tenant %s)", d.TraceID, d.Workload, d.Backend, d.Tenant)
+	if d.Error != "" {
+		name += " [failed: " + d.Error + "]"
+	}
+	e = experiments.TraceEntry{
+		Name: name, Elapsed: d.WallNS, Trace: tl,
+		Rendered: tl.Render(width), Summary: tl.Summary(),
+	}
+	return e, nil
+}
 
 func main() {
 	exp := flag.String("experiment", "sumeuler", "sumeuler (Fig. 2) or matmul (Fig. 4)")
@@ -53,6 +99,8 @@ func main() {
 	format := flag.String("format", "ascii", "ascii | csv | json | html")
 	faultSpec := flag.String("faults", "", "fault-injection spec for -native/-edennative runs (internal/faults grammar)")
 	deadline := flag.Duration("deadline", 0, "deadlock-watchdog deadline for -native/-edennative runs (0 = disabled)")
+	jobID := flag.String("job", "", "render a traced job's timeline fetched from a live server (trace id, e.g. t-17)")
+	server := flag.String("server", "http://localhost:8080", "server base URL for -job")
 	flag.Parse()
 
 	p := experiments.Defaults()
@@ -93,7 +141,15 @@ func main() {
 
 	var entries []experiments.TraceEntry
 	var rendered string
-	if *edenWl != "" {
+	if *jobID != "" {
+		e, err := fetchJobTrace(*server, *jobID, *width)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracedump:", err)
+			os.Exit(2)
+		}
+		entries = []experiments.TraceEntry{e}
+		rendered = fmt.Sprintf("%s\n%s\n%s", e.Name, e.Rendered, e.Summary)
+	} else if *edenWl != "" {
 		ge, _, err := experiments.NativeTimeline(p, *edenWl, *workers, *eager)
 		ge = keepPartial(ge, err)
 		ee, _, err := experiments.EdenNativeTimeline(p, *edenWl, *pes)

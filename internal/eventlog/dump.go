@@ -1,0 +1,79 @@
+package eventlog
+
+import (
+	"fmt"
+	"time"
+)
+
+// DumpEvent is one event in the JSON wire form of a drained log.
+// Types travel by name, not ordinal, so a dump survives event-type
+// additions on either side of the wire.
+type DumpEvent struct {
+	T    int64  `json:"t"`
+	Type string `json:"type"`
+	Arg  int32  `json:"arg,omitempty"`
+}
+
+// Dump is the portable form of one job's drained event log, served by
+// the compute service at /api/v1/trace and consumed by tracedump -job.
+// Agents carries the display name of each buffer ("main", "w0", …) so
+// the remote renderer reproduces the server-side attribution.
+type Dump struct {
+	TraceID  string        `json:"trace_id,omitempty"`
+	Workload string        `json:"workload,omitempty"`
+	Backend  string        `json:"backend,omitempty"`
+	Tenant   string        `json:"tenant,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	WallNS   int64         `json:"wall_ns"`
+	Dropped  int64         `json:"dropped,omitempty"`
+	Agents   []string      `json:"agents"`
+	Events   [][]DumpEvent `json:"events"`
+}
+
+// Dump converts a closed log into its wire form. Call only after the
+// run's termination barrier, like Events.
+func (l *Log) Dump(agents []string) *Dump {
+	d := &Dump{
+		WallNS:  l.wallNS,
+		Dropped: l.Dropped(),
+		Agents:  agents,
+		Events:  make([][]DumpEvent, len(l.bufs)),
+	}
+	for i, b := range l.bufs {
+		evs := b.Events()
+		out := make([]DumpEvent, len(evs))
+		for j, e := range evs {
+			out[j] = DumpEvent{T: e.T, Type: e.Type.String(), Arg: e.Arg}
+		}
+		d.Events[i] = out
+	}
+	return d
+}
+
+// nameToType inverts typeNames for dump reconstruction.
+var nameToType = func() map[string]Type {
+	m := make(map[string]Type, numTypes)
+	for t, name := range typeNames {
+		m[name] = Type(t)
+	}
+	return m
+}()
+
+// Log reconstructs an in-memory event log from the wire form, ready
+// for TraceAgents and the shared renderers. Events with a type name
+// this build does not know are rejected rather than misrendered.
+func (d *Dump) Log() (*Log, error) {
+	l := New(time.Now(), len(d.Events), Config{})
+	for i, evs := range d.Events {
+		b := l.bufs[i]
+		for _, e := range evs {
+			t, ok := nameToType[e.Type]
+			if !ok {
+				return nil, fmt.Errorf("eventlog: unknown event type %q in dump", e.Type)
+			}
+			b.append(Event{T: e.T, Arg: e.Arg, Type: t})
+		}
+	}
+	l.Close(d.WallNS)
+	return l, nil
+}

@@ -1,0 +1,87 @@
+package eventlog
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestDumpRoundTrip(t *testing.T) {
+	start := time.Now()
+	l := New(start, 2, Config{})
+	b0, b1 := l.Buf(0), l.Buf(1)
+	b0.append(Event{T: 0, Type: TraceMark, Arg: 42})
+	b0.append(Event{T: 10, Type: RunBegin})
+	b0.append(Event{T: 50, Type: BlockBegin})
+	b0.append(Event{T: 80, Type: BlockEnd})
+	b0.append(Event{T: 90, Type: RunEnd})
+	b1.append(Event{T: 20, Type: SparkConvert})
+	b1.append(Event{T: 25, Type: RunBegin})
+	b1.append(Event{T: 60, Type: RunEnd})
+	l.Close(100)
+
+	d := l.Dump([]string{"main", "w0"})
+	d.TraceID = "t-42"
+	d.Workload = "sumeuler"
+	d.Backend = "gph"
+
+	// The wire form must survive JSON marshalling (the actual
+	// transport used by /api/v1/trace).
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Dump
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	rl, err := back.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.Workers() != 2 || rl.WallNS() != 100 {
+		t.Fatalf("reconstructed shape: workers=%d wall=%d", rl.Workers(), rl.WallNS())
+	}
+	evs := rl.Events(0)
+	if len(evs) != 5 || evs[0].Type != TraceMark || evs[0].Arg != 42 {
+		t.Fatalf("buffer 0 events wrong: %+v", evs)
+	}
+	if got := rl.Events(1); len(got) != 3 || got[1].Type != RunBegin || got[1].T != 25 {
+		t.Fatalf("buffer 1 events wrong: %+v", got)
+	}
+
+	// Reduction with explicit agent names labels the timeline rows.
+	tl := rl.TraceAgents(back.Agents)
+	agents := tl.Agents()
+	if len(agents) != 2 || agents[0].Segments() == nil {
+		t.Fatalf("trace agents: %v", agents)
+	}
+	names := tl.SortedAgentNames()
+	found := map[string]bool{}
+	for _, n := range names {
+		found[n] = true
+	}
+	if !found["main"] || !found["w0"] {
+		t.Fatalf("agent names not propagated: %v", names)
+	}
+}
+
+func TestDumpRejectsUnknownType(t *testing.T) {
+	d := &Dump{
+		Agents: []string{"main"},
+		Events: [][]DumpEvent{{{T: 1, Type: "no-such-event"}}},
+	}
+	if _, err := d.Log(); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+}
+
+func TestTraceMarkName(t *testing.T) {
+	if TraceMark.String() != "trace-mark" {
+		t.Fatalf("TraceMark name = %q", TraceMark.String())
+	}
+	if nameToType["trace-mark"] != TraceMark {
+		t.Fatal("trace-mark not reversible")
+	}
+}

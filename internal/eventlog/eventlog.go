@@ -101,6 +101,11 @@ const (
 	StallBegin
 	// StallEnd: the injected stall ended.
 	StallEnd
+	// TraceMark tags the ring with the service-assigned trace ID of the
+	// job it records (Arg = the numeric id). Emitted once, before any
+	// other worker can write, so cross-process consumers (tracedump
+	// -job) can associate a drained ring with its request.
+	TraceMark
 
 	numTypes
 )
@@ -133,6 +138,7 @@ var typeNames = [numTypes]string{
 	DelayEnd:      "delay-end",
 	StallBegin:    "stall-begin",
 	StallEnd:      "stall-end",
+	TraceMark:     "trace-mark",
 }
 
 // String returns the event type's name.
@@ -329,13 +335,29 @@ func (l *Log) Trace() *trace.Log { return l.TraceNamed("w") }
 // the GpH worker timelines ("w0", "w1", …), "pe" the native-Eden PE
 // timelines ("pe0", "pe1", …).
 func (l *Log) TraceNamed(prefix string) *trace.Log {
+	names := make([]string, len(l.bufs))
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return l.TraceAgents(names)
+}
+
+// TraceAgents is the reduction with explicit per-buffer agent names
+// (one per buffer; missing names fall back to "agentN"). Per-job trace
+// rings use it to label buffer 0 "main" and the rest after the workers
+// that wrote them.
+func (l *Log) TraceAgents(names []string) *trace.Log {
 	tl := trace.NewLog()
 	for i, b := range l.bufs {
+		name := fmt.Sprintf("agent%d", i)
+		if i < len(names) && names[i] != "" {
+			name = names[i]
+		}
 		base := trace.Runnable
 		if i == 0 {
 			base = trace.Idle
 		}
-		r := trace.NewStackReducer(tl.NewAgent(fmt.Sprintf("%s%d", prefix, i)), base)
+		r := trace.NewStackReducer(tl.NewAgent(name), base)
 		for _, e := range b.Events() {
 			switch e.Type {
 			case RunBegin:

@@ -66,6 +66,9 @@ type NativeSweep struct {
 	// under sustained concurrent load plus the chaos-under-traffic
 	// phase (benchall -serve). Optional.
 	Service *ServiceBench `json:"service,omitempty"`
+	// MetricsOverhead is the disabled-vs-enabled metrics-plane cost
+	// comparison on the resident pool (benchall -serve). Optional.
+	MetricsOverhead *MetricsOverheadBench `json:"metrics_overhead,omitempty"`
 }
 
 // nativeWorkerCounts is the sweep's x-axis.
@@ -220,6 +223,9 @@ func (s *NativeSweep) String() string {
 	}
 	if s.Service != nil {
 		out += "\n" + s.Service.String()
+	}
+	if s.MetricsOverhead != nil {
+		out += "\n" + s.MetricsOverhead.String()
 	}
 	return out
 }

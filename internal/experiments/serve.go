@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"net/http/httptest"
 	"runtime"
 	"sort"
 	"sync"
@@ -37,6 +38,11 @@ type ServiceBench struct {
 	MaxNS int64 `json:"max_ns"`
 	// Chaos is the faults-under-traffic phase.
 	Chaos *ServiceChaos `json:"chaos,omitempty"`
+	// Telemetry is the live /metrics cross-check: server-reported
+	// quantiles against client-measured, scraped from the running HTTP
+	// gateway during and after the sustained phase (before chaos, so
+	// the counters compare against clean traffic only).
+	Telemetry *ServiceTelemetry `json:"telemetry,omitempty"`
 }
 
 // ServiceChaos summarises the chaos-under-traffic phase: every request
@@ -83,6 +89,12 @@ func RunServiceBench(p Params) *ServiceBench {
 	s := serve.New(cfg)
 	defer s.Close()
 
+	// The telemetry cross-check scrapes the real HTTP gateway, not the
+	// Server struct: the bench must read /metrics the way an operator's
+	// Prometheus would, concurrently with the load it measures.
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
 	const concurrency = 100
 	const jobsPerClient = 4
 	mix := serviceMix()
@@ -93,6 +105,22 @@ func RunServiceBench(p Params) *ServiceBench {
 	}
 
 	// --- sustained phase ---
+	stopScrape := make(chan struct{})
+	scrapes := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stopScrape:
+				scrapes <- n
+				return
+			case <-time.After(50 * time.Millisecond):
+				if _, err := scrapeMetrics(ts.URL); err == nil {
+					n++
+				}
+			}
+		}
+	}()
 	var mu sync.Mutex
 	var latencies []int64
 	var wg sync.WaitGroup
@@ -134,9 +162,47 @@ func RunServiceBench(p Params) *ServiceBench {
 		b.MaxNS = latencies[len(latencies)-1]
 	}
 
+	// --- telemetry cross-check (before chaos dirties the counters) ---
+	close(stopScrape)
+	b.Telemetry = buildTelemetry(s, ts.URL, <-scrapes, latencies)
+
 	// --- chaos phase: faults under traffic ---
 	b.Chaos = runServiceChaos(s, mix)
 	return b
+}
+
+// buildTelemetry takes the final post-load scrape and compares it with
+// the client-side ground truth, then proves the per-job trace path end
+// to end against the same live server.
+func buildTelemetry(s *serve.Server, baseURL string, scrapes int, latencies []int64) *ServiceTelemetry {
+	t := &ServiceTelemetry{Scrapes: scrapes}
+	m, err := scrapeMetrics(baseURL)
+	if err != nil {
+		return t
+	}
+	t.ScrapeOK = true
+	t.ServerP50NS = int64(m["serve_job_total_seconds_p50"] * 1e9)
+	t.ServerP99NS = int64(m["serve_job_total_seconds_p99"] * 1e9)
+	t.ClientP50NS = pctRank(latencies, 0.50)
+	t.ClientP99NS = pctRank(latencies, 0.99)
+	t.P50DeltaPct = deltaPct(t.ServerP50NS, t.ClientP50NS)
+	t.P99DeltaPct = deltaPct(t.ServerP99NS, t.ClientP99NS)
+	t.JobsTotalOK = m[`serve_jobs_total{outcome="ok"}`]
+	t.PoisonedClaims = m["native_pool_poisoned_claims_total"]
+
+	// One traced request, fetched back over HTTP and reconstructed to a
+	// per-agent timeline — the tracedump -job path against this server.
+	resp := s.Do(serve.JobRequest{Workload: "sumeuler", N: 800, Chunks: 8, Trace: true})
+	if resp.OK && resp.TraceID != "" {
+		if d, err := fetchTraceDump(baseURL, resp.TraceID); err == nil {
+			if rl, err := d.Log(); err == nil {
+				tl := rl.TraceAgents(d.Agents)
+				t.TracedJob = len(tl.Agents()) == len(d.Agents) && len(d.Agents) > 1
+				t.TraceAgents = len(tl.Agents())
+			}
+		}
+	}
+	return t
 }
 
 // chaosPlans are the fault shapes the chaos phase injects, cycled
@@ -232,6 +298,30 @@ func (b *ServiceBench) CheckShape() []string {
 			bad = append(bad, "chaos: no request completed while faults were injected")
 		}
 	}
+	if t := b.Telemetry; t != nil {
+		if !t.ScrapeOK {
+			bad = append(bad, "telemetry: /metrics scrape failed against the live server")
+		} else {
+			if t.JobsTotalOK != float64(b.Jobs) {
+				bad = append(bad, fmt.Sprintf("telemetry: scraped jobs_total ok=%.0f but %d jobs completed", t.JobsTotalOK, b.Jobs))
+			}
+			if t.PoisonedClaims != 0 {
+				bad = append(bad, fmt.Sprintf("telemetry: %.0f poisoned claims under fault-free traffic", t.PoisonedClaims))
+			}
+			// The histograms bound quantile error at 1/16; the acceptance
+			// bar is 10%. Only assert when the phase ran clean — failures
+			// put observations in the histogram the client list lacks.
+			if b.Failed == 0 && t.ClientP50NS > 0 && t.P50DeltaPct > 10 {
+				bad = append(bad, fmt.Sprintf("telemetry: server p50 off by %.1f%% from client-measured", t.P50DeltaPct))
+			}
+			if b.Failed == 0 && t.ClientP99NS > 0 && t.P99DeltaPct > 10 {
+				bad = append(bad, fmt.Sprintf("telemetry: server p99 off by %.1f%% from client-measured", t.P99DeltaPct))
+			}
+			if !t.TracedJob {
+				bad = append(bad, "telemetry: traced job did not yield a reconstructible cross-worker timeline")
+			}
+		}
+	}
 	return bad
 }
 
@@ -253,6 +343,9 @@ func (b *ServiceBench) String() string {
 		})
 	}
 	out += stats.Table(headers, rows)
+	if b.Telemetry != nil {
+		out += b.Telemetry.String()
+	}
 	if b.Chaos != nil && len(b.Chaos.ByCode) > 0 {
 		out += "chaos error codes:"
 		codes := make([]string, 0, len(b.Chaos.ByCode))

@@ -25,6 +25,19 @@ func TestServiceBenchShape(t *testing.T) {
 	if b.Chaos == nil || b.Chaos.Requests == 0 {
 		t.Fatal("chaos phase did not run")
 	}
+	// The telemetry cross-check is part of the acceptance gate: the
+	// live scrape happened, mid-load scrapes ran concurrently with the
+	// traffic, and the traced job reconstructed (CheckShape above
+	// already held the quantile deltas to 10% and jobs_total exact).
+	if b.Telemetry == nil || !b.Telemetry.ScrapeOK {
+		t.Fatalf("telemetry scrape missing: %+v", b.Telemetry)
+	}
+	if b.Telemetry.Scrapes == 0 {
+		t.Error("no successful mid-load /metrics scrape")
+	}
+	if !b.Telemetry.TracedJob {
+		t.Error("traced job did not round-trip to a timeline")
+	}
 	// The JSON form must round-trip (it lands in BENCH_native.json).
 	data, err := json.Marshal(b)
 	if err != nil {

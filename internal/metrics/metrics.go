@@ -1,0 +1,465 @@
+// Package metrics is a small, dependency-free metric registry for the
+// resident runtimes, built in the same style as the native backend's
+// owner-written counters: the hot path is lock-free, sharded to avoid
+// cache-line contention, and the disabled path is a nil check.
+//
+// Three series kinds exist:
+//
+//   - Counter: monotone int64, sharded across padded atomic cells so
+//     concurrent workers do not bounce a cache line. Workers with a
+//     stable identity can use AddAt(shard, n) to pin their shard; the
+//     identity-less path (Add) hashes the goroutine's stack address.
+//   - Gauge / GaugeFunc / CounterFunc: instantaneous values, either
+//     pushed (atomic float64 bits) or pulled at exposition time.
+//   - Histogram: log-linear bucketed latency distribution (8
+//     sub-buckets per octave, so a quantile read from a bucket
+//     midpoint is within 1/16 ≈ 6.25% of the true sample). Snapshots
+//     are mergeable and conserve total count.
+//
+// Registration is idempotent: asking for the same family name + label
+// set returns the existing series, so independently constructed
+// components (e.g. Eden lanes) can share one series safely.
+//
+// All record-side methods are safe on nil receivers and do nothing,
+// so call sites can keep unconditional metric calls behind a
+// nil-registry configuration, exactly like the eventlog's disabled
+// path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// kind discriminates the series types within a family.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// numShards is the per-Counter/per-Histogram shard count: enough to
+// spread the machine's workers out, capped so an idle registry stays
+// small. Always a power of two.
+var numShards = func() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	return shards
+}()
+
+// shardIndex picks a shard for the calling goroutine. Goroutine
+// stacks are at least 1KiB apart, so the stack address of a local is
+// a cheap, stable-enough hash of "which goroutine am I" for the
+// lifetime of one call.
+func shardIndex(n int) int {
+	var b byte
+	h := uintptr(unsafe.Pointer(&b)) >> 10
+	h ^= h >> 7
+	return int(h) & (n - 1)
+}
+
+// shard is one padded counter cell; the padding keeps adjacent shards
+// on distinct cache lines (same trick as native's wcounters).
+type shard struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotone, sharded int64 counter.
+type Counter struct {
+	shards []shard
+}
+
+// Add adds n from an identity-less goroutine.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.shards[shardIndex(len(c.shards))].v.Add(n)
+}
+
+// AddAt adds n on behalf of a caller with a stable worker identity
+// (e.g. a resident worker id), pinning its shard so the hot path
+// never collides with a neighbour.
+func (c *Counter) AddAt(worker int, n int64) {
+	if c == nil {
+		return
+	}
+	c.shards[worker&(len(c.shards)-1)].v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value sums the shards. It is monotone but not a consistent cut —
+// fine for rates and totals, same contract as Pool.Snapshot.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var total int64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Gauge is an instantaneous float64 value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value loads the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram bucket geometry: values 0..7 get exact unit buckets; from
+// 8 up, each octave [2^e, 2^(e+1)) is split into 8 linear sub-buckets
+// [(8+m)<<(e-3), (9+m)<<(e-3)). The relative width of a sub-bucket is
+// at most 1/8 of its lower bound, so the midpoint estimate returned
+// by Quantile is within 1/16 of the true sample value.
+const (
+	histSubBuckets = 8
+	// Max exponent for a positive int64 is 62, so the last bucket
+	// index is (62-2)*8 + 7 = 487.
+	histBuckets = 488
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v int64) int {
+	if v < histSubBuckets {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - 1 // >= 3
+	m := int((uint64(v) >> uint(e-3)) & 7)
+	return (e-2)*histSubBuckets + m
+}
+
+// bucketBounds returns the half-open [lo, hi) value range of a bucket.
+func bucketBounds(idx int) (lo, hi int64) {
+	if idx < histSubBuckets {
+		return int64(idx), int64(idx) + 1
+	}
+	e := idx/histSubBuckets + 2
+	m := int64(idx % histSubBuckets)
+	lo = (8 + m) << uint(e-3)
+	if idx == histBuckets-1 {
+		// The final bucket's upper bound would be 2^63; clamp to the
+		// largest representable sample.
+		return lo, math.MaxInt64
+	}
+	return lo, (9 + m) << uint(e-3)
+}
+
+// histShard is one worker-sharded slice of a histogram. Sum and count
+// ride in the same struct; exact conservation across a merge is
+// guaranteed, point-in-time consistency between count and sum is not
+// (same monotone-cut contract as Counter.Value).
+type histShard struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+}
+
+// Histogram is a sharded log-linear histogram over non-negative
+// int64 samples (typically nanoseconds).
+type Histogram struct {
+	shards []histShard
+}
+
+// Observe records one sample. Negative samples clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	s := &h.shards[shardIndex(len(h.shards))]
+	s.counts[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+}
+
+// HistSnapshot is a mergeable point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Counts [histBuckets]int64
+	Count  int64
+	Sum    int64
+}
+
+// Snapshot folds the shards into one snapshot.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{}
+	if h == nil {
+		return s
+	}
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := range sh.counts {
+			s.Counts[b] += sh.counts[b].Load()
+		}
+		s.Count += sh.count.Load()
+		s.Sum += sh.sum.Load()
+	}
+	return s
+}
+
+// Merge adds o into s.
+func (s *HistSnapshot) Merge(o *HistSnapshot) {
+	if o == nil {
+		return
+	}
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Quantile returns the estimated q-quantile (0 < q <= 1) using the
+// rank = ceil(q*N) convention: the smallest recorded value whose
+// cumulative count reaches the rank. Exact buckets (values < 8)
+// return the exact value; log buckets return the bucket midpoint,
+// which is within 1/16 of the true sample.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	if s == nil || s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum int64
+	for i := range s.Counts {
+		cum += s.Counts[i]
+		if cum >= rank {
+			lo, hi := bucketBounds(i)
+			if hi-lo <= 1 {
+				return lo
+			}
+			return lo + (hi-lo)/2
+		}
+	}
+	return 0
+}
+
+// series is one registered time series.
+type series struct {
+	labels string // rendered {k="v",...} suffix, "" when unlabelled
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name  string
+	help  string
+	kind  kind
+	scale float64 // histogram exposition scale (e.g. 1e-9 for ns → s)
+	index map[string]*series
+	order []*series
+}
+
+// Registry holds families and exposition collectors.
+type Registry struct {
+	mu         sync.Mutex
+	fams       map[string]*family
+	order      []*family
+	collectors []func()
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// AddCollector registers fn to run once at the start of every
+// exposition (WritePrometheus or Counters). Components use it to
+// refresh cached snapshots that several pull series read, so an
+// exposition costs one Pool.Snapshot, not one per series.
+func (r *Registry) AddCollector(fn func()) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// labelSuffix renders alternating k,v pairs as a stable {…} suffix.
+func labelSuffix(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("metrics: odd label list (want k,v pairs)")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// register finds or creates the family and the series within it.
+func (r *Registry) register(name, help string, k kind, scale float64, labels []string) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, scale: scale, index: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, f)
+	} else if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as %s, re-requested as %s", name, f.kind, k))
+	}
+	ls := labelSuffix(labels)
+	if s := f.index[ls]; s != nil {
+		return s
+	}
+	s := &series{labels: ls}
+	switch k {
+	case kindCounter:
+		s.c = &Counter{shards: make([]shard, numShards)}
+	case kindGauge:
+		s.g = &Gauge{}
+	case kindHistogram:
+		s.h = &Histogram{shards: make([]histShard, numShards)}
+	}
+	f.index[ls] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// Counter returns the counter series for name + labels, creating it
+// on first use. Safe on a nil registry (returns a nil series whose
+// methods are no-ops).
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, 0, labels).c
+}
+
+// Gauge returns the gauge series for name + labels.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, 0, labels).g
+}
+
+// CounterFunc registers a pull counter whose value is read at
+// exposition time. Re-registering the same name + labels replaces
+// the function (last writer wins).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	s := r.register(name, help, kindCounterFunc, 0, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a pull gauge.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	s := r.register(name, help, kindGaugeFunc, 0, labels)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the histogram series for name + labels. scale is
+// applied at exposition only (1e-9 renders nanosecond samples as
+// Prometheus-conventional seconds); raw snapshots stay in sample
+// units.
+func (r *Registry) Histogram(name, help string, scale float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	return r.register(name, help, kindHistogram, scale, labels).h
+}
+
+// snapshotFamilies runs the collectors and copies out the family and
+// series structure. The copy lets exposition run pull functions
+// without holding the registry lock — a pull function may take
+// component locks (e.g. the serve admission mutex) whose holders in
+// turn register new series, so holding r.mu across fn() could
+// deadlock.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.order))
+	for _, f := range r.order {
+		cp := &family{name: f.name, help: f.help, kind: f.kind, scale: f.scale}
+		cp.order = append(cp.order, f.order...)
+		fams = append(fams, cp)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}

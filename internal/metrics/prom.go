@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered series in the Prometheus
+// text exposition format (version 0.0.4). Histograms emit cumulative
+// `_bucket{le=…}` series (non-empty buckets plus +Inf), `_sum` and
+// `_count`, and additionally two derived gauge families `<name>_p50`
+// and `<name>_p99` holding the snapshot quantiles, so scrapers that
+// only want headline latencies need no bucket math.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		switch f.kind {
+		case kindCounter:
+			for _, s := range f.order {
+				fmt.Fprintf(bw, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			}
+		case kindGauge:
+			for _, s := range f.order {
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, fmtFloat(s.g.Value()))
+			}
+		case kindCounterFunc, kindGaugeFunc:
+			for _, s := range f.order {
+				var v float64
+				if s.fn != nil {
+					v = s.fn()
+				}
+				fmt.Fprintf(bw, "%s%s %s\n", f.name, s.labels, fmtFloat(v))
+			}
+		case kindHistogram:
+			type quantiled struct {
+				labels   string
+				p50, p99 float64
+			}
+			var qs []quantiled
+			for _, s := range f.order {
+				snap := s.h.Snapshot()
+				var cum int64
+				for i, n := range snap.Counts {
+					if n == 0 {
+						continue
+					}
+					cum += n
+					_, hi := bucketBounds(i)
+					fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name,
+						withLabel(s.labels, "le", fmtFloat(float64(hi)*f.scale)), cum)
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.name, withLabel(s.labels, "le", "+Inf"), snap.Count)
+				fmt.Fprintf(bw, "%s_sum%s %s\n", f.name, s.labels, fmtFloat(float64(snap.Sum)*f.scale))
+				fmt.Fprintf(bw, "%s_count%s %d\n", f.name, s.labels, snap.Count)
+				qs = append(qs, quantiled{
+					labels: s.labels,
+					p50:    float64(snap.Quantile(0.50)) * f.scale,
+					p99:    float64(snap.Quantile(0.99)) * f.scale,
+				})
+			}
+			for _, suffix := range []string{"_p50", "_p99"} {
+				fmt.Fprintf(bw, "# HELP %s%s snapshot quantile derived from %s\n", f.name, suffix, f.name)
+				fmt.Fprintf(bw, "# TYPE %s%s gauge\n", f.name, suffix)
+				for _, q := range qs {
+					v := q.p50
+					if suffix == "_p99" {
+						v = q.p99
+					}
+					fmt.Fprintf(bw, "%s%s%s %s\n", f.name, suffix, q.labels, fmtFloat(v))
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// withLabel appends one k="v" pair to an already-rendered label
+// suffix.
+func withLabel(suffix, k, v string) string {
+	pair := fmt.Sprintf("%s=%q", k, v)
+	if suffix == "" {
+		return "{" + pair + "}"
+	}
+	return suffix[:len(suffix)-1] + "," + pair + "}"
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Counters returns a flat map of every cumulative series —
+// counters, pull counters, and histogram counts/sums (in raw sample
+// units) — keyed by the fully rendered series name. The /statusz
+// stream mode diffs two of these maps to report deltas per tick.
+func (r *Registry) Counters() map[string]float64 {
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	for _, f := range r.snapshotFamilies() {
+		switch f.kind {
+		case kindCounter:
+			for _, s := range f.order {
+				out[f.name+s.labels] = float64(s.c.Value())
+			}
+		case kindCounterFunc:
+			for _, s := range f.order {
+				if s.fn != nil {
+					out[f.name+s.labels] = s.fn()
+				}
+			}
+		case kindHistogram:
+			for _, s := range f.order {
+				snap := s.h.Snapshot()
+				out[f.name+"_count"+s.labels] = float64(snap.Count)
+				out[f.name+"_sum"+s.labels] = float64(snap.Sum)
+			}
+		}
+	}
+	return out
+}
+
+// ParseProm parses a Prometheus text exposition into a flat
+// series-name → value map (comments and blank lines skipped). It is
+// the scrape-side inverse of WritePrometheus, used by the service
+// benchmark and CI to assert on live /metrics output.
+func ParseProm(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("metrics: unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: bad value in line %q: %v", line, err)
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

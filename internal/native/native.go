@@ -57,6 +57,7 @@ import (
 	"parhask/internal/faults"
 	"parhask/internal/gcscope"
 	"parhask/internal/graph"
+	pmetrics "parhask/internal/metrics"
 	"parhask/internal/trace"
 )
 
@@ -116,6 +117,12 @@ type Config struct {
 	// *waiting* thread; a busy-looping mutator keeps its goroutine, as
 	// in GHC.)
 	Deadline time.Duration
+	// Metrics, if non-nil, registers the pool's telemetry series
+	// (internal/metrics): job latency histograms, spark/steal/GC/fault
+	// rates. Honoured by NewPool only (batch runs report through
+	// Result); when nil — the default — every recording hook is a nil
+	// check, the same contract as the eventlog and fault plane.
+	Metrics *pmetrics.Registry
 }
 
 // NewConfig returns the default native configuration: one worker per
@@ -348,6 +355,17 @@ type rt struct {
 	// workers run residentLoop (spark panics fail the tagged job and the
 	// loop restarts) instead of stealLoop (any panic fails the run).
 	resident bool
+
+	// poisoned counts thunk-claim poisonings across the runtime's
+	// lifetime (every recovery path feeds it). A non-zero value on a
+	// healthy server means a thread died holding claims — the CI smoke
+	// test asserts it stays zero under fault-free traffic.
+	poisoned atomic.Int64
+
+	// pm is the pool's metric recorder (nil unless the owning Pool was
+	// configured with a Registry); workers reach it for fault-injection
+	// counts. Every use is a nil check when disabled.
+	pm *poolMetrics
 
 	// inject holds sparks created by threads that own no deque
 	// (PushBottom is owner-only): forked threads, and in resident mode
@@ -597,7 +615,9 @@ func (r *rt) fork(name string, body func(exec.Ctx), j *Job) {
 				// Orphaned-claim recovery: thunks this dead thread still
 				// holds eager claims on would block their forcers forever;
 				// poisoning routes those forcers to the failure path.
-				poisonClaims(c.claims, err, nil)
+				if n := poisonClaims(c.claims, err, nil); n > 0 {
+					r.poisoned.Add(n)
+				}
 				if p != errAborted && p != errJobAborted {
 					if j != nil {
 						j.fail(err)

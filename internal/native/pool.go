@@ -67,6 +67,11 @@ type Pool struct {
 	jobs       sync.WaitGroup
 	jobsDone   atomic.Int64
 	jobsFailed atomic.Int64
+
+	// pm records the pool's latency histograms and fault counters
+	// (nil unless Config.Metrics was set — the disabled path is a nil
+	// check, like the eventlog).
+	pm *poolMetrics
 }
 
 // JobConfig scopes one submitted job.
@@ -80,12 +85,19 @@ type JobConfig struct {
 	// forked threads, and nothing else — neighbouring jobs see no
 	// injected failures.
 	Faults *faults.Injector
-	// EventLog gives the job a private single-buffer event ring fed by
-	// its main thread (run/block brackets, spark pushes). Worker-side
-	// activity is pool-wide and is not re-attributed.
+	// EventLog gives the job a private event ring set: buffer 0 is fed
+	// by the job's main thread (run/block brackets, spark pushes), and
+	// buffer 1+w is worker w's job-scoped ring — each worker mirrors
+	// the brackets of the sparks it converts *for this job* into it, so
+	// the drained log is one request's cross-worker timeline. Pool-wide
+	// worker rings (Config.EventLog on Run) are unaffected.
 	EventLog bool
-	// EventLogConfig tunes the ring (zero value = defaults).
+	// EventLogConfig tunes the rings (zero value = defaults).
 	EventLogConfig eventlog.Config
+	// TraceID, if non-zero, tags the job's event ring with a TraceMark
+	// event carrying this id — the serve layer's handle for pulling one
+	// request's timeline off a live server. Ignored unless EventLog.
+	TraceID int32
 }
 
 // Job is one resident submission: a program plus its isolation scope.
@@ -164,6 +176,18 @@ func (h *JobHandle) Wait() (*JobResult, error) {
 // Done returns a channel closed when the job completes.
 func (h *JobHandle) Done() <-chan struct{} { return h.job.done }
 
+// workerBuf returns worker id's job-scoped event ring, or nil when the
+// job (or its eventlog) doesn't exist. Only worker id may write to the
+// returned buffer, and only while it holds one of the job's sparks
+// (active > 0) — runJob's active==0 wait is the barrier that makes the
+// post-run drain safe.
+func (j *Job) workerBuf(id int) *eventlog.Buf {
+	if j == nil || j.events == nil {
+		return nil
+	}
+	return j.events.Buf(1 + id)
+}
+
 // fail records the job's first failure. Blocked forces working for the
 // job poll the latch, so no wakeup is needed.
 func (j *Job) fail(err error) {
@@ -205,6 +229,10 @@ func NewPool(cfg Config) *Pool {
 	if cfg.Sampler != nil {
 		cfg.Sampler(p.Snapshot)
 	}
+	if cfg.Metrics != nil {
+		p.pm = newPoolMetrics(cfg.Metrics, p)
+		r.pm = p.pm
+	}
 	return p
 }
 
@@ -233,8 +261,14 @@ func (p *Pool) Submit(jc JobConfig, main exec.Program) (*JobHandle, error) {
 	j := &Job{id: p.jobSeq, pool: p, faults: jc.Faults,
 		start: time.Now(), done: make(chan struct{})}
 	if jc.EventLog {
-		j.events = eventlog.New(j.start, 1, jc.EventLogConfig)
+		j.events = eventlog.New(j.start, 1+len(p.rt.workers), jc.EventLogConfig)
 		j.ev = j.events.Buf(0)
+		if jc.TraceID != 0 {
+			// Emitted before the job is visible to any worker (it is not
+			// yet in live nor in the injection queue), so the single-writer
+			// discipline holds.
+			j.ev.EmitArg(eventlog.TraceMark, jc.TraceID)
+		}
 	}
 	p.live[j.id] = j
 	p.jobs.Add(1)
@@ -276,6 +310,11 @@ func (p *Pool) jobDeadlockError(j *Job, elapsed time.Duration) *faults.DeadlockE
 // of Run's caller-goroutine bracket, scoped to one job.
 func (p *Pool) runJob(j *Job, main exec.Program) {
 	defer p.jobs.Done()
+	if p.pm != nil {
+		// Scheduling latency: Submit to the job goroutine actually
+		// starting (goroutine wakeup + admission bookkeeping).
+		p.pm.schedWait.Observe(time.Since(j.start).Nanoseconds())
+	}
 	c := Ctx{rt: p.rt, job: j, ev: j.ev}
 	var value graph.Value
 	runErr := func() (err error) {
@@ -291,7 +330,9 @@ func (p *Pool) runJob(j *Job, main exec.Program) {
 				}
 				// Orphaned-claim recovery, as in Run: poison what the dying
 				// main stack still holds so nothing blocks on it forever.
-				poisonClaims(c.claims, err, nil)
+				if n := poisonClaims(c.claims, err, nil); n > 0 {
+					p.rt.poisoned.Add(n)
+				}
 			}
 		}()
 		if j.ev != nil {
@@ -358,6 +399,13 @@ func (p *Pool) retire(j *Job, err error) {
 		p.jobsFailed.Add(1)
 	} else {
 		p.jobsDone.Add(1)
+	}
+	if p.pm != nil {
+		h := p.pm.wallOK
+		if err != nil {
+			h = p.pm.wallErr
+		}
+		h.Observe(j.result.WallNS)
 	}
 }
 

@@ -81,6 +81,13 @@ type worker struct {
 	// pay for it.
 	pub atomic.Pointer[Stats]
 
+	// pubArenaChunks/pubArenaThunks publish the arena's footprint for
+	// live observers (the /metrics scrape): graph.Arena's own fields
+	// are owner-written plain ints, so a concurrent read would race.
+	// Stored in maybePublish alongside pub.
+	pubArenaChunks atomic.Int64
+	pubArenaThunks atomic.Int64
+
 	// ev is this worker's wall-clock event ring; nil when the eventlog
 	// is disabled, which keeps every hook a plain nil check.
 	ev *eventlog.Buf
@@ -120,19 +127,28 @@ type worker struct {
 
 // poisonClaims marks every thunk in claims as dead (claimant died with
 // err), newest first, emitting ThunkPoison per transition. Shared by
-// the worker and forked-thread recovery paths.
-func poisonClaims(claims []*graph.Thunk, err error, ev *eventlog.Buf) {
+// the worker and forked-thread recovery paths. Returns how many thunks
+// actually transitioned to Poisoned, so callers can feed the runtime's
+// poisoning counter.
+func poisonClaims(claims []*graph.Thunk, err error, ev *eventlog.Buf) int64 {
+	var n int64
 	for i := len(claims) - 1; i >= 0; i-- {
-		if claims[i].Poison(err) && ev != nil {
-			ev.Emit(eventlog.ThunkPoison)
+		if claims[i].Poison(err) {
+			n++
+			if ev != nil {
+				ev.Emit(eventlog.ThunkPoison)
+			}
 		}
 	}
+	return n
 }
 
 // poisonClaims poisons this worker's open claim stack — called only
 // from the worker goroutine's own recovery handlers.
 func (w *worker) poisonClaims(err error) {
-	poisonClaims(w.claims, err, w.ev)
+	if n := poisonClaims(w.claims, err, w.ev); n > 0 {
+		w.rt.poisoned.Add(n)
+	}
 	w.claims = w.claims[:0]
 }
 
@@ -158,6 +174,9 @@ func (w *worker) maybePublish() {
 	}
 	s := w.ctr.stats()
 	w.pub.Store(&s)
+	chunks, thunks := w.arena.Stats()
+	w.pubArenaChunks.Store(chunks)
+	w.pubArenaThunks.Store(thunks)
 }
 
 // Ctx is the execution context the native runtime hands to program
@@ -404,8 +423,18 @@ func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
 		}
 	}
 	ev := c.events()
+	// jev mirrors the bracket into the converting job's worker-scoped
+	// trace ring. Captured once: helping below may temporarily switch
+	// w.curJob, but the block belongs to the job whose spark opened it.
+	var jev *eventlog.Buf
+	if c.w != nil {
+		jev = c.w.curJob.workerBuf(c.w.id)
+	}
 	if ev != nil {
 		ev.Emit(eventlog.BlockBegin)
+	}
+	if jev != nil {
+		jev.Emit(eventlog.BlockBegin)
 	}
 	spins := 0
 	for {
@@ -437,6 +466,9 @@ func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
 	}
 	if ev != nil {
 		ev.Emit(eventlog.BlockEnd)
+	}
+	if jev != nil {
+		jev.Emit(eventlog.BlockEnd)
 	}
 }
 
@@ -497,10 +529,18 @@ func (w *worker) runSpark(t *graph.Thunk, j *Job) {
 		j.active.Add(-1)
 		return
 	}
+	// jb is the job's worker-scoped trace ring (nil for untraced jobs,
+	// batch runs and untagged sparks): the cross-worker view of one
+	// request. Safe to write until this worker's active decrement —
+	// runJob drains only after active reaches zero.
+	jb := j.workerBuf(w.id)
 	if t.IsEvaluated() {
 		w.ctr.sparksFizzled++
 		if w.ev != nil {
 			w.ev.Emit(eventlog.SparkFizzle)
+		}
+		if jb != nil {
+			jb.Emit(eventlog.SparkFizzle)
 		}
 		if j != nil {
 			j.active.Add(-1)
@@ -524,9 +564,16 @@ func (w *worker) runSpark(t *graph.Thunk, j *Job) {
 		w.ev.Emit(eventlog.SparkConvert)
 		w.ev.Emit(eventlog.RunBegin)
 	}
+	if jb != nil {
+		jb.Emit(eventlog.SparkConvert)
+		jb.Emit(eventlog.RunBegin)
+	}
 	graph.Force(&w.ctx, t)
 	if w.ev != nil {
 		w.ev.Emit(eventlog.RunEnd)
+	}
+	if jb != nil {
+		jb.Emit(eventlog.RunEnd)
 	}
 	w.curJob = prev
 	if j != nil {
@@ -593,6 +640,9 @@ func (w *worker) sparkPanicErr(p any) error {
 func (w *worker) injectSparkFaults(inj *faults.Injector) {
 	if d := inj.StallDur(w.id); d > 0 {
 		inj.NoteStall()
+		if pm := w.rt.pm; pm != nil {
+			pm.faultStalls.AddAt(w.id, 1)
+		}
 		if w.ev != nil {
 			w.ev.Emit(eventlog.StallBegin)
 		}
@@ -602,6 +652,9 @@ func (w *worker) injectSparkFaults(inj *faults.Injector) {
 		}
 	}
 	if f := inj.SparkFault(); f != nil {
+		if pm := w.rt.pm; pm != nil {
+			pm.faultPanics.AddAt(w.id, 1)
+		}
 		if w.ev != nil {
 			w.ev.EmitArg(eventlog.FaultPanic, int32(f.Index))
 		}

@@ -55,6 +55,7 @@ import (
 	"parhask/internal/faults"
 	"parhask/internal/gcscope"
 	"parhask/internal/graph"
+	"parhask/internal/metrics"
 	"parhask/internal/pe"
 	"parhask/internal/trace"
 )
@@ -82,6 +83,15 @@ type Config struct {
 	// the hard deadline expires, whichever comes first. Zero disables
 	// the watchdog (and quiescence detection with it).
 	Deadline time.Duration
+	// Metrics, if non-nil, registers lane telemetry series
+	// (internal/metrics). Honoured by NewResident only; batch runs
+	// report through Result. Nil — the default — keeps every recording
+	// hook a nil check.
+	Metrics *metrics.Registry
+	// TraceID, if non-zero, tags PE 0's event ring with a TraceMark
+	// carrying this id (ignored unless EventLog): the serve layer's
+	// handle for pulling one request's timeline off a live server.
+	TraceID int32
 }
 
 // NewConfig returns a native Eden configuration with pes PEs.
@@ -319,6 +329,12 @@ func (r *RTS) run(main pe.Program) (*Result, error) {
 		r.events = eventlog.New(start, cfg.PEs, cfg.EventLogConfig)
 		for i, p := range r.pes {
 			p.ev = r.events.Buf(i)
+			if i == 0 && cfg.TraceID != 0 {
+				// The mark is the ring's first event so a trace reader can
+				// identify the job before decoding anything else. Emitted
+				// pre-thread, so the single-writer rule holds.
+				p.ev.EmitArg(eventlog.TraceMark, cfg.TraceID)
+			}
 			// A PE with no thread is idle, not runnable: open an Idle
 			// bracket each thread's Run brackets nest inside. Emitted here,
 			// before any thread exists, so the single-writer rule holds.

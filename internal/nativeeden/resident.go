@@ -8,6 +8,7 @@ import (
 
 	"parhask/internal/eventlog"
 	"parhask/internal/faults"
+	"parhask/internal/metrics"
 	"parhask/internal/pe"
 )
 
@@ -24,6 +25,9 @@ type JobConfig struct {
 	EventLog bool
 	// EventLogConfig tunes the rings (zero value = defaults).
 	EventLogConfig eventlog.Config
+	// TraceID, if non-zero, tags PE 0's ring with a TraceMark carrying
+	// this id (ignored unless EventLog) — see Config.TraceID.
+	TraceID int32
 }
 
 // Resident is a resident Eden lane: the PEs — their big locks, their
@@ -52,6 +56,33 @@ type Resident struct {
 
 	jobsDone   int64
 	jobsFailed int64
+
+	// m records the lane's telemetry (nil unless Config.Metrics was
+	// set). The series are registered idempotently, so every lane on
+	// one registry shares them — the scrape sees the lane fleet as one
+	// eden backend, matching how serve treats its lane pool.
+	m *laneMetrics
+}
+
+// laneMetrics is the shared series set for resident Eden lanes.
+type laneMetrics struct {
+	jobsOK  *metrics.Counter
+	jobsErr *metrics.Counter
+	wait    *metrics.Histogram // lane acquisition: RunJob entry → job start
+	wall    *metrics.Histogram // job wall time
+	msgs    *metrics.Counter
+	bytes   *metrics.Counter
+}
+
+func newLaneMetrics(reg *metrics.Registry) *laneMetrics {
+	return &laneMetrics{
+		jobsOK:  reg.Counter("eden_lane_jobs_total", "resident Eden lane jobs by outcome", "outcome", "ok"),
+		jobsErr: reg.Counter("eden_lane_jobs_total", "resident Eden lane jobs by outcome", "outcome", "error"),
+		wait:    reg.Histogram("eden_lane_wait_seconds", "time a job queued for a lane mutex before starting", 1e-9),
+		wall:    reg.Histogram("eden_lane_job_seconds", "wall-clock latency of lane jobs", 1e-9),
+		msgs:    reg.Counter("eden_lane_messages_total", "Eden messages sent by lane jobs"),
+		bytes:   reg.Counter("eden_lane_bytes_sent_total", "Eden bytes shipped by lane jobs (packing model)"),
+	}
 }
 
 // NewResident builds a lane with cfg.PEs warm processing elements.
@@ -65,6 +96,9 @@ func NewResident(cfg Config) *Resident {
 	l.pes = make([]*peRT, cfg.PEs)
 	for i := range l.pes {
 		l.pes[i] = newPE(i, cfg.ArenaChunk)
+	}
+	if cfg.Metrics != nil {
+		l.m = newLaneMetrics(cfg.Metrics)
 	}
 	return l
 }
@@ -80,8 +114,14 @@ func (l *Resident) RunJob(jc JobConfig, main pe.Program) (*Result, error) {
 	if main == nil {
 		return nil, errors.New("nativeeden: nil job main")
 	}
+	t0 := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.m != nil {
+		// Lane-wait: how long the job queued behind the lane's one-job-
+		// at-a-time mutex before it could start.
+		l.m.wait.Observe(time.Since(t0).Nanoseconds())
+	}
 	if l.closed {
 		return nil, ErrResidentClosed
 	}
@@ -90,6 +130,7 @@ func (l *Resident) RunJob(jc JobConfig, main pe.Program) (*Result, error) {
 	cfg.Faults = jc.Faults
 	cfg.EventLog = jc.EventLog
 	cfg.EventLogConfig = jc.EventLogConfig
+	cfg.TraceID = jc.TraceID
 	r := &RTS{cfg: cfg, pes: l.pes}
 	for _, p := range l.pes {
 		p.rts = r
@@ -107,6 +148,18 @@ func (l *Resident) RunJob(jc JobConfig, main pe.Program) (*Result, error) {
 		l.jobsFailed++
 	} else {
 		l.jobsDone++
+	}
+	if l.m != nil {
+		if err != nil {
+			l.m.jobsErr.Inc()
+		} else {
+			l.m.jobsOK.Inc()
+		}
+		if res != nil {
+			l.m.wall.Observe(res.WallNS)
+			l.m.msgs.Add(res.Stats.Messages)
+			l.m.bytes.Add(res.Stats.BytesSent)
+		}
 	}
 	return res, err
 }

@@ -5,8 +5,10 @@ import (
 	"testing"
 	"time"
 
+	"parhask/internal/eventlog"
 	"parhask/internal/faults"
 	"parhask/internal/graph"
+	"parhask/internal/metrics"
 	"parhask/internal/pe"
 	"parhask/internal/workloads/euler"
 )
@@ -124,5 +126,73 @@ func TestResidentLaneEventlogPerJob(t *testing.T) {
 	}
 	if r1.Events == r2.Events {
 		t.Fatal("jobs shared an eventlog")
+	}
+}
+
+// TestResidentLaneMetrics: a metered lane feeds the shared eden series,
+// and two lanes on one registry share them (idempotent registration).
+func TestResidentLaneMetrics(t *testing.T) {
+	reg := metrics.New()
+	cfg := NewConfig(2)
+	cfg.Metrics = reg
+	l1 := NewResident(cfg)
+	defer l1.Close()
+	l2 := NewResident(cfg)
+	defer l2.Close()
+
+	for i, l := range []*Resident{l1, l2} {
+		res, err := l.RunJob(JobConfig{Deadline: 30 * time.Second},
+			euler.EdenProgram(200, 2, 0))
+		if err != nil {
+			t.Fatalf("lane %d: %v", i, err)
+		}
+		if res.Stats.Messages == 0 {
+			t.Fatalf("lane %d job recorded no messages", i)
+		}
+	}
+
+	cs := reg.Counters()
+	if got := cs[`eden_lane_jobs_total{outcome="ok"}`]; got != 2 {
+		t.Fatalf("jobs_total ok = %v, want 2 (lanes must share series)", got)
+	}
+	if got := cs[`eden_lane_jobs_total{outcome="error"}`]; got != 0 {
+		t.Fatalf("jobs_total error = %v, want 0", got)
+	}
+	if got := cs["eden_lane_job_seconds_count"]; got != 2 {
+		t.Fatalf("job_seconds count = %v, want 2", got)
+	}
+	if got := cs["eden_lane_wait_seconds_count"]; got != 2 {
+		t.Fatalf("wait_seconds count = %v, want 2", got)
+	}
+	if got := cs["eden_lane_messages_total"]; got < 2 {
+		t.Fatalf("messages_total = %v, want >= 2", got)
+	}
+}
+
+// TestResidentLaneTraceMark: a traced lane job's PE-0 ring opens with
+// the TraceMark, and the dump round-trips to a per-PE timeline.
+func TestResidentLaneTraceMark(t *testing.T) {
+	l := NewResident(NewConfig(2))
+	defer l.Close()
+	res, err := l.RunJob(JobConfig{Deadline: 30 * time.Second, EventLog: true, TraceID: 7},
+		euler.EdenProgram(200, 2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events == nil {
+		t.Fatal("traced job has no eventlog")
+	}
+	ev := res.Events.Events(0)
+	if len(ev) == 0 || ev[0].Type != eventlog.TraceMark || ev[0].Arg != 7 {
+		t.Fatalf("PE-0 ring does not start with TraceMark(7): %+v", ev[:min(3, len(ev))])
+	}
+	agents := []string{"pe0", "pe1"}
+	d := res.Events.Dump(agents)
+	rl, err := d.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl := rl.TraceAgents(d.Agents); len(tl.Agents()) != 2 {
+		t.Fatalf("trace agents = %d, want 2", len(tl.Agents()))
 	}
 }

@@ -142,6 +142,10 @@ type ErrorInfo struct {
 	Code       ErrorCode `json:"code"`
 	HTTPStatus int       `json:"http_status"`
 	Message    string    `json:"message"`
+	// RetryAfterSec, on a queue_full rejection, is the server's estimate
+	// of when the tenant's queue will have room, from its observed drain
+	// rate (the HTTP gateway mirrors it into the Retry-After header).
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
 
 // classifyInfo builds the wire form, or nil for a nil error.

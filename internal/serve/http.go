@@ -13,8 +13,11 @@ const maxRequestBody = 1 << 20
 // Handler wraps the server in its HTTP/JSON gateway:
 //
 //	POST /api/v1/jobs   submit a JobRequest, respond with its JobResponse
+//	GET  /api/v1/trace  fetch a traced job's dump by ?id=<trace_id>
+//	GET  /metrics       Prometheus text exposition of the registry
 //	GET  /statusz       one Status snapshot (?stream=N: N NDJSON
-//	                    snapshots at ?interval_ms, default 200)
+//	                    snapshots at ?interval_ms, default 200; each
+//	                    snapshot after the first carries counter Deltas)
 //	GET  /healthz       200 while accepting, 503 once draining
 //
 // Job responses use the taxonomy's HTTP status (a queue-full rejection
@@ -24,6 +27,8 @@ const maxRequestBody = 1 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/api/v1/trace", s.handleTrace)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/statusz", s.handleStatusz)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -49,11 +54,45 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	if resp.Error != nil {
 		status = resp.Error.HTTPStatus
 		if resp.Error.Code == CodeQueueFull {
-			// Backpressure contract: tell the client when to come back.
-			w.Header().Set("Retry-After", "1")
+			// Backpressure contract: tell the client when to come back,
+			// from the tenant's actual depth and observed drain rate.
+			retry := resp.Error.RetryAfterSec
+			if retry <= 0 {
+				retry = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(retry))
 		}
 	}
 	writeJSON(w, status, resp)
+}
+
+// handleMetrics serves the registry in Prometheus text format 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+// handleTrace serves a stored per-job trace dump as JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		http.Error(w, "missing ?id=<trace_id>", http.StatusBadRequest)
+		return
+	}
+	d := s.Trace(id)
+	if d == nil {
+		http.Error(w, "no such trace (never stored, or evicted)", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, d)
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
@@ -77,6 +116,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	var prev map[string]float64
 	for i := 0; i < n; i++ {
 		if i > 0 {
 			select {
@@ -85,7 +125,21 @@ func (s *Server) handleStatusz(w http.ResponseWriter, r *http.Request) {
 			case <-time.After(time.Duration(intervalMS) * time.Millisecond):
 			}
 		}
-		if err := enc.Encode(s.Statusz()); err != nil {
+		st := s.Statusz()
+		// Deltas: which registry counters moved since the last snapshot.
+		// A streaming watcher sees rates without keeping its own state.
+		cur := s.reg.Counters()
+		if prev != nil {
+			deltas := make(map[string]float64)
+			for name, v := range cur {
+				if d := v - prev[name]; d != 0 {
+					deltas[name] = d
+				}
+			}
+			st.Deltas = deltas
+		}
+		prev = cur
+		if err := enc.Encode(st); err != nil {
 			return
 		}
 		if flusher != nil {

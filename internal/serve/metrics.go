@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"parhask/internal/metrics"
+)
+
+// allErrorCodes enumerates the taxonomy for preregistration: every
+// serve_job_errors_total{code=...} series exists from the first scrape,
+// so dashboards see explicit zeros instead of series popping into
+// existence at the first failure of each kind.
+var allErrorCodes = []ErrorCode{
+	CodeQueueFull, CodeDraining, CodeUnknownWorkload, CodeBadRequest,
+	CodeDeadlock, CodeInjectedPanic, CodePoisoned, CodeSendError,
+	CodeChanMisuse, CodeIntegrityCheck, CodeInternal,
+}
+
+// serveMetrics is the service-level series set: admission, outcome and
+// latency telemetry layered over the backend registries (the pool and
+// lane series live in their own packages and share this registry).
+type serveMetrics struct {
+	reg *metrics.Registry
+
+	submitted    *metrics.Counter // every Do call, before admission
+	jobsOK       *metrics.Counter
+	jobsErr      *metrics.Counter
+	jobsRejected *metrics.Counter
+	errByCode    map[ErrorCode]*metrics.Counter
+
+	queueH *metrics.Histogram // admitted -> dispatched
+	runH   *metrics.Histogram // backend execution
+	totalH *metrics.Histogram // admitted -> completed
+
+	traceDropped *metrics.Counter // eventlog ring wraparound in traced jobs
+
+	// tenants caches per-tenant series so the Do hot path pays one
+	// sync.Map load instead of a registry registration per request.
+	tenants sync.Map // string -> *tenantMetrics
+}
+
+// tenantMetrics is one tenant's admission series.
+type tenantMetrics struct {
+	submitted *metrics.Counter
+	rejected  *metrics.Counter
+}
+
+func newServeMetrics(reg *metrics.Registry, s *Server) *serveMetrics {
+	m := &serveMetrics{
+		reg:          reg,
+		submitted:    reg.Counter("serve_jobs_submitted_total", "job submissions received (before admission)"),
+		jobsOK:       reg.Counter("serve_jobs_total", "jobs finished by outcome", "outcome", "ok"),
+		jobsErr:      reg.Counter("serve_jobs_total", "jobs finished by outcome", "outcome", "error"),
+		jobsRejected: reg.Counter("serve_jobs_total", "jobs finished by outcome", "outcome", "rejected"),
+		queueH:       reg.Histogram("serve_job_queue_seconds", "admitted-to-dispatched queue latency", 1e-9),
+		runH:         reg.Histogram("serve_job_run_seconds", "backend execution latency", 1e-9),
+		totalH:       reg.Histogram("serve_job_total_seconds", "admission-to-completion latency", 1e-9),
+		traceDropped: reg.Counter("serve_trace_dropped_events_total", "trace events lost to eventlog ring wraparound"),
+		errByCode:    make(map[ErrorCode]*metrics.Counter, len(allErrorCodes)),
+	}
+	for _, code := range allErrorCodes {
+		m.errByCode[code] = reg.Counter("serve_job_errors_total",
+			"failed or rejected jobs by taxonomy code", "code", string(code))
+	}
+	reg.GaugeFunc("serve_queued", "jobs admitted and waiting across all tenant queues", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.queued)
+	})
+	reg.GaugeFunc("serve_inflight", "jobs currently executing on a backend", func() float64 {
+		return float64(len(s.inflight))
+	})
+	reg.GaugeFunc("serve_uptime_seconds", "time since the service came up", func() float64 {
+		return time.Since(s.start).Seconds()
+	})
+	reg.GaugeFunc("serve_traces_stored", "per-job traces currently held by the trace store", func() float64 {
+		return float64(s.TracesStored())
+	})
+	return m
+}
+
+// tenant returns (creating on first use) the named tenant's series,
+// registering its queue-depth gauge. Called before s.mu is taken —
+// registration takes the registry lock, and the depth closure will take
+// s.mu at exposition time, so nesting the two the other way would
+// deadlock against WritePrometheus.
+func (m *serveMetrics) tenant(s *Server, name string) *tenantMetrics {
+	if v, ok := m.tenants.Load(name); ok {
+		return v.(*tenantMetrics)
+	}
+	tm := &tenantMetrics{
+		submitted: m.reg.Counter("serve_tenant_jobs_submitted_total", "submissions per tenant", "tenant", name),
+		rejected:  m.reg.Counter("serve_tenant_jobs_rejected_total", "admission rejections per tenant", "tenant", name),
+	}
+	m.reg.GaugeFunc("serve_tenant_queue_depth", "jobs waiting in the tenant's queue", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if tq := s.tenants[name]; tq != nil {
+			return float64(len(tq.q))
+		}
+		return 0
+	}, "tenant", name)
+	v, _ := m.tenants.LoadOrStore(name, tm)
+	return v.(*tenantMetrics)
+}
+
+// reject records an admission rejection in every ledger it belongs to.
+func (m *serveMetrics) reject(tm *tenantMetrics, code ErrorCode) {
+	m.jobsRejected.Inc()
+	m.errByCode[code].Inc()
+	tm.rejected.Inc()
+}
+
+// finish records a completed (dispatched and executed) job.
+func (m *serveMetrics) finish(resp *JobResponse) {
+	m.queueH.Observe(resp.QueueNS)
+	m.runH.Observe(resp.RunNS)
+	m.totalH.Observe(resp.TotalNS)
+	if resp.Error != nil {
+		m.jobsErr.Inc()
+		if c := m.errByCode[resp.Error.Code]; c != nil {
+			c.Inc()
+		}
+	} else {
+		m.jobsOK.Inc()
+	}
+}
+
+// computeRetryAfter turns a tenant's queue depth and observed drain
+// rate into a Retry-After hint: roughly how long until the queue has
+// room again, clamped to [1s, 30s]. With no rate evidence (a cold or
+// stalled tenant) the hint is the optimistic 1s — better to have the
+// client probe than park it half a minute on a guess.
+func computeRetryAfter(depth int, perSec float64) int {
+	if perSec <= 0 {
+		return 1
+	}
+	sec := int(math.Ceil(float64(depth+1) / perSec))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 30 {
+		sec = 30
+	}
+	return sec
+}

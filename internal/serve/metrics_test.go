@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parhask/internal/eventlog"
+	"parhask/internal/metrics"
+)
+
+// TestServeMetricsScrape: a live /metrics scrape agrees with the
+// server's own ledger — jobs_total by outcome matches what was
+// submitted, the latency histograms saw every job, the backend series
+// (pool and lanes) are present, and no claim was poisoned.
+func TestServeMetricsScrape(t *testing.T) {
+	s := New(smallConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const okJobs = 6
+	for i := 0; i < okJobs; i++ {
+		backend := "gph"
+		if i%2 == 1 {
+			backend = "eden"
+		}
+		if resp := s.Do(JobRequest{Workload: "sumeuler", N: 400, Chunks: 8,
+			Backend: backend, Tenant: "alice"}); !resp.OK {
+			t.Fatalf("job %d: %+v", i, resp.Error)
+		}
+	}
+	if resp := s.Do(JobRequest{Workload: "nope"}); resp.Error == nil {
+		t.Fatal("unknown workload accepted")
+	}
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", r.StatusCode)
+	}
+	if ct := r.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	scraped, err := metrics.ParseProm(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{`serve_jobs_total{outcome="ok"}`, okJobs},
+		{`serve_jobs_total{outcome="rejected"}`, 1},
+		{`serve_jobs_submitted_total`, okJobs + 1},
+		{`serve_job_errors_total{code="unknown_workload"}`, 1},
+		{`serve_job_errors_total{code="queue_full"}`, 0},
+		{`serve_tenant_jobs_submitted_total{tenant="alice"}`, okJobs},
+		{`serve_job_run_seconds_count`, okJobs},
+		{`native_pool_jobs_total{outcome="ok"}`, okJobs / 2},
+		{`eden_lane_jobs_total{outcome="ok"}`, okJobs / 2},
+		{`native_pool_poisoned_claims_total`, 0},
+	}
+	for _, c := range checks {
+		if got, ok := scraped[c.name]; !ok || got != c.want {
+			t.Errorf("%s = %v (present=%v), want %v", c.name, got, ok, c.want)
+		}
+	}
+	// Derived quantiles render for the service histograms.
+	if _, ok := scraped["serve_job_total_seconds_p99"]; !ok {
+		t.Error("scrape missing serve_job_total_seconds_p99")
+	}
+}
+
+// TestServeTraceEndToEnd: a traced job's dump is fetchable over HTTP,
+// reconstructs to an eventlog, and renders a per-agent timeline — the
+// exact path tracedump -job walks against a live server.
+func TestServeTraceEndToEnd(t *testing.T) {
+	s := New(smallConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := s.Do(JobRequest{Workload: "sumeuler", N: 1500, Chunks: 24, Trace: true})
+	if !resp.OK {
+		t.Fatalf("traced job failed: %+v", resp.Error)
+	}
+	if resp.TraceID == "" {
+		t.Fatal("traced job has no TraceID")
+	}
+
+	r, err := http.Get(ts.URL + "/api/v1/trace?id=" + resp.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET trace = %d", r.StatusCode)
+	}
+	var d eventlog.Dump
+	if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.TraceID != resp.TraceID || d.Workload != "sumeuler" || d.Backend != "gph" {
+		t.Fatalf("dump identity = %+v", d)
+	}
+	if len(d.Agents) < 2 || d.Agents[0] != "main" || d.Agents[1] != "w0" {
+		t.Fatalf("agents = %v", d.Agents)
+	}
+	if len(d.Events) == 0 || len(d.Events[0]) == 0 ||
+		d.Events[0][0].Type != "trace-mark" {
+		t.Fatal("ring 0 does not open with the trace mark")
+	}
+	rl, err := d.Log()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := rl.TraceAgents(d.Agents)
+	if len(tl.Agents()) != len(d.Agents) {
+		t.Fatalf("timeline agents = %d, want %d", len(tl.Agents()), len(d.Agents))
+	}
+	if out := tl.Render(80); !strings.Contains(out, "main") {
+		t.Fatal("rendered timeline missing the main agent")
+	}
+
+	// Unknown and missing ids are client errors, not panics.
+	if r2, _ := http.Get(ts.URL + "/api/v1/trace?id=t-99999"); r2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown trace id = %d", r2.StatusCode)
+	}
+	if r3, _ := http.Get(ts.URL + "/api/v1/trace"); r3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing trace id = %d", r3.StatusCode)
+	}
+}
+
+// TestServeTraceStoreEviction: the store holds at most maxStoredTraces,
+// evicting oldest-first, and Statusz reports the population.
+func TestServeTraceStoreEviction(t *testing.T) {
+	s := New(smallConfig())
+	defer s.Close()
+	for i := 0; i < maxStoredTraces+5; i++ {
+		s.storeTrace("t-"+strconv.Itoa(i), &eventlog.Dump{TraceID: "t-" + strconv.Itoa(i)})
+	}
+	if got := s.TracesStored(); got != maxStoredTraces {
+		t.Fatalf("stored = %d, want %d", got, maxStoredTraces)
+	}
+	if s.Trace("t-0") != nil {
+		t.Fatal("oldest trace survived eviction")
+	}
+	if s.Trace("t-"+strconv.Itoa(maxStoredTraces+4)) == nil {
+		t.Fatal("newest trace missing")
+	}
+	if st := s.Statusz(); st.TracesStored != maxStoredTraces {
+		t.Fatalf("Statusz.TracesStored = %d", st.TracesStored)
+	}
+}
+
+// TestComputeRetryAfter pins the backoff arithmetic: depth over drain
+// rate, rounded up, clamped to [1, 30], optimistic 1s with no evidence.
+func TestComputeRetryAfter(t *testing.T) {
+	cases := []struct {
+		depth  int
+		perSec float64
+		want   int
+	}{
+		{5, 0, 1},    // no drain evidence: probe soon
+		{5, -1, 1},   // defensive
+		{5, 2, 3},    // ceil(6/2)
+		{1, 10, 1},   // fast drain clamps up to 1
+		{500, 1, 30}, // slow drain clamps at 30
+		{0, 4, 1},    // ceil(1/4) -> 1
+	}
+	for _, c := range cases {
+		if got := computeRetryAfter(c.depth, c.perSec); got != c.want {
+			t.Errorf("computeRetryAfter(%d, %v) = %d, want %d", c.depth, c.perSec, got, c.want)
+		}
+	}
+}
+
+// TestServeRetryAfterFromDrainRate: once a tenant has completion
+// history, a queue-full rejection's Retry-After reflects the observed
+// drain rate rather than the fixed 1s placeholder.
+func TestServeRetryAfterFromDrainRate(t *testing.T) {
+	cfg := smallConfig()
+	cfg.QueueCap = 2
+	cfg.MaxInflight = 1
+	s := New(cfg)
+	defer s.Close()
+
+	// Build drain history: a few completed jobs stamp the done ring.
+	for i := 0; i < 4; i++ {
+		if resp := s.Do(JobRequest{Workload: "sumeuler", N: 2000, Chunks: 8, Tenant: "bob"}); !resp.OK {
+			t.Fatalf("warm-up job %d: %+v", i, resp.Error)
+		}
+	}
+	// Fill the queue, then overflow it. The slow first job holds the one
+	// inflight slot while the rest stack up.
+	done := make(chan *JobResponse, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			done <- s.Do(JobRequest{Workload: "sumeuler", N: 8000, Chunks: 8, Tenant: "bob"})
+		}()
+	}
+	var rejected *JobResponse
+	for i := 0; i < 8; i++ {
+		r := <-done
+		if r.Error != nil && r.Error.Code == CodeQueueFull {
+			rejected = r
+		}
+	}
+	if rejected == nil {
+		t.Skip("no queue-full rejection observed (scheduling was too fair)")
+	}
+	if rejected.Error.RetryAfterSec < 1 || rejected.Error.RetryAfterSec > 30 {
+		t.Fatalf("RetryAfterSec = %d, want in [1,30]", rejected.Error.RetryAfterSec)
+	}
+}
+
+// TestServeStatuszStreamDeltas: streamed snapshots after the first
+// carry the counters that moved between frames.
+func TestServeStatuszStreamDeltas(t *testing.T) {
+	s := New(smallConfig())
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Do(JobRequest{Workload: "sumeuler", N: 300, Chunks: 4})
+			}
+		}
+	}()
+	defer close(stop)
+
+	r, err := http.Get(ts.URL + "/statusz?stream=4&interval_ms=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var sts []Status
+	for sc.Scan() {
+		var st Status
+		if err := json.Unmarshal(sc.Bytes(), &st); err != nil {
+			t.Fatalf("snapshot %d: %v", len(sts), err)
+		}
+		sts = append(sts, st)
+	}
+	if len(sts) != 4 {
+		t.Fatalf("got %d snapshots, want 4", len(sts))
+	}
+	if sts[0].Deltas != nil {
+		t.Fatal("first snapshot carries deltas")
+	}
+	moved := false
+	for _, st := range sts[1:] {
+		if st.Deltas[`serve_jobs_total{outcome="ok"}`] > 0 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("no snapshot saw serve_jobs_total move under sustained load")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"parhask/internal/eventlog"
+	"parhask/internal/metrics"
 	"parhask/internal/native"
 	"parhask/internal/nativeeden"
 )
@@ -72,6 +74,9 @@ type JobResponse struct {
 	QueueNS int64 `json:"queue_ns"`
 	RunNS   int64 `json:"run_ns"`
 	TotalNS int64 `json:"total_ns"`
+	// TraceID names the job's stored per-worker trace when the request
+	// asked for one (GET /api/v1/trace?id=<TraceID>).
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // task is one admitted job waiting in its tenant's queue.
@@ -83,10 +88,39 @@ type task struct {
 	done     chan *JobResponse
 }
 
-// tenantQ is one tenant's FIFO.
+// tenantQ is one tenant's FIFO, plus a small ring of recent completion
+// timestamps so a queue-full rejection can quote an honest Retry-After
+// from the tenant's observed drain rate.
 type tenantQ struct {
-	name string
-	q    []*task
+	name  string
+	q     []*task
+	done  [16]time.Time
+	doneN int
+}
+
+// recordDone notes one completed job. Caller holds s.mu.
+func (tq *tenantQ) recordDone(now time.Time) {
+	tq.done[tq.doneN%len(tq.done)] = now
+	tq.doneN++
+}
+
+// drainRate estimates the tenant's completions per second over the
+// ring's window, or 0 with fewer than two samples. Caller holds s.mu.
+func (tq *tenantQ) drainRate() float64 {
+	n := tq.doneN
+	if n > len(tq.done) {
+		n = len(tq.done)
+	}
+	if n < 2 {
+		return 0
+	}
+	oldest := tq.done[(tq.doneN-n)%len(tq.done)]
+	newest := tq.done[(tq.doneN-1)%len(tq.done)]
+	span := newest.Sub(oldest).Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(n-1) / span
 }
 
 // Server is the resident compute service: a long-lived native pool, a
@@ -118,30 +152,54 @@ type Server struct {
 	jobsDone   atomic.Int64
 	jobsFailed atomic.Int64
 	rejected   atomic.Int64 // queue_full + draining rejections
+
+	// reg is the service's metrics registry — always on (the nil-check
+	// disabled path belongs to the raw backends; a resident service
+	// without telemetry is not worth running). sm is the serve-level
+	// series; the pool and lanes register their own on the same reg.
+	reg *metrics.Registry
+	sm  *serveMetrics
+
+	// The per-job trace store (GET /api/v1/trace).
+	traceSeq   atomic.Int64
+	traceMu    sync.Mutex
+	traces     map[string]*eventlog.Dump
+	traceOrder []string // FIFO eviction order
 }
 
 // New starts the service: the pool's workers spin up, the lanes' PEs
 // are built, the dispatcher starts. The server is ready for Do.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := metrics.New()
+	nc := native.NewConfig(cfg.Workers)
+	nc.Metrics = reg
 	s := &Server{
 		cfg:      cfg,
-		pool:     native.NewPool(native.NewConfig(cfg.Workers)),
+		pool:     native.NewPool(nc),
 		lanes:    make(chan *nativeeden.Resident, cfg.Lanes),
 		tenants:  map[string]*tenantQ{},
 		inflight: make(chan struct{}, cfg.MaxInflight),
 		stopped:  make(chan struct{}),
 		start:    time.Now(),
+		reg:      reg,
 	}
 	s.cond = sync.NewCond(&s.mu)
+	s.sm = newServeMetrics(reg, s)
 	for i := 0; i < cfg.Lanes; i++ {
-		l := nativeeden.NewResident(nativeeden.NewConfig(cfg.PEs))
+		ec := nativeeden.NewConfig(cfg.PEs)
+		ec.Metrics = reg
+		l := nativeeden.NewResident(ec)
 		s.all = append(s.all, l)
 		s.lanes <- l
 	}
 	go s.dispatch()
 	return s
 }
+
+// Metrics exposes the service's registry (the /metrics exposition and
+// the statusz delta stream read from it).
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
 
 // Do submits one job and blocks until it completes (or is rejected at
 // admission). It is the synchronous core the HTTP gateway wraps; any
@@ -153,10 +211,17 @@ func (s *Server) Do(req JobRequest) *JobResponse {
 		tenant = "anon"
 	}
 	resp := &JobResponse{Workload: req.Workload, Tenant: tenant}
+	// Tenant series are created (idempotently) before s.mu is taken:
+	// registration locks the registry, and the tenant's depth gauge will
+	// lock s.mu at exposition, so the orders must never nest.
+	tm := s.sm.tenant(s, tenant)
+	s.sm.submitted.Inc()
+	tm.submitted.Inc()
 
 	built, err := buildJob(req, s.cfg.PEs)
 	if err != nil {
 		resp.Error = classifyInfo(err)
+		s.sm.reject(tm, resp.Error.Code)
 		return resp
 	}
 	resp.Backend = built.backend
@@ -175,6 +240,7 @@ func (s *Server) Do(req JobRequest) *JobResponse {
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		resp.Error = classifyInfo(ErrDraining)
+		s.sm.reject(tm, CodeDraining)
 		return resp
 	}
 	tq := s.tenants[tenant]
@@ -184,9 +250,12 @@ func (s *Server) Do(req JobRequest) *JobResponse {
 		s.order = append(s.order, tenant)
 	}
 	if len(tq.q) >= s.cfg.QueueCap {
+		retry := computeRetryAfter(len(tq.q), tq.drainRate())
 		s.mu.Unlock()
 		s.rejected.Add(1)
 		resp.Error = classifyInfo(ErrQueueFull)
+		resp.Error.RetryAfterSec = retry
+		s.sm.reject(tm, CodeQueueFull)
 		return resp
 	}
 	tq.q = append(tq.q, t)
@@ -251,16 +320,28 @@ func (s *Server) execute(t *task) {
 	resp.QueueNS = time.Since(t.admitted).Nanoseconds()
 	started := time.Now()
 
+	// A traced job gets its own eventlog (one ring per worker / PE) and
+	// a TraceMark identity stamped before anything runs.
+	var traceMark int32
+	if t.req.Trace {
+		traceMark, resp.TraceID = s.nextTraceID()
+	}
+
 	var value any
 	var err error
+	var events *eventlog.Log
 	switch t.built.backend {
 	case "gph":
 		var h *native.JobHandle
 		h, err = s.pool.Submit(native.JobConfig{
-			Deadline: t.built.deadline, Faults: t.built.injector}, t.built.gph)
+			Deadline: t.built.deadline, Faults: t.built.injector,
+			EventLog: t.req.Trace, TraceID: traceMark}, t.built.gph)
 		if err == nil {
 			var res *native.JobResult
 			res, err = h.Wait()
+			if res != nil {
+				events = res.Events
+			}
 			if err == nil {
 				value = res.Value
 			}
@@ -269,7 +350,11 @@ func (s *Server) execute(t *task) {
 		lane := <-s.lanes // blocks while all lanes busy; inflight token held
 		var res *nativeeden.Result
 		res, err = lane.RunJob(nativeeden.JobConfig{
-			Deadline: t.built.deadline, Faults: t.built.injector}, t.built.eden)
+			Deadline: t.built.deadline, Faults: t.built.injector,
+			EventLog: t.req.Trace, TraceID: traceMark}, t.built.eden)
+		if res != nil {
+			events = res.Events
+		}
 		if err == nil {
 			value = res.Value
 		}
@@ -288,6 +373,27 @@ func (s *Server) execute(t *task) {
 		resp.Value = value
 		s.jobsDone.Add(1)
 	}
+	if resp.TraceID != "" && events != nil {
+		// The rings are drained (the job's threads joined before its
+		// result was built), so the dump is a consistent snapshot. Failed
+		// jobs keep their partial trace — that is when you want it most.
+		d := events.Dump(traceAgents(t.built.backend, events.Workers()))
+		d.TraceID = resp.TraceID
+		d.Workload = t.req.Workload
+		d.Backend = t.built.backend
+		d.Tenant = t.tenant
+		if err != nil {
+			d.Error = err.Error()
+		}
+		s.sm.traceDropped.Add(d.Dropped)
+		s.storeTrace(resp.TraceID, d)
+	}
+	s.sm.finish(resp)
+	s.mu.Lock()
+	if tq := s.tenants[t.tenant]; tq != nil {
+		tq.recordDone(time.Now())
+	}
+	s.mu.Unlock()
 	t.done <- resp
 }
 
@@ -311,6 +417,15 @@ type Status struct {
 	// LaneJobsDone/Failed aggregate the Eden lanes.
 	LaneJobsDone   int64 `json:"lane_jobs_done"`
 	LaneJobsFailed int64 `json:"lane_jobs_failed"`
+	// TraceDroppedEvents counts trace events lost to eventlog ring
+	// wraparound across all traced jobs; TracesStored is the trace
+	// store's current population.
+	TraceDroppedEvents int64 `json:"trace_dropped_events"`
+	TracesStored       int   `json:"traces_stored"`
+	// Deltas, present only in ?stream=N snapshots after the first,
+	// holds the registry counters that moved since the previous
+	// snapshot (counter name with labels -> increment).
+	Deltas map[string]float64 `json:"deltas,omitempty"`
 }
 
 // Statusz snapshots the service. Safe from any goroutine at any time.
@@ -339,6 +454,8 @@ func (s *Server) Statusz() Status {
 		st.LaneJobsDone += l.JobsDone()
 		st.LaneJobsFailed += l.JobsFailed()
 	}
+	st.TraceDroppedEvents = s.sm.traceDropped.Value()
+	st.TracesStored = s.TracesStored()
 	return st
 }
 

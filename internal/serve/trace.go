@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"strconv"
+
+	"parhask/internal/eventlog"
+)
+
+// maxStoredTraces bounds the trace store: tracing is a debugging lens,
+// not an archive, so the store keeps the most recent traces and evicts
+// FIFO. Each trace is one job's drained rings — small (the rings are
+// bounded) but not free.
+const maxStoredTraces = 64
+
+// nextTraceID allocates a job's trace identity: the int32 mark stamped
+// into its eventlog ring and the wire-form id clients pass back to
+// GET /api/v1/trace.
+func (s *Server) nextTraceID() (int32, string) {
+	seq := s.traceSeq.Add(1)
+	return int32(seq), "t-" + strconv.FormatInt(seq, 10)
+}
+
+// storeTrace files one job's dump under its id, evicting the oldest
+// stored trace beyond the cap.
+func (s *Server) storeTrace(id string, d *eventlog.Dump) {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	if s.traces == nil {
+		s.traces = make(map[string]*eventlog.Dump, maxStoredTraces)
+	}
+	if _, ok := s.traces[id]; !ok {
+		s.traceOrder = append(s.traceOrder, id)
+	}
+	s.traces[id] = d
+	for len(s.traceOrder) > maxStoredTraces {
+		delete(s.traces, s.traceOrder[0])
+		s.traceOrder = s.traceOrder[1:]
+	}
+}
+
+// Trace returns a stored per-job trace by id, or nil if it was never
+// stored or has been evicted.
+func (s *Server) Trace(id string) *eventlog.Dump {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return s.traces[id]
+}
+
+// TracesStored reports how many traces the store currently holds.
+func (s *Server) TracesStored() int {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return len(s.traces)
+}
+
+// traceAgents names a traced job's rings for rendering: ring 0 is the
+// job's main thread (gph) or PE 0 (eden); the rest are the resident
+// workers / remaining PEs.
+func traceAgents(backend string, rings int) []string {
+	names := make([]string, rings)
+	if backend == "eden" {
+		for i := range names {
+			names[i] = "pe" + strconv.Itoa(i)
+		}
+		return names
+	}
+	names[0] = "main"
+	for i := 1; i < rings; i++ {
+		names[i] = "w" + strconv.Itoa(i-1)
+	}
+	return names
+}

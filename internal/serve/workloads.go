@@ -47,6 +47,9 @@ type JobRequest struct {
 	// Faults is this job's private fault plan (internal/faults
 	// grammar); injected failures are scoped to the job.
 	Faults string `json:"faults,omitempty"`
+	// Trace gives the job a private per-worker eventlog; the response's
+	// TraceID fetches it from GET /api/v1/trace for timeline rendering.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // builtJob is a validated, runnable form of one request: the program
