@@ -28,6 +28,7 @@ import (
 	"parhask/internal/native"
 	"parhask/internal/nativeeden"
 	"parhask/internal/trace"
+	"parhask/internal/tune"
 	"parhask/internal/workloads/apsp"
 )
 
@@ -46,12 +47,26 @@ func main() {
 	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
 	faultSpec := flag.String("faults", "", "fault-injection spec for the native runtimes (internal/faults grammar)")
 	deadline := flag.Duration("deadline", 0, "native deadlock-watchdog deadline, e.g. 10s (0 = disabled)")
+	autotune := flag.Bool("autotune", false, "native runtime: run the online controller (dynamic row chunking, adaptive backoff, GOGC, parking)")
+	backoffSpec := flag.String("backoff", "", "native runtime: idle backoff policy, e.g. \"spin=64,min=10us,max=1280us,park=8\" (empty = default)")
 	flag.Parse()
 
 	inj, ferr := faults.CLIInjector(*faultSpec, *deadline, *rtKind)
 	if ferr != nil {
 		fmt.Fprintln(os.Stderr, "apsp:", ferr)
 		os.Exit(2)
+	}
+	if (*autotune || *backoffSpec != "") && *rtKind != "native" {
+		fmt.Fprintf(os.Stderr, "apsp: -autotune/-backoff require -runtime native (got %q)\n", *rtKind)
+		os.Exit(2)
+	}
+	var backoff *tune.Backoff
+	if *backoffSpec != "" {
+		var berr error
+		if backoff, berr = tune.ParseBackoff(*backoffSpec); berr != nil {
+			fmt.Fprintln(os.Stderr, "apsp: -backoff:", berr)
+			os.Exit(2)
+		}
 	}
 
 	g := apsp.RandomGraph(*n, *seed, 9, 25)
@@ -70,7 +85,14 @@ func main() {
 		ncfg.EventLog = *showTrace
 		ncfg.Faults = inj
 		ncfg.Deadline = *deadline
-		res, err := native.Run(ncfg, apsp.Program(g, 0))
+		ncfg.Backoff = backoff
+		prog := apsp.Program(g, 0)
+		if *autotune {
+			sp := tune.NewSplitter("apsp", 1, 1, *n)
+			ncfg.Autotune = &native.AutotuneConfig{Splitters: []*tune.Splitter{sp}}
+			prog = apsp.AutoProgram(g, sp, 0)
+		}
+		res, err := native.Run(ncfg, prog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "apsp:", err)
 			if res != nil && *showTrace {
@@ -110,6 +132,10 @@ func main() {
 			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		}
 		fmt.Printf("stats    = %+v (duplicate thunk entries: %d)\n", res.Stats, res.Stats.DupEntries)
+		if at := res.Autotune; at != nil {
+			fmt.Printf("autotune = %d decisions, grains=%v, backoff level %d (park=%d), gogc=%d\n",
+				len(at.Decisions), at.Grains, at.BackoffLevel, at.ParkAfter, at.GOGC)
+		}
 		if *showTrace {
 			tl := res.Trace()
 			fmt.Print(tl.Render(*width))

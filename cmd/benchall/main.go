@@ -7,6 +7,7 @@
 //	benchall -matmul 1008 -matmulblock 72   # paper-size matrices
 //	benchall -native     # wall-clock sweep on the native runtime
 //	benchall -native -gogc 50,100,200,400,off   # + the §IV-A.1 allocation-area sweep
+//	benchall -autotune   # + self-tuning sweep: hand-tuned vs online controller
 //	benchall -edennative # + GpH-native vs Eden-native head-to-head
 //	benchall -faultoverhead                     # + disabled-vs-armed fault-plane cost
 //	benchall -serve      # + resident-service bench: sustained load + chaos under traffic
@@ -47,6 +48,7 @@ func main() {
 	gogc := flag.String("gogc", "", "comma-separated GOGC settings for the allocation-area sweep, e.g. 50,100,200,400,off (implies -native)")
 	faultOverhead := flag.Bool("faultoverhead", false, "also measure the disabled-vs-armed fault-plane overhead (implies -native)")
 	serveBench := flag.Bool("serve", false, "also run the resident-service benchmark: sustained concurrent load + chaos under traffic (implies -native)")
+	autotuneSweep := flag.Bool("autotune", false, "also run the self-tuning sweep: hand-tuned vs online-controller rows with the decision trace (implies -native)")
 	chaosIters := flag.Int("chaos", 0, "run an N-iteration seeded chaos soak over both native backends instead of the figures (writes results/CHAOS.html + .json; exits non-zero on violations)")
 	chaosSeed := flag.Uint64("chaosseed", 42, "chaos soak master seed")
 	faultSpec := flag.String("faults", "", "replay one fault-injected run from a spec (internal/faults grammar) instead of the figures")
@@ -176,7 +178,7 @@ func main() {
 	if *latency {
 		fmt.Println(experiments.RunLatencyStudy(p).String())
 	}
-	if *nativeSweep || *edenNative || *faultOverhead || *serveBench || len(gogcSettings) > 0 {
+	if *nativeSweep || *edenNative || *faultOverhead || *serveBench || *autotuneSweep || len(gogcSettings) > 0 {
 		s := experiments.RunNativeSweep(p)
 		s.HotPath = experiments.MeasureSparkHotPath()
 		if len(gogcSettings) > 0 {
@@ -191,6 +193,9 @@ func main() {
 		if *serveBench {
 			s.Service = experiments.RunServiceBench(p)
 			s.MetricsOverhead = experiments.MeasureMetricsOverhead()
+		}
+		if *autotuneSweep {
+			s.Autotune = experiments.RunAutotuneSweep(p)
 		}
 		fmt.Println(s.String())
 		if data, err := s.JSON(); err == nil {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"parhask/internal/serve"
+	"parhask/internal/tune"
 )
 
 func main() {
@@ -46,12 +47,24 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "default per-job deadline (0 = 30s)")
 	maxDeadline := flag.Duration("maxdeadline", 0, "per-job deadline cap (0 = 2m)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof at /debug/pprof/")
+	autotune := flag.Bool("autotune", false, "run the native pool's online controller (dynamic chunking, adaptive backoff, GOGC, parking); decisions on /statusz")
+	backoffSpec := flag.String("backoff", "", "native pool idle backoff policy, e.g. \"spin=64,min=10us,max=1280us,park=8\" (empty = default)")
 	flag.Parse()
+
+	var backoff *tune.Backoff
+	if *backoffSpec != "" {
+		var err error
+		if backoff, err = tune.ParseBackoff(*backoffSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "serve: -backoff:", err)
+			os.Exit(2)
+		}
+	}
 
 	s := serve.New(serve.Config{
 		Workers: *workers, PEs: *pes, Lanes: *lanes,
 		QueueCap: *queue, MaxInflight: *inflight,
 		DefaultDeadline: *deadline, MaxDeadline: *maxDeadline,
+		Autotune: *autotune, Backoff: backoff,
 	})
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())

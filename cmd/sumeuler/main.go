@@ -41,6 +41,7 @@ import (
 	"parhask/internal/native"
 	"parhask/internal/nativeeden"
 	"parhask/internal/trace"
+	"parhask/internal/tune"
 	"parhask/internal/workloads/euler"
 )
 
@@ -59,12 +60,28 @@ func main() {
 	statsFmt := flag.String("stats", "text", "native stats format: text | json (per-worker counters, machine-readable, json output only)")
 	faultSpec := flag.String("faults", "", "fault-injection spec for the native runtimes (internal/faults grammar), e.g. \"seed=7,panic-spark=3\"")
 	deadline := flag.Duration("deadline", 0, "native deadlock-watchdog deadline, e.g. 10s (0 = disabled)")
+	autotune := flag.Bool("autotune", false, "native runtime: run the online controller (dynamic chunking, adaptive backoff, GOGC, parking); -chunks is ignored")
+	backoffSpec := flag.String("backoff", "", "native runtime: idle backoff policy, e.g. \"spin=64,min=10us,max=1280us,park=8\" (empty = default)")
 	flag.Parse()
 
 	inj, ferr := faults.CLIInjector(*faultSpec, *deadline, *rtKind)
 	if ferr != nil {
 		fmt.Fprintln(os.Stderr, "sumeuler:", ferr)
 		os.Exit(2)
+	}
+	// Fail fast: the tuning flags only mean something on the native
+	// work-stealing runtime, and a bad -backoff spec must not start a run.
+	if (*autotune || *backoffSpec != "") && *rtKind != "native" {
+		fmt.Fprintf(os.Stderr, "sumeuler: -autotune/-backoff require -runtime native (got %q)\n", *rtKind)
+		os.Exit(2)
+	}
+	var backoff *tune.Backoff
+	if *backoffSpec != "" {
+		var berr error
+		if backoff, berr = tune.ParseBackoff(*backoffSpec); berr != nil {
+			fmt.Fprintln(os.Stderr, "sumeuler: -backoff:", berr)
+			os.Exit(2)
+		}
 	}
 
 	if *rtKind == "native" {
@@ -73,7 +90,14 @@ func main() {
 		ncfg.EventLog = *showTrace
 		ncfg.Faults = inj
 		ncfg.Deadline = *deadline
-		res, err := native.Run(ncfg, euler.Program(*n, *chunks, 0, true))
+		ncfg.Backoff = backoff
+		prog := euler.Program(*n, *chunks, 0, true)
+		if *autotune {
+			sp := tune.NewSplitter("sumeuler", *n / *chunks, 1, *n)
+			ncfg.Autotune = &native.AutotuneConfig{Splitters: []*tune.Splitter{sp}}
+			prog = euler.AutoProgram(*n, sp)
+		}
+		res, err := native.Run(ncfg, prog)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sumeuler:", err)
 			if res != nil && *showTrace {
@@ -115,6 +139,10 @@ func main() {
 			fmt.Printf("runtime  = %v (wall clock)\n", res.Wall())
 		}
 		fmt.Printf("stats    = %+v\n", res.Stats)
+		if at := res.Autotune; at != nil {
+			fmt.Printf("autotune = %d decisions, grains=%v, backoff level %d (park=%d), gogc=%d\n",
+				len(at.Decisions), at.Grains, at.BackoffLevel, at.ParkAfter, at.GOGC)
+		}
 		if *showTrace {
 			tl := res.Trace()
 			fmt.Print(tl.Render(*width))

@@ -69,6 +69,10 @@ type NativeSweep struct {
 	// MetricsOverhead is the disabled-vs-enabled metrics-plane cost
 	// comparison on the resident pool (benchall -serve). Optional.
 	MetricsOverhead *MetricsOverheadBench `json:"metrics_overhead,omitempty"`
+	// Autotune is the self-tuning experiment (benchall -autotune):
+	// hand-tuned vs controller-tuned rows with the decision trace.
+	// Optional.
+	Autotune *AutotuneSweep `json:"autotune,omitempty"`
 }
 
 // nativeWorkerCounts is the sweep's x-axis.
@@ -226,6 +230,9 @@ func (s *NativeSweep) String() string {
 	}
 	if s.MetricsOverhead != nil {
 		out += "\n" + s.MetricsOverhead.String()
+	}
+	if s.Autotune != nil {
+		out += "\n" + s.Autotune.String()
 	}
 	return out
 }

@@ -37,6 +37,10 @@ type wcounters struct {
 	dupResults      int64
 	blockedForces   int64
 	forks           int64
+	backoffSleeps   int64
+	backoffNS       int64
+	parks           int64
+	parkedNS        int64
 	_               [64]byte
 }
 
@@ -54,6 +58,10 @@ func (c *wcounters) stats() Stats {
 		DupResults:      c.dupResults,
 		BlockedForces:   c.blockedForces,
 		Forks:           c.forks,
+		BackoffSleeps:   c.backoffSleeps,
+		BackoffNS:       c.backoffNS,
+		Parks:           c.parks,
+		ParkedNS:        c.parkedNS,
 	}
 }
 
@@ -282,6 +290,14 @@ func (c *Ctx) Par(t *graph.Thunk) {
 		}
 		w.ctr.sparksCreated++
 		w.pool.PushBottom(t)
+		// Dekker handshake with the park lot: the seq-cst push above
+		// (the deque's bottom store) is ordered before this load, and
+		// the parker's nparked increment before its deque re-check —
+		// one side always sees the other. With no one parked (every
+		// run under the default policy) this is a single atomic load.
+		if w.rt.nparked.Load() != 0 {
+			w.rt.wake()
+		}
 		if w.ev != nil {
 			w.ev.Emit(eventlog.SparkPush)
 		}
@@ -462,7 +478,13 @@ func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
 			}
 		}
 		spins++
-		idleWait(spins)
+		if c.w != nil {
+			// mayPark=false: the wake source here is the thunk's
+			// completion, which does not signal the park lot.
+			c.w.backoffWait(spins, false)
+		} else {
+			idleWait(spins)
+		}
 	}
 	if ev != nil {
 		ev.Emit(eventlog.BlockEnd)
@@ -472,10 +494,13 @@ func (c *Ctx) BlockOnThunk(t *graph.Thunk) {
 	}
 }
 
-// idleWait backs off an idle loop: yield for the first rounds, then
-// sleep, doubling up to a 1ms cap. Oversubscribed machines (more
-// workers than cores, or a race-detector build) would otherwise burn
-// the cores the productive workers need.
+// idleWait backs off an idle loop with the fixed legacy schedule:
+// yield for the first rounds, then sleep, doubling up to a 1ms cap.
+// Oversubscribed machines (more workers than cores, or a race-detector
+// build) would otherwise burn the cores the productive workers need.
+// Used by waits that have no worker identity (nil-worker blocked
+// forces, runJob's active-wait) — worker loops go through backoffWait,
+// which reads the pool's tunable policy and counts its sleeps.
 func idleWait(spins int) {
 	if spins < 64 {
 		runtime.Gosched()
@@ -483,6 +508,60 @@ func idleWait(spins int) {
 	}
 	d := time.Duration(10<<uint(min(spins-64, 7))) * time.Microsecond
 	time.Sleep(d)
+}
+
+// backoffWait advances this worker's idle ladder at iteration `spins`
+// under the pool's policy: yield, a counted sleep, or — when the
+// policy's parking threshold is reached and the caller's loop allows
+// it — a park on the pool condvar. mayPark is false inside a blocked
+// force: thunk completion does not signal the park lot, so parking
+// there could sleep through the only event being waited for; those
+// waits ride the sleep ladder to its cap instead.
+func (w *worker) backoffWait(spins int, mayPark bool) {
+	if mayPark {
+		if _, park := w.rt.bo.Plan(spins); park {
+			w.park()
+			return
+		}
+	}
+	d := w.rt.bo.Sleep(spins)
+	if d == 0 {
+		runtime.Gosched()
+		return
+	}
+	t0 := time.Now()
+	time.Sleep(d)
+	w.ctr.backoffSleeps++
+	w.ctr.backoffNS += time.Since(t0).Nanoseconds()
+}
+
+// park blocks this worker on the pool condvar until a producer pushes
+// work (Par, pushInject), the run completes, or it fails — replacing
+// the 1ms-cap sleep loop a dry pool otherwise burns. The lost-wakeup
+// handshake is described at the rt park-lot fields: the nparked
+// increment is sequentially consistent and precedes the final
+// work re-check, mirroring the producers' publish-then-load order, so
+// one side always sees the other; parkGen versions the wait against
+// wakes that land between the re-check and the Wait.
+func (w *worker) park() {
+	r := w.rt
+	r.parkMu.Lock()
+	r.nparked.Add(1)
+	if r.done.Load() || r.failed.Load() || r.haveWork() {
+		r.nparked.Add(-1)
+		r.parkMu.Unlock()
+		return
+	}
+	gen := r.parkGen
+	w.ctr.parks++
+	w.maybePublish()
+	t0 := time.Now()
+	for r.parkGen == gen && !r.done.Load() && !r.failed.Load() {
+		r.parkCond.Wait()
+	}
+	r.nparked.Add(-1)
+	r.parkMu.Unlock()
+	w.ctr.parkedNS += time.Since(t0).Nanoseconds()
 }
 
 // takeWork returns the next spark to run — own pool first (LIFO, cache
@@ -714,7 +793,7 @@ func (w *worker) stealLoop() {
 			w.maybePublish()
 		}
 		spins++
-		idleWait(spins)
+		w.backoffWait(spins, true)
 	}
 	if idle && w.ev != nil {
 		w.ev.Emit(eventlog.IdleEnd)

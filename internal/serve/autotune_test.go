@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServeAutotune runs the tunable gph workloads on an autotuned
+// service: every job's result still passes the server's oracle gate
+// (the auto decompositions change scheduling, never values), the
+// status report carries the controller's lever positions, and the
+// autotune series appear on /metrics.
+func TestServeAutotune(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Autotune = true
+	s := New(cfg)
+	defer s.Close()
+
+	mix := []JobRequest{
+		{Workload: "sumeuler", N: 800},
+		{Workload: "matmul", N: 24},
+		{Workload: "apsp", N: 20},
+		// Eden jobs are untouched by the pool's controller and must
+		// still work on an autotuned server.
+		{Workload: "sumeuler", N: 300, Backend: "eden"},
+	}
+	for round := 0; round < 5; round++ {
+		for _, req := range mix {
+			resp := s.Do(req)
+			if !resp.OK {
+				t.Fatalf("round %d %s/%s: %v", round, req.Workload, resp.Backend, resp.Error)
+			}
+		}
+	}
+
+	st := s.Statusz()
+	if st.Autotune == nil {
+		t.Fatal("autotuned server's status has no autotune section")
+	}
+	for _, name := range []string{"sumeuler", "matmul", "apsp"} {
+		if _, ok := st.Autotune.Grains[name]; !ok {
+			t.Fatalf("status autotune grains missing %q: %v", name, st.Autotune.Grains)
+		}
+	}
+
+	var sb strings.Builder
+	s.Metrics().WritePrometheus(&sb)
+	body := sb.String()
+	for _, series := range []string{"autotune_grain", "autotune_backoff_level", "native_pool_parked_ns"} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("metrics exposition missing %s", series)
+		}
+	}
+}
+
+// TestServeAutotuneOffByDefault pins the disabled path: no controller,
+// no status section.
+func TestServeAutotuneOffByDefault(t *testing.T) {
+	s := New(smallConfig())
+	defer s.Close()
+	if resp := s.Do(JobRequest{Workload: "sumeuler", N: 200}); !resp.OK {
+		t.Fatalf("sumeuler: %v", resp.Error)
+	}
+	if st := s.Statusz(); st.Autotune != nil {
+		t.Fatalf("untuned server reported an autotune section: %+v", st.Autotune)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"parhask/internal/faults"
 	"parhask/internal/graph"
 	"parhask/internal/pe"
+	"parhask/internal/tune"
 	"parhask/internal/workloads/apsp"
 	"parhask/internal/workloads/euler"
 	"parhask/internal/workloads/fuzz"
@@ -102,12 +103,40 @@ func Workloads() []string {
 	return []string{"sumeuler", "matmul", "apsp", "fuzz", "mandel"}
 }
 
+// autoSplitters are the service's shared granularity levers, one per
+// gph workload family with a tunable decomposition. Every job of a
+// family reads the same splitter, so the controller's grain survives
+// across requests — sustained traffic converges instead of each job
+// restarting the search.
+type autoSplitters struct {
+	euler  *tune.Splitter
+	matmul *tune.Splitter
+	apsp   *tune.Splitter
+}
+
+func newAutoSplitters() *autoSplitters {
+	return &autoSplitters{
+		// Grains are items per spark in each family's own unit:
+		// sumeuler counts φ evaluations, matmul result cells, apsp
+		// final rows.
+		euler:  tune.NewSplitter("sumeuler", 64, 4, 4096),
+		matmul: tune.NewSplitter("matmul", 256, 16, 1<<16),
+		apsp:   tune.NewSplitter("apsp", 8, 1, 256),
+	}
+}
+
+func (a *autoSplitters) all() []*tune.Splitter {
+	return []*tune.Splitter{a.euler, a.matmul, a.apsp}
+}
+
 // buildJob validates a request against the registry and assembles its
 // programs. pes is the Eden lanes' PE count (the eden-side programs
-// size their process topology from it). All validation failures wrap
-// ErrBadRequest or ErrUnknownWorkload, so they classify before any
-// queueing happens.
-func buildJob(req JobRequest, pes int) (*builtJob, error) {
+// size their process topology from it). auto, when non-nil, swaps the
+// gph programs with tunable decompositions (sumeuler, matmul, apsp)
+// for their splitter-driven variants; validation and oracles are
+// identical either way. All validation failures wrap ErrBadRequest or
+// ErrUnknownWorkload, so they classify before any queueing happens.
+func buildJob(req JobRequest, pes int, auto *autoSplitters) (*builtJob, error) {
 	b := &builtJob{backend: req.Backend}
 	switch b.backend {
 	case "":
@@ -143,7 +172,11 @@ func buildJob(req JobRequest, pes int) (*builtJob, error) {
 		if chunks < 1 || chunks > 512 {
 			return nil, badReq("sumeuler chunks=%d out of range [1,512]", chunks)
 		}
-		b.gph = euler.Program(n, chunks, 0, true)
+		if auto != nil {
+			b.gph = euler.AutoProgram(n, auto.euler)
+		} else {
+			b.gph = euler.Program(n, chunks, 0, true)
+		}
 		b.eden = euler.EdenProgram(n, 2, 0)
 		key := fmt.Sprintf("sumeuler/%d", n)
 		b.check = func(v graph.Value) (any, error) {
@@ -168,7 +201,11 @@ func buildJob(req JobRequest, pes int) (*builtJob, error) {
 			seed = 1
 		}
 		a, bm := matmul.Random(n, seed), matmul.Random(n, seed+1)
-		b.gph = matmul.BlockProgram(a, bm, n/4, 0)
+		if auto != nil {
+			b.gph = matmul.AutoBlockProgram(a, bm, auto.matmul, 0)
+		} else {
+			b.gph = matmul.BlockProgram(a, bm, n/4, 0)
+		}
 		b.eden = matmul.EdenCannonProgram(a, bm, 2, 0)
 		key := fmt.Sprintf("matmul/%d/%d", n, seed)
 		b.check = func(v graph.Value) (any, error) {
@@ -197,7 +234,11 @@ func buildJob(req JobRequest, pes int) (*builtJob, error) {
 		if ring < 1 {
 			ring = 1
 		}
-		b.gph = apsp.Program(g, 0)
+		if auto != nil {
+			b.gph = apsp.AutoProgram(g, auto.apsp, 0)
+		} else {
+			b.gph = apsp.Program(g, 0)
+		}
 		b.eden = apsp.EdenRingProgram(g, ring, 0)
 		key := fmt.Sprintf("apsp/%d/%d", n, seed)
 		b.check = func(v graph.Value) (any, error) {

@@ -1,0 +1,483 @@
+package tune
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parhask/internal/metrics"
+)
+
+// Observation is one controller tick's view of the runtime: the
+// published cumulative counters at tick time. The controller works on
+// deltas between successive observations, so the producer only has to
+// hand over whatever snapshot the runtime already publishes
+// (native.Stats + GC window) — no new synchronisation. NowNS is the
+// observation's own clock so tests can drive a synthetic stream with
+// no wall-clock dependence.
+type Observation struct {
+	NowNS int64 // observation timestamp (monotonic within a run)
+
+	// Scheduler counters (cumulative).
+	SparksConverted int64 // sparks executed so far
+	Steals          int64 // successful steals
+	StealAttempts   int64 // attempted steals (success + failure)
+	SparksLeftover  int64 // current total depth of the spark pools
+	InjectDepth     int64 // current external injection-queue depth
+
+	// GC counters (cumulative over the run/window).
+	GCCycles   int64 // completed GC cycles
+	AllocBytes int64 // cumulative bytes allocated
+
+	// Idle telemetry (cumulative).
+	BackoffSleeps int64 // backoff sleep rounds taken
+	ParkedNS      int64 // total parked nanoseconds
+	IdleWorkers   int64 // workers currently parked
+}
+
+// Decision is one actuation the controller performed (or declined at
+// a bound), in the structured trace and the autotune_* metrics.
+type Decision struct {
+	TickNS int64  `json:"tick_ns"`          // Observation.NowNS of the tick that decided
+	Lever  string `json:"lever"`            // chunk | backoff | gogc | park
+	Target string `json:"target,omitempty"` // splitter name for chunk decisions
+	Action string `json:"action"`           // split|fuse | widen|narrow | raise|lower | enable|disable
+	From   int64  `json:"from"`             // lever position before
+	To     int64  `json:"to"`               // lever position after
+	Reason string `json:"reason"`           // the signal that drove it
+}
+
+func (d Decision) String() string {
+	t := d.Lever
+	if d.Target != "" {
+		t += ":" + d.Target
+	}
+	return fmt.Sprintf("[%dms] %s %s %d->%d (%s)", d.TickNS/1e6, t, d.Action, d.From, d.To, d.Reason)
+}
+
+// Trace is a bounded decision log: appends past the cap drop the
+// oldest entries, so a long service run keeps the recent history
+// without unbounded growth.
+type Trace struct {
+	mu      sync.Mutex
+	cap     int
+	dropped int64
+	buf     []Decision
+}
+
+// NewTrace builds a trace keeping the most recent `cap` decisions
+// (cap <= 0 means the 1024 default).
+func NewTrace(cap int) *Trace {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &Trace{cap: cap}
+}
+
+// Add appends a decision, evicting the oldest beyond the cap.
+func (t *Trace) Add(d Decision) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.buf = append(t.buf, d)
+	if over := len(t.buf) - t.cap; over > 0 {
+		t.dropped += int64(over)
+		t.buf = append(t.buf[:0], t.buf[over:]...)
+	}
+}
+
+// Decisions returns a copy of the retained decisions, oldest first.
+func (t *Trace) Decisions() []Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Decision, len(t.buf))
+	copy(out, t.buf)
+	return out
+}
+
+// Dropped reports how many decisions the cap evicted.
+func (t *Trace) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// JSON renders the retained decisions for the bench output / trace
+// artifact.
+func (t *Trace) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.Decisions(), "", "  ")
+}
+
+// GOGCAdjuster is the controller's GC lever: gcscope.Lease satisfies
+// it, and tests substitute a fake. Adjust reports false when the move
+// was refused (the lease is shared with a holder wanting a different
+// percent), in which case the controller backs off rather than
+// fighting.
+type GOGCAdjuster interface {
+	Adjust(percent int) bool
+	Percent() int
+}
+
+// Levers is the set of actuators one controller instance drives. Any
+// nil/empty lever is simply skipped, so callers wire only what their
+// run uses.
+type Levers struct {
+	Splitters []*Splitter  // chunk-granularity levers, one per workload phase
+	Backoff   *Backoff     // the pool's idle-wait policy
+	GOGC      GOGCAdjuster // the run's GC lease
+}
+
+// ControllerConfig tunes the controller itself. The zero value is
+// usable; Normalise fills the defaults.
+type ControllerConfig struct {
+	// Tick is the observation cadence of the background loop
+	// (Start/Stop). The Step core itself is cadence-agnostic.
+	Tick time.Duration
+
+	// TargetLeafNS is the per-spark service time the chunk lever aims
+	// for, with a [Low,High] hysteresis band around it: leaves slower
+	// than TargetLeafNS*HighBand split, faster than TargetLeafNS/LowBand
+	// fuse. The 200µs default sits well above the ~1µs spark overhead
+	// measured by the hot-path bench while still yielding thousands of
+	// sparks on the paper-scale workloads.
+	TargetLeafNS int64
+
+	// StealFailHigh is the steal-failure ratio (failed attempts /
+	// attempts, per tick) above which — with an empty inject queue —
+	// the backoff widens. StealFailLow is the ratio below which it
+	// narrows back.
+	StealFailHigh float64
+	StealFailLow  float64
+
+	// GCRaiseCycles raises GOGC (doubling, capped at MaxGOGC) when a
+	// tick sees at least this many new GC cycles; after GCLowerTicks
+	// consecutive quiet ticks (zero new cycles) GOGC steps back toward
+	// BaseGOGC.
+	GCRaiseCycles int64
+	GCLowerTicks  int
+	BaseGOGC      int
+	MaxGOGC       int
+
+	// ParkIdleTicks enables parking after this many consecutive ticks
+	// with a drained pool (no conversions, empty pools); sustained deep
+	// pools for the same count disable it again.
+	ParkIdleTicks int
+
+	// TraceCap bounds the decision trace.
+	TraceCap int
+
+	// Metrics, when non-nil, receives the autotune_* series.
+	Metrics *metrics.Registry
+}
+
+// Normalise fills zero fields with defaults and returns the config.
+func (c ControllerConfig) Normalise() ControllerConfig {
+	if c.Tick <= 0 {
+		c.Tick = 2 * time.Millisecond
+	}
+	if c.TargetLeafNS <= 0 {
+		c.TargetLeafNS = 200_000 // 200µs
+	}
+	if c.StealFailHigh <= 0 {
+		c.StealFailHigh = 0.9
+	}
+	if c.StealFailLow <= 0 {
+		c.StealFailLow = 0.5
+	}
+	if c.GCRaiseCycles <= 0 {
+		c.GCRaiseCycles = 2
+	}
+	if c.GCLowerTicks <= 0 {
+		c.GCLowerTicks = 4
+	}
+	if c.BaseGOGC <= 0 {
+		c.BaseGOGC = 100
+	}
+	if c.MaxGOGC <= 0 {
+		c.MaxGOGC = 800
+	}
+	if c.ParkIdleTicks <= 0 {
+		c.ParkIdleTicks = 3
+	}
+	return c
+}
+
+// Controller turns an observation stream into lever movements. The
+// decision core (Step) is deterministic: it depends only on the
+// config, the lever positions, and the observation deltas — never on
+// the wall clock — so tests drive it with synthetic streams. Start
+// wraps Step in a ticker goroutine for live runs.
+type Controller struct {
+	cfg    ControllerConfig
+	levers Levers
+	trace  *Trace
+
+	// Delta state between ticks.
+	havePrev bool
+	prev     Observation
+
+	// Rule state.
+	quietGCTicks  int // consecutive ticks without a GC cycle
+	idleTicks     int // consecutive drained-pool ticks
+	busyTicks     int // consecutive deep-pool ticks
+	parkedEnabled bool
+	savedPark     int // parkAfter to restore when re-enabling
+
+	// Background loop plumbing.
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+	startFlag atomic.Bool
+
+	// Metrics. Registration is idempotent, so decision counters are
+	// registered lazily per (lever, action) as decisions fire.
+	reg      *metrics.Registry
+	mGrain   map[string]*metrics.Gauge
+	mBackoff *metrics.Gauge
+	mGOGC    *metrics.Gauge
+	mPark    *metrics.Gauge
+}
+
+// NewController wires a controller to its levers. The returned
+// controller has not started ticking; either call Step yourself or
+// Start it with a sampler.
+func NewController(cfg ControllerConfig, levers Levers) *Controller {
+	cfg = cfg.Normalise()
+	c := &Controller{
+		cfg:    cfg,
+		levers: levers,
+		trace:  NewTrace(cfg.TraceCap),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	c.parkedEnabled = levers.Backoff != nil && levers.Backoff.ParkAfter() > 0
+	if c.parkedEnabled {
+		c.savedPark = levers.Backoff.ParkAfter()
+	} else {
+		c.savedPark = DefaultParkAfter
+	}
+	if reg := cfg.Metrics; reg != nil {
+		c.reg = reg
+		c.mGrain = map[string]*metrics.Gauge{}
+		for _, sp := range levers.Splitters {
+			g := reg.Gauge("autotune_grain", "current splitter grain (items per spark)", "splitter", sp.Name())
+			g.Set(float64(sp.Grain()))
+			c.mGrain[sp.Name()] = g
+		}
+		if levers.Backoff != nil {
+			c.mBackoff = reg.Gauge("autotune_backoff_level", "current backoff widen level")
+			c.mBackoff.Set(float64(levers.Backoff.Level()))
+		}
+		if levers.GOGC != nil {
+			c.mGOGC = reg.Gauge("autotune_gogc", "current controller-set GOGC percent")
+			c.mGOGC.Set(float64(levers.GOGC.Percent()))
+		}
+		c.mPark = reg.Gauge("autotune_parking_enabled", "1 when worker parking is enabled")
+		if c.parkedEnabled {
+			c.mPark.Set(1)
+		}
+	}
+	return c
+}
+
+// Trace exposes the bounded decision log.
+func (c *Controller) Trace() *Trace { return c.trace }
+
+func (c *Controller) record(d Decision) {
+	c.trace.Add(d)
+	if c.reg != nil {
+		c.reg.Counter("autotune_decisions_total", "autotune controller decisions by lever and action",
+			"lever", d.Lever, "action", d.Action).Inc()
+	}
+	switch d.Lever {
+	case "chunk":
+		if g, ok := c.mGrain[d.Target]; ok {
+			g.Set(float64(d.To))
+		}
+	case "backoff":
+		if c.mBackoff != nil {
+			c.mBackoff.Set(float64(d.To))
+		}
+	case "gogc":
+		if c.mGOGC != nil {
+			c.mGOGC.Set(float64(d.To))
+		}
+	case "park":
+		if c.mPark != nil {
+			var v float64
+			if d.Action == "enable" {
+				v = 1
+			}
+			c.mPark.Set(v)
+		}
+	}
+}
+
+// Step consumes one observation and returns the decisions it made
+// (already applied to the levers and recorded in the trace). The
+// first observation only seeds the delta state.
+func (c *Controller) Step(o Observation) []Decision {
+	if !c.havePrev {
+		c.havePrev, c.prev = true, o
+		return nil
+	}
+	prev := c.prev
+	c.prev = o
+	var out []Decision
+	add := func(d Decision) {
+		d.TickNS = o.NowNS
+		c.record(d)
+		out = append(out, d)
+	}
+
+	// Lever 1 — chunk granularity: compare each splitter's mean leaf
+	// service time this tick against the target band.
+	for _, sp := range c.levers.Splitters {
+		leaves, avg := sp.TakeService()
+		if leaves == 0 {
+			continue
+		}
+		switch {
+		case avg > c.cfg.TargetLeafNS*2: // HighBand = 2x
+			from := int64(sp.Grain())
+			if sp.Split() {
+				add(Decision{Lever: "chunk", Target: sp.Name(), Action: "split", From: from, To: int64(sp.Grain()),
+					Reason: fmt.Sprintf("avg leaf %dµs > %dµs target", avg/1000, c.cfg.TargetLeafNS/1000)})
+			}
+		case avg < c.cfg.TargetLeafNS/4: // LowBand = 4x under
+			from := int64(sp.Grain())
+			if sp.Fuse() {
+				add(Decision{Lever: "chunk", Target: sp.Name(), Action: "fuse", From: from, To: int64(sp.Grain()),
+					Reason: fmt.Sprintf("avg leaf %dµs < %dµs floor", avg/1000, c.cfg.TargetLeafNS/4000)})
+			}
+		}
+	}
+
+	// Lever 2 — steal backoff: widen under sustained steal failure on
+	// an empty inject queue; narrow when work comes back (leftover
+	// sparks or injected items waiting).
+	if b := c.levers.Backoff; b != nil {
+		attempts := o.StealAttempts - prev.StealAttempts
+		successes := o.Steals - prev.Steals
+		if attempts > 0 {
+			failRatio := 1 - float64(successes)/float64(attempts)
+			if failRatio >= c.cfg.StealFailHigh && o.InjectDepth == 0 && o.SparksLeftover == 0 {
+				from := int64(b.Level())
+				if b.Widen() {
+					add(Decision{Lever: "backoff", Action: "widen", From: from, To: int64(b.Level()),
+						Reason: fmt.Sprintf("steal failure %.0f%% with dry queues", failRatio*100)})
+				}
+			} else if failRatio <= c.cfg.StealFailLow || o.InjectDepth > 0 || o.SparksLeftover > 0 {
+				from := int64(b.Level())
+				if b.Narrow() {
+					add(Decision{Lever: "backoff", Action: "narrow", From: from, To: int64(b.Level()),
+						Reason: fmt.Sprintf("work available (fail %.0f%%, inject %d, leftover %d)",
+							failRatio*100, o.InjectDepth, o.SparksLeftover)})
+				}
+			}
+		}
+	}
+
+	// Lever 3 — GOGC: raise (double, capped) when the tick saw GC
+	// pressure; after a quiet streak, step back toward the base so a
+	// one-off allocation burst doesn't pin the heap target high.
+	if gc := c.levers.GOGC; gc != nil {
+		cycles := o.GCCycles - prev.GCCycles
+		if cycles >= c.cfg.GCRaiseCycles {
+			c.quietGCTicks = 0
+			from := gc.Percent()
+			want := from * 2
+			if want > c.cfg.MaxGOGC {
+				want = c.cfg.MaxGOGC
+			}
+			if want != from && gc.Adjust(want) {
+				add(Decision{Lever: "gogc", Action: "raise", From: int64(from), To: int64(gc.Percent()),
+					Reason: fmt.Sprintf("%d GC cycles in one tick", cycles)})
+			}
+		} else if cycles == 0 {
+			c.quietGCTicks++
+			if c.quietGCTicks >= c.cfg.GCLowerTicks && gc.Percent() > c.cfg.BaseGOGC {
+				c.quietGCTicks = 0
+				from := gc.Percent()
+				want := from / 2
+				if want < c.cfg.BaseGOGC {
+					want = c.cfg.BaseGOGC
+				}
+				if gc.Adjust(want) {
+					add(Decision{Lever: "gogc", Action: "lower", From: int64(from), To: int64(gc.Percent()),
+						Reason: fmt.Sprintf("%d quiet ticks", c.cfg.GCLowerTicks)})
+				}
+			}
+		} else {
+			c.quietGCTicks = 0
+		}
+	}
+
+	// Lever 4 — worker parking: when the pools stay drained for a
+	// streak of ticks, let idle workers park instead of sleep-looping;
+	// when the pools stay deep, turn parking off so the full worker
+	// set is always a single Gosched away from stealing.
+	if b := c.levers.Backoff; b != nil {
+		converted := o.SparksConverted - prev.SparksConverted
+		drained := o.SparksLeftover == 0 && o.InjectDepth == 0 && converted == 0
+		deep := o.SparksLeftover > 0 || o.InjectDepth > 0
+		if drained {
+			c.idleTicks++
+			c.busyTicks = 0
+		} else if deep {
+			c.busyTicks++
+			c.idleTicks = 0
+		} else {
+			c.idleTicks, c.busyTicks = 0, 0
+		}
+		if !c.parkedEnabled && c.idleTicks >= c.cfg.ParkIdleTicks {
+			c.idleTicks = 0
+			c.parkedEnabled = true
+			b.SetParkAfter(c.savedPark)
+			add(Decision{Lever: "park", Action: "enable", From: 0, To: int64(c.savedPark),
+				Reason: fmt.Sprintf("%d drained ticks", c.cfg.ParkIdleTicks)})
+		} else if c.parkedEnabled && c.busyTicks >= c.cfg.ParkIdleTicks {
+			c.busyTicks = 0
+			c.parkedEnabled = false
+			c.savedPark = b.ParkAfter()
+			if c.savedPark == 0 {
+				c.savedPark = DefaultParkAfter
+			}
+			b.SetParkAfter(0)
+			add(Decision{Lever: "park", Action: "disable", From: int64(c.savedPark), To: 0,
+				Reason: fmt.Sprintf("%d deep-pool ticks", c.cfg.ParkIdleTicks)})
+		}
+	}
+
+	return out
+}
+
+// Start launches the tick loop: every cfg.Tick it calls sample() for
+// a fresh observation and Steps on it. Call Stop to halt; Start may
+// be called at most once.
+func (c *Controller) Start(sample func() Observation) {
+	c.startFlag.Store(true)
+	go func() {
+		defer close(c.doneCh)
+		tick := time.NewTicker(c.cfg.Tick)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.stopCh:
+				return
+			case <-tick.C:
+				c.Step(sample())
+			}
+		}
+	}()
+}
+
+// Stop halts the tick loop (idempotent) and, if Start ever ran, waits
+// for the loop goroutine to exit. Safe on a never-started controller.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
+	if c.startFlag.Load() {
+		<-c.doneCh
+	}
+}

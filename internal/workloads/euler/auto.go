@@ -1,0 +1,27 @@
+package euler
+
+import (
+	"parhask/internal/exec"
+	"parhask/internal/graph"
+	"parhask/internal/tune"
+)
+
+// AutoProgram is Program with the static chunk count replaced by a
+// tune.Splitter: the interval [1, n] is carved by lazy binary
+// splitting, so the items-per-spark granularity is whatever the
+// splitter's grain says at the moment a range is actually forced — the
+// controller can refine chunking mid-run from observed leaf service
+// times, where Program's chunk list is fixed at build time. Uses the
+// uncached φ kernel (the mode the native runtime times for wall-clock
+// speedups) and ends with the same sequential self-check.
+func AutoProgram(n int, sp *tune.Splitter) exec.Program {
+	return func(ctx exec.Ctx) graph.Value {
+		sum := sp.ParSum(ctx, 1, n+1, func(c exec.Ctx, lo, hi int) int64 {
+			return SumRangeDirect(lo, hi-1) // ParSum ranges are [lo, hi)
+		})
+		if check := SequentialCheck(ctx, n); check != sum {
+			panic(&CheckError{Sum: sum, Want: check})
+		}
+		return sum
+	}
+}

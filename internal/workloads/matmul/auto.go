@@ -1,0 +1,63 @@
+package matmul
+
+import (
+	"time"
+
+	"parhask/internal/exec"
+	"parhask/internal/graph"
+	"parhask/internal/strategies"
+	"parhask/internal/tune"
+)
+
+// AutoBlockEdge maps a splitter grain (result cells per spark) to a
+// legal block size: the largest divisor of n whose square does not
+// exceed grain, at least 1. Divisibility keeps the assembly loop
+// regular (BlockProgram requires bs | n).
+func AutoBlockEdge(n, grain int) int {
+	best := 1
+	for d := 2; d <= n; d++ {
+		if n%d == 0 && int64(d)*int64(d) <= int64(grain) {
+			best = d
+		}
+	}
+	return best
+}
+
+// AutoBlockProgram is BlockProgram with the block size derived from a
+// tune.Splitter instead of hand-tuned: each invocation reads the grain
+// (result cells per spark) when it starts, picks the matching block
+// edge, and feeds every block's measured service time back through
+// Observe so the controller can move the grain between runs. The grain
+// is sampled once per invocation — a mid-run Split changes the next
+// run's blocking, not sparks already built — because the assembled
+// output demands one consistent block edge.
+func AutoBlockProgram(a, b Mat, sp *tune.Splitter, mulAddCost int64) exec.Program {
+	n := len(a)
+	return func(ctx exec.Ctx) graph.Value {
+		bs := AutoBlockEdge(n, sp.Grain())
+		q := n / bs
+		ctx.Alloc(2 * Bytes(n))
+		blocks := make([]*graph.Thunk, 0, q*q)
+		for bi := 0; bi < q; bi++ {
+			for bj := 0; bj < q; bj++ {
+				r0, c0 := bi*bs, bj*bs
+				blocks = append(blocks, exec.NewThunk(ctx, func(c exec.Ctx) graph.Value {
+					start := time.Now()
+					blk := MulRange(c, mulAddCost, a, b, r0, r0+bs, c0, c0+bs)
+					sp.Observe(bs*bs, time.Since(start).Nanoseconds())
+					return blk
+				}))
+			}
+		}
+		strategies.ParListWHNF(ctx, blocks)
+		out := New(n, n)
+		for k, t := range blocks {
+			blk := ctx.Force(t).(Mat)
+			r0, c0 := (k/q)*bs, (k%q)*bs
+			for i := range blk {
+				copy(out[r0+i][c0:c0+bs], blk[i])
+			}
+		}
+		return out
+	}
+}
