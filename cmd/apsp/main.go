@@ -5,6 +5,7 @@
 //	apsp -n 400 -cores 8 -rts steal -eager    # GpH, eager black-holing
 //	apsp -n 400 -cores 8 -rts steal           # lazy BH: watch it crawl
 //	apsp -n 400 -runtime native -workers 8    # real goroutines
+//	apsp -runtime eden -cluster 3 -pes 1 -transport unix  # multi-process ring
 //
 // Results are always verified against a sequential Floyd–Warshall.
 // With -runtime native the thunk-lattice program runs on the real
@@ -21,7 +22,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"parhask/internal/cluster"
 	"parhask/internal/eden"
 	"parhask/internal/faults"
 	"parhask/internal/gph"
@@ -33,6 +36,7 @@ import (
 )
 
 func main() {
+	cluster.MaybeWorker()
 	n := flag.Int("n", 400, "number of graph nodes")
 	cores := flag.Int("cores", 8, "simulated physical cores")
 	ring := flag.Int("ring", 0, "Eden ring size (default: cores / PEs)")
@@ -49,8 +53,14 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "native deadlock-watchdog deadline, e.g. 10s (0 = disabled)")
 	autotune := flag.Bool("autotune", false, "native runtime: run the online controller (dynamic row chunking, adaptive backoff, GOGC, parking)")
 	backoffSpec := flag.String("backoff", "", "native runtime: idle backoff policy, e.g. \"spin=64,min=10us,max=1280us,park=8\" (empty = default)")
+	clusterN := flag.Int("cluster", 0, "run -runtime eden as N separate worker OS processes, -pes PEs each (0 = single process)")
+	transport := flag.String("transport", "tcp", "cluster transport: tcp | unix")
 	flag.Parse()
 
+	if err := cluster.CheckFlags(*rtKind, *clusterN, *transport); err != nil {
+		fmt.Fprintln(os.Stderr, "apsp:", err)
+		os.Exit(2)
+	}
 	inj, ferr := faults.CLIInjector(*faultSpec, *deadline, *rtKind)
 	if ferr != nil {
 		fmt.Fprintln(os.Stderr, "apsp:", ferr)
@@ -140,6 +150,59 @@ func main() {
 			tl := res.Trace()
 			fmt.Print(tl.Render(*width))
 			fmt.Print(tl.Summary())
+		}
+		return
+	}
+	if *clusterN > 0 {
+		perProc := *pes
+		if perProc <= 0 {
+			perProc = 2
+		}
+		r := *ring
+		if r == 0 {
+			r = *clusterN * perProc
+		}
+		// In cluster mode the workload registry owns the graph: workers
+		// and coordinator rebuild the same instance from the spec string,
+		// and the coordinator's oracle checks the folded result.
+		ccfg := cluster.Config{
+			Procs: *clusterN, PerProc: perProc, Transport: *transport,
+			Spec:   fmt.Sprintf("apsp?n=%d&ring=%d&seed=%d", *n, r, *seed),
+			Faults: *faultSpec, EventLog: *showTrace, Deadline: *deadline,
+		}
+		res, err := cluster.Run(ccfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "apsp:", err)
+			os.Exit(1)
+		}
+		_, oracle, berr := cluster.BuildProgram(ccfg.Spec)
+		if berr == nil {
+			berr = oracle(res.Value)
+		}
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "apsp:", berr)
+			os.Exit(1)
+		}
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res, "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "apsp:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Printf("apsp %d nodes on a %d-process Eden cluster (%s), ring of %d, %d PEs per process\n",
+			*n, res.Procs, *transport, r, res.PerProc)
+		fmt.Println("result   = verified against Floyd–Warshall")
+		fmt.Printf("runtime  = %v (root wall clock; %v including launch and drain)\n",
+			time.Duration(res.WallNS), time.Duration(res.CoordNS))
+		fmt.Printf("stats    = %+v\n", res.Total)
+		if *showTrace {
+			if tl, terr := res.TraceLog(); terr == nil && tl != nil {
+				fmt.Print(tl.Render(*width))
+				fmt.Print(tl.Summary())
+			}
 		}
 		return
 	}

@@ -28,11 +28,14 @@ import (
 	"fmt"
 	"os"
 
+	"parhask/internal/cluster"
 	"parhask/internal/experiments"
 	"parhask/internal/faults"
 )
 
 func main() {
+	// The cluster sweep re-executes this binary as its worker processes.
+	cluster.MaybeWorker()
 	fig := flag.Int("fig", 0, "figure to regenerate (1-5); 0 = all")
 	quick := flag.Bool("quick", false, "use scaled-down parameters")
 	sumN := flag.Int("sumeuler", 0, "override sumEuler bound (paper: 15000)")
@@ -49,6 +52,8 @@ func main() {
 	faultOverhead := flag.Bool("faultoverhead", false, "also measure the disabled-vs-armed fault-plane overhead (implies -native)")
 	serveBench := flag.Bool("serve", false, "also run the resident-service benchmark: sustained concurrent load + chaos under traffic (implies -native)")
 	autotuneSweep := flag.Bool("autotune", false, "also run the self-tuning sweep: hand-tuned vs online-controller rows with the decision trace (implies -native)")
+	clusterSweep := flag.Bool("cluster", false, "also run the multi-process Eden cluster sweep over a real socket transport (implies -native)")
+	transport := flag.String("transport", "tcp", "cluster sweep transport: tcp | unix")
 	chaosIters := flag.Int("chaos", 0, "run an N-iteration seeded chaos soak over both native backends instead of the figures (writes results/CHAOS.html + .json; exits non-zero on violations)")
 	chaosSeed := flag.Uint64("chaosseed", 42, "chaos soak master seed")
 	faultSpec := flag.String("faults", "", "replay one fault-injected run from a spec (internal/faults grammar) instead of the figures")
@@ -114,6 +119,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchall: -chaos must be non-negative")
 		os.Exit(2)
 	}
+	// Fail fast on the cluster flags: the sweep spawns real processes,
+	// so a bad transport must die before any figure runs.
+	if *clusterSweep {
+		if err := cluster.CheckFlags("eden", 1, *transport); err != nil {
+			fmt.Fprintln(os.Stderr, "benchall:", err)
+			os.Exit(2)
+		}
+	}
 
 	// Chaos modes run standalone (no figures): a single replay, a full
 	// soak, or both. The soak's exit code is its verdict, so CI can use
@@ -178,7 +191,7 @@ func main() {
 	if *latency {
 		fmt.Println(experiments.RunLatencyStudy(p).String())
 	}
-	if *nativeSweep || *edenNative || *faultOverhead || *serveBench || *autotuneSweep || len(gogcSettings) > 0 {
+	if *nativeSweep || *edenNative || *faultOverhead || *serveBench || *autotuneSweep || *clusterSweep || len(gogcSettings) > 0 {
 		s := experiments.RunNativeSweep(p)
 		s.HotPath = experiments.MeasureSparkHotPath()
 		if len(gogcSettings) > 0 {
@@ -186,6 +199,9 @@ func main() {
 		}
 		if *edenNative {
 			s.EdenNative = experiments.RunEdenNativeSweep(p)
+		}
+		if *clusterSweep {
+			s.Cluster = experiments.RunClusterSweep(p, *transport)
 		}
 		if *faultOverhead {
 			s.FaultOverhead = experiments.MeasureFaultOverhead()

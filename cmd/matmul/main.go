@@ -5,6 +5,7 @@
 //	matmul -n 396 -cores 8 -rts eden -q 4 -pes 17    # Fig. 4 e)
 //	matmul -n 1008 -block 72 -rts plain -trace       # paper-size
 //	matmul -n 396 -runtime native -workers 8         # real goroutines
+//	matmul -runtime eden -cluster 4 -q 2 -pes 2      # multi-process torus
 //
 // The GpH versions spark result blocks; the Eden version runs Cannon's
 // algorithm on a q×q torus. Results are verified against a sequential
@@ -20,7 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"parhask/internal/cluster"
 	"parhask/internal/eden"
 	"parhask/internal/faults"
 	"parhask/internal/gph"
@@ -32,6 +35,7 @@ import (
 )
 
 func main() {
+	cluster.MaybeWorker()
 	n := flag.Int("n", 396, "matrix dimension")
 	block := flag.Int("block", 33, "GpH block size (spark granularity)")
 	q := flag.Int("q", 3, "Eden torus dimension (q x q processes)")
@@ -47,8 +51,14 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "native deadlock-watchdog deadline, e.g. 10s (0 = disabled)")
 	autotune := flag.Bool("autotune", false, "native runtime: run the online controller (dynamic block size, adaptive backoff, GOGC, parking); -block is ignored")
 	backoffSpec := flag.String("backoff", "", "native runtime: idle backoff policy, e.g. \"spin=64,min=10us,max=1280us,park=8\" (empty = default)")
+	clusterN := flag.Int("cluster", 0, "run -runtime eden as N separate worker OS processes, -pes PEs each (0 = single process)")
+	transport := flag.String("transport", "tcp", "cluster transport: tcp | unix")
 	flag.Parse()
 
+	if err := cluster.CheckFlags(*rtKind, *clusterN, *transport); err != nil {
+		fmt.Fprintln(os.Stderr, "matmul:", err)
+		os.Exit(2)
+	}
 	inj, ferr := faults.CLIInjector(*faultSpec, *deadline, *rtKind)
 	if ferr != nil {
 		fmt.Fprintln(os.Stderr, "matmul:", ferr)
@@ -137,6 +147,52 @@ func main() {
 			tl := res.Trace()
 			fmt.Print(tl.Render(*width))
 			fmt.Print(tl.Summary())
+		}
+		return
+	}
+	if *clusterN > 0 {
+		perProc := *pes
+		if perProc <= 0 {
+			perProc = 2
+		}
+		ccfg := cluster.Config{
+			Procs: *clusterN, PerProc: perProc, Transport: *transport,
+			Spec:   fmt.Sprintf("matmul?n=%d&q=%d&seed=103", *n, *q),
+			Faults: *faultSpec, EventLog: *showTrace, Deadline: *deadline,
+		}
+		res, err := cluster.Run(ccfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "matmul:", err)
+			os.Exit(1)
+		}
+		_, cOracle, berr := cluster.BuildProgram(ccfg.Spec)
+		if berr == nil {
+			berr = cOracle(res.Value)
+		}
+		if berr != nil {
+			fmt.Fprintln(os.Stderr, "matmul:", berr)
+			os.Exit(1)
+		}
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res, "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "matmul:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Printf("matmul %dx%d on a %d-process Eden cluster (%s), Cannon %dx%d torus, %d PEs per process\n",
+			*n, *n, res.Procs, *transport, *q, *q, res.PerProc)
+		fmt.Println("result   = verified against sequential oracle")
+		fmt.Printf("runtime  = %v (root wall clock; %v including launch and drain)\n",
+			time.Duration(res.WallNS), time.Duration(res.CoordNS))
+		fmt.Printf("stats    = %+v\n", res.Total)
+		if *showTrace {
+			if tl, terr := res.TraceLog(); terr == nil && tl != nil {
+				fmt.Print(tl.Render(*width))
+				fmt.Print(tl.Summary())
+			}
 		}
 		return
 	}

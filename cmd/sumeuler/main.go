@@ -10,6 +10,7 @@
 //	sumeuler -n 15000 -runtime eden -pes 8         # distributed-heap PEs
 //	sumeuler -n 15000 -runtime eden -pes 17 -trace # virtual PEs, per-PE timeline
 //	sumeuler -runtime eden -faults "seed=7,drop=0.4" -deadline 10s  # chaos replay
+//	sumeuler -runtime eden -cluster 3 -pes 2 -transport tcp  # 3 worker processes
 //
 // -faults injects a deterministic seeded fault plan (internal/faults
 // grammar) into the native runtimes, and -deadline arms their deadlock
@@ -25,7 +26,12 @@
 // counter report on stdout. With -runtime eden the Eden program runs on
 // the native distributed-heap backend (one isolated heap per PE, real
 // goroutines, copy-on-send channels); -pes may exceed GOMAXPROCS, and
-// the same -trace/-stats flags apply.
+// the same -trace/-stats flags apply. Adding -cluster N runs that same
+// Eden program as N separate worker OS processes (-pes PEs each) over
+// a real -transport tcp|unix wire: every cross-process message is
+// wire-codec bytes whose count equals the charged eden.SizeOfChecked
+// size, and a worker killed mid-run surfaces as a structured
+// process-death error instead of a hang.
 package main
 
 import (
@@ -33,7 +39,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"parhask/internal/cluster"
 	"parhask/internal/eden"
 	"parhask/internal/faults"
 	"parhask/internal/gph"
@@ -46,6 +54,7 @@ import (
 )
 
 func main() {
+	cluster.MaybeWorker()
 	n := flag.Int("n", 15000, "sum φ(k) for k in [1..n]")
 	cores := flag.Int("cores", 8, "simulated physical cores")
 	rts := flag.String("rts", "steal", "runtime: plain | bigalloc | sync | steal | localheaps | gum | eden")
@@ -62,8 +71,14 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "native deadlock-watchdog deadline, e.g. 10s (0 = disabled)")
 	autotune := flag.Bool("autotune", false, "native runtime: run the online controller (dynamic chunking, adaptive backoff, GOGC, parking); -chunks is ignored")
 	backoffSpec := flag.String("backoff", "", "native runtime: idle backoff policy, e.g. \"spin=64,min=10us,max=1280us,park=8\" (empty = default)")
+	clusterN := flag.Int("cluster", 0, "run -runtime eden as N separate worker OS processes, -pes PEs each (0 = single process)")
+	transport := flag.String("transport", "tcp", "cluster transport: tcp | unix")
 	flag.Parse()
 
+	if err := cluster.CheckFlags(*rtKind, *clusterN, *transport); err != nil {
+		fmt.Fprintln(os.Stderr, "sumeuler:", err)
+		os.Exit(2)
+	}
 	inj, ferr := faults.CLIInjector(*faultSpec, *deadline, *rtKind)
 	if ferr != nil {
 		fmt.Fprintln(os.Stderr, "sumeuler:", ferr)
@@ -147,6 +162,48 @@ func main() {
 			tl := res.Trace()
 			fmt.Print(tl.Render(*width))
 			fmt.Print(tl.Summary())
+		}
+		return
+	}
+	if *clusterN > 0 {
+		perProc := *pes
+		if perProc <= 0 {
+			perProc = 2
+		}
+		ccfg := cluster.Config{
+			Procs: *clusterN, PerProc: perProc, Transport: *transport,
+			Spec:   fmt.Sprintf("sumeuler?n=%d&chunks=8", *n),
+			Faults: *faultSpec, EventLog: *showTrace, Deadline: *deadline,
+		}
+		res, err := cluster.Run(ccfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sumeuler:", err)
+			os.Exit(1)
+		}
+		if want := euler.SumTotientSieve(*n); res.Value.(int64) != want {
+			fmt.Fprintf(os.Stderr, "sumeuler: cluster result %v != sieve oracle %d\n", res.Value, want)
+			os.Exit(1)
+		}
+		if *statsFmt == "json" {
+			out, jerr := json.MarshalIndent(res, "", "  ")
+			if jerr != nil {
+				fmt.Fprintln(os.Stderr, "sumeuler:", jerr)
+				os.Exit(1)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		fmt.Printf("sumEuler [1..%d] on a %d-process Eden cluster (%s), %d PEs per process\n",
+			*n, res.Procs, *transport, res.PerProc)
+		fmt.Printf("result   = %v (verified against sieve oracle)\n", res.Value)
+		fmt.Printf("runtime  = %v (root wall clock; %v including launch and drain)\n",
+			time.Duration(res.WallNS), time.Duration(res.CoordNS))
+		fmt.Printf("stats    = %+v\n", res.Total)
+		if *showTrace {
+			if tl, terr := res.TraceLog(); terr == nil && tl != nil {
+				fmt.Print(tl.Render(*width))
+				fmt.Print(tl.Summary())
+			}
 		}
 		return
 	}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"fmt"
+
+	"parhask/internal/trace"
+)
+
+// CheckFlags is the shared fail-fast validation of the -cluster and
+// -transport CLI flags. procs == 0 means cluster mode is off (the
+// default) and nothing else is checked; otherwise the run must be on
+// the native Eden runtime (the simulated runtimes have no processes to
+// distribute, and the work-stealing native runtime has one shared
+// heap), the process count must be positive, and the transport must be
+// one Run knows. Returning an error before anything launches is the
+// point: a bad flag must not cost a cluster spin-up.
+func CheckFlags(rtKind string, procs int, transport string) error {
+	if procs == 0 {
+		return nil
+	}
+	if procs < 0 {
+		return fmt.Errorf("-cluster %d: the worker-process count must be at least 1", procs)
+	}
+	if rtKind != "eden" {
+		return fmt.Errorf("-cluster requires -runtime eden (got -runtime %s)", rtKind)
+	}
+	if transport != "tcp" && transport != "unix" {
+		return fmt.Errorf("-transport %s: unknown transport (want tcp or unix)", transport)
+	}
+	return nil
+}
+
+// TraceLog converts the merged cluster timeline back into a renderable
+// wall-clock trace, one lane per global PE. Nil if the run did not
+// record events.
+func (r *Result) TraceLog() (*trace.Log, error) {
+	if r.Timeline == nil {
+		return nil, nil
+	}
+	lg, err := r.Timeline.Log()
+	if err != nil {
+		return nil, err
+	}
+	return lg.TraceAgents(r.Timeline.Agents), nil
+}

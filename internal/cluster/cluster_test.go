@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"parhask/internal/faults"
+)
+
+// TestMain makes the test binary cluster-capable: when the coordinator
+// under test re-executes it with the worker environment set,
+// MaybeWorker runs the worker and exits instead of running the tests
+// again.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+func runOK(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	if cfg.Deadline == 0 {
+		cfg.Deadline = 60 * time.Second
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run(%+v): %v", cfg, err)
+	}
+	_, oracle, err := BuildProgram(cfg.Spec)
+	if err != nil {
+		t.Fatalf("BuildProgram(%q): %v", cfg.Spec, err)
+	}
+	if err := oracle(res.Value); err != nil {
+		t.Fatalf("cluster result fails the oracle: %v", err)
+	}
+	return res
+}
+
+func TestClusterSumEulerTCP(t *testing.T) {
+	res := runOK(t, Config{
+		Procs: 3, PerProc: 2, Transport: "tcp",
+		Spec: "sumeuler?n=1500&chunks=2", EventLog: true,
+	})
+	if res.Total.Messages == 0 || res.Total.BytesSent == 0 {
+		t.Fatalf("no cross-PE traffic counted: %+v", res.Total)
+	}
+	if len(res.PerPE) != 6 {
+		t.Fatalf("PerPE has %d slots, want 6", len(res.PerPE))
+	}
+	if res.Timeline == nil {
+		t.Fatal("EventLog requested but Timeline is nil")
+	}
+	if len(res.Timeline.Agents) != 6 {
+		t.Fatalf("timeline has agents %v, want 6 global PEs", res.Timeline.Agents)
+	}
+	for i, a := range res.Timeline.Agents {
+		if want := "pe" + string(rune('0'+i)); a != want {
+			t.Fatalf("timeline agent %d = %q, want %q", i, a, want)
+		}
+	}
+	if res.WallNS <= 0 {
+		t.Fatalf("rank 0 wall time %d", res.WallNS)
+	}
+}
+
+func TestClusterAPSPUnix(t *testing.T) {
+	res := runOK(t, Config{
+		Procs: 3, PerProc: 1, Transport: "unix",
+		Spec: "apsp?n=24&ring=3&seed=7",
+	})
+	// The ring sends row blocks around every process boundary; silence
+	// would mean the run never left one process.
+	if res.Total.Messages == 0 {
+		t.Fatal("APSP ring moved no messages between processes")
+	}
+}
+
+func TestClusterMatmulTCP(t *testing.T) {
+	runOK(t, Config{
+		Procs: 2, PerProc: 2, Transport: "tcp",
+		Spec: "matmul?n=16&q=2&seed=1",
+	})
+}
+
+func TestClusterKillRank(t *testing.T) {
+	// Rank 1 kills itself mid-run. The coordinator must come back with a
+	// structured ProcessDeathError naming the rank and its PEs — and
+	// come back promptly, not by deadline.
+	start := time.Now()
+	_, err := Run(Config{
+		Procs: 3, PerProc: 2, Transport: "tcp",
+		Spec:     "sumeuler?n=4000&chunks=4",
+		Faults:   "kill-rank=1:30ms",
+		Deadline: 60 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("killed worker, but Run returned no error")
+	}
+	var pd *faults.ProcessDeathError
+	if !errors.As(err, &pd) {
+		t.Fatalf("want *faults.ProcessDeathError, got %T: %v", err, err)
+	}
+	if pd.Rank != 1 {
+		t.Fatalf("death reported for rank %d, want 1", pd.Rank)
+	}
+	if len(pd.PEs) != 2 || pd.PEs[0] != 2 || pd.PEs[1] != 3 {
+		t.Fatalf("death reports PEs %v, want [2 3]", pd.PEs)
+	}
+	if !faults.IsStructured(err) {
+		t.Fatalf("process death not recognised as structured: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("took %v to notice a dead worker", elapsed)
+	}
+}
+
+func TestClusterSeverRank(t *testing.T) {
+	// Rank 2's link is cut while its process lives on. The coordinator
+	// sees the closed connection and reports the same fault class.
+	_, err := Run(Config{
+		Procs: 3, PerProc: 1, Transport: "unix",
+		Spec:     "sumeuler?n=4000&chunks=4",
+		Faults:   "sever-rank=2:30ms",
+		Deadline: 60 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("severed link, but Run returned no error")
+	}
+	var pd *faults.ProcessDeathError
+	if !errors.As(err, &pd) {
+		t.Fatalf("want *faults.ProcessDeathError, got %T: %v", err, err)
+	}
+	if pd.Rank != 2 {
+		t.Fatalf("death reported for rank %d, want 2", pd.Rank)
+	}
+	if !strings.HasPrefix(pd.Reason, "connection") {
+		t.Fatalf("severed link reported as %q, want a connection reason", pd.Reason)
+	}
+}
+
+func TestClusterSingleProcess(t *testing.T) {
+	// Procs=1 is a legal degenerate cluster: one worker process, no
+	// cross-process traffic, same protocol.
+	res := runOK(t, Config{
+		Procs: 1, PerProc: 4, Transport: "tcp",
+		Spec: "sumeuler?n=1000&chunks=2",
+	})
+	if len(res.PerPE) != 4 {
+		t.Fatalf("PerPE has %d slots, want 4", len(res.PerPE))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Procs: 0, PerProc: 1, Transport: "tcp", Spec: "sumeuler"},
+		{Procs: 2, PerProc: 0, Transport: "tcp", Spec: "sumeuler"},
+		{Procs: 2, PerProc: 1, Transport: "carrier-pigeon", Spec: "sumeuler"},
+		{Procs: 2, PerProc: 1, Transport: "tcp", Spec: "quicksort"},
+		{Procs: 2, PerProc: 1, Transport: "tcp", Spec: "sumeuler?n=2000;chunks=2"},
+		{Procs: 2, PerProc: 1, Transport: "tcp", Spec: "sumeuler", Faults: "kill-rank=1"},
+		// Bad workload geometry must be a Validate error, not a panic
+		// out of an eager program constructor.
+		{Procs: 2, PerProc: 1, Transport: "tcp", Spec: "matmul?n=16&q=3"},
+		{Procs: 2, PerProc: 1, Transport: "tcp", Spec: "matmul?n=16&q=0"},
+		{Procs: 2, PerProc: 1, Transport: "tcp", Spec: "apsp?n=16&ring=0"},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted a bad config", cfg)
+		}
+	}
+	good := Config{Procs: 2, PerProc: 2, Transport: "unix", Spec: "apsp?n=16&ring=2", Faults: "kill-rank=0:5ms"}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(%+v): %v", good, err)
+	}
+}
+
+func TestBuildProgramSpecs(t *testing.T) {
+	for _, spec := range []string{"sumeuler", "sumeuler?n=500&chunks=3", "apsp?n=12&ring=2&seed=3", "matmul?n=8&q=2"} {
+		prog, oracle, err := BuildProgram(spec)
+		if err != nil {
+			t.Fatalf("BuildProgram(%q): %v", spec, err)
+		}
+		if prog == nil || oracle == nil {
+			t.Fatalf("BuildProgram(%q) returned nil parts", spec)
+		}
+	}
+	if _, _, err := BuildProgram("unknown?x=1"); err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Fatalf("unknown workload error = %v", err)
+	}
+}

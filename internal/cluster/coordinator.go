@@ -1,0 +1,458 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"parhask/internal/eden/wire"
+	"parhask/internal/eventlog"
+	"parhask/internal/faults"
+	"parhask/internal/graph"
+	"parhask/internal/nativeeden"
+)
+
+// Config describes one cluster run the coordinator drives.
+type Config struct {
+	// Procs is the number of worker processes; PerProc the PEs each
+	// hosts, so the program sees Procs*PerProc PEs.
+	Procs   int
+	PerProc int
+	// Transport selects the wire: "tcp" (loopback) or "unix".
+	Transport string
+	// Spec names the workload (see BuildProgram).
+	Spec string
+	// Faults is an optional faults.Parse spec shipped to every worker;
+	// its kill-rank/sever-rank clauses are the cluster-level fault
+	// classes (the targeted worker applies them to itself).
+	Faults string
+	// EventLog makes every worker record per-PE timelines; the folded
+	// Dump lands in Result.Timeline.
+	EventLog bool
+	// Deadline bounds the whole run. The coordinator owns deadlock
+	// detection — a worker blocked on remote messages cannot tell a slow
+	// peer from a dead cluster — so expiry kills the workers and fails
+	// with a structured *faults.DeadlockError. Zero means a minute.
+	Deadline time.Duration
+	// Stderr receives the workers' stderr (defaults to os.Stderr).
+	Stderr io.Writer
+}
+
+// Validate is the fail-fast check the CLIs run on flag parse: it
+// rejects a nonsensical topology, an unknown transport, a workload
+// spec that does not build, and an unparseable fault plan — before any
+// process is launched.
+func (cfg *Config) Validate() error {
+	if cfg.Procs < 1 {
+		return fmt.Errorf("cluster: need at least 1 process, have %d", cfg.Procs)
+	}
+	if cfg.PerProc < 1 {
+		return fmt.Errorf("cluster: need at least 1 PE per process, have %d", cfg.PerProc)
+	}
+	if cfg.Transport != "tcp" && cfg.Transport != "unix" {
+		return fmt.Errorf("cluster: unknown transport %q (want tcp or unix)", cfg.Transport)
+	}
+	if _, _, err := BuildProgram(cfg.Spec); err != nil {
+		return err
+	}
+	if _, err := faults.Parse(cfg.Faults); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Result is the folded outcome of a cluster run.
+type Result struct {
+	// Value is the root process's result, decoded from rank 0's wire
+	// bytes.
+	Value graph.Value
+	// WallNS is rank 0's run wall time (the root's own measurement);
+	// CoordNS the coordinator's, including launch and drain.
+	WallNS  int64
+	CoordNS int64
+	Procs   int
+	PerProc int
+	// Total and PerPE fold every rank's counters; PerPE is indexed by
+	// global PE.
+	Total nativeeden.Stats
+	PerPE []nativeeden.PEStats
+	GC    nativeeden.GCStats
+	// Reports are the per-rank summaries as the workers sent them.
+	Reports []nativeeden.Report
+	// Timeline is the merged per-PE event dump (nil unless EventLog).
+	Timeline *eventlog.Dump
+}
+
+// pesOf lists the global PEs rank owns — the unreachable set a
+// ProcessDeathError reports.
+func pesOf(rank, perProc int) []int {
+	pes := make([]int, perProc)
+	for i := range pes {
+		pes[i] = rank*perProc + i
+	}
+	return pes
+}
+
+// event is one occurrence the per-connection readers and process
+// waiters feed the coordinator's state machine.
+type event struct {
+	rank int
+	kind byte // frame kind, 0 for connection/process events
+	body []byte
+	err  error // connection failure (kind 0)
+	exit bool  // process exit (err is its wait status)
+}
+
+// Run executes one cluster run: launch Procs workers re-executing this
+// binary, route their traffic, collect rank 0's result, drain, fold.
+// A worker that dies or loses its link before reporting fails the run
+// with a *faults.ProcessDeathError; deadline expiry with a
+// *faults.DeadlockError. The partial Result (whatever reports arrived)
+// is returned alongside either error.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	deadline := cfg.Deadline
+	if deadline <= 0 {
+		deadline = time.Minute
+	}
+	stderr := cfg.Stderr
+	if stderr == nil {
+		stderr = os.Stderr
+	}
+
+	// Listen before launching so workers have something to dial.
+	var ln net.Listener
+	var addr string
+	switch cfg.Transport {
+	case "tcp":
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: listen: %w", err)
+		}
+		addr = ln.Addr().String()
+	case "unix":
+		dir, err := os.MkdirTemp("", "parhask-cluster-")
+		if err != nil {
+			return nil, fmt.Errorf("cluster: socket dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		addr = filepath.Join(dir, "coord.sock")
+		ln, err = net.Listen("unix", addr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: listen: %w", err)
+		}
+	}
+	defer ln.Close()
+
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: resolving own binary: %w", err)
+	}
+	cmds := make([]*exec.Cmd, cfg.Procs)
+	for rank := range cmds {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("%s=%d", envRank, rank),
+			fmt.Sprintf("%s=%d", envProcs, cfg.Procs),
+			fmt.Sprintf("%s=%d", envPerProc, cfg.PerProc),
+			fmt.Sprintf("%s=%s", envAddr, addr),
+			fmt.Sprintf("%s=%s", envTransport, cfg.Transport),
+			fmt.Sprintf("%s=%s", envSpec, cfg.Spec),
+			fmt.Sprintf("%s=%s", envFaults, cfg.Faults),
+			fmt.Sprintf("%s=%s", envEventLog, boolEnv(cfg.EventLog)),
+		)
+		cmd.Stdout = stderr
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			killAll(cmds)
+			return nil, fmt.Errorf("cluster: launching rank %d: %w", rank, err)
+		}
+		cmds[rank] = cmd
+	}
+	defer killAll(cmds)
+
+	conns, err := acceptWorkers(ln, cfg.Procs, deadline)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+
+	// GO must reach every worker before any reader starts routing: the
+	// first worker released sends data immediately, and a routed data
+	// frame must not overtake another worker's GO on its connection.
+	// Until the readers run, early frames just wait in socket buffers.
+	start := time.Now()
+	for _, c := range conns {
+		if err := c.write(frameGo, nil); err != nil {
+			return nil, fmt.Errorf("cluster: starting workers: %w", err)
+		}
+	}
+
+	evCh := make(chan event, cfg.Procs*4)
+	for rank, c := range conns {
+		go readWorker(rank, c, conns, cfg.PerProc, evCh)
+	}
+	for rank, cmd := range cmds {
+		go func(rank int, cmd *exec.Cmd) {
+			evCh <- event{rank: rank, exit: true, err: cmd.Wait()}
+		}(rank, cmd)
+	}
+
+	// The state machine: wait for rank 0's result, drain, collect every
+	// rank's report. Any death or error before a rank has reported fails
+	// the run; the deadline backstops a wedged cluster.
+	res := &Result{Procs: cfg.Procs, PerProc: cfg.PerProc}
+	reports := make([]*workerReport, cfg.Procs)
+	// A rank is dead only once its READER has ended without a report: a
+	// cleanly-exited worker's report may still be in flight (socket
+	// buffer, reader goroutine) when cmd.Wait fires, so a bare exit
+	// event must wait for the reader — which always ends promptly after
+	// the process dies, because death closes the socket.
+	readerEnded := make([]bool, cfg.Procs)
+	exitSeen := make([]bool, cfg.Procs)
+	exitErrs := make([]error, cfg.Procs)
+	nReports := 0
+	exited := 0
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	var runErr error
+
+	died := func(rank int, reason string, err error) *faults.ProcessDeathError {
+		return &faults.ProcessDeathError{
+			Rank: rank, PEs: pesOf(rank, cfg.PerProc), Reason: reason, Err: err,
+		}
+	}
+
+loop:
+	for nReports < cfg.Procs {
+		select {
+		case <-timer.C:
+			runErr = &faults.DeadlockError{Backend: "cluster", Reason: "deadline", Elapsed: time.Since(start)}
+			break loop
+		case ev := <-evCh:
+			switch {
+			case ev.exit:
+				exited++
+				exitSeen[ev.rank] = true
+				exitErrs[ev.rank] = ev.err
+				if readerEnded[ev.rank] && reports[ev.rank] == nil {
+					runErr = died(ev.rank, "exit", ev.err)
+					break loop
+				}
+			case ev.kind == 0 || ev.kind == frameBye: // reader finished
+				readerEnded[ev.rank] = true
+				if reports[ev.rank] == nil {
+					switch {
+					case exitSeen[ev.rank]:
+						runErr = died(ev.rank, "exit", exitErrs[ev.rank])
+					case ev.err != nil && ev.err != io.EOF:
+						runErr = died(ev.rank, "connection error", ev.err)
+					default:
+						runErr = died(ev.rank, "connection closed", ev.err)
+					}
+					break loop
+				}
+			case ev.kind == frameResult:
+				v, derr := wire.Decode(ev.body)
+				if derr != nil {
+					runErr = fmt.Errorf("cluster: decoding rank 0 result: %w", derr)
+					break loop
+				}
+				res.Value = v
+				// The result is in: drain the other ranks so they unwind
+				// and report. Write failures mean the rank is already
+				// dying; its reader or waiter will say so.
+				for rank := 1; rank < cfg.Procs; rank++ {
+					_ = conns[rank].write(frameDrain, nil)
+				}
+			case ev.kind == frameError:
+				runErr = fmt.Errorf("cluster: rank %d failed: %s", ev.rank, ev.body)
+				break loop
+			case ev.kind == frameReport:
+				var rep workerReport
+				if derr := json.Unmarshal(ev.body, &rep); derr != nil {
+					runErr = fmt.Errorf("cluster: rank %d report: %w", ev.rank, derr)
+					break loop
+				}
+				if reports[ev.rank] == nil {
+					reports[ev.rank] = &rep
+					nReports++
+				}
+			}
+		}
+	}
+	res.CoordNS = time.Since(start).Nanoseconds()
+	foldReports(res, reports)
+	if runErr != nil {
+		killAll(cmds)
+		return res, runErr
+	}
+
+	// Clean shutdown: give the drained workers a moment to exit, then
+	// sweep up anything left.
+	grace := time.NewTimer(10 * time.Second)
+	defer grace.Stop()
+	for exited < cfg.Procs {
+		select {
+		case ev := <-evCh:
+			if ev.exit {
+				exited++
+			}
+		case <-grace.C:
+			killAll(cmds)
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+func boolEnv(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+// killAll force-kills every still-running worker.
+func killAll(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
+}
+
+// acceptWorkers collects one HELLO-identified connection per rank.
+func acceptWorkers(ln net.Listener, procs int, deadline time.Duration) ([]*conn, error) {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := ln.(deadliner); ok {
+		_ = d.SetDeadline(time.Now().Add(deadline))
+	}
+	conns := make([]*conn, procs)
+	for i := 0; i < procs; i++ {
+		nc, err := ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: waiting for workers (%d/%d connected): %w", i, procs, err)
+		}
+		_ = nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+		c := newConn(nc)
+		kind, body, err := c.read()
+		if err != nil || kind != frameHello || len(body) != 4 {
+			nc.Close()
+			return nil, fmt.Errorf("cluster: bad hello (kind %d): %v", kind, err)
+		}
+		_ = nc.SetReadDeadline(time.Time{})
+		rank := int(binary.LittleEndian.Uint32(body))
+		if rank < 0 || rank >= procs || conns[rank] != nil {
+			nc.Close()
+			return nil, fmt.Errorf("cluster: hello from invalid or duplicate rank %d", rank)
+		}
+		conns[rank] = c
+	}
+	return conns, nil
+}
+
+// readWorker pumps one worker's connection: data frames are routed to
+// the destination PE's owner, control frames go to the state machine,
+// and a broken connection is reported as such.
+func readWorker(rank int, c *conn, conns []*conn, perProc int, evCh chan<- event) {
+	for {
+		kind, body, err := c.read()
+		if err != nil {
+			evCh <- event{rank: rank, err: err}
+			return
+		}
+		switch kind {
+		case frameData:
+			_, _, _, dst, _, derr := decodeData(body)
+			if derr != nil {
+				evCh <- event{rank: rank, err: derr}
+				return
+			}
+			owner := 0
+			if perProc > 0 {
+				owner = dst / perProc
+			}
+			if owner >= 0 && owner < len(conns) && conns[owner] != nil {
+				// A write failure means the destination is dying; its own
+				// reader or process waiter reports the death, so the frame
+				// is simply lost — exactly a severed link.
+				_ = conns[owner].write(frameData, body)
+			}
+		case frameBye:
+			evCh <- event{rank: rank, kind: kind}
+			return
+		default:
+			evCh <- event{rank: rank, kind: kind, body: body}
+		}
+	}
+}
+
+// foldReports merges the per-rank reports into the global view: each
+// rank owns its PE slots, totals sum, timelines concatenate in global
+// PE order.
+func foldReports(res *Result, reports []*workerReport) {
+	res.PerPE = make([]nativeeden.PEStats, res.Procs*res.PerProc)
+	res.Reports = make([]nativeeden.Report, res.Procs)
+	var dumps []*eventlog.Dump
+	for rank, rep := range reports {
+		if rep == nil {
+			continue
+		}
+		res.Reports[rank] = rep.Report
+		for i := 0; i < res.PerProc; i++ {
+			g := rank*res.PerProc + i
+			if g < len(rep.Report.PerPE) {
+				res.PerPE[g] = rep.Report.PerPE[g]
+			}
+		}
+		res.Total.Messages += rep.Report.Total.Messages
+		res.Total.BytesSent += rep.Report.Total.BytesSent
+		res.Total.Processes += rep.Report.Total.Processes
+		res.Total.ThreadsCreated += rep.Report.Total.ThreadsCreated
+		res.GC.Cycles += rep.Report.GC.Cycles
+		res.GC.PauseNS += rep.Report.GC.PauseNS
+		res.GC.BytesAlloc += rep.Report.GC.BytesAlloc
+		res.GC.Shared = res.GC.Shared || rep.Report.GC.Shared
+		if rank == 0 {
+			res.WallNS = rep.Report.WallNS
+		}
+		if rep.Dump != nil {
+			dumps = append(dumps, rep.Dump)
+		}
+	}
+	res.Timeline = mergeDumps(dumps)
+}
+
+// mergeDumps concatenates per-rank timeline dumps (already in rank
+// order, agents named by global PE) into one cluster-wide dump.
+func mergeDumps(dumps []*eventlog.Dump) *eventlog.Dump {
+	if len(dumps) == 0 {
+		return nil
+	}
+	out := &eventlog.Dump{Backend: "cluster"}
+	for _, d := range dumps {
+		out.Agents = append(out.Agents, d.Agents...)
+		out.Events = append(out.Events, d.Events...)
+		out.Dropped += d.Dropped
+		if d.WallNS > out.WallNS {
+			out.WallNS = d.WallNS
+		}
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+// Package cluster runs the native Eden runtime as a real multi-process
+// cluster: a coordinator process launches one worker process per rank
+// (re-executing its own binary with a worker environment), the workers
+// run the SPMD program over nativeeden's cluster mode, and every
+// cross-process Eden message travels as wire-codec bytes through a
+// star topology — each worker holds one TCP or Unix-socket connection
+// to the coordinator, which routes data frames by destination PE. The
+// paper's PVM daemons motivated the same shape: one well-known relay
+// beats N² mutual connections for small clusters, and it gives the
+// coordinator the vantage point to fold statistics, merge per-PE
+// timelines, and turn a dead worker or severed link into a structured
+// *faults.ProcessDeathError instead of a hang.
+package cluster
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"parhask/internal/nativeeden"
+)
+
+// Frame kinds. Every frame on a cluster connection is
+// [u32 length][u8 kind][body], length covering kind+body.
+const (
+	// frameHello (worker -> coordinator): body = u32 rank. First frame
+	// on every connection, binding it to a rank.
+	frameHello byte = 1 + iota
+	// frameGo (coordinator -> worker): empty body; start the run.
+	frameGo
+	// frameData (both directions): one Eden message. Body layout is
+	// [u8 MsgKind][i64 chan][i32 src][i32 dst][payload]; the payload is
+	// the wire-codec encoding whose length equals eden.SizeOfChecked.
+	frameData
+	// frameResult (rank 0 -> coordinator): body = wire-encoded root value.
+	frameResult
+	// frameError (worker -> coordinator): body = error text; the run
+	// failed on that worker.
+	frameError
+	// frameDrain (coordinator -> worker): empty body; the root's result
+	// is in, unwind and report.
+	frameDrain
+	// frameReport (worker -> coordinator): body = JSON workerReport
+	// (stats, eventlog dump).
+	frameReport
+	// frameBye (worker -> coordinator): empty body; clean goodbye.
+	frameBye
+)
+
+// maxFrame bounds a frame body; a length beyond it means a corrupt or
+// hostile stream, not a big message.
+const maxFrame = 1 << 30
+
+// conn is one framed cluster connection: buffered reads on the caller's
+// goroutine, mutex-serialised writes from any goroutine.
+type conn struct {
+	rw io.ReadWriteCloser
+	br *bufio.Reader
+	wm sync.Mutex
+}
+
+func newConn(rw io.ReadWriteCloser) *conn {
+	return &conn{rw: rw, br: bufio.NewReaderSize(rw, 1<<16)}
+}
+
+func (c *conn) Close() error { return c.rw.Close() }
+
+// write sends one frame; safe for concurrent use.
+func (c *conn) write(kind byte, body []byte) error {
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(body)))
+	hdr[4] = kind
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(body) > 0 {
+		if _, err := c.rw.Write(body); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// read returns the next frame. Only the owning reader goroutine calls
+// it.
+func (c *conn) read() (byte, []byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(c.br, lenb[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n < 1 || n > maxFrame {
+		return 0, nil, fmt.Errorf("cluster: frame length %d outside (0,%d]", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(c.br, buf); err != nil {
+		return 0, nil, err
+	}
+	return buf[0], buf[1:], nil
+}
+
+// dataHeaderLen is the fixed prefix of a frameData body.
+const dataHeaderLen = 1 + 8 + 4 + 4
+
+// encodeData builds a frameData body around payload.
+func encodeData(kind nativeeden.MsgKind, chanID int64, src, dst int, payload []byte) []byte {
+	b := make([]byte, dataHeaderLen+len(payload))
+	b[0] = byte(kind)
+	binary.LittleEndian.PutUint64(b[1:9], uint64(chanID))
+	binary.LittleEndian.PutUint32(b[9:13], uint32(src))
+	binary.LittleEndian.PutUint32(b[13:17], uint32(dst))
+	copy(b[dataHeaderLen:], payload)
+	return b
+}
+
+// decodeData splits a frameData body. The payload aliases b.
+func decodeData(b []byte) (kind nativeeden.MsgKind, chanID int64, src, dst int, payload []byte, err error) {
+	if len(b) < dataHeaderLen {
+		return 0, 0, 0, 0, nil, fmt.Errorf("cluster: data frame %d bytes, need at least %d", len(b), dataHeaderLen)
+	}
+	kind = nativeeden.MsgKind(b[0])
+	chanID = int64(binary.LittleEndian.Uint64(b[1:9]))
+	src = int(int32(binary.LittleEndian.Uint32(b[9:13])))
+	dst = int(int32(binary.LittleEndian.Uint32(b[13:17])))
+	return kind, chanID, src, dst, b[dataHeaderLen:], nil
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strconv"
+	"time"
+
+	"parhask/internal/eden/wire"
+	"parhask/internal/eventlog"
+	"parhask/internal/faults"
+	"parhask/internal/nativeeden"
+)
+
+// Worker environment. The coordinator re-executes its own binary with
+// these set; MaybeWorker turns that invocation into a cluster worker
+// before the binary's normal main runs.
+const (
+	envRank      = "PARHASK_CLUSTER_RANK"
+	envProcs     = "PARHASK_CLUSTER_PROCS"
+	envPerProc   = "PARHASK_CLUSTER_PERPROC"
+	envAddr      = "PARHASK_CLUSTER_ADDR"
+	envTransport = "PARHASK_CLUSTER_TRANSPORT"
+	envSpec      = "PARHASK_CLUSTER_SPEC"
+	envFaults    = "PARHASK_CLUSTER_FAULTS"
+	envEventLog  = "PARHASK_CLUSTER_EVENTLOG"
+)
+
+// killExitCode is the status a kill-rank fault exits with — distinct
+// from both success and ordinary failure so tests can tell an injected
+// death from a crash.
+const killExitCode = 3
+
+// MaybeWorker must be the first call in main() of every binary that
+// can coordinate a cluster: if the process was launched as a cluster
+// worker (PARHASK_CLUSTER_RANK is set) it runs the worker to
+// completion and exits, never returning; otherwise it is a no-op.
+func MaybeWorker() {
+	if os.Getenv(envRank) == "" {
+		return
+	}
+	if err := workerMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "cluster worker: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// workerReport is what each worker hands back over the control
+// connection after its run: its rank's statistics and, when event
+// logging is on, its PEs' timeline dump (agents named by global PE).
+type workerReport struct {
+	Rank    int               `json:"rank"`
+	Report  nativeeden.Report `json:"report"`
+	Dump    *eventlog.Dump    `json:"dump,omitempty"`
+	Err     string            `json:"err,omitempty"`
+	Drained bool              `json:"drained,omitempty"`
+}
+
+// starTransport ships a cluster data message as one frame to the
+// coordinator, which routes it to the destination PE's owner.
+type starTransport struct{ c *conn }
+
+func (t *starTransport) SendRemote(kind nativeeden.MsgKind, chanID int64, src, dst int, payload []byte) error {
+	return t.c.write(frameData, encodeData(kind, chanID, src, dst, payload))
+}
+
+func envInt(key string) (int, error) {
+	v, err := strconv.Atoi(os.Getenv(key))
+	if err != nil {
+		return 0, fmt.Errorf("cluster: bad %s=%q: %w", key, os.Getenv(key), err)
+	}
+	return v, nil
+}
+
+func workerMain() error {
+	rank, err := envInt(envRank)
+	if err != nil {
+		return err
+	}
+	procs, err := envInt(envProcs)
+	if err != nil {
+		return err
+	}
+	perProc, err := envInt(envPerProc)
+	if err != nil {
+		return err
+	}
+	network := os.Getenv(envTransport)
+	if network != "tcp" && network != "unix" {
+		return fmt.Errorf("cluster: bad %s=%q (want tcp or unix)", envTransport, network)
+	}
+	prog, _, err := BuildProgram(os.Getenv(envSpec))
+	if err != nil {
+		return err
+	}
+	plan, err := faults.Parse(os.Getenv(envFaults))
+	if err != nil {
+		return err
+	}
+
+	nc, err := net.Dial(network, os.Getenv(envAddr))
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d dial %s: %w", rank, os.Getenv(envAddr), err)
+	}
+	c := newConn(nc)
+	defer c.Close()
+
+	var rankb [4]byte
+	binary.LittleEndian.PutUint32(rankb[:], uint32(rank))
+	if err := c.write(frameHello, rankb[:]); err != nil {
+		return fmt.Errorf("cluster: rank %d hello: %w", rank, err)
+	}
+	kind, _, err := c.read()
+	if err != nil || kind != frameGo {
+		return fmt.Errorf("cluster: rank %d waiting for go: kind %d, %v", rank, kind, err)
+	}
+
+	// Self-applied cluster faults: a kill-rank clause makes this process
+	// die abruptly mid-run (SIGKILL-equivalent from the cluster's view);
+	// a sever-rank clause cuts its link while the process lives on. Both
+	// must surface at the coordinator as *faults.ProcessDeathError.
+	if plan != nil {
+		if d, ok := plan.KillRank[rank]; ok {
+			time.AfterFunc(d, func() { os.Exit(killExitCode) })
+		}
+		if d, ok := plan.SeverRank[rank]; ok {
+			time.AfterFunc(d, func() { nc.Close() })
+		}
+	}
+
+	cfg := nativeeden.Config{
+		EventLog: os.Getenv(envEventLog) == "1",
+		Cluster: &nativeeden.ClusterSpec{
+			Rank: rank, Procs: procs, PerProc: perProc,
+			Transport: &starTransport{c: c},
+		},
+	}
+	if plan != nil {
+		cfg.Faults = faults.NewInjector(plan)
+	}
+	rts, err := nativeeden.NewRTS(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The reader drains the control connection for the whole run:
+	// data frames deliver into the local PEs, drain unwinds the run,
+	// and a lost coordinator aborts it.
+	go func() {
+		for {
+			kind, body, err := c.read()
+			if err != nil {
+				rts.Fail(fmt.Errorf("cluster: rank %d lost coordinator: %w", rank, err))
+				return
+			}
+			switch kind {
+			case frameData:
+				mk, chanID, src, dst, payload, derr := decodeData(body)
+				if derr == nil {
+					derr = rts.Deliver(mk, chanID, src, dst, payload)
+				}
+				if derr != nil {
+					rts.Fail(derr)
+				}
+			case frameDrain:
+				rts.Drain()
+			case frameBye:
+				return
+			}
+		}
+	}()
+
+	res, runErr := rts.RunMain(prog)
+	drained := errors.Is(runErr, nativeeden.ErrDrained)
+
+	rep := workerReport{Rank: rank, Drained: drained}
+	if res != nil {
+		rep.Report = res.Report()
+		if res.Events != nil {
+			agents := make([]string, perProc)
+			for i := range agents {
+				agents[i] = fmt.Sprintf("pe%d", rank*perProc+i)
+			}
+			rep.Dump = res.Events.Dump(agents)
+		}
+	}
+	if runErr != nil && !drained {
+		rep.Err = runErr.Error()
+		if werr := c.write(frameError, []byte(runErr.Error())); werr != nil {
+			return fmt.Errorf("cluster: rank %d reporting failure %v: %w", rank, runErr, werr)
+		}
+	} else if rank == 0 {
+		payload, eerr := wire.Encode(res.Value)
+		if eerr != nil {
+			rep.Err = eerr.Error()
+			if werr := c.write(frameError, []byte(eerr.Error())); werr != nil {
+				return fmt.Errorf("cluster: rank 0 reporting encode failure %v: %w", eerr, werr)
+			}
+		} else if werr := c.write(frameResult, payload); werr != nil {
+			return fmt.Errorf("cluster: rank 0 sending result: %w", werr)
+		}
+	}
+	body, err := json.Marshal(&rep)
+	if err != nil {
+		return fmt.Errorf("cluster: rank %d marshalling report: %w", rank, err)
+	}
+	if err := c.write(frameReport, body); err != nil {
+		return fmt.Errorf("cluster: rank %d sending report: %w", rank, err)
+	}
+	return c.write(frameBye, nil)
+}

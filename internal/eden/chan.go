@@ -73,6 +73,10 @@ type Inport struct {
 // InPE implements pe.Inport.
 func (in *Inport) InPE() int { return in.pe }
 
+// PackedSize implements Sized: a port packs as a wire header plus its
+// {channel id, PE} words — the heap cell it names stays behind.
+func (in *Inport) PackedSize() int64 { return 24 }
+
 // Outport is the sending end of a one-value channel.
 type Outport struct {
 	id   int64
@@ -82,6 +86,9 @@ type Outport struct {
 
 // OutPE implements pe.Outport.
 func (out *Outport) OutPE() int { return out.dest }
+
+// PackedSize implements Sized.
+func (out *Outport) PackedSize() int64 { return 24 }
 
 // NewChan creates a one-value channel whose receiving end lives on PE
 // dest. The creator is charged the channel setup cost.
@@ -139,6 +146,9 @@ type StreamIn struct {
 // StreamInPE implements pe.StreamIn.
 func (in *StreamIn) StreamInPE() int { return in.pe }
 
+// PackedSize implements Sized.
+func (in *StreamIn) PackedSize() int64 { return 24 }
+
 // StreamOut is the sending end of a stream channel.
 type StreamOut struct {
 	id   int64
@@ -148,6 +158,9 @@ type StreamOut struct {
 
 // StreamOutPE implements pe.StreamOut.
 func (out *StreamOut) StreamOutPE() int { return out.dest }
+
+// PackedSize implements Sized.
+func (out *StreamOut) PackedSize() int64 { return 24 }
 
 // NewStream creates a stream channel whose receiving end lives on PE
 // dest.

@@ -1,6 +1,7 @@
 package eden
 
 import (
+	"errors"
 	"testing"
 
 	"parhask/internal/graph"
@@ -404,7 +405,32 @@ func TestSizeOfMoreTypes(t *testing.T) {
 	if SizeOf(Cons{Head: 1}) != wordSize+consOverhead {
 		t.Fatal("Cons size wrong")
 	}
-	if SizeOf(struct{ X int }{1}) != wordSize {
-		t.Fatal("unknown type should count one word")
+	if SizeOf([]int32{1, 2, 3}) != 12+wordSize {
+		t.Fatal("[]int32 size wrong")
+	}
+	if SizeOf([][]int32{{1}, {2, 3}}) != wordSize+(4+wordSize)+(8+wordSize) {
+		t.Fatal("[][]int32 size wrong")
+	}
+}
+
+// TestSizeOfUnsizedTypes pins the bugfix: types the copier would ship
+// field-by-field but the model cannot size exactly (plain structs,
+// maps) are a structured *UnsizedTypeError, not a silent one-word
+// charge.
+func TestSizeOfUnsizedTypes(t *testing.T) {
+	for _, v := range []graph.Value{
+		struct{ X int }{1},
+		map[string]int{"a": 1},
+		[]string{"a"},
+		uintptr(7),
+	} {
+		_, err := SizeOfChecked(v)
+		var ue *UnsizedTypeError
+		if !errors.As(err, &ue) {
+			t.Fatalf("SizeOfChecked(%T) = %v, want *UnsizedTypeError", v, err)
+		}
+		if ue.Type == "" {
+			t.Fatalf("UnsizedTypeError for %T has empty Type", v)
+		}
 	}
 }

@@ -91,11 +91,28 @@ func (e *ChanMisuseError) Error() string {
 	return fmt.Sprintf("eden: %s on channel #%d from PE %d: %s", e.Op, e.Chan, e.PE, e.Reason)
 }
 
-// SizeOfChecked estimates the packed size in bytes of a normal-form
-// value, used to charge per-byte communication costs. Unknown types
-// count as one word (they are small coordination tokens). A value still
-// containing unevaluated graph returns an *UnevaluatedError instead of
-// a size.
+// UnsizedTypeError reports a message value whose packed size the model
+// cannot state exactly: a type with no builtin rule and no PackedSize.
+// It used to be silently charged one word — which under-counted every
+// map and plain struct the copier then shipped field-by-field — so the
+// cost model and the copier disagreed about what a message even was.
+// Now that the packed size is the actual byte length on the wire, an
+// unsized type is a hard, diagnosable error.
+type UnsizedTypeError struct {
+	// Type is the offending value's dynamic type, rendered with %T.
+	Type string
+}
+
+func (e *UnsizedTypeError) Error() string {
+	return fmt.Sprintf("eden: message type %s has no packed size; implement eden.Sized (PackedSize) for exact byte accounting", e.Type)
+}
+
+// SizeOfChecked computes the packed size in bytes of a normal-form
+// value — the byte count charged to the communication model and, in
+// cluster mode, the exact length of the value's wire encoding. A value
+// still containing unevaluated graph returns an *UnevaluatedError; a
+// type with no size rule (maps, structs without PackedSize) returns an
+// *UnsizedTypeError instead of silently under-charging one word.
 func SizeOfChecked(v graph.Value) (int64, error) {
 	switch x := v.(type) {
 	case nil:
@@ -110,6 +127,8 @@ func SizeOfChecked(v graph.Value) (int64, error) {
 		return int64(8*len(x)) + wordSize, nil
 	case []int64:
 		return int64(8*len(x)) + wordSize, nil
+	case []int32:
+		return int64(4*len(x)) + wordSize, nil
 	case []float64:
 		return int64(8*len(x)) + wordSize, nil
 	case [][]float64:
@@ -122,6 +141,12 @@ func SizeOfChecked(v graph.Value) (int64, error) {
 		var n int64 = wordSize
 		for _, row := range x {
 			n += int64(8*len(row)) + wordSize
+		}
+		return n, nil
+	case [][]int32:
+		var n int64 = wordSize
+		for _, row := range x {
+			n += int64(4*len(row)) + wordSize
 		}
 		return n, nil
 	case []graph.Value:
@@ -150,7 +175,7 @@ func SizeOfChecked(v graph.Value) (int64, error) {
 		}
 		return 0, &UnevaluatedError{State: x.State()}
 	default:
-		return wordSize, nil
+		return 0, &UnsizedTypeError{Type: fmt.Sprintf("%T", v)}
 	}
 }
 

@@ -1,0 +1,36 @@
+package wire
+
+import (
+	"parhask/internal/graph"
+	"parhask/internal/pe"
+)
+
+// pe.ThreadFailure is the supervised-spawn death notice; it crosses
+// heaps (and now processes) on verdict channels. Package pe sits below
+// eden in the import graph and cannot import wire, so its codec lives
+// here.
+func init() {
+	Register(tagThreadFailure, pe.ThreadFailure{},
+		func(e *Enc, v graph.Value) error {
+			f := v.(pe.ThreadFailure)
+			e.I64(int64(f.PE))
+			e.Str(f.Name)
+			e.Str(f.Err)
+			return nil
+		},
+		func(d *Dec) (graph.Value, error) {
+			peID, err := d.I64()
+			if err != nil {
+				return nil, err
+			}
+			name, err := d.Str()
+			if err != nil {
+				return nil, err
+			}
+			msg, err := d.Str()
+			if err != nil {
+				return nil, err
+			}
+			return pe.ThreadFailure{PE: int(peID), Name: name, Err: msg}, nil
+		})
+}

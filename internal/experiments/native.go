@@ -59,6 +59,9 @@ type NativeSweep struct {
 	// EdenNative is the GpH-vs-Eden head-to-head on real goroutines
 	// (benchall -edennative). Optional.
 	EdenNative *EdenNativeSweep `json:"eden_native,omitempty"`
+	// Cluster is the multi-process Eden sweep over a real socket
+	// transport (benchall -cluster). Optional.
+	Cluster *ClusterSweep `json:"cluster,omitempty"`
 	// FaultOverhead is the disabled-vs-armed-empty fault-plane cost
 	// comparison (benchall -faultoverhead). Optional.
 	FaultOverhead *FaultOverheadBench `json:"fault_overhead,omitempty"`
@@ -221,6 +224,17 @@ func (s *NativeSweep) String() string {
 	}
 	if s.EdenNative != nil {
 		out += "\n" + s.EdenNative.String()
+	}
+	if s.Cluster != nil {
+		out += "\n" + s.Cluster.String()
+		if bad := s.Cluster.CheckShape(); len(bad) > 0 {
+			out += "CLUSTER SHAPE VIOLATIONS:\n"
+			for _, b := range bad {
+				out += "  " + b + "\n"
+			}
+		} else {
+			out += "cluster shape: OK (all runs oracle-equal; multi-process runs moved wire bytes)\n"
+		}
 	}
 	if s.FaultOverhead != nil {
 		out += "\n" + s.FaultOverhead.String()

@@ -77,6 +77,15 @@ type Plan struct {
 	// Stall maps a PE id (or worker id) to an extra sleep injected at
 	// each communication point and thread start, simulating a slow PE.
 	Stall map[int]time.Duration
+	// KillRank maps a cluster worker rank to a delay after which the
+	// whole worker *process* exits hard (os.Exit, no cleanup) — the
+	// genuinely new fault class multi-process Eden adds over injected
+	// panics. Applied by the worker itself after the run starts.
+	KillRank map[int]time.Duration
+	// SeverRank maps a cluster worker rank to a delay after which the
+	// worker severs its coordinator link (closes the connection),
+	// simulating a network partition; the orphaned worker then exits.
+	SeverRank map[int]time.Duration
 }
 
 // Empty reports whether the plan injects nothing.
@@ -85,7 +94,8 @@ func (p *Plan) Empty() bool {
 		return true
 	}
 	return len(p.PanicSparks) == 0 && len(p.PanicProcs) == 0 &&
-		len(p.Edges) == 0 && len(p.Stall) == 0
+		len(p.Edges) == 0 && len(p.Stall) == 0 &&
+		len(p.KillRank) == 0 && len(p.SeverRank) == 0
 }
 
 // String renders the plan in the -faults spec grammar; Parse(p.String())
@@ -120,7 +130,22 @@ func (p *Plan) String() string {
 	for _, id := range stallIDs {
 		parts = append(parts, fmt.Sprintf("stall=%d:%s", id, p.Stall[id]))
 	}
+	for _, id := range sortedIntKeys(p.KillRank) {
+		parts = append(parts, fmt.Sprintf("kill-rank=%d:%s", id, p.KillRank[id]))
+	}
+	for _, id := range sortedIntKeys(p.SeverRank) {
+		parts = append(parts, fmt.Sprintf("sever-rank=%d:%s", id, p.SeverRank[id]))
+	}
 	return strings.Join(parts, ",")
+}
+
+func sortedIntKeys(m map[int]time.Duration) []int {
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	return ks
 }
 
 func sortedKeys(m map[int64]bool) []int64 {
@@ -163,6 +188,10 @@ func formatEdge(src, dst int) string {
 //	                  @S-D restricts to edge S→D, either side may be *
 //	delay=DUR:P[@S-D] delay matching messages by DUR with probability P
 //	stall=PE:DUR      slow PE/worker id by DUR at each comm point
+//	kill-rank=R:DUR   cluster mode: worker process rank R exits hard
+//	                  (os.Exit) DUR after its run starts
+//	sever-rank=R:DUR  cluster mode: rank R severs its coordinator link
+//	                  DUR after its run starts, then exits
 //
 // An empty spec returns a nil Plan (no faults).
 func Parse(spec string) (*Plan, error) {
@@ -252,6 +281,30 @@ func Parse(spec string) (*Plan, error) {
 				p.Stall = make(map[int]time.Duration)
 			}
 			p.Stall[id] = dur
+		case "kill-rank", "sever-rank":
+			idStr, durStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("faults: %s %q must be RANK:DUR", key, val)
+			}
+			id, err := strconv.Atoi(idStr)
+			if err != nil || id < 0 {
+				return nil, fmt.Errorf("faults: bad %s rank %q", key, idStr)
+			}
+			dur, err := time.ParseDuration(durStr)
+			if err != nil || dur <= 0 {
+				return nil, fmt.Errorf("faults: bad %s duration %q", key, durStr)
+			}
+			if key == "kill-rank" {
+				if p.KillRank == nil {
+					p.KillRank = make(map[int]time.Duration)
+				}
+				p.KillRank[id] = dur
+			} else {
+				if p.SeverRank == nil {
+					p.SeverRank = make(map[int]time.Duration)
+				}
+				p.SeverRank[id] = dur
+			}
 		default:
 			return nil, fmt.Errorf("faults: unknown clause %q", key)
 		}
@@ -361,6 +414,40 @@ func (e *DeadlockError) Error() string {
 	}
 	return sb.String()
 }
+
+// ProcessDeathError is the structured failure for the fault class only
+// a multi-process runtime has: a worker process died or its link was
+// severed while the run was in flight. The coordinator raises it when
+// a worker connection breaks before the run's results are in, kills
+// the remaining workers, and exits cleanly — the distributed analogue
+// of the in-process watchdog's DeadlockError.
+type ProcessDeathError struct {
+	// Rank is the dead worker's cluster rank.
+	Rank int
+	// PEs are the global PE indices the dead worker owned.
+	PEs []int
+	// Reason classifies the detection: "connection closed" (EOF — the
+	// process exited or was killed), "connection error" (reset/refused
+	// — a severed link), or "exit" (a nonzero exit status was reaped
+	// first).
+	Reason string
+	// Err is the underlying transport error, if any.
+	Err error
+}
+
+func (e *ProcessDeathError) Error() string {
+	s := fmt.Sprintf("cluster: worker rank %d died (%s)", e.Rank, e.Reason)
+	if len(e.PEs) > 0 {
+		s += fmt.Sprintf("; its PEs %v are unreachable", e.PEs)
+	}
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+// Unwrap exposes the transport error to errors.Is/As.
+func (e *ProcessDeathError) Unwrap() error { return e.Err }
 
 // Counts are the injector's tallies of what it actually injected.
 type Counts struct {
@@ -510,14 +597,15 @@ func mix(x uint64) uint64 {
 
 // IsStructured reports whether err is one of the structured failure
 // classes a chaos run may legitimately end in: an injected fault, a
-// poisoned-thunk propagation, or a watchdog deadlock report. It exists
-// so soak harnesses can classify run outcomes without importing every
-// backend's error set.
+// poisoned-thunk propagation, a watchdog deadlock report, or a cluster
+// worker's process death. It exists so soak harnesses can classify run
+// outcomes without importing every backend's error set.
 func IsStructured(err error) bool {
 	if err == nil {
 		return false
 	}
 	var ip *InjectedPanic
 	var de *DeadlockError
-	return errors.As(err, &ip) || errors.As(err, &de)
+	var pd *ProcessDeathError
+	return errors.As(err, &ip) || errors.As(err, &de) || errors.As(err, &pd)
 }

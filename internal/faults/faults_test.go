@@ -17,6 +17,9 @@ func TestParseRoundTrip(t *testing.T) {
 		"seed=5,delay=1ms:0.5@1-*",
 		"seed=3,stall=1:5ms",
 		"seed=11,panic-spark=2,panic-spark=9,drop=0.05@*-0,delay=500µs:0.2,stall=0:1ms,stall=3:2ms",
+		"kill-rank=1:150ms",
+		"sever-rank=2:1s",
+		"seed=6,kill-rank=0:10ms,kill-rank=2:20ms,sever-rank=1:30ms",
 	}
 	for _, spec := range specs {
 		p, err := Parse(spec)
@@ -52,13 +55,20 @@ func TestParseErrors(t *testing.T) {
 		"drop=1.5",
 		"drop=0.1@0",
 		"drop=0.1@a-b",
-		"delay=0.5",        // missing duration
-		"delay=banana:0.5", // bad duration
-		"delay=-1ms:0.5",   // non-positive duration
-		"stall=1",          // missing duration
-		"stall=x:1ms",      // bad PE
-		"stall=1:0s",       // non-positive duration
-		"frob=1",           // unknown clause
+		"delay=0.5",         // missing duration
+		"delay=banana:0.5",  // bad duration
+		"delay=-1ms:0.5",    // non-positive duration
+		"stall=1",           // missing duration
+		"stall=x:1ms",       // bad PE
+		"stall=1:0s",        // non-positive duration
+		"frob=1",            // unknown clause
+		"kill-rank=1",       // missing duration
+		"kill-rank=x:1ms",   // bad rank
+		"kill-rank=-1:1ms",  // negative rank
+		"kill-rank=1:0s",    // non-positive duration
+		"sever-rank=2",      // missing duration
+		"sever-rank=a:5ms",  // bad rank
+		"sever-rank=0:-1ms", // non-positive duration
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {
@@ -201,6 +211,17 @@ func TestErrorTypes(t *testing.T) {
 			t.Errorf("DeadlockError message %q missing %q", msg, want)
 		}
 	}
+	pd := &ProcessDeathError{Rank: 2, PEs: []int{4, 5}, Reason: "connection closed", Err: errors.New("EOF")}
+	if !IsStructured(fmt.Errorf("cluster: %w", pd)) {
+		t.Error("IsStructured(ProcessDeathError)")
+	}
+	pmsg := pd.Error()
+	for _, want := range []string{"rank 2", "connection closed", "[4 5]", "EOF"} {
+		if !contains(pmsg, want) {
+			t.Errorf("ProcessDeathError message %q missing %q", pmsg, want)
+		}
+	}
+
 	if IsStructured(errors.New("plain")) {
 		t.Error("IsStructured(plain error) should be false")
 	}

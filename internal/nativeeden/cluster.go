@@ -1,0 +1,314 @@
+// Cluster mode: the native Eden runtime as one member of a multi-
+// process cluster. Each OS process runs PerProc PEs and the program is
+// SPMD — every process executes the same main, but only rank 0's root
+// thread is real. The other ranks run a *shadow root*: a replay that
+// performs the root's channel and process creations (so the cluster
+// agrees on channel ids and thread placement) while turning its sends
+// into no-ops and parking at its first receive.
+//
+// What makes the replay sound for the bundled skeletons is that their
+// root threads create every channel and spawn every process *before*
+// the first root receive, from a deterministic, input-independent
+// prefix of main. Root-thread channel ids come from a counter that
+// replays identically in every process; non-root threads take ids from
+// a rank-partitioned space ((rank+1)<<workerIDShift | seq), which keeps
+// them globally unique without coordination. Channel cells are created
+// on their owning process by whichever side touches them first — the
+// replayed creation, the first remote delivery, or the first local
+// receive — so arrival order between the replay and the transport
+// reader does not matter.
+//
+// Cross-process sends replace the in-process deep copy (copyForSend)
+// with the wire codec: the value is reduced to normal form, encoded —
+// wire.Encode asserts the byte count equals eden.SizeOfChecked, so the
+// charged size IS the bytes on the wire — shipped through the
+// ClusterTransport, and decoded into a fresh heap on the owning
+// process. Decoding is the copy: no thunk is ever reachable from two
+// processes, let alone two machines.
+//
+// Failure semantics: a worker has no local quiescence watchdog — a PE
+// waiting on a remote message is locally quiescent but globally fine —
+// so deadline/quiescence detection belongs to the coordinator (see
+// internal/cluster), which also turns a dead worker process or severed
+// link into a structured *faults.ProcessDeathError. A transport send
+// that fails (link severed) panics with the ordinary structured
+// *eden.SendError carrying the transport error.
+package nativeeden
+
+import (
+	"errors"
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/eden/wire"
+	"parhask/internal/eventlog"
+	"parhask/internal/faults"
+	"parhask/internal/graph"
+)
+
+// ClusterSpec places one process inside a multi-process Eden cluster.
+type ClusterSpec struct {
+	// Rank is this process's index in [0, Procs); rank 0 runs the real
+	// root thread.
+	Rank int
+	// Procs is the number of worker processes.
+	Procs int
+	// PerProc is the number of PEs each process owns; process k owns
+	// global PEs [k*PerProc, (k+1)*PerProc).
+	PerProc int
+	// Transport ships encoded messages to PEs owned by other processes.
+	Transport ClusterTransport
+}
+
+// TotalPEs is the cluster-wide PE count programs observe via PEs().
+func (c *ClusterSpec) TotalPEs() int { return c.Procs * c.PerProc }
+
+// Owns reports whether this process hosts global PE pe.
+func (c *ClusterSpec) Owns(pe int) bool { return pe/c.PerProc == c.Rank }
+
+// OwnerRank returns the rank of the process hosting global PE pe.
+func (c *ClusterSpec) OwnerRank(pe int) int { return pe / c.PerProc }
+
+func (c *ClusterSpec) validate() error {
+	switch {
+	case c.Procs < 1:
+		return fmt.Errorf("nativeeden: cluster needs at least 1 process, have %d", c.Procs)
+	case c.PerProc < 1:
+		return fmt.Errorf("nativeeden: cluster needs at least 1 PE per process, have %d", c.PerProc)
+	case c.Rank < 0 || c.Rank >= c.Procs:
+		return fmt.Errorf("nativeeden: cluster rank %d outside [0,%d)", c.Rank, c.Procs)
+	case c.Transport == nil && c.Procs > 1:
+		return errors.New("nativeeden: multi-process cluster needs a transport")
+	}
+	return nil
+}
+
+// MsgKind discriminates the cluster data messages. They mirror the
+// three in-process delivery operations one to one.
+type MsgKind uint8
+
+const (
+	// MsgChanSend resolves a one-value channel's cell.
+	MsgChanSend MsgKind = 1 + iota
+	// MsgStreamSend appends one element to a stream.
+	MsgStreamSend
+	// MsgStreamClose terminates a stream (no payload).
+	MsgStreamClose
+)
+
+// ClusterTransport ships one encoded message to the process owning dst.
+// Implementations must be safe for concurrent use; per-(src,dst) FIFO
+// order must be preserved (streams rely on it, exactly as Eden's
+// per-edge order guarantee).
+type ClusterTransport interface {
+	SendRemote(kind MsgKind, chanID int64, src, dst int, payload []byte) error
+}
+
+// ErrDrained is the error a worker's run ends with when the
+// coordinator drains the cluster after the root's result is in. It is
+// the clean shutdown path, not a failure.
+var ErrDrained = errors.New("nativeeden: cluster run drained")
+
+// Drain unwinds the run from outside: every blocked thread (including
+// a parked shadow root) aborts, the run joins, and RunMain returns
+// ErrDrained. Called by the cluster worker when the coordinator says
+// the root's result has been collected.
+func (r *RTS) Drain() { r.fail(ErrDrained) }
+
+// Fail aborts the run from outside with err — the worker's hook for
+// transport-level failures its reader goroutine detects (a lost
+// coordinator connection, an undecodable delivery).
+func (r *RTS) Fail(err error) { r.fail(err) }
+
+// workerIDShift partitions the channel-id space: root-thread ids are
+// small positive integers from the replayed counter; thread ids on
+// rank k live above (k+1)<<workerIDShift. 2^40 root-thread channels is
+// out of reach, so the spaces cannot collide.
+const workerIDShift = 40
+
+// newChanID allocates a channel or stream id. Root-thread allocations
+// replay identically in every process (that is what lets a port built
+// by rank 0 name the same cell on rank 2); other threads draw from
+// their rank's private partition.
+func (r *RTS) newChanID(isRoot bool) int64 {
+	cl := r.cfg.Cluster
+	if cl == nil || isRoot {
+		return r.chanIDs.Add(1)
+	}
+	return int64(cl.Rank+1)<<workerIDShift | r.workerChanIDs.Add(1)
+}
+
+// owned reports whether global PE pe is hosted by this process.
+func (r *RTS) owned(pe int) bool {
+	cl := r.cfg.Cluster
+	return cl == nil || cl.Owns(pe)
+}
+
+// ensureCell returns the channel's cell, creating it if this is the
+// first touch (replay, delivery and receive race benignly; whoever is
+// first installs the placeholder). Caller holds p.mu.
+func (p *peRT) ensureCell(id int64, origin int) *cellState {
+	c := p.cells[id]
+	if c == nil {
+		c = &cellState{t: p.arena.NewPlaceholder(), origin: origin}
+		p.cells[id] = c
+	}
+	return c
+}
+
+// ensureStream is ensureCell for stream channels. Caller holds p.mu.
+func (p *peRT) ensureStream(id int64, origin int) *streamState {
+	st := p.streams[id]
+	if st == nil {
+		head := p.arena.NewPlaceholder()
+		st = &streamState{tail: head, cursor: head, origin: origin}
+		p.streams[id] = st
+	}
+	return st
+}
+
+// Deliver applies one remote message to its locally-owned destination
+// PE: decode into a fresh heap, ensure the cell or stream, resolve,
+// broadcast. Called by the transport's reader goroutine; safe against
+// the PE's own threads (it takes the PE lock) and never panics — a
+// malformed or impossible message comes back as a structured error for
+// the worker to report.
+func (r *RTS) Deliver(kind MsgKind, chanID int64, src, dst int, payload []byte) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = panicErr(fmt.Sprintf("nativeeden: delivery to chan %d on PE %d failed", chanID, dst), v)
+		}
+	}()
+	if dst < 0 || dst >= len(r.pes) || r.pes[dst] == nil {
+		return fmt.Errorf("nativeeden: delivery to PE %d, which rank %d does not own", dst, r.cfg.Cluster.Rank)
+	}
+	d := r.pes[dst]
+	var msg graph.Value
+	var bytes int64
+	if kind == MsgStreamClose {
+		bytes = 16 // a Nil packs as one word, matching StreamClose
+	} else {
+		v, derr := wire.Decode(payload)
+		if derr != nil {
+			return fmt.Errorf("nativeeden: decode for chan %d (PE %d from PE %d): %w", chanID, dst, src, derr)
+		}
+		msg = v
+		bytes = int64(len(payload))
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch kind {
+	case MsgChanSend:
+		cell := d.ensureCell(chanID, src)
+		d.ctr.MsgsRecv++
+		d.ctr.BytesRecv += bytes
+		if d.ev != nil {
+			d.ev.EmitArg(eventlog.MsgRecv, int32(src))
+		}
+		cell.t.Resolve(msg)
+		d.cond.Broadcast()
+	case MsgStreamSend:
+		bytes += eden.ConsOverhead
+		st := d.ensureStream(chanID, src)
+		if st.cancelled {
+			return nil // receiver cancelled; late elements vanish silently
+		}
+		if st.tail == nil {
+			return fmt.Errorf("nativeeden: stream %d on PE %d already closed (element from PE %d)", chanID, dst, src)
+		}
+		next := d.arena.NewPlaceholder()
+		cur := st.tail
+		st.tail = next
+		d.ctr.MsgsRecv++
+		d.ctr.BytesRecv += bytes
+		if d.ev != nil {
+			d.ev.EmitArg(eventlog.MsgRecv, int32(src))
+		}
+		cur.Resolve(eden.Cons{Head: msg, Tail: next})
+		d.cond.Broadcast()
+	case MsgStreamClose:
+		st := d.ensureStream(chanID, src)
+		if st.cancelled {
+			return nil
+		}
+		if st.tail == nil {
+			return fmt.Errorf("nativeeden: stream %d on PE %d closed twice (close from PE %d)", chanID, dst, src)
+		}
+		cur := st.tail
+		st.tail = nil
+		d.ctr.MsgsRecv++
+		d.ctr.BytesRecv += bytes
+		if d.ev != nil {
+			d.ev.EmitArg(eventlog.MsgRecv, int32(src))
+		}
+		cur.Resolve(eden.Nil{})
+		d.cond.Broadcast()
+	default:
+		return fmt.Errorf("nativeeden: unknown cluster message kind %d", kind)
+	}
+	return nil
+}
+
+// sendRemote is the cross-process half of Send/StreamSend/StreamClose:
+// encode (the byte count is asserted equal to eden.SizeOfChecked inside
+// wire.Encode), count, inject message faults, then ship through the
+// transport with this PE's lock released — the write may block on a
+// real socket, and transport is a yield point exactly like withPE.
+// extra is the non-payload charge (ConsOverhead for a stream element,
+// the 16-byte Nil for a close).
+func (p *PCtx) sendRemote(op string, kind MsgKind, id int64, dest int, nf graph.Value, extra int64) {
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.CommBegin)
+	}
+	var payload []byte
+	if kind != MsgStreamClose {
+		var err error
+		payload, err = wire.Encode(nf)
+		if err != nil {
+			panic(&eden.SendError{Op: op, Chan: id, PE: p.pe.id, Dest: dest, Err: err})
+		}
+	}
+	bytes := int64(len(payload)) + extra
+	p.pe.ctr.MsgsSent++
+	p.pe.ctr.BytesSent += bytes
+	if p.pe.ev != nil {
+		p.pe.ev.EmitArg(eventlog.MsgSend, int32(dest))
+	}
+	if p.rts.cfg.Faults != nil && p.injectSendFaults(dest) == faults.Drop {
+		if p.pe.ev != nil {
+			p.pe.ev.Emit(eventlog.CommEnd)
+		}
+		return
+	}
+	tr := p.rts.cfg.Cluster.Transport
+	src := p.pe.id
+	p.pe.mu.Unlock()
+	err := tr.SendRemote(kind, id, src, dest, payload)
+	p.pe.mu.Lock()
+	if err != nil {
+		// A severed link surfaces as the ordinary structured send error
+		// with the transport failure as its cause.
+		panic(&eden.SendError{Op: op, Chan: id, PE: src, Dest: dest, Err: err})
+	}
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.CommEnd)
+	}
+}
+
+// parkForever suspends a shadow root at its first receive: the real
+// root on rank 0 is doing the receiving. The park ends only when the
+// run unwinds — Drain or a failure — via the ordinary errAborted
+// panic, so the shadow root joins like any other thread.
+func (p *PCtx) parkForever() {
+	if p.pe.ev != nil {
+		p.pe.ev.Emit(eventlog.BlockBegin)
+	}
+	for {
+		p.pe.checkFailed()
+		p.rts.blocked.Add(1)
+		p.pe.cond.Wait()
+		p.rts.blocked.Add(-1)
+		p.rts.progress.Add(1)
+	}
+}

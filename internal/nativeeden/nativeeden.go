@@ -92,6 +92,13 @@ type Config struct {
 	// carrying this id (ignored unless EventLog): the serve layer's
 	// handle for pulling one request's timeline off a live server.
 	TraceID int32
+	// Cluster, if non-nil, makes this RTS one member of a multi-process
+	// Eden cluster (see cluster.go): it hosts only its rank's PEs,
+	// cross-process sends go through Cluster.Transport as wire-encoded
+	// bytes, and PEs is overridden to Cluster.TotalPEs(). Deadline is
+	// ignored — deadlock detection is the coordinator's job, because a
+	// worker waiting on remote messages is locally quiescent.
+	Cluster *ClusterSpec
 }
 
 // NewConfig returns a native Eden configuration with pes PEs.
@@ -257,8 +264,12 @@ type RTS struct {
 	cfg Config
 	pes []*peRT
 
-	// chanIDs hands out channel and stream ids.
-	chanIDs atomic.Int64
+	// chanIDs hands out channel and stream ids for root threads (a
+	// sequence that replays identically across cluster processes);
+	// workerChanIDs feeds the rank-partitioned space non-root threads
+	// allocate from in cluster mode (see newChanID).
+	chanIDs       atomic.Int64
+	workerChanIDs atomic.Int64
 
 	// stats fields updated from any thread.
 	processes atomic.Int64
@@ -288,18 +299,47 @@ type RTS struct {
 // and sequential runs (referential transparency); only the time is
 // real.
 func Run(cfg Config, main pe.Program) (*Result, error) {
-	if main == nil {
-		return nil, errors.New("nativeeden: nil main")
+	r, err := NewRTS(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.PEs <= 0 {
+	return r.RunMain(main)
+}
+
+// NewRTS assembles a runtime without executing anything — the entry
+// point cluster workers need, because the transport reader must be
+// wired to Deliver before RunMain starts the program. In cluster mode
+// only this rank's PEs exist; the r.pes slice keeps global indexing
+// with nil holes for remote PEs.
+func NewRTS(cfg Config) (*RTS, error) {
+	if cl := cfg.Cluster; cl != nil {
+		if err := cl.validate(); err != nil {
+			return nil, err
+		}
+		cfg.PEs = cl.TotalPEs()
+	} else if cfg.PEs <= 0 {
 		cfg.PEs = runtime.GOMAXPROCS(0)
 	}
 	r := &RTS{cfg: cfg}
 	r.pes = make([]*peRT, cfg.PEs)
 	for i := range r.pes {
+		if cl := cfg.Cluster; cl != nil && !cl.Owns(i) {
+			continue
+		}
 		p := newPE(i, cfg.ArenaChunk)
 		p.rts = r
 		r.pes[i] = p
+	}
+	return r, nil
+}
+
+// RunMain executes main as the program's root process. On cluster rank
+// 0 (and always outside cluster mode) the root is real; on other ranks
+// it runs as the shadow-root replay (see cluster.go) and RunMain
+// returns ErrDrained once the coordinator drains the run.
+func (r *RTS) RunMain(main pe.Program) (*Result, error) {
+	if main == nil {
+		return nil, errors.New("nativeeden: nil main")
 	}
 	return r.run(main)
 }
@@ -323,13 +363,26 @@ func newPE(id, arenaChunk int) *peRT {
 // the shared execution core of the batch Run and the Resident lane.
 func (r *RTS) run(main pe.Program) (*Result, error) {
 	cfg := r.cfg
+	cl := cfg.Cluster
 	gcWin := gcscope.Begin()
 	start := time.Now()
 	if cfg.EventLog {
-		r.events = eventlog.New(start, cfg.PEs, cfg.EventLogConfig)
-		for i, p := range r.pes {
-			p.ev = r.events.Buf(i)
-			if i == 0 && cfg.TraceID != 0 {
+		// In cluster mode the rings cover only the local PEs (event
+		// indices are local; the worker names them by global PE id when
+		// it dumps the log for the coordinator to fold).
+		n := cfg.PEs
+		if cl != nil {
+			n = cl.PerProc
+		}
+		r.events = eventlog.New(start, n, cfg.EventLogConfig)
+		li := 0
+		for _, p := range r.pes {
+			if p == nil {
+				continue
+			}
+			p.ev = r.events.Buf(li)
+			li++
+			if p.id == 0 && cfg.TraceID != 0 {
 				// The mark is the ring's first event so a trace reader can
 				// identify the job before decoding anything else. Emitted
 				// pre-thread, so the single-writer rule holds.
@@ -343,16 +396,26 @@ func (r *RTS) run(main pe.Program) (*Result, error) {
 	}
 
 	// The watchdog is its own goroutine: it fires while the root thread
-	// itself may be among the deadlocked.
+	// itself may be among the deadlocked. Cluster members never arm it —
+	// a worker blocked on remote messages is locally quiescent, so
+	// deadlock detection belongs to the coordinator.
 	var watchdogStop chan struct{}
-	if cfg.Deadline > 0 {
+	if cfg.Deadline > 0 && cl == nil {
 		watchdogStop = make(chan struct{})
 		go r.watchdog(start, watchdogStop)
 	}
 
-	// The caller's goroutine is the root process's thread on PE 0.
+	// The caller's goroutine is the root process's thread on PE 0 — or,
+	// on a cluster rank other than 0, the shadow-root replay pinned to
+	// this rank's first local PE.
 	var value graph.Value
-	c0 := &PCtx{rts: r, pe: r.pes[0], name: "root"}
+	rootPE := r.pes[0]
+	shadow := false
+	if cl != nil && cl.Rank != 0 {
+		rootPE = r.pes[cl.Rank*cl.PerProc]
+		shadow = true
+	}
+	c0 := &PCtx{rts: r, pe: rootPE, name: "root", isRoot: true, shadow: shadow}
 	runErr := func() (err error) {
 		defer func() {
 			if v := recover(); v != nil {
@@ -411,6 +474,9 @@ func (r *RTS) run(main pe.Program) (*Result, error) {
 	res.Stats = Stats{Processes: r.processes.Load(), ThreadsCreated: r.threads.Load()}
 	res.PerPE = make([]PEStats, cfg.PEs)
 	for i, p := range r.pes {
+		if p == nil {
+			continue // remote PE (cluster mode); its owner reports it
+		}
 		// Safe plain reads: the WaitGroup barrier (and, for PE 0's root
 		// thread, goroutine identity) orders every owner write before
 		// these.
@@ -507,6 +573,9 @@ func (r *RTS) watchdog(start time.Time, stop chan struct{}) {
 func (r *RTS) deadlockError(reason string, elapsed time.Duration) *faults.DeadlockError {
 	de := &faults.DeadlockError{Backend: "nativeeden", Reason: reason, Elapsed: elapsed}
 	for _, p := range r.pes {
+		if p == nil {
+			continue
+		}
 		if !p.mu.TryLock() {
 			de.Blocked = append(de.Blocked, faults.BlockedThread{
 				PE: p.id, Thread: "(busy)", Reason: "running", Chan: -1, Peer: -1,
@@ -533,6 +602,9 @@ func (r *RTS) fail(err error) {
 	r.errOnce.Do(func() { r.err = err })
 	r.failed.Store(true)
 	for _, p := range r.pes {
+		if p == nil {
+			continue
+		}
 		p.mu.Lock()
 		p.cond.Broadcast()
 		p.mu.Unlock()

@@ -20,6 +20,14 @@ type PCtx struct {
 	pe   *peRT
 	name string
 
+	// isRoot marks the program's root thread: in cluster mode its
+	// channel ids come from the replayed counter and its remote spawns
+	// are the SPMD no-op (the owning process instantiates them).
+	isRoot bool
+	// shadow marks a cluster shadow root (rank != 0): creations replay,
+	// sends are no-ops, receives park (see cluster.go).
+	shadow bool
+
 	// claims is the stack of thunks this thread has eagerly black-holed
 	// and not yet updated. On panic they are poisoned (newest-first) so
 	// peers blocked on them unblock into the failure path.
@@ -90,6 +98,10 @@ type Inport struct {
 // InPE returns the PE that owns the receiving end.
 func (i Inport) InPE() int { return i.pe }
 
+// PackedSize implements eden.Sized: a port packs as a wire header plus
+// its {channel id, PE} words.
+func (i Inport) PackedSize() int64 { return portPackedSize }
+
 // Outport is the sending end of a one-value channel.
 type Outport struct {
 	id   int64
@@ -98,6 +110,9 @@ type Outport struct {
 
 // OutPE returns the destination PE.
 func (o Outport) OutPE() int { return o.dest }
+
+// PackedSize implements eden.Sized.
+func (o Outport) PackedSize() int64 { return portPackedSize }
 
 // StreamIn is the receiving end of an element-by-element stream.
 type StreamIn struct {
@@ -108,6 +123,9 @@ type StreamIn struct {
 // StreamInPE returns the PE that owns the receiving end.
 func (s StreamIn) StreamInPE() int { return s.pe }
 
+// PackedSize implements eden.Sized.
+func (s StreamIn) PackedSize() int64 { return portPackedSize }
+
 // StreamOut is the sending end of an element-by-element stream.
 type StreamOut struct {
 	id   int64
@@ -116,6 +134,13 @@ type StreamOut struct {
 
 // StreamOutPE returns the destination PE.
 func (s StreamOut) StreamOutPE() int { return s.dest }
+
+// PackedSize implements eden.Sized.
+func (s StreamOut) PackedSize() int64 { return portPackedSize }
+
+// portPackedSize is the packed size of every port flavour: an 8-byte
+// wire header plus the channel-id and PE words.
+const portPackedSize = 24
 
 // --- generic mutator operations (graph.Context + pe.Ctx) ---
 
@@ -225,8 +250,15 @@ func (p *PCtx) blockedRecord(t *graph.Thunk) faults.BlockedThread {
 
 // --- PE identity and placement ---
 
-// PE returns the index of the PE this thread runs on.
-func (p *PCtx) PE() int { return p.pe.id }
+// PE returns the index of the PE this thread runs on. A shadow root
+// reports PE 0 — the PE the real root runs on — so the root program's
+// placement arithmetic replays identically on every rank.
+func (p *PCtx) PE() int {
+	if p.shadow {
+		return 0
+	}
+	return p.pe.id
+}
 
 // PEs returns the number of processing elements.
 func (p *PCtx) PEs() int { return len(p.rts.pes) }
@@ -240,18 +272,32 @@ func (p *PCtx) norm(dest int) int {
 }
 
 // Spawn instantiates a process on PE dest: a new thread (goroutine)
-// whose execution serialises on the destination PE's lock.
+// whose execution serialises on the destination PE's lock. In cluster
+// mode a spawn onto a remote PE is the SPMD no-op for the root thread
+// — every rank replays main, and the rank owning dest instantiates the
+// thread there — and unsupported elsewhere (non-root threads do not
+// replay, so no process would run the body).
 func (p *PCtx) Spawn(dest int, name string, body func(pe.Ctx)) {
+	dest = p.norm(dest)
+	if !p.rts.owned(dest) {
+		if !p.isRoot {
+			panic(fmt.Sprintf("nativeeden: cluster Spawn onto remote PE %d from non-root thread %q", dest, p.name))
+		}
+		return
+	}
 	p.rts.processes.Add(1)
 	if p.pe.ev != nil {
 		p.pe.ev.Emit(eventlog.Fork)
 	}
-	p.rts.startThread(p.rts.pes[p.norm(dest)], name, func(c *PCtx) { body(c) })
+	p.rts.startThread(p.rts.pes[dest], name, func(c *PCtx) { body(c) })
 }
 
 // ForkLocal starts an additional thread of the current process on the
-// same PE.
+// same PE. A shadow root skips it: its local forks belong to rank 0.
 func (p *PCtx) ForkLocal(name string, body func(pe.Ctx)) {
+	if p.shadow {
+		return
+	}
 	p.rts.startThread(p.pe, name, func(c *PCtx) { body(c) })
 }
 
@@ -262,12 +308,21 @@ func (p *PCtx) ForkLocal(name string, body func(pe.Ctx)) {
 // skeletons (skel.SupervisedMW) monitor these channels to re-dispatch
 // a dead worker's outstanding tasks.
 func (p *PCtx) SpawnSupervised(dest int, name string, body func(pe.Ctx)) pe.Inport {
-	in, out := p.NewChan(p.pe.id)
+	// The verdict channel lives on the caller's logical PE (p.PE(), so a
+	// shadow root replays rank 0's allocation exactly).
+	in, out := p.NewChan(p.PE())
+	dest = p.norm(dest)
+	if !p.rts.owned(dest) {
+		if !p.isRoot {
+			panic(fmt.Sprintf("nativeeden: cluster SpawnSupervised onto remote PE %d from non-root thread %q", dest, p.name))
+		}
+		return in
+	}
 	p.rts.processes.Add(1)
 	if p.pe.ev != nil {
 		p.pe.ev.Emit(eventlog.Fork)
 	}
-	p.rts.startSupervised(p.rts.pes[p.norm(dest)], name, out.(Outport), func(c *PCtx) { body(c) })
+	p.rts.startSupervised(p.rts.pes[dest], name, out.(Outport), func(c *PCtx) { body(c) })
 	return in
 }
 
@@ -316,14 +371,20 @@ func (p *PCtx) withPE(dest int, f func(d *peRT)) {
 // --- one-value channels ---
 
 // NewChan creates a one-value channel whose receiving end (a heap
-// placeholder) lives on PE dest.
+// placeholder) lives on PE dest. In cluster mode the cell is installed
+// only when dest is local — ensure-on-first-touch, because a message
+// may already have been delivered into it before this (replayed)
+// creation runs; a remote owner's own replay, delivery, or receive
+// installs it there.
 func (p *PCtx) NewChan(dest int) (pe.Inport, pe.Outport) {
 	dest = p.norm(dest)
-	id := p.rts.chanIDs.Add(1)
-	origin := p.pe.id
-	p.withPE(dest, func(d *peRT) {
-		d.cells[id] = &cellState{t: d.arena.NewPlaceholder(), origin: origin}
-	})
+	id := p.rts.newChanID(p.isRoot)
+	origin := p.PE()
+	if p.rts.owned(dest) {
+		p.withPE(dest, func(d *peRT) {
+			d.ensureCell(id, origin)
+		})
+	}
 	return Inport{id: id, pe: dest}, Outport{id: id, dest: dest}
 }
 
@@ -372,7 +433,14 @@ func (p *PCtx) injectSendFaults(dst int) faults.Fate {
 // same structured *eden.SendError the simulator raises.
 func (p *PCtx) Send(out pe.Outport, v graph.Value) {
 	o := out.(Outport)
+	if p.shadow {
+		return // rank 0's real root does the real send
+	}
 	nf := p.ForceDeep(v)
+	if !p.rts.owned(o.dest) {
+		p.sendRemote("Send", MsgChanSend, o.id, o.dest, nf, 0)
+		return
+	}
 	if p.pe.ev != nil {
 		p.pe.ev.Emit(eventlog.CommBegin)
 	}
@@ -417,15 +485,27 @@ func (p *PCtx) Send(out pe.Outport, v graph.Value) {
 // Receive blocks until the channel's value has arrived; it must be
 // called on the channel's owning PE (channels are single-reader).
 func (p *PCtx) Receive(in pe.Inport) graph.Value {
+	if p.shadow {
+		p.parkForever() // the real root receives; unwinds on drain
+		return nil
+	}
 	i := in.(Inport)
 	if i.pe != p.pe.id {
 		panic(&eden.ChanMisuseError{Op: "Receive", Chan: i.id, PE: p.pe.id, Owner: i.pe, Reason: "cross-pe"})
 	}
 	cell, ok := p.pe.cells[i.id]
 	if !ok {
-		// One-value channels are consumed on receive, so a second
-		// Receive and a receive on a never-created channel look the same.
-		panic(&eden.ChanMisuseError{Op: "Receive", Chan: i.id, PE: p.pe.id, Owner: -1, Reason: "already-received"})
+		if p.rts.cfg.Cluster != nil {
+			// A cross-process channel may be received before either its
+			// replayed creation or its first delivery installed the cell:
+			// ensure it and block. (The already-received misuse check
+			// degrades to a coordinator-deadline timeout in cluster mode.)
+			cell = p.pe.ensureCell(i.id, -1)
+		} else {
+			// One-value channels are consumed on receive, so a second
+			// Receive and a receive on a never-created channel look the same.
+			panic(&eden.ChanMisuseError{Op: "Receive", Chan: i.id, PE: p.pe.id, Owner: -1, Reason: "already-received"})
+		}
 	}
 	v := p.Force(cell.t)
 	delete(p.pe.cells, i.id)
@@ -436,14 +516,17 @@ func (p *PCtx) Receive(in pe.Inport) graph.Value {
 
 // NewStream creates a stream channel whose receiving end lives on PE
 // dest: a placeholder chain anchored in the destination's registry.
+// Cluster placement follows NewChan: local owners ensure, remote
+// owners install on their own first touch.
 func (p *PCtx) NewStream(dest int) (pe.StreamIn, pe.StreamOut) {
 	dest = p.norm(dest)
-	id := p.rts.chanIDs.Add(1)
-	origin := p.pe.id
-	p.withPE(dest, func(d *peRT) {
-		head := d.arena.NewPlaceholder()
-		d.streams[id] = &streamState{tail: head, cursor: head, origin: origin}
-	})
+	id := p.rts.newChanID(p.isRoot)
+	origin := p.PE()
+	if p.rts.owned(dest) {
+		p.withPE(dest, func(d *peRT) {
+			d.ensureStream(id, origin)
+		})
+	}
 	return StreamIn{id: id, pe: dest}, StreamOut{id: id, dest: dest}
 }
 
@@ -452,7 +535,14 @@ func (p *PCtx) NewStream(dest int) (pe.StreamIn, pe.StreamOut) {
 // fresh placeholder for the rest of the stream.
 func (p *PCtx) StreamSend(out pe.StreamOut, v graph.Value) {
 	o := out.(StreamOut)
+	if p.shadow {
+		return
+	}
 	nf := p.ForceDeep(v)
+	if !p.rts.owned(o.dest) {
+		p.sendRemote("StreamSend", MsgStreamSend, o.id, o.dest, nf, eden.ConsOverhead)
+		return
+	}
 	if p.pe.ev != nil {
 		p.pe.ev.Emit(eventlog.CommBegin)
 	}
@@ -504,6 +594,13 @@ func (p *PCtx) StreamSend(out pe.StreamOut, v graph.Value) {
 // StreamClose terminates the stream (one Nil message).
 func (p *PCtx) StreamClose(out pe.StreamOut) {
 	o := out.(StreamOut)
+	if p.shadow {
+		return
+	}
+	if !p.rts.owned(o.dest) {
+		p.sendRemote("StreamClose", MsgStreamClose, o.id, o.dest, nil, 16)
+		return
+	}
 	const bytes = 16 // a Nil packs as one word, like the simulator's
 	p.pe.ctr.MsgsSent++
 	p.pe.ctr.BytesSent += bytes
@@ -537,13 +634,23 @@ func (p *PCtx) StreamClose(out pe.StreamOut) {
 // StreamRecv receives the next element, blocking until it arrives; ok
 // is false once the stream has been closed.
 func (p *PCtx) StreamRecv(in pe.StreamIn) (graph.Value, bool) {
+	if p.shadow {
+		p.parkForever()
+		return nil, false
+	}
 	i := in.(StreamIn)
 	if i.pe != p.pe.id {
 		panic(&eden.ChanMisuseError{Op: "StreamRecv", Chan: i.id, PE: p.pe.id, Owner: i.pe, Reason: "cross-pe"})
 	}
 	st := p.pe.streams[i.id]
 	if st == nil {
-		panic(&eden.ChanMisuseError{Op: "StreamRecv", Chan: i.id, PE: p.pe.id, Owner: -1, Reason: "unknown-stream"})
+		if p.rts.cfg.Cluster != nil {
+			// Ensure-on-first-touch, as in Receive: the stream may not have
+			// been installed yet by replay or delivery.
+			st = p.pe.ensureStream(i.id, -1)
+		} else {
+			panic(&eden.ChanMisuseError{Op: "StreamRecv", Chan: i.id, PE: p.pe.id, Owner: -1, Reason: "unknown-stream"})
+		}
 	}
 	switch c := p.Force(st.cursor).(type) {
 	case eden.Cons:
@@ -570,6 +677,9 @@ func (p *PCtx) RecvAll(in pe.StreamIn) []graph.Value {
 
 // SendAll sends every element of xs and closes the stream.
 func (p *PCtx) SendAll(out pe.StreamOut, xs []graph.Value) {
+	if p.shadow {
+		return
+	}
 	for _, x := range xs {
 		p.StreamSend(out, x)
 	}
@@ -579,11 +689,22 @@ func (p *PCtx) SendAll(out pe.StreamOut, xs []graph.Value) {
 // --- local synchronisation ---
 
 // LocalResolve fills a placeholder on the current PE without the
-// transport (an MVar-like intra-process synchronisation variable).
+// transport (an MVar-like intra-process synchronisation variable). A
+// shadow root skips it: the placeholder belongs to rank 0's replay.
 func (p *PCtx) LocalResolve(cell *graph.Thunk, v graph.Value) {
+	if p.shadow {
+		return
+	}
 	cell.Resolve(v)
 	p.pe.cond.Broadcast()
 }
 
-// Await forces a local placeholder, blocking until it is filled.
-func (p *PCtx) Await(cell *graph.Thunk) graph.Value { return p.Force(cell) }
+// Await forces a local placeholder, blocking until it is filled. A
+// shadow root parks: the value it would wait for lives on rank 0.
+func (p *PCtx) Await(cell *graph.Thunk) graph.Value {
+	if p.shadow {
+		p.parkForever()
+		return nil
+	}
+	return p.Force(cell)
+}

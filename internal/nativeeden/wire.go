@@ -1,0 +1,70 @@
+package nativeeden
+
+import (
+	"parhask/internal/eden/wire"
+	"parhask/internal/graph"
+)
+
+// Wire codecs for the native backend's port types (tag block 72..79).
+// Ports are plain {channel id, PE} values, so a port crossing process
+// boundaries inside a message (Eden's reply-channel idiom) ships its
+// two words and nothing else — the cells it names stay on the owning
+// PE.
+func init() {
+	wire.Register(72, Inport{},
+		func(e *wire.Enc, v graph.Value) error {
+			p := v.(Inport)
+			e.I64(p.id)
+			e.I64(int64(p.pe))
+			return nil
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			id, pe, err := decPort(d)
+			return Inport{id: id, pe: pe}, err
+		})
+	wire.Register(73, Outport{},
+		func(e *wire.Enc, v graph.Value) error {
+			p := v.(Outport)
+			e.I64(p.id)
+			e.I64(int64(p.dest))
+			return nil
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			id, dest, err := decPort(d)
+			return Outport{id: id, dest: dest}, err
+		})
+	wire.Register(74, StreamIn{},
+		func(e *wire.Enc, v graph.Value) error {
+			p := v.(StreamIn)
+			e.I64(p.id)
+			e.I64(int64(p.pe))
+			return nil
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			id, pe, err := decPort(d)
+			return StreamIn{id: id, pe: pe}, err
+		})
+	wire.Register(75, StreamOut{},
+		func(e *wire.Enc, v graph.Value) error {
+			p := v.(StreamOut)
+			e.I64(p.id)
+			e.I64(int64(p.dest))
+			return nil
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			id, dest, err := decPort(d)
+			return StreamOut{id: id, dest: dest}, err
+		})
+}
+
+func decPort(d *wire.Dec) (int64, int, error) {
+	id, err := d.I64()
+	if err != nil {
+		return 0, 0, err
+	}
+	pe, err := d.I64()
+	if err != nil {
+		return 0, 0, err
+	}
+	return id, int(pe), nil
+}

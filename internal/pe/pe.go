@@ -107,6 +107,12 @@ type ThreadFailure struct {
 	Err string
 }
 
+// PackedSize implements the Eden message-size interface (eden.Sized):
+// an 8-byte wire header, the PE word, and two length-prefixed strings.
+func (f ThreadFailure) PackedSize() int64 {
+	return 8 + 8 + (8 + int64(len(f.Name))) + (8 + int64(len(f.Err)))
+}
+
 // SupervisedSpawner is an optional Ctx extension for fault-tolerant
 // skeletons: SpawnSupervised instantiates a process whose panic is
 // contained instead of aborting the whole run. The returned Inport (on

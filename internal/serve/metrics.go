@@ -133,16 +133,25 @@ func (m *serveMetrics) finish(resp *JobResponse) {
 // room again, clamped to [1s, 30s]. With no rate evidence (a cold or
 // stalled tenant) the hint is the optimistic 1s — better to have the
 // client probe than park it half a minute on a guess.
+//
+// The rate comes from measured wall time, so it can be degenerate: NaN
+// (0 jobs over 0 elapsed) compares false against <= 0 and must be
+// guarded explicitly, and a denormal-small rate yields a quotient
+// beyond int range — the clamp has to happen in float space, because
+// int(1e308) is implementation-defined (the minimum int on amd64,
+// which would clamp a near-stalled tenant to the optimistic 1s instead
+// of the pessimistic 30s).
 func computeRetryAfter(depth int, perSec float64) int {
-	if perSec <= 0 {
+	if math.IsNaN(perSec) || perSec <= 0 {
 		return 1
 	}
-	sec := int(math.Ceil(float64(depth+1) / perSec))
-	if sec < 1 {
-		sec = 1
+	sec := math.Ceil(float64(depth+1) / perSec)
+	switch {
+	case math.IsNaN(sec) || sec < 1:
+		// An +Inf rate drains instantly: probe soon.
+		return 1
+	case sec > 30:
+		return 30
 	}
-	if sec > 30 {
-		sec = 30
-	}
-	return sec
+	return int(sec)
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -175,6 +176,15 @@ func TestComputeRetryAfter(t *testing.T) {
 		{1, 10, 1},   // fast drain clamps up to 1
 		{500, 1, 30}, // slow drain clamps at 30
 		{0, 4, 1},    // ceil(1/4) -> 1
+		// Degenerate measured rates must not leak through the clamps:
+		// NaN compares false against <= 0, and a denormal divisor
+		// overflows int range before a post-conversion clamp could act.
+		{5, math.NaN(), 1},   // 0 jobs / 0 elapsed
+		{5, math.Inf(1), 1},  // instant drain: probe soon
+		{5, math.Inf(-1), 1}, // defensive
+		{5, 5e-324, 30},      // denormal rate: quotient is +Inf
+		{5, math.SmallestNonzeroFloat64, 30},
+		{1 << 60, 1e-12, 30}, // huge depth over tiny rate
 	}
 	for _, c := range cases {
 		if got := computeRetryAfter(c.depth, c.perSec); got != c.want {

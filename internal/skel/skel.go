@@ -12,6 +12,7 @@ package skel
 import (
 	"fmt"
 
+	"parhask/internal/eden"
 	"parhask/internal/graph"
 	"parhask/internal/pe"
 )
@@ -90,6 +91,12 @@ func ParReduce(p pe.Ctx, name string, f FoldFunc, ntr graph.Value, xs []graph.Va
 type KV struct {
 	Key graph.Value
 	Val graph.Value
+}
+
+// PackedSize implements eden.Sized: an 8-byte wire header plus the two
+// nested values at their own packed sizes.
+func (kv KV) PackedSize() int64 {
+	return 8 + eden.SizeOf(kv.Key) + eden.SizeOf(kv.Val)
 }
 
 // MapFunc expands one input into key-value pairs.

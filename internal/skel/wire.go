@@ -1,0 +1,63 @@
+package skel
+
+import (
+	"parhask/internal/eden/wire"
+	"parhask/internal/graph"
+)
+
+// Wire codecs for the skeleton message types (tag block 40..47; see
+// internal/eden/wire). Registered at init so any binary linking the
+// skeletons can ship their packets across processes, with the encoded
+// length equal to each type's PackedSize by construction.
+func init() {
+	wire.Register(40, KV{},
+		func(e *wire.Enc, v graph.Value) error {
+			kv := v.(KV)
+			if err := e.Value(kv.Key); err != nil {
+				return err
+			}
+			return e.Value(kv.Val)
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			key, err := d.Value()
+			if err != nil {
+				return nil, err
+			}
+			val, err := d.Value()
+			if err != nil {
+				return nil, err
+			}
+			return KV{Key: key, Val: val}, nil
+		})
+
+	wire.Register(41, mwResult{},
+		func(e *wire.Enc, v graph.Value) error {
+			m := v.(mwResult)
+			e.U64(uint64(len(m.NewTasks)))
+			for _, t := range m.NewTasks {
+				if err := e.Value(t); err != nil {
+					return err
+				}
+			}
+			return e.Value(m.Result)
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			n, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			var tasks []graph.Value
+			for i := uint64(0); i < n; i++ {
+				t, err := d.Value()
+				if err != nil {
+					return nil, err
+				}
+				tasks = append(tasks, t)
+			}
+			res, err := d.Value()
+			if err != nil {
+				return nil, err
+			}
+			return mwResult{NewTasks: tasks, Result: res}, nil
+		})
+}

@@ -80,6 +80,19 @@ func SeqProgram(g Graph, minPlusCost int64) func(*rts.Ctx) graph.Value {
 	}
 }
 
+// PackedSize implements eden.Sized: a Graph packs like a [][]int32 —
+// one word per row header plus 4 bytes per distance. Without this the
+// named type fell through to SizeOfChecked's old one-word default, so
+// the row blocks the ring nodes returned were charged 16 bytes while
+// the copier shipped every row.
+func (g Graph) PackedSize() int64 {
+	var n int64 = 16
+	for _, r := range g {
+		n += int64(4*len(r)) + 16
+	}
+	return n
+}
+
 // ringInput is the initial payload of one ring process: its block of
 // rows.
 type ringInput struct {

@@ -1,0 +1,88 @@
+package apsp
+
+import (
+	"parhask/internal/eden/wire"
+	"parhask/internal/graph"
+)
+
+// Wire codecs for the APSP ring message types (tag block 56..63). A
+// Graph ships row by row as packed int32 arrays; ringInput and
+// pivotMsg lay their fields out exactly as their PackedSize charges.
+func init() {
+	wire.Register(56, Graph{},
+		func(e *wire.Enc, v graph.Value) error {
+			g := v.(Graph)
+			e.U64(uint64(len(g)))
+			for _, row := range g {
+				if err := e.Value(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			n, err := d.U64()
+			if err != nil {
+				return nil, err
+			}
+			var g Graph
+			for i := uint64(0); i < n; i++ {
+				row, err := d.Value()
+				if err != nil {
+					return nil, err
+				}
+				r, ok := row.([]int32)
+				if !ok {
+					return nil, &wire.DecodeError{Reason: "Graph row is not []int32"}
+				}
+				g = append(g, r)
+			}
+			return g, nil
+		})
+
+	wire.Register(57, ringInput{},
+		func(e *wire.Enc, v graph.Value) error {
+			ri := v.(ringInput)
+			e.I64(int64(ri.Lo))
+			return e.Value(ri.Rows)
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			lo, err := d.I64()
+			if err != nil {
+				return nil, err
+			}
+			rows, err := d.Value()
+			if err != nil {
+				return nil, err
+			}
+			g, ok := rows.(Graph)
+			if !ok {
+				return nil, &wire.DecodeError{Reason: "ringInput rows are not a Graph"}
+			}
+			return ringInput{Lo: int(lo), Rows: g}, nil
+		})
+
+	wire.Register(58, pivotMsg{},
+		func(e *wire.Enc, v graph.Value) error {
+			pm := v.(pivotMsg)
+			e.I64(int64(pm.K))
+			e.I64(int64(pm.Hops))
+			e.I32s(pm.Row)
+			return nil
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			k, err := d.I64()
+			if err != nil {
+				return nil, err
+			}
+			hops, err := d.I64()
+			if err != nil {
+				return nil, err
+			}
+			row, err := d.I32s()
+			if err != nil {
+				return nil, err
+			}
+			return pivotMsg{K: int(k), Row: row, Hops: int(hops)}, nil
+		})
+}

@@ -1,0 +1,34 @@
+package euler
+
+import (
+	"parhask/internal/eden/wire"
+	"parhask/internal/graph"
+)
+
+// Wire codec for the sumEuler task type (tag block 48..55). A Range
+// packs at its historical 32-byte PackedSize: header, Lo, Hi, and one
+// reserved word.
+func init() {
+	wire.Register(48, Range{},
+		func(e *wire.Enc, v graph.Value) error {
+			r := v.(Range)
+			e.I64(int64(r.Lo))
+			e.I64(int64(r.Hi))
+			e.Pad(8)
+			return nil
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			lo, err := d.I64()
+			if err != nil {
+				return nil, err
+			}
+			hi, err := d.I64()
+			if err != nil {
+				return nil, err
+			}
+			if err := d.Skip(8); err != nil {
+				return nil, err
+			}
+			return Range{Lo: int(lo), Hi: int(hi)}, nil
+		})
+}

@@ -80,15 +80,23 @@ func GpHRowProgram(a, b Mat, mulAddCost int64) func(*rts.Ctx) graph.Value {
 	return func(ctx *rts.Ctx) graph.Value { return p(ctx) }
 }
 
+// PackedSize implements eden.Sized: a Mat packs exactly like the
+// underlying [][]float64. Without this the named type fell through to
+// SizeOfChecked's old one-word default, so every block a torus node
+// returned was charged 16 bytes while the copier shipped the whole
+// matrix — the packing model and the transport disagreed by megabytes.
+func (m Mat) PackedSize() int64 { return eden.SizeOf([][]float64(m)) }
+
 // cannonInput is the initial payload of one torus node: its (already
 // skew-aligned) blocks of A and B.
 type cannonInput struct {
 	A, B Mat
 }
 
-// PackedSize implements eden.Sized.
+// PackedSize implements eden.Sized: an 8-byte wire header plus the two
+// blocks at their own packed sizes.
 func (ci cannonInput) PackedSize() int64 {
-	return eden.SizeOf([][]float64(ci.A)) + eden.SizeOf([][]float64(ci.B))
+	return 8 + eden.SizeOf([][]float64(ci.A)) + eden.SizeOf([][]float64(ci.B))
 }
 
 // blockMsg is one shifted block in Cannon's round exchange.

@@ -1,0 +1,85 @@
+package matmul
+
+import (
+	"parhask/internal/eden/wire"
+	"parhask/internal/graph"
+)
+
+// encRows / decRows ship a matrix as a row count plus one full
+// []float64 value per row — the exact layout SizeOf charges for a
+// [][]float64 minus the outer header, so wrappers can reuse it whether
+// their own header stands in for the matrix header (blockMsg) or the
+// matrix nests as a complete value (cannonInput).
+func encRows(e *wire.Enc, m Mat) error {
+	e.U64(uint64(len(m)))
+	for _, row := range m {
+		if err := e.Value(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func decRows(d *wire.Dec) (Mat, error) {
+	n, err := d.U64()
+	if err != nil {
+		return nil, err
+	}
+	var m Mat
+	for i := uint64(0); i < n; i++ {
+		row, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		r, ok := row.([]float64)
+		if !ok {
+			return nil, &wire.DecodeError{Reason: "matrix row is not []float64"}
+		}
+		m = append(m, r)
+	}
+	return m, nil
+}
+
+// Wire codecs for the Cannon-torus message types (tag block 64..71).
+func init() {
+	wire.Register(64, Mat{},
+		func(e *wire.Enc, v graph.Value) error { return encRows(e, v.(Mat)) },
+		func(d *wire.Dec) (graph.Value, error) { return decRows(d) })
+
+	wire.Register(65, cannonInput{},
+		func(e *wire.Enc, v graph.Value) error {
+			ci := v.(cannonInput)
+			if err := e.Value(ci.A); err != nil {
+				return err
+			}
+			return e.Value(ci.B)
+		},
+		func(d *wire.Dec) (graph.Value, error) {
+			a, err := d.Value()
+			if err != nil {
+				return nil, err
+			}
+			b, err := d.Value()
+			if err != nil {
+				return nil, err
+			}
+			ma, ok1 := a.(Mat)
+			mb, ok2 := b.(Mat)
+			if !ok1 || !ok2 {
+				return nil, &wire.DecodeError{Reason: "cannonInput blocks are not Mats"}
+			}
+			return cannonInput{A: ma, B: mb}, nil
+		})
+
+	// blockMsg's PackedSize is exactly the matrix size, so its own
+	// header plays the matrix-header role and the rows follow inline.
+	wire.Register(66, blockMsg{},
+		func(e *wire.Enc, v graph.Value) error { return encRows(e, v.(blockMsg).M) },
+		func(d *wire.Dec) (graph.Value, error) {
+			m, err := decRows(d)
+			if err != nil {
+				return nil, err
+			}
+			return blockMsg{M: m}, nil
+		})
+}
