@@ -1,6 +1,7 @@
 package parhask
 
 import (
+	"parhask/internal/cluster"
 	"parhask/internal/core"
 	"parhask/internal/cost"
 	"parhask/internal/eden"
@@ -312,6 +313,46 @@ var (
 	NewNativePool = native.NewPool
 	// NewEdenNativeResident builds a resident Eden lane.
 	NewEdenNativeResident = nativeeden.NewResident
+)
+
+// Cluster: the multi-process Eden runtime — worker OS processes over a
+// framed socket protocol (tcp or unix), with a self-healing control
+// plane: heartbeat liveness, bounded per-rank send queues, link
+// reconnection with seq/ack replay, and a supervisor that respawns the
+// whole SPMD run under a restart budget with exponential backoff.
+type (
+	// ClusterConfig describes one multi-process run (processes, PEs per
+	// process, transport, workload spec, faults, recovery knobs).
+	ClusterConfig = cluster.Config
+	// ClusterResult is the coordinator's folded outcome: the root value,
+	// per-PE counters, the merged timeline and the recovery telemetry
+	// (restarts, reconnects, per-rank dropped frames, heartbeat RTT).
+	ClusterResult = cluster.Result
+	// ClusterRestart is the supervision policy ClusterRunSupervised
+	// applies (max attempts, backoff, cap, deadlock retry).
+	ClusterRestart = cluster.Restart
+	// ClusterAttempt is one failed attempt on the restart history.
+	ClusterAttempt = cluster.Attempt
+	// ClusterRestartsExhaustedError is the supervisor's structured
+	// give-up: the full attempt history, unwrapping to the last death.
+	ClusterRestartsExhaustedError = cluster.RestartsExhaustedError
+	// ProcessDeathError is the structured failure of a worker process
+	// that died or went silent (rank, unreachable PEs, reason).
+	ProcessDeathError = faults.ProcessDeathError
+)
+
+// Cluster entry points.
+var (
+	// ClusterRun executes one multi-process run (no supervision).
+	ClusterRun = cluster.Run
+	// ClusterRunSupervised retries worker deaths under Config.Restart.
+	ClusterRunSupervised = cluster.RunSupervised
+	// ClusterMaybeWorker diverts a process re-executed as a cluster
+	// worker; call it first in main() of any binary that starts clusters.
+	ClusterMaybeWorker = cluster.MaybeWorker
+	// ClusterBuildProgram resolves a workload spec string to the program
+	// and its oracle — what the coordinator and every worker run.
+	ClusterBuildProgram = cluster.BuildProgram
 )
 
 // Serve: the resident compute service over both native backends —

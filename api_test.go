@@ -1,13 +1,58 @@
 package parhask_test
 
 import (
+	"errors"
+	"os"
 	"testing"
+	"time"
 
 	"parhask"
 )
 
 // These tests exercise the public facade exactly as a downstream user
 // would: only identifiers exported from the parhask package.
+
+// TestMain lets the cluster facade test re-execute this binary as its
+// worker processes, exactly as a downstream main() would.
+func TestMain(m *testing.M) {
+	parhask.ClusterMaybeWorker()
+	os.Exit(m.Run())
+}
+
+func TestFacadeClusterSupervised(t *testing.T) {
+	cfg := parhask.ClusterConfig{
+		Procs: 2, PerProc: 1, Transport: "tcp",
+		Spec:     "sumeuler?n=2000&chunks=4",
+		Faults:   "kill-rank=1:20ms",
+		Restart:  &parhask.ClusterRestart{Max: 2, Backoff: 20 * time.Millisecond},
+		Deadline: 60 * time.Second,
+	}
+	res, err := parhask.ClusterRunSupervised(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, oracle, err := parhask.ClusterBuildProgram(cfg.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := oracle(res.Value); err != nil {
+		t.Fatalf("recovered value fails the oracle: %v", err)
+	}
+	if res.Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", res.Restarts)
+	}
+
+	// The unsupervised entry point surfaces the same death structurally.
+	cfg.Restart = nil
+	if _, err := parhask.ClusterRun(cfg); err == nil {
+		t.Fatal("unsupervised kill should fail")
+	} else {
+		var pd *parhask.ProcessDeathError
+		if !errors.As(err, &pd) || pd.Rank != 1 {
+			t.Fatalf("want ProcessDeathError for rank 1, got %v", err)
+		}
+	}
+}
 
 func TestFacadeGpHRoundTrip(t *testing.T) {
 	cfg := parhask.GpHWorkStealing(4)

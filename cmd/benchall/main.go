@@ -12,6 +12,7 @@
 //	benchall -faultoverhead                     # + disabled-vs-armed fault-plane cost
 //	benchall -serve      # + resident-service bench: sustained load + chaos under traffic
 //	benchall -quick -chaos 500                  # seeded chaos soak (exit 1 on violations)
+//	benchall -quick -cluster -chaos 16          # chaos under the cluster: supervised recovery soak
 //	benchall -quick -faults "seed=7,drop=0.4" -faultbackend nativeeden   # replay one seed
 //
 // Output is text: runtime tables, ASCII timeline traces and speedup
@@ -52,8 +53,10 @@ func main() {
 	faultOverhead := flag.Bool("faultoverhead", false, "also measure the disabled-vs-armed fault-plane overhead (implies -native)")
 	serveBench := flag.Bool("serve", false, "also run the resident-service benchmark: sustained concurrent load + chaos under traffic (implies -native)")
 	autotuneSweep := flag.Bool("autotune", false, "also run the self-tuning sweep: hand-tuned vs online-controller rows with the decision trace (implies -native)")
-	clusterSweep := flag.Bool("cluster", false, "also run the multi-process Eden cluster sweep over a real socket transport (implies -native)")
+	clusterSweep := flag.Bool("cluster", false, "also run the multi-process Eden cluster sweep over a real socket transport (implies -native); with -chaos N, run the chaos-under-cluster soak instead")
 	transport := flag.String("transport", "tcp", "cluster sweep transport: tcp | unix")
+	restarts := flag.Int("restarts", 2, "cluster restart budget per supervised run in the chaos-under-cluster soak")
+	reconnect := flag.Bool("reconnect", true, "cluster: let workers whose links break redial and resume in place")
 	chaosIters := flag.Int("chaos", 0, "run an N-iteration seeded chaos soak over both native backends instead of the figures (writes results/CHAOS.html + .json; exits non-zero on violations)")
 	chaosSeed := flag.Uint64("chaosseed", 42, "chaos soak master seed")
 	faultSpec := flag.String("faults", "", "replay one fault-injected run from a spec (internal/faults grammar) instead of the figures")
@@ -122,7 +125,7 @@ func main() {
 	// Fail fast on the cluster flags: the sweep spawns real processes,
 	// so a bad transport must die before any figure runs.
 	if *clusterSweep {
-		if err := cluster.CheckFlags("eden", 1, *transport); err != nil {
+		if err := cluster.CheckFlags("eden", 1, *transport, *restarts); err != nil {
 			fmt.Fprintln(os.Stderr, "benchall:", err)
 			os.Exit(2)
 		}
@@ -143,7 +146,34 @@ func main() {
 				exit = 1
 			}
 		}
-		if *chaosIters > 0 {
+		if *chaosIters > 0 && *clusterSweep {
+			// Chaos under the cluster: supervised multi-process runs with
+			// ranks killed, flapped, severed and wedged. The soak report is
+			// the recovery-trace artifact, and it also lands under
+			// cluster.chaos in results/BENCH_native.json so the sweep file
+			// carries its own robustness evidence.
+			c := experiments.RunClusterChaos(p, *chaosIters, *chaosSeed, *transport, *restarts, *reconnect)
+			fmt.Println(c.String())
+			if err := os.MkdirAll("results", 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "benchall: mkdir results:", err)
+			} else {
+				if data, err := c.JSON(); err == nil {
+					if err := os.WriteFile("results/CHAOS_cluster.json", data, 0o644); err != nil {
+						fmt.Fprintln(os.Stderr, "benchall: write results/CHAOS_cluster.json:", err)
+					} else {
+						fmt.Println("wrote results/CHAOS_cluster.json")
+					}
+				}
+				if err := experiments.MergeClusterChaos("results/BENCH_native.json", c); err != nil {
+					fmt.Fprintln(os.Stderr, "benchall:", err)
+				} else {
+					fmt.Println("merged the soak into results/BENCH_native.json under cluster.chaos")
+				}
+			}
+			if c.Violations > 0 {
+				exit = 1
+			}
+		} else if *chaosIters > 0 {
 			s := experiments.RunChaosSoak(p, *chaosIters, *chaosSeed)
 			fmt.Println(s.String())
 			if err := os.MkdirAll("results", 0o755); err != nil {

@@ -73,9 +73,11 @@ func main() {
 	backoffSpec := flag.String("backoff", "", "native runtime: idle backoff policy, e.g. \"spin=64,min=10us,max=1280us,park=8\" (empty = default)")
 	clusterN := flag.Int("cluster", 0, "run -runtime eden as N separate worker OS processes, -pes PEs each (0 = single process)")
 	transport := flag.String("transport", "tcp", "cluster transport: tcp | unix")
+	restarts := flag.Int("restarts", 0, "cluster restart budget: respawn the workers and retry the run up to N times after a process death (0 = fail on the first death)")
+	reconnect := flag.Bool("reconnect", true, "cluster: let a worker whose link breaks redial and resume in place")
 	flag.Parse()
 
-	if err := cluster.CheckFlags(*rtKind, *clusterN, *transport); err != nil {
+	if err := cluster.CheckFlags(*rtKind, *clusterN, *transport, *restarts); err != nil {
 		fmt.Fprintln(os.Stderr, "sumeuler:", err)
 		os.Exit(2)
 	}
@@ -175,7 +177,13 @@ func main() {
 			Spec:   fmt.Sprintf("sumeuler?n=%d&chunks=8", *n),
 			Faults: *faultSpec, EventLog: *showTrace, Deadline: *deadline,
 		}
-		res, err := cluster.Run(ccfg)
+		if *restarts > 0 {
+			ccfg.Restart = &cluster.Restart{Max: *restarts}
+		}
+		if !*reconnect {
+			ccfg.ReconnectWindow = -1
+		}
+		res, err := cluster.RunSupervised(ccfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sumeuler:", err)
 			os.Exit(1)
@@ -199,6 +207,9 @@ func main() {
 		fmt.Printf("runtime  = %v (root wall clock; %v including launch and drain)\n",
 			time.Duration(res.WallNS), time.Duration(res.CoordNS))
 		fmt.Printf("stats    = %+v\n", res.Total)
+		if s := res.RecoverySummary(); s != "" {
+			fmt.Print(s)
+		}
 		if *showTrace {
 			if tl, terr := res.TraceLog(); terr == nil && tl != nil {
 				fmt.Print(tl.Render(*width))

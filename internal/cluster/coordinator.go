@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,12 +8,16 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"parhask/internal/eden/wire"
 	"parhask/internal/eventlog"
 	"parhask/internal/faults"
 	"parhask/internal/graph"
+	"parhask/internal/metrics"
 	"parhask/internal/nativeeden"
 )
 
@@ -29,8 +32,9 @@ type Config struct {
 	// Spec names the workload (see BuildProgram).
 	Spec string
 	// Faults is an optional faults.Parse spec shipped to every worker;
-	// its kill-rank/sever-rank clauses are the cluster-level fault
-	// classes (the targeted worker applies them to itself).
+	// its kill-rank/sever-rank/flap-rank/wedge-rank clauses are the
+	// cluster-level fault classes (the targeted worker applies them to
+	// itself).
 	Faults string
 	// EventLog makes every worker record per-PE timelines; the folded
 	// Dump lands in Result.Timeline.
@@ -40,9 +44,36 @@ type Config struct {
 	// peer from a dead cluster — so expiry kills the workers and fails
 	// with a structured *faults.DeadlockError. Zero means a minute.
 	Deadline time.Duration
+	// Restart, when non-nil, lets RunSupervised retry the whole SPMD
+	// run after a process death (see supervise.go). Run ignores it.
+	Restart *Restart
+	// Heartbeat is the liveness ping interval; a rank silent for four
+	// intervals dies with reason "heartbeat timeout". Zero means 500ms.
+	Heartbeat time.Duration
+	// ReconnectWindow is how long a rank whose link broke may redial
+	// and resume in place before the break is declared a death. Zero
+	// means 3s; negative disables reconnection entirely.
+	ReconnectWindow time.Duration
+	// QueueDepth bounds each rank's outbound frame queue and retransmit
+	// buffer; overflow is a structured backpressure death, never a
+	// wedged coordinator. Zero means 1024.
+	QueueDepth int
+	// Metrics, when non-nil, receives the recovery counters
+	// (cluster_restarts_total, cluster_reconnects_total,
+	// cluster_dropped_frames_total) and the recovery-latency histogram.
+	Metrics *metrics.Registry
 	// Stderr receives the workers' stderr (defaults to os.Stderr).
 	Stderr io.Writer
 }
+
+// Defaults for the liveness and recovery knobs.
+const (
+	defaultHeartbeat       = 500 * time.Millisecond
+	heartbeatMissFactor    = 4
+	defaultReconnectWindow = 3 * time.Second
+	defaultQueueDepth      = 1024
+	terminateGrace         = 2 * time.Second
+)
 
 // Validate is the fail-fast check the CLIs run on flag parse: it
 // rejects a nonsensical topology, an unknown transport, a workload
@@ -57,6 +88,12 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.Transport != "tcp" && cfg.Transport != "unix" {
 		return fmt.Errorf("cluster: unknown transport %q (want tcp or unix)", cfg.Transport)
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("cluster: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.Restart != nil && cfg.Restart.Max < 0 {
+		return fmt.Errorf("cluster: negative restart budget %d", cfg.Restart.Max)
 	}
 	if _, _, err := BuildProgram(cfg.Spec); err != nil {
 		return err
@@ -86,7 +123,29 @@ type Result struct {
 	// Reports are the per-rank summaries as the workers sent them.
 	Reports []nativeeden.Report
 	// Timeline is the merged per-PE event dump (nil unless EventLog).
+	// Runs that rode out link outages gain a synthetic "coord" lane
+	// whose block events bracket each outage window.
 	Timeline *eventlog.Dump
+	// Restarts counts full-run retries RunSupervised performed before
+	// this (successful) result; Attempts is their history.
+	Restarts int
+	Attempts []Attempt
+	// RecoveryNS is the recovery latency of a supervised run: first
+	// failure detection to final success. Zero when no restart
+	// happened.
+	RecoveryNS int64
+	// Reconnects counts in-place link recoveries (worker redials
+	// accepted mid-run); ReconnectNS is the total wall time links
+	// spent down before healing.
+	Reconnects  int
+	ReconnectNS int64
+	// DroppedFrames counts, per destination rank, routed frames
+	// discarded because the destination was already gone — a lossy run
+	// is visible even when it succeeds (a rank that reported and left
+	// may still be routed to by stragglers).
+	DroppedFrames []int64
+	// HeartbeatRTTNS is the worst ping round trip observed.
+	HeartbeatRTTNS int64
 }
 
 // pesOf lists the global PEs rank owns — the unreachable set a
@@ -99,23 +158,377 @@ func pesOf(rank, perProc int) []int {
 	return pes
 }
 
-// event is one occurrence the per-connection readers and process
-// waiters feed the coordinator's state machine.
+// outFrame is one queued outbound frame; the writer stamps the
+// sequence number at send time.
+type outFrame struct {
+	kind byte
+	body []byte
+}
+
+// rankLink is the coordinator's half of one worker link: the live
+// conn (nil while the rank is down), the bounded outbound queue its
+// writer goroutine drains, and the seq/ack state that makes a
+// reconnect lossless.
+type rankLink struct {
+	rank int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	c        *conn
+	gen      int // bumped per (re)connect; readers and timers carry it
+	dead     bool
+	sendSeq  uint32
+	unacked  []savedFrame
+	lastRecv uint32
+
+	out chan outFrame
+
+	up       atomic.Bool  // link currently connected
+	done     atomic.Bool  // rank has reported; frames to it now drop
+	lastSeen atomic.Int64 // unix nanos of the last frame from this rank
+	drops    atomic.Int64 // routed frames discarded (dead/done destination)
+	rttNS    atomic.Int64 // worst heartbeat round trip
+}
+
+func (l *rankLink) curGen() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.gen
+}
+
+func (l *rankLink) isDead() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dead
+}
+
+// accept applies receive-side sequencing (see wlink.accept).
+func (l *rankLink) accept(seq uint32) (process, ackNow bool, err error) {
+	if seq == 0 {
+		return true, false, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case seq <= l.lastRecv:
+		return false, false, nil
+	case seq != l.lastRecv+1:
+		return false, false, fmt.Errorf("cluster: rank %d: sequence gap (frame %d after %d)", l.rank, seq, l.lastRecv)
+	}
+	l.lastRecv = seq
+	return true, l.lastRecv%ackEvery == 0, nil
+}
+
+func (l *rankLink) ackSent(seq uint32) {
+	l.mu.Lock()
+	l.unacked = trimAcked(l.unacked, seq)
+	l.mu.Unlock()
+}
+
+func (l *rankLink) recvCursor() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastRecv
+}
+
+// kill marks the link terminally dead and wakes its writer.
+func (l *rankLink) kill() {
+	l.mu.Lock()
+	l.dead = true
+	if l.c != nil {
+		l.c.Close()
+		l.c = nil
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.up.Store(false)
+}
+
+// event is one occurrence the readers, writers, process waiters,
+// accept loop and timers feed the coordinator's state machine.
 type event struct {
 	rank int
-	kind byte // frame kind, 0 for connection/process events
+	gen  int    // connection generation, for ignoring stale reports
+	kind byte   // frame kind, 0 for non-frame events
 	body []byte
-	err  error // connection failure (kind 0)
-	exit bool  // process exit (err is its wait status)
+	err  error
+
+	exit         bool  // process exit (err is its wait status)
+	readerEnd    bool  // connection reader finished (err says why)
+	graceful     bool  // readerEnd via a clean BYE
+	reHello      *conn // reconnect HELLO accepted by the listener
+	helloRecv    uint32
+	winExpired   bool // reconnect window ran out
+	hbTimeout    bool // heartbeat staleness observed
+	backpressure bool // outbound queue or retransmit buffer overflow
+}
+
+// coord is one run's coordinator state shared by its goroutines.
+type coord struct {
+	cfg       Config
+	procs     int
+	perProc   int
+	links     []*rankLink
+	evCh      chan event
+	stop      chan struct{}
+	hb        time.Duration
+	hbTimeout time.Duration
+	window    time.Duration // reconnect window; <0 disables
+	depth     int
+
+	mReconnects *metrics.Counter
+	mDrops      *metrics.Counter
+}
+
+func (cd *coord) emit(ev event) {
+	select {
+	case cd.evCh <- ev:
+	case <-cd.stop:
+	}
+}
+
+func (cd *coord) reconnectOK() bool { return cd.window >= 0 }
+
+// route queues one frame for dst's writer. A dead or departed
+// destination counts a drop (the routed-frame loss the Result
+// surfaces); a full queue is a backpressure death — structured, never
+// a wedged coordinator.
+func (cd *coord) route(l *rankLink, kind byte, body []byte) {
+	if l.done.Load() || l.isDead() {
+		l.drops.Add(1)
+		if cd.mDrops != nil {
+			cd.mDrops.Inc()
+		}
+		return
+	}
+	select {
+	case l.out <- outFrame{kind: kind, body: body}:
+	case <-cd.stop:
+	default:
+		cd.emit(event{rank: l.rank, backpressure: true})
+	}
+}
+
+// writeLoop drains one rank's outbound queue. Dedicated writers are
+// what removed the head-of-line blocking of the reader-routes-
+// synchronously design: a slow destination socket stalls only its own
+// queue, never the source rank's reader.
+func (cd *coord) writeLoop(l *rankLink) {
+	for {
+		select {
+		case f := <-l.out:
+			cd.deliver(l, f)
+		case <-cd.stop:
+			return
+		}
+	}
+}
+
+// deliver sends one queued frame, waiting out a reconnect if the link
+// is down. Sequenced frames enter the retransmit buffer before the
+// write, so a mid-flight break is healed by the install-time replay.
+func (cd *coord) deliver(l *rankLink, f outFrame) {
+	l.mu.Lock()
+	for l.c == nil && !l.dead {
+		l.cond.Wait()
+	}
+	if l.dead {
+		l.mu.Unlock()
+		if sequenced(f.kind) {
+			l.drops.Add(1)
+			if cd.mDrops != nil {
+				cd.mDrops.Inc()
+			}
+		}
+		return
+	}
+	c := l.c
+	var seq uint32
+	if sequenced(f.kind) {
+		l.sendSeq++
+		seq = l.sendSeq
+		l.unacked = append(l.unacked, savedFrame{seq: seq, kind: f.kind, body: f.body})
+		if len(l.unacked) > cd.depth {
+			l.mu.Unlock()
+			cd.emit(event{rank: l.rank, backpressure: true})
+			return
+		}
+	}
+	l.mu.Unlock()
+	if err := c.write(f.kind, seq, f.body); err != nil {
+		// The reader on this conn reports the break; the frame sits in
+		// the retransmit buffer for the reconnect replay.
+		l.mu.Lock()
+		if l.c == c {
+			l.c = nil
+		}
+		l.mu.Unlock()
+		c.Close()
+	}
+}
+
+// readLoop pumps one connection generation of one rank: data frames
+// are routed (via the destination's queue), pongs and acks feed the
+// liveness and retransmit state, control frames go to the state
+// machine, and a broken connection is reported with its generation so
+// a stale reader cannot kill a healed link.
+func (cd *coord) readLoop(l *rankLink, c *conn, gen int) {
+	fail := func(err error) {
+		c.Close()
+		cd.emit(event{rank: l.rank, gen: gen, readerEnd: true, err: err})
+	}
+	for {
+		kind, seq, body, err := c.read()
+		if err != nil {
+			cd.emit(event{rank: l.rank, gen: gen, readerEnd: true, err: err})
+			return
+		}
+		l.lastSeen.Store(time.Now().UnixNano())
+		process, ackNow, serr := l.accept(seq)
+		if serr != nil {
+			fail(serr)
+			return
+		}
+		if seq != 0 && (ackNow || !process || kind != frameData) {
+			// Ack promptly on the control frames (a worker lingers on its
+			// unacked report) and on replayed duplicates; bulk data acks
+			// every ackEvery.
+			_ = c.write(frameAck, 0, encodeSeq(l.recvCursor()))
+		}
+		if !process {
+			continue
+		}
+		switch kind {
+		case frameData:
+			_, _, _, dst, _, derr := decodeData(body)
+			if derr != nil {
+				fail(derr)
+				return
+			}
+			owner := 0
+			if cd.perProc > 0 {
+				owner = dst / cd.perProc
+			}
+			if owner >= 0 && owner < len(cd.links) {
+				cd.route(cd.links[owner], frameData, body)
+			}
+		case framePong:
+			nanos, ack, perr := decodePing(body)
+			if perr == nil {
+				if rtt := time.Now().UnixNano() - nanos; rtt > l.rttNS.Load() {
+					l.rttNS.Store(rtt)
+				}
+				l.ackSent(ack)
+			}
+		case frameAck:
+			if s, aerr := decodeSeq(body); aerr == nil {
+				l.ackSent(s)
+			}
+		case frameBye:
+			cd.emit(event{rank: l.rank, gen: gen, readerEnd: true, graceful: true})
+			return
+		default:
+			cd.emit(event{rank: l.rank, gen: gen, kind: kind, body: body})
+		}
+	}
+}
+
+// heartbeat pings every live rank and reports staleness. Pings travel
+// the normal outbound queues (never a blocking write on this loop), a
+// stale lastSeen is detected here regardless of whether the ping
+// itself got through — a wedged worker is silent, and silence is the
+// signal.
+func (cd *coord) heartbeat() {
+	t := time.NewTicker(cd.hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-cd.stop:
+			return
+		case <-t.C:
+			now := time.Now().UnixNano()
+			for _, l := range cd.links {
+				if !l.up.Load() || l.done.Load() {
+					continue
+				}
+				if now-l.lastSeen.Load() > cd.hbTimeout.Nanoseconds() {
+					cd.emit(event{rank: l.rank, hbTimeout: true})
+					continue
+				}
+				select {
+				case l.out <- outFrame{kind: framePing, body: encodePing(now, l.recvCursor())}:
+				default: // queue full: data is flowing, acks cover liveness
+				}
+			}
+		}
+	}
+}
+
+// acceptLoop keeps the listener hot for the whole run so a worker
+// redialling after a link failure finds someone to talk to. Joining
+// HELLOs are handed to the initial gather; reconnect HELLOs go to the
+// state machine.
+type joinConn struct {
+	rank int
+	c    *conn
+	err  error
+}
+
+func (cd *coord) acceptLoop(ln net.Listener, joinCh chan<- joinConn) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed: run over
+		}
+		go cd.handleHello(nc, joinCh)
+	}
+}
+
+func (cd *coord) handleHello(nc net.Conn, joinCh chan<- joinConn) {
+	_ = nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	c := newConn(nc)
+	kind, _, body, err := c.read()
+	if err != nil || kind != frameHello {
+		nc.Close()
+		cd.join(joinCh, joinConn{rank: -1, err: fmt.Errorf("cluster: bad hello (kind %d): %v", kind, err)})
+		return
+	}
+	rank, flags, lastRecv, derr := decodeHello(body)
+	if derr != nil || rank < 0 || rank >= cd.procs {
+		nc.Close()
+		cd.join(joinCh, joinConn{rank: -1, err: fmt.Errorf("cluster: hello from invalid rank %d: %v", rank, derr)})
+		return
+	}
+	_ = nc.SetReadDeadline(time.Time{})
+	if flags&helloFlagReconnect != 0 {
+		cd.emit(event{rank: rank, reHello: c, helloRecv: lastRecv})
+		return
+	}
+	cd.join(joinCh, joinConn{rank: rank, c: c})
+}
+
+func (cd *coord) join(joinCh chan<- joinConn, j joinConn) {
+	select {
+	case joinCh <- j:
+	case <-cd.stop:
+		if j.c != nil {
+			j.c.Close()
+		}
+	}
 }
 
 // Run executes one cluster run: launch Procs workers re-executing this
 // binary, route their traffic, collect rank 0's result, drain, fold.
-// A worker that dies or loses its link before reporting fails the run
-// with a *faults.ProcessDeathError; deadline expiry with a
-// *faults.DeadlockError. The partial Result (whatever reports arrived)
-// is returned alongside either error.
+// A worker that dies, wedges, or loses its link beyond the reconnect
+// window fails the run with a *faults.ProcessDeathError; deadline
+// expiry with a *faults.DeadlockError. The partial Result (whatever
+// reports arrived) is returned alongside either error. Run is a single
+// attempt — RunSupervised adds the restart policy.
 func Run(cfg Config) (*Result, error) {
+	return runAttempt(cfg, 0)
+}
+
+func runAttempt(cfg Config, attempt int) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -126,6 +539,37 @@ func Run(cfg Config) (*Result, error) {
 	stderr := cfg.Stderr
 	if stderr == nil {
 		stderr = os.Stderr
+	}
+
+	cd := &coord{
+		cfg:     cfg,
+		procs:   cfg.Procs,
+		perProc: cfg.PerProc,
+		evCh:    make(chan event, cfg.Procs*8+16),
+		stop:    make(chan struct{}),
+		hb:      cfg.Heartbeat,
+		window:  cfg.ReconnectWindow,
+		depth:   cfg.QueueDepth,
+	}
+	if cd.hb <= 0 {
+		cd.hb = defaultHeartbeat
+	}
+	cd.hbTimeout = heartbeatMissFactor * cd.hb
+	if cd.window == 0 {
+		cd.window = defaultReconnectWindow
+	}
+	if cd.depth <= 0 {
+		cd.depth = defaultQueueDepth
+	}
+	if cfg.Metrics != nil {
+		cd.mReconnects = cfg.Metrics.Counter("cluster_reconnects_total", "worker link reconnects accepted mid-run")
+		cd.mDrops = cfg.Metrics.Counter("cluster_dropped_frames_total", "routed frames dropped on a dead destination")
+	}
+	cd.links = make([]*rankLink, cfg.Procs)
+	for rank := range cd.links {
+		l := &rankLink{rank: rank, out: make(chan outFrame, cd.depth)}
+		l.cond = sync.NewCond(&l.mu)
+		cd.links[rank] = l
 	}
 
 	// Listen before launching so workers have something to dial.
@@ -153,6 +597,17 @@ func Run(cfg Config) (*Result, error) {
 	}
 	defer ln.Close()
 
+	// Shutdown order matters (defers are LIFO): workers are terminated
+	// gracefully FIRST, while their links are still open, so draining
+	// workers can flush reports; then the links die and every helper
+	// goroutine unwinds.
+	defer func() {
+		close(cd.stop)
+		for _, l := range cd.links {
+			l.kill()
+		}
+	}()
+
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: resolving own binary: %w", err)
@@ -169,63 +624,63 @@ func Run(cfg Config) (*Result, error) {
 			fmt.Sprintf("%s=%s", envSpec, cfg.Spec),
 			fmt.Sprintf("%s=%s", envFaults, cfg.Faults),
 			fmt.Sprintf("%s=%s", envEventLog, boolEnv(cfg.EventLog)),
+			fmt.Sprintf("%s=%d", envAttempt, attempt),
+			fmt.Sprintf("%s=%s", envReconnect, boolEnv(cd.reconnectOK())),
 		)
 		cmd.Stdout = stderr
 		cmd.Stderr = stderr
 		if err := cmd.Start(); err != nil {
-			killAll(cmds)
+			terminateAll(cmds, 0)
 			return nil, fmt.Errorf("cluster: launching rank %d: %w", rank, err)
 		}
 		cmds[rank] = cmd
 	}
-	defer killAll(cmds)
+	defer terminateAll(cmds, terminateGrace)
 
-	conns, err := acceptWorkers(ln, cfg.Procs, deadline)
-	if err != nil {
+	joinCh := make(chan joinConn, cfg.Procs)
+	go cd.acceptLoop(ln, joinCh)
+	if err := cd.gather(joinCh, deadline); err != nil {
 		return nil, err
 	}
-	defer func() {
-		for _, c := range conns {
-			if c != nil {
-				c.Close()
-			}
-		}
-	}()
 
 	// GO must reach every worker before any reader starts routing: the
 	// first worker released sends data immediately, and a routed data
 	// frame must not overtake another worker's GO on its connection.
 	// Until the readers run, early frames just wait in socket buffers.
 	start := time.Now()
-	for _, c := range conns {
-		if err := c.write(frameGo, nil); err != nil {
+	for _, l := range cd.links {
+		if err := l.c.write(frameGo, 0, nil); err != nil {
 			return nil, fmt.Errorf("cluster: starting workers: %w", err)
 		}
 	}
 
-	evCh := make(chan event, cfg.Procs*4)
-	for rank, c := range conns {
-		go readWorker(rank, c, conns, cfg.PerProc, evCh)
+	now := time.Now().UnixNano()
+	for _, l := range cd.links {
+		l.lastSeen.Store(now)
+		l.up.Store(true)
+		go cd.readLoop(l, l.c, l.gen)
+		go cd.writeLoop(l)
 	}
+	go cd.heartbeat()
 	for rank, cmd := range cmds {
 		go func(rank int, cmd *exec.Cmd) {
-			evCh <- event{rank: rank, exit: true, err: cmd.Wait()}
+			cd.emit(event{rank: rank, exit: true, err: cmd.Wait()})
 		}(rank, cmd)
 	}
 
 	// The state machine: wait for rank 0's result, drain, collect every
-	// rank's report. Any death or error before a rank has reported fails
-	// the run; the deadline backstops a wedged cluster.
+	// rank's report. A death before a rank has reported fails the run —
+	// but a broken link first gets the reconnect window, and a healed
+	// link resumes as if nothing happened. The deadline backstops a
+	// wedged cluster.
 	res := &Result{Procs: cfg.Procs, PerProc: cfg.PerProc}
 	reports := make([]*workerReport, cfg.Procs)
-	// A rank is dead only once its READER has ended without a report: a
-	// cleanly-exited worker's report may still be in flight (socket
-	// buffer, reader goroutine) when cmd.Wait fires, so a bare exit
-	// event must wait for the reader — which always ends promptly after
-	// the process dies, because death closes the socket.
-	readerEnded := make([]bool, cfg.Procs)
 	exitSeen := make([]bool, cfg.Procs)
 	exitErrs := make([]error, cfg.Procs)
+	downSince := make([]time.Time, cfg.Procs)
+	downReason := make([]string, cfg.Procs)
+	downErr := make([]error, cfg.Procs)
+	var coordEvents []eventlog.DumpEvent
 	nReports := 0
 	exited := 0
 	timer := time.NewTimer(deadline)
@@ -237,6 +692,35 @@ func Run(cfg Config) (*Result, error) {
 			Rank: rank, PEs: pesOf(rank, cfg.PerProc), Reason: reason, Err: err,
 		}
 	}
+	// linkDown classifies a break and opens the reconnect window (or
+	// returns the death immediately when reconnection is off).
+	linkDown := func(rank int, err error) *faults.ProcessDeathError {
+		l := cd.links[rank]
+		reason := "connection closed"
+		if err != nil && err != io.EOF {
+			reason = "connection error"
+		}
+		if exitSeen[rank] {
+			return died(rank, "exit", exitErrs[rank])
+		}
+		if !cd.reconnectOK() {
+			return died(rank, reason, err)
+		}
+		downSince[rank] = time.Now()
+		downReason[rank], downErr[rank] = reason, err
+		if os.Getenv("PARHASK_CLUSTER_DEBUG") != "" {
+			fmt.Fprintf(os.Stderr, "coord debug: rank %d link down: %s (%v)\n", rank, reason, err)
+		}
+		coordEvents = append(coordEvents, eventlog.DumpEvent{
+			T: time.Since(start).Nanoseconds(), Type: "block-begin", Arg: int32(rank),
+		})
+		gen := l.curGen()
+		win := cd.window
+		time.AfterFunc(win, func() {
+			cd.emit(event{rank: rank, gen: gen, winExpired: true})
+		})
+		return nil
+	}
 
 loop:
 	for nReports < cfg.Procs {
@@ -244,29 +728,87 @@ loop:
 		case <-timer.C:
 			runErr = &faults.DeadlockError{Backend: "cluster", Reason: "deadline", Elapsed: time.Since(start)}
 			break loop
-		case ev := <-evCh:
+		case ev := <-cd.evCh:
+			l := cd.links[ev.rank]
 			switch {
 			case ev.exit:
 				exited++
 				exitSeen[ev.rank] = true
 				exitErrs[ev.rank] = ev.err
-				if readerEnded[ev.rank] && reports[ev.rank] == nil {
-					runErr = died(ev.rank, "exit", ev.err)
-					break loop
-				}
-			case ev.kind == 0 || ev.kind == frameBye: // reader finished
-				readerEnded[ev.rank] = true
-				if reports[ev.rank] == nil {
-					switch {
-					case exitSeen[ev.rank]:
-						runErr = died(ev.rank, "exit", exitErrs[ev.rank])
-					case ev.err != nil && ev.err != io.EOF:
-						runErr = died(ev.rank, "connection error", ev.err)
-					default:
-						runErr = died(ev.rank, "connection closed", ev.err)
+				if reports[ev.rank] == nil && !l.up.Load() {
+					// The process is gone: no reconnect is coming. Report
+					// the first observed cause if the link broke first.
+					if !downSince[ev.rank].IsZero() {
+						runErr = died(ev.rank, downReason[ev.rank], downErr[ev.rank])
+					} else {
+						runErr = died(ev.rank, "exit", ev.err)
 					}
 					break loop
 				}
+			case ev.readerEnd:
+				if ev.gen != l.curGen() {
+					break // a replaced connection's reader winding down
+				}
+				l.mu.Lock()
+				if l.c != nil {
+					l.c.Close()
+					l.c = nil
+				}
+				l.mu.Unlock()
+				l.up.Store(false)
+				if reports[ev.rank] != nil {
+					break // reported already; the exit watcher handles the rest
+				}
+				if ev.graceful {
+					runErr = died(ev.rank, "connection closed", nil)
+					break loop
+				}
+				if pd := linkDown(ev.rank, ev.err); pd != nil {
+					runErr = pd
+					break loop
+				}
+			case ev.reHello != nil:
+				if !cd.reconnectOK() || l.done.Load() || l.isDead() || reports[ev.rank] != nil {
+					ev.reHello.Close()
+					break
+				}
+				if !cd.resumeRank(l, ev.reHello, ev.helloRecv) {
+					break
+				}
+				res.Reconnects++
+				if cd.mReconnects != nil {
+					cd.mReconnects.Inc()
+				}
+				if !downSince[ev.rank].IsZero() {
+					res.ReconnectNS += time.Since(downSince[ev.rank]).Nanoseconds()
+					downSince[ev.rank] = time.Time{}
+				}
+				coordEvents = append(coordEvents, eventlog.DumpEvent{
+					T: time.Since(start).Nanoseconds(), Type: "block-end", Arg: int32(ev.rank),
+				})
+			case ev.winExpired:
+				if reports[ev.rank] != nil || l.up.Load() || ev.gen != l.curGen() {
+					break // healed (or finished) before the window closed
+				}
+				runErr = died(ev.rank, downReason[ev.rank], downErr[ev.rank])
+				break loop
+			case ev.hbTimeout:
+				if reports[ev.rank] != nil || !l.up.Load() {
+					break
+				}
+				if time.Now().UnixNano()-l.lastSeen.Load() < cd.hbTimeout.Nanoseconds() {
+					break // a frame arrived since the tick
+				}
+				runErr = died(ev.rank, "heartbeat timeout",
+					fmt.Errorf("silent for %v", time.Duration(time.Now().UnixNano()-l.lastSeen.Load())))
+				break loop
+			case ev.backpressure:
+				if reports[ev.rank] != nil {
+					break
+				}
+				runErr = died(ev.rank, "backpressure",
+					fmt.Errorf("outbound queue overflow (depth %d)", cd.depth))
+				break loop
 			case ev.kind == frameResult:
 				v, derr := wire.Decode(ev.body)
 				if derr != nil {
@@ -275,13 +817,13 @@ loop:
 				}
 				res.Value = v
 				// The result is in: drain the other ranks so they unwind
-				// and report. Write failures mean the rank is already
-				// dying; its reader or waiter will say so.
+				// and report. The drain rides each rank's queue, so a rank
+				// mid-reconnect still gets it after healing.
 				for rank := 1; rank < cfg.Procs; rank++ {
-					_ = conns[rank].write(frameDrain, nil)
+					cd.route(cd.links[rank], frameDrain, nil)
 				}
 			case ev.kind == frameError:
-				runErr = fmt.Errorf("cluster: rank %d failed: %s", ev.rank, ev.body)
+				runErr = decodeWorkerError(ev.rank, ev.body)
 				break loop
 			case ev.kind == frameReport:
 				var rep workerReport
@@ -292,33 +834,107 @@ loop:
 				if reports[ev.rank] == nil {
 					reports[ev.rank] = &rep
 					nReports++
+					l.done.Store(true)
 				}
 			}
 		}
 	}
 	res.CoordNS = time.Since(start).Nanoseconds()
-	foldReports(res, reports)
+	foldReports(res, reports, coordEvents)
+	res.DroppedFrames = make([]int64, cfg.Procs)
+	for rank, l := range cd.links {
+		res.DroppedFrames[rank] = l.drops.Load()
+		if rtt := l.rttNS.Load(); rtt > res.HeartbeatRTTNS {
+			res.HeartbeatRTTNS = rtt
+		}
+	}
 	if runErr != nil {
-		killAll(cmds)
 		return res, runErr
 	}
 
-	// Clean shutdown: give the drained workers a moment to exit, then
-	// sweep up anything left.
+	// Clean shutdown: give the drained workers a moment to exit; the
+	// deferred terminate sweeps up anything left (TERM, then KILL).
 	grace := time.NewTimer(10 * time.Second)
 	defer grace.Stop()
 	for exited < cfg.Procs {
 		select {
-		case ev := <-evCh:
+		case ev := <-cd.evCh:
 			if ev.exit {
 				exited++
 			}
 		case <-grace.C:
-			killAll(cmds)
 			return res, nil
 		}
 	}
 	return res, nil
+}
+
+// gather collects the initial joining HELLO of every rank.
+func (cd *coord) gather(joinCh <-chan joinConn, deadline time.Duration) error {
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	joined := 0
+	for joined < cd.procs {
+		select {
+		case <-timer.C:
+			return fmt.Errorf("cluster: waiting for workers (%d/%d connected): timeout", joined, cd.procs)
+		case j := <-joinCh:
+			if j.err != nil {
+				return j.err
+			}
+			l := cd.links[j.rank]
+			l.mu.Lock()
+			dup := l.c != nil
+			if !dup {
+				l.c = j.c
+				l.gen = 1
+			}
+			l.mu.Unlock()
+			if dup {
+				j.c.Close()
+				return fmt.Errorf("cluster: hello from duplicate rank %d", j.rank)
+			}
+			joined++
+		}
+	}
+	return nil
+}
+
+// resumeRank installs a reconnect HELLO's connection: welcome the
+// worker with our receive cursor, replay everything it never acked,
+// then swap the conn in and wake the writer. Runs on the state
+// machine, so installs are serialised per rank.
+func (cd *coord) resumeRank(l *rankLink, c *conn, helloRecv uint32) bool {
+	l.mu.Lock()
+	if l.c != nil {
+		// The worker noticed the break before our reader did: replace.
+		old := l.c
+		l.c = nil
+		old.Close()
+	}
+	l.unacked = trimAcked(l.unacked, helloRecv)
+	werr := c.write(frameWelcome, 0, encodeSeq(l.lastRecv))
+	if werr == nil {
+		for _, sf := range l.unacked {
+			if werr = c.write(sf.kind, sf.seq, sf.body); werr != nil {
+				break
+			}
+		}
+	}
+	if werr != nil {
+		l.mu.Unlock()
+		c.Close()
+		return false
+	}
+	l.gen++
+	gen := l.gen
+	l.c = c
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	l.lastSeen.Store(time.Now().UnixNano())
+	l.up.Store(true)
+	go cd.readLoop(l, c, gen)
+	return true
 }
 
 func boolEnv(b bool) string {
@@ -328,85 +944,44 @@ func boolEnv(b bool) string {
 	return "0"
 }
 
-// killAll force-kills every still-running worker.
-func killAll(cmds []*exec.Cmd) {
-	for _, cmd := range cmds {
-		if cmd != nil && cmd.Process != nil {
-			_ = cmd.Process.Kill()
+// terminateAll shuts down every still-running worker gracefully:
+// SIGTERM first (a draining worker flushes its report and eventlog),
+// a probe loop until everything is reaped or the grace runs out, then
+// SIGKILL as the backstop. The Wait goroutines own reaping, so
+// liveness is probed with the null signal.
+func terminateAll(cmds []*exec.Cmd, grace time.Duration) {
+	live := func() []*exec.Cmd {
+		var out []*exec.Cmd
+		for _, cmd := range cmds {
+			if cmd != nil && cmd.Process != nil && cmd.Process.Signal(syscall.Signal(0)) == nil {
+				out = append(out, cmd)
+			}
 		}
+		return out
 	}
-}
-
-// acceptWorkers collects one HELLO-identified connection per rank.
-func acceptWorkers(ln net.Listener, procs int, deadline time.Duration) ([]*conn, error) {
-	type deadliner interface{ SetDeadline(time.Time) error }
-	if d, ok := ln.(deadliner); ok {
-		_ = d.SetDeadline(time.Now().Add(deadline))
+	remaining := live()
+	if len(remaining) == 0 {
+		return
 	}
-	conns := make([]*conn, procs)
-	for i := 0; i < procs; i++ {
-		nc, err := ln.Accept()
-		if err != nil {
-			return nil, fmt.Errorf("cluster: waiting for workers (%d/%d connected): %w", i, procs, err)
-		}
-		_ = nc.SetReadDeadline(time.Now().Add(10 * time.Second))
-		c := newConn(nc)
-		kind, body, err := c.read()
-		if err != nil || kind != frameHello || len(body) != 4 {
-			nc.Close()
-			return nil, fmt.Errorf("cluster: bad hello (kind %d): %v", kind, err)
-		}
-		_ = nc.SetReadDeadline(time.Time{})
-		rank := int(binary.LittleEndian.Uint32(body))
-		if rank < 0 || rank >= procs || conns[rank] != nil {
-			nc.Close()
-			return nil, fmt.Errorf("cluster: hello from invalid or duplicate rank %d", rank)
-		}
-		conns[rank] = c
+	for _, cmd := range remaining {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
 	}
-	return conns, nil
-}
-
-// readWorker pumps one worker's connection: data frames are routed to
-// the destination PE's owner, control frames go to the state machine,
-// and a broken connection is reported as such.
-func readWorker(rank int, c *conn, conns []*conn, perProc int, evCh chan<- event) {
-	for {
-		kind, body, err := c.read()
-		if err != nil {
-			evCh <- event{rank: rank, err: err}
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		if remaining = live(); len(remaining) == 0 {
 			return
 		}
-		switch kind {
-		case frameData:
-			_, _, _, dst, _, derr := decodeData(body)
-			if derr != nil {
-				evCh <- event{rank: rank, err: derr}
-				return
-			}
-			owner := 0
-			if perProc > 0 {
-				owner = dst / perProc
-			}
-			if owner >= 0 && owner < len(conns) && conns[owner] != nil {
-				// A write failure means the destination is dying; its own
-				// reader or process waiter reports the death, so the frame
-				// is simply lost — exactly a severed link.
-				_ = conns[owner].write(frameData, body)
-			}
-		case frameBye:
-			evCh <- event{rank: rank, kind: kind}
-			return
-		default:
-			evCh <- event{rank: rank, kind: kind, body: body}
-		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, cmd := range remaining {
+		_ = cmd.Process.Kill()
 	}
 }
 
 // foldReports merges the per-rank reports into the global view: each
 // rank owns its PE slots, totals sum, timelines concatenate in global
-// PE order.
-func foldReports(res *Result, reports []*workerReport) {
+// PE order, and any recovery events gain a synthetic coordinator lane.
+func foldReports(res *Result, reports []*workerReport, coordEvents []eventlog.DumpEvent) {
 	res.PerPE = make([]nativeeden.PEStats, res.Procs*res.PerProc)
 	res.Reports = make([]nativeeden.Report, res.Procs)
 	var dumps []*eventlog.Dump
@@ -436,12 +1011,15 @@ func foldReports(res *Result, reports []*workerReport) {
 			dumps = append(dumps, rep.Dump)
 		}
 	}
-	res.Timeline = mergeDumps(dumps)
+	res.Timeline = mergeDumps(dumps, coordEvents)
 }
 
 // mergeDumps concatenates per-rank timeline dumps (already in rank
-// order, agents named by global PE) into one cluster-wide dump.
-func mergeDumps(dumps []*eventlog.Dump) *eventlog.Dump {
+// order, agents named by global PE) into one cluster-wide dump. When
+// the run rode out link outages, a synthetic "coord" lane carries the
+// recovery brackets (block-begin at the break, block-end at the
+// accepted re-HELLO, Arg = rank).
+func mergeDumps(dumps []*eventlog.Dump, coordEvents []eventlog.DumpEvent) *eventlog.Dump {
 	if len(dumps) == 0 {
 		return nil
 	}
@@ -453,6 +1031,24 @@ func mergeDumps(dumps []*eventlog.Dump) *eventlog.Dump {
 		if d.WallNS > out.WallNS {
 			out.WallNS = d.WallNS
 		}
+	}
+	if len(coordEvents) > 0 {
+		// Unhealed outages (run failed or finished mid-window) still
+		// close their bracket so the lane renders.
+		open := map[int32]bool{}
+		for _, ev := range coordEvents {
+			if ev.Type == "block-begin" {
+				open[ev.Arg] = true
+			} else {
+				delete(open, ev.Arg)
+			}
+		}
+		last := coordEvents[len(coordEvents)-1].T
+		for rank := range open {
+			coordEvents = append(coordEvents, eventlog.DumpEvent{T: last, Type: "block-end", Arg: rank})
+		}
+		out.Agents = append(out.Agents, "coord")
+		out.Events = append(out.Events, coordEvents)
 	}
 	return out
 }

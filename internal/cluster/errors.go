@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"parhask/internal/eden"
+	"parhask/internal/faults"
+	"parhask/internal/graph"
+)
+
+// A worker that fails mid-run must not flatten its failure to text:
+// the coordinator's caller (and serve.Classify-style taxonomies) keys
+// on the structured error types — *faults.DeadlockError, an injected
+// panic, an Eden misuse — and errors.As must keep working across the
+// process boundary. frameError therefore carries a small JSON envelope
+// with a type tag and the typed error's exported fields; the
+// coordinator rebuilds the typed value and wraps it so both the full
+// original text and the type survive.
+
+// wireError is the frameError body: the failure's full text plus a
+// typed core when the error matches one of the known structured
+// classes.
+type wireError struct {
+	// Type tags the core: "deadlock", "injected-panic", "process-death",
+	// "send", "chan-misuse", "poison", or "text" when the failure
+	// matched no structured class.
+	Type string `json:"type"`
+	// Text is the complete error text, context wrapping included.
+	Text string `json:"text"`
+	// Data is the typed core's exported fields, keyed by Type.
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// The per-type DTOs. Nested error values (SendError.Err,
+// PoisonError.Err) cross as text: their type information is secondary
+// — what the taxonomy keys on is the outer class.
+type wireSendError struct {
+	Op   string `json:"op"`
+	Chan int64  `json:"chan"`
+	PE   int    `json:"pe"`
+	Dest int    `json:"dest"`
+	Err  string `json:"err"`
+}
+
+type wirePoisonError struct {
+	Err string `json:"err"`
+}
+
+type wireDeathError struct {
+	Rank   int    `json:"rank"`
+	PEs    []int  `json:"pes,omitempty"`
+	Reason string `json:"reason"`
+	Err    string `json:"err,omitempty"`
+}
+
+// encodeWorkerError builds the frameError body for a worker-side run
+// failure. It never fails: an unmarshalable core degrades to the
+// "text" envelope, never to a lost error.
+func encodeWorkerError(err error) []byte {
+	env := wireError{Type: "text", Text: err.Error()}
+	var (
+		de *faults.DeadlockError
+		ip *faults.InjectedPanic
+		pd *faults.ProcessDeathError
+		se *eden.SendError
+		cm *eden.ChanMisuseError
+		pe *graph.PoisonError
+	)
+	var core any
+	switch {
+	case errors.As(err, &de):
+		env.Type, core = "deadlock", de
+	case errors.As(err, &ip):
+		env.Type, core = "injected-panic", ip
+	case errors.As(err, &pd):
+		env.Type = "process-death"
+		w := wireDeathError{Rank: pd.Rank, PEs: pd.PEs, Reason: pd.Reason}
+		if pd.Err != nil {
+			w.Err = pd.Err.Error()
+		}
+		core = w
+	case errors.As(err, &se):
+		env.Type = "send"
+		w := wireSendError{Op: se.Op, Chan: se.Chan, PE: se.PE, Dest: se.Dest}
+		if se.Err != nil {
+			w.Err = se.Err.Error()
+		}
+		core = w
+	case errors.As(err, &cm):
+		env.Type, core = "chan-misuse", cm
+	case errors.As(err, &pe):
+		env.Type, core = "poison", wirePoisonError{Err: pe.Err.Error()}
+	}
+	if core != nil {
+		if data, jerr := json.Marshal(core); jerr == nil {
+			env.Data = data
+		} else {
+			env.Type = "text"
+		}
+	}
+	body, jerr := json.Marshal(&env)
+	if jerr != nil {
+		quoted, _ := json.Marshal(err.Error())
+		return []byte(`{"type":"text","text":` + string(quoted) + `}`)
+	}
+	return body
+}
+
+// workerError is the coordinator-side reconstruction: full original
+// text in Error(), typed core via Unwrap so errors.As and
+// faults.IsStructured keep working.
+type workerError struct {
+	rank int
+	text string
+	core error
+}
+
+func (e *workerError) Error() string {
+	return fmt.Sprintf("cluster: rank %d failed: %s", e.rank, e.text)
+}
+
+func (e *workerError) Unwrap() error { return e.core }
+
+// decodeWorkerError rebuilds a worker's failure from a frameError
+// body. Pre-envelope peers and corrupt bodies degrade to the raw
+// bytes as text — an unreadable failure is still a failure.
+func decodeWorkerError(rank int, body []byte) error {
+	var env wireError
+	if err := json.Unmarshal(body, &env); err != nil || env.Text == "" {
+		return &workerError{rank: rank, text: string(body)}
+	}
+	we := &workerError{rank: rank, text: env.Text}
+	switch env.Type {
+	case "deadlock":
+		var de faults.DeadlockError
+		if json.Unmarshal(env.Data, &de) == nil {
+			we.core = &de
+		}
+	case "injected-panic":
+		var ip faults.InjectedPanic
+		if json.Unmarshal(env.Data, &ip) == nil {
+			we.core = &ip
+		}
+	case "process-death":
+		var w wireDeathError
+		if json.Unmarshal(env.Data, &w) == nil {
+			pd := &faults.ProcessDeathError{Rank: w.Rank, PEs: w.PEs, Reason: w.Reason}
+			if w.Err != "" {
+				pd.Err = errors.New(w.Err)
+			}
+			we.core = pd
+		}
+	case "send":
+		var w wireSendError
+		if json.Unmarshal(env.Data, &w) == nil {
+			se := &eden.SendError{Op: w.Op, Chan: w.Chan, PE: w.PE, Dest: w.Dest}
+			if w.Err != "" {
+				se.Err = errors.New(w.Err)
+			}
+			we.core = se
+		}
+	case "chan-misuse":
+		var cm eden.ChanMisuseError
+		if json.Unmarshal(env.Data, &cm) == nil {
+			we.core = &cm
+		}
+	case "poison":
+		var w wirePoisonError
+		if json.Unmarshal(env.Data, &w) == nil {
+			we.core = &graph.PoisonError{Err: errors.New(w.Err)}
+		}
+	}
+	return we
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rwc adapts a bytes.Buffer into the io.ReadWriteCloser a conn wants,
+// so corrupt byte streams can be fed to the reader directly.
+type rwc struct {
+	bytes.Buffer
+}
+
+func (r *rwc) Close() error { return nil }
+
+func readerOver(raw []byte) *conn {
+	b := &rwc{}
+	b.Write(raw)
+	return newConn(b)
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := newConn(a), newConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	frames := []struct {
+		kind byte
+		seq  uint32
+		body []byte
+	}{
+		{frameHello, 0, encodeHello(2, helloFlagReconnect, 77)},
+		{frameGo, 0, nil},
+		{frameData, 1, encodeData(3, 42, 1, 4, []byte("payload"))},
+		{framePing, 0, encodePing(123456789, 31)},
+		{frameAck, 0, encodeSeq(9)},
+		{frameReport, 2, []byte(`{"rank":1}`)},
+	}
+	go func() {
+		for _, f := range frames {
+			if err := ca.write(f.kind, f.seq, f.body); err != nil {
+				t.Errorf("write(kind %d): %v", f.kind, err)
+			}
+		}
+	}()
+	for _, f := range frames {
+		kind, seq, body, err := cb.read()
+		if err != nil {
+			t.Fatalf("read(kind %d): %v", f.kind, err)
+		}
+		if kind != f.kind || seq != f.seq || !bytes.Equal(body, f.body) {
+			t.Fatalf("round trip: got (%d, %d, %q), want (%d, %d, %q)",
+				kind, seq, body, f.kind, f.seq, f.body)
+		}
+	}
+}
+
+func TestFrameTruncatedHeader(t *testing.T) {
+	// A stream that dies inside the length prefix or the kind/seq header
+	// must fail structurally, never hang or return a phantom frame.
+	for _, raw := range [][]byte{
+		{},
+		{0x09},
+		{0x09, 0x00, 0x00},
+		{0x09, 0x00, 0x00, 0x00},              // length says 9, nothing follows
+		{0x09, 0x00, 0x00, 0x00, frameData},   // kind but no seq
+		{0x09, 0x00, 0x00, 0x00, frameData, 1}, // partial seq
+	} {
+		c := readerOver(raw)
+		if _, _, _, err := c.read(); err == nil {
+			t.Errorf("read of truncated stream %v succeeded", raw)
+		} else if err != io.EOF && err != io.ErrUnexpectedEOF {
+			t.Errorf("truncated stream %v: %v, want EOF-class error", raw, err)
+		}
+	}
+}
+
+func TestFrameBadLength(t *testing.T) {
+	over := make([]byte, 4)
+	binary.LittleEndian.PutUint32(over, maxFrame+1)
+	under := make([]byte, 4)
+	binary.LittleEndian.PutUint32(under, frameHeaderLen-1)
+	for _, raw := range [][]byte{over, under, {0, 0, 0, 0}} {
+		c := readerOver(raw)
+		_, _, _, err := c.read()
+		if err == nil {
+			t.Fatalf("read accepted frame length %d", binary.LittleEndian.Uint32(raw))
+		}
+		if !strings.Contains(err.Error(), "frame length") {
+			t.Errorf("bad length error %q is not structural", err)
+		}
+	}
+}
+
+func TestFrameTruncatedBody(t *testing.T) {
+	// Length promises 100 body bytes; the stream ends early.
+	raw := make([]byte, 4+frameHeaderLen+10)
+	binary.LittleEndian.PutUint32(raw, frameHeaderLen+100)
+	raw[4] = frameData
+	c := readerOver(raw)
+	if _, _, _, err := c.read(); err != io.ErrUnexpectedEOF {
+		t.Errorf("truncated body: %v, want %v", err, io.ErrUnexpectedEOF)
+	}
+}
+
+func TestDataBodyTooShort(t *testing.T) {
+	// A DATA body shorter than its fixed header is a structural decode
+	// error for the router, not a slice panic.
+	for n := 0; n < dataHeaderLen; n++ {
+		if _, _, _, _, _, err := decodeData(make([]byte, n)); err == nil {
+			t.Errorf("decodeData accepted %d-byte body", n)
+		}
+	}
+	kind, chanID, src, dst, payload, err := decodeData(encodeData(2, -7, 1, 3, []byte("xy")))
+	if err != nil || kind != 2 || chanID != -7 || src != 1 || dst != 3 || string(payload) != "xy" {
+		t.Errorf("decodeData round trip: %d %d %d %d %q %v", kind, chanID, src, dst, payload, err)
+	}
+}
+
+func TestControlBodySizes(t *testing.T) {
+	if _, _, _, err := decodeHello(make([]byte, helloLen-1)); err == nil {
+		t.Error("decodeHello accepted a short body")
+	}
+	if _, _, _, err := decodeHello(make([]byte, helloLen+1)); err == nil {
+		t.Error("decodeHello accepted a long body")
+	}
+	if _, err := decodeSeq([]byte{1, 2, 3}); err == nil {
+		t.Error("decodeSeq accepted a short body")
+	}
+	if _, _, err := decodePing(make([]byte, pingLen-1)); err == nil {
+		t.Error("decodePing accepted a short body")
+	}
+	rank, flags, last, err := decodeHello(encodeHello(3, helloFlagReconnect, 99))
+	if err != nil || rank != 3 || flags != helloFlagReconnect || last != 99 {
+		t.Errorf("hello round trip: %d %d %d %v", rank, flags, last, err)
+	}
+	nanos, ack, err := decodePing(encodePing(-5, 12))
+	if err != nil || nanos != -5 || ack != 12 {
+		t.Errorf("ping round trip: %d %d %v", nanos, ack, err)
+	}
+}
+
+func TestTrimAcked(t *testing.T) {
+	buf := []savedFrame{{seq: 1}, {seq: 2}, {seq: 3}, {seq: 4}}
+	buf = trimAcked(buf, 2)
+	if len(buf) != 2 || buf[0].seq != 3 || buf[1].seq != 4 {
+		t.Fatalf("trimAcked(2) left %v", buf)
+	}
+	if buf = trimAcked(buf, 1); len(buf) != 2 {
+		t.Fatalf("stale ack trimmed live frames: %v", buf)
+	}
+	if buf = trimAcked(buf, 10); len(buf) != 0 {
+		t.Fatalf("full ack left %v", buf)
+	}
+}
+
+func TestSequencedKinds(t *testing.T) {
+	seq := map[byte]bool{
+		frameData: true, frameResult: true, frameError: true,
+		frameDrain: true, frameReport: true, frameBye: true,
+	}
+	for kind := frameHello; kind <= frameWelcome; kind++ {
+		if sequenced(kind) != seq[kind] {
+			t.Errorf("sequenced(%d) = %v", kind, sequenced(kind))
+		}
+	}
+}
+
+func TestRouteDropsOnDeadRank(t *testing.T) {
+	// A routed frame whose destination is gone is counted, not silently
+	// discarded and not a wedge.
+	cd := &coord{stop: make(chan struct{}), depth: 4}
+	l := &rankLink{rank: 1, out: make(chan outFrame, 4)}
+	l.cond = sync.NewCond(&l.mu)
+	cd.links = []*rankLink{nil, l}
+
+	l.done.Store(true)
+	cd.route(l, frameData, []byte("x"))
+	if got := l.drops.Load(); got != 1 {
+		t.Fatalf("drops after routing to a reported rank = %d, want 1", got)
+	}
+	l.done.Store(false)
+	l.kill()
+	cd.route(l, frameData, []byte("y"))
+	if got := l.drops.Load(); got != 2 {
+		t.Fatalf("drops after routing to a dead rank = %d, want 2", got)
+	}
+	if len(l.out) != 0 {
+		t.Fatalf("dropped frames still queued: %d", len(l.out))
+	}
+}
+
+func TestRouteBackpressure(t *testing.T) {
+	// A live rank whose queue is full must surface structured
+	// backpressure on the event channel instead of blocking the router.
+	cd := &coord{stop: make(chan struct{}), depth: 1, evCh: make(chan event, 4)}
+	l := &rankLink{rank: 0, out: make(chan outFrame, 1)}
+	l.cond = sync.NewCond(&l.mu)
+	cd.links = []*rankLink{l}
+
+	cd.route(l, frameData, []byte("a"))
+	cd.route(l, frameData, []byte("b"))
+	select {
+	case ev := <-cd.evCh:
+		if !ev.backpressure || ev.rank != 0 {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queue overflow produced no backpressure event")
+	}
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"parhask/internal/faults"
+)
+
+// Restart is the supervision policy RunSupervised applies when a
+// cluster attempt fails with a process death: respawn the workers and
+// restart the whole SPMD run. Full-run retry is the honest recovery
+// unit here — the runtime's deterministic shadow-root replay means a
+// restarted run recomputes exactly the same result, whereas resurrecting
+// a single rank mid-run would need distributed checkpointing the paper's
+// systems never had.
+type Restart struct {
+	// Max is how many restarts may follow the initial attempt (so the
+	// run executes at most Max+1 times).
+	Max int
+	// Backoff is the sleep before the first restart, doubling per
+	// attempt up to Cap. Zero means 100ms (and a zero Cap means 5s).
+	Backoff time.Duration
+	Cap     time.Duration
+	// RetryDeadlocks extends the policy to *faults.DeadlockError —
+	// useful under chaos plans whose injected wedges surface as
+	// deadline expiry rather than process death.
+	RetryDeadlocks bool
+}
+
+// Attempt records one failed attempt of a supervised run.
+type Attempt struct {
+	// Attempt is the zero-based index of the failed attempt.
+	Attempt int `json:"attempt"`
+	// Rank is the rank whose death failed the attempt (-1 for a
+	// cluster-wide failure such as a deadline deadlock).
+	Rank int `json:"rank"`
+	// Reason is the structured death reason ("exit", "connection
+	// closed", "heartbeat timeout", ...).
+	Reason string `json:"reason"`
+	// Err is the full error text.
+	Err string `json:"err"`
+	// WallNS is how long the attempt ran before failing; BackoffNS the
+	// sleep that preceded the next attempt.
+	WallNS    int64 `json:"wall_ns"`
+	BackoffNS int64 `json:"backoff_ns"`
+}
+
+// RestartsExhaustedError reports a supervised run that failed every
+// attempt its restart budget allowed. Unwrap exposes the last
+// attempt's error, so errors.As still finds the underlying
+// *faults.ProcessDeathError (or DeadlockError).
+type RestartsExhaustedError struct {
+	Attempts []Attempt
+	Last     error
+}
+
+func (e *RestartsExhaustedError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: restart budget exhausted after %d attempts", len(e.Attempts))
+	for _, a := range e.Attempts {
+		fmt.Fprintf(&b, "\n  attempt %d: rank %d: %s (%v)", a.Attempt, a.Rank, a.Reason, time.Duration(a.WallNS))
+	}
+	fmt.Fprintf(&b, "\n  last error: %v", e.Last)
+	return b.String()
+}
+
+func (e *RestartsExhaustedError) Unwrap() error { return e.Last }
+
+// RunSupervised runs the cluster under cfg.Restart: a failed attempt
+// whose error is retriable (process death; deadlock too when
+// RetryDeadlocks) is retried after an exponential backoff, with the
+// fault seed rotated per attempt so a seed-dependent injected fault
+// does not recur identically. On success the Result carries the
+// restart history and recovery latency; on a spent budget the error is
+// a *RestartsExhaustedError wrapping the last failure. With a nil
+// Restart it is exactly Run.
+func RunSupervised(cfg Config) (*Result, error) {
+	if cfg.Restart == nil {
+		return Run(cfg)
+	}
+	pol := *cfg.Restart
+	backoff := pol.Backoff
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	cap := pol.Cap
+	if cap <= 0 {
+		cap = 5 * time.Second
+	}
+	var attempts []Attempt
+	var firstFail time.Time
+	for attempt := 0; ; attempt++ {
+		began := time.Now()
+		res, err := runAttempt(cfg, attempt)
+		if err == nil {
+			if res != nil {
+				res.Restarts = len(attempts)
+				res.Attempts = attempts
+				if !firstFail.IsZero() {
+					res.RecoveryNS = time.Since(firstFail).Nanoseconds()
+				}
+				if cfg.Metrics != nil && len(attempts) > 0 {
+					cfg.Metrics.Counter("cluster_restarts_total", "supervised full-run restarts").
+						Add(int64(len(attempts)))
+					cfg.Metrics.Histogram("cluster_recovery_seconds", "first failure to recovered result", 1e-9).
+						Observe(res.RecoveryNS)
+				}
+			}
+			return res, nil
+		}
+		rank, reason, retriable := classifyFailure(err, pol.RetryDeadlocks)
+		if !retriable {
+			return res, err
+		}
+		if firstFail.IsZero() {
+			firstFail = began
+		}
+		a := Attempt{
+			Attempt: attempt, Rank: rank, Reason: reason, Err: err.Error(),
+			WallNS: time.Since(began).Nanoseconds(),
+		}
+		if attempt >= pol.Max {
+			attempts = append(attempts, a)
+			return res, &RestartsExhaustedError{Attempts: attempts, Last: err}
+		}
+		a.BackoffNS = backoff.Nanoseconds()
+		attempts = append(attempts, a)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > cap {
+			backoff = cap
+		}
+	}
+}
+
+// classifyFailure decides whether a failed attempt is worth retrying
+// and extracts its structured identity for the attempt history.
+func classifyFailure(err error, retryDeadlocks bool) (rank int, reason string, retriable bool) {
+	var pd *faults.ProcessDeathError
+	if errors.As(err, &pd) {
+		return pd.Rank, pd.Reason, true
+	}
+	var de *faults.DeadlockError
+	if errors.As(err, &de) {
+		return -1, "deadlock:" + de.Reason, retryDeadlocks
+	}
+	return -1, "", false
+}

@@ -20,6 +20,10 @@ func TestParseRoundTrip(t *testing.T) {
 		"kill-rank=1:150ms",
 		"sever-rank=2:1s",
 		"seed=6,kill-rank=0:10ms,kill-rank=2:20ms,sever-rank=1:30ms",
+		"flap-rank=1:40ms:150ms",
+		"wedge-rank=2:25ms",
+		"seed=4,kill-rank=1:10ms,rank-faults=every",
+		"seed=8,flap-rank=0:5ms:50ms,flap-rank=2:1ms:2ms,wedge-rank=1:3ms",
 	}
 	for _, spec := range specs {
 		p, err := Parse(spec)
@@ -69,6 +73,14 @@ func TestParseErrors(t *testing.T) {
 		"sever-rank=2",      // missing duration
 		"sever-rank=a:5ms",  // bad rank
 		"sever-rank=0:-1ms", // non-positive duration
+		"flap-rank=1:5ms",       // missing outage
+		"flap-rank=x:5ms:5ms",   // bad rank
+		"flap-rank=1:0s:5ms",    // non-positive onset
+		"flap-rank=1:5ms:0s",    // non-positive outage
+		"wedge-rank=1",          // missing duration
+		"wedge-rank=b:1ms",      // bad rank
+		"wedge-rank=1:-2ms",     // non-positive duration
+		"rank-faults=sometimes", // unknown mode
 	}
 	for _, spec := range bad {
 		if _, err := Parse(spec); err == nil {

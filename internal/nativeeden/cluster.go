@@ -179,6 +179,12 @@ func (r *RTS) Deliver(kind MsgKind, chanID int64, src, dst int, payload []byte) 
 			err = panicErr(fmt.Sprintf("nativeeden: delivery to chan %d on PE %d failed", chanID, dst), v)
 		}
 	}()
+	if r.failed.Load() {
+		// The run already failed or drained: late frames (a reconnect
+		// replay, stragglers routed before the coordinator saw the
+		// report) are discarded, never re-resolved into a dead heap.
+		return nil
+	}
 	if dst < 0 || dst >= len(r.pes) || r.pes[dst] == nil {
 		return fmt.Errorf("nativeeden: delivery to PE %d, which rank %d does not own", dst, r.cfg.Cluster.Rank)
 	}

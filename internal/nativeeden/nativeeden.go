@@ -380,6 +380,12 @@ func (r *RTS) run(main pe.Program) (*Result, error) {
 			if p == nil {
 				continue
 			}
+			// Publish the ring under the PE lock: in cluster mode the
+			// transport reader is already live and Deliver checks p.ev
+			// (under the same lock) to decide whether to emit MsgRecv.
+			// A frame that lands before this sees nil and goes unlogged,
+			// which is fine — but the pointer itself must not tear.
+			p.mu.Lock()
 			p.ev = r.events.Buf(li)
 			li++
 			if p.id == 0 && cfg.TraceID != 0 {
@@ -392,6 +398,7 @@ func (r *RTS) run(main pe.Program) (*Result, error) {
 			// bracket each thread's Run brackets nest inside. Emitted here,
 			// before any thread exists, so the single-writer rule holds.
 			p.ev.Emit(eventlog.IdleBegin)
+			p.mu.Unlock()
 		}
 	}
 
@@ -477,11 +484,15 @@ func (r *RTS) run(main pe.Program) (*Result, error) {
 		if p == nil {
 			continue // remote PE (cluster mode); its owner reports it
 		}
-		// Safe plain reads: the WaitGroup barrier (and, for PE 0's root
-		// thread, goroutine identity) orders every owner write before
-		// these.
+		// The WaitGroup barrier orders every PE-thread write before this,
+		// but in cluster mode Deliver runs on the transport reader — a
+		// late frame (reconnect replay, a straggler routed before the
+		// coordinator saw our report) can still touch ctr and the arena.
+		// The PE lock covers that writer.
+		p.mu.Lock()
 		ps := p.ctr
 		ps.ArenaChunks, ps.ArenaThunks = p.arena.Stats()
+		p.mu.Unlock()
 		res.PerPE[i] = ps
 		res.Stats.Messages += ps.MsgsSent
 		res.Stats.BytesSent += ps.BytesSent
